@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: how much of multi-module GPU efficiency do the two NUMA
+ * mechanisms — first-touch page placement and distributed
+ * (contiguous) CTA scheduling — actually buy?
+ *
+ * The paper adopts both from the MCM-GPU / NUMA-aware-GPU work
+ * (§V-A1) and its §V-E discussion calls system-level data locality
+ * the research priority. This bench quantifies that on a 16-GPM
+ * on-package design by knocking each mechanism out: striped
+ * (locality-oblivious) page placement and round-robin CTA
+ * scheduling.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Locality-mechanism ablation, 16-GPM 2x-BW",
+                  "Section V-A1/V-E (first-touch + distributed CTA "
+                  "scheduling are the locality substrate)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    struct Variant
+    {
+        const char *label;
+        sim::PlacementPolicy placement;
+        sm::CtaSchedPolicy scheduling;
+    };
+    const Variant variants[] = {
+        {"first-touch + distributed (paper)",
+         sim::PlacementPolicy::FirstTouchOwner,
+         sm::CtaSchedPolicy::Distributed},
+        {"striped pages + distributed",
+         sim::PlacementPolicy::Striped,
+         sm::CtaSchedPolicy::Distributed},
+        {"first-touch + round-robin CTAs",
+         sim::PlacementPolicy::FirstTouchOwner,
+         sm::CtaSchedPolicy::RoundRobin},
+        {"striped + round-robin (no locality)",
+         sim::PlacementPolicy::Striped,
+         sm::CtaSchedPolicy::RoundRobin},
+    };
+
+    TextTable table("Knocking out the locality mechanisms");
+    table.header({"variant", "EDPSE", "speedup", "energy",
+                  "remote traffic"});
+    CsvWriter csv({"variant", "edpse", "speedup", "energy",
+                   "remote_fraction"});
+
+    double edpse_paper = 0.0, edpse_none = 0.0;
+    for (const auto &variant : variants) {
+        auto config = sim::multiGpmConfig(16, sim::BwSetting::Bw2x);
+        config.placement = variant.placement;
+        config.ctaScheduling = variant.scheduling;
+
+        auto points = harness::scalingStudy(runner, config, workloads);
+        double edpse =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        double speed = harness::meanOf(
+            points, &harness::ScalingPoint::speedup);
+        double energy = harness::meanOf(
+            points, &harness::ScalingPoint::energyRatio);
+
+        // Aggregate remote-traffic fraction across the suite.
+        Count remote = 0, local = 0;
+        for (const auto &workload : workloads) {
+            const auto &run = runner.run(config, workload);
+            remote += run.perf.mem.remoteSectors;
+            local += run.perf.mem.localSectors;
+        }
+        double remote_fraction =
+            static_cast<double>(remote) / (remote + local);
+
+        if (&variant == &variants[0])
+            edpse_paper = edpse;
+        if (&variant == &variants[3])
+            edpse_none = edpse;
+        table.addRow({variant.label, TextTable::pct(edpse),
+                      TextTable::num(speed, 2),
+                      TextTable::num(energy, 2),
+                      TextTable::pct(remote_fraction * 100.0)});
+        csv.addRow({variant.label, TextTable::num(edpse, 1),
+                    TextTable::num(speed, 2),
+                    TextTable::num(energy, 3),
+                    TextTable::num(remote_fraction, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nlocality mechanisms are worth %.1fx in EDPSE on "
+                "this design (%.1f%% -> %.1f%% without them)\n",
+                edpse_paper / edpse_none, edpse_paper, edpse_none);
+    bench::writeCsv("ablation_locality", csv);
+    return edpse_paper > edpse_none ? 0 : 1;
+}

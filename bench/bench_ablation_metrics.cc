@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: does the choice of efficiency metric change the story?
+ *
+ * The paper's §V-D cautions that its conclusions should be checked
+ * against other combined metrics — "similar trends will be apparent
+ * with other metrics that rely on ED2 or performance/watt as well".
+ * This bench computes EDPSE (Eq. 2), ED2PSE (Eq. 3 with i = 2), and
+ * performance-per-watt scaling efficiency side by side across the
+ * on-package scaling sweep.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Metric sensitivity: EDPSE vs ED2PSE vs perf/W",
+                  "Section V-D (trends agree across metric choices)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("Scaling efficiency (%) per metric, "
+                    "2x-BW on-package ring");
+    table.header({"config", "EDPSE", "ED2PSE", "perf/W SE",
+                  "ordering agrees?"});
+    CsvWriter csv({"gpms", "edpse", "ed2pse", "perf_per_watt_se"});
+
+    double prev_edpse = 1e9, prev_ed2 = 1e9, prev_ppw = 1e9;
+    bool all_monotone = true;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        auto config = sim::multiGpmConfig(n, sim::BwSetting::Bw2x);
+        auto points = harness::scalingStudy(runner, config, workloads);
+        double edpse =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        double ed2 =
+            harness::meanOf(points, &harness::ScalingPoint::ed2pse);
+        double ppw = harness::meanOf(
+            points, &harness::ScalingPoint::perfPerWattSE);
+
+        // Past the caching sweet spot (>= 8 GPMs) every metric must
+        // agree the trend is downhill.
+        bool agrees = n < 8 ||
+                      (edpse <= prev_edpse && ed2 <= prev_ed2 &&
+                       ppw <= prev_ppw);
+        all_monotone = all_monotone && agrees;
+        prev_edpse = edpse;
+        prev_ed2 = ed2;
+        prev_ppw = ppw;
+
+        table.addRow({std::to_string(n) + "-GPM",
+                      TextTable::pct(edpse), TextTable::pct(ed2),
+                      TextTable::pct(ppw), agrees ? "yes" : "NO"});
+        csv.addRow({std::to_string(n), TextTable::num(edpse, 1),
+                    TextTable::num(ed2, 1), TextTable::num(ppw, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\ndiminishing efficiency visible in every metric: "
+                "%s (paper §V-D's expectation)\n",
+                all_monotone ? "yes" : "NO");
+    bench::writeCsv("ablation_metrics", csv);
+    return all_monotone ? 0 : 1;
+}

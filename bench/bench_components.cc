@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the framework's hot components:
+ * cache tag lookups, bandwidth-server arbitration, ring routing, warp
+ * trace generation, and a small end-to-end simulation. These guard
+ * the simulator's own performance (a full Figure 10 sweep is ~200
+ * simulations, so the inner loops matter).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/cache.hh"
+#include "noc/bandwidth_server.hh"
+#include "noc/interconnect.hh"
+#include "sim/gpu_sim.hh"
+#include "trace/warp_trace.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::SectoredCache cache("bench", 2 * units::MiB, 16);
+    Rng rng(1);
+    std::uint64_t footprint = 8 * units::MiB / isa::cacheLineBytes;
+    for (auto _ : state) {
+        std::uint64_t addr =
+            rng.below(footprint) * isa::cacheLineBytes;
+        benchmark::DoNotOptimize(
+            cache.access(addr, mem::fullLineMask, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_BandwidthServer(benchmark::State &state)
+{
+    noc::BandwidthServer server("bench", 256.0);
+    double t = 0.0;
+    for (auto _ : state) {
+        t += 0.5;
+        benchmark::DoNotOptimize(server.acquire(t, 128.0));
+    }
+}
+BENCHMARK(BM_BandwidthServer);
+
+void
+BM_RingTransfer(benchmark::State &state)
+{
+    noc::RingNetwork ring(32, 64.0, 40);
+    Rng rng(2);
+    double t = 0.0;
+    for (auto _ : state) {
+        unsigned src = static_cast<unsigned>(rng.below(32));
+        unsigned dst = static_cast<unsigned>(rng.below(32));
+        if (src == dst)
+            dst = (dst + 1) % 32;
+        t += 1.0;
+        benchmark::DoNotOptimize(ring.transfer(t, src, dst, 128.0));
+    }
+}
+BENCHMARK(BM_RingTransfer);
+
+void
+BM_WarpTraceGeneration(benchmark::State &state)
+{
+    const auto &profile = trace::scalingWorkloads().front();
+    trace::SegmentLayout layout(profile);
+    unsigned cta = 0;
+    for (auto _ : state) {
+        trace::WarpTrace trace(profile, layout, 0,
+                               cta++ % profile.ctaCount, 0);
+        while (trace.next().kind != isa::TraceOpKind::Exit) {
+        }
+    }
+}
+BENCHMARK(BM_WarpTraceGeneration);
+
+void
+BM_SmallSimulation(benchmark::State &state)
+{
+    trace::KernelProfile profile;
+    profile.name = "bench";
+    profile.ctaCount = 64;
+    profile.warpsPerCta = 2;
+    profile.iterations = 4;
+    profile.segments.push_back({"seg", 1 * units::MiB});
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::BlockStream;
+    access.perIteration = 2;
+    profile.loads.push_back(access);
+    profile.compute.push_back({isa::Opcode::FFMA32, 4});
+
+    sim::GpuSim machine(sim::baselineConfig());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(profile));
+}
+BENCHMARK(BM_SmallSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

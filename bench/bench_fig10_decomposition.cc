@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: absolute speedup and energy (both
+ * normalized to the 1-GPM GPU) for every GPM count at all three
+ * bandwidth settings, with constant-energy amortization applied when
+ * moving from the on-board (1x-BW) to on-package (2x/4x-BW) domains;
+ * ring topology throughout.
+ *
+ * Paper reference points at 32 GPMs: quadrupling inter-GPM bandwidth
+ * alone cuts energy by 27.4%; moving on-package (amortization)
+ * raises the cut to 45%; a 16-GPM/2x-BW design outperforms a
+ * 32-GPM/1x-BW design at about half the energy; and the overall
+ * trajectory from >100% energy growth to ~10% while strong scaling
+ * by ~18x (paper conclusion).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Speedup and energy vs bandwidth and domain",
+                  "Figure 10 (-27.4% energy from 4x BW; -45% with "
+                  "on-package amortization)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("Normalized to the 1-GPM GPU (ring everywhere)");
+    table.header({"config", "BW", "domain", "speedup",
+                  "energy ratio"});
+    CsvWriter csv({"gpms", "bw", "domain", "speedup", "energy"});
+
+    // energy[gpms-index][bw-index], speedup likewise.
+    double e32_1x = 0.0, e32_4x = 0.0;
+    double s32_4x = 0.0;
+    double e16_2x = 0.0, s16_2x = 0.0, s32_1x = 0.0;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        for (auto bw : sim::tableFourBwSettings()) {
+            auto domain = sim::defaultDomainFor(bw);
+            auto config = sim::multiGpmConfig(
+                n, bw, noc::Topology::Ring, domain);
+            auto points =
+                harness::scalingStudy(runner, config, workloads);
+            double speed = harness::meanOf(
+                points, &harness::ScalingPoint::speedup);
+            double energy = harness::meanOf(
+                points, &harness::ScalingPoint::energyRatio);
+
+            if (n == 32 && bw == sim::BwSetting::Bw1x) {
+                e32_1x = energy;
+                s32_1x = speed;
+            }
+            if (n == 32 && bw == sim::BwSetting::Bw4x) {
+                e32_4x = energy;
+                s32_4x = speed;
+            }
+            if (n == 16 && bw == sim::BwSetting::Bw2x) {
+                e16_2x = energy;
+                s16_2x = speed;
+            }
+            table.addRow({std::to_string(n) + "-GPM",
+                          sim::bwSettingName(bw),
+                          sim::domainName(domain),
+                          TextTable::num(speed, 2),
+                          TextTable::num(energy, 2)});
+            csv.addRow({std::to_string(n), sim::bwSettingName(bw),
+                        sim::domainName(domain),
+                        TextTable::num(speed, 3),
+                        TextTable::num(energy, 3)});
+        }
+    }
+    table.print(std::cout);
+
+    // Isolate the two §V-D effects at 32 GPMs: bandwidth alone
+    // (on-board domain at 4x-BW, no amortization) and bandwidth plus
+    // on-package amortization (the default 4x-BW pairing above).
+    auto bw_only = sim::multiGpmConfig(32, sim::BwSetting::Bw4x,
+                                       noc::Topology::Ring,
+                                       sim::IntegrationDomain::OnBoard);
+    double e32_4x_onboard = harness::meanOf(
+        harness::scalingStudy(runner, bw_only, workloads),
+        &harness::ScalingPoint::energyRatio);
+
+    double cut_bw = (1.0 - e32_4x_onboard / e32_1x) * 100.0;
+    double cut_total = (1.0 - e32_4x / e32_1x) * 100.0;
+    std::printf("\n32-GPM energy cut from 4x bandwidth alone: %.1f%% "
+                "(paper 27.4%%)\n",
+                cut_bw);
+    std::printf("32-GPM energy cut incl. on-package amortization: "
+                "%.1f%% (paper 45%%)\n",
+                cut_total);
+    std::printf("16-GPM/2x-BW vs 32-GPM/1x-BW: speedup %.2f vs %.2f, "
+                "energy %.2f vs %.2f (paper: the 16-GPM design wins "
+                "at about half the energy)\n",
+                s16_2x, s32_1x, e16_2x, e32_1x);
+    std::printf("best 32-GPM point: %.1fx speedup at %.0f%% energy "
+                "growth (paper conclusion: ~18x at ~10%%)\n",
+                s32_4x, (e32_4x - 1.0) * 100.0);
+    bench::writeCsv("fig10_decomposition", csv);
+
+    bool shape_ok = cut_bw > 5.0 && cut_total > cut_bw &&
+                    e16_2x < e32_1x;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Regenerates paper Figure 2: average energy to compute a fixed-size
+ * problem, normalized to the single-GPU baseline, as GPM count grows
+ * under on-board integration. The paper reports ~2x at 32 GPMs —
+ * the "multi-module GPUs are on a trajectory to become 2x less
+ * energy efficient" headline.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner(
+        "Energy cost of on-board strong scaling (14 workloads)",
+        "Figure 2 (~2x energy at 32x capability)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("Energy normalized to 1-GPM GPU "
+                    "(1x-BW on-board ring)");
+    table.header({"GPU capability", "energy ratio", "speedup",
+                  "ideal energy"});
+    CsvWriter csv({"gpms", "energy_ratio", "speedup"});
+
+    double ratio32 = 0.0;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        auto config =
+            sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
+                                noc::Topology::Ring,
+                                sim::IntegrationDomain::OnBoard);
+        auto points = harness::scalingStudy(runner, config, workloads);
+        double ratio = harness::meanOf(
+            points, &harness::ScalingPoint::energyRatio);
+        double speed = harness::meanOf(
+            points, &harness::ScalingPoint::speedup);
+        if (n == 32)
+            ratio32 = ratio;
+        char label[16];
+        std::snprintf(label, sizeof(label), "%ux", n);
+        table.addRow({label, TextTable::num(ratio, 2),
+                      TextTable::num(speed, 2), "1.00"});
+        csv.addRow({std::to_string(n), TextTable::num(ratio, 3),
+                    TextTable::num(speed, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\n32x energy ratio: %.2fx (paper: ~2x; ideal: 1x)\n",
+                ratio32);
+    bench::writeCsv("fig2_energy_scaling", csv);
+    return (ratio32 > 1.5 && ratio32 < 3.5) ? 0 : 1;
+}

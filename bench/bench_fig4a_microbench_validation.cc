@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates paper Figure 4a: energy-estimation error of the mixed
+ * FADD64 + memory-level validation microbenchmarks. The paper
+ * reports errors between +2.5% and -6%.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Mixed-microbenchmark validation error",
+                  "Figure 4a (errors within +2.5% / -6% on the K40)");
+
+    const auto &calib = bench::studyContext().calibration();
+
+    TextTable table("GPUJoule vs sensor, validation microbenchmarks");
+    table.header({"microbenchmark", "modeled (J)", "measured (J)",
+                  "error"});
+    CsvWriter csv({"bench", "modeled_J", "measured_J", "error_pct"});
+
+    double worst_pos = 0.0, worst_neg = 0.0;
+    for (const auto &point : calib.validation) {
+        double err = point.relativeError() * 100.0;
+        worst_pos = std::max(worst_pos, err);
+        worst_neg = std::min(worst_neg, err);
+        table.addRow({point.name, TextTable::num(point.modeled, 2),
+                      TextTable::num(point.measured, 2),
+                      TextTable::pct(err)});
+        csv.addRow({point.name, TextTable::num(point.modeled, 4),
+                    TextTable::num(point.measured, 4),
+                    TextTable::num(err, 2)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nerror envelope: %+.1f%% .. %+.1f%% "
+                "(paper: +2.5%% .. -6%%)\n",
+                worst_pos, worst_neg);
+    bench::writeCsv("fig4a_microbench_validation", csv);
+
+    // The envelope should stay in the same ballpark as the paper's.
+    return (worst_pos <= 8.0 && worst_neg >= -10.0) ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates paper Figure 6: EDPSE of compute-intensive,
+ * memory-intensive, and all workloads as GPM count scales, for the
+ * baseline on-package 2x-BW ring configuration. The paper reports a
+ * maximum of 94% at 2 GPMs falling to 36% at 32 GPMs, compute
+ * workloads above their memory counterparts (with >100% at small
+ * counts), and the 50% efficiency threshold crossed past 16 GPMs.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("EDPSE vs GPM count, on-package 2x-BW ring",
+                  "Figure 6 (94% at 2-GPM -> 36% at 32-GPM)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("EDPSE (%) by workload class");
+    table.header({"config", "compute", "memory", "all",
+                  ">= 50% threshold?"});
+    CsvWriter csv({"gpms", "edpse_c", "edpse_m", "edpse_all"});
+
+    double all2 = 0.0, all32 = 0.0;
+    double c32 = 0.0, m32 = 0.0;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        auto config = sim::multiGpmConfig(n, sim::BwSetting::Bw2x);
+        auto points = harness::scalingStudy(runner, config, workloads);
+        double c = harness::meanOf(points,
+                                   &harness::ScalingPoint::edpse,
+                                   trace::WorkloadClass::Compute);
+        double m = harness::meanOf(points,
+                                   &harness::ScalingPoint::edpse,
+                                   trace::WorkloadClass::Memory);
+        double all =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        if (n == 2)
+            all2 = all;
+        if (n == 32) {
+            all32 = all;
+            c32 = c;
+            m32 = m;
+        }
+        table.addRow({std::to_string(n) + "-GPM", TextTable::pct(c),
+                      TextTable::pct(m), TextTable::pct(all),
+                      all >= 50.0 ? "yes" : "NO"});
+        csv.addRow({std::to_string(n), TextTable::num(c, 1),
+                    TextTable::num(m, 1), TextTable::num(all, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nall-workloads EDPSE: %.1f%% at 2-GPM (paper 94%%),"
+                " %.1f%% at 32-GPM (paper 36%%)\n",
+                all2, all32);
+    std::printf("compute > memory at 32-GPM: %s (paper: compute "
+                "workloads achieve significantly higher EDPSE)\n",
+                c32 > m32 ? "yes" : "NO");
+    bench::writeCsv("fig6_edpse_scaling", csv);
+
+    bool shape_ok = all2 > all32 && c32 > m32 && all32 < 60.0;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: performance speedup and energy increase
+ * at each GPM-doubling step (2x-BW on-package ring), with the energy
+ * delta broken down by Eq. 4 component, plus the monolithic-GPU
+ * comparison the paper quotes for the 16->32 step.
+ *
+ * Paper reference points: 86.8% speedup for 1->2, 47% for 16->32
+ * (80.8% on an equivalent monolithic GPU), a 15.7% energy increase
+ * for 16->32, and the constant-energy overhead as the dominant
+ * growth component at high GPM counts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+namespace
+{
+
+struct Aggregate
+{
+    double seconds = 0.0;
+    joule::EnergyBreakdown energy;
+};
+
+Aggregate
+aggregateFor(harness::ScalingRunner &runner, const sim::GpuConfig &config)
+{
+    Aggregate total;
+    for (const auto &workload : trace::scalingWorkloads()) {
+        const auto &run = runner.run(config, workload);
+        total.seconds += run.perf.execSeconds;
+        const auto &e = run.energy;
+        total.energy.smBusy += e.smBusy;
+        total.energy.smIdle += e.smIdle;
+        total.energy.constant += e.constant;
+        total.energy.shmToReg += e.shmToReg;
+        total.energy.l1ToReg += e.l1ToReg;
+        total.energy.l2ToL1 += e.l2ToL1;
+        total.energy.dramToL2 += e.dramToL2;
+        total.energy.interModule += e.interModule;
+    }
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner(
+        "Incremental speedup and energy growth per scaling step",
+        "Figure 7 (1->2: +86.8% speed; 16->32: +47% speed, +15.7% "
+        "energy, constant overhead dominant)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+
+    std::vector<std::pair<unsigned, Aggregate>> steps;
+    steps.emplace_back(
+        1u, aggregateFor(runner, sim::baselineConfig()));
+    for (unsigned n : sim::tableThreeGpmCounts())
+        steps.emplace_back(
+            n, aggregateFor(runner,
+                            sim::multiGpmConfig(
+                                n, sim::BwSetting::Bw2x)));
+
+    TextTable table("Per-step deltas (vs preceding configuration)");
+    table.header({"step", "speedup", "dE total", "dE busy", "dE idle",
+                  "dE const", "dE L1->Reg", "dE L2->L1", "dE DRAM",
+                  "dE inter-mod"});
+    CsvWriter csv({"step", "speedup", "de_total_pct", "de_busy",
+                   "de_idle", "de_const", "de_l1", "de_l2", "de_dram",
+                   "de_link"});
+
+    double speed_1_2 = 0.0, speed_16_32 = 0.0, de_16_32 = 0.0;
+    std::string dominant_16_32;
+    for (std::size_t i = 1; i < steps.size(); ++i) {
+        const Aggregate &prev = steps[i - 1].second;
+        const Aggregate &curr = steps[i].second;
+        double speedup = prev.seconds / curr.seconds;
+        double prev_total = prev.energy.total();
+        auto delta = [&](double now, double before) {
+            return (now - before) / prev_total * 100.0;
+        };
+        double d_total =
+            delta(curr.energy.total(), prev.energy.total());
+        double d_busy = delta(curr.energy.smBusy, prev.energy.smBusy);
+        double d_idle = delta(curr.energy.smIdle, prev.energy.smIdle);
+        double d_const =
+            delta(curr.energy.constant, prev.energy.constant);
+        double d_l1 = delta(curr.energy.l1ToReg, prev.energy.l1ToReg);
+        double d_l2 = delta(curr.energy.l2ToL1, prev.energy.l2ToL1);
+        double d_dram =
+            delta(curr.energy.dramToL2, prev.energy.dramToL2);
+        double d_link =
+            delta(curr.energy.interModule, prev.energy.interModule);
+
+        std::string step = std::to_string(steps[i - 1].first) + "->" +
+                           std::to_string(steps[i].first);
+        table.addRow({step, TextTable::num(speedup, 2),
+                      TextTable::pct(d_total), TextTable::pct(d_busy),
+                      TextTable::pct(d_idle), TextTable::pct(d_const),
+                      TextTable::pct(d_l1), TextTable::pct(d_l2),
+                      TextTable::pct(d_dram),
+                      TextTable::pct(d_link)});
+        csv.addRow({step, TextTable::num(speedup, 3),
+                    TextTable::num(d_total, 2),
+                    TextTable::num(d_busy, 2),
+                    TextTable::num(d_idle, 2),
+                    TextTable::num(d_const, 2),
+                    TextTable::num(d_l1, 2), TextTable::num(d_l2, 2),
+                    TextTable::num(d_dram, 2),
+                    TextTable::num(d_link, 2)});
+
+        if (i == 1)
+            speed_1_2 = speedup;
+        if (steps[i].first == 32) {
+            speed_16_32 = speedup;
+            de_16_32 = d_total;
+            double worst = std::max(
+                {d_busy, d_idle, d_const, d_l1, d_l2, d_dram, d_link});
+            dominant_16_32 = worst == d_const  ? "constant overhead"
+                             : worst == d_idle ? "SM idle"
+                                               : "other";
+        }
+    }
+    table.print(std::cout);
+
+    // Monolithic comparison for the 16->32 step (paper: 80.8%).
+    Aggregate mono16 =
+        aggregateFor(runner, sim::monolithicConfig(16));
+    Aggregate mono32 =
+        aggregateFor(runner, sim::monolithicConfig(32));
+    double mono_speedup = mono16.seconds / mono32.seconds;
+
+    std::printf("\n1->2 speedup: +%.1f%% (paper +86.8%%)\n",
+                (speed_1_2 - 1.0) * 100.0);
+    std::printf("16->32 speedup: +%.1f%% (paper +47%%); monolithic "
+                "16->32: +%.1f%% (paper +80.8%%)\n",
+                (speed_16_32 - 1.0) * 100.0,
+                (mono_speedup - 1.0) * 100.0);
+    std::printf("16->32 energy increase: %.1f%% (paper +15.7%%); "
+                "dominant growth component: %s (paper: constant "
+                "energy overhead)\n",
+                de_16_32, dominant_16_32.c_str());
+    bench::writeCsv("fig7_incremental", csv);
+
+    bool shape_ok = speed_1_2 > 1.7 && speed_16_32 < speed_1_2 &&
+                    mono_speedup > speed_16_32 && de_16_32 > 0.0;
+    return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: EDPSE as a function of the inter-GPM
+ * bandwidth setting (1x/2x/4x, Table IV) at every GPM count. The
+ * paper's key claim: at high GPM counts EDPSE improves by a factor
+ * of ~3 when inter-module bandwidth increases by a factor of 4.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("EDPSE vs interconnect bandwidth settings",
+                  "Figure 8 (~3x EDPSE from 4x bandwidth at 32 GPMs)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("EDPSE (%) per bandwidth setting");
+    table.header({"config", "1x-BW", "2x-BW", "4x-BW",
+                  "4x/1x ratio"});
+    CsvWriter csv({"gpms", "edpse_1x", "edpse_2x", "edpse_4x"});
+
+    double ratio_at_32 = 0.0;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        double edpse_by_bw[3] = {};
+        int index = 0;
+        for (auto bw : sim::tableFourBwSettings()) {
+            auto config = sim::multiGpmConfig(
+                n, bw, noc::Topology::Ring, sim::defaultDomainFor(bw));
+            auto points =
+                harness::scalingStudy(runner, config, workloads);
+            edpse_by_bw[index++] = harness::meanOf(
+                points, &harness::ScalingPoint::edpse);
+        }
+        double ratio = edpse_by_bw[2] / edpse_by_bw[0];
+        if (n == 32)
+            ratio_at_32 = ratio;
+        table.addRow({std::to_string(n) + "-GPM",
+                      TextTable::pct(edpse_by_bw[0]),
+                      TextTable::pct(edpse_by_bw[1]),
+                      TextTable::pct(edpse_by_bw[2]),
+                      TextTable::num(ratio, 2) + "x"});
+        csv.addRow({std::to_string(n),
+                    TextTable::num(edpse_by_bw[0], 1),
+                    TextTable::num(edpse_by_bw[1], 1),
+                    TextTable::num(edpse_by_bw[2], 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nEDPSE gain from 4x bandwidth at 32 GPMs: %.2fx "
+                "(paper: ~3x)\n",
+                ratio_at_32);
+    bench::writeCsv("fig8_bandwidth", csv);
+    return ratio_at_32 > 1.5 ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: EDPSE of on-board multi-module GPUs
+ * with a ring versus a high-radix switch (NVSwitch-style). The paper
+ * reports the switch improving EDPSE by nearly 2x at 32 GPMs despite
+ * unchanged link bandwidth (and despite the extra 10 pJ/bit crossing
+ * energy).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("On-board ring vs high-radix switch",
+                  "Figure 9 (switch ~2x EDPSE at 32 GPMs, same links)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    TextTable table("EDPSE (%), on-board integration");
+    table.header({"config", "ring (1x-BW)", "switch (1x-BW)",
+                  "switch (2x-BW)", "switch/ring"});
+    CsvWriter csv({"gpms", "ring_1x", "switch_1x", "switch_2x"});
+
+    double gain_at_32 = 0.0;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        auto ring = sim::multiGpmConfig(
+            n, sim::BwSetting::Bw1x, noc::Topology::Ring,
+            sim::IntegrationDomain::OnBoard);
+        auto sw1 = sim::multiGpmConfig(
+            n, sim::BwSetting::Bw1x, noc::Topology::Switch,
+            sim::IntegrationDomain::OnBoard);
+        auto sw2 = sim::multiGpmConfig(
+            n, sim::BwSetting::Bw2x, noc::Topology::Switch,
+            sim::IntegrationDomain::OnBoard);
+
+        double e_ring = harness::meanOf(
+            harness::scalingStudy(runner, ring, workloads),
+            &harness::ScalingPoint::edpse);
+        double e_sw1 = harness::meanOf(
+            harness::scalingStudy(runner, sw1, workloads),
+            &harness::ScalingPoint::edpse);
+        double e_sw2 = harness::meanOf(
+            harness::scalingStudy(runner, sw2, workloads),
+            &harness::ScalingPoint::edpse);
+
+        double gain = e_sw1 / e_ring;
+        if (n == 32)
+            gain_at_32 = gain;
+        table.addRow({std::to_string(n) + "-GPM",
+                      TextTable::pct(e_ring), TextTable::pct(e_sw1),
+                      TextTable::pct(e_sw2),
+                      TextTable::num(gain, 2) + "x"});
+        csv.addRow({std::to_string(n), TextTable::num(e_ring, 1),
+                    TextTable::num(e_sw1, 1),
+                    TextTable::num(e_sw2, 1)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nswitch EDPSE gain over ring at 32 GPMs (same "
+                "1x-BW links): %.2fx (paper: ~2x)\n",
+                gain_at_32);
+    bench::writeCsv("fig9_switch", csv);
+    return gain_at_32 > 1.3 ? 0 : 1;
+}

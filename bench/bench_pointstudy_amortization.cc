@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates the paper's §V-C constant-energy amortization study:
+ * a 32-GPM on-package (2x-BW) system where the per-GPM constant
+ * power is shared across GPMs at 0% / 25% / 50% rates. The paper
+ * reports that 50% amortization cuts absolute energy by 22.3% and
+ * raises EDPSE by 8.1 points versus no amortization; 25% gives
+ * 10.4% and 3.5 points.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Constant-energy amortization, 32-GPM on-package",
+                  "Section V-C (50%: -22.3% energy, +8.1 EDPSE pts; "
+                  "25%: -10.4%, +3.5 pts)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+    auto config = sim::multiGpmConfig(32, sim::BwSetting::Bw2x);
+
+    struct Point
+    {
+        const char *label;
+        double growth; //!< constGrowthFraction override
+        double energy = 0.0;
+        double edpse = 0.0;
+    };
+    Point points[] = {
+        {"no amortization", 1.0},
+        {"25% amortized", 0.75},
+        {"50% amortized (baseline)", 0.5},
+    };
+
+    TextTable table("Energy and EDPSE vs amortization rate");
+    table.header({"amortization", "energy ratio", "EDPSE",
+                  "dE vs none", "dEDPSE vs none"});
+    CsvWriter csv({"growth_fraction", "energy_ratio", "edpse"});
+
+    for (auto &point : points) {
+        auto study = harness::scalingStudy(runner, config, workloads,
+                                           1.0, point.growth);
+        point.energy = harness::meanOf(
+            study, &harness::ScalingPoint::energyRatio);
+        point.edpse =
+            harness::meanOf(study, &harness::ScalingPoint::edpse);
+    }
+    for (const auto &point : points) {
+        double de =
+            (1.0 - point.energy / points[0].energy) * 100.0;
+        table.addRow({point.label, TextTable::num(point.energy, 3),
+                      TextTable::pct(point.edpse),
+                      TextTable::num(de, 1) + "%",
+                      "+" + TextTable::num(
+                                point.edpse - points[0].edpse, 1)});
+        csv.addRow({TextTable::num(point.growth, 2),
+                    TextTable::num(point.energy, 3),
+                    TextTable::num(point.edpse, 2)});
+    }
+    table.print(std::cout);
+
+    double cut50 = (1.0 - points[2].energy / points[0].energy) * 100.0;
+    double cut25 = (1.0 - points[1].energy / points[0].energy) * 100.0;
+    std::printf("\n50%% amortization: -%.1f%% energy (paper 22.3%%), "
+                "+%.1f EDPSE points (paper 8.1)\n",
+                cut50, points[2].edpse - points[0].edpse);
+    std::printf("25%% amortization: -%.1f%% energy (paper 10.4%%), "
+                "+%.1f EDPSE points (paper 3.5)\n",
+                cut25, points[1].edpse - points[0].edpse);
+    bench::writeCsv("pointstudy_amortization", csv);
+
+    bool shape_ok = cut50 > cut25 && cut25 > 0.0 &&
+                    points[2].edpse > points[1].edpse &&
+                    points[1].edpse > points[0].edpse;
+    return shape_ok ? 0 : 1;
+}

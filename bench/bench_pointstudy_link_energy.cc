@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Regenerates the paper's §V-C interconnect-energy point study:
+ * on the 32-GPM on-board (1x-BW) design, scale the per-bit link
+ * energy by 2x and 4x while leaving bandwidth unchanged. The paper
+ * finds the EDPSE impact stays below 1% even at 4x — and that
+ * spending 4x link energy to buy 2x link bandwidth *raises* EDPSE by
+ * 8.8%, the "be locally inefficient to win globally" conclusion.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Interconnect energy sensitivity, 32-GPM on-board",
+                  "Section V-C point study (<1% EDPSE impact at 4x "
+                  "link energy; +8.8% EDPSE for 4x energy -> 2x BW)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    auto base_config = sim::multiGpmConfig(
+        32, sim::BwSetting::Bw1x, noc::Topology::Ring,
+        sim::IntegrationDomain::OnBoard);
+
+    TextTable table("EDPSE vs link energy scaling (bandwidth fixed)");
+    table.header({"link energy", "EDPSE", "delta vs 1x",
+                  "energy ratio"});
+    CsvWriter csv({"scale", "edpse", "energy_ratio"});
+
+    double edpse_base = 0.0, edpse_4x = 0.0;
+    for (double scale : {1.0, 2.0, 4.0}) {
+        auto points = harness::scalingStudy(runner, base_config,
+                                            workloads, scale);
+        double edpse =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        double energy = harness::meanOf(
+            points, &harness::ScalingPoint::energyRatio);
+        if (scale == 1.0)
+            edpse_base = edpse;
+        if (scale == 4.0)
+            edpse_4x = edpse;
+        char label[32];
+        std::snprintf(label, sizeof(label), "%.0fx (%.0f pJ/bit)",
+                      scale, 10.0 * scale);
+        table.addRow({label, TextTable::pct(edpse),
+                      TextTable::pct(edpse - edpse_base),
+                      TextTable::num(energy, 3)});
+        csv.addRow({TextTable::num(scale, 0),
+                    TextTable::num(edpse, 2),
+                    TextTable::num(energy, 3)});
+    }
+    table.print(std::cout);
+
+    double impact = edpse_base - edpse_4x;
+    std::printf("\nEDPSE impact of 4x link energy: %.2f points "
+                "(paper: below 1%%)\n",
+                impact);
+
+    // The trade: 4x link energy buying 2x link bandwidth.
+    auto traded_config = sim::multiGpmConfig(
+        32, sim::BwSetting::Bw2x, noc::Topology::Ring,
+        sim::IntegrationDomain::OnBoard);
+    auto traded = harness::scalingStudy(runner, traded_config,
+                                        workloads, 4.0);
+    double edpse_traded =
+        harness::meanOf(traded, &harness::ScalingPoint::edpse);
+    std::printf("4x link energy -> 2x bandwidth: EDPSE %.1f%% -> "
+                "%.1f%% (+%.1f points; paper: +8.8%%)\n",
+                edpse_base, edpse_traded, edpse_traded - edpse_base);
+    bench::writeCsv("pointstudy_link_energy", csv);
+
+    return (impact < 3.0 && edpse_traded > edpse_base) ? 0 : 1;
+}

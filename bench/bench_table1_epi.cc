@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates paper Table Ib: the EPI/EPT table of the Tesla K40,
+ * as recovered by the GPUJoule calibration pipeline (Figure 3)
+ * running against the virtual silicon through the NVML-like sensor.
+ *
+ * Output columns: the recovered value, the paper's published value,
+ * and the relative deviation. The paper validates GPUJoule "within
+ * 10% of real silicon"; the recovered table must stay within that.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "gpujoule/energy_table.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("GPUJoule calibrated EPI/EPT table",
+                  "Table Ib (energy of operations measured on HW)");
+
+    const auto &calib = bench::studyContext().calibration();
+    joule::EnergyTable paper = joule::paperTableIb();
+
+    std::printf("calibration: %u iteration(s), %s; Const_Power = "
+                "%.1f W; EP_stall = %.2f nJ/SM-cycle\n",
+                calib.iterations,
+                calib.converged ? "converged" : "NOT converged",
+                calib.constPower, calib.stallEnergy / units::nJ);
+
+    TextTable epi_table("PTX instruction EPIs (nJ/thread-instr)");
+    epi_table.header(
+        {"instruction", "recovered", "paper", "delta"});
+    CsvWriter csv({"kind", "name", "recovered_nJ", "paper_nJ",
+                   "delta_pct"});
+
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        if (isa::isMemory(op) || op == isa::Opcode::MOV32)
+            continue;
+        double recovered = calib.table.epi[i] / units::nJ;
+        double published = paper.epi[i] / units::nJ;
+        double delta = (recovered - published) / published * 100.0;
+        epi_table.addRow({isa::mnemonic(op),
+                          TextTable::num(recovered, 3),
+                          TextTable::num(published, 3),
+                          TextTable::pct(delta)});
+        csv.addRow({"epi", isa::mnemonic(op),
+                    TextTable::num(recovered, 4),
+                    TextTable::num(published, 4),
+                    TextTable::num(delta, 2)});
+    }
+    epi_table.print(std::cout);
+
+    TextTable ept_table(
+        "Data movement EPTs (nJ/transaction | pJ/bit)");
+    ept_table.header({"transaction", "recovered", "paper", "pJ/bit",
+                      "paper pJ/bit", "delta"});
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        auto level = static_cast<isa::TxnLevel>(i);
+        double recovered = calib.table.ept[i] / units::nJ;
+        double published = paper.ept[i] / units::nJ;
+        double delta = (recovered - published) / published * 100.0;
+        ept_table.addRow({isa::txnLevelName(level),
+                          TextTable::num(recovered, 2),
+                          TextTable::num(published, 2),
+                          TextTable::num(calib.table.pjPerBit(level), 2),
+                          TextTable::num(paper.pjPerBit(level), 2),
+                          TextTable::pct(delta)});
+        csv.addRow({"ept", isa::txnLevelName(level),
+                    TextTable::num(recovered, 3),
+                    TextTable::num(published, 3),
+                    TextTable::num(delta, 2)});
+    }
+    ept_table.print(std::cout);
+
+    double worst = joule::maxRelativeError(calib.table, paper) * 100.0;
+    std::printf("\nworst deviation vs published table: %.1f%% "
+                "(paper claims fidelity within 10%%)\n",
+                worst);
+    bench::writeCsv("table1_epi", csv);
+    return worst <= 10.0 ? 0 : 1;
+}

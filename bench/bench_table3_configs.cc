@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates paper Tables III and IV: the simulated multi-module
+ * configurations and the per-GPM I/O bandwidth settings, printed
+ * from the actual GpuConfig factories (so the table can never drift
+ * from what the simulations run).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "sim/gpu_config.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Simulated configurations",
+                  "Tables III and IV");
+
+    TextTable t3("Table III: simulated multi-module GPU "
+                 "configurations");
+    t3.header({"configuration", "modules", "total SMs", "L1/SM",
+               "total L2", "total DRAM BW"});
+    CsvWriter csv({"gpms", "sms", "l2_mib", "dram_gbps"});
+
+    auto add_row = [&](const sim::GpuConfig &config) {
+        unsigned n = config.gpmCount;
+        t3.addRow({std::to_string(n) + "-GPM", std::to_string(n),
+                   std::to_string(config.totalSms()),
+                   std::to_string(config.memory.l1BytesPerSm /
+                                  units::KiB) +
+                       " KB",
+                   std::to_string(config.memory.l2BytesPerGpm * n /
+                                  units::MiB) +
+                       " MB",
+                   TextTable::num(config.memory.dramBytesPerCycle * n,
+                                  0) +
+                       " GB/s"});
+        csv.addRow({std::to_string(n),
+                    std::to_string(config.totalSms()),
+                    std::to_string(config.memory.l2BytesPerGpm * n /
+                                   units::MiB),
+                    TextTable::num(config.memory.dramBytesPerCycle * n,
+                                   0)});
+    };
+
+    add_row(sim::baselineConfig());
+    for (unsigned n : sim::tableThreeGpmCounts())
+        add_row(sim::multiGpmConfig(n, sim::BwSetting::Bw2x));
+    t3.print(std::cout);
+
+    TextTable t4("Table IV: simulated per-GPM I/O bandwidth");
+    t4.header({"configuration", "inter-GPM BW", "inter-GPM:DRAM",
+               "integration domain"});
+    for (auto bw : sim::tableFourBwSettings()) {
+        double io = sim::bwSettingBytesPerCycle(bw);
+        double dram = sim::baselineConfig().memory.dramBytesPerCycle;
+        std::string ratio =
+            io < dram ? "1:" + TextTable::num(dram / io, 0)
+                      : TextTable::num(io / dram, 0) + ":1";
+        t4.addRow({sim::bwSettingName(bw),
+                   TextTable::num(io, 0) + " GB/s", ratio,
+                   sim::domainName(sim::defaultDomainFor(bw))});
+    }
+    t4.print(std::cout);
+
+    bench::writeCsv("table3_configs", csv);
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mmgpu::bench
+{
+
+harness::StudyContext &
+studyContext()
+{
+    static harness::StudyContext context;
+    return context;
+}
+
+harness::ScalingRunner
+makeRunner()
+{
+    return harness::ScalingRunner(studyContext());
+}
+
+void
+writeCsv(const std::string &name, const CsvWriter &csv)
+{
+    std::string path = name + ".csv";
+    if (csv.writeTo(path))
+        std::printf("[csv] %s\n", path.c_str());
+}
+
+void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::printf("\n================================================"
+                "====================\n");
+    std::printf("%s\n", what.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("=================================================="
+                "==================\n");
+}
+
+} // namespace mmgpu::bench

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared scaffolding for the per-figure bench binaries.
+ *
+ * Every bench regenerates one table or figure of the paper: it runs
+ * the relevant simulations through a calibrated StudyContext, prints
+ * the series as an aligned text table (with the paper's reported
+ * values alongside where the paper states them), and drops a CSV next
+ * to the binary for re-plotting.
+ */
+
+#ifndef MMGPU_BENCH_BENCH_UTIL_HH
+#define MMGPU_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+#include "harness/study.hh"
+#include "harness/validation.hh"
+
+namespace mmgpu::bench
+{
+
+/** Calibrate once per process and hand out the shared context. */
+harness::StudyContext &studyContext();
+
+/** A fresh memoizing runner bound to the shared context. */
+harness::ScalingRunner makeRunner();
+
+/**
+ * Write @p csv to "<name>.csv" in the current directory (benches are
+ * run from the build tree); failures only warn.
+ */
+void writeCsv(const std::string &name, const CsvWriter &csv);
+
+/** Print the standard bench banner. */
+void banner(const std::string &what, const std::string &paper_ref);
+
+} // namespace mmgpu::bench
+
+#endif // MMGPU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Scenario: a datacenter operator evaluating a multi-module GPU
+ * upgrade under a fixed energy budget (the paper's motivating
+ * setting: "professional datacenters often operate at near peak
+ * energy thresholds").
+ *
+ * The operator's fleet runs a mixed HPC batch (here: the paper's
+ * memory-intensive workloads). The question: which GPM count and
+ * interconnect keeps the *energy to solution* within 20% of today's
+ * single-GPU nodes while maximizing speedup?
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/study.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf("datacenter upgrade study: max speedup within a "
+                "+20%% energy envelope\n\n");
+
+    harness::StudyContext context;
+    harness::ScalingRunner runner(context);
+
+    // The batch mix: the paper's memory-bandwidth-bound applications
+    // (these stress the NUMA behaviour hardest).
+    std::vector<trace::KernelProfile> batch;
+    for (const auto &profile : trace::scalingWorkloads())
+        if (profile.cls == trace::WorkloadClass::Memory)
+            batch.push_back(profile);
+    std::printf("batch: %zu memory-intensive workloads\n\n",
+                batch.size());
+
+    struct Candidate
+    {
+        std::string name;
+        sim::GpuConfig config;
+    };
+    std::vector<Candidate> candidates;
+    for (unsigned n : {4u, 8u, 16u}) {
+        candidates.push_back(
+            {std::to_string(n) + "-GPM ring/2x-BW on-package",
+             sim::multiGpmConfig(n, sim::BwSetting::Bw2x)});
+        candidates.push_back(
+            {std::to_string(n) + "-GPM switch/1x-BW on-board",
+             sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
+                                 noc::Topology::Switch,
+                                 sim::IntegrationDomain::OnBoard)});
+    }
+
+    std::printf("%-36s %9s %9s %8s %s\n", "candidate", "speedup",
+                "energy", "EDPSE", "fits envelope?");
+    std::string best;
+    double best_speedup = 0.0;
+    for (const auto &candidate : candidates) {
+        auto points =
+            harness::scalingStudy(runner, candidate.config, batch);
+        double speedup = harness::meanOf(
+            points, &harness::ScalingPoint::speedup);
+        double energy = harness::meanOf(
+            points, &harness::ScalingPoint::energyRatio);
+        double edpse =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        bool fits = energy <= 1.20;
+        std::printf("%-36s %8.2fx %8.2fx %7.1f%% %s\n",
+                    candidate.name.c_str(), speedup, energy, edpse,
+                    fits ? "yes" : "no");
+        if (fits && speedup > best_speedup) {
+            best_speedup = speedup;
+            best = candidate.name;
+        }
+    }
+
+    if (best.empty()) {
+        std::printf("\nno candidate fits the envelope — the fleet "
+                    "stays monolithic.\n");
+    } else {
+        std::printf("\nrecommendation: %s (%.2fx speedup within the "
+                    "energy envelope)\n",
+                    best.c_str(), best_speedup);
+    }
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scenario: an interconnect architect exploring the topology /
+ * bandwidth / link-energy design space for a 32-GPM GPU — the
+ * paper's §V-C questions, interactively:
+ *
+ *  - how much does a high-radix switch buy over a ring?
+ *  - is it ever worth paying more pJ/bit for more bandwidth?
+ *  - where does the energy actually go in each design?
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/study.hh"
+
+using namespace mmgpu;
+
+namespace
+{
+
+void
+explain(const char *name, harness::ScalingRunner &runner,
+        const sim::GpuConfig &config, double link_scale = 1.0)
+{
+    const auto &workloads = trace::scalingWorkloads();
+    auto points = harness::scalingStudy(runner, config, workloads,
+                                        link_scale);
+
+    // Aggregate the energy decomposition over the suite.
+    joule::EnergyBreakdown sum;
+    for (const auto &workload : workloads) {
+        const auto &run = runner.run(config, workload, link_scale);
+        sum.smBusy += run.energy.smBusy;
+        sum.smIdle += run.energy.smIdle;
+        sum.constant += run.energy.constant;
+        sum.shmToReg += run.energy.shmToReg;
+        sum.l1ToReg += run.energy.l1ToReg;
+        sum.l2ToL1 += run.energy.l2ToL1;
+        sum.dramToL2 += run.energy.dramToL2;
+        sum.interModule += run.energy.interModule;
+    }
+    double total = sum.total();
+    std::printf("%-34s EDPSE %5.1f%%  speedup %5.2fx  energy %5.2fx\n",
+                name,
+                harness::meanOf(points, &harness::ScalingPoint::edpse),
+                harness::meanOf(points,
+                                &harness::ScalingPoint::speedup),
+                harness::meanOf(points,
+                                &harness::ScalingPoint::energyRatio));
+    std::printf("    where the energy goes: busy %.0f%% | idle %.0f%%"
+                " | constant %.0f%% | caches %.0f%% | DRAM %.0f%% | "
+                "inter-GPM %.1f%%\n",
+                sum.smBusy / total * 100.0, sum.smIdle / total * 100.0,
+                sum.constant / total * 100.0,
+                (sum.shmToReg + sum.l1ToReg + sum.l2ToL1) / total *
+                    100.0,
+                sum.dramToL2 / total * 100.0,
+                sum.interModule / total * 100.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+    std::printf("interconnect design space for a 32-GPM GPU "
+                "(14-workload suite)\n\n");
+
+    harness::StudyContext context;
+    harness::ScalingRunner runner(context);
+
+    using sim::BwSetting;
+    using sim::IntegrationDomain;
+
+    explain("ring / 1x-BW / on-board", runner,
+            sim::multiGpmConfig(32, BwSetting::Bw1x,
+                                noc::Topology::Ring,
+                                IntegrationDomain::OnBoard));
+    explain("switch / 1x-BW / on-board", runner,
+            sim::multiGpmConfig(32, BwSetting::Bw1x,
+                                noc::Topology::Switch,
+                                IntegrationDomain::OnBoard));
+    explain("ring / 2x-BW / on-package", runner,
+            sim::multiGpmConfig(32, BwSetting::Bw2x));
+    explain("ring / 4x-BW / on-package", runner,
+            sim::multiGpmConfig(32, BwSetting::Bw4x));
+    std::printf("\nnow the counter-intuitive trade (paper §V-C): pay "
+                "4x the pJ/bit for 2x the bandwidth:\n");
+    explain("ring / 2x-BW / 4x link energy", runner,
+            sim::multiGpmConfig(32, BwSetting::Bw2x,
+                                noc::Topology::Ring,
+                                IntegrationDomain::OnBoard),
+            4.0);
+
+    std::printf("\ntakeaway: bandwidth and topology dominate; the "
+                "intrinsic pJ/bit of the link barely registers.\n");
+    return 0;
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * mmgpu_cli — command-line driver for one-off design-point queries.
+ *
+ * Runs any catalog workload (or the whole scaling suite) on any
+ * machine configuration and prints performance, the Eq. 4 energy
+ * decomposition, and EDPSE against the 1-GPM baseline.
+ *
+ *   mmgpu_cli --workload Stream --gpms 8 --bw 2x
+ *   mmgpu_cli --workload all --gpms 32 --bw 1x --topology switch \
+ *             --domain board
+ *   mmgpu_cli --list
+ *
+ * Options:
+ *   --workload <name|all>   Table II abbreviation (default Stream)
+ *   --gpms <1|2|4|8|16|32>  module count (default 4)
+ *   --bw <1x|2x|4x>         Table IV bandwidth setting (default 2x)
+ *   --topology <ring|switch>
+ *   --domain <package|board>  (default follows the bandwidth setting)
+ *   --placement <first-touch|striped>
+ *   --cta-sched <distributed|round-robin>
+ *   --link-energy-scale <f> multiplier on link pJ/bit
+ *   --list                  list catalog workloads and exit
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/study.hh"
+
+using namespace mmgpu;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload <name|all>] [--gpms N] "
+                 "[--bw 1x|2x|4x]\n"
+                 "          [--topology ring|switch] "
+                 "[--domain package|board]\n"
+                 "          [--placement first-touch|striped]\n"
+                 "          [--cta-sched distributed|round-robin]\n"
+                 "          [--link-energy-scale F] [--list]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+printRun(const harness::RunOutcome &run, const harness::RunOutcome *base,
+         unsigned gpms)
+{
+    const auto &perf = run.perf;
+    const auto &energy = run.energy;
+    std::printf("%-12s time %9.1f us  energy %8.2f mJ  IPC %6.1f  "
+                "remote %4.1f%%",
+                perf.workloadName.c_str(), perf.execSeconds / units::us,
+                energy.total() / units::mJ, perf.ipc(),
+                perf.remoteFraction() * 100.0);
+    if (base) {
+        double edpse =
+            metrics::edpse(base->point(), run.point(), gpms);
+        std::printf("  speedup %6.2fx  EDPSE %6.1f%%",
+                    base->perf.execSeconds / perf.execSeconds, edpse);
+    }
+    std::printf("\n");
+    double total = energy.total();
+    std::printf("             energy: busy %4.1f%% | idle %4.1f%% | "
+                "const %4.1f%% | shm %4.1f%% | L1 %4.1f%% | "
+                "L2 %4.1f%% | DRAM %4.1f%% | link %4.2f%%\n",
+                energy.smBusy / total * 100.0,
+                energy.smIdle / total * 100.0,
+                energy.constant / total * 100.0,
+                energy.shmToReg / total * 100.0,
+                energy.l1ToReg / total * 100.0,
+                energy.l2ToL1 / total * 100.0,
+                energy.dramToL2 / total * 100.0,
+                energy.interModule / total * 100.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+
+    std::string workload = "Stream";
+    unsigned gpms = 4;
+    sim::BwSetting bw = sim::BwSetting::Bw2x;
+    noc::Topology topology = noc::Topology::Ring;
+    int domain = -1; // -1: follow the bandwidth setting
+    sim::PlacementPolicy placement =
+        sim::PlacementPolicy::FirstTouchOwner;
+    sm::CtaSchedPolicy cta_sched = sm::CtaSchedPolicy::Distributed;
+    double link_scale = 1.0;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(argv[0]);
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--list")) {
+            std::printf("%-12s %-5s %-10s %s\n", "name", "class",
+                        "footprint", "launches");
+            for (const auto &profile : trace::allWorkloads())
+                std::printf("%-12s %-5s %7.1f MB %8u\n",
+                            profile.name.c_str(),
+                            trace::workloadClassName(profile.cls),
+                            static_cast<double>(profile.footprint()) /
+                                units::MiB,
+                            profile.launches);
+            return 0;
+        } else if (!std::strcmp(argv[i], "--workload")) {
+            workload = need("--workload");
+        } else if (!std::strcmp(argv[i], "--gpms")) {
+            gpms = static_cast<unsigned>(std::atoi(need("--gpms")));
+        } else if (!std::strcmp(argv[i], "--bw")) {
+            std::string v = need("--bw");
+            if (v == "1x")
+                bw = sim::BwSetting::Bw1x;
+            else if (v == "2x")
+                bw = sim::BwSetting::Bw2x;
+            else if (v == "4x")
+                bw = sim::BwSetting::Bw4x;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--topology")) {
+            std::string v = need("--topology");
+            if (v == "ring")
+                topology = noc::Topology::Ring;
+            else if (v == "switch")
+                topology = noc::Topology::Switch;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--domain")) {
+            std::string v = need("--domain");
+            if (v == "package")
+                domain = 0;
+            else if (v == "board")
+                domain = 1;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--placement")) {
+            std::string v = need("--placement");
+            if (v == "first-touch")
+                placement = sim::PlacementPolicy::FirstTouchOwner;
+            else if (v == "striped")
+                placement = sim::PlacementPolicy::Striped;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--cta-sched")) {
+            std::string v = need("--cta-sched");
+            if (v == "distributed")
+                cta_sched = sm::CtaSchedPolicy::Distributed;
+            else if (v == "round-robin")
+                cta_sched = sm::CtaSchedPolicy::RoundRobin;
+            else
+                usage(argv[0]);
+        } else if (!std::strcmp(argv[i], "--link-energy-scale")) {
+            link_scale = std::atof(need("--link-energy-scale"));
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    sim::IntegrationDomain dom =
+        domain < 0 ? sim::defaultDomainFor(bw)
+        : domain == 0 ? sim::IntegrationDomain::OnPackage
+                      : sim::IntegrationDomain::OnBoard;
+
+    sim::GpuConfig config;
+    if (gpms <= 1) {
+        config = sim::baselineConfig();
+    } else {
+        config = sim::multiGpmConfig(gpms, bw, topology, dom);
+        config.placement = placement;
+        config.ctaScheduling = cta_sched;
+    }
+    std::printf("design point: %s (placement %s, CTA scheduling %s)\n",
+                config.name.c_str(),
+                sim::placementPolicyName(config.placement),
+                sm::ctaSchedPolicyName(config.ctaScheduling));
+    std::printf("calibrating GPUJoule...\n\n");
+
+    harness::StudyContext context;
+    harness::ScalingRunner runner(context);
+
+    std::vector<trace::KernelProfile> workloads;
+    if (workload == "all") {
+        workloads = trace::scalingWorkloads();
+    } else {
+        auto found = trace::findWorkload(workload);
+        if (!found) {
+            std::fprintf(stderr,
+                         "unknown workload '%s' (try --list)\n",
+                         workload.c_str());
+            return 2;
+        }
+        workloads.push_back(*found);
+    }
+
+    for (const auto &profile : workloads) {
+        const harness::RunOutcome *base = nullptr;
+        if (gpms > 1)
+            base = &runner.run(sim::baselineConfig(), profile);
+        const auto &run =
+            runner.run(config, profile, link_scale);
+        printRun(run, base, gpms);
+    }
+    return 0;
+}

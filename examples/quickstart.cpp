@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: the five-minute tour of the framework.
+ *
+ *  1. Calibrate GPUJoule against the virtual K40-class device
+ *     (paper Figure 3) — one line via StudyContext.
+ *  2. Pick a workload from the Table II catalog.
+ *  3. Simulate it on the 1-GPM baseline and on a 4-GPM on-package
+ *     GPU.
+ *  4. Estimate energy with the calibrated model and compare the two
+ *     designs with EDPSE.
+ */
+
+#include <cstdio>
+
+#include "harness/study.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    // 1. Calibration (runs the microbenchmark suite through the
+    //    simulated power sensor; takes a moment).
+    std::printf("calibrating GPUJoule against the virtual K40...\n");
+    harness::StudyContext context;
+    const auto &calib = context.calibration();
+    std::printf("  -> Const_Power = %.1f W, EP_stall = %.2f nJ, "
+                "%u iteration(s)\n\n",
+                calib.constPower, calib.stallEnergy / units::nJ,
+                calib.iterations);
+
+    // 2. A workload: the STREAM triad from the catalog.
+    auto workload = trace::findWorkload("Stream");
+    if (!workload) {
+        std::fprintf(stderr, "catalog is missing Stream?!\n");
+        return 1;
+    }
+
+    // 3. Two designs: the 1-GPM baseline and a 4-GPM on-package GPU.
+    harness::ScalingRunner runner(context);
+    const auto &one =
+        runner.run(sim::baselineConfig(), *workload);
+    const auto &four = runner.run(
+        sim::multiGpmConfig(4, sim::BwSetting::Bw2x), *workload);
+
+    auto report = [](const char *name, const harness::RunOutcome &r) {
+        std::printf("%-28s time %8.1f us   energy %7.2f mJ   "
+                    "(const %4.1f%%, DRAM %4.1f%%, IPC %.1f)\n",
+                    name, r.perf.execSeconds / units::us,
+                    r.energy.total() / units::mJ,
+                    r.energy.constant / r.energy.total() * 100.0,
+                    r.energy.dramToL2 / r.energy.total() * 100.0,
+                    r.perf.ipc());
+    };
+    report("1-GPM baseline:", one);
+    report("4-GPM / 2x-BW on-package:", four);
+
+    // 4. Is the 4-GPM design a good use of 4x the hardware?
+    double edpse = metrics::edpse(one.point(), four.point(), 4);
+    std::printf("\nEDP Scaling Efficiency of the 4-GPM design: "
+                "%.1f%%\n",
+                edpse);
+    std::printf("(100%% = linear EDP scaling; the paper argues "
+                "designs should clear ~50%%.)\n");
+    return 0;
+}

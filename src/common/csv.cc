@@ -1,0 +1,66 @@
+#include "common/csv.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu
+{
+
+namespace
+{
+
+/** RFC-4180-ish escaping: quote cells containing separators/quotes. */
+std::string
+escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    mmgpu_assert(cells.size() == header_.size(),
+                 "CSV row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+bool
+CsvWriter::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write CSV to ", path);
+        return false;
+    }
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                out << ",";
+            out << escape(cells[c]);
+        }
+        out << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return static_cast<bool>(out);
+}
+
+} // namespace mmgpu

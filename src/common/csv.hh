@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV emission for bench outputs.
+ *
+ * Each bench writes its data series as CSV next to the human-readable
+ * table so results can be re-plotted without re-running experiments.
+ */
+
+#ifndef MMGPU_COMMON_CSV_HH
+#define MMGPU_COMMON_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace mmgpu
+{
+
+/** Accumulates rows and writes them to a file on demand. */
+class CsvWriter
+{
+  public:
+    /** @param header Column names. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row; width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Write the accumulated rows to @p path.
+     * @return true on success; failure is reported via warn() so a
+     *         read-only filesystem never aborts an experiment run.
+     */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_CSV_HH

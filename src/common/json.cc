@@ -1,0 +1,142 @@
+#include "common/json.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu
+{
+
+namespace
+{
+
+void
+writeEscaped(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (char ch : text) {
+        switch (ch) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                os << "\\u" << std::hex << std::setw(4)
+                   << std::setfill('0') << static_cast<int>(ch)
+                   << std::dec << std::setfill(' ');
+            } else {
+                os << ch;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+indentTo(std::ostream &os, int level)
+{
+    for (int i = 0; i < level; ++i)
+        os << "  ";
+}
+
+} // namespace
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue child)
+{
+    auto *object = std::get_if<Object>(&value);
+    mmgpu_assert(object != nullptr, "set() on a non-object JSON value");
+    (*object)[key] = std::move(child);
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue child)
+{
+    auto *array = std::get_if<Array>(&value);
+    mmgpu_assert(array != nullptr, "push() on a non-array JSON value");
+    array->push_back(std::move(child));
+    return *this;
+}
+
+void
+JsonValue::write(std::ostream &os, int indent) const
+{
+    if (std::holds_alternative<std::nullptr_t>(value)) {
+        os << "null";
+    } else if (auto *b = std::get_if<bool>(&value)) {
+        os << (*b ? "true" : "false");
+    } else if (auto *d = std::get_if<double>(&value)) {
+        if (!std::isfinite(*d)) {
+            os << "null"; // JSON has no Inf/NaN
+        } else if (*d == std::floor(*d) && std::abs(*d) < 1e15) {
+            os << static_cast<long long>(*d);
+        } else {
+            std::ostringstream tmp;
+            tmp << std::setprecision(12) << *d;
+            os << tmp.str();
+        }
+    } else if (auto *s = std::get_if<std::string>(&value)) {
+        writeEscaped(os, *s);
+    } else if (auto *object = std::get_if<Object>(&value)) {
+        if (object->empty()) {
+            os << "{}";
+            return;
+        }
+        os << "{\n";
+        bool first = true;
+        for (const auto &[key, child] : *object) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            indentTo(os, indent + 1);
+            writeEscaped(os, key);
+            os << ": ";
+            child.write(os, indent + 1);
+        }
+        os << "\n";
+        indentTo(os, indent);
+        os << "}";
+    } else if (auto *array = std::get_if<Array>(&value)) {
+        if (array->empty()) {
+            os << "[]";
+            return;
+        }
+        os << "[\n";
+        bool first = true;
+        for (const auto &child : *array) {
+            if (!first)
+                os << ",\n";
+            first = false;
+            indentTo(os, indent + 1);
+            child.write(os, indent + 1);
+        }
+        os << "\n";
+        indentTo(os, indent);
+        os << "]";
+    }
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+} // namespace mmgpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal JSON emission.
+ *
+ * Benches and the harness export machine-readable reports so results
+ * can be post-processed without scraping text tables. Writing-only
+ * (the framework never parses JSON), so the surface is a small
+ * value-builder with correct escaping and deterministic key order.
+ */
+
+#ifndef MMGPU_COMMON_JSON_HH
+#define MMGPU_COMMON_JSON_HH
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mmgpu
+{
+
+/** An immutable JSON value tree. */
+class JsonValue
+{
+  public:
+    /** Construct null. */
+    JsonValue() : value(nullptr) {}
+
+    /** Construct from primitives. */
+    JsonValue(std::nullptr_t) : value(nullptr) {}
+    JsonValue(bool b) : value(b) {}
+    JsonValue(double d) : value(d) {}
+    JsonValue(int i) : value(static_cast<double>(i)) {}
+    JsonValue(unsigned u) : value(static_cast<double>(u)) {}
+    JsonValue(long long v) : value(static_cast<double>(v)) {}
+    JsonValue(unsigned long v) : value(static_cast<double>(v)) {}
+    JsonValue(unsigned long long v) : value(static_cast<double>(v)) {}
+    JsonValue(const char *s) : value(std::string(s)) {}
+    JsonValue(std::string s) : value(std::move(s)) {}
+
+    /** Build an object incrementally. */
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v.value = Object{};
+        return v;
+    }
+
+    /** Build an array incrementally. */
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v.value = Array{};
+        return v;
+    }
+
+    /** Set a key on an object (fatal on non-objects). */
+    JsonValue &set(const std::string &key, JsonValue child);
+
+    /** Append to an array (fatal on non-arrays). */
+    JsonValue &push(JsonValue child);
+
+    /** Serialize with 2-space indentation. */
+    void write(std::ostream &os, int indent = 0) const;
+
+    /** Serialize to a string. */
+    std::string dump() const;
+
+  private:
+    using Object = std::map<std::string, JsonValue>;
+    using Array = std::vector<JsonValue>;
+    std::variant<std::nullptr_t, bool, double, std::string, Object,
+                 Array>
+        value;
+};
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_JSON_HH

@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mmgpu
+{
+
+namespace
+{
+bool informEnabled = true;
+} // namespace
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (informEnabled)
+        std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace mmgpu

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Everything stochastic in the framework (trace generation, sensor
+ * noise, address patterns) draws from seeded xoshiro256** streams so
+ * that identical configurations yield bit-identical results on every
+ * platform. std::mt19937 is avoided because distribution
+ * implementations vary across standard libraries.
+ */
+
+#ifndef MMGPU_COMMON_RNG_HH
+#define MMGPU_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace mmgpu
+{
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+ * Small, fast, and statistically strong for simulation purposes.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; any value (including 0) is fine. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<__uint128_t>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Standard normal draw (Marsaglia polar method).
+     * Used only for sensor noise; no cached second value is kept so
+     * the stream position is easy to reason about in tests.
+     */
+    double
+    gaussian()
+    {
+        double u, v, s;
+        do {
+            u = 2.0 * uniform() - 1.0;
+            v = 2.0 * uniform() - 1.0;
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+
+    /**
+     * Derive an independent child stream. Used to give every
+     * (workload, block, warp) tuple its own reproducible stream no
+     * matter the simulation interleaving.
+     */
+    Rng
+    fork(std::uint64_t salt) const
+    {
+        return Rng(state[0] ^ (salt * 0xd1342543de82ef95ull) ^ state[3]);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_RNG_HH

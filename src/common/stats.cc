@@ -1,0 +1,40 @@
+#include "common/stats.hh"
+
+namespace mmgpu
+{
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : distributions_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << name_ << "." << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : distributions_) {
+        os << name_ << "." << kv.first << ".mean " << kv.second.mean()
+           << "\n";
+        os << name_ << "." << kv.first << ".count " << kv.second.count()
+           << "\n";
+    }
+}
+
+Count
+sumCounter(const std::vector<const StatGroup *> &groups,
+           const std::string &key)
+{
+    Count total = 0;
+    for (const auto *group : groups) {
+        mmgpu_assert(group != nullptr, "null StatGroup in aggregation");
+        total += group->read(key);
+    }
+    return total;
+}
+
+} // namespace mmgpu

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Simulator components register named scalar counters and
+ * distributions with a StatGroup. Reports and the energy model read
+ * event counts from here, so the counter names double as the contract
+ * between the performance simulator and GPUJoule.
+ */
+
+#ifndef MMGPU_COMMON_STATS_HH
+#define MMGPU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace mmgpu
+{
+
+/** A named monotonically increasing event counter. */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    /** Add @p n events. */
+    void add(Count n = 1) { value_ += n; }
+
+    /** Current value. */
+    Count value() const { return value_; }
+
+    /** Reset to zero (between kernels / runs). */
+    void reset() { value_ = 0; }
+
+  private:
+    Count value_ = 0;
+};
+
+/** Streaming mean/min/max/sum accumulator for sampled quantities. */
+class StatDistribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        count_ += 1;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+    }
+
+    /** Number of samples recorded. */
+    Count count() const { return count_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of all samples; 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = 0.0;
+        max_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    Count count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A registry of named counters/distributions owned by one simulated
+ * component (an SM, a cache, a link, the whole GPU).
+ */
+class StatGroup
+{
+  public:
+    /** @param name Hierarchical component name, e.g. "gpm0.l2". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Component name. */
+    const std::string &name() const { return name_; }
+
+    /**
+     * Get-or-create a counter.
+     * @param key Counter name local to this group.
+     */
+    StatCounter &counter(const std::string &key) { return counters_[key]; }
+
+    /** Get-or-create a distribution. */
+    StatDistribution &
+    distribution(const std::string &key)
+    {
+        return distributions_[key];
+    }
+
+    /** Read a counter value; 0 if never created. */
+    Count
+    read(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Reset every counter and distribution in the group. */
+    void reset();
+
+    /** Dump "group.key value" lines. */
+    void dump(std::ostream &os) const;
+
+    /** All counters, for aggregation. */
+    const std::map<std::string, StatCounter> &
+    counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, StatCounter> counters_;
+    std::map<std::string, StatDistribution> distributions_;
+};
+
+/**
+ * Sum the value of counter @p key across many groups.
+ * Convenience for whole-GPU aggregation across SMs/GPMs.
+ */
+Count sumCounter(const std::vector<const StatGroup *> &groups,
+                 const std::string &key);
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_STATS_HH

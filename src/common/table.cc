@@ -1,0 +1,79 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    mmgpu_assert(rows_.empty(), "header() after addRow()");
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    mmgpu_assert(cells.size() == header_.size(),
+                 "row width ", cells.size(), " != header width ",
+                 header_.size(), " in table '", title_, "'");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::pct(double v)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << v << "%";
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        os << "+";
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        os << "\n";
+    };
+
+    os << "\n== " << title_ << " ==\n";
+    rule();
+    os << std::left;
+    line(header_);
+    os << std::right;
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+} // namespace mmgpu

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ASCII table rendering for bench binaries.
+ *
+ * Every bench target prints its paper figure/table as an aligned text
+ * table (plus CSV via csv.hh). Keeping the renderer here keeps all
+ * figures visually consistent.
+ */
+
+#ifndef MMGPU_COMMON_TABLE_HH
+#define MMGPU_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mmgpu
+{
+
+/** Column-aligned text table with a title and header row. */
+class TextTable
+{
+  public:
+    /** @param title Caption printed above the table. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. Must be called before addRow(). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage with one decimal. */
+    static std::string pct(double v);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_TABLE_HH

@@ -1,0 +1,190 @@
+#include "gpujoule/calibration.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gpujoule/energy_model.hh"
+
+namespace mmgpu::joule
+{
+
+namespace
+{
+
+/** Warm-up margin before the measured ROI begins. */
+constexpr Seconds warmup = 0.2;
+
+} // namespace
+
+Calibrator::Calibrator(const power::SiliconGpu &dev, DeviceSpec s,
+                       std::uint64_t sensor_seed)
+    : device(&dev), spec(s), sensor(power::SensorSpec{}, sensor_seed),
+      meter(sensor)
+{
+}
+
+Watts
+Calibrator::measureBench(const Microbench &bench, Seconds roi)
+{
+    power::ActivityRates rates = bench.activityOn(spec);
+    Watts true_power = device->kernelPower(rates);
+
+    power::PowerTimeline timeline;
+    timeline.addPhase(warmup, device->idlePower());
+    timeline.addPhase(warmup + roi + warmup, true_power);
+    return meter.measureSteadyPower(timeline, 2.0 * warmup,
+                                    2.0 * warmup + roi);
+}
+
+Watts
+Calibrator::measureIdle(Seconds roi)
+{
+    power::PowerTimeline timeline;
+    timeline.addPhase(warmup + roi + warmup, device->idlePower());
+    return meter.measureSteadyPower(timeline, warmup, warmup + roi);
+}
+
+CalibrationResult
+Calibrator::calibrate(const CalibrationSettings &settings)
+{
+    CalibrationResult result;
+    Seconds roi = settings.initialRoi;
+
+    const auto compute_benches = computeSuite();
+    const auto memory_benches = memorySuite();
+    const auto validation_benches = validationSuite();
+    const Microbench stall_bench = stallBench();
+
+    for (unsigned iter = 1; iter <= settings.maxIterations; ++iter) {
+        result.iterations = iter;
+
+        // Step 1a: Const_Power from the idle device.
+        result.constPower = measureIdle(roi);
+
+        // Step 1b: compute EPIs per Eq. 5 — the measured power delta
+        // divided by the (thread-level) instruction rate.
+        for (const auto &bench : compute_benches) {
+            mmgpu_assert(bench.targetOp.has_value(),
+                         "compute bench without target");
+            Watts active = measureBench(bench, roi);
+            double rate = spec.instrRate(*bench.targetOp);
+            Joules epi = (active - result.constPower) / rate;
+            result.table.epi[static_cast<std::size_t>(
+                *bench.targetOp)] = epi > 0.0 ? epi : 0.0;
+        }
+        // Memory opcodes execute as MOV-class pipeline operations;
+        // their data movement is what the EPTs charge.
+        auto mov_epi = result.table.epiOf(isa::Opcode::MOV32);
+        for (auto op : {isa::Opcode::LD_GLOBAL, isa::Opcode::ST_GLOBAL,
+                        isa::Opcode::LD_SHARED,
+                        isa::Opcode::ST_SHARED}) {
+            result.table.epi[static_cast<std::size_t>(op)] = mov_epi;
+        }
+
+        // Step 1c: data-movement EPTs, hierarchically stripped: the
+        // L2 chase also moves lines into registers (L1ToReg), and
+        // the DRAM chase additionally crosses the L2<->L1 edge, so
+        // already-derived upstream EPTs are subtracted first.
+        const double sectors = static_cast<double>(
+            isa::cacheLineBytes / isa::sectorBytes);
+        for (const auto &bench : memory_benches) {
+            mmgpu_assert(bench.targetLevel.has_value(),
+                         "memory bench without target level");
+            isa::TxnLevel level = *bench.targetLevel;
+            Watts active = measureBench(bench, roi);
+            double access_rate = spec.accessRate(level);
+            double delta = active - result.constPower;
+
+            double txn_rate;
+            switch (level) {
+              case isa::TxnLevel::SharedToReg:
+              case isa::TxnLevel::L1ToReg:
+                txn_rate = access_rate;
+                break;
+              case isa::TxnLevel::L2ToL1:
+                delta -= access_rate *
+                         result.table.eptOf(isa::TxnLevel::L1ToReg);
+                txn_rate = access_rate * sectors;
+                break;
+              case isa::TxnLevel::DramToL2:
+                delta -= access_rate *
+                         result.table.eptOf(isa::TxnLevel::L1ToReg);
+                delta -= access_rate * sectors *
+                         result.table.eptOf(isa::TxnLevel::L2ToL1);
+                txn_rate = access_rate * sectors;
+                break;
+              default:
+                mmgpu_panic("bad txn level");
+            }
+            Joules ept = delta / txn_rate;
+            result.table.ept[static_cast<std::size_t>(level)] =
+                ept > 0.0 ? ept : 0.0;
+        }
+
+        // Step 1d: EP_stall from the low-occupancy bench — subtract
+        // the known compute contribution, divide by the stall rate.
+        {
+            Watts active = measureBench(stall_bench, roi);
+            power::ActivityRates rates = stall_bench.activityOn(spec);
+            double compute_power =
+                rates.instrRates[static_cast<std::size_t>(
+                    isa::Opcode::FADD32)] *
+                result.table.epiOf(isa::Opcode::FADD32);
+            Joules stall =
+                (active - result.constPower - compute_power) /
+                rates.stallRate;
+            result.stallEnergy = stall > 0.0 ? stall : 0.0;
+        }
+
+        // Steps 2+3: validate the assembled model on the mixed
+        // microbenchmarks (Fig. 4a).
+        result.validation.clear();
+        double worst = 0.0;
+        for (const auto &bench : validation_benches) {
+            power::ActivityRates rates = bench.activityOn(spec);
+            Seconds duration = roi;
+
+            // Modeled energy: Eq. 4 on the bench's event counts.
+            EnergyInputs inputs;
+            for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+                inputs.warpInstrs[i] = static_cast<Count>(
+                    rates.instrRates[i] * duration / isa::warpSize);
+            }
+            for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+                inputs.txns[i] = static_cast<Count>(
+                    rates.txnRates[i] * duration);
+            }
+            inputs.execTime = duration;
+            inputs.gpmCount = 1;
+
+            EnergyParams params;
+            params.table = result.table;
+            params.stallEnergyPerSmCycle = result.stallEnergy;
+            params.constPowerPerGpm = result.constPower;
+
+            ValidationPoint point;
+            point.name = bench.name;
+            point.modeled = estimate(inputs, params).total();
+            point.measured = measureBench(bench, roi) * duration;
+            result.validation.push_back(point);
+            worst = std::max(worst,
+                             std::abs(point.relativeError()));
+        }
+
+        // Step 4: accuracy achieved?
+        if (worst <= settings.accuracyTarget) {
+            result.converged = true;
+            return result;
+        }
+        roi *= settings.roiGrowth;
+    }
+
+    result.converged = false;
+    warn("GPUJoule calibration did not reach ",
+         settings.accuracyTarget * 100.0,
+         "% on the validation microbenchmarks after ",
+         result.iterations, " iterations");
+    return result;
+}
+
+} // namespace mmgpu::joule

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The GPUJoule calibration pipeline (paper Figure 3).
+ *
+ * Steps, exactly as the paper's flow chart:
+ *  1. Run the compute and data-movement microbenchmarks on the
+ *     device, measuring steady-state power through the on-board
+ *     sensor, and derive EPIs/EPTs per Eq. 5 (data-movement levels
+ *     are stripped hierarchically: the L2 figure subtracts the
+ *     already-derived L1 contribution, and so on).
+ *  2. Assemble the initial energy model.
+ *  3. Run mixed-instruction validation microbenchmarks; compare
+ *     modeled vs measured energy.
+ *  4. If accuracy is not achieved, refine: lengthen the measurement
+ *     ROI (averaging down sensor noise and quantization dither) and
+ *     re-derive, up to a bounded number of iterations.
+ *
+ * The calibrator can only observe the device through the sensor —
+ * it never reads the silicon's hidden coefficients.
+ */
+
+#ifndef MMGPU_GPUJOULE_CALIBRATION_HH
+#define MMGPU_GPUJOULE_CALIBRATION_HH
+
+#include <string>
+#include <vector>
+
+#include "gpujoule/device_spec.hh"
+#include "gpujoule/energy_table.hh"
+#include "gpujoule/microbench.hh"
+#include "power/measurement.hh"
+#include "power/sensor.hh"
+#include "power/silicon.hh"
+
+namespace mmgpu::joule
+{
+
+/** Settings of one calibration campaign. */
+struct CalibrationSettings
+{
+    /** Initial steady-state ROI per microbenchmark. */
+    Seconds initialRoi = 0.15;
+
+    /** ROI growth factor per refinement iteration. */
+    double roiGrowth = 3.0;
+
+    /** Acceptance threshold on the validation microbenchmarks'
+     *  worst absolute relative error. */
+    double accuracyTarget = 0.08;
+
+    /** Refinement iteration bound. */
+    unsigned maxIterations = 4;
+};
+
+/** Modeled-vs-measured comparison of one validation bench. */
+struct ValidationPoint
+{
+    std::string name;
+    Joules modeled = 0.0;
+    Joules measured = 0.0;
+
+    /** Signed relative error (modeled - measured) / measured. */
+    double
+    relativeError() const
+    {
+        return measured != 0.0 ? (modeled - measured) / measured : 0.0;
+    }
+};
+
+/** Output of a calibration campaign. */
+struct CalibrationResult
+{
+    /** Recovered EPI/EPT table. */
+    EnergyTable table;
+
+    /** Measured device idle power (Eq. 4's Const_Power). */
+    Watts constPower = 0.0;
+
+    /** Recovered energy per stalled SM-cycle (EP_stall). */
+    Joules stallEnergy = 0.0;
+
+    /** Fig. 4a points from the final iteration. */
+    std::vector<ValidationPoint> validation;
+
+    /** Refinement iterations used (1 = initial pass sufficed). */
+    unsigned iterations = 0;
+
+    /** Whether the accuracy target was met. */
+    bool converged = false;
+};
+
+/** Drives the Figure 3 flow against one device. */
+class Calibrator
+{
+  public:
+    /**
+     * @param device Device under calibration.
+     * @param spec Its throughput description.
+     * @param sensor_seed Sensor noise seed for this campaign.
+     */
+    Calibrator(const power::SiliconGpu &device, DeviceSpec spec,
+               std::uint64_t sensor_seed = 0x5e4507);
+
+    /** Run the full pipeline. */
+    CalibrationResult calibrate(const CalibrationSettings &settings = {});
+
+    /**
+     * Measure one microbenchmark's steady power over @p roi seconds
+     * (exposed for tests and the Fig. 4a bench).
+     */
+    Watts measureBench(const Microbench &bench, Seconds roi);
+
+    /** Measured idle power over @p roi seconds. */
+    Watts measureIdle(Seconds roi);
+
+  private:
+    const power::SiliconGpu *device;
+    DeviceSpec spec;
+    power::PowerSensor sensor;
+    power::PowerMeter meter;
+};
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_CALIBRATION_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Throughput model of the calibration device (paper Table Ia).
+ *
+ * Microbenchmarks need to know the rate at which the device executes
+ * their region of interest to turn a measured power delta into an
+ * energy per event (Eq. 5). On real hardware this rate is simply
+ * measured (instructions / time); here the virtual device publishes
+ * its achievable throughputs, mirroring what a microbenchmark run
+ * would observe on a Tesla K40.
+ */
+
+#ifndef MMGPU_GPUJOULE_DEVICE_SPEC_HH
+#define MMGPU_GPUJOULE_DEVICE_SPEC_HH
+
+#include "common/units.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace mmgpu::joule
+{
+
+/** Calibration-device (Tesla K40 class) throughput description. */
+struct DeviceSpec
+{
+    unsigned smCount = 15;
+    double clockHz = 745e6;
+
+    /** Warp instructions issued per SM per cycle at full occupancy. */
+    double issuePerCycle = 4.0;
+
+    /** Achievable bandwidth per memory level, bytes/s (measured
+     *  figures, below datasheet peaks). */
+    double sharedBytesPerSec = 1.30e12;
+    double l1BytesPerSec = 1.10e12;
+    double l2BytesPerSec = 4.50e11;
+    double dramBytesPerSec = 2.20e11;
+
+    /**
+     * Peak thread-level instruction rate for @p op: all SMs issuing
+     * it back to back, derated by the opcode's issue cost.
+     */
+    double
+    instrRate(isa::Opcode op) const
+    {
+        return smCount * issuePerCycle * clockHz * isa::warpSize /
+               static_cast<double>(isa::issueCost(op));
+    }
+
+    /**
+     * Warp-access rate (128 B accesses/s) of a pointer-chase style
+     * microbenchmark saturating @p level.
+     */
+    double
+    accessRate(isa::TxnLevel level) const
+    {
+        double bw = 0.0;
+        switch (level) {
+          case isa::TxnLevel::SharedToReg:
+            bw = sharedBytesPerSec;
+            break;
+          case isa::TxnLevel::L1ToReg:
+            bw = l1BytesPerSec;
+            break;
+          case isa::TxnLevel::L2ToL1:
+            bw = l2BytesPerSec;
+            break;
+          case isa::TxnLevel::DramToL2:
+            bw = dramBytesPerSec;
+            break;
+          default:
+            break;
+        }
+        return bw / static_cast<double>(isa::cacheLineBytes);
+    }
+
+    /** DRAM sector (32 B) rate at peak bandwidth. */
+    double
+    dramSectorRateMax() const
+    {
+        return dramBytesPerSec / static_cast<double>(isa::sectorBytes);
+    }
+};
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_DEVICE_SPEC_HH

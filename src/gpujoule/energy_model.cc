@@ -1,0 +1,54 @@
+#include "gpujoule/energy_model.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::joule
+{
+
+EnergyBreakdown
+estimate(const EnergyInputs &inputs, const EnergyParams &params)
+{
+    mmgpu_assert(inputs.gpmCount >= 1, "energy estimate with no GPMs");
+    mmgpu_assert(inputs.execTime >= 0.0, "negative execution time");
+
+    EnergyBreakdown breakdown;
+
+    // sum_c EPI_c * IC_c (thread-level instruction counts).
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        breakdown.smBusy += params.table.epi[i] *
+                            static_cast<double>(inputs.warpInstrs[i]) *
+                            isa::warpSize;
+    }
+
+    // sum_m EPT_m * TC_m, attributed per hierarchy edge.
+    auto txn_energy = [&](isa::TxnLevel level) {
+        auto i = static_cast<std::size_t>(level);
+        return params.table.ept[i] *
+               static_cast<double>(inputs.txns[i]);
+    };
+    breakdown.shmToReg = txn_energy(isa::TxnLevel::SharedToReg);
+    breakdown.l1ToReg = txn_energy(isa::TxnLevel::L1ToReg);
+    breakdown.l2ToL1 = txn_energy(isa::TxnLevel::L2ToL1);
+    breakdown.dramToL2 = txn_energy(isa::TxnLevel::DramToL2);
+
+    // EP_stall * stalls.
+    breakdown.smIdle =
+        params.stallEnergyPerSmCycle * inputs.smStallCycles;
+
+    // Const_Power * Execution_Time, scaled by (amortized) GPM count.
+    breakdown.constant = params.constPowerPerGpm *
+                         params.constScale(inputs.gpmCount) *
+                         inputs.execTime;
+
+    // Inter-GPM data movement (§V-A2): per-hop link energy plus the
+    // extra switch-crossing energy where a switch is present.
+    breakdown.interModule =
+        units::energyPerTransfer(params.linkPjPerBit,
+                                 inputs.linkBytes) +
+        units::energyPerTransfer(params.switchPjPerBit,
+                                 inputs.switchBytes);
+
+    return breakdown;
+}
+
+} // namespace mmgpu::joule

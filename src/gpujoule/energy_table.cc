@@ -1,0 +1,88 @@
+#include "gpujoule/energy_table.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mmgpu::joule
+{
+
+EnergyTable
+paperTableIb()
+{
+    using isa::Opcode;
+    using units::nJ;
+
+    EnergyTable table;
+    auto set = [&](Opcode op, double nanojoules) {
+        table.epi[static_cast<std::size_t>(op)] = nanojoules * nJ;
+    };
+
+    // 32b float ADD, MUL, FMA: 0.06, 0.05, 0.05 nJ.
+    set(Opcode::FADD32, 0.06);
+    set(Opcode::FMUL32, 0.05);
+    set(Opcode::FFMA32, 0.05);
+    // 32b int ADD, SUB: 0.07, 0.07 nJ.
+    set(Opcode::IADD32, 0.07);
+    set(Opcode::ISUB32, 0.07);
+    // 32b bitwise AND, OR, XOR: 0.06 nJ each.
+    set(Opcode::AND32, 0.06);
+    set(Opcode::OR32, 0.06);
+    set(Opcode::XOR32, 0.06);
+    // 32b float SINE, COS: 0.10 nJ each.
+    set(Opcode::SIN32, 0.10);
+    set(Opcode::COS32, 0.10);
+    // 32b int MUL, MAD: 0.13, 0.15 nJ.
+    set(Opcode::IMUL32, 0.13);
+    set(Opcode::IMAD32, 0.15);
+    // 64b float ADD, MUL, FMA: 0.15, 0.13, 0.16 nJ.
+    set(Opcode::FADD64, 0.15);
+    set(Opcode::FMUL64, 0.13);
+    set(Opcode::FFMA64, 0.16);
+    // 32b float SQRT, LOG2, EXP2, RCP: 0.02, 0.03, 0.08, 0.31 nJ.
+    set(Opcode::SQRT32, 0.02);
+    set(Opcode::LG232, 0.03);
+    set(Opcode::EX232, 0.08);
+    set(Opcode::RCP32, 0.31);
+    // Register moves and memory opcodes: MOV-class pipeline cost;
+    // the data movement itself is charged through the EPTs.
+    set(Opcode::MOV32, 0.02);
+    set(Opcode::LD_GLOBAL, 0.02);
+    set(Opcode::ST_GLOBAL, 0.02);
+    set(Opcode::LD_SHARED, 0.02);
+    set(Opcode::ST_SHARED, 0.02);
+
+    using isa::TxnLevel;
+    auto set_txn = [&](TxnLevel level, double nanojoules) {
+        table.ept[static_cast<std::size_t>(level)] = nanojoules * nJ;
+    };
+    // Data movement transactions (nJ per transaction).
+    set_txn(TxnLevel::SharedToReg, 5.45); // 5.32 pJ/bit * 128 B
+    set_txn(TxnLevel::L1ToReg, 5.99);     // 5.85 pJ/bit * 128 B
+    set_txn(TxnLevel::L2ToL1, 3.96);      // 15.48 pJ/bit * 32 B
+    set_txn(TxnLevel::DramToL2, 7.82);    // 30.55 pJ/bit * 32 B
+
+    return table;
+}
+
+double
+maxRelativeError(const EnergyTable &a, const EnergyTable &b)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        if (b.epi[i] <= 0.0)
+            continue;
+        worst = std::max(worst,
+                         std::abs(a.epi[i] - b.epi[i]) / b.epi[i]);
+    }
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        if (b.ept[i] <= 0.0)
+            continue;
+        worst = std::max(worst,
+                         std::abs(a.ept[i] - b.ept[i]) / b.ept[i]);
+    }
+    return worst;
+}
+
+} // namespace mmgpu::joule

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Energy-per-instruction / energy-per-transaction tables.
+ *
+ * An EnergyTable is GPUJoule's calibrated artifact: one EPI per PTX
+ * opcode (joules per thread-level instruction) and one EPT per
+ * memory-hierarchy transaction level. paperTableIb() returns the
+ * values the paper measured on the Tesla K40 (Table Ib) for
+ * comparison against what our calibration pipeline recovers.
+ */
+
+#ifndef MMGPU_GPUJOULE_ENERGY_TABLE_HH
+#define MMGPU_GPUJOULE_ENERGY_TABLE_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace mmgpu::joule
+{
+
+/** Calibrated per-event energies. */
+struct EnergyTable
+{
+    /** Joules per thread-level instruction, indexed by opcode. */
+    std::array<Joules, isa::numOpcodes> epi{};
+
+    /** Joules per transaction, indexed by TxnLevel. */
+    std::array<Joules, isa::numTxnLevels> ept{};
+
+    /** EPI accessor by opcode. */
+    Joules
+    epiOf(isa::Opcode op) const
+    {
+        return epi[static_cast<std::size_t>(op)];
+    }
+
+    /** EPT accessor by level. */
+    Joules
+    eptOf(isa::TxnLevel level) const
+    {
+        return ept[static_cast<std::size_t>(level)];
+    }
+
+    /** Effective pJ/bit of a transaction level (Table Ib column 2). */
+    double
+    pjPerBit(isa::TxnLevel level) const
+    {
+        return eptOf(level) /
+               (8.0 * static_cast<double>(isa::txnBytes(level))) / 1e-12;
+    }
+};
+
+/**
+ * The published Table Ib values for the Tesla K40 (nJ per
+ * thread-instruction, nJ per transaction). Loads/stores carry no
+ * pipeline EPI of their own in the paper's accounting — their cost
+ * is the EPT of the transactions they trigger — so memory opcodes
+ * get a MOV-class EPI.
+ */
+EnergyTable paperTableIb();
+
+/**
+ * Maximum relative EPI/EPT deviation between two tables, e.g. the
+ * recovered calibration vs the published values.
+ */
+double maxRelativeError(const EnergyTable &a, const EnergyTable &b);
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_ENERGY_TABLE_HH

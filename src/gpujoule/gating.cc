@@ -1,0 +1,44 @@
+#include "gpujoule/gating.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmgpu::joule
+{
+
+EnergyBreakdown
+estimateWithGating(const EnergyInputs &inputs,
+                   const EnergyParams &params,
+                   const GatingOptions &options)
+{
+    if (options.clockGating < 0.0 || options.clockGating > 1.0 ||
+        options.powerGating < 0.0 || options.powerGating > 1.0 ||
+        options.smShareOfConstant < 0.0 ||
+        options.smShareOfConstant > 1.0) {
+        mmgpu_fatal("gating knobs must be in [0,1]");
+    }
+
+    EnergyBreakdown breakdown = estimate(inputs, params);
+
+    // Clock gating: stalled SMs stop toggling pipeline clocks.
+    breakdown.smIdle *= 1.0 - options.clockGating;
+
+    // Power gating: the SM-domain share of constant power is shut
+    // off while SMs sit outside any active window.
+    if (options.powerGating > 0.0) {
+        if (inputs.smCycleCapacity <= 0.0)
+            mmgpu_fatal("power gating requires smCycleCapacity");
+        double occupancy =
+            std::clamp(inputs.smOccupiedCycles /
+                           inputs.smCycleCapacity,
+                       0.0, 1.0);
+        double idle_fraction = 1.0 - occupancy;
+        breakdown.constant *= 1.0 - options.powerGating *
+                                        options.smShareOfConstant *
+                                        idle_fraction;
+    }
+    return breakdown;
+}
+
+} // namespace mmgpu::joule

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Idle-power management extensions (paper §V-E).
+ *
+ * The paper closes by pointing at "system-level techniques that
+ * reduce the impact of constant power in the presence of large
+ * numbers of GPU modules ... such as intelligent clock-gating and
+ * power-gating". This header provides the first-order model of those
+ * techniques the ablation benches use:
+ *
+ *  - clock gating attacks the EP_stall term: an SM that cannot issue
+ *    stops toggling its pipeline clocks, eliminating a fraction of
+ *    the stall energy;
+ *  - power gating attacks the constant term: the SM-domain share of
+ *    a GPM's constant power is cut while the GPM's SMs sit entirely
+ *    idle (outside their active windows).
+ */
+
+#ifndef MMGPU_GPUJOULE_GATING_HH
+#define MMGPU_GPUJOULE_GATING_HH
+
+#include "gpujoule/energy_model.hh"
+
+namespace mmgpu::joule
+{
+
+/** First-order gating effectiveness knobs. */
+struct GatingOptions
+{
+    /** Fraction of stall energy eliminated by clock gating [0,1]. */
+    double clockGating = 0.0;
+
+    /** Fraction of the gateable constant power eliminated during
+     *  whole-SM idle time [0,1]. */
+    double powerGating = 0.0;
+
+    /** Share of a GPM's constant power that lives in the gateable SM
+     *  clock/power domain (the rest is VRs, PDN, I/O, DRAM
+     *  interface). */
+    double smShareOfConstant = 0.4;
+};
+
+/**
+ * Eq. 4 with gating applied.
+ *
+ * Requires inputs.smOccupiedCycles and inputs.smCycleCapacity to be
+ * populated (the fraction of SM-cycles outside any active window is
+ * what power gating can reclaim).
+ */
+EnergyBreakdown estimateWithGating(const EnergyInputs &inputs,
+                                   const EnergyParams &params,
+                                   const GatingOptions &options);
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_GATING_HH

@@ -1,0 +1,217 @@
+#include "gpujoule/microbench.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/ptx_parser.hh"
+
+namespace mmgpu::joule
+{
+
+power::ActivityRates
+Microbench::activityOn(const DeviceSpec &spec) const
+{
+    power::ActivityRates rates;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        if (instrFractions[i] > 0.0) {
+            rates.instrRates[i] =
+                instrFractions[i] *
+                spec.instrRate(static_cast<isa::Opcode>(i));
+        }
+    }
+
+    using isa::TxnLevel;
+    auto level_index = [](TxnLevel level) {
+        return static_cast<std::size_t>(level);
+    };
+    auto add_txn = [&](TxnLevel level, double rate) {
+        rates.txnRates[level_index(level)] += rate;
+    };
+
+    // An access at level L induces the full upstream cascade: the
+    // line always crosses into the register file, and sector
+    // transfers occur at every level below the one that hits.
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        if (accessFractions[i] <= 0.0)
+            continue;
+        auto level = static_cast<TxnLevel>(i);
+        double access_rate = accessFractions[i] * spec.accessRate(level);
+        double sectors = static_cast<double>(isa::cacheLineBytes /
+                                             isa::sectorBytes);
+
+        switch (level) {
+          case TxnLevel::SharedToReg:
+            add_txn(TxnLevel::SharedToReg, access_rate);
+            break;
+          case TxnLevel::L1ToReg:
+            add_txn(TxnLevel::L1ToReg, access_rate);
+            break;
+          case TxnLevel::L2ToL1:
+            add_txn(TxnLevel::L1ToReg, access_rate);
+            add_txn(TxnLevel::L2ToL1, access_rate * sectors);
+            break;
+          case TxnLevel::DramToL2:
+            add_txn(TxnLevel::L1ToReg, access_rate);
+            add_txn(TxnLevel::L2ToL1, access_rate * sectors);
+            add_txn(TxnLevel::DramToL2, access_rate * sectors);
+            break;
+          default:
+            mmgpu_panic("bad txn level");
+        }
+    }
+
+    if (stallFraction > 0.0) {
+        // Stalled SM-cycles per second across the whole device.
+        rates.stallRate = stallFraction * spec.smCount * spec.clockHz;
+    }
+    return rates;
+}
+
+std::string
+makeComputePtx(isa::Opcode op, unsigned unroll)
+{
+    std::ostringstream ptx;
+    ptx << "// GPUJoule compute microbenchmark ROI: "
+        << isa::mnemonic(op) << "\n";
+    ptx << ".reg .f32 %r1, %r2, %r3;\n";
+    ptx << "mov.f32 %r1, 0f3F800000;\n";
+    ptx << "mov.f32 %r2, 0f40000000;\n";
+    ptx << "mov.f32 %r3, 0f40400000;\n";
+
+    std::string operands;
+    switch (isa::funcUnit(op)) {
+      case isa::FuncUnit::SFU:
+        operands = "%r3, %r1";
+        break;
+      case isa::FuncUnit::MOVE:
+        operands = "%r3, %r1";
+        break;
+      case isa::FuncUnit::LDST:
+        operands = "%r3, [%r1]";
+        break;
+      default:
+        // Two- or three-input ALU forms.
+        operands = (op == isa::Opcode::FFMA32 ||
+                    op == isa::Opcode::FFMA64 ||
+                    op == isa::Opcode::IMAD32)
+                       ? "%r3, %r1, %r3, %r2"
+                       : "%r3, %r1, %r2";
+        break;
+    }
+    for (unsigned i = 0; i < unroll; ++i)
+        ptx << isa::mnemonic(op) << " " << operands << ";\n";
+
+    std::string source = ptx.str();
+    isa::PtxParseResult parsed = isa::parsePtx(source);
+    if (!parsed.ok)
+        mmgpu_panic("generated microbenchmark fails to parse: ",
+                    parsed.error);
+    // The register-initialization prologue contributes MOVs of its
+    // own, so the ROI count is a lower bound for the MOV bench.
+    mmgpu_assert(parsed.kernel.countOf(op) >= unroll,
+                 "microbenchmark ROI has wrong instruction count");
+    return source;
+}
+
+std::vector<Microbench>
+computeSuite()
+{
+    std::vector<Microbench> suite;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        // Memory opcodes are characterized by the data-movement
+        // suite, not by compute loops.
+        if (isa::isMemory(op))
+            continue;
+        Microbench bench;
+        bench.name = std::string("epi.") + isa::mnemonic(op);
+        bench.ptxSource = makeComputePtx(op);
+        bench.instrFractions[i] = 1.0;
+        bench.targetOp = op;
+        suite.push_back(std::move(bench));
+    }
+    return suite;
+}
+
+std::vector<Microbench>
+memorySuite()
+{
+    std::vector<Microbench> suite;
+    const struct
+    {
+        isa::TxnLevel level;
+        const char *name;
+    } levels[] = {
+        {isa::TxnLevel::SharedToReg, "ept.shared_chase"},
+        {isa::TxnLevel::L1ToReg, "ept.l1_chase"},
+        {isa::TxnLevel::L2ToL1, "ept.l2_chase"},
+        {isa::TxnLevel::DramToL2, "ept.dram_chase"},
+    };
+    for (const auto &entry : levels) {
+        Microbench bench;
+        bench.name = entry.name;
+        bench.ptxSource =
+            "// pointer-chase loop, working set sized to the level\n"
+            ".reg .f32 %p;\n"
+            "ld.global.f32 %p, [%p];\n";
+        bench.accessFractions[static_cast<std::size_t>(entry.level)] =
+            1.0;
+        bench.targetLevel = entry.level;
+        suite.push_back(std::move(bench));
+    }
+    return suite;
+}
+
+Microbench
+stallBench()
+{
+    // Low-occupancy FADD32 loop: a quarter of peak issue rate with
+    // 60% of SM cycles stalled on dependencies.
+    Microbench bench;
+    bench.name = "epstall.low_occupancy";
+    bench.ptxSource = makeComputePtx(isa::Opcode::FADD32, 2);
+    bench.instrFractions[static_cast<std::size_t>(
+        isa::Opcode::FADD32)] = 0.25;
+    bench.stallFraction = 0.60;
+    bench.targetOp = isa::Opcode::FADD32;
+    return bench;
+}
+
+std::vector<Microbench>
+validationSuite()
+{
+    std::vector<Microbench> suite;
+    const struct
+    {
+        const char *name;
+        std::vector<isa::TxnLevel> levels;
+    } combos[] = {
+        {"fadd64+shared", {isa::TxnLevel::SharedToReg}},
+        {"fadd64+l1d", {isa::TxnLevel::L1ToReg}},
+        {"fadd64+l2", {isa::TxnLevel::L2ToL1}},
+        {"fadd64+dram", {isa::TxnLevel::DramToL2}},
+        {"fadd64+l2+dram",
+         {isa::TxnLevel::L2ToL1, isa::TxnLevel::DramToL2}},
+    };
+    for (const auto &combo : combos) {
+        Microbench bench;
+        bench.name = std::string("validate.") + combo.name;
+        bench.ptxSource = makeComputePtx(isa::Opcode::FADD64, 4);
+        bench.instrFractions[static_cast<std::size_t>(
+            isa::Opcode::FADD64)] = 0.5;
+        for (auto level : combo.levels) {
+            // The DRAM component runs near peak (a bandwidth bench);
+            // companion levels run at reduced rates.
+            double fraction =
+                level == isa::TxnLevel::DramToL2 ? 0.7 : 0.35;
+            if (combo.levels.size() == 1)
+                fraction = 0.7;
+            bench.accessFractions[static_cast<std::size_t>(level)] =
+                fraction;
+        }
+        suite.push_back(std::move(bench));
+    }
+    return suite;
+}
+
+} // namespace mmgpu::joule

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The GPUJoule microbenchmark suite (paper §IV-A, Algorithm 1).
+ *
+ * Three families:
+ *  - compute microbenchmarks: one per PTX opcode, an unrolled
+ *    inline-assembly loop repeating the instruction (the ROI source
+ *    is generated as real PTX text and checked by the parser, like
+ *    the paper's inline-asm kernels are checked by the assembler);
+ *  - data-movement microbenchmarks: pointer-chase loops sized to a
+ *    single level of the memory hierarchy, with warp accesses
+ *    coalesced to one cache line and locality managed so only the
+ *    target level services misses;
+ *  - validation microbenchmarks (Fig. 4a): mixed FADD64 + memory
+ *    traffic at sub-peak rates, used to expose coverage and
+ *    interaction errors after initial calibration.
+ *
+ * A microbenchmark describes the steady-state activity it induces on
+ * the calibration device as fractions of the device's peak rates;
+ * the virtual silicon turns that into power, and the calibration
+ * pipeline only ever sees the sensor.
+ */
+
+#ifndef MMGPU_GPUJOULE_MICROBENCH_HH
+#define MMGPU_GPUJOULE_MICROBENCH_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpujoule/device_spec.hh"
+#include "power/silicon.hh"
+
+namespace mmgpu::joule
+{
+
+/** One microbenchmark. */
+struct Microbench
+{
+    std::string name;
+
+    /** ROI inline-PTX source (compute benches; informational for
+     *  memory benches, which are pointer-chase loops). */
+    std::string ptxSource;
+
+    /** Per-opcode execution intensity as a fraction of the device's
+     *  peak rate for that opcode. */
+    std::array<double, isa::numOpcodes> instrFractions{};
+
+    /**
+     * Per-level warp-access intensity as a fraction of the device's
+     * peak access rate at that level. An access at level L also
+     * induces the upstream transactions (an L2 access moves a line
+     * into the L1 and to the registers).
+     */
+    std::array<double, isa::numTxnLevels> accessFractions{};
+
+    /** Fraction of SM cycles spent stalled (occupancy benches). */
+    double stallFraction = 0.0;
+
+    /** The opcode this bench isolates, if any. */
+    std::optional<isa::Opcode> targetOp;
+
+    /** The transaction level this bench isolates, if any. */
+    std::optional<isa::TxnLevel> targetLevel;
+
+    /** Steady-state device activity this bench induces on @p spec. */
+    power::ActivityRates activityOn(const DeviceSpec &spec) const;
+};
+
+/** Generate the Algorithm-1-style PTX ROI for @p op (validated). */
+std::string makeComputePtx(isa::Opcode op, unsigned unroll = 8);
+
+/** One compute microbenchmark per (energy-relevant) PTX opcode. */
+std::vector<Microbench> computeSuite();
+
+/** One pointer-chase microbenchmark per memory level. */
+std::vector<Microbench> memorySuite();
+
+/** An occupancy-sweep bench isolating the energy of stalled cycles. */
+Microbench stallBench();
+
+/** The Fig. 4a validation set: FADD64 x {shm, L1, L2, DRAM,
+ *  L2+DRAM}. */
+std::vector<Microbench> validationSuite();
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_MICROBENCH_HH

@@ -1,0 +1,46 @@
+#include "gpujoule/multi_module.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::joule
+{
+
+EnergyParams
+multiModuleParams(const EnergyTable &table, Joules stall_energy,
+                  Watts const_power, const MultiModuleOptions &options)
+{
+    if (options.linkEnergyScale <= 0.0)
+        mmgpu_fatal("non-positive link energy scale");
+
+    EnergyParams params;
+    params.table = table;
+    params.stallEnergyPerSmCycle = stall_energy;
+    params.constPowerPerGpm = const_power;
+
+    // All simulated configurations use HBM stacks: replace the
+    // calibrated (GDDR5) DRAM interface energy with the published
+    // HBM figure at the 32 B sector granularity.
+    params.table.ept[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] =
+        units::energyPerTransfer(constants::hbmPjPerBit,
+                                 isa::sectorBytes);
+
+    params.linkPjPerBit = (options.onPackage
+                               ? constants::onPackagePjPerBit
+                               : constants::onBoardPjPerBit) *
+                          options.linkEnergyScale;
+    params.switchPjPerBit =
+        options.switched ? constants::switchPjPerBit : 0.0;
+
+    if (options.constGrowthOverride >= 0.0) {
+        if (options.constGrowthOverride > 1.0)
+            mmgpu_fatal("constant-growth fraction above 1");
+        params.constGrowthFraction = options.constGrowthOverride;
+    } else {
+        params.constGrowthFraction =
+            options.onPackage ? constants::onPackageConstGrowth : 1.0;
+    }
+    return params;
+}
+
+} // namespace mmgpu::joule

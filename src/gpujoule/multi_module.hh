@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-module energy-model configuration (paper §V-A2).
+ *
+ * Maps an integration domain and topology onto the published energy
+ * constants the study uses:
+ *  - HBM DRAM interface: 21.1 pJ/bit (replaces the K40's calibrated
+ *    GDDR5 DRAM EPT in all simulated-architecture studies);
+ *  - on-package links: 0.54 pJ/bit (ground-referenced signaling);
+ *  - on-board links: 10 pJ/bit;
+ *  - switch crossing: +10 pJ/bit;
+ *  - constant-energy amortization: on-board replicates all per-GPM
+ *    constant power; on-package shares 50% of it (25% and 0% are
+ *    studied as sensitivity points).
+ */
+
+#ifndef MMGPU_GPUJOULE_MULTI_MODULE_HH
+#define MMGPU_GPUJOULE_MULTI_MODULE_HH
+
+#include "gpujoule/energy_model.hh"
+
+namespace mmgpu::joule
+{
+
+/** Published energy constants (see file header for sources). */
+namespace constants
+{
+/** On-package link energy [23]. */
+inline constexpr double onPackagePjPerBit = 0.54;
+
+/** On-board link energy [5]. */
+inline constexpr double onBoardPjPerBit = 10.0;
+
+/** Additional switch-crossing energy (paper §V-C footnote 2). */
+inline constexpr double switchPjPerBit = 10.0;
+
+/** HBM DRAM interface energy [39]. */
+inline constexpr double hbmPjPerBit = 21.1;
+
+/** Fraction of per-GPM constant power that replicates on-package
+ *  (50% amortization baseline, §V-A2). */
+inline constexpr double onPackageConstGrowth = 0.5;
+} // namespace constants
+
+/** Knobs for building the EnergyParams of one studied design. */
+struct MultiModuleOptions
+{
+    /** True for on-package integration (0.54 pJ/bit, amortization);
+     *  false for on-board (10 pJ/bit, no amortization). */
+    bool onPackage = true;
+
+    /** True when the inter-GPM network is a switch (adds the switch
+     *  crossing energy). */
+    bool switched = false;
+
+    /** Multiplier on the link pJ/bit (the §V-C interconnect-energy
+     *  point study uses 2x and 4x). */
+    double linkEnergyScale = 1.0;
+
+    /** Override of the constant-growth fraction; negative means use
+     *  the domain default (1.0 on-board, 0.5 on-package). The
+     *  amortization sensitivity study passes 0.75 (25% shared) and
+     *  1.0 (no sharing). */
+    double constGrowthOverride = -1.0;
+};
+
+/**
+ * Build the energy parameters for a simulated multi-module (or
+ * monolithic) GPU from a calibrated table.
+ *
+ * @param table Calibrated EPI/EPT table (K40-derived). The DRAM EPT
+ *        is replaced by the HBM figure, since all simulated
+ *        configurations use HBM stacks.
+ * @param stall_energy Calibrated EP_stall (J per stalled SM-cycle).
+ * @param const_power Calibrated per-GPM constant power.
+ * @param options Domain/topology knobs.
+ */
+EnergyParams multiModuleParams(const EnergyTable &table,
+                               Joules stall_energy, Watts const_power,
+                               const MultiModuleOptions &options);
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_MULTI_MODULE_HH

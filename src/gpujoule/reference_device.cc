@@ -1,0 +1,37 @@
+#include "gpujoule/reference_device.hh"
+
+#include "common/rng.hh"
+#include "gpujoule/energy_table.hh"
+
+namespace mmgpu::joule
+{
+
+power::GroundTruth
+referenceK40Truth(const DeviceSpec &spec, std::uint64_t seed,
+                  double perturbation)
+{
+    EnergyTable table = paperTableIb();
+    Rng rng(seed);
+    auto perturb = [&](Joules value) {
+        return value * (1.0 + perturbation * (2.0 * rng.uniform() - 1.0));
+    };
+
+    power::GroundTruth truth;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i)
+        truth.epi[i] = perturb(table.epi[i]);
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i)
+        truth.ept[i] = perturb(table.ept[i]);
+
+    // K40-class device constants: idle power around 62 W (VRs, PDN,
+    // host I/O, leakage at the performance power state), a ~25 W
+    // DRAM background exposed at low utilization, and roughly 0.8 nJ
+    // per stalled SM-cycle (scheduler and datapath clocks running
+    // without issue).
+    truth.idlePower = 62.0;
+    truth.memActiveFloor = 30.0;
+    truth.dramSectorRateMax = spec.dramSectorRateMax();
+    truth.stallEnergyPerSmCycle = 0.8 * units::nJ;
+    return truth;
+}
+
+} // namespace mmgpu::joule

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Factory for the reference K40-class virtual silicon.
+ *
+ * The ground truth seeds from the paper's published Table Ib values,
+ * perturbed per-coefficient by a small seeded deviation so the
+ * calibration pipeline provably *recovers* the device's energies
+ * through the sensor rather than echoing constants, plus the
+ * device-level effects the GPUJoule model class omits (idle power,
+ * DRAM background power, stall energy).
+ */
+
+#ifndef MMGPU_GPUJOULE_REFERENCE_DEVICE_HH
+#define MMGPU_GPUJOULE_REFERENCE_DEVICE_HH
+
+#include <cstdint>
+
+#include "gpujoule/device_spec.hh"
+#include "power/silicon.hh"
+
+namespace mmgpu::joule
+{
+
+/**
+ * Build the reference ground truth.
+ *
+ * @param spec Device throughput description (for the DRAM
+ *        utilization reference point).
+ * @param seed Perturbation seed; the default is the repo-wide
+ *        reference device.
+ * @param perturbation Max relative deviation applied to each
+ *        coefficient.
+ */
+power::GroundTruth
+referenceK40Truth(const DeviceSpec &spec = {},
+                  std::uint64_t seed = 0x40c0ffee,
+                  double perturbation = 0.03);
+
+} // namespace mmgpu::joule
+
+#endif // MMGPU_GPUJOULE_REFERENCE_DEVICE_HH

@@ -1,0 +1,122 @@
+#include "harness/report.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu::harness
+{
+
+JsonValue
+toJson(const RunOutcome &outcome)
+{
+    const auto &perf = outcome.perf;
+    const auto &energy = outcome.energy;
+
+    JsonValue instrs = JsonValue::object();
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        if (perf.instrs[i] > 0)
+            instrs.set(isa::mnemonic(static_cast<isa::Opcode>(i)),
+                       perf.instrs[i]);
+    }
+
+    JsonValue txns = JsonValue::object();
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        txns.set(isa::txnLevelName(static_cast<isa::TxnLevel>(i)),
+                 perf.mem.txns[i]);
+    }
+
+    JsonValue breakdown = JsonValue::object();
+    breakdown.set("sm_busy_J", energy.smBusy)
+        .set("sm_idle_J", energy.smIdle)
+        .set("constant_J", energy.constant)
+        .set("shm_to_reg_J", energy.shmToReg)
+        .set("l1_to_reg_J", energy.l1ToReg)
+        .set("l2_to_l1_J", energy.l2ToL1)
+        .set("dram_to_l2_J", energy.dramToL2)
+        .set("inter_module_J", energy.interModule)
+        .set("total_J", energy.total());
+
+    JsonValue json = JsonValue::object();
+    json.set("config", perf.configName)
+        .set("workload", perf.workloadName)
+        .set("exec_cycles", perf.execCycles)
+        .set("exec_seconds", perf.execSeconds)
+        .set("ipc", perf.ipc())
+        .set("remote_fraction", perf.remoteFraction())
+        .set("sm_busy_cycles", perf.smBusyCycles)
+        .set("sm_stall_cycles", perf.smStallCycles)
+        .set("link_byte_hops", perf.link.byteHops)
+        .set("link_message_bytes", perf.link.messageBytes)
+        .set("instructions", std::move(instrs))
+        .set("transactions", std::move(txns))
+        .set("energy", std::move(breakdown));
+    return json;
+}
+
+JsonValue
+toJson(const std::vector<ScalingPoint> &points)
+{
+    JsonValue array = JsonValue::array();
+    for (const auto &point : points) {
+        JsonValue json = JsonValue::object();
+        json.set("workload", point.workload)
+            .set("class", trace::workloadClassName(point.cls))
+            .set("speedup", point.speedup)
+            .set("energy_ratio", point.energyRatio)
+            .set("edpse_pct", point.edpse)
+            .set("ed2pse_pct", point.ed2pse)
+            .set("perf_per_watt_se_pct", point.perfPerWattSE);
+        array.push(std::move(json));
+    }
+    return array;
+}
+
+JsonValue
+toJson(const joule::CalibrationResult &calibration)
+{
+    JsonValue epi = JsonValue::object();
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        epi.set(isa::mnemonic(static_cast<isa::Opcode>(i)),
+                calibration.table.epi[i]);
+    }
+    JsonValue ept = JsonValue::object();
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        ept.set(isa::txnLevelName(static_cast<isa::TxnLevel>(i)),
+                calibration.table.ept[i]);
+    }
+    JsonValue validation = JsonValue::array();
+    for (const auto &point : calibration.validation) {
+        JsonValue entry = JsonValue::object();
+        entry.set("bench", point.name)
+            .set("modeled_J", point.modeled)
+            .set("measured_J", point.measured)
+            .set("error", point.relativeError());
+        validation.push(std::move(entry));
+    }
+
+    JsonValue json = JsonValue::object();
+    json.set("epi_J", std::move(epi))
+        .set("ept_J", std::move(ept))
+        .set("const_power_W", calibration.constPower)
+        .set("stall_energy_J", calibration.stallEnergy)
+        .set("iterations", calibration.iterations)
+        .set("converged", calibration.converged)
+        .set("validation", std::move(validation));
+    return json;
+}
+
+bool
+writeJson(const std::string &path, const JsonValue &value)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write JSON report to ", path);
+        return false;
+    }
+    value.write(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace mmgpu::harness

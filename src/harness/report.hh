@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Machine-readable reports.
+ *
+ * Serializes run outcomes and scaling studies to JSON so downstream
+ * tooling (plotting, regression tracking) consumes structured data
+ * instead of scraping the benches' text tables.
+ */
+
+#ifndef MMGPU_HARNESS_REPORT_HH
+#define MMGPU_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "harness/study.hh"
+
+namespace mmgpu::harness
+{
+
+/** Serialize one run (performance + energy decomposition). */
+JsonValue toJson(const RunOutcome &outcome);
+
+/** Serialize a scaling study's per-workload points. */
+JsonValue toJson(const std::vector<ScalingPoint> &points);
+
+/** Serialize a calibration result (table + scalars + validation). */
+JsonValue toJson(const joule::CalibrationResult &calibration);
+
+/**
+ * Write @p value to @p path.
+ * @return true on success; failures warn (never abort a study).
+ */
+bool writeJson(const std::string &path, const JsonValue &value);
+
+} // namespace mmgpu::harness
+
+#endif // MMGPU_HARNESS_REPORT_HH

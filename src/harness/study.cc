@@ -1,0 +1,147 @@
+#include "harness/study.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "gpujoule/reference_device.hh"
+
+namespace mmgpu::harness
+{
+
+joule::EnergyInputs
+inputsFrom(const sim::PerfResult &perf, unsigned gpm_count,
+           unsigned total_sms)
+{
+    joule::EnergyInputs inputs;
+    inputs.warpInstrs = perf.instrs;
+    inputs.txns = perf.mem.txns;
+    inputs.smStallCycles = perf.smStallCycles;
+    inputs.execTime = perf.execSeconds;
+    inputs.gpmCount = gpm_count;
+    inputs.linkBytes = perf.link.messageBytes;
+    inputs.switchBytes = perf.link.switchBytes;
+    inputs.smOccupiedCycles = perf.smOccupiedCycles;
+    inputs.smCycleCapacity =
+        static_cast<double>(total_sms) * perf.execCycles;
+    return inputs;
+}
+
+StudyContext::StudyContext()
+{
+    device_ = std::make_unique<power::SiliconGpu>(
+        joule::referenceK40Truth(spec));
+    joule::Calibrator calibrator(*device_, spec);
+    calib = calibrator.calibrate();
+    if (!calib.converged)
+        warn("study proceeding with unconverged calibration");
+}
+
+joule::EnergyParams
+StudyContext::paramsFor(const sim::GpuConfig &config,
+                        double link_energy_scale,
+                        double const_growth_override) const
+{
+    joule::MultiModuleOptions options;
+    options.onPackage =
+        config.domain == sim::IntegrationDomain::OnPackage;
+    options.switched = config.topology == noc::Topology::Switch;
+    options.linkEnergyScale = link_energy_scale;
+    options.constGrowthOverride = const_growth_override;
+    return joule::multiModuleParams(calib.table, calib.stallEnergy,
+                                    calib.constPower, options);
+}
+
+const RunOutcome &
+ScalingRunner::run(const sim::GpuConfig &config,
+                   const trace::KernelProfile &profile,
+                   double link_energy_scale,
+                   double const_growth_override)
+{
+    std::ostringstream key;
+    key << config.name << "|"
+        << sim::placementPolicyName(config.placement) << "|"
+        << sm::ctaSchedPolicyName(config.ctaScheduling) << "|"
+        << profile.name << "|" << link_energy_scale << "|"
+        << const_growth_override;
+    auto it = cache.find(key.str());
+    if (it != cache.end())
+        return it->second;
+
+    sim::GpuSim machine(config);
+    RunOutcome outcome;
+    outcome.perf = machine.run(profile);
+    joule::EnergyParams params = context_->paramsFor(
+        config, link_energy_scale, const_growth_override);
+    outcome.energy = joule::estimate(
+        inputsFrom(outcome.perf, config.gpmCount, config.totalSms()),
+        params);
+    return cache.emplace(key.str(), std::move(outcome)).first->second;
+}
+
+std::vector<ScalingPoint>
+scalingStudy(ScalingRunner &runner, const sim::GpuConfig &config,
+             const std::vector<trace::KernelProfile> &workloads,
+             double link_energy_scale, double const_growth_override)
+{
+    const sim::GpuConfig baseline = sim::baselineConfig();
+    std::vector<ScalingPoint> points;
+    points.reserve(workloads.size());
+    for (const auto &profile : workloads) {
+        const RunOutcome &one = runner.run(baseline, profile);
+        const RunOutcome &scaled =
+            runner.run(config, profile, link_energy_scale,
+                       const_growth_override);
+
+        ScalingPoint point;
+        point.workload = profile.name;
+        point.cls = profile.cls;
+        point.speedup = metrics::speedup(one.perf.execSeconds,
+                                         scaled.perf.execSeconds);
+        point.energyRatio =
+            scaled.energy.total() / one.energy.total();
+        point.edpse = metrics::edpse(one.point(), scaled.point(),
+                                     config.gpmCount);
+        point.ed2pse = metrics::edipse(one.point(), scaled.point(),
+                                       config.gpmCount, 2);
+        // Performance-per-watt scaling efficiency: the fraction of
+        // linear perf/W scaling realized (paper §V-D argues the
+        // trends agree across these metric choices).
+        double power_one = one.energy.total() / one.perf.execSeconds;
+        double power_scaled =
+            scaled.energy.total() / scaled.perf.execSeconds;
+        point.perfPerWattSE = point.speedup /
+                              (power_scaled / power_one) /
+                              config.gpmCount * 100.0;
+        points.push_back(point);
+    }
+    return points;
+}
+
+double
+meanOf(const std::vector<ScalingPoint> &points,
+       double ScalingPoint::*field)
+{
+    mmgpu_assert(!points.empty(), "mean of empty scaling study");
+    double sum = 0.0;
+    for (const auto &point : points)
+        sum += point.*field;
+    return sum / static_cast<double>(points.size());
+}
+
+double
+meanOf(const std::vector<ScalingPoint> &points,
+       double ScalingPoint::*field, trace::WorkloadClass cls)
+{
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &point : points) {
+        if (point.cls == cls) {
+            sum += point.*field;
+            ++count;
+        }
+    }
+    mmgpu_assert(count > 0, "no workloads in class");
+    return sum / count;
+}
+
+} // namespace mmgpu::harness

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Experiment harness: glues the performance simulator, the GPUJoule
+ * energy model, and the EDPSE metrics into the runs the paper's
+ * evaluation section is made of.
+ *
+ * A StudyContext performs the calibration campaign once (Figure 3)
+ * and then serves energy parameters for any simulated configuration.
+ * A ScalingRunner executes (workload x configuration) runs with
+ * memoization so a bench binary can assemble several views of the
+ * same sweep cheaply.
+ */
+
+#ifndef MMGPU_HARNESS_STUDY_HH
+#define MMGPU_HARNESS_STUDY_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpujoule/calibration.hh"
+#include "gpujoule/energy_model.hh"
+#include "gpujoule/multi_module.hh"
+#include "metrics/edpse.hh"
+#include "sim/gpu_config.hh"
+#include "sim/gpu_sim.hh"
+#include "trace/workloads.hh"
+
+namespace mmgpu::harness
+{
+
+/** One simulated run with its energy estimate. */
+struct RunOutcome
+{
+    sim::PerfResult perf;
+    joule::EnergyBreakdown energy;
+
+    /** Energy/delay point for the metrics. */
+    metrics::EnergyDelay
+    point() const
+    {
+        return {energy.total(), perf.execSeconds};
+    }
+};
+
+/**
+ * Convert simulator counters into Eq. 4 inputs.
+ * @param total_sms SM count of the configuration (for the gating
+ *        extension's occupancy accounting; 0 leaves it untracked).
+ */
+joule::EnergyInputs inputsFrom(const sim::PerfResult &perf,
+                               unsigned gpm_count,
+                               unsigned total_sms = 0);
+
+/** Calibrated model shared by a whole study. */
+class StudyContext
+{
+  public:
+    /**
+     * Build the reference device, calibrate GPUJoule against it, and
+     * keep the result. Calibration runs once per process.
+     */
+    StudyContext();
+
+    /** The calibration outcome (table, const power, EP_stall). */
+    const joule::CalibrationResult &calibration() const { return calib; }
+
+    /** The device spec used for calibration. */
+    const joule::DeviceSpec &deviceSpec() const { return spec; }
+
+    /** The virtual silicon the study calibrated against. */
+    const power::SiliconGpu &device() const { return *device_; }
+
+    /**
+     * Energy parameters for @p config, honoring its integration
+     * domain and topology.
+     * @param link_energy_scale Multiplier on link pJ/bit (point
+     *        studies).
+     * @param const_growth_override Override of the constant-growth
+     *        fraction; negative = domain default.
+     */
+    joule::EnergyParams
+    paramsFor(const sim::GpuConfig &config,
+              double link_energy_scale = 1.0,
+              double const_growth_override = -1.0) const;
+
+  private:
+    joule::DeviceSpec spec;
+    std::unique_ptr<power::SiliconGpu> device_;
+    joule::CalibrationResult calib;
+};
+
+/** Memoizing (workload x configuration) runner. */
+class ScalingRunner
+{
+  public:
+    /** @param context Calibrated study context (not owned). */
+    explicit ScalingRunner(const StudyContext &context)
+        : context_(&context)
+    {
+    }
+
+    /**
+     * Simulate @p profile on @p config and estimate its energy.
+     * Results are memoized on (config name, workload name).
+     */
+    const RunOutcome &run(const sim::GpuConfig &config,
+                          const trace::KernelProfile &profile,
+                          double link_energy_scale = 1.0,
+                          double const_growth_override = -1.0);
+
+    /** The study context. */
+    const StudyContext &context() const { return *context_; }
+
+  private:
+    const StudyContext *context_;
+    std::map<std::string, RunOutcome> cache;
+};
+
+/** Per-workload scaling observation against the 1-GPM baseline. */
+struct ScalingPoint
+{
+    std::string workload;
+    trace::WorkloadClass cls = trace::WorkloadClass::Compute;
+    double speedup = 0.0;     //!< t1 / tN
+    double energyRatio = 0.0; //!< EN / E1
+    double edpse = 0.0;       //!< percent (Eq. 2)
+    double ed2pse = 0.0;      //!< percent (Eq. 3 with i = 2)
+    double perfPerWattSE = 0.0; //!< perf/W scaling efficiency, %
+};
+
+/**
+ * Run every workload in @p workloads on the 1-GPM baseline and on
+ * @p config; return per-workload EDPSE/speedup/energy observations.
+ */
+std::vector<ScalingPoint>
+scalingStudy(ScalingRunner &runner, const sim::GpuConfig &config,
+             const std::vector<trace::KernelProfile> &workloads,
+             double link_energy_scale = 1.0,
+             double const_growth_override = -1.0);
+
+/** Arithmetic mean of a ScalingPoint field over a class filter. */
+double meanOf(const std::vector<ScalingPoint> &points,
+              double ScalingPoint::*field);
+double meanOf(const std::vector<ScalingPoint> &points,
+              double ScalingPoint::*field, trace::WorkloadClass cls);
+
+} // namespace mmgpu::harness
+
+#endif // MMGPU_HARNESS_STUDY_HH

@@ -1,0 +1,138 @@
+#include "harness/validation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "power/measurement.hh"
+
+namespace mmgpu::harness
+{
+
+namespace
+{
+
+/** Minimum replay length so the sensor sees plenty of samples. */
+constexpr Seconds minReplaySeconds = 3.0;
+
+/** Deterministic per-app sensor seed. */
+std::uint64_t
+seedFor(const std::string &name)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : name)
+        hash = (hash ^ static_cast<unsigned char>(c)) *
+               0x100000001b3ull;
+    return hash;
+}
+
+} // namespace
+
+std::vector<AppValidationPoint>
+validateApplications(ScalingRunner &runner,
+                     const std::vector<trace::KernelProfile> &apps)
+{
+    const StudyContext &context = runner.context();
+    const power::SiliconGpu &device = context.device();
+    const auto &calib = context.calibration();
+
+    std::vector<AppValidationPoint> points;
+    points.reserve(apps.size());
+
+    for (const auto &profile : apps) {
+        const RunOutcome &run =
+            runner.run(sim::baselineConfig(), profile);
+        const sim::PerfResult &perf = run.perf;
+
+        // Per-launch activity rates from the simulation (kernel time
+        // excludes launch gaps; gaps are sub-cycle-accurate enough
+        // to neglect at this granularity).
+        Seconds sim_kernel =
+            perf.execSeconds / static_cast<double>(profile.launches);
+        mmgpu_assert(sim_kernel > 0.0, "zero-length kernel");
+
+        power::ActivityRates rates;
+        for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+            rates.instrRates[i] =
+                static_cast<double>(perf.instrs[i]) * isa::warpSize /
+                profile.launches / sim_kernel;
+        }
+        for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+            rates.txnRates[i] =
+                static_cast<double>(perf.mem.txns[i]) /
+                profile.launches / sim_kernel;
+        }
+        rates.stallRate =
+            perf.smStallCycles / profile.launches / sim_kernel;
+
+        Watts kernel_power = device.kernelPower(rates);
+
+        // Replay at the application's real kernel/gap durations.
+        Seconds kernel_s = profile.hwKernelSeconds;
+        Seconds gap_s = profile.hwGapSeconds;
+        auto repetitions = static_cast<unsigned>(
+            std::ceil(minReplaySeconds / (kernel_s + gap_s)));
+
+        power::PowerTimeline timeline;
+        std::vector<power::KernelWindow> windows;
+        timeline.addPhase(0.5, device.idlePower()); // warm-up idle
+        Seconds cursor = 0.5;
+        for (unsigned r = 0; r < repetitions; ++r) {
+            timeline.addPhase(kernel_s, kernel_power);
+            windows.push_back({cursor, cursor + kernel_s});
+            cursor += kernel_s;
+            timeline.addPhase(gap_s, device.idlePower());
+            cursor += gap_s;
+        }
+        timeline.addPhase(0.5, device.idlePower()); // cool-down
+
+        // "Measured": per-kernel attribution through the sensor.
+        power::PowerSensor sensor(power::SensorSpec{},
+                                  seedFor(profile.name));
+        power::PowerMeter meter(sensor);
+        Joules measured =
+            meter.attributeKernelEnergy(timeline, windows);
+
+        // Modeled: Eq. 4 over the same total kernel time with the
+        // calibrated (K40/GDDR5) table.
+        Seconds total_kernel = kernel_s * repetitions;
+        joule::EnergyInputs inputs;
+        for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+            inputs.warpInstrs[i] = static_cast<Count>(
+                rates.instrRates[i] * total_kernel / isa::warpSize);
+        }
+        for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+            inputs.txns[i] = static_cast<Count>(rates.txnRates[i] *
+                                                total_kernel);
+        }
+        inputs.smStallCycles = rates.stallRate * total_kernel;
+        inputs.execTime = total_kernel;
+        inputs.gpmCount = 1;
+
+        joule::EnergyParams params;
+        params.table = calib.table;
+        params.stallEnergyPerSmCycle = calib.stallEnergy;
+        params.constPowerPerGpm = calib.constPower;
+
+        AppValidationPoint point;
+        point.workload = profile.name;
+        point.cls = profile.cls;
+        point.modeled = joule::estimate(inputs, params).total();
+        point.measured = measured;
+        point.expectedOutlier =
+            trace::isValidationOutlier(profile.name);
+        points.push_back(point);
+    }
+    return points;
+}
+
+double
+meanAbsoluteErrorPercent(const std::vector<AppValidationPoint> &points)
+{
+    mmgpu_assert(!points.empty(), "MAE of empty validation");
+    double sum = 0.0;
+    for (const auto &point : points)
+        sum += std::abs(point.errorPercent());
+    return sum / static_cast<double>(points.size());
+}
+
+} // namespace mmgpu::harness

@@ -1,0 +1,40 @@
+#include "isa/instruction.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::isa
+{
+
+const char *
+txnLevelName(TxnLevel level)
+{
+    switch (level) {
+      case TxnLevel::SharedToReg:
+        return "shm_to_reg";
+      case TxnLevel::L1ToReg:
+        return "l1_to_reg";
+      case TxnLevel::L2ToL1:
+        return "l2_to_l1";
+      case TxnLevel::DramToL2:
+        return "dram_to_l2";
+      default:
+        mmgpu_panic("bad TxnLevel");
+    }
+}
+
+Bytes
+txnBytes(TxnLevel level)
+{
+    switch (level) {
+      case TxnLevel::SharedToReg:
+      case TxnLevel::L1ToReg:
+        return cacheLineBytes;
+      case TxnLevel::L2ToL1:
+      case TxnLevel::DramToL2:
+        return sectorBytes;
+      default:
+        mmgpu_panic("bad TxnLevel");
+    }
+}
+
+} // namespace mmgpu::isa

@@ -1,0 +1,132 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace mmgpu::isa
+{
+
+namespace
+{
+
+/** Static per-opcode properties, indexed densely by Opcode. */
+struct OpInfo
+{
+    const char *name;
+    FuncUnit unit;
+    std::uint32_t latency;
+    std::uint32_t issue;
+};
+
+constexpr std::array<OpInfo, numOpcodes> opTable = {{
+    // name                unit             latency issue
+    {"add.f32",            FuncUnit::FP32,  6,      1},   // FADD32
+    {"mul.f32",            FuncUnit::FP32,  6,      1},   // FMUL32
+    {"fma.rn.f32",         FuncUnit::FP32,  6,      1},   // FFMA32
+    {"add.s32",            FuncUnit::INT32, 6,      1},   // IADD32
+    {"sub.s32",            FuncUnit::INT32, 6,      1},   // ISUB32
+    {"mul.lo.s32",         FuncUnit::INT32, 9,      2},   // IMUL32
+    {"mad.lo.s32",         FuncUnit::INT32, 9,      2},   // IMAD32
+    {"and.b32",            FuncUnit::INT32, 6,      1},   // AND32
+    {"or.b32",             FuncUnit::INT32, 6,      1},   // OR32
+    {"xor.b32",            FuncUnit::INT32, 6,      1},   // XOR32
+    {"sin.approx.f32",     FuncUnit::SFU,   18,     8},   // SIN32
+    {"cos.approx.f32",     FuncUnit::SFU,   18,     8},   // COS32
+    {"sqrt.approx.f32",    FuncUnit::SFU,   18,     8},   // SQRT32
+    {"lg2.approx.f32",     FuncUnit::SFU,   18,     8},   // LG232
+    {"ex2.approx.f32",     FuncUnit::SFU,   18,     8},   // EX232
+    {"rcp.approx.f32",     FuncUnit::SFU,   18,     8},   // RCP32
+    {"add.f64",            FuncUnit::FP64,  10,     3},   // FADD64
+    {"mul.f64",            FuncUnit::FP64,  10,     3},   // FMUL64
+    {"fma.rn.f64",         FuncUnit::FP64,  10,     3},   // FFMA64
+    {"mov.f32",            FuncUnit::MOVE,  4,      1},   // MOV32
+    {"ld.global.f32",      FuncUnit::LDST,  4,      1},   // LD_GLOBAL
+    {"st.global.f32",      FuncUnit::LDST,  4,      1},   // ST_GLOBAL
+    {"ld.shared.f32",      FuncUnit::LDST,  4,      1},   // LD_SHARED
+    {"st.shared.f32",      FuncUnit::LDST,  4,      1},   // ST_SHARED
+}};
+
+const OpInfo &
+info(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    mmgpu_assert(idx < numOpcodes, "bad opcode ", idx);
+    return opTable[idx];
+}
+
+} // namespace
+
+const char *
+mnemonic(Opcode op)
+{
+    return info(op).name;
+}
+
+FuncUnit
+funcUnit(Opcode op)
+{
+    return info(op).unit;
+}
+
+OpClass
+opClass(Opcode op)
+{
+    return funcUnit(op) == FuncUnit::LDST ? OpClass::Memory
+                                          : OpClass::Compute;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LD_GLOBAL || op == Opcode::LD_SHARED;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::ST_GLOBAL || op == Opcode::ST_SHARED;
+}
+
+std::uint32_t
+defaultLatency(Opcode op)
+{
+    return info(op).latency;
+}
+
+std::uint32_t
+issueCost(Opcode op)
+{
+    return info(op).issue;
+}
+
+std::optional<Opcode>
+parseMnemonic(const std::string &text)
+{
+    static const auto lookup = [] {
+        std::unordered_map<std::string, Opcode> map;
+        for (std::size_t i = 0; i < numOpcodes; ++i)
+            map.emplace(opTable[i].name, static_cast<Opcode>(i));
+        // Untyped/width-only aliases that PTX writers commonly use.
+        map.emplace("mov.b32", Opcode::MOV32);
+        map.emplace("ld.global.u32", Opcode::LD_GLOBAL);
+        map.emplace("st.global.u32", Opcode::ST_GLOBAL);
+        map.emplace("ld.shared.u32", Opcode::LD_SHARED);
+        map.emplace("st.shared.u32", Opcode::ST_SHARED);
+        return map;
+    }();
+    auto it = lookup.find(text);
+    if (it == lookup.end())
+        return std::nullopt;
+    return it->second;
+}
+
+Opcode
+opcodeFromIndex(std::size_t i)
+{
+    mmgpu_assert(i < numOpcodes, "opcode index out of range: ", i);
+    return static_cast<Opcode>(i);
+}
+
+} // namespace mmgpu::isa

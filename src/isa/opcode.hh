@@ -1,0 +1,128 @@
+/**
+ * @file
+ * PTX-subset opcode definitions.
+ *
+ * The opcode set mirrors the instructions the paper characterises in
+ * Table Ib, plus the data-movement operations (loads/stores) and the
+ * bookkeeping MOV used by microbenchmark prologues. GPUJoule's EPI
+ * table is keyed by these opcodes; the performance simulator uses the
+ * same opcodes so event counts and energy costs can never diverge.
+ */
+
+#ifndef MMGPU_ISA_OPCODE_HH
+#define MMGPU_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mmgpu::isa
+{
+
+/** Compute and memory opcodes of the modelled PTX subset. */
+enum class Opcode : std::uint8_t
+{
+    // 32-bit float pipeline.
+    FADD32,
+    FMUL32,
+    FFMA32,
+    // 32-bit integer pipeline.
+    IADD32,
+    ISUB32,
+    IMUL32,
+    IMAD32,
+    // 32-bit bitwise.
+    AND32,
+    OR32,
+    XOR32,
+    // Special function unit.
+    SIN32,
+    COS32,
+    SQRT32,
+    LG232,
+    EX232,
+    RCP32,
+    // 64-bit float pipeline.
+    FADD64,
+    FMUL64,
+    FFMA64,
+    // Register bookkeeping.
+    MOV32,
+    // Memory operations (the EPT table keys off the transaction
+    // level, but the trace carries the opcode).
+    LD_GLOBAL,
+    ST_GLOBAL,
+    LD_SHARED,
+    ST_SHARED,
+
+    NumOpcodes
+};
+
+/** Number of opcodes (for dense tables keyed by opcode). */
+inline constexpr std::size_t numOpcodes =
+    static_cast<std::size_t>(Opcode::NumOpcodes);
+
+/** Execution-unit class an opcode dispatches to. */
+enum class FuncUnit : std::uint8_t
+{
+    FP32,   //!< single-precision float pipe
+    FP64,   //!< double-precision float pipe
+    INT32,  //!< integer pipe
+    SFU,    //!< special function unit
+    MOVE,   //!< register move
+    LDST,   //!< load/store unit
+};
+
+/** Coarse category used for reporting and workload mixes. */
+enum class OpClass : std::uint8_t
+{
+    Compute,  //!< any ALU/SFU instruction
+    Memory,   //!< load/store
+};
+
+/** @return the PTX-style mnemonic, e.g. "fma.rn.f32". */
+const char *mnemonic(Opcode op);
+
+/** @return execution unit for @p op. */
+FuncUnit funcUnit(Opcode op);
+
+/** @return Compute or Memory. */
+OpClass opClass(Opcode op);
+
+/** @return true for load opcodes. */
+bool isLoad(Opcode op);
+
+/** @return true for store opcodes. */
+bool isStore(Opcode op);
+
+/** @return true for any memory opcode. */
+inline bool isMemory(Opcode op) { return opClass(op) == OpClass::Memory; }
+
+/**
+ * Default pipeline latency of @p op in core cycles, used by the
+ * performance simulator for dependent-issue spacing. Values follow
+ * published Kepler instruction-latency measurements to first order.
+ */
+std::uint32_t defaultLatency(Opcode op);
+
+/**
+ * Issue-slot cost of @p op relative to an FP32 instruction. Kepler
+ * executes FP64 at 1/3 rate and SFU ops at 1/8 rate per SM; the
+ * simulator charges extra issue slots instead of modelling separate
+ * unit pools.
+ */
+std::uint32_t issueCost(Opcode op);
+
+/**
+ * Parse a PTX-style mnemonic (e.g. "add.f32", "ld.global.f32")
+ * into an opcode.
+ * @return std::nullopt when the mnemonic is not in the subset.
+ */
+std::optional<Opcode> parseMnemonic(const std::string &text);
+
+/** Iteration helper: opcode from dense index. @pre i < numOpcodes. */
+Opcode opcodeFromIndex(std::size_t i);
+
+} // namespace mmgpu::isa
+
+#endif // MMGPU_ISA_OPCODE_HH

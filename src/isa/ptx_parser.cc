@@ -1,0 +1,152 @@
+#include "isa/ptx_parser.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace mmgpu::isa
+{
+
+std::size_t
+PtxKernel::countOf(Opcode op) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(body.begin(), body.end(),
+                      [op](const PtxInstruction &i) {
+                          return i.op == op;
+                      }));
+}
+
+namespace
+{
+
+/** Strip leading/trailing whitespace. */
+std::string
+trim(const std::string &text)
+{
+    auto begin = text.find_first_not_of(" \t\r");
+    auto end = text.find_last_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    return text.substr(begin, end - begin + 1);
+}
+
+/** Split "a, b, c" into trimmed pieces. */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string current;
+    for (char ch : text) {
+        if (ch == ',') {
+            out.push_back(trim(current));
+            current.clear();
+        } else {
+            current += ch;
+        }
+    }
+    if (!trim(current).empty())
+        out.push_back(trim(current));
+    return out;
+}
+
+PtxParseResult
+fail(int line_no, const std::string &msg)
+{
+    PtxParseResult result;
+    result.ok = false;
+    std::ostringstream os;
+    os << "line " << line_no << ": " << msg;
+    result.error = os.str();
+    return result;
+}
+
+} // namespace
+
+PtxParseResult
+parsePtx(const std::string &source)
+{
+    PtxParseResult result;
+    PtxKernel &kernel = result.kernel;
+
+    std::istringstream stream(source);
+    std::string raw_line;
+    int line_no = 0;
+    while (std::getline(stream, raw_line)) {
+        ++line_no;
+        // Drop comments.
+        auto comment = raw_line.find("//");
+        if (comment != std::string::npos)
+            raw_line = raw_line.substr(0, comment);
+        std::string line = trim(raw_line);
+        if (line.empty())
+            continue;
+
+        if (line.back() != ';')
+            return fail(line_no, "missing ';'");
+        line = trim(line.substr(0, line.size() - 1));
+        if (line.empty())
+            return fail(line_no, "empty statement");
+
+        if (line[0] == '.') {
+            // Declaration: .reg .f32 %r1 [, %r2 ...]
+            std::istringstream decl(line);
+            std::string directive, type, rest;
+            decl >> directive >> type;
+            if (directive != ".reg")
+                return fail(line_no,
+                            "unknown directive '" + directive + "'");
+            std::getline(decl, rest);
+            auto regs = splitOperands(rest);
+            if (regs.empty())
+                return fail(line_no, ".reg declares no registers");
+            for (const auto &reg : regs) {
+                if (reg.empty() || reg[0] != '%')
+                    return fail(line_no,
+                                "register name must start with '%': '" +
+                                    reg + "'");
+                if (!kernel.registers.insert(reg.substr(1)).second)
+                    return fail(line_no,
+                                "register redeclared: " + reg);
+            }
+            continue;
+        }
+
+        // Instruction: mnemonic operand, operand, ...
+        auto space = line.find_first_of(" \t");
+        std::string mnemonic_text =
+            space == std::string::npos ? line : line.substr(0, space);
+        std::string operand_text =
+            space == std::string::npos ? "" : line.substr(space + 1);
+
+        auto op = parseMnemonic(mnemonic_text);
+        if (!op)
+            return fail(line_no,
+                        "unknown mnemonic '" + mnemonic_text + "'");
+
+        PtxInstruction instr;
+        instr.op = *op;
+        instr.operands = splitOperands(operand_text);
+        if (instr.operands.empty())
+            return fail(line_no, "instruction has no operands");
+        // Loads/stores use [%reg] addressing for one operand.
+        for (const auto &operand : instr.operands) {
+            std::string name = operand;
+            if (name.size() >= 2 && name.front() == '[' &&
+                name.back() == ']') {
+                name = trim(name.substr(1, name.size() - 2));
+            }
+            if (!name.empty() && name[0] == '%') {
+                if (!kernel.registers.count(name.substr(1)))
+                    return fail(line_no,
+                                "use of undeclared register " + name);
+            }
+        }
+        kernel.body.push_back(std::move(instr));
+    }
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace mmgpu::isa

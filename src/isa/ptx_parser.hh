@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parser for the inline-PTX dialect the microbenchmarks are written in.
+ *
+ * GPUJoule's compute microbenchmarks (paper Algorithm 1) express their
+ * region of interest as a short PTX fragment. This parser accepts the
+ * subset those fragments need:
+ *
+ *     // comment
+ *     .reg .f32 %r1;              register declaration
+ *     mov.f32  %r1, 0f3F800000;   instruction with operands
+ *     fma.rn.f32 %r3, %r1, %r3, %r2;
+ *
+ * Operands are registers (%name) or immediates (anything else); the
+ * parser checks that registers are declared before use so malformed
+ * microbenchmarks are rejected at construction time rather than
+ * producing silently wrong energy measurements.
+ */
+
+#ifndef MMGPU_ISA_PTX_PARSER_HH
+#define MMGPU_ISA_PTX_PARSER_HH
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace mmgpu::isa
+{
+
+/** One parsed PTX instruction. */
+struct PtxInstruction
+{
+    Opcode op;
+    std::vector<std::string> operands;
+};
+
+/** A parsed PTX fragment: declarations plus instruction sequence. */
+struct PtxKernel
+{
+    /** Declared register names (without the leading '%'). */
+    std::unordered_set<std::string> registers;
+
+    /** Instructions in program order. */
+    std::vector<PtxInstruction> body;
+
+    /** Count instructions with opcode @p op. */
+    std::size_t countOf(Opcode op) const;
+};
+
+/** Outcome of a parse; either a kernel or a diagnosed error. */
+struct PtxParseResult
+{
+    bool ok = false;
+
+    /** Valid only when ok. */
+    PtxKernel kernel;
+
+    /** "line N: message" diagnostic; valid only when !ok. */
+    std::string error;
+};
+
+/**
+ * Parse a PTX fragment.
+ * @param source The fragment text.
+ * @return the kernel or a diagnostic; never aborts.
+ */
+PtxParseResult parsePtx(const std::string &source);
+
+} // namespace mmgpu::isa
+
+#endif // MMGPU_ISA_PTX_PARSER_HH

@@ -1,0 +1,132 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mmgpu::mem
+{
+
+SectoredCache::SectoredCache(std::string name, Bytes capacity_bytes,
+                             unsigned associativity)
+    : name_(std::move(name)), ways(associativity)
+{
+    if (associativity == 0)
+        mmgpu_fatal("cache '", name_, "': associativity must be >= 1");
+    Bytes line_count = capacity_bytes / isa::cacheLineBytes;
+    if (line_count == 0 || line_count % associativity != 0)
+        mmgpu_fatal("cache '", name_, "': capacity ", capacity_bytes,
+                    " not divisible into ", associativity, "-way sets");
+    sets = static_cast<unsigned>(line_count / associativity);
+    lines.resize(line_count);
+}
+
+SectoredCache::Line *
+SectoredCache::findVictim(std::size_t set_base)
+{
+    Line *victim = &lines[set_base];
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = lines[set_base + w];
+        if (!line.validMask)
+            return &line; // free way
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return victim;
+}
+
+CacheAccessResult
+SectoredCache::access(std::uint64_t addr, SectorMask sectors,
+                      bool is_write)
+{
+    mmgpu_assert(sectors != 0 && sectors <= fullLineMask,
+                 "bad sector mask");
+
+    std::uint64_t tag = addr / isa::cacheLineBytes;
+    std::size_t set_base =
+        static_cast<std::size_t>(tag % sets) * ways;
+
+    CacheAccessResult result;
+    ++accesses_;
+    ++useClock;
+
+    // Probe the set.
+    for (unsigned w = 0; w < ways; ++w) {
+        Line &line = lines[set_base + w];
+        if (line.validMask && line.tag == tag) {
+            result.hitMask = sectors & line.validMask;
+            result.missMask = sectors & ~line.validMask;
+            line.validMask |= sectors; // fill missed sectors
+            if (is_write)
+                line.dirtyMask |= sectors;
+            line.lastUse = useClock;
+            if (result.missMask == 0)
+                ++hits_;
+            sectorHits_ += std::popcount(result.hitMask);
+            sectorMisses_ += std::popcount(result.missMask);
+            return result;
+        }
+    }
+
+    // Full line miss: allocate via LRU.
+    Line *victim = findVictim(set_base);
+    if (victim->validMask && victim->dirtyMask) {
+        result.writebackMask = victim->dirtyMask;
+        result.writebackAddr = victim->tag * isa::cacheLineBytes;
+    }
+    victim->tag = tag;
+    victim->validMask = sectors;
+    victim->dirtyMask = is_write ? sectors : 0;
+    victim->lastUse = useClock;
+
+    result.hitMask = 0;
+    result.missMask = sectors;
+    sectorMisses_ += std::popcount(sectors);
+    return result;
+}
+
+void
+SectoredCache::assertResident(std::uint64_t addr) const
+{
+    std::uint64_t tag = addr / isa::cacheLineBytes;
+    std::size_t set_base =
+        static_cast<std::size_t>(tag % sets) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        const Line &line = lines[set_base + w];
+        if (line.validMask && line.tag == tag)
+            return;
+    }
+    mmgpu_panic("line ", addr, " not resident in ", name_);
+}
+
+void
+SectoredCache::flushAll(
+    std::vector<std::pair<std::uint64_t, SectorMask>> *writebacks)
+{
+    flushIf([](std::uint64_t) { return true; }, writebacks);
+}
+
+void
+SectoredCache::cleanDirty(
+    std::vector<std::pair<std::uint64_t, SectorMask>> *writebacks)
+{
+    for (auto &line : lines) {
+        if (!line.validMask || !line.dirtyMask)
+            continue;
+        if (writebacks)
+            writebacks->emplace_back(line.tag * isa::cacheLineBytes,
+                                     line.dirtyMask);
+        line.dirtyMask = 0;
+    }
+}
+
+void
+SectoredCache::resetStats()
+{
+    accesses_ = 0;
+    hits_ = 0;
+    sectorHits_ = 0;
+    sectorMisses_ = 0;
+}
+
+} // namespace mmgpu::mem

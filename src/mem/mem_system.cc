@@ -1,0 +1,148 @@
+#include "mem/mem_system.hh"
+
+#include <bit>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu::mem
+{
+
+namespace
+{
+
+std::string
+indexedName(const char *base, unsigned index)
+{
+    std::ostringstream os;
+    os << base << index;
+    return os.str();
+}
+
+} // namespace
+
+MemSystem::MemSystem(const MemConfig &config,
+                     noc::InterGpmNetwork *net)
+    : cfg(config), network(net), pages(config.gpmCount)
+{
+    if (cfg.gpmCount == 0 || cfg.smsPerGpm == 0)
+        mmgpu_fatal("memory system with zero GPMs or SMs");
+    if (cfg.gpmCount > 1 && network == nullptr)
+        mmgpu_fatal("multi-GPM configuration requires a network");
+
+    unsigned total_sms = cfg.gpmCount * cfg.smsPerGpm;
+    l1s.reserve(total_sms);
+    for (unsigned s = 0; s < total_sms; ++s)
+        l1s.emplace_back(indexedName("l1.sm", s), cfg.l1BytesPerSm,
+                         cfg.l1Assoc);
+    for (unsigned g = 0; g < cfg.gpmCount; ++g) {
+        l2s.emplace_back(indexedName("l2.gpm", g), cfg.l2BytesPerGpm,
+                         cfg.l2Assoc);
+        drams.emplace_back(indexedName("hbm.gpm", g),
+                           cfg.dramBytesPerCycle);
+        nocs.emplace_back(indexedName("noc.gpm", g),
+                          cfg.nocBytesPerCycle);
+    }
+}
+
+noc::Tick
+MemSystem::kernelBoundary(noc::Tick t, MemCounters &counters)
+{
+    // L1s are write-through: invalidation only.
+    for (auto &l1 : l1s)
+        l1.flushAll(nullptr);
+
+    noc::Tick drained = t;
+    std::vector<std::pair<std::uint64_t, SectorMask>> writebacks;
+    for (unsigned g = 0; g < cfg.gpmCount; ++g) {
+        writebacks.clear();
+        // Purge remote-homed lines (stale after other GPMs write),
+        // collecting their dirty data.
+        l2s[g].flushIf(
+            [&](std::uint64_t line_addr) {
+                unsigned home = pages.homeOf(line_addr);
+                return home != g && home != cfg.gpmCount;
+            },
+            &writebacks);
+        // Clean remaining (local-homed) dirty lines: write back but
+        // keep them cached for the next kernel.
+        l2s[g].cleanDirty(&writebacks);
+
+        for (const auto &[line_addr, dirty] : writebacks) {
+            unsigned sectors = std::popcount(dirty);
+            double bytes =
+                sectors * static_cast<double>(isa::sectorBytes);
+            counters.txns[static_cast<std::size_t>(
+                isa::TxnLevel::DramToL2)] += sectors;
+            counters.writebackSectors += sectors;
+
+            unsigned home = pages.touch(line_addr, g);
+            noc::Tick at_home = t;
+            if (home != g && network != nullptr) {
+                counters.remoteSectors += sectors;
+                at_home = network->transfer(t, g, home, bytes);
+            } else {
+                counters.localSectors += sectors;
+            }
+            drained = std::max(drained,
+                               drams[home].acquire(at_home, bytes));
+        }
+    }
+    return drained;
+}
+
+Count
+MemSystem::l1Accesses() const
+{
+    Count total = 0;
+    for (const auto &l1 : l1s)
+        total += l1.accesses();
+    return total;
+}
+
+Count
+MemSystem::l1SectorHits() const
+{
+    Count total = 0;
+    for (const auto &l1 : l1s)
+        total += l1.sectorHits();
+    return total;
+}
+
+Count
+MemSystem::l2Accesses() const
+{
+    Count total = 0;
+    for (const auto &l2 : l2s)
+        total += l2.accesses();
+    return total;
+}
+
+Count
+MemSystem::l2SectorHits() const
+{
+    Count total = 0;
+    for (const auto &l2 : l2s)
+        total += l2.sectorHits();
+    return total;
+}
+
+double
+MemSystem::dramQueueing() const
+{
+    double total = 0.0;
+    for (const auto &dram : drams)
+        total += dram.queueingCycles();
+    return total;
+}
+
+double
+MemSystem::dramBusy() const
+{
+    double total = 0.0;
+    for (const auto &dram : drams)
+        total += dram.busyCycles();
+    return total;
+}
+
+} // namespace mmgpu::mem

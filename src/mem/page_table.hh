@@ -1,0 +1,82 @@
+/**
+ * @file
+ * First-touch page placement.
+ *
+ * Multi-module configurations place each 4 KB page of global memory
+ * on the GPM whose SM touches it first, as proposed by the MCM-GPU
+ * and NUMA-GPU papers the study builds on (§V-A1). Combined with
+ * contiguous CTA-to-GPM assignment this localizes block-partitioned
+ * data while leaving irregular accesses distributed — the locality
+ * behaviour the paper's NUMA analysis rests on.
+ */
+
+#ifndef MMGPU_MEM_PAGE_TABLE_HH
+#define MMGPU_MEM_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/units.hh"
+
+namespace mmgpu::mem
+{
+
+/** Maps pages to their home GPM on first touch. */
+class PageTable
+{
+  public:
+    /** Page size in bytes. */
+    static constexpr Bytes pageBytes = 4096;
+
+    /** @param gpm_count Number of GPMs pages can be homed on. */
+    explicit PageTable(unsigned gpm_count) : gpmCount(gpm_count) {}
+
+    /**
+     * Resolve the home GPM of @p addr, homing the page on
+     * @p accessor_gpm if untouched.
+     * @return the page's home GPM.
+     */
+    unsigned
+    touch(std::uint64_t addr, unsigned accessor_gpm)
+    {
+        std::uint64_t page = addr / pageBytes;
+        auto [it, inserted] = table.try_emplace(page, accessor_gpm);
+        if (inserted)
+            ++firstTouches_;
+        return it->second;
+    }
+
+    /**
+     * Query without homing.
+     * @return home GPM, or gpm_count (an invalid id) if unmapped.
+     */
+    unsigned
+    homeOf(std::uint64_t addr) const
+    {
+        auto it = table.find(addr / pageBytes);
+        return it == table.end() ? gpmCount : it->second;
+    }
+
+    /** Pages mapped so far. */
+    Count mappedPages() const { return table.size(); }
+
+    /** First-touch events (== mappedPages, kept for test clarity). */
+    Count firstTouches() const { return firstTouches_; }
+
+    /** Drop all mappings (between independent runs). */
+    void
+    reset()
+    {
+        table.clear();
+        firstTouches_ = 0;
+    }
+
+  private:
+    unsigned gpmCount;
+    std::unordered_map<std::uint64_t, unsigned> table;
+    Count firstTouches_ = 0;
+};
+
+} // namespace mmgpu::mem
+
+#endif // MMGPU_MEM_PAGE_TABLE_HH

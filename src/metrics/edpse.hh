@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Scaling-efficiency metrics (paper §III).
+ *
+ * EDP Scaling Efficiency (EDPSE) is the paper's contribution: the
+ * fraction of linear EDP scaling a design realizes when hardware is
+ * replicated N times (Eq. 2), generalized to EDiPSE for EDiP metrics
+ * (Eq. 3). Parallel efficiency (Eq. 1) is the classical
+ * performance-only counterpart.
+ */
+
+#ifndef MMGPU_METRICS_EDPSE_HH
+#define MMGPU_METRICS_EDPSE_HH
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace mmgpu::metrics
+{
+
+/** Energy/delay observation of one run. */
+struct EnergyDelay
+{
+    Joules energy = 0.0;
+    Seconds delay = 0.0;
+};
+
+/** Energy-delay product E * D. */
+inline double
+edp(const EnergyDelay &point)
+{
+    return point.energy * point.delay;
+}
+
+/** Generalized energy-delay product E * D^i. */
+inline double
+edip(const EnergyDelay &point, int i)
+{
+    mmgpu_assert(i >= 1, "EDiP exponent must be >= 1");
+    return point.energy * std::pow(point.delay, i);
+}
+
+/**
+ * Parallel efficiency in percent (Eq. 1):
+ *   t1 * 100 / (N * tN).
+ *
+ * @param t1 Execution time on 1 processor.
+ * @param tn Execution time on @p n processors.
+ * @param n Processor count.
+ */
+inline double
+parallelEfficiency(Seconds t1, Seconds tn, unsigned n)
+{
+    mmgpu_assert(n >= 1 && t1 > 0.0 && tn > 0.0,
+                 "bad parallel-efficiency inputs");
+    return t1 * 100.0 / (static_cast<double>(n) * tn);
+}
+
+/**
+ * EDP Scaling Efficiency in percent (Eq. 2):
+ *   EDP1 * 100 / (N * EDPN).
+ *
+ * 100% means linear EDP scaling (N-fold speedup at constant energy);
+ * values above 100% indicate super-linear speedup or an energy
+ * decrease (paper footnote 1).
+ *
+ * @param one The 1-processor observation.
+ * @param scaled The N-processor observation.
+ * @param n Resource replication factor.
+ */
+inline double
+edpse(const EnergyDelay &one, const EnergyDelay &scaled, unsigned n)
+{
+    mmgpu_assert(n >= 1, "EDPSE with zero resources");
+    double scaled_edp = edp(scaled);
+    mmgpu_assert(scaled_edp > 0.0, "EDPSE with non-positive EDP");
+    return edp(one) * 100.0 / (static_cast<double>(n) * scaled_edp);
+}
+
+/**
+ * EDiP Scaling Efficiency in percent (Eq. 3):
+ *   EDiP1 * 100 / (N^i * EDiPN).
+ */
+inline double
+edipse(const EnergyDelay &one, const EnergyDelay &scaled, unsigned n,
+       int i)
+{
+    mmgpu_assert(n >= 1, "EDiPSE with zero resources");
+    double scaled_edip = edip(scaled, i);
+    mmgpu_assert(scaled_edip > 0.0, "EDiPSE with non-positive EDiP");
+    return edip(one, i) * 100.0 /
+           (std::pow(static_cast<double>(n), i) * scaled_edip);
+}
+
+/** Speedup t1/tN. */
+inline double
+speedup(Seconds t1, Seconds tn)
+{
+    mmgpu_assert(tn > 0.0, "speedup with zero time");
+    return t1 / tn;
+}
+
+} // namespace mmgpu::metrics
+
+#endif // MMGPU_METRICS_EDPSE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bandwidth server — the basic contention primitive of the simulator.
+ *
+ * Every shared resource with a byte/cycle capacity (DRAM channel,
+ * L2 bank group, intra-GPM NoC, ring link, switch port) is modelled
+ * as a bandwidth server: requests serialize on it in arrival order
+ * and queueing delay emerges when offered load exceeds capacity.
+ * The paper's central performance effect — GPM idle time caused by
+ * inter-GPM bandwidth pressure (§V-B) — emerges from exactly this
+ * mechanism rather than being scripted.
+ *
+ * The simulator's event loop processes warp continuations in global
+ * time order, so acquire() calls arrive with non-decreasing
+ * timestamps and a single scalar "next free" suffices.
+ */
+
+#ifndef MMGPU_NOC_BANDWIDTH_SERVER_HH
+#define MMGPU_NOC_BANDWIDTH_SERVER_HH
+
+#include <string>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace mmgpu::noc
+{
+
+/** Simulation timestamps in (fractional) core cycles. */
+using Tick = double;
+
+/** A FIFO resource with a fixed byte/cycle service rate. */
+class BandwidthServer
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param bytes_per_cycle Service capacity; must be > 0.
+     */
+    BandwidthServer(std::string name, double bytes_per_cycle)
+        : name_(std::move(name)), bytesPerCycle(bytes_per_cycle)
+    {
+        if (bytes_per_cycle <= 0.0)
+            mmgpu_fatal("bandwidth server '", name_,
+                        "' configured with non-positive rate");
+    }
+
+    /**
+     * Serialize a @p bytes transfer arriving at time @p t.
+     * @return the completion time of the transfer.
+     */
+    Tick
+    acquire(Tick t, double bytes)
+    {
+        Tick start = t > nextFree ? t : nextFree;
+        Tick service = bytes / bytesPerCycle;
+        nextFree = start + service;
+        busy += service;
+        queueing += start - t;
+        ++requests;
+        return nextFree;
+    }
+
+    /** Total cycles spent serving transfers. */
+    double busyCycles() const { return busy; }
+
+    /** Total queueing delay imposed on requests, in cycles. */
+    double queueingCycles() const { return queueing; }
+
+    /** Number of transfers served. */
+    Count requestCount() const { return requests; }
+
+    /** Configured capacity in bytes/cycle. */
+    double rate() const { return bytesPerCycle; }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** Forget all history (between launches/runs). */
+    void
+    reset()
+    {
+        nextFree = 0.0;
+        busy = 0.0;
+        queueing = 0.0;
+        requests = 0;
+    }
+
+  private:
+    std::string name_;
+    double bytesPerCycle;
+    Tick nextFree = 0.0;
+    double busy = 0.0;
+    double queueing = 0.0;
+    Count requests = 0;
+};
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_BANDWIDTH_SERVER_HH

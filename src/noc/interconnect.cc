@@ -1,0 +1,210 @@
+#include "noc/interconnect.hh"
+
+#include <array>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu::noc
+{
+
+const char *
+topologyName(Topology topology)
+{
+    switch (topology) {
+      case Topology::None:
+        return "monolithic";
+      case Topology::Ring:
+        return "ring";
+      case Topology::Switch:
+        return "switch";
+      default:
+        mmgpu_panic("bad topology");
+    }
+}
+
+namespace
+{
+
+std::string
+linkName(const char *kind, unsigned gpm, const char *suffix)
+{
+    std::ostringstream os;
+    os << kind << gpm << suffix;
+    return os.str();
+}
+
+} // namespace
+
+RingNetwork::RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
+                         Cycles hop_latency)
+    : gpmCount(gpm_count), hopLatency(hop_latency)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("ring requires >= 2 GPMs, got ", gpm_count);
+    links.reserve(gpm_count);
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        links.push_back(std::array<BandwidthServer, 2>{
+            BandwidthServer(linkName("ring", g, ".cw"),
+                            link_bytes_per_cycle),
+            BandwidthServer(linkName("ring", g, ".ccw"),
+                            link_bytes_per_cycle)});
+    }
+}
+
+unsigned
+RingNetwork::hopCount(unsigned src, unsigned dst) const
+{
+    mmgpu_assert(src < gpmCount && dst < gpmCount, "bad GPM id");
+    unsigned forward = (dst + gpmCount - src) % gpmCount;
+    unsigned backward = gpmCount - forward;
+    return forward <= backward ? forward : backward;
+}
+
+HopOutcome
+RingNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
+{
+    mmgpu_assert(current < gpmCount && dst < gpmCount, "bad GPM id");
+    mmgpu_assert(current != dst, "ring step at destination");
+
+    unsigned forward = (dst + gpmCount - current) % gpmCount;
+    unsigned backward = gpmCount - forward;
+    bool clockwise = forward <= backward;
+
+    BandwidthServer &link =
+        clockwise ? links[current][0] : links[current][1];
+    HopOutcome hop;
+    hop.ready = link.acquire(t, bytes) + static_cast<double>(hopLatency);
+    hop.next = clockwise ? (current + 1) % gpmCount
+                         : (current + gpmCount - 1) % gpmCount;
+    hop.arrived = hop.next == dst;
+    traffic_.byteHops += static_cast<Count>(bytes);
+    return hop;
+}
+
+double
+RingNetwork::totalQueueing() const
+{
+    double total = 0.0;
+    for (const auto &pair : links)
+        total += pair[0].queueingCycles() + pair[1].queueingCycles();
+    return total;
+}
+
+double
+RingNetwork::totalBusy() const
+{
+    double total = 0.0;
+    for (const auto &pair : links)
+        total += pair[0].busyCycles() + pair[1].busyCycles();
+    return total;
+}
+
+void
+RingNetwork::reset()
+{
+    for (auto &pair : links) {
+        pair[0].reset();
+        pair[1].reset();
+    }
+    traffic_.reset();
+}
+
+SwitchNetwork::SwitchNetwork(unsigned gpm_count,
+                             double link_bytes_per_cycle,
+                             Cycles port_latency, Cycles fabric_latency)
+    : gpmCount(gpm_count), portLatency(port_latency),
+      fabricLatency(fabric_latency)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("switch requires >= 2 GPMs, got ", gpm_count);
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        uplinks.emplace_back(linkName("sw", g, ".up"),
+                             link_bytes_per_cycle);
+        downlinks.emplace_back(linkName("sw", g, ".down"),
+                               link_bytes_per_cycle);
+    }
+}
+
+HopOutcome
+SwitchNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
+{
+    mmgpu_assert(dst < downlinks.size(), "bad GPM id");
+    HopOutcome hop;
+    if (current != fabricNode()) {
+        // GPM -> switch: uplink traversal + fabric crossing.
+        mmgpu_assert(current < uplinks.size(), "bad GPM id");
+        mmgpu_assert(current != dst, "switch step at destination");
+        hop.ready = uplinks[current].acquire(t, bytes)
+                    + static_cast<double>(portLatency)
+                    + static_cast<double>(fabricLatency);
+        hop.next = fabricNode();
+        hop.arrived = false;
+        traffic_.byteHops += static_cast<Count>(bytes);
+        traffic_.switchBytes += static_cast<Count>(bytes);
+    } else {
+        // Switch -> GPM: downlink traversal.
+        hop.ready = downlinks[dst].acquire(t, bytes)
+                    + static_cast<double>(portLatency);
+        hop.next = dst;
+        hop.arrived = true;
+        traffic_.byteHops += static_cast<Count>(bytes);
+    }
+    return hop;
+}
+
+double
+SwitchNetwork::totalQueueing() const
+{
+    double total = 0.0;
+    for (const auto &link : uplinks)
+        total += link.queueingCycles();
+    for (const auto &link : downlinks)
+        total += link.queueingCycles();
+    return total;
+}
+
+double
+SwitchNetwork::totalBusy() const
+{
+    double total = 0.0;
+    for (const auto &link : uplinks)
+        total += link.busyCycles();
+    for (const auto &link : downlinks)
+        total += link.busyCycles();
+    return total;
+}
+
+void
+SwitchNetwork::reset()
+{
+    for (auto &link : uplinks)
+        link.reset();
+    for (auto &link : downlinks)
+        link.reset();
+    traffic_.reset();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeNetwork(Topology topology, unsigned gpm_count,
+            double per_gpm_io_bytes_per_cycle, Cycles hop_latency,
+            Cycles switch_latency)
+{
+    switch (topology) {
+      case Topology::None:
+        return nullptr;
+      case Topology::Ring:
+        // A GPM's I/O bandwidth is split across its two ring
+        // directions.
+        return std::make_unique<RingNetwork>(
+            gpm_count, per_gpm_io_bytes_per_cycle / 2.0, hop_latency);
+      case Topology::Switch:
+        return std::make_unique<SwitchNetwork>(
+            gpm_count, per_gpm_io_bytes_per_cycle, hop_latency,
+            switch_latency);
+      default:
+        mmgpu_panic("bad topology");
+    }
+}
+
+} // namespace mmgpu::noc

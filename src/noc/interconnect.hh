@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Inter-GPM interconnection networks: ring and high-radix switch.
+ *
+ * The paper evaluates two topologies (§V-A1, §V-C):
+ *  - a ring, the default for on-package integration, where a transfer
+ *    traverses every link between source and destination (shortest
+ *    direction) and therefore consumes bandwidth on each hop; and
+ *  - a high-radix switch (NVSwitch-style) for on-board systems, where
+ *    a transfer crosses exactly one uplink and one downlink plus a
+ *    non-blocking fabric, at the cost of an extra 10 pJ/bit.
+ *
+ * Both report the traffic quantities GPUJoule charges energy for:
+ * byte-hops over GPM endpoint links and bytes through the switch.
+ */
+
+#ifndef MMGPU_NOC_INTERCONNECT_HH
+#define MMGPU_NOC_INTERCONNECT_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/units.hh"
+#include "noc/bandwidth_server.hh"
+
+namespace mmgpu::noc
+{
+
+/** Inter-GPM topology selector. */
+enum class Topology : std::uint8_t
+{
+    None,    //!< monolithic GPU, no inter-GPM network
+    Ring,    //!< bidirectional ring, shortest-direction routing
+    Switch,  //!< single-hop high-radix switch
+};
+
+/** @return human-readable topology name. */
+const char *topologyName(Topology topology);
+
+/** Traffic accounting for link-energy attribution. */
+struct LinkTraffic
+{
+    /**
+     * Bytes × links-traversed: the *bandwidth* consumed on the
+     * network (through-traffic loads every intermediate ring link).
+     * Diagnostic for congestion analyses.
+     */
+    Count byteHops = 0;
+
+    /**
+     * Bytes entering the network, counted once per message. The
+     * inter-GPM pJ/bit energy figures the paper uses ([23], [5])
+     * are per transferred bit, so GPUJoule charges link energy
+     * against this quantity.
+     */
+    Count messageBytes = 0;
+
+    /** Bytes passing through the switch fabric; multiplied by the
+     *  additional per-switch pJ/bit energy. */
+    Count switchBytes = 0;
+
+    /** Messages that crossed the network. */
+    Count transfers = 0;
+
+    void
+    reset()
+    {
+        byteHops = 0;
+        messageBytes = 0;
+        switchBytes = 0;
+        transfers = 0;
+    }
+};
+
+/** Outcome of advancing a message by one network hop. */
+struct HopOutcome
+{
+    /** Time the message is available at the next node. */
+    Tick ready = 0.0;
+
+    /** Node the message is now at (may be the switch fabric's
+     *  sentinel id == gpmCount). */
+    unsigned next = 0;
+
+    /** True once the message has reached its destination GPM. */
+    bool arrived = false;
+};
+
+/**
+ * Abstract inter-GPM network.
+ *
+ * The primary interface is stepwise: the simulation engine advances a
+ * message one hop per calendar event via step(), so every link sees
+ * arrivals in calendar-time order even under congestion. The
+ * synchronous transfer() convenience walks all hops at once and is
+ * reserved for quiescent points (kernel-boundary writeback drains)
+ * and tests.
+ */
+class InterGpmNetwork
+{
+  public:
+    virtual ~InterGpmNetwork() = default;
+
+    /**
+     * Advance @p bytes currently at node @p current one hop toward
+     * GPM @p dst, contending on that hop's link starting at @p t.
+     */
+    virtual HopOutcome step(unsigned current, unsigned dst, Tick t,
+                            double bytes) = 0;
+
+    /**
+     * Move @p bytes from GPM @p src to GPM @p dst starting at @p t,
+     * walking all hops synchronously.
+     * @return delivery completion time.
+     */
+    Tick
+    transfer(Tick t, unsigned src, unsigned dst, double bytes)
+    {
+        noteTransfer(bytes);
+        unsigned node = src;
+        Tick now = t;
+        while (true) {
+            HopOutcome hop = step(node, dst, now, bytes);
+            now = hop.ready;
+            node = hop.next;
+            if (hop.arrived)
+                return now;
+        }
+    }
+
+    /** Count one logical message of @p bytes entering the network
+     *  (called by the engine when it starts a stepwise journey). */
+    void
+    noteTransfer(double bytes)
+    {
+        ++traffic_.transfers;
+        traffic_.messageBytes += static_cast<Count>(bytes);
+    }
+
+    /** Accumulated traffic since the last reset. */
+    const LinkTraffic &traffic() const { return traffic_; }
+
+    /** Aggregate queueing cycles across all links (congestion probe). */
+    virtual double totalQueueing() const = 0;
+
+    /** Aggregate busy cycles across all links (utilization probe). */
+    virtual double totalBusy() const = 0;
+
+    /** Clear link state and traffic counters. */
+    virtual void reset() = 0;
+
+  protected:
+    LinkTraffic traffic_;
+};
+
+/**
+ * Bidirectional ring. Each GPM owns one link per direction; a
+ * transfer acquires every link along the shorter path in sequence
+ * (store-and-forward), so intermediate GPMs' links are consumed by
+ * through-traffic — the bandwidth amplification that makes rings
+ * collapse at high GPM counts (paper §V-B).
+ */
+class RingNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count Number of GPMs on the ring (>= 2).
+     * @param link_bytes_per_cycle Per-link, per-direction capacity.
+     *        The paper's per-GPM I/O bandwidth setting is split
+     *        across the two directions a GPM can send into.
+     * @param hop_latency Per-hop pipeline latency in cycles.
+     */
+    RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
+                Cycles hop_latency);
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void reset() override;
+
+    /** Hop count of the shorter direction from @p src to @p dst. */
+    unsigned hopCount(unsigned src, unsigned dst) const;
+
+  private:
+    unsigned gpmCount;
+    Cycles hopLatency;
+    /** links[g][0] = clockwise link out of GPM g, [1] = ccw. */
+    std::vector<std::array<BandwidthServer, 2>> links;
+};
+
+/**
+ * High-radix switch: every GPM has one uplink and one downlink to a
+ * non-blocking fabric, so a transfer always costs exactly two
+ * endpoint link traversals regardless of GPM count.
+ */
+class SwitchNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count Number of GPMs attached (>= 2).
+     * @param link_bytes_per_cycle Per-port, per-direction capacity
+     *        (the full per-GPM I/O bandwidth setting).
+     * @param port_latency One-way port latency in cycles.
+     * @param fabric_latency Fabric crossing latency in cycles.
+     */
+    SwitchNetwork(unsigned gpm_count, double link_bytes_per_cycle,
+                  Cycles port_latency, Cycles fabric_latency);
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void reset() override;
+
+    /** Sentinel node id representing "inside the switch fabric". */
+    unsigned fabricNode() const { return gpmCount; }
+
+  private:
+    unsigned gpmCount;
+    Cycles portLatency;
+    Cycles fabricLatency;
+    std::vector<BandwidthServer> uplinks;
+    std::vector<BandwidthServer> downlinks;
+};
+
+/**
+ * Build the network for @p topology.
+ * @return nullptr for Topology::None.
+ */
+std::unique_ptr<InterGpmNetwork>
+makeNetwork(Topology topology, unsigned gpm_count,
+            double per_gpm_io_bytes_per_cycle, Cycles hop_latency,
+            Cycles switch_latency);
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_INTERCONNECT_HH

@@ -1,0 +1,43 @@
+#include "power/measurement.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::power
+{
+
+Watts
+PowerMeter::measureSteadyPower(const PowerTimeline &timeline,
+                               Seconds roi_start, Seconds roi_end)
+{
+    mmgpu_assert(roi_end > roi_start, "empty measurement ROI");
+    const Seconds period = sensor->spec().refreshPeriod;
+    double sum = 0.0;
+    unsigned samples = 0;
+    for (Seconds t = roi_start + period; t <= roi_end; t += period) {
+        sum += sensor->read(timeline, t);
+        ++samples;
+    }
+    if (samples == 0) {
+        // ROI shorter than one refresh period: best the tool can do
+        // is a single read at the end.
+        return sensor->read(timeline, roi_end);
+    }
+    return sum / samples;
+}
+
+Joules
+PowerMeter::attributeKernelEnergy(
+    const PowerTimeline &timeline,
+    const std::vector<KernelWindow> &windows)
+{
+    Joules total = 0.0;
+    for (const auto &window : windows) {
+        mmgpu_assert(window.end >= window.start,
+                     "inverted kernel window");
+        Watts at_end = sensor->read(timeline, window.end);
+        total += at_end * (window.end - window.start);
+    }
+    return total;
+}
+
+} // namespace mmgpu::power

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Power-measurement protocols over the sensor.
+ *
+ * These reproduce how the paper's measurements are actually taken on
+ * hardware: polling the NVML-like sensor while a benchmark runs.
+ * Two protocols are provided:
+ *
+ *  - steady-state power (microbenchmarks, Eq. 5): average the
+ *    sensor over the steady region of a long-running benchmark;
+ *  - per-kernel energy attribution (application validation):
+ *    attribute to each kernel window the sensor reading observed at
+ *    its end times its duration — accurate for kernels much longer
+ *    than the sensor response, systematically off for sub-refresh
+ *    kernels, reproducing the paper's BFS/MiniAMR outliers.
+ */
+
+#ifndef MMGPU_POWER_MEASUREMENT_HH
+#define MMGPU_POWER_MEASUREMENT_HH
+
+#include <vector>
+
+#include "power/sensor.hh"
+#include "power/silicon.hh"
+
+namespace mmgpu::power
+{
+
+/** A kernel-execution window within a timeline. */
+struct KernelWindow
+{
+    Seconds start = 0.0;
+    Seconds end = 0.0;
+};
+
+/** Measurement protocols. */
+class PowerMeter
+{
+  public:
+    /** @param sensor Sensor to poll (not owned). */
+    explicit PowerMeter(PowerSensor &sensor) : sensor(&sensor) {}
+
+    /**
+     * Average sensor reading over [roi_start, roi_end], polling at
+     * the sensor's refresh period (the paper's steady-state
+     * microbenchmark protocol).
+     */
+    Watts measureSteadyPower(const PowerTimeline &timeline,
+                             Seconds roi_start, Seconds roi_end);
+
+    /**
+     * Per-kernel energy attribution: for each window, energy is the
+     * sensor value at the window's end times the window duration,
+     * summed over all windows (how per-kernel power tooling
+     * attributes energy on real hardware).
+     */
+    Joules attributeKernelEnergy(
+        const PowerTimeline &timeline,
+        const std::vector<KernelWindow> &windows);
+
+    /**
+     * Energy-per-instruction per Eq. 5:
+     *   (P_active - P_idle) * exec_time / instruction_count.
+     */
+    static Joules
+    energyPerEvent(Watts active, Watts idle, Seconds exec_time,
+                   double event_count)
+    {
+        if (event_count <= 0.0)
+            return 0.0;
+        return (active - idle) * exec_time / event_count;
+    }
+
+  private:
+    PowerSensor *sensor;
+};
+
+} // namespace mmgpu::power
+
+#endif // MMGPU_POWER_MEASUREMENT_HH

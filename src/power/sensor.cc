@@ -1,0 +1,75 @@
+#include "power/sensor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mmgpu::power
+{
+
+PowerSensor::PowerSensor(SensorSpec spec, std::uint64_t seed)
+    : spec_(spec), rng(seed)
+{
+    if (spec_.refreshPeriod <= 0.0 || spec_.responseTau <= 0.0)
+        mmgpu_fatal("sensor with non-positive time constants");
+}
+
+double
+PowerSensor::filteredPower(const PowerTimeline &timeline,
+                           Seconds t) const
+{
+    // Exponentially weighted average of the piecewise-constant true
+    // power, computed analytically phase by phase:
+    //   Pf(t) = P(0) e^{-t/tau}
+    //         + sum_i w_i (e^{-(t-hi)/tau} - e^{-(t-lo)/tau})
+    // where [lo, hi] is phase i clipped to [0, t].
+    // Contributions older than ~12 tau are below 1e-5 of the result;
+    // approximate pre-history by its average power and integrate the
+    // recent window in slices much finer than tau. Slicing a
+    // piecewise-constant signal with integrate()-averaged slices is
+    // the correct first-order-filter behaviour at sub-slice scale.
+    const double tau = spec_.responseTau;
+    const Seconds window = 12.0 * tau;
+    Seconds start = t > window ? t - window : 0.0;
+
+    double history;
+    if (start > 0.0) {
+        Seconds h0 = start > 2.0 * tau ? start - 2.0 * tau : 0.0;
+        history = start > h0
+                      ? timeline.integrate(h0, start) / (start - h0)
+                      : timeline.powerAt(0.0);
+    } else {
+        history = timeline.powerAt(0.0);
+    }
+    double filtered = history * std::exp(-(t - start) / tau);
+
+    const Seconds slice = tau / 16.0;
+    Seconds cursor = start;
+    while (cursor < t) {
+        Seconds hi = cursor + slice < t ? cursor + slice : t;
+        double avg = timeline.integrate(cursor, hi) / (hi - cursor);
+        filtered += avg * (std::exp(-(t - hi) / tau) -
+                           std::exp(-(t - cursor) / tau));
+        cursor = hi;
+    }
+    return filtered;
+}
+
+Watts
+PowerSensor::read(const PowerTimeline &timeline, Seconds t)
+{
+    mmgpu_assert(t >= 0.0, "sensor read before time zero");
+    // The register updates every refreshPeriod; a read returns the
+    // value latched at the most recent refresh tick.
+    Seconds latch =
+        std::floor(t / spec_.refreshPeriod) * spec_.refreshPeriod;
+    double value = filteredPower(timeline, latch);
+
+    value *= 1.0 + spec_.noiseSigma * rng.gaussian();
+    if (spec_.quantization > 0.0)
+        value = std::round(value / spec_.quantization) *
+                spec_.quantization;
+    return value < 0.0 ? 0.0 : value;
+}
+
+} // namespace mmgpu::power

@@ -1,0 +1,66 @@
+#include "power/silicon.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mmgpu::power
+{
+
+Watts
+PowerTimeline::powerAt(Seconds t) const
+{
+    if (t < 0.0 || endTimes.empty() || t >= endTimes.back())
+        return 0.0;
+    auto it = std::upper_bound(endTimes.begin(), endTimes.end(), t);
+    return watts_[static_cast<std::size_t>(it - endTimes.begin())];
+}
+
+Joules
+PowerTimeline::cumulativeTo(Seconds t) const
+{
+    if (t <= 0.0 || endTimes.empty())
+        return 0.0;
+    if (t >= endTimes.back())
+        return cumEnergy.back();
+    auto it = std::upper_bound(endTimes.begin(), endTimes.end(), t);
+    auto idx = static_cast<std::size_t>(it - endTimes.begin());
+    Joules before = idx == 0 ? 0.0 : cumEnergy[idx - 1];
+    Seconds phase_start = idx == 0 ? 0.0 : endTimes[idx - 1];
+    return before + watts_[idx] * (t - phase_start);
+}
+
+Joules
+PowerTimeline::integrate(Seconds t0, Seconds t1) const
+{
+    mmgpu_assert(t1 >= t0, "inverted integration bounds");
+    return cumulativeTo(t1) - cumulativeTo(t0);
+}
+
+Watts
+SiliconGpu::kernelPower(const ActivityRates &rates) const
+{
+    Watts power = truth_.idlePower;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i)
+        power += rates.instrRates[i] * truth_.epi[i];
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i)
+        power += rates.txnRates[i] * truth_.ept[i];
+    power += rates.stallRate * truth_.stallEnergyPerSmCycle;
+
+    // DRAM background: exposed at low utilization, amortized into
+    // per-transaction energy near peak (see GroundTruth docs).
+    double dram_rate = rates.txnRates[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)];
+    if (dram_rate > 0.0 && truth_.dramSectorRateMax > 0.0 &&
+        truth_.memFloorKnee > 0.0) {
+        double u = dram_rate / truth_.dramSectorRateMax;
+        if (u > 1.0)
+            u = 1.0;
+        power += truth_.memActiveFloor *
+                 std::exp(-u / truth_.memFloorKnee);
+    }
+    return power;
+}
+
+} // namespace mmgpu::power

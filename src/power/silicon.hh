@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Virtual silicon: the "real GPU" the GPUJoule methodology measures.
+ *
+ * The paper calibrates and validates GPUJoule against an NVIDIA Tesla
+ * K40 with an on-board power sensor. Here the K40 is replaced by a
+ * virtual device with *hidden* ground-truth energy coefficients: the
+ * calibration pipeline may only observe it through the NVML-like
+ * power sensor (power/sensor.hh), never read the coefficients
+ * directly. This preserves the paper's measurement problem — the
+ * model must recover per-instruction energies from noisy, quantized,
+ * time-averaged power readings — and lets us quantify the protocol's
+ * error exactly (Figures 4a/4b).
+ *
+ * The ground truth also carries effects the GPUJoule model class
+ * deliberately omits, reproducing the paper's documented validation
+ * outliers: a memory-subsystem active floor (burned whenever a kernel
+ * runs, even at near-zero traffic — RSBench/CoMD underestimation)
+ * and kernel-length sensitivity through the sensor model (BFS/MiniAMR
+ * misprediction).
+ */
+
+#ifndef MMGPU_POWER_SILICON_HH
+#define MMGPU_POWER_SILICON_HH
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "isa/instruction.hh"
+#include "isa/opcode.hh"
+
+namespace mmgpu::power
+{
+
+/** Hidden per-device energy coefficients. */
+struct GroundTruth
+{
+    /** Joules per thread-level instruction, per opcode. */
+    std::array<Joules, isa::numOpcodes> epi{};
+
+    /** Joules per memory transaction, per TxnLevel. */
+    std::array<Joules, isa::numTxnLevels> ept{};
+
+    /** Device idle power (VRs, PDN, host I/O, leakage). */
+    Watts idlePower = 0.0;
+
+    /**
+     * Memory-subsystem background power: once there is *any* DRAM
+     * traffic the DRAM exits self-refresh and burns a background
+     * power that per-transaction accounting cannot see. The
+     * background is fully exposed at very low utilization and
+     * amortized into per-transaction costs as traffic grows:
+     *   P_floor(u) = memActiveFloor * exp(-u / memFloorKnee)
+     * for u > 0, with u = DRAM sector rate / dramSectorRateMax.
+     * The sharp knee means only applications that keep the DRAM
+     * *nearly* idle expose the background — the nonlinearity behind
+     * GPUJoule's documented underestimation for low-memory-
+     * utilization applications (paper §IV-B2: RSBench, CoMD).
+     */
+    Watts memActiveFloor = 0.0;
+
+    /** Utilization scale of the background's decay. */
+    double memFloorKnee = 0.08;
+
+    /** DRAM sector rate (32 B transactions/s) at peak bandwidth,
+     *  used to compute the utilization u above. */
+    double dramSectorRateMax = 1.0;
+
+    /** Joules per SM-cycle spent stalled with resident work. */
+    Joules stallEnergyPerSmCycle = 0.0;
+};
+
+/**
+ * Steady-state activity of the device while a kernel runs.
+ * Rates are per second of wall-clock time.
+ */
+struct ActivityRates
+{
+    /** Thread-level instructions per second, per opcode. */
+    std::array<double, isa::numOpcodes> instrRates{};
+
+    /** Memory transactions per second, per TxnLevel. */
+    std::array<double, isa::numTxnLevels> txnRates{};
+
+    /** SM stall cycles per second (summed over SMs). */
+    double stallRate = 0.0;
+};
+
+/**
+ * A piecewise-constant power-versus-time trace with O(log n) lookup
+ * and integration (prefix sums over phase boundaries).
+ */
+class PowerTimeline
+{
+  public:
+    /** Append a phase of @p duration seconds at @p watts. */
+    void
+    addPhase(Seconds duration, Watts watts)
+    {
+        if (duration <= 0.0)
+            return;
+        watts_.push_back(watts);
+        endTimes.push_back((endTimes.empty() ? 0.0 : endTimes.back()) +
+                           duration);
+        cumEnergy.push_back(
+            (cumEnergy.empty() ? 0.0 : cumEnergy.back()) +
+            watts * duration);
+    }
+
+    /** Total duration. */
+    Seconds
+    duration() const
+    {
+        return endTimes.empty() ? 0.0 : endTimes.back();
+    }
+
+    /** Number of phases. */
+    std::size_t phaseCount() const { return watts_.size(); }
+
+    /** Instantaneous power at time @p t (0 past the end). */
+    Watts powerAt(Seconds t) const;
+
+    /** Exact energy over [t0, t1] (ground truth integration). */
+    Joules integrate(Seconds t0, Seconds t1) const;
+
+    /** Exact total energy. */
+    Joules totalEnergy() const { return integrate(0.0, duration()); }
+
+  private:
+    /** Cumulative energy from 0 to @p t. */
+    Joules cumulativeTo(Seconds t) const;
+
+    std::vector<Watts> watts_;
+    std::vector<Seconds> endTimes;  //!< end time of each phase
+    std::vector<Joules> cumEnergy;  //!< energy from 0 to each end
+};
+
+/** The virtual device. */
+class SiliconGpu
+{
+  public:
+    /** @param truth Hidden coefficients (calibration code must not
+     *         retain access to them; only tests may). */
+    explicit SiliconGpu(GroundTruth truth) : truth_(std::move(truth)) {}
+
+    /** True steady-state power for a running kernel with @p rates. */
+    Watts kernelPower(const ActivityRates &rates) const;
+
+    /** True idle power. */
+    Watts idlePower() const { return truth_.idlePower; }
+
+    /**
+     * Ground truth accessor — for tests and oracle comparisons only
+     * (the calibration pipeline never calls this).
+     */
+    const GroundTruth &oracle() const { return truth_; }
+
+  private:
+    GroundTruth truth_;
+};
+
+} // namespace mmgpu::power
+
+#endif // MMGPU_POWER_SILICON_HH

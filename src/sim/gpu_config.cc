@@ -1,0 +1,146 @@
+#include "sim/gpu_config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmgpu::sim
+{
+
+const char *
+bwSettingName(BwSetting bw)
+{
+    switch (bw) {
+      case BwSetting::Bw1x:
+        return "1x-BW";
+      case BwSetting::Bw2x:
+        return "2x-BW";
+      case BwSetting::Bw4x:
+        return "4x-BW";
+      default:
+        mmgpu_panic("bad BwSetting");
+    }
+}
+
+double
+bwSettingBytesPerCycle(BwSetting bw)
+{
+    // 1 GHz core clock: N GB/s == N bytes/cycle.
+    switch (bw) {
+      case BwSetting::Bw1x:
+        return 128.0;
+      case BwSetting::Bw2x:
+        return 256.0;
+      case BwSetting::Bw4x:
+        return 512.0;
+      default:
+        mmgpu_panic("bad BwSetting");
+    }
+}
+
+const char *
+domainName(IntegrationDomain domain)
+{
+    return domain == IntegrationDomain::OnPackage ? "on-package"
+                                                  : "on-board";
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    return policy == PlacementPolicy::FirstTouchOwner
+               ? "first-touch"
+               : "striped";
+}
+
+IntegrationDomain
+defaultDomainFor(BwSetting bw)
+{
+    return bw == BwSetting::Bw1x ? IntegrationDomain::OnBoard
+                                 : IntegrationDomain::OnPackage;
+}
+
+void
+GpuConfig::validate() const
+{
+    if (gpmCount == 0 || smsPerGpm == 0 || warpSlotsPerSm == 0)
+        mmgpu_fatal("config '", name, "': zero-sized machine");
+    if (issueSlotsPerCycle <= 0.0)
+        mmgpu_fatal("config '", name, "': non-positive issue rate");
+    if (memory.gpmCount != gpmCount || memory.smsPerGpm != smsPerGpm)
+        mmgpu_fatal("config '", name,
+                    "': memory config disagrees with machine shape");
+    if (gpmCount > 1 && topology == noc::Topology::None)
+        mmgpu_fatal("config '", name,
+                    "': multi-GPM machine without interconnect");
+    if (gpmCount == 1 && topology != noc::Topology::None)
+        mmgpu_fatal("config '", name,
+                    "': single-GPM machine with an interconnect");
+}
+
+GpuConfig
+baselineConfig()
+{
+    GpuConfig config;
+    config.name = "1-GPM";
+    config.gpmCount = 1;
+    config.topology = noc::Topology::None;
+    config.memory.gpmCount = 1;
+    config.memory.smsPerGpm = config.smsPerGpm;
+    return config;
+}
+
+GpuConfig
+multiGpmConfig(unsigned gpm_count, BwSetting bw,
+               noc::Topology topology, IntegrationDomain domain)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("multiGpmConfig needs >= 2 GPMs, got ", gpm_count);
+
+    GpuConfig config = baselineConfig();
+    std::ostringstream name;
+    name << gpm_count << "-GPM/" << bwSettingName(bw) << "/"
+         << noc::topologyName(topology) << "/" << domainName(domain);
+    config.name = name.str();
+    config.gpmCount = gpm_count;
+    config.topology = topology;
+    config.domain = domain;
+    config.interGpmBytesPerCycle = bwSettingBytesPerCycle(bw);
+    config.memory.gpmCount = gpm_count;
+    return config;
+}
+
+GpuConfig
+monolithicConfig(unsigned scale)
+{
+    if (scale == 0)
+        mmgpu_fatal("monolithicConfig with zero scale");
+
+    GpuConfig config = baselineConfig();
+    std::ostringstream name;
+    name << scale << "x-monolithic";
+    config.name = name.str();
+    config.smsPerGpm = 16 * scale;
+    config.memory.smsPerGpm = config.smsPerGpm;
+    config.memory.l2BytesPerGpm = 2 * units::MiB * scale;
+    config.memory.dramBytesPerCycle = 256.0 * scale;
+    config.memory.nocBytesPerCycle = 1024.0 * scale;
+    return config;
+}
+
+const std::vector<unsigned> &
+tableThreeGpmCounts()
+{
+    static const std::vector<unsigned> counts = {2, 4, 8, 16, 32};
+    return counts;
+}
+
+const std::vector<BwSetting> &
+tableFourBwSettings()
+{
+    static const std::vector<BwSetting> settings = {
+        BwSetting::Bw1x, BwSetting::Bw2x, BwSetting::Bw4x};
+    return settings;
+}
+
+} // namespace mmgpu::sim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Whole-GPU configuration (paper Tables III and IV).
+ *
+ * The basic GPU module mirrors the paper's simulated 1-GPM building
+ * block: 16 SMs with 32 KB L1s, a 2 MB module-side L2, and one HBM
+ * stack at 256 GB/s. Multi-module configurations replicate the GPM
+ * 2-32x and attach an inter-GPM network whose per-GPM bandwidth is
+ * set relative to local DRAM bandwidth (1x-BW = 1:2, 2x-BW = 1:1,
+ * 4x-BW = 2:1).
+ */
+
+#ifndef MMGPU_SIM_GPU_CONFIG_HH
+#define MMGPU_SIM_GPU_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "mem/mem_system.hh"
+#include "noc/interconnect.hh"
+#include "sm/cta_scheduler.hh"
+
+namespace mmgpu::sim
+{
+
+/** Table IV inter-GPM bandwidth settings. */
+enum class BwSetting : std::uint8_t
+{
+    Bw1x,  //!< 128 GB/s per GPM, inter-GPM:DRAM = 1:2 (on-board)
+    Bw2x,  //!< 256 GB/s per GPM, 1:1 (on-package)
+    Bw4x,  //!< 512 GB/s per GPM, 2:1 (on-package, next-gen signaling)
+};
+
+/** @return "1x-BW" etc. */
+const char *bwSettingName(BwSetting bw);
+
+/** @return per-GPM inter-GPM bandwidth in bytes/cycle at 1 GHz. */
+double bwSettingBytesPerCycle(BwSetting bw);
+
+/** Physical integration domain (determines link energy + constant
+ *  energy amortization in the energy model). */
+enum class IntegrationDomain : std::uint8_t
+{
+    OnPackage,  //!< 0.54 pJ/bit links, shared platform overheads
+    OnBoard,    //!< 10 pJ/bit links, per-GPM platform overheads
+};
+
+/** @return "on-package" / "on-board". */
+const char *domainName(IntegrationDomain domain);
+
+/**
+ * Page-placement policy. FirstTouchOwner is the paper's baseline
+ * (first touch under distributed CTA scheduling, which homes each
+ * page on the GPM owning its byte range); Striped round-robins pages
+ * across GPMs — locality-oblivious, used by the ablation study of
+ * the paper's §V-E locality discussion.
+ */
+enum class PlacementPolicy : std::uint8_t
+{
+    FirstTouchOwner,
+    Striped,
+};
+
+/** @return human-readable placement-policy name. */
+const char *placementPolicyName(PlacementPolicy policy);
+
+/** Complete machine description for one simulation. */
+struct GpuConfig
+{
+    std::string name = "1-GPM";
+
+    unsigned gpmCount = 1;
+    unsigned smsPerGpm = 16;
+    unsigned warpSlotsPerSm = 32;
+    double issueSlotsPerCycle = 2.0;
+
+    /** Memory hierarchy parameters (gpmCount/smsPerGpm mirrored in). */
+    mem::MemConfig memory;
+
+    noc::Topology topology = noc::Topology::None;
+    IntegrationDomain domain = IntegrationDomain::OnPackage;
+
+    /** NUMA policy knobs (paper baselines; ablations override). */
+    PlacementPolicy placement = PlacementPolicy::FirstTouchOwner;
+    sm::CtaSchedPolicy ctaScheduling = sm::CtaSchedPolicy::Distributed;
+
+    /** Per-GPM inter-GPM I/O bandwidth, bytes/cycle per direction. */
+    double interGpmBytesPerCycle = 256.0;
+
+    Cycles hopLatency = 40;
+    Cycles switchLatency = 60;
+
+    /** Idle gap between consecutive kernel launches (driver/launch
+     *  overhead), charged only against constant power. */
+    Cycles launchOverhead = 2000;
+
+    /** Core clock. All configurations run at 1 GHz. */
+    ClockDomain clock{1.0e9};
+
+    /** Total SMs across the GPU. */
+    unsigned totalSms() const { return gpmCount * smsPerGpm; }
+
+    /** Consistency checks; fatal() on user error. */
+    void validate() const;
+};
+
+/** The paper's basic 1-GPM building block (Table III column 1). */
+GpuConfig baselineConfig();
+
+/**
+ * A Table III multi-module configuration.
+ *
+ * @param gpm_count 2..32 GPMs.
+ * @param bw Table IV bandwidth setting.
+ * @param topology Ring (default in the paper) or Switch.
+ * @param domain Integration domain; the paper pairs 1x-BW with
+ *        on-board and 2x/4x-BW with on-package, but the pairing is
+ *        overridable for the point studies.
+ */
+GpuConfig multiGpmConfig(unsigned gpm_count, BwSetting bw,
+                         noc::Topology topology = noc::Topology::Ring,
+                         IntegrationDomain domain =
+                             IntegrationDomain::OnPackage);
+
+/** Table IV's default domain pairing for a bandwidth setting. */
+IntegrationDomain defaultDomainFor(BwSetting bw);
+
+/**
+ * A hypothetical monolithic GPU with @p scale times the baseline
+ * resources on one die (used for the Figure 7 monolithic-scaling
+ * comparison): scale x SMs, scale x L2, scale x DRAM bandwidth, no
+ * inter-GPM network.
+ */
+GpuConfig monolithicConfig(unsigned scale);
+
+/** All Table III GPM counts: {2, 4, 8, 16, 32}. */
+const std::vector<unsigned> &tableThreeGpmCounts();
+
+/** All Table IV bandwidth settings. */
+const std::vector<BwSetting> &tableFourBwSettings();
+
+} // namespace mmgpu::sim
+
+#endif // MMGPU_SIM_GPU_CONFIG_HH

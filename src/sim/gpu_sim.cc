@@ -1,0 +1,645 @@
+#include "sim/gpu_sim.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mmgpu::sim
+{
+
+namespace
+{
+
+/** Bytes of a read-request header on the inter-GPM network. */
+constexpr double requestHeaderBytes = 8.0;
+
+} // namespace
+
+GpuSim::GpuSim(const GpuConfig &config) : config_(config)
+{
+    config_.validate();
+}
+
+GpuSim::~GpuSim() = default;
+
+void
+GpuSim::pushWarp(noc::Tick when, std::uint32_t slot)
+{
+    calendar.push({when, slot, false});
+}
+
+void
+GpuSim::pushMem(noc::Tick when, std::uint32_t task)
+{
+    calendar.push({when, task, true});
+}
+
+std::uint32_t
+GpuSim::allocTask()
+{
+    if (freeTasks.empty()) {
+        taskPool.emplace_back();
+        return static_cast<std::uint32_t>(taskPool.size() - 1);
+    }
+    std::uint32_t index = freeTasks.back();
+    freeTasks.pop_back();
+    return index;
+}
+
+void
+GpuSim::freeTask(std::uint32_t index)
+{
+    freeTasks.push_back(index);
+}
+
+std::uint32_t
+GpuSim::allocAccess()
+{
+    if (freeAccesses.empty()) {
+        accessPool.emplace_back();
+        return static_cast<std::uint32_t>(accessPool.size() - 1);
+    }
+    std::uint32_t index = freeAccesses.back();
+    freeAccesses.pop_back();
+    return index;
+}
+
+void
+GpuSim::freeAccess(std::uint32_t index)
+{
+    freeAccesses.push_back(index);
+}
+
+PerfResult
+GpuSim::run(const trace::KernelProfile &profile)
+{
+    profile.validate();
+
+    // Fresh machine state per run so GpuSim is reusable.
+    network = noc::makeNetwork(config_.topology, config_.gpmCount,
+                               config_.interGpmBytesPerCycle,
+                               config_.hopLatency,
+                               config_.switchLatency);
+    memory = std::make_unique<mem::MemSystem>(config_.memory,
+                                              network.get());
+    sms.clear();
+    for (unsigned s = 0; s < config_.totalSms(); ++s)
+        sms.emplace_back(s, s / config_.smsPerGpm,
+                         config_.warpSlotsPerSm,
+                         config_.issueSlotsPerCycle);
+
+    taskPool.clear();
+    freeTasks.clear();
+    accessPool.clear();
+    freeAccesses.clear();
+    instrs_.fill(0);
+    memCounters.reset();
+    busyAccum = 0.0;
+    stallAccum = 0.0;
+    occupiedAccum = 0.0;
+    endOfRun = 0.0;
+
+    trace::SegmentLayout layout(profile);
+
+    // Page placement. FirstTouchOwner is idealized first touch:
+    // every page is homed on the GPM of the CTA owning its byte
+    // range (that CTA is the page's first toucher under distributed
+    // CTA scheduling; doing it up front avoids simulation-order
+    // races with halo accesses). Striped round-robins pages across
+    // GPMs regardless of who uses them.
+    {
+        auto lists = sm::assignCtas(profile.ctaCount, config_.gpmCount,
+                                    config_.ctaScheduling);
+        std::vector<unsigned> cta_to_gpm(profile.ctaCount);
+        for (unsigned g = 0; g < lists.size(); ++g)
+            for (unsigned c : lists[g])
+                cta_to_gpm[c] = g;
+        std::uint64_t page_index = 0;
+        for (unsigned s = 0; s < profile.segments.size(); ++s) {
+            std::uint64_t base = layout.base(s);
+            Bytes size = layout.size(s);
+            for (std::uint64_t page = base; page < base + size;
+                 page += mem::PageTable::pageBytes, ++page_index) {
+                unsigned home;
+                if (config_.placement ==
+                    PlacementPolicy::FirstTouchOwner) {
+                    unsigned cta = trace::chunkOwnerCta(profile, layout,
+                                                        s, page);
+                    home = cta_to_gpm[cta];
+                } else {
+                    home = static_cast<unsigned>(page_index %
+                                                 config_.gpmCount);
+                }
+                memory->prePlace(page, home);
+            }
+        }
+    }
+
+    noc::Tick start = 0.0;
+    for (unsigned launch = 0; launch < profile.launches; ++launch) {
+        noc::Tick end = runLaunch(profile, layout, launch, start);
+        end = memory->kernelBoundary(end, memCounters);
+        endOfRun = end;
+        start = end + static_cast<double>(config_.launchOverhead);
+
+        // Fold per-launch SM accounting, then reset issue windows.
+        for (auto &core : sms) {
+            busyAccum += core.busyCycles();
+            stallAccum += core.stallCycles();
+            occupiedAccum += core.occupiedCycles();
+            core.reset();
+        }
+    }
+    // Launch gaps between kernels count toward wall-clock time.
+    if (profile.launches > 1) {
+        endOfRun += static_cast<double>(config_.launchOverhead)
+                    * (profile.launches - 1);
+    }
+
+    PerfResult result;
+    result.configName = config_.name;
+    result.workloadName = profile.name;
+    result.execCycles = endOfRun;
+    result.execSeconds = endOfRun / config_.clock.frequency();
+    result.instrs = instrs_;
+    result.mem = memCounters;
+    if (network) {
+        result.link = network->traffic();
+        result.linkQueueing = network->totalQueueing();
+        result.linkBusy = network->totalBusy();
+    }
+    result.smBusyCycles = busyAccum;
+    result.smStallCycles = stallAccum;
+    result.smOccupiedCycles = occupiedAccum;
+    result.l1Accesses = memory->l1Accesses();
+    result.l1SectorHits = memory->l1SectorHits();
+    result.l2Accesses = memory->l2Accesses();
+    result.l2SectorHits = memory->l2SectorHits();
+    result.dramQueueing = memory->dramQueueing();
+    result.dramBusy = memory->dramBusy();
+    return result;
+}
+
+void
+GpuSim::fillSm(const trace::KernelProfile &profile,
+               const trace::SegmentLayout &layout, unsigned launch,
+               unsigned sm_id, noc::Tick t)
+{
+    sm::SmCore &core = sms[sm_id];
+    unsigned gpm = core.gpm();
+    while (core.freeSlots() >= profile.warpsPerCta &&
+           ctaQueues[gpm].hasWork()) {
+        unsigned cta = ctaQueues[gpm].pop();
+        core.reserveSlots(profile.warpsPerCta);
+        ctaWarpsLeft[cta] = profile.warpsPerCta;
+        for (unsigned w = 0; w < profile.warpsPerCta; ++w) {
+            mmgpu_assert(!freeSlotsPerSm[sm_id].empty(),
+                         "free-slot list disagrees with SmCore");
+            unsigned slot_id = freeSlotsPerSm[sm_id].back();
+            freeSlotsPerSm[sm_id].pop_back();
+            WarpSlot &slot = slots[slot_id];
+            slot.trace = std::make_unique<trace::WarpTrace>(
+                profile, layout, launch, cta, w);
+            slot.sm = sm_id;
+            slot.cta = cta;
+            slot.outstanding = 0;
+            slot.blocked = WarpBlock::None;
+            slot.replay.reset();
+            slot.live = true;
+            pushWarp(t, slot_id);
+        }
+    }
+}
+
+void
+GpuSim::startWriteback(noc::Tick t, unsigned gpm,
+                       std::uint64_t line_addr, std::uint8_t dirty)
+{
+    unsigned sectors = std::popcount(dirty);
+    if (sectors == 0)
+        return;
+    memCounters.txns[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] += sectors;
+    memCounters.writebackSectors += sectors;
+
+    unsigned home = memory->pageTouch(line_addr, gpm);
+    if (home == gpm || network == nullptr) {
+        memCounters.localSectors += sectors;
+        memory->dramAcquire(
+            home, t,
+            sectors * static_cast<double>(isa::sectorBytes));
+        return;
+    }
+
+    memCounters.remoteSectors += sectors;
+    network->noteTransfer(sectors *
+                          static_cast<double>(isa::sectorBytes));
+    std::uint32_t task_index = allocTask();
+    MemTask &task = taskPool[task_index];
+    task.stage = MemStage::WbHop;
+    task.mask = dirty;
+    task.store = true;
+    task.node = gpm;
+    task.homeGpm = home;
+    task.reqGpm = gpm;
+    task.lineAddr = line_addr;
+    task.access = invalidIndex;
+    pushMem(t, task_index);
+}
+
+void
+GpuSim::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
+                          unsigned sm, unsigned gpm,
+                          std::uint64_t addr, unsigned sector_count,
+                          bool is_store)
+{
+    mmgpu_assert(sector_count >= 1 && sector_count <= 8,
+                 "bad sector count ", sector_count);
+    mmgpu_assert(addr % isa::sectorBytes == 0, "unaligned address");
+
+    if (!is_store) {
+        memCounters.txns[static_cast<std::size_t>(
+            isa::TxnLevel::L1ToReg)] += 1;
+    }
+
+    std::uint32_t access_index = invalidIndex;
+    if (!is_store && warp_slot != invalidIndex) {
+        access_index = allocAccess();
+        accessPool[access_index] = {warp_slot, 0};
+        slots[warp_slot].outstanding += 1;
+    }
+
+    // Walk the touched lines.
+    std::uint64_t first_sector = addr / isa::sectorBytes;
+    std::uint64_t end_sector = first_sector + sector_count;
+    while (first_sector < end_sector) {
+        std::uint64_t line_addr = first_sector /
+                                  mem::sectorsPerLine *
+                                  isa::cacheLineBytes;
+        unsigned lane0 =
+            static_cast<unsigned>(first_sector % mem::sectorsPerLine);
+        unsigned in_line = static_cast<unsigned>(std::min<std::uint64_t>(
+            mem::sectorsPerLine - lane0, end_sector - first_sector));
+        auto mask = static_cast<mem::SectorMask>(
+            ((1u << in_line) - 1u) << lane0);
+        first_sector += in_line;
+
+        if (is_store) {
+            // Write-through L1 (no allocate): the data crosses the
+            // L1<->L2 wires toward the local L2.
+            unsigned n = std::popcount(mask);
+            double bytes = n * static_cast<double>(isa::sectorBytes);
+            memory->nocAcquire(gpm, t, bytes);
+            memCounters.txns[static_cast<std::size_t>(
+                isa::TxnLevel::L2ToL1)] += n;
+
+            std::uint32_t task_index = allocTask();
+            MemTask &task = taskPool[task_index];
+            task.stage = MemStage::L2Lookup;
+            task.mask = mask;
+            task.store = true;
+            task.node = gpm;
+            task.reqGpm = gpm;
+            task.lineAddr = line_addr;
+            task.access = invalidIndex;
+            pushMem(t + static_cast<double>(config_.memory.nocLatency),
+                    task_index);
+            continue;
+        }
+
+        mem::CacheAccessResult l1r =
+            memory->l1Access(sm, line_addr, mask, false);
+        mmgpu_assert(l1r.writebackMask == 0, "dirty L1 eviction");
+
+        if (access_index != invalidIndex)
+            accessPool[access_index].partsLeft += 1;
+
+        if (l1r.missMask == 0) {
+            // L1 hit: complete after the L1 latency.
+            std::uint32_t task_index = allocTask();
+            MemTask &task = taskPool[task_index];
+            task.stage = MemStage::Complete;
+            task.access = access_index;
+            pushMem(t + static_cast<double>(config_.memory.l1Latency),
+                    task_index);
+            continue;
+        }
+
+        unsigned miss = std::popcount(l1r.missMask);
+        memCounters.l1SectorMisses += miss;
+        memCounters.txns[static_cast<std::size_t>(
+            isa::TxnLevel::L2ToL1)] += miss;
+        double bytes = miss * static_cast<double>(isa::sectorBytes);
+        memory->nocAcquire(gpm, t, bytes);
+
+        std::uint32_t task_index = allocTask();
+        MemTask &task = taskPool[task_index];
+        task.stage = MemStage::L2Lookup;
+        task.mask = l1r.missMask;
+        task.store = false;
+        task.node = gpm;
+        task.reqGpm = gpm;
+        task.lineAddr = line_addr;
+        task.access = access_index;
+        pushMem(t + static_cast<double>(config_.memory.nocLatency),
+                task_index);
+    }
+}
+
+void
+GpuSim::completePart(std::uint32_t access_index, noc::Tick t)
+{
+    if (access_index == invalidIndex)
+        return;
+    AccessRec &access = accessPool[access_index];
+    mmgpu_assert(access.partsLeft > 0, "access part underflow");
+    if (--access.partsLeft > 0)
+        return;
+
+    std::uint32_t warp_slot = access.warpSlot;
+    freeAccess(access_index);
+    if (warp_slot == invalidIndex)
+        return;
+
+    WarpSlot &slot = slots[warp_slot];
+    mmgpu_assert(slot.outstanding > 0, "warp outstanding underflow");
+    slot.outstanding -= 1;
+
+    if (slot.blocked == WarpBlock::Window) {
+        slot.blocked = WarpBlock::None;
+        pushWarp(t, warp_slot);
+    } else if (slot.blocked == WarpBlock::Drain &&
+               slot.outstanding == 0) {
+        slot.blocked = WarpBlock::None;
+        pushWarp(t, warp_slot);
+    }
+}
+
+void
+GpuSim::stepMem(std::uint32_t task_index, noc::Tick t)
+{
+    MemTask &task = taskPool[task_index];
+    const mem::MemConfig &mc = config_.memory;
+
+    switch (task.stage) {
+      case MemStage::L2Lookup: {
+        mem::CacheAccessResult l2r = memory->l2Access(
+            task.reqGpm, task.lineAddr, task.mask, task.store);
+        if (l2r.writebackMask)
+            startWriteback(t, task.reqGpm, l2r.writebackAddr,
+                           l2r.writebackMask);
+
+        if (task.store) {
+            // Write-allocate without fetch (full-sector writes):
+            // the store is complete once it lands in the L2.
+            freeTask(task_index);
+            return;
+        }
+
+        if (l2r.missMask == 0) {
+            task.stage = MemStage::Complete;
+            pushMem(t + static_cast<double>(mc.l2Latency), task_index);
+            return;
+        }
+
+        // Fetch missed sectors from the home DRAM.
+        unsigned miss = std::popcount(l2r.missMask);
+        task.mask = l2r.missMask;
+        memCounters.l2SectorMisses += miss;
+        memCounters.txns[static_cast<std::size_t>(
+            isa::TxnLevel::DramToL2)] += miss;
+
+        task.homeGpm = memory->pageTouch(task.lineAddr, task.reqGpm);
+        if (task.homeGpm == task.reqGpm || network == nullptr) {
+            memCounters.localSectors += miss;
+            noc::Tick served = memory->dramAcquire(
+                task.homeGpm, t,
+                miss * static_cast<double>(isa::sectorBytes));
+            task.stage = MemStage::Complete;
+            pushMem(served + static_cast<double>(mc.dramLatency) +
+                        static_cast<double>(mc.l2Latency),
+                    task_index);
+            return;
+        }
+
+        memCounters.remoteSectors += miss;
+        network->noteTransfer(requestHeaderBytes);
+        task.stage = MemStage::ReqHop;
+        task.node = task.reqGpm;
+        pushMem(t, task_index);
+        return;
+      }
+
+      case MemStage::ReqHop: {
+        noc::HopOutcome hop = network->step(task.node, task.homeGpm, t,
+                                            requestHeaderBytes);
+        task.node = hop.next;
+        task.stage = hop.arrived ? MemStage::HomeDram
+                                 : MemStage::ReqHop;
+        pushMem(hop.ready, task_index);
+        return;
+      }
+
+      case MemStage::HomeDram: {
+        unsigned miss = std::popcount(task.mask);
+        network->noteTransfer(miss *
+                              static_cast<double>(isa::sectorBytes));
+        noc::Tick served = memory->dramAcquire(
+            task.homeGpm, t,
+            miss * static_cast<double>(isa::sectorBytes));
+        task.stage = MemStage::RespHop;
+        task.node = task.homeGpm;
+        pushMem(served + static_cast<double>(mc.dramLatency),
+                task_index);
+        return;
+      }
+
+      case MemStage::RespHop: {
+        unsigned miss = std::popcount(task.mask);
+        noc::HopOutcome hop = network->step(
+            task.node, task.reqGpm, t,
+            miss * static_cast<double>(isa::sectorBytes));
+        task.node = hop.next;
+        if (hop.arrived) {
+            task.stage = MemStage::Complete;
+            pushMem(hop.ready + static_cast<double>(mc.l2Latency),
+                    task_index);
+        } else {
+            pushMem(hop.ready, task_index);
+        }
+        return;
+      }
+
+      case MemStage::Complete: {
+        std::uint32_t access = task.access;
+        freeTask(task_index);
+        completePart(access, t);
+        return;
+      }
+
+      case MemStage::WbHop: {
+        unsigned sectors = std::popcount(task.mask);
+        noc::HopOutcome hop = network->step(
+            task.node, task.homeGpm, t,
+            sectors * static_cast<double>(isa::sectorBytes));
+        task.node = hop.next;
+        if (hop.arrived) {
+            task.stage = MemStage::WbDram;
+        }
+        pushMem(hop.ready, task_index);
+        return;
+      }
+
+      case MemStage::WbDram: {
+        unsigned sectors = std::popcount(task.mask);
+        memory->dramAcquire(
+            task.homeGpm, t,
+            sectors * static_cast<double>(isa::sectorBytes));
+        freeTask(task_index);
+        return;
+      }
+
+      default:
+        mmgpu_panic("bad memory stage");
+    }
+}
+
+void
+GpuSim::stepWarp(const trace::KernelProfile &profile,
+                 std::uint32_t slot_index, noc::Tick t)
+{
+    WarpSlot &slot = slots[slot_index];
+    mmgpu_assert(slot.live, "event for dead warp slot");
+    sm::SmCore &core = sms[slot.sm];
+    unsigned gpm = core.gpm();
+
+    isa::TraceOp op;
+    if (slot.replay) {
+        op = *slot.replay;
+        slot.replay.reset();
+    } else {
+        op = slot.trace->next();
+    }
+
+    switch (op.kind) {
+      case isa::TraceOpKind::Compute: {
+        instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noc::Tick issued = core.acquireIssue(t, isa::issueCost(op.op));
+        pushWarp(issued + static_cast<double>(isa::defaultLatency(op.op)),
+                 slot_index);
+        break;
+      }
+      case isa::TraceOpKind::ComputeBlock: {
+        for (const auto &mix : profile.compute)
+            instrs_[static_cast<std::size_t>(mix.op)] +=
+                mix.perIteration;
+        noc::Tick issued = core.acquireIssue(t, op.blockSlots());
+        pushWarp(issued + static_cast<double>(op.blockLatency()),
+                 slot_index);
+        break;
+      }
+      case isa::TraceOpKind::Load: {
+        if (op.op == isa::Opcode::LD_SHARED) {
+            instrs_[static_cast<std::size_t>(op.op)] += 1;
+            memCounters.txns[static_cast<std::size_t>(
+                isa::TxnLevel::SharedToReg)] += 1;
+            noc::Tick issued = core.acquireIssue(t, 1);
+            pushWarp(issued +
+                         static_cast<double>(
+                             config_.memory.sharedLatency),
+                     slot_index);
+            break;
+        }
+        // Enforce the memory-level-parallelism window: if full, park
+        // the warp; a load completion wakes it and the op replays.
+        if (slot.outstanding >= profile.mlp) {
+            slot.replay = op;
+            slot.blocked = WarpBlock::Window;
+            core.noteActive(t);
+            break;
+        }
+        instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noc::Tick issued = core.acquireIssue(t, 1);
+        startGlobalAccess(issued, slot_index, slot.sm, gpm, op.addr,
+                          op.sectors, false);
+        pushWarp(issued, slot_index);
+        break;
+      }
+      case isa::TraceOpKind::Store: {
+        instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noc::Tick issued = core.acquireIssue(t, 1);
+        startGlobalAccess(issued, invalidIndex, slot.sm, gpm, op.addr,
+                          op.sectors, true);
+        pushWarp(issued, slot_index);
+        break;
+      }
+      case isa::TraceOpKind::Sync: {
+        if (slot.outstanding > 0) {
+            slot.blocked = WarpBlock::Drain;
+            core.noteActive(t);
+        } else {
+            pushWarp(t, slot_index);
+        }
+        break;
+      }
+      case isa::TraceOpKind::Exit: {
+        slot.live = false;
+        slot.trace.reset();
+        core.releaseSlot(t);
+        freeSlotsPerSm[slot.sm].push_back(slot_index);
+        mmgpu_assert(ctaWarpsLeft[slot.cta] > 0, "CTA underflow");
+        if (--ctaWarpsLeft[slot.cta] == 0) {
+            // CTA complete: backfill this SM.
+            fillSm(profile, *launchLayout, launchIndex, slot.sm, t);
+        }
+        break;
+      }
+      default:
+        mmgpu_panic("bad trace op kind");
+    }
+}
+
+noc::Tick
+GpuSim::runLaunch(const trace::KernelProfile &profile,
+                  const trace::SegmentLayout &layout, unsigned launch,
+                  noc::Tick start)
+{
+    // Transient state.
+    unsigned total_slots = config_.totalSms() * config_.warpSlotsPerSm;
+    slots.clear();
+    slots.resize(total_slots);
+    freeSlotsPerSm.assign(config_.totalSms(), {});
+    for (unsigned s = 0; s < config_.totalSms(); ++s)
+        for (unsigned k = 0; k < config_.warpSlotsPerSm; ++k)
+            freeSlotsPerSm[s].push_back(s * config_.warpSlotsPerSm + k);
+
+    ctaQueues.clear();
+    for (auto &list : sm::assignCtas(profile.ctaCount,
+                                     config_.gpmCount,
+                                     config_.ctaScheduling))
+        ctaQueues.emplace_back(std::move(list));
+    ctaWarpsLeft.assign(profile.ctaCount, 0);
+
+    launchLayout = &layout;
+    launchIndex = launch;
+
+    for (unsigned s = 0; s < config_.totalSms(); ++s)
+        fillSm(profile, layout, launch, s, start);
+
+    noc::Tick last = start;
+    while (!calendar.empty()) {
+        Event event = calendar.top();
+        calendar.pop();
+        last = std::max(last, event.when);
+        if (event.isMem)
+            stepMem(event.index, event.when);
+        else
+            stepWarp(profile, event.index, event.when);
+    }
+
+    launchLayout = nullptr;
+    return last;
+}
+
+} // namespace mmgpu::sim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The event-driven multi-GPM GPU performance simulator.
+ *
+ * GpuSim assembles SMs, the memory resources, and the inter-GPM
+ * network per a GpuConfig and replays a KernelProfile's warp traces
+ * on it. The engine runs one global calendar carrying two event
+ * kinds:
+ *
+ *  - warp continuations: a warp issues its next trace operation
+ *    against its SM's issue bandwidth, blocks when its memory-level-
+ *    parallelism window is full, and drains before retiring;
+ *  - memory-pipeline stages: each global access advances through
+ *    L1 miss -> intra-GPM NoC -> L2 -> (remote request hop(s) ->
+ *    home DRAM -> response hop(s) | local DRAM) -> completion, one
+ *    calendar event per stage.
+ *
+ * Staging matters: every bandwidth server (NoC, HBM channel, ring
+ * link, switch port) is acquired at the calendar time the request
+ * actually reaches it, so servers see arrivals in time order and
+ * congestion (the paper's central mechanism — inter-GPM bandwidth
+ * pressure idling GPMs) emerges without ordering artifacts.
+ */
+
+#ifndef MMGPU_SIM_GPU_SIM_HH
+#define MMGPU_SIM_GPU_SIM_HH
+
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/gpu_config.hh"
+#include "sim/perf_result.hh"
+#include "sm/cta_scheduler.hh"
+#include "sm/sm_core.hh"
+#include "trace/kernel_profile.hh"
+#include "trace/warp_trace.hh"
+
+namespace mmgpu::sim
+{
+
+/** One simulated GPU instance. */
+class GpuSim
+{
+  public:
+    /** Build the machine described by @p config (validated). */
+    explicit GpuSim(const GpuConfig &config);
+
+    ~GpuSim();
+
+    GpuSim(const GpuSim &) = delete;
+    GpuSim &operator=(const GpuSim &) = delete;
+
+    /**
+     * Run @p profile (all of its launches) to completion.
+     * The machine is rebuilt first, so a GpuSim is reusable across
+     * workloads.
+     * @return the performance result.
+     */
+    PerfResult run(const trace::KernelProfile &profile);
+
+    /** The configuration this machine was built from. */
+    const GpuConfig &config() const { return config_; }
+
+  private:
+    static constexpr std::uint32_t invalidIndex = 0xffffffffu;
+
+    /** Why a warp is not schedulable right now. */
+    enum class WarpBlock : std::uint8_t
+    {
+        None,    //!< runnable (an event is pending for it)
+        Window,  //!< MLP window full; woken by a load completion
+        Drain,   //!< waiting for all outstanding loads (final sync)
+    };
+
+    /** A resident warp context bound to an SM warp slot. */
+    struct WarpSlot
+    {
+        std::unique_ptr<trace::WarpTrace> trace;
+        unsigned sm = 0;          //!< flat SM id
+        unsigned cta = 0;
+        unsigned outstanding = 0; //!< loads in flight
+        WarpBlock blocked = WarpBlock::None;
+        std::optional<isa::TraceOp> replay;
+        bool live = false;
+    };
+
+    /** Stage of an in-flight memory task. */
+    enum class MemStage : std::uint8_t
+    {
+        L2Lookup,   //!< arrived at the local L2 slice
+        ReqHop,     //!< request header travelling to the home GPM
+        HomeDram,   //!< arrived at the home GPM's memory controller
+        RespHop,    //!< data travelling back to the requester
+        Complete,   //!< data available; notify the parent access
+        WbHop,      //!< eviction writeback travelling to its home
+        WbDram,     //!< eviction writeback at the home controller
+    };
+
+    /** One line-granular memory task moving through the pipeline. */
+    struct MemTask
+    {
+        MemStage stage = MemStage::Complete;
+        std::uint8_t mask = 0;     //!< sectors requested of this line
+        bool store = false;
+        unsigned node = 0;         //!< current network node
+        unsigned homeGpm = 0;
+        unsigned reqGpm = 0;
+        std::uint64_t lineAddr = 0;
+        std::uint32_t access = invalidIndex; //!< parent AccessRec
+    };
+
+    /** A warp-level access fanned out into per-line tasks. */
+    struct AccessRec
+    {
+        std::uint32_t warpSlot = invalidIndex;
+        std::uint32_t partsLeft = 0;
+    };
+
+    /** Calendar entry. */
+    struct Event
+    {
+        noc::Tick when;
+        std::uint32_t index; //!< warp slot or mem task index
+        bool isMem;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when > other.when;
+        }
+    };
+
+    // -- engine helpers --
+
+    void pushWarp(noc::Tick when, std::uint32_t slot);
+    void pushMem(noc::Tick when, std::uint32_t task);
+
+    std::uint32_t allocTask();
+    void freeTask(std::uint32_t index);
+    std::uint32_t allocAccess();
+    void freeAccess(std::uint32_t index);
+
+    /** Run one kernel launch starting at @p start; returns end time. */
+    noc::Tick runLaunch(const trace::KernelProfile &profile,
+                        const trace::SegmentLayout &layout,
+                        unsigned launch, noc::Tick start);
+
+    /** Dispatch CTAs to @p sm while it has room; pushes warp events. */
+    void fillSm(const trace::KernelProfile &profile,
+                const trace::SegmentLayout &layout, unsigned launch,
+                unsigned sm, noc::Tick t);
+
+    /** Process one warp continuation. */
+    void stepWarp(const trace::KernelProfile &profile,
+                  std::uint32_t slot_index, noc::Tick t);
+
+    /** Process one memory-pipeline stage. */
+    void stepMem(std::uint32_t task_index, noc::Tick t);
+
+    /** Begin a warp-level global access (fans out line tasks). */
+    void startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
+                           unsigned sm, unsigned gpm,
+                           std::uint64_t addr, unsigned sector_count,
+                           bool is_store);
+
+    /** Schedule an eviction writeback toward its home GPM. */
+    void startWriteback(noc::Tick t, unsigned gpm,
+                        std::uint64_t line_addr, std::uint8_t dirty);
+
+    /** A load part finished; notify its access and maybe its warp. */
+    void completePart(std::uint32_t access_index, noc::Tick t);
+
+    GpuConfig config_;
+    std::unique_ptr<noc::InterGpmNetwork> network;
+    std::unique_ptr<mem::MemSystem> memory;
+    std::vector<sm::SmCore> sms;
+
+    // Pools.
+    std::vector<MemTask> taskPool;
+    std::vector<std::uint32_t> freeTasks;
+    std::vector<AccessRec> accessPool;
+    std::vector<std::uint32_t> freeAccesses;
+
+    // Per-launch transient state.
+    std::vector<WarpSlot> slots;
+    std::vector<std::vector<unsigned>> freeSlotsPerSm;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>>
+        calendar;
+    std::vector<sm::GpmCtaQueue> ctaQueues;
+    std::vector<unsigned> ctaWarpsLeft;
+
+    /** Launch-scoped context for CTA backfill from stepWarp(). */
+    const trace::SegmentLayout *launchLayout = nullptr;
+    unsigned launchIndex = 0;
+
+    // Accumulated across launches.
+    std::array<Count, isa::numOpcodes> instrs_{};
+    mem::MemCounters memCounters;
+    double busyAccum = 0.0;
+    double stallAccum = 0.0;
+    double occupiedAccum = 0.0;
+    noc::Tick endOfRun = 0.0;
+};
+
+} // namespace mmgpu::sim
+
+#endif // MMGPU_SIM_GPU_SIM_HH

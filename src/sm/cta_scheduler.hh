@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Distributed thread-block (CTA) scheduling.
+ *
+ * Multi-module configurations assign each GPM a *contiguous* range of
+ * CTA ids, as proposed by MCM-GPU: consecutive CTAs touch adjacent
+ * data, so contiguous assignment plus first-touch page placement
+ * localizes block-partitioned segments on the CTA's own GPM. Within
+ * a GPM, CTAs are handed to SMs greedily as warp contexts free up.
+ */
+
+#ifndef MMGPU_SM_CTA_SCHEDULER_HH
+#define MMGPU_SM_CTA_SCHEDULER_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mmgpu::sm
+{
+
+/** Half-open CTA id range [first, last). */
+struct CtaRange
+{
+    unsigned first = 0;
+    unsigned last = 0;
+
+    unsigned size() const { return last - first; }
+};
+
+/**
+ * Partition @p cta_count CTAs across @p gpm_count GPMs in contiguous
+ * chunks, distributing the remainder one CTA at a time so no GPM gets
+ * more than one extra.
+ */
+inline std::vector<CtaRange>
+partitionCtas(unsigned cta_count, unsigned gpm_count)
+{
+    mmgpu_assert(gpm_count > 0, "no GPMs to partition over");
+    std::vector<CtaRange> ranges(gpm_count);
+    unsigned base = cta_count / gpm_count;
+    unsigned extra = cta_count % gpm_count;
+    unsigned cursor = 0;
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        unsigned size = base + (g < extra ? 1 : 0);
+        ranges[g] = {cursor, cursor + size};
+        cursor += size;
+    }
+    mmgpu_assert(cursor == cta_count, "partition lost CTAs");
+    return ranges;
+}
+
+/**
+ * CTA-to-GPM assignment policy.
+ *
+ * Distributed (contiguous chunks) is the locality-aware scheme of
+ * the multi-module proposals the paper follows; RoundRobin is the
+ * locality-oblivious strawman used by the ablation study to show how
+ * much of the NUMA behaviour the schedule is responsible for.
+ */
+enum class CtaSchedPolicy : std::uint8_t
+{
+    Distributed, //!< contiguous chunk per GPM (paper baseline)
+    RoundRobin,  //!< cta i -> GPM i mod N
+};
+
+/** @return human-readable policy name. */
+inline const char *
+ctaSchedPolicyName(CtaSchedPolicy policy)
+{
+    return policy == CtaSchedPolicy::Distributed ? "distributed"
+                                                 : "round-robin";
+}
+
+/** Materialize the per-GPM CTA lists for @p policy. */
+inline std::vector<std::vector<unsigned>>
+assignCtas(unsigned cta_count, unsigned gpm_count,
+           CtaSchedPolicy policy)
+{
+    std::vector<std::vector<unsigned>> lists(gpm_count);
+    switch (policy) {
+      case CtaSchedPolicy::Distributed: {
+        auto ranges = partitionCtas(cta_count, gpm_count);
+        for (unsigned g = 0; g < gpm_count; ++g)
+            for (unsigned c = ranges[g].first; c < ranges[g].last; ++c)
+                lists[g].push_back(c);
+        break;
+      }
+      case CtaSchedPolicy::RoundRobin:
+        for (unsigned c = 0; c < cta_count; ++c)
+            lists[c % gpm_count].push_back(c);
+        break;
+      default:
+        mmgpu_panic("bad CTA scheduling policy");
+    }
+    return lists;
+}
+
+/** FIFO of CTAs a GPM still has to run. */
+class GpmCtaQueue
+{
+  public:
+    /** Initialize from a contiguous range. */
+    explicit GpmCtaQueue(CtaRange range)
+    {
+        ctas.reserve(range.size());
+        for (unsigned c = range.first; c < range.last; ++c)
+            ctas.push_back(c);
+    }
+
+    /** Initialize from an explicit CTA list. */
+    explicit GpmCtaQueue(std::vector<unsigned> cta_list)
+        : ctas(std::move(cta_list))
+    {
+    }
+
+    /** @return true if CTAs remain. */
+    bool hasWork() const { return next < ctas.size(); }
+
+    /** Pop the next CTA id. @pre hasWork(). */
+    unsigned
+    pop()
+    {
+        mmgpu_assert(hasWork(), "pop from empty CTA queue");
+        return ctas[next++];
+    }
+
+    /** CTAs not yet dispatched. */
+    unsigned
+    remaining() const
+    {
+        return static_cast<unsigned>(ctas.size() - next);
+    }
+
+  private:
+    std::vector<unsigned> ctas;
+    std::size_t next = 0;
+};
+
+} // namespace mmgpu::sm
+
+#endif // MMGPU_SM_CTA_SCHEDULER_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Streaming multiprocessor model.
+ *
+ * The SM is modelled at the fidelity the paper's energy methodology
+ * needs: a warp-issue bandwidth (slots/cycle) that compute
+ * instructions contend for, a fixed number of resident warp
+ * contexts providing latency tolerance, and busy/stall accounting
+ * that feeds the EPStall and idle-time terms of Eq. 4. Individual
+ * functional-unit pools are abstracted into per-opcode issue costs
+ * (FP64 ops cost 3 slots, SFU ops 8 — the K40's throughput ratios),
+ * which is exactly the level of microarchitectural agnosticism the
+ * top-down GPUJoule model is designed for.
+ */
+
+#ifndef MMGPU_SM_SM_CORE_HH
+#define MMGPU_SM_SM_CORE_HH
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "noc/bandwidth_server.hh"
+
+namespace mmgpu::sm
+{
+
+/** Issue/occupancy state of one SM. */
+class SmCore
+{
+  public:
+    /**
+     * @param sm_global Flat SM id.
+     * @param gpm Owning GPM.
+     * @param warp_slots Resident warp contexts.
+     * @param issue_slots_per_cycle Warp-instruction issue bandwidth.
+     */
+    SmCore(unsigned sm_global, unsigned gpm, unsigned warp_slots,
+           double issue_slots_per_cycle)
+        : smGlobal_(sm_global), gpm_(gpm), warpSlots_(warp_slots),
+          freeSlots_(warp_slots),
+          issue("sm.issue", issue_slots_per_cycle)
+    {
+        if (warp_slots == 0)
+            mmgpu_fatal("SM with zero warp slots");
+    }
+
+    /** Flat SM id across the GPU. */
+    unsigned smGlobal() const { return smGlobal_; }
+
+    /** Owning GPM id. */
+    unsigned gpm() const { return gpm_; }
+
+    /**
+     * Contend for @p slots issue slots starting at @p t.
+     * @return time the instruction has been issued.
+     */
+    noc::Tick
+    acquireIssue(noc::Tick t, unsigned slots)
+    {
+        noteActive(t);
+        return issue.acquire(t, static_cast<double>(slots));
+    }
+
+    /** Record activity for the occupancy window without issuing. */
+    void
+    noteActive(noc::Tick t)
+    {
+        if (!everActive_) {
+            everActive_ = true;
+            firstActive_ = t;
+        }
+        lastActive_ = std::max(lastActive_, t);
+    }
+
+    /** Free warp contexts available for new CTAs. */
+    unsigned freeSlots() const { return freeSlots_; }
+
+    /** Total warp contexts. */
+    unsigned warpSlots() const { return warpSlots_; }
+
+    /** Reserve @p n contexts for a newly dispatched CTA. */
+    void
+    reserveSlots(unsigned n)
+    {
+        mmgpu_assert(n <= freeSlots_, "SM over-subscribed");
+        freeSlots_ -= n;
+    }
+
+    /** Release one context (a warp exited at time @p t). */
+    void
+    releaseSlot(noc::Tick t)
+    {
+        mmgpu_assert(freeSlots_ < warpSlots_, "slot double free");
+        ++freeSlots_;
+        noteActive(t);
+    }
+
+    /** Cycles the issue pipeline spent actually issuing. */
+    double busyCycles() const { return issue.busyCycles(); }
+
+    /**
+     * Cycles inside the SM's active window during which the pipeline
+     * had resident work but issued nothing — the "SM Pipeline (Idle)"
+     * component of the paper's Figure 7 breakdown.
+     */
+    double
+    stallCycles() const
+    {
+        if (!everActive_)
+            return 0.0;
+        double window = lastActive_ - firstActive_;
+        return std::max(0.0, window - busyCycles());
+    }
+
+    /** Active-window length (first dispatch to last retire). */
+    double
+    occupiedCycles() const
+    {
+        return everActive_ ? lastActive_ - firstActive_ : 0.0;
+    }
+
+    /** Reset all timing state between launches/runs. */
+    void
+    reset()
+    {
+        issue.reset();
+        freeSlots_ = warpSlots_;
+        everActive_ = false;
+        firstActive_ = 0.0;
+        lastActive_ = 0.0;
+    }
+
+  private:
+    unsigned smGlobal_;
+    unsigned gpm_;
+    unsigned warpSlots_;
+    unsigned freeSlots_;
+    noc::BandwidthServer issue;
+    bool everActive_ = false;
+    noc::Tick firstActive_ = 0.0;
+    noc::Tick lastActive_ = 0.0;
+};
+
+} // namespace mmgpu::sm
+
+#endif // MMGPU_SM_SM_CORE_HH

@@ -1,0 +1,79 @@
+#include "trace/kernel_profile.hh"
+
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace mmgpu::trace
+{
+
+const char *
+workloadClassName(WorkloadClass cls)
+{
+    return cls == WorkloadClass::Compute ? "C" : "M";
+}
+
+Count
+KernelProfile::approxOpsPerWarp() const
+{
+    Count per_iter = 0;
+    for (const auto &mix : compute)
+        per_iter += mix.perIteration;
+    per_iter += sharedLoadsPerIter;
+    for (const auto &access : loads)
+        per_iter += access.perIteration;
+    for (const auto &access : stores)
+        per_iter += access.perIteration;
+    // One SYNC per MLP burst, at least one per iteration with loads.
+    Count warp_loads = 0;
+    for (const auto &access : loads)
+        warp_loads += access.perIteration;
+    if (warp_loads > 0)
+        per_iter += (warp_loads + mlp - 1) / mlp;
+    return per_iter * iterations + 1; // +1 for Exit
+}
+
+Bytes
+KernelProfile::footprint() const
+{
+    Bytes total = 0;
+    for (const auto &segment : segments)
+        total += segment.bytes;
+    return total;
+}
+
+void
+KernelProfile::validate() const
+{
+    if (name.empty())
+        mmgpu_fatal("kernel profile has no name");
+    if (ctaCount == 0 || warpsPerCta == 0 || iterations == 0 ||
+        launches == 0) {
+        mmgpu_fatal("profile '", name, "': zero-sized shape (ctas=",
+                    ctaCount, " warps=", warpsPerCta, " iters=",
+                    iterations, " launches=", launches, ")");
+    }
+    if (mlp == 0)
+        mmgpu_fatal("profile '", name, "': mlp must be >= 1");
+    auto check_access = [&](const SegmentAccess &access,
+                            const char *what) {
+        if (access.segment >= segments.size())
+            mmgpu_fatal("profile '", name, "': ", what,
+                        " references segment ", access.segment,
+                        " but only ", segments.size(), " exist");
+        if (access.perIteration == 0)
+            mmgpu_fatal("profile '", name, "': ", what,
+                        " with zero perIteration");
+        if (access.divergence < 0.0 || access.divergence > 1.0)
+            mmgpu_fatal("profile '", name, "': divergence out of [0,1]");
+        const auto &segment = segments[access.segment];
+        if (segment.bytes < isa::cacheLineBytes)
+            mmgpu_fatal("profile '", name, "': segment '", segment.name,
+                        "' smaller than one cache line");
+    };
+    for (const auto &access : loads)
+        check_access(access, "load");
+    for (const auto &access : stores)
+        check_access(access, "store");
+}
+
+} // namespace mmgpu::trace

@@ -1,0 +1,259 @@
+#include "trace/warp_trace.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmgpu::trace
+{
+
+namespace
+{
+
+/** Round @p v up to a multiple of @p align. */
+std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+} // namespace
+
+SegmentLayout::SegmentLayout(const KernelProfile &profile)
+{
+    // Start at one page so that address 0 is never a valid address.
+    std::uint64_t cursor = pageBytes;
+    for (const auto &segment : profile.segments) {
+        bases.push_back(cursor);
+        Bytes size = alignUp(segment.bytes, pageBytes);
+        sizes.push_back(size);
+        cursor += size;
+    }
+    end_ = cursor;
+}
+
+std::uint64_t
+SegmentLayout::base(unsigned index) const
+{
+    mmgpu_assert(index < bases.size(), "segment index out of range");
+    return bases[index];
+}
+
+Bytes
+SegmentLayout::size(unsigned index) const
+{
+    mmgpu_assert(index < sizes.size(), "segment index out of range");
+    return sizes[index];
+}
+
+unsigned
+chunkOwnerCta(const KernelProfile &profile, const SegmentLayout &layout,
+              unsigned seg, std::uint64_t addr)
+{
+    std::uint64_t base = layout.base(seg);
+    Bytes size = layout.size(seg);
+    mmgpu_assert(addr >= base && addr < base + size,
+                 "address outside segment");
+    Bytes chunk = alignUp(
+        std::max<Bytes>(size / profile.ctaCount, isa::cacheLineBytes),
+        isa::cacheLineBytes);
+    std::uint64_t cta = (addr - base) / chunk;
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(cta, profile.ctaCount - 1));
+}
+
+WarpTrace::WarpTrace(const KernelProfile &prof,
+                     const SegmentLayout &layout, unsigned launch,
+                     unsigned cta, unsigned warp)
+    : profile(prof),
+      rng(Rng(prof.seed)
+              .fork(0x1000003ull * launch + 1)
+              .fork(0x9E370001ull * cta + 3)
+              .fork(0x85EBCA77ull * warp + 7))
+{
+    mmgpu_assert(cta < prof.ctaCount && warp < prof.warpsPerCta,
+                 "warp identifiers out of range");
+
+    // Build per-access streaming state.
+    auto make_state = [&](const SegmentAccess &access) {
+        AccessState state;
+        state.segBase = layout.base(access.segment);
+        state.segSize = layout.size(access.segment);
+
+        // CTA-partitioned chunk, line aligned.
+        Bytes chunk = alignUp(
+            std::max<Bytes>(state.segSize / prof.ctaCount,
+                            isa::cacheLineBytes),
+            isa::cacheLineBytes);
+        std::uint64_t cta_offset = static_cast<std::uint64_t>(cta) * chunk;
+        cta_offset %= state.segSize; // wrap tiny segments
+        state.ctaBase = state.segBase + cta_offset;
+
+        unsigned stride = std::max(1u, access.haloStride);
+        unsigned up = (cta + stride) % prof.ctaCount;
+        unsigned down = (cta + prof.ctaCount - stride % prof.ctaCount)
+                        % prof.ctaCount;
+        state.haloUpBase =
+            state.segBase +
+            (static_cast<std::uint64_t>(up) * chunk) % state.segSize;
+        state.haloDownBase =
+            state.segBase +
+            (static_cast<std::uint64_t>(down) * chunk) % state.segSize;
+
+        // Warp slice within the chunk.
+        Bytes slice = alignUp(
+            std::max<Bytes>(chunk / prof.warpsPerCta,
+                            isa::cacheLineBytes),
+            isa::cacheLineBytes);
+        state.ctaBase += static_cast<std::uint64_t>(warp % prof.warpsPerCta)
+                         * slice;
+        state.span = slice;
+
+        // Iterative apps: every launch re-walks the same bytes, so
+        // position restarts at 0 for all launches by construction.
+        state.position = 0;
+        return state;
+    };
+
+    for (const auto &access : profile.loads)
+        loadState.push_back(make_state(access));
+    for (const auto &access : profile.stores)
+        storeState.push_back(make_state(access));
+
+    // Build the per-iteration schedule: global loads (memory-level
+    // parallelism is enforced by the simulator's per-warp outstanding
+    // window, not by explicit syncs), shared loads, one aggregated
+    // compute block, stores.
+    for (unsigned i = 0; i < profile.loads.size(); ++i) {
+        for (unsigned n = 0; n < profile.loads[i].perIteration; ++n) {
+            schedule.push_back(
+                {SchedOp::Kind::GlobalLoad, isa::Opcode::LD_GLOBAL, i});
+        }
+    }
+
+    for (unsigned n = 0; n < profile.sharedLoadsPerIter; ++n)
+        schedule.push_back(
+            {SchedOp::Kind::SharedLoad, isa::Opcode::LD_SHARED, 0});
+
+    // Aggregate the compute mix into one dependent-chain block: the
+    // block charges the SM issue pipeline for every instruction and
+    // delays the warp by the serial chain latency.
+    std::uint32_t block_slots = 0;
+    std::uint32_t block_latency = 0;
+    for (const auto &mix : profile.compute) {
+        block_slots += mix.perIteration * isa::issueCost(mix.op);
+        block_latency += mix.perIteration * isa::defaultLatency(mix.op);
+    }
+    if (block_slots > 0) {
+        schedule.push_back(
+            {SchedOp::Kind::ComputeBlock, isa::Opcode::MOV32, 0});
+        blockOp = isa::TraceOp::computeBlock(block_slots, block_latency);
+    }
+
+    for (unsigned i = 0; i < profile.stores.size(); ++i)
+        for (unsigned n = 0; n < profile.stores[i].perIteration; ++n)
+            schedule.push_back(
+                {SchedOp::Kind::GlobalStore, isa::Opcode::ST_GLOBAL, i});
+
+    mmgpu_assert(!schedule.empty(),
+                 "profile '", profile.name, "' generates empty warps");
+    (void)launch;
+}
+
+isa::TraceOp
+WarpTrace::makeAccess(const SegmentAccess &access, AccessState &state,
+                      bool is_store)
+{
+    std::uint64_t addr = 0;
+    std::uint8_t sectors = 4; // fully coalesced 128 B line
+
+    const Bytes line = isa::cacheLineBytes;
+    AccessPattern pattern = access.pattern;
+    if (access.irregular > 0.0 && rng.chance(access.irregular))
+        pattern = AccessPattern::Random;
+    switch (pattern) {
+      case AccessPattern::BlockStream:
+        addr = state.ctaBase + state.position;
+        state.position = (state.position + line) % state.span;
+        break;
+      case AccessPattern::Stencil:
+        if (rng.chance(access.haloFraction)) {
+            std::uint64_t base = rng.chance(0.5) ? state.haloUpBase
+                                                 : state.haloDownBase;
+            addr = base + rng.below(state.span / line) * line;
+        } else {
+            addr = state.ctaBase + state.position;
+            state.position = (state.position + line) % state.span;
+        }
+        break;
+      case AccessPattern::Random:
+      case AccessPattern::Chase:
+        addr = state.segBase + rng.below(state.segSize / line) * line;
+        break;
+      case AccessPattern::Broadcast:
+        addr = state.segBase + state.position;
+        state.position = (state.position + line) % state.segSize;
+        break;
+      default:
+        mmgpu_panic("bad access pattern");
+    }
+
+    if (access.divergence > 0.0 && rng.chance(access.divergence))
+        sectors = 8;
+
+    // Keep divergent footprints inside the segment.
+    std::uint64_t span_end = state.segBase + state.segSize;
+    if (addr + sectors * isa::sectorBytes > span_end)
+        addr = span_end - sectors * isa::sectorBytes;
+
+    if (is_store)
+        return isa::TraceOp::storeGlobal(addr, sectors);
+    return isa::TraceOp::loadGlobal(addr, sectors);
+}
+
+isa::TraceOp
+WarpTrace::materialize(const SchedOp &slot)
+{
+    switch (slot.kind) {
+      case SchedOp::Kind::Compute:
+        return isa::TraceOp::compute(slot.op);
+      case SchedOp::Kind::ComputeBlock:
+        return blockOp;
+      case SchedOp::Kind::SharedLoad:
+        return isa::TraceOp::loadShared();
+      case SchedOp::Kind::GlobalLoad:
+        return makeAccess(profile.loads[slot.accessIndex],
+                          loadState[slot.accessIndex], false);
+      case SchedOp::Kind::GlobalStore:
+        return makeAccess(profile.stores[slot.accessIndex],
+                          storeState[slot.accessIndex], true);
+      case SchedOp::Kind::Sync:
+        return isa::TraceOp::sync();
+      default:
+        mmgpu_panic("bad schedule op");
+    }
+}
+
+isa::TraceOp
+WarpTrace::next()
+{
+    if (finished_)
+        return isa::TraceOp::exit();
+    if (iteration >= profile.iterations) {
+        if (!drained_) {
+            // Wait for all in-flight loads before retiring.
+            drained_ = true;
+            return isa::TraceOp::sync();
+        }
+        finished_ = true;
+        return isa::TraceOp::exit();
+    }
+    isa::TraceOp op = materialize(schedule[cursor]);
+    if (++cursor >= schedule.size()) {
+        cursor = 0;
+        ++iteration;
+    }
+    return op;
+}
+
+} // namespace mmgpu::trace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * On-the-fly, deterministic warp trace generation.
+ *
+ * A WarpTrace turns a KernelProfile into the concrete TraceOp stream
+ * of one warp. The stream for (profile, launch, cta, warp) depends
+ * only on those identifiers — never on simulation interleaving — so
+ * every GPM-count/bandwidth/topology configuration of an experiment
+ * replays the *same* application, which is what makes the scaling
+ * comparisons meaningful.
+ */
+
+#ifndef MMGPU_TRACE_WARP_TRACE_HH
+#define MMGPU_TRACE_WARP_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/instruction.hh"
+#include "trace/kernel_profile.hh"
+
+namespace mmgpu::trace
+{
+
+/**
+ * Byte layout of a profile's segments in the simulated global address
+ * space. Segments are laid out contiguously, each aligned to a page,
+ * starting at a non-zero base so that address 0 stays invalid.
+ */
+class SegmentLayout
+{
+  public:
+    /** Page size used for alignment and first-touch placement. */
+    static constexpr Bytes pageBytes = 4096;
+
+    /** Compute the layout for @p profile. */
+    explicit SegmentLayout(const KernelProfile &profile);
+
+    /** Base byte address of segment @p index. */
+    std::uint64_t base(unsigned index) const;
+
+    /** Size of segment @p index in bytes (page aligned up). */
+    Bytes size(unsigned index) const;
+
+    /** One past the highest mapped address. */
+    std::uint64_t end() const { return end_; }
+
+  private:
+    std::vector<std::uint64_t> bases;
+    std::vector<Bytes> sizes;
+    std::uint64_t end_ = 0;
+};
+
+/**
+ * The CTA that owns the chunk containing @p addr of segment @p seg
+ * under the CTA-partitioned layout WarpTrace uses. Owner-CTA page
+ * placement (= idealized first touch) and locality tests build on
+ * this.
+ */
+unsigned chunkOwnerCta(const KernelProfile &profile,
+                       const SegmentLayout &layout, unsigned seg,
+                       std::uint64_t addr);
+
+/** Generates the TraceOp stream of a single warp. */
+class WarpTrace
+{
+  public:
+    /**
+     * @param profile Kernel description (must outlive this object).
+     * @param layout Segment layout (must outlive this object).
+     * @param launch Kernel launch index (affects nothing but the
+     *               random streams of Random/Chase patterns, so
+     *               iterative apps re-touch the same pages).
+     * @param cta Thread block id within the launch.
+     * @param warp Warp id within the block.
+     */
+    WarpTrace(const KernelProfile &profile, const SegmentLayout &layout,
+              unsigned launch, unsigned cta, unsigned warp);
+
+    /**
+     * Produce the next trace operation.
+     * @return the op; TraceOpKind::Exit once the warp is finished
+     *         (and forever after).
+     */
+    isa::TraceOp next();
+
+    /** @return true once Exit has been produced. */
+    bool finished() const { return finished_; }
+
+  private:
+    /** One slot of the per-iteration schedule built at construction. */
+    struct SchedOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            Compute,
+            ComputeBlock,
+            SharedLoad,
+            GlobalLoad,
+            GlobalStore,
+            Sync,
+        } kind;
+        isa::Opcode op;        //!< for Compute
+        unsigned accessIndex;  //!< for GlobalLoad/GlobalStore
+    };
+
+    /** Streaming state against one SegmentAccess. */
+    struct AccessState
+    {
+        std::uint64_t ctaBase = 0;   //!< this warp's chunk base
+        Bytes span = 0;              //!< bytes this warp streams over
+        std::uint64_t position = 0;  //!< current stream offset
+        std::uint64_t segBase = 0;   //!< whole-segment base
+        Bytes segSize = 0;           //!< whole-segment size
+        std::uint64_t haloUpBase = 0;   //!< +stride neighbour chunk
+        std::uint64_t haloDownBase = 0; //!< -stride neighbour chunk
+    };
+
+    isa::TraceOp materialize(const SchedOp &slot);
+    isa::TraceOp makeAccess(const SegmentAccess &access,
+                            AccessState &state, bool is_store);
+
+    const KernelProfile &profile;
+    std::vector<SchedOp> schedule;
+    std::vector<AccessState> loadState;
+    std::vector<AccessState> storeState;
+    isa::TraceOp blockOp; //!< the shared per-iteration compute block
+    Rng rng;
+    unsigned iteration = 0;
+    std::size_t cursor = 0;
+    bool drained_ = false;
+    bool finished_ = false;
+};
+
+} // namespace mmgpu::trace
+
+#endif // MMGPU_TRACE_WARP_TRACE_HH

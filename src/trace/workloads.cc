@@ -1,0 +1,408 @@
+#include "trace/workloads.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace mmgpu::trace
+{
+
+namespace
+{
+
+using isa::Opcode;
+
+/** Fluent profile builder to keep the catalog readable. */
+class Builder
+{
+  public:
+    Builder(std::string name, WorkloadClass cls, std::uint64_t seed)
+    {
+        p.name = std::move(name);
+        p.cls = cls;
+        p.seed = seed;
+        p.ctaCount = 4096;
+        p.warpsPerCta = 4;
+    }
+
+    Builder &iters(unsigned n) { p.iterations = n; return *this; }
+    Builder &launches(unsigned n) { p.launches = n; return *this; }
+    Builder &mlp(unsigned n) { p.mlp = n; return *this; }
+    Builder &shared(unsigned n) { p.sharedLoadsPerIter = n; return *this; }
+
+    /** Hardware-replay kernel/gap durations (validation). */
+    Builder &
+    hwTiming(Seconds kernel, Seconds gap)
+    {
+        p.hwKernelSeconds = kernel;
+        p.hwGapSeconds = gap;
+        return *this;
+    }
+
+    Builder &
+    compute(Opcode op, unsigned per_iter)
+    {
+        p.compute.push_back({op, per_iter});
+        return *this;
+    }
+
+    /** Add a segment; returns its index for access descriptors. */
+    unsigned
+    segment(const char *name, Bytes bytes)
+    {
+        p.segments.push_back({name, bytes});
+        return static_cast<unsigned>(p.segments.size() - 1);
+    }
+
+    static SegmentAccess
+    makeAccess(unsigned seg, AccessPattern pattern, unsigned per_iter,
+               double divergence, double halo, unsigned halo_stride,
+               double irregular)
+    {
+        SegmentAccess access;
+        access.segment = seg;
+        access.pattern = pattern;
+        access.perIteration = per_iter;
+        access.divergence = divergence;
+        access.irregular = irregular;
+        access.haloFraction = halo;
+        access.haloStride = halo_stride;
+        return access;
+    }
+
+    Builder &
+    load(unsigned seg, AccessPattern pattern, unsigned per_iter,
+         double divergence = 0.0, double halo = 0.1,
+         unsigned halo_stride = 64, double irregular = 0.0)
+    {
+        p.loads.push_back(makeAccess(seg, pattern, per_iter,
+                                     divergence, halo, halo_stride,
+                                     irregular));
+        return *this;
+    }
+
+    Builder &
+    store(unsigned seg, AccessPattern pattern, unsigned per_iter,
+          double divergence = 0.0, double halo = 0.1,
+          unsigned halo_stride = 64, double irregular = 0.0)
+    {
+        p.stores.push_back(makeAccess(seg, pattern, per_iter,
+                                      divergence, halo, halo_stride,
+                                      irregular));
+        return *this;
+    }
+
+    KernelProfile
+    build()
+    {
+        p.validate();
+        return p;
+    }
+
+  private:
+    KernelProfile p;
+};
+
+std::vector<KernelProfile>
+buildCatalog()
+{
+    std::vector<KernelProfile> catalog;
+    const Bytes MB = units::MiB;
+    const Bytes KB = units::KiB;
+
+    // ---- Compute-intensive (Table II category C) ----
+
+    {
+        // Back Propagation: dense layers, FMA-heavy with sigmoid
+        // activations (SFU), weight matrix re-walked every launch.
+        Builder b("BPROP", WorkloadClass::Compute, 101);
+        unsigned weights = b.segment("weights", 12 * MB);
+        b.iters(16).launches(2).shared(2)
+            .compute(Opcode::FFMA32, 8)
+            .compute(Opcode::EX232, 1)
+            .compute(Opcode::RCP32, 1)
+            .load(weights, AccessPattern::BlockStream, 1, 0.0, 0.1, 64, 0.02);
+        catalog.push_back(b.build());
+    }
+    {
+        // B+Tree search: integer comparisons over cached inner nodes
+        // plus irregular leaf accesses; shallow MLP (tree descent).
+        Builder b("BTREE", WorkloadClass::Compute, 102);
+        unsigned inner = b.segment("inner_nodes", 1 * MB);
+        unsigned leaves = b.segment("leaves", 4 * MB);
+        b.iters(16).mlp(2)
+            .compute(Opcode::IADD32, 10)
+            .compute(Opcode::IMAD32, 4)
+            .compute(Opcode::AND32, 2)
+            .load(inner, AccessPattern::Broadcast, 1)
+            .load(leaves, AccessPattern::Random, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // CoMD molecular dynamics: double-precision force loops with
+        // near-neighbour lists; memory subsystem mostly idle
+        // (validation outlier class: low memory utilization).
+        Builder b("CoMD", WorkloadClass::Compute, 103);
+        unsigned atoms = b.segment("atoms", 1536 * KB);
+        b.iters(12)
+            .compute(Opcode::FADD64, 2)
+            .compute(Opcode::FMUL64, 2)
+            .compute(Opcode::FFMA64, 3)
+            .compute(Opcode::SQRT32, 1)
+            .compute(Opcode::RCP32, 1)
+            .load(atoms, AccessPattern::Stencil, 1, 0.1, 0.15, 8, 0.04);
+        catalog.push_back(b.build());
+    }
+    {
+        // Hotspot: 2D thermal stencil, iterative; both grids fit the
+        // aggregate L2 once enough GPMs contribute capacity.
+        Builder b("Hotspot", WorkloadClass::Compute, 104);
+        unsigned temp = b.segment("temp", 6 * MB);
+        unsigned power = b.segment("power", 6 * MB);
+        b.iters(12).launches(3)
+            .compute(Opcode::FFMA32, 20)
+            .compute(Opcode::FADD32, 10)
+            .load(temp, AccessPattern::Stencil, 1, 0.0, 0.15, 64, 0.03)
+            .load(power, AccessPattern::BlockStream, 1, 0.0, 0.1, 64, 0.02)
+            .store(temp, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Lulesh (unstructured mesh variant): double precision with
+        // irregular gathers. Validation-only (limited parallelism).
+        Builder b("LuleshUns", WorkloadClass::Compute, 105);
+        unsigned mesh = b.segment("mesh", 16 * MB);
+        b.iters(10)
+            .compute(Opcode::FFMA64, 6)
+            .compute(Opcode::FADD64, 3)
+            .load(mesh, AccessPattern::Random, 2, 0.3);
+        catalog.push_back(b.build());
+    }
+    {
+        // PathFinder: dynamic-programming row sweep, integer ALU
+        // dominated, strong row-neighbour locality.
+        Builder b("PathF", WorkloadClass::Compute, 106);
+        unsigned grid = b.segment("grid", 8 * MB);
+        b.iters(16).launches(2)
+            .compute(Opcode::IADD32, 12)
+            .compute(Opcode::IMAD32, 2)
+            .load(grid, AccessPattern::Stencil, 1, 0.0, 0.3, 1, 0.03);
+        catalog.push_back(b.build());
+    }
+    {
+        // RSBench: cross-section lookup, compute dominated, lookup
+        // tables largely cache resident (low memory utilization —
+        // validation outlier class).
+        Builder b("RSBench", WorkloadClass::Compute, 107);
+        unsigned tables = b.segment("xs_tables", 512 * KB);
+        b.iters(16)
+            .compute(Opcode::FFMA32, 6)
+            .compute(Opcode::FADD32, 2)
+            .compute(Opcode::SIN32, 1)
+            .compute(Opcode::EX232, 1)
+            .compute(Opcode::RCP32, 1)
+            .load(tables, AccessPattern::Random, 2);
+        catalog.push_back(b.build());
+    }
+    {
+        // SRAD v1 (small input): speckle-reducing diffusion on a
+        // sub-megabyte image — cache resident, compute bound.
+        // Validation-only.
+        Builder b("Srad-v1", WorkloadClass::Compute, 108);
+        unsigned img = b.segment("image", 3 * MB);
+        unsigned coeff = b.segment("coeff", 3 * MB);
+        b.iters(12).launches(4)
+            .compute(Opcode::FFMA32, 12)
+            .compute(Opcode::FADD32, 4)
+            .compute(Opcode::EX232, 1)
+            .load(img, AccessPattern::Stencil, 1, 0.0, 0.15, 32)
+            .load(coeff, AccessPattern::BlockStream, 1)
+            .store(coeff, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+
+    // ---- Memory-bandwidth-intensive (Table II category M) ----
+
+    {
+        // MiniAMR: adaptive mesh refinement — divergent stencil over
+        // refined blocks, many short kernel launches (validation
+        // outlier class: sensor resolution).
+        Builder b("MiniAMR", WorkloadClass::Memory, 201);
+        unsigned blocks = b.segment("amr_blocks", 16 * MB);
+        unsigned flux = b.segment("flux", 8 * MB);
+        b.iters(4).launches(4).hwTiming(3.0e-3, 4.0e-3)
+            .compute(Opcode::FADD32, 4)
+            .compute(Opcode::FFMA32, 2)
+            .load(blocks, AccessPattern::Stencil, 2, 0.25, 0.25, 64, 0.08)
+            .store(flux, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // BFS: irregular frontier expansion, divergent, very short
+        // kernels (validation outlier class). Validation-only.
+        Builder b("BFS", WorkloadClass::Memory, 202);
+        unsigned graph = b.segment("graph", 24 * MB);
+        b.iters(3).launches(8).hwTiming(2.0e-3, 3.0e-3)
+            .compute(Opcode::IADD32, 4)
+            .load(graph, AccessPattern::Random, 2, 0.5);
+        catalog.push_back(b.build());
+    }
+    {
+        // K-means: streaming point reads against broadcast centroid
+        // table, iterative relabeling.
+        Builder b("Kmeans", WorkloadClass::Memory, 203);
+        unsigned points = b.segment("points", 16 * MB);
+        unsigned centroids = b.segment("centroids", 128 * KB);
+        unsigned labels = b.segment("labels", 2 * MB);
+        b.iters(12).launches(2)
+            .compute(Opcode::FFMA32, 6)
+            .compute(Opcode::FADD32, 2)
+            .load(points, AccessPattern::BlockStream, 2, 0.15, 0.1, 64, 0.05)
+            .load(centroids, AccessPattern::Broadcast, 1)
+            .store(labels, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Lulesh size 150: structured-mesh hydrodynamics, double
+        // precision, bandwidth bound with moderate halo traffic.
+        Builder b("Lulesh-150", WorkloadClass::Memory, 204);
+        unsigned nodes = b.segment("nodes", 24 * MB);
+        unsigned elems = b.segment("elems", 8 * MB);
+        b.iters(8)
+            .compute(Opcode::FFMA64, 3)
+            .compute(Opcode::FADD64, 2)
+            .load(nodes, AccessPattern::Stencil, 3, 0.15, 0.15, 64, 0.12)
+            .store(elems, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Lulesh size 190: the same kernels on a larger mesh.
+        Builder b("Lulesh-190", WorkloadClass::Memory, 205);
+        unsigned nodes = b.segment("nodes", 40 * MB);
+        unsigned elems = b.segment("elems", 12 * MB);
+        b.iters(8)
+            .compute(Opcode::FFMA64, 3)
+            .compute(Opcode::FADD64, 2)
+            .load(nodes, AccessPattern::Stencil, 3, 0.15, 0.15, 64, 0.12)
+            .store(elems, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Nekbone size 12: spectral-element solver, streaming
+        // double-precision with small gather tables.
+        Builder b("Nekbone-12", WorkloadClass::Memory, 206);
+        unsigned elements = b.segment("elements", 12 * MB);
+        unsigned gather = b.segment("gather_idx", 1 * MB);
+        b.iters(10)
+            .compute(Opcode::FFMA64, 4)
+            .load(elements, AccessPattern::BlockStream, 2, 0.0, 0.1, 64, 0.06)
+            .load(gather, AccessPattern::Random, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Nekbone size 18: larger polynomial order.
+        Builder b("Nekbone-18", WorkloadClass::Memory, 207);
+        unsigned elements = b.segment("elements", 24 * MB);
+        unsigned gather = b.segment("gather_idx", 2 * MB);
+        b.iters(10)
+            .compute(Opcode::FFMA64, 4)
+            .load(elements, AccessPattern::BlockStream, 2, 0.0, 0.1, 64, 0.06)
+            .load(gather, AccessPattern::Random, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // Mini Contact: contact search mixing irregular candidate
+        // pairs with neighbour sweeps. Validation-only.
+        Builder b("MnCtct", WorkloadClass::Memory, 208);
+        unsigned pairs = b.segment("pairs", 16 * MB);
+        unsigned surf = b.segment("surfaces", 8 * MB);
+        b.iters(8)
+            .compute(Opcode::IADD32, 4)
+            .compute(Opcode::FFMA64, 2)
+            .load(pairs, AccessPattern::Random, 1, 0.2)
+            .load(surf, AccessPattern::Stencil, 1, 0.0, 0.3, 32);
+        catalog.push_back(b.build());
+    }
+    {
+        // SRAD v2 (2048x2048): diffusion stencil at bandwidth-bound
+        // image sizes, iterative.
+        Builder b("Srad-v2", WorkloadClass::Memory, 209);
+        unsigned img = b.segment("image", 16 * MB);
+        unsigned coeff = b.segment("coeff", 16 * MB);
+        b.iters(12).launches(2)
+            .compute(Opcode::FFMA32, 4)
+            .compute(Opcode::FADD32, 2)
+            .load(img, AccessPattern::Stencil, 1, 0.1, 0.2, 96, 0.06)
+            .load(coeff, AccessPattern::BlockStream, 1, 0.0, 0.1, 64, 0.02)
+            .store(img, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+    {
+        // STREAM triad: a[i] = b[i] + s*c[i]; the canonical
+        // bandwidth benchmark.
+        Builder b("Stream", WorkloadClass::Memory, 210);
+        unsigned a = b.segment("a", 12 * MB);
+        unsigned bb = b.segment("b", 12 * MB);
+        unsigned c = b.segment("c", 12 * MB);
+        b.iters(12)
+            .compute(Opcode::FFMA32, 1)
+            .load(bb, AccessPattern::BlockStream, 1, 0.0, 0.1, 64, 0.02)
+            .load(c, AccessPattern::BlockStream, 1, 0.0, 0.1, 64, 0.02)
+            .store(a, AccessPattern::BlockStream, 1);
+        catalog.push_back(b.build());
+    }
+
+    return catalog;
+}
+
+/** Workloads excluded from the scaling study (paper §V-A). */
+bool
+isValidationOnly(const std::string &name)
+{
+    return name == "BFS" || name == "LuleshUns" || name == "MnCtct" ||
+           name == "Srad-v1";
+}
+
+} // namespace
+
+const std::vector<KernelProfile> &
+allWorkloads()
+{
+    static const std::vector<KernelProfile> catalog = buildCatalog();
+    return catalog;
+}
+
+const std::vector<KernelProfile> &
+scalingWorkloads()
+{
+    static const std::vector<KernelProfile> subset = [] {
+        std::vector<KernelProfile> out;
+        for (const auto &profile : allWorkloads())
+            if (!isValidationOnly(profile.name))
+                out.push_back(profile);
+        mmgpu_assert(out.size() == 14,
+                     "scaling subset must have 14 workloads, has ",
+                     out.size());
+        return out;
+    }();
+    return subset;
+}
+
+std::optional<KernelProfile>
+findWorkload(const std::string &name)
+{
+    for (const auto &profile : allWorkloads())
+        if (profile.name == name)
+            return profile;
+    return std::nullopt;
+}
+
+bool
+isValidationOutlier(const std::string &name)
+{
+    return name == "RSBench" || name == "CoMD" || name == "BFS" ||
+           name == "MiniAMR";
+}
+
+} // namespace mmgpu::trace

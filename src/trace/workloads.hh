@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The paper's workload suite (Table II) as kernel profiles.
+ *
+ * Since the Rodinia/CORAL binaries cannot be traced on real hardware
+ * here, each application is represented by a synthetic profile that
+ * preserves the characteristics the study depends on: compute- vs
+ * memory-intensity (Table II's C/M categories), single vs double
+ * precision mix, access locality (block-partitioned, stencil halo,
+ * irregular), memory divergence, working-set sizes relative to the
+ * 2 MB/GPM L2, and kernel-launch granularity. Footprints are scaled
+ * to the simulated trace length with ratios preserved (see DESIGN.md
+ * substitution table).
+ *
+ * The scaling study uses the 14-workload subset with enough inherent
+ * parallelism to fill a 32-GPM machine (paper §V-A: all but BFS,
+ * LuleshUns, MnCtct, Srad-v1); validation uses all 18.
+ */
+
+#ifndef MMGPU_TRACE_WORKLOADS_HH
+#define MMGPU_TRACE_WORKLOADS_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/kernel_profile.hh"
+
+namespace mmgpu::trace
+{
+
+/** All 18 Table II workloads. */
+const std::vector<KernelProfile> &allWorkloads();
+
+/** The 14-workload strong-scaling subset (paper §V-A). */
+const std::vector<KernelProfile> &scalingWorkloads();
+
+/** Look up one workload by its Table II abbreviation. */
+std::optional<KernelProfile> findWorkload(const std::string &name);
+
+/**
+ * Applications whose energy the paper reports as mispredicted by
+ * >30% for known reasons (Fig. 4b): RSBench and CoMD (memory
+ * subsystem nearly idle, model underestimates its static energy),
+ * BFS and MiniAMR (kernels shorter than the power sensor's 15 ms
+ * refresh period).
+ */
+bool isValidationOutlier(const std::string &name);
+
+} // namespace mmgpu::trace
+
+#endif // MMGPU_TRACE_WORKLOADS_HH

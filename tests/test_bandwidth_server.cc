@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the bandwidth-server contention primitive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/bandwidth_server.hh"
+
+namespace
+{
+
+using mmgpu::noc::BandwidthServer;
+
+TEST(BandwidthServer, IdleServiceTakesBytesOverRate)
+{
+    BandwidthServer server("s", 64.0);
+    EXPECT_DOUBLE_EQ(server.acquire(100.0, 128.0), 102.0);
+}
+
+TEST(BandwidthServer, BackToBackRequestsQueue)
+{
+    BandwidthServer server("s", 32.0);
+    EXPECT_DOUBLE_EQ(server.acquire(0.0, 64.0), 2.0);
+    // Arrives at t=1 but server busy until 2.
+    EXPECT_DOUBLE_EQ(server.acquire(1.0, 32.0), 3.0);
+    EXPECT_DOUBLE_EQ(server.queueingCycles(), 1.0);
+}
+
+TEST(BandwidthServer, IdleGapsAreNotCharged)
+{
+    BandwidthServer server("s", 32.0);
+    server.acquire(0.0, 32.0); // done at 1
+    EXPECT_DOUBLE_EQ(server.acquire(10.0, 32.0), 11.0);
+    EXPECT_DOUBLE_EQ(server.queueingCycles(), 0.0);
+}
+
+TEST(BandwidthServer, BusyAccumulates)
+{
+    BandwidthServer server("s", 16.0);
+    server.acquire(0.0, 32.0);
+    server.acquire(5.0, 16.0);
+    EXPECT_DOUBLE_EQ(server.busyCycles(), 3.0);
+    EXPECT_EQ(server.requestCount(), 2u);
+}
+
+TEST(BandwidthServer, SaturationThroughputMatchesRate)
+{
+    // Offer 2x the capacity; completion time must be demand/rate.
+    BandwidthServer server("s", 100.0);
+    double done = 0.0;
+    for (int i = 0; i < 1000; ++i)
+        done = server.acquire(i * 0.5, 100.0);
+    EXPECT_NEAR(done, 1000.0, 1.0);
+    EXPECT_NEAR(server.busyCycles(), 1000.0, 1e-9);
+}
+
+TEST(BandwidthServer, ResetClearsState)
+{
+    BandwidthServer server("s", 8.0);
+    server.acquire(0.0, 80.0);
+    server.reset();
+    EXPECT_DOUBLE_EQ(server.busyCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(server.queueingCycles(), 0.0);
+    EXPECT_EQ(server.requestCount(), 0u);
+    EXPECT_DOUBLE_EQ(server.acquire(0.0, 8.0), 1.0);
+}
+
+TEST(BandwidthServer, FractionalBytes)
+{
+    BandwidthServer server("s", 3.0);
+    EXPECT_NEAR(server.acquire(0.0, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BandwidthServerDeathTest, RejectsNonPositiveRate)
+{
+    EXPECT_EXIT(BandwidthServer("bad", 0.0),
+                ::testing::ExitedWithCode(1), "non-positive");
+}
+
+} // namespace

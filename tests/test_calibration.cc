@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Integration tests for the Figure 3 calibration pipeline: the
+ * calibrator must *recover* the device's hidden coefficients through
+ * the sensor alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/calibration.hh"
+#include "gpujoule/reference_device.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+
+class CalibrationTest : public ::testing::Test
+{
+  protected:
+    DeviceSpec spec;
+    power::SiliconGpu device{referenceK40Truth(spec)};
+};
+
+TEST_F(CalibrationTest, RecoversHiddenTableWithinTenPercent)
+{
+    Calibrator calibrator(device, spec);
+    CalibrationResult result = calibrator.calibrate();
+
+    // Compare against the *hidden truth* (the oracle), which the
+    // calibrator never saw.
+    const auto &truth = device.oracle();
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        if (isa::isMemory(op))
+            continue;
+        double err = std::abs(result.table.epi[i] - truth.epi[i]) /
+                     truth.epi[i];
+        EXPECT_LT(err, 0.12) << isa::mnemonic(op);
+    }
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i) {
+        double err = std::abs(result.table.ept[i] - truth.ept[i]) /
+                     truth.ept[i];
+        EXPECT_LT(err, 0.12)
+            << isa::txnLevelName(static_cast<isa::TxnLevel>(i));
+    }
+}
+
+TEST_F(CalibrationTest, RecoversConstPowerAndStallEnergy)
+{
+    Calibrator calibrator(device, spec);
+    CalibrationResult result = calibrator.calibrate();
+    EXPECT_NEAR(result.constPower, device.oracle().idlePower, 2.0);
+    EXPECT_NEAR(result.stallEnergy,
+                device.oracle().stallEnergyPerSmCycle,
+                device.oracle().stallEnergyPerSmCycle * 0.25);
+}
+
+TEST_F(CalibrationTest, ValidationEnvelopeMatchesFigureFourA)
+{
+    Calibrator calibrator(device, spec);
+    CalibrationResult result = calibrator.calibrate();
+    ASSERT_EQ(result.validation.size(), 5u);
+    for (const auto &point : result.validation) {
+        // Paper envelope: +2.5% .. -6%; allow slack for sensor noise.
+        EXPECT_LT(point.relativeError(), 0.05) << point.name;
+        EXPECT_GT(point.relativeError(), -0.09) << point.name;
+    }
+}
+
+TEST_F(CalibrationTest, ConvergesWithinIterationBudget)
+{
+    Calibrator calibrator(device, spec);
+    CalibrationResult result = calibrator.calibrate();
+    EXPECT_TRUE(result.converged);
+    EXPECT_GE(result.iterations, 1u);
+    EXPECT_LE(result.iterations, 4u);
+}
+
+TEST_F(CalibrationTest, RefinementLoopRunsWhenTargetIsStrict)
+{
+    // An unreachable accuracy target must exhaust the refinement
+    // iterations and report non-convergence (without aborting).
+    CalibrationSettings settings;
+    settings.accuracyTarget = 0.0001;
+    settings.maxIterations = 2;
+    Calibrator calibrator(device, spec);
+    CalibrationResult result = calibrator.calibrate(settings);
+    EXPECT_FALSE(result.converged);
+    EXPECT_EQ(result.iterations, 2u);
+    // The table is still produced.
+    EXPECT_GT(result.table.epiOf(isa::Opcode::FADD32), 0.0);
+}
+
+TEST_F(CalibrationTest, MeasureIdleSeesIdlePower)
+{
+    Calibrator calibrator(device, spec);
+    EXPECT_NEAR(calibrator.measureIdle(0.5),
+                device.oracle().idlePower, 2.0);
+}
+
+TEST_F(CalibrationTest, DifferentSensorSeedsAgreeClosely)
+{
+    // Sensor noise must not change the recovered table materially.
+    Calibrator a(device, spec, 111);
+    Calibrator b(device, spec, 222);
+    auto ta = a.calibrate().table;
+    auto tb = b.calibrate().table;
+    // Sub-0.1 nJ EPIs (e.g. SQRT) sit near the sensor's 1 W
+    // quantization floor, so allow a wider envelope there and a
+    // tight one on the strong signals.
+    EXPECT_LT(maxRelativeError(ta, tb), 0.20);
+    EXPECT_NEAR(ta.epiOf(isa::Opcode::FFMA32),
+                tb.epiOf(isa::Opcode::FFMA32),
+                ta.epiOf(isa::Opcode::FFMA32) * 0.05);
+    EXPECT_NEAR(ta.eptOf(isa::TxnLevel::DramToL2),
+                tb.eptOf(isa::TxnLevel::DramToL2),
+                ta.eptOf(isa::TxnLevel::DramToL2) * 0.05);
+}
+
+} // namespace

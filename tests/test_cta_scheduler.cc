@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for distributed CTA partitioning and GPM work queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/cta_scheduler.hh"
+
+namespace
+{
+
+using namespace mmgpu::sm;
+
+TEST(PartitionCtas, EvenSplit)
+{
+    auto ranges = partitionCtas(16, 4);
+    ASSERT_EQ(ranges.size(), 4u);
+    for (unsigned g = 0; g < 4; ++g) {
+        EXPECT_EQ(ranges[g].size(), 4u);
+        EXPECT_EQ(ranges[g].first, g * 4);
+    }
+}
+
+TEST(PartitionCtas, RemainderSpreadOneEach)
+{
+    auto ranges = partitionCtas(10, 4);
+    EXPECT_EQ(ranges[0].size(), 3u);
+    EXPECT_EQ(ranges[1].size(), 3u);
+    EXPECT_EQ(ranges[2].size(), 2u);
+    EXPECT_EQ(ranges[3].size(), 2u);
+}
+
+TEST(PartitionCtas, ContiguousAndComplete)
+{
+    auto ranges = partitionCtas(1000, 7);
+    unsigned cursor = 0;
+    for (const auto &range : ranges) {
+        EXPECT_EQ(range.first, cursor);
+        cursor = range.last;
+    }
+    EXPECT_EQ(cursor, 1000u);
+}
+
+TEST(PartitionCtas, MoreGpmsThanCtas)
+{
+    auto ranges = partitionCtas(2, 4);
+    EXPECT_EQ(ranges[0].size(), 1u);
+    EXPECT_EQ(ranges[1].size(), 1u);
+    EXPECT_EQ(ranges[2].size(), 0u);
+    EXPECT_EQ(ranges[3].size(), 0u);
+}
+
+TEST(PartitionCtas, SingleGpmTakesAll)
+{
+    auto ranges = partitionCtas(42, 1);
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].size(), 42u);
+}
+
+TEST(GpmCtaQueue, FifoOrder)
+{
+    GpmCtaQueue queue(CtaRange{5, 8});
+    EXPECT_TRUE(queue.hasWork());
+    EXPECT_EQ(queue.remaining(), 3u);
+    EXPECT_EQ(queue.pop(), 5u);
+    EXPECT_EQ(queue.pop(), 6u);
+    EXPECT_EQ(queue.pop(), 7u);
+    EXPECT_FALSE(queue.hasWork());
+}
+
+TEST(GpmCtaQueue, EmptyRange)
+{
+    GpmCtaQueue queue(CtaRange{3, 3});
+    EXPECT_FALSE(queue.hasWork());
+    EXPECT_EQ(queue.remaining(), 0u);
+}
+
+TEST(GpmCtaQueue, ExplicitListOrder)
+{
+    GpmCtaQueue queue(std::vector<unsigned>{9, 2, 5});
+    EXPECT_EQ(queue.pop(), 9u);
+    EXPECT_EQ(queue.pop(), 2u);
+    EXPECT_EQ(queue.pop(), 5u);
+    EXPECT_FALSE(queue.hasWork());
+}
+
+TEST(AssignCtas, DistributedMatchesPartition)
+{
+    auto lists = assignCtas(10, 4, CtaSchedPolicy::Distributed);
+    ASSERT_EQ(lists.size(), 4u);
+    EXPECT_EQ(lists[0], (std::vector<unsigned>{0, 1, 2}));
+    EXPECT_EQ(lists[3], (std::vector<unsigned>{8, 9}));
+}
+
+TEST(AssignCtas, RoundRobinInterleaves)
+{
+    auto lists = assignCtas(8, 4, CtaSchedPolicy::RoundRobin);
+    EXPECT_EQ(lists[0], (std::vector<unsigned>{0, 4}));
+    EXPECT_EQ(lists[1], (std::vector<unsigned>{1, 5}));
+    EXPECT_EQ(lists[3], (std::vector<unsigned>{3, 7}));
+}
+
+TEST(AssignCtas, EveryCtaAssignedExactlyOnce)
+{
+    for (auto policy :
+         {CtaSchedPolicy::Distributed, CtaSchedPolicy::RoundRobin}) {
+        auto lists = assignCtas(101, 7, policy);
+        std::vector<bool> seen(101, false);
+        for (const auto &list : lists)
+            for (unsigned c : list) {
+                ASSERT_LT(c, 101u);
+                ASSERT_FALSE(seen[c]);
+                seen[c] = true;
+            }
+        for (bool b : seen)
+            ASSERT_TRUE(b);
+    }
+}
+
+TEST(GpmCtaQueueDeathTest, PopFromEmptyPanics)
+{
+    GpmCtaQueue queue(CtaRange{0, 0});
+    EXPECT_DEATH(queue.pop(), "empty CTA queue");
+}
+
+} // namespace

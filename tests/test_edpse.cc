@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the EDPSE metric family (paper §III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/edpse.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::metrics;
+
+TEST(Edp, Product)
+{
+    EXPECT_DOUBLE_EQ(edp({2.0, 3.0}), 6.0);
+    EXPECT_DOUBLE_EQ(edip({2.0, 3.0}, 1), 6.0);
+    EXPECT_DOUBLE_EQ(edip({2.0, 3.0}, 2), 18.0);
+}
+
+TEST(ParallelEfficiency, EquationOne)
+{
+    // t1=100, N=4, tN=25 -> 100%.
+    EXPECT_DOUBLE_EQ(parallelEfficiency(100.0, 25.0, 4), 100.0);
+    // Half-efficient.
+    EXPECT_DOUBLE_EQ(parallelEfficiency(100.0, 50.0, 4), 50.0);
+}
+
+TEST(Edpse, LinearScalingIsHundredPercent)
+{
+    // N-fold speedup at constant energy (paper's definition of
+    // linear EDP scaling).
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay scaled{100.0, 10.0 / 8.0};
+    EXPECT_DOUBLE_EQ(edpse(one, scaled, 8), 100.0);
+}
+
+TEST(Edpse, SubLinearSpeedupReduces)
+{
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay scaled{100.0, 10.0 / 4.0}; // 4x speedup on 8 units
+    EXPECT_DOUBLE_EQ(edpse(one, scaled, 8), 50.0);
+}
+
+TEST(Edpse, EnergyGrowthReduces)
+{
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay scaled{200.0, 10.0 / 8.0}; // linear speedup, 2x energy
+    EXPECT_DOUBLE_EQ(edpse(one, scaled, 8), 50.0);
+}
+
+TEST(Edpse, SuperLinearExceedsHundred)
+{
+    // Paper footnote 1: super-linear speedup or an energy decrease
+    // can push EDPSE above 100%.
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay scaled{80.0, 10.0 / 9.0};
+    EXPECT_GT(edpse(one, scaled, 8), 100.0);
+}
+
+TEST(Edpse, SpeedupOverEnergyRatioIdentity)
+{
+    // EDPSE == speedup / (N * energy ratio) * 100.
+    EnergyDelay one{123.0, 17.0};
+    EnergyDelay scaled{171.0, 2.3};
+    unsigned n = 16;
+    double s = speedup(one.delay, scaled.delay);
+    double e_ratio = scaled.energy / one.energy;
+    EXPECT_NEAR(edpse(one, scaled, n), s / (n * e_ratio) * 100.0,
+                1e-9);
+}
+
+TEST(Edipse, EquationThree)
+{
+    // With i=1, EDiPSE == EDPSE.
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay scaled{150.0, 2.0};
+    EXPECT_NEAR(edipse(one, scaled, 4, 1), edpse(one, scaled, 4),
+                1e-12);
+}
+
+TEST(Edipse, HigherExponentWeighsDelayMore)
+{
+    // Linear speedup, constant energy: EDiPSE stays 100% for any i.
+    EnergyDelay one{100.0, 10.0};
+    EnergyDelay linear{100.0, 2.5};
+    EXPECT_NEAR(edipse(one, linear, 4, 2), 100.0, 1e-9);
+    EXPECT_NEAR(edipse(one, linear, 4, 3), 100.0, 1e-9);
+
+    // Sub-linear speedup: higher i punishes harder.
+    EnergyDelay sub{100.0, 5.0};
+    EXPECT_LT(edipse(one, sub, 4, 2), edipse(one, sub, 4, 1));
+}
+
+TEST(Speedup, Basic)
+{
+    EXPECT_DOUBLE_EQ(speedup(10.0, 2.0), 5.0);
+}
+
+} // namespace

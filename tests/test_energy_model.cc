@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the Eq. 4 energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/energy_model.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+using isa::Opcode;
+using isa::TxnLevel;
+
+EnergyParams
+simpleParams()
+{
+    EnergyParams params;
+    params.table = paperTableIb();
+    params.stallEnergyPerSmCycle = 1e-9;
+    params.constPowerPerGpm = 60.0;
+    params.linkPjPerBit = 10.0;
+    params.switchPjPerBit = 10.0;
+    return params;
+}
+
+TEST(EnergyModel, EmptyInputsOnlyConstant)
+{
+    EnergyInputs inputs;
+    inputs.execTime = 1.0;
+    inputs.gpmCount = 1;
+    EnergyBreakdown breakdown = estimate(inputs, simpleParams());
+    EXPECT_DOUBLE_EQ(breakdown.constant, 60.0);
+    EXPECT_DOUBLE_EQ(breakdown.total(), 60.0);
+}
+
+TEST(EnergyModel, InstructionTermExpandsWarpLanes)
+{
+    EnergyInputs inputs;
+    inputs.warpInstrs[static_cast<std::size_t>(Opcode::FADD32)] = 1000;
+    EnergyBreakdown breakdown = estimate(inputs, simpleParams());
+    // 1000 warp instrs * 32 lanes * 0.06 nJ.
+    EXPECT_NEAR(breakdown.smBusy, 1000 * 32 * 0.06e-9, 1e-15);
+}
+
+TEST(EnergyModel, TransactionTermsPerLevel)
+{
+    EnergyInputs inputs;
+    inputs.txns[static_cast<std::size_t>(TxnLevel::L1ToReg)] = 10;
+    inputs.txns[static_cast<std::size_t>(TxnLevel::DramToL2)] = 5;
+    EnergyBreakdown breakdown = estimate(inputs, simpleParams());
+    EXPECT_NEAR(breakdown.l1ToReg, 10 * 5.99e-9, 1e-15);
+    EXPECT_NEAR(breakdown.dramToL2, 5 * 7.82e-9, 1e-15);
+    EXPECT_DOUBLE_EQ(breakdown.l2ToL1, 0.0);
+}
+
+TEST(EnergyModel, StallTerm)
+{
+    EnergyInputs inputs;
+    inputs.smStallCycles = 1e6;
+    EnergyBreakdown breakdown = estimate(inputs, simpleParams());
+    EXPECT_NEAR(breakdown.smIdle, 1e6 * 1e-9, 1e-12);
+}
+
+TEST(EnergyModel, ConstantScalesWithGpmCountOnBoard)
+{
+    EnergyInputs inputs;
+    inputs.execTime = 2.0;
+    inputs.gpmCount = 8;
+    EnergyParams params = simpleParams();
+    params.constGrowthFraction = 1.0; // on-board: full replication
+    EnergyBreakdown breakdown = estimate(inputs, params);
+    EXPECT_DOUBLE_EQ(breakdown.constant, 60.0 * 8 * 2.0);
+}
+
+TEST(EnergyModel, ConstantAmortizationOnPackage)
+{
+    EnergyInputs inputs;
+    inputs.execTime = 1.0;
+    inputs.gpmCount = 32;
+    EnergyParams params = simpleParams();
+    params.constGrowthFraction = 0.5; // paper's 50% amortization
+    EnergyBreakdown breakdown = estimate(inputs, params);
+    // Scale = 0.5*32 + 0.5 = 16.5.
+    EXPECT_DOUBLE_EQ(breakdown.constant, 60.0 * 16.5);
+}
+
+TEST(EnergyModel, ConstScaleIsOneForSingleGpm)
+{
+    EnergyParams params = simpleParams();
+    params.constGrowthFraction = 0.5;
+    EXPECT_DOUBLE_EQ(params.constScale(1), 1.0);
+    EXPECT_DOUBLE_EQ(params.constScale(2), 1.5);
+}
+
+TEST(EnergyModel, LinkAndSwitchEnergy)
+{
+    EnergyInputs inputs;
+    inputs.linkBytes = 1000;
+    inputs.switchBytes = 500;
+    EnergyBreakdown breakdown = estimate(inputs, simpleParams());
+    // 1000 B * 8 * 10 pJ + 500 B * 8 * 10 pJ.
+    EXPECT_NEAR(breakdown.interModule, 8e-8 + 4e-8, 1e-15);
+}
+
+TEST(EnergyModel, TotalSumsComponents)
+{
+    EnergyInputs inputs;
+    inputs.warpInstrs[static_cast<std::size_t>(Opcode::FFMA64)] = 7;
+    inputs.txns[static_cast<std::size_t>(TxnLevel::SharedToReg)] = 3;
+    inputs.smStallCycles = 11.0;
+    inputs.execTime = 0.25;
+    inputs.linkBytes = 64;
+    EnergyBreakdown b = estimate(inputs, simpleParams());
+    EXPECT_NEAR(b.total(),
+                b.smBusy + b.smIdle + b.constant + b.shmToReg +
+                    b.l1ToReg + b.l2ToL1 + b.dramToL2 + b.interModule,
+                1e-15);
+    EXPECT_GT(b.total(), 0.0);
+}
+
+TEST(EnergyModel, EquationFourHandComputation)
+{
+    // Full Eq. 4 cross-check against a hand computation.
+    EnergyInputs inputs;
+    inputs.warpInstrs[static_cast<std::size_t>(Opcode::FADD32)] = 100;
+    inputs.txns[static_cast<std::size_t>(TxnLevel::DramToL2)] = 200;
+    inputs.smStallCycles = 300.0;
+    inputs.execTime = 0.001;
+    inputs.gpmCount = 2;
+    EnergyParams params = simpleParams();
+    params.constGrowthFraction = 1.0;
+
+    double expected = 100 * 32 * 0.06e-9   // EPI term
+                      + 200 * 7.82e-9      // EPT term
+                      + 300 * 1e-9         // stall term
+                      + 60.0 * 2 * 0.001;  // const term
+    EXPECT_NEAR(estimate(inputs, params).total(), expected, 1e-12);
+}
+
+} // namespace

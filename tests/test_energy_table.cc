@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the EPI/EPT table and the published Table Ib values.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/energy_table.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+using isa::Opcode;
+using isa::TxnLevel;
+
+TEST(PaperTable, ComputeEpiValues)
+{
+    EnergyTable table = paperTableIb();
+    EXPECT_NEAR(table.epiOf(Opcode::FADD32), 0.06e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::FMUL32), 0.05e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::FFMA32), 0.05e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::IADD32), 0.07e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::IMUL32), 0.13e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::IMAD32), 0.15e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::FADD64), 0.15e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::FFMA64), 0.16e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::RCP32), 0.31e-9, 1e-13);
+    EXPECT_NEAR(table.epiOf(Opcode::SQRT32), 0.02e-9, 1e-13);
+}
+
+TEST(PaperTable, TransactionEptValues)
+{
+    EnergyTable table = paperTableIb();
+    EXPECT_NEAR(table.eptOf(TxnLevel::SharedToReg), 5.45e-9, 1e-12);
+    EXPECT_NEAR(table.eptOf(TxnLevel::L1ToReg), 5.99e-9, 1e-12);
+    EXPECT_NEAR(table.eptOf(TxnLevel::L2ToL1), 3.96e-9, 1e-12);
+    EXPECT_NEAR(table.eptOf(TxnLevel::DramToL2), 7.82e-9, 1e-12);
+}
+
+TEST(PaperTable, PjPerBitColumnReproduced)
+{
+    // Table Ib's second column follows from the first at the
+    // transaction granularities (128 B / 32 B).
+    EnergyTable table = paperTableIb();
+    EXPECT_NEAR(table.pjPerBit(TxnLevel::SharedToReg), 5.32, 0.01);
+    EXPECT_NEAR(table.pjPerBit(TxnLevel::L1ToReg), 5.85, 0.01);
+    EXPECT_NEAR(table.pjPerBit(TxnLevel::L2ToL1), 15.48, 0.05);
+    EXPECT_NEAR(table.pjPerBit(TxnLevel::DramToL2), 30.55, 0.02);
+}
+
+TEST(PaperTable, MemoryHierarchyEnergyOrdering)
+{
+    // Paper §IV-B1: per-bit energy grows with distance from the
+    // register file.
+    EnergyTable table = paperTableIb();
+    EXPECT_LT(table.pjPerBit(TxnLevel::SharedToReg),
+              table.pjPerBit(TxnLevel::L1ToReg));
+    EXPECT_LT(table.pjPerBit(TxnLevel::L1ToReg),
+              table.pjPerBit(TxnLevel::L2ToL1));
+    EXPECT_LT(table.pjPerBit(TxnLevel::L2ToL1),
+              table.pjPerBit(TxnLevel::DramToL2));
+}
+
+TEST(PaperTable, AllEnergiesPositive)
+{
+    EnergyTable table = paperTableIb();
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i)
+        EXPECT_GT(table.epi[i], 0.0);
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i)
+        EXPECT_GT(table.ept[i], 0.0);
+}
+
+TEST(MaxRelativeError, ZeroForIdenticalTables)
+{
+    EnergyTable table = paperTableIb();
+    EXPECT_DOUBLE_EQ(maxRelativeError(table, table), 0.0);
+}
+
+TEST(MaxRelativeError, DetectsWorstDeviation)
+{
+    EnergyTable a = paperTableIb();
+    EnergyTable b = a;
+    a.epi[static_cast<std::size_t>(Opcode::FADD32)] *= 1.10;
+    a.ept[static_cast<std::size_t>(TxnLevel::DramToL2)] *= 0.95;
+    EXPECT_NEAR(maxRelativeError(a, b), 0.10, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the clock/power-gating extension (paper §V-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/gating.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+
+EnergyParams
+params()
+{
+    EnergyParams p;
+    p.table = paperTableIb();
+    p.stallEnergyPerSmCycle = 1e-9;
+    p.constPowerPerGpm = 60.0;
+    return p;
+}
+
+EnergyInputs
+inputs()
+{
+    EnergyInputs in;
+    in.smStallCycles = 1e6;
+    in.execTime = 0.001;
+    in.gpmCount = 4;
+    in.smOccupiedCycles = 2.5e5; // 25% occupancy...
+    in.smCycleCapacity = 1e6;    // ...of the SM-cycle capacity
+    return in;
+}
+
+TEST(Gating, NoGatingMatchesBaseModel)
+{
+    auto base = estimate(inputs(), params());
+    auto gated = estimateWithGating(inputs(), params(), {});
+    EXPECT_DOUBLE_EQ(base.total(), gated.total());
+}
+
+TEST(Gating, ClockGatingScalesStallEnergyOnly)
+{
+    GatingOptions options;
+    options.clockGating = 0.75;
+    auto base = estimate(inputs(), params());
+    auto gated = estimateWithGating(inputs(), params(), options);
+    EXPECT_NEAR(gated.smIdle, base.smIdle * 0.25, 1e-15);
+    EXPECT_DOUBLE_EQ(gated.constant, base.constant);
+    EXPECT_DOUBLE_EQ(gated.smBusy, base.smBusy);
+}
+
+TEST(Gating, PowerGatingScalesConstantByIdleFraction)
+{
+    GatingOptions options;
+    options.powerGating = 1.0;
+    options.smShareOfConstant = 0.4;
+    auto base = estimate(inputs(), params());
+    auto gated = estimateWithGating(inputs(), params(), options);
+    // Idle fraction = 0.75; reclaimable share 0.4 -> factor 0.70.
+    EXPECT_NEAR(gated.constant, base.constant * 0.70, 1e-12);
+}
+
+TEST(Gating, FullyOccupiedMachineGainsNothingFromPowerGating)
+{
+    EnergyInputs in = inputs();
+    in.smOccupiedCycles = in.smCycleCapacity;
+    GatingOptions options;
+    options.powerGating = 1.0;
+    auto base = estimate(in, params());
+    auto gated = estimateWithGating(in, params(), options);
+    EXPECT_NEAR(gated.constant, base.constant, 1e-12);
+}
+
+TEST(Gating, CombinedGatingReducesTotal)
+{
+    GatingOptions options;
+    options.clockGating = 0.8;
+    options.powerGating = 0.8;
+    auto base = estimate(inputs(), params());
+    auto gated = estimateWithGating(inputs(), params(), options);
+    EXPECT_LT(gated.total(), base.total());
+    EXPECT_GT(gated.total(), 0.0);
+}
+
+TEST(GatingDeathTest, RejectsOutOfRangeKnobs)
+{
+    GatingOptions options;
+    options.clockGating = 1.5;
+    EXPECT_EXIT(estimateWithGating(inputs(), params(), options),
+                ::testing::ExitedWithCode(1), "gating knobs");
+}
+
+TEST(GatingDeathTest, PowerGatingNeedsCapacity)
+{
+    EnergyInputs in = inputs();
+    in.smCycleCapacity = 0.0;
+    GatingOptions options;
+    options.powerGating = 0.5;
+    EXPECT_EXIT(estimateWithGating(in, params(), options),
+                ::testing::ExitedWithCode(1), "smCycleCapacity");
+}
+
+} // namespace

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for Table III/IV configuration factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_config.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::sim;
+
+TEST(GpuConfig, BaselineMatchesTableThreeColumnOne)
+{
+    GpuConfig config = baselineConfig();
+    config.validate();
+    EXPECT_EQ(config.gpmCount, 1u);
+    EXPECT_EQ(config.smsPerGpm, 16u);
+    EXPECT_EQ(config.memory.l1BytesPerSm, 32 * units::KiB);
+    EXPECT_EQ(config.memory.l2BytesPerGpm, 2 * units::MiB);
+    EXPECT_DOUBLE_EQ(config.memory.dramBytesPerCycle, 256.0);
+    EXPECT_EQ(config.topology, noc::Topology::None);
+}
+
+TEST(GpuConfig, TableThreeScaling)
+{
+    for (unsigned n : tableThreeGpmCounts()) {
+        GpuConfig config = multiGpmConfig(n, BwSetting::Bw2x);
+        config.validate();
+        EXPECT_EQ(config.totalSms(), 16 * n);
+        EXPECT_EQ(config.memory.gpmCount, n);
+        // Total L2 and DRAM bandwidth replicate per GPM.
+        EXPECT_EQ(config.memory.l2BytesPerGpm * n, 2 * units::MiB * n);
+    }
+}
+
+TEST(GpuConfig, TableFourBandwidthSettings)
+{
+    EXPECT_DOUBLE_EQ(bwSettingBytesPerCycle(BwSetting::Bw1x), 128.0);
+    EXPECT_DOUBLE_EQ(bwSettingBytesPerCycle(BwSetting::Bw2x), 256.0);
+    EXPECT_DOUBLE_EQ(bwSettingBytesPerCycle(BwSetting::Bw4x), 512.0);
+    // Ratios to DRAM bandwidth: 1:2, 1:1, 2:1.
+    GpuConfig base = baselineConfig();
+    EXPECT_DOUBLE_EQ(bwSettingBytesPerCycle(BwSetting::Bw1x) * 2.0,
+                     base.memory.dramBytesPerCycle);
+    EXPECT_DOUBLE_EQ(bwSettingBytesPerCycle(BwSetting::Bw4x),
+                     base.memory.dramBytesPerCycle * 2.0);
+}
+
+TEST(GpuConfig, DefaultDomainPairing)
+{
+    EXPECT_EQ(defaultDomainFor(BwSetting::Bw1x),
+              IntegrationDomain::OnBoard);
+    EXPECT_EQ(defaultDomainFor(BwSetting::Bw2x),
+              IntegrationDomain::OnPackage);
+    EXPECT_EQ(defaultDomainFor(BwSetting::Bw4x),
+              IntegrationDomain::OnPackage);
+}
+
+TEST(GpuConfig, NamesEncodeTheDesignPoint)
+{
+    GpuConfig config = multiGpmConfig(8, BwSetting::Bw4x,
+                                      noc::Topology::Switch,
+                                      IntegrationDomain::OnBoard);
+    EXPECT_NE(config.name.find("8-GPM"), std::string::npos);
+    EXPECT_NE(config.name.find("4x-BW"), std::string::npos);
+    EXPECT_NE(config.name.find("switch"), std::string::npos);
+    EXPECT_NE(config.name.find("on-board"), std::string::npos);
+}
+
+TEST(GpuConfig, MonolithicScalesEverythingOnOneDie)
+{
+    GpuConfig config = monolithicConfig(32);
+    config.validate();
+    EXPECT_EQ(config.gpmCount, 1u);
+    EXPECT_EQ(config.smsPerGpm, 512u);
+    EXPECT_EQ(config.memory.l2BytesPerGpm, 64 * units::MiB);
+    EXPECT_DOUBLE_EQ(config.memory.dramBytesPerCycle, 8192.0);
+    EXPECT_EQ(config.topology, noc::Topology::None);
+}
+
+TEST(GpuConfigDeathTest, MultiGpmNeedsTwoPlus)
+{
+    EXPECT_EXIT(multiGpmConfig(1, BwSetting::Bw1x),
+                ::testing::ExitedWithCode(1), ">= 2 GPMs");
+}
+
+TEST(GpuConfigDeathTest, ValidateCatchesShapeMismatch)
+{
+    GpuConfig config = baselineConfig();
+    config.memory.gpmCount = 2;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "disagrees");
+}
+
+TEST(GpuConfigDeathTest, MultiGpmWithoutInterconnect)
+{
+    GpuConfig config = multiGpmConfig(4, BwSetting::Bw2x);
+    config.topology = noc::Topology::None;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "without interconnect");
+}
+
+} // namespace

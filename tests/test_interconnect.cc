@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the ring and switch inter-GPM networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::noc;
+
+TEST(Ring, HopCountShortestDirection)
+{
+    RingNetwork ring(8, 64.0, 10);
+    EXPECT_EQ(ring.hopCount(0, 1), 1u);
+    EXPECT_EQ(ring.hopCount(0, 7), 1u);
+    EXPECT_EQ(ring.hopCount(0, 4), 4u);
+    EXPECT_EQ(ring.hopCount(2, 6), 4u);
+    EXPECT_EQ(ring.hopCount(6, 2), 4u);
+    EXPECT_EQ(ring.hopCount(3, 3), 0u);
+}
+
+TEST(Ring, TransferLatencyScalesWithHops)
+{
+    RingNetwork ring(8, 64.0, 10);
+    // 1 hop: 64B/64Bpc = 1 cycle service + 10 latency.
+    EXPECT_DOUBLE_EQ(ring.transfer(0.0, 0, 1, 64.0), 11.0);
+    // 4 hops store-and-forward: 4 * 11.
+    EXPECT_DOUBLE_EQ(ring.transfer(100.0, 0, 4, 64.0), 144.0);
+}
+
+TEST(Ring, ByteHopsAccounting)
+{
+    RingNetwork ring(8, 64.0, 10);
+    ring.transfer(0.0, 0, 4, 100.0); // 4 hops
+    EXPECT_EQ(ring.traffic().byteHops, 400u);
+    EXPECT_EQ(ring.traffic().messageBytes, 100u);
+    EXPECT_EQ(ring.traffic().transfers, 1u);
+}
+
+TEST(Ring, ThroughTrafficCongestsIntermediateLinks)
+{
+    RingNetwork ring(8, 64.0, 0);
+    // Two flows sharing the 0->1 link contend; disjoint links don't.
+    double a = ring.transfer(0.0, 0, 2, 64.0);
+    double b = ring.transfer(0.0, 0, 2, 64.0);
+    EXPECT_GT(b, a);
+    double c = ring.transfer(0.0, 4, 6, 64.0);
+    EXPECT_DOUBLE_EQ(c, a); // independent links, no contention
+}
+
+TEST(Ring, OppositeDirectionsDoNotContend)
+{
+    RingNetwork ring(8, 64.0, 0);
+    double cw = ring.transfer(0.0, 0, 1, 64.0);
+    double ccw = ring.transfer(0.0, 1, 0, 64.0);
+    EXPECT_DOUBLE_EQ(cw, ccw);
+}
+
+TEST(Ring, StepwiseMatchesTransfer)
+{
+    RingNetwork ring(8, 64.0, 10);
+    RingNetwork ring2(8, 64.0, 10);
+    double sync = ring.transfer(0.0, 1, 5, 64.0);
+
+    unsigned node = 1;
+    double t = 0.0;
+    while (true) {
+        HopOutcome hop = ring2.step(node, 5, t, 64.0);
+        t = hop.ready;
+        node = hop.next;
+        if (hop.arrived)
+            break;
+    }
+    EXPECT_DOUBLE_EQ(t, sync);
+    EXPECT_EQ(node, 5u);
+}
+
+TEST(Switch, SingleHopRegardlessOfGpmCount)
+{
+    SwitchNetwork sw(32, 128.0, 5, 20);
+    // up: 64/128=0.5 + 5 + 20; down: 0.5 + 5 => 31.
+    EXPECT_DOUBLE_EQ(sw.transfer(0.0, 0, 17, 64.0), 31.0);
+    EXPECT_DOUBLE_EQ(sw.transfer(100.0, 3, 4, 64.0), 131.0);
+}
+
+TEST(Switch, TrafficAccounting)
+{
+    SwitchNetwork sw(4, 128.0, 5, 20);
+    sw.transfer(0.0, 0, 2, 100.0);
+    EXPECT_EQ(sw.traffic().byteHops, 200u);   // up + down
+    EXPECT_EQ(sw.traffic().switchBytes, 100u);
+    EXPECT_EQ(sw.traffic().messageBytes, 100u);
+}
+
+TEST(Switch, UplinkContention)
+{
+    SwitchNetwork sw(4, 64.0, 0, 0);
+    double first = sw.transfer(0.0, 0, 1, 64.0);
+    double second = sw.transfer(0.0, 0, 2, 64.0); // same uplink
+    EXPECT_GT(second, first);
+    double other = sw.transfer(0.0, 3, 1, 64.0); // different uplink,
+                                                 // same downlink as 1st
+    EXPECT_GT(other, 0.0);
+}
+
+TEST(Switch, StepGoesThroughFabricSentinel)
+{
+    SwitchNetwork sw(4, 64.0, 0, 0);
+    HopOutcome up = sw.step(2, 3, 0.0, 64.0);
+    EXPECT_FALSE(up.arrived);
+    EXPECT_EQ(up.next, sw.fabricNode());
+    HopOutcome down = sw.step(up.next, 3, up.ready, 64.0);
+    EXPECT_TRUE(down.arrived);
+    EXPECT_EQ(down.next, 3u);
+}
+
+TEST(MakeNetwork, FactoryShapes)
+{
+    EXPECT_EQ(makeNetwork(Topology::None, 1, 128.0, 10, 20), nullptr);
+    auto ring = makeNetwork(Topology::Ring, 4, 128.0, 10, 20);
+    ASSERT_NE(ring, nullptr);
+    auto sw = makeNetwork(Topology::Switch, 4, 128.0, 10, 20);
+    ASSERT_NE(sw, nullptr);
+}
+
+TEST(MakeNetwork, RingSplitsIoAcrossDirections)
+{
+    // Per-GPM I/O of 128 B/cyc -> each directional link is 64 B/cyc:
+    // a 64 B transfer over one idle hop takes 1 cycle + latency.
+    auto ring = makeNetwork(Topology::Ring, 4, 128.0, 10, 20);
+    EXPECT_DOUBLE_EQ(ring->transfer(0.0, 0, 1, 64.0), 11.0);
+}
+
+TEST(TopologyName, Names)
+{
+    EXPECT_STREQ(topologyName(Topology::None), "monolithic");
+    EXPECT_STREQ(topologyName(Topology::Ring), "ring");
+    EXPECT_STREQ(topologyName(Topology::Switch), "switch");
+}
+
+TEST(Ring, ResetClearsTrafficAndLinks)
+{
+    RingNetwork ring(4, 64.0, 10);
+    ring.transfer(0.0, 0, 2, 64.0);
+    ring.reset();
+    EXPECT_EQ(ring.traffic().byteHops, 0u);
+    EXPECT_DOUBLE_EQ(ring.totalQueueing(), 0.0);
+    EXPECT_DOUBLE_EQ(ring.totalBusy(), 0.0);
+}
+
+} // namespace

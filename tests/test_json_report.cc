@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for JSON emission and the harness report serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "harness/report.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(Json, Primitives)
+{
+    EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+    EXPECT_EQ(
+        JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+        "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(),
+              "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(JsonValue(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectsHaveDeterministicKeyOrder)
+{
+    JsonValue object = JsonValue::object();
+    object.set("zeta", 1).set("alpha", 2);
+    std::string text = object.dump();
+    EXPECT_LT(text.find("alpha"), text.find("zeta"));
+}
+
+TEST(Json, NestedStructure)
+{
+    JsonValue root = JsonValue::object();
+    JsonValue list = JsonValue::array();
+    list.push(1).push("two").push(JsonValue::object());
+    root.set("items", std::move(list));
+    std::string text = root.dump();
+    EXPECT_NE(text.find("\"items\": ["), std::string::npos);
+    EXPECT_NE(text.find("\"two\""), std::string::npos);
+    EXPECT_NE(text.find("{}"), std::string::npos);
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_EQ(JsonValue::object().dump(), "{}");
+    EXPECT_EQ(JsonValue::array().dump(), "[]");
+}
+
+TEST(JsonDeathTest, SetOnNonObjectPanics)
+{
+    JsonValue array = JsonValue::array();
+    EXPECT_DEATH(array.set("k", 1), "non-object");
+}
+
+TEST(Report, RunOutcomeSerializes)
+{
+    harness::RunOutcome outcome;
+    outcome.perf.configName = "4-GPM/test";
+    outcome.perf.workloadName = "Stream";
+    outcome.perf.execCycles = 1000.0;
+    outcome.perf.execSeconds = 1e-6;
+    outcome.perf.instrs[static_cast<std::size_t>(
+        isa::Opcode::FADD32)] = 7;
+    outcome.energy.smBusy = 0.5;
+    outcome.energy.constant = 1.5;
+
+    std::string text = harness::toJson(outcome).dump();
+    EXPECT_NE(text.find("\"config\": \"4-GPM/test\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"add.f32\": 7"), std::string::npos);
+    EXPECT_NE(text.find("\"total_J\": 2"), std::string::npos);
+}
+
+TEST(Report, ScalingPointsSerialize)
+{
+    std::vector<harness::ScalingPoint> points(1);
+    points[0].workload = "BTREE";
+    points[0].cls = trace::WorkloadClass::Compute;
+    points[0].speedup = 3.5;
+    points[0].edpse = 66.0;
+    std::string text = harness::toJson(points).dump();
+    EXPECT_NE(text.find("\"workload\": \"BTREE\""), std::string::npos);
+    EXPECT_NE(text.find("\"class\": \"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"speedup\": 3.5"), std::string::npos);
+}
+
+TEST(Report, WriteJsonRoundTripsToDisk)
+{
+    JsonValue value = JsonValue::object();
+    value.set("answer", 42);
+    std::string path = ::testing::TempDir() + "mmgpu_report.json";
+    ASSERT_TRUE(harness::writeJson(path, value));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("\"answer\": 42"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFailsGracefully)
+{
+    EXPECT_FALSE(harness::writeJson("/no-such-dir-xyz/report.json",
+                                    JsonValue::object()));
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for kernel profiles and the segment layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/kernel_profile.hh"
+#include "trace/warp_trace.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::trace;
+
+KernelProfile
+tinyProfile()
+{
+    KernelProfile profile;
+    profile.name = "tiny";
+    profile.ctaCount = 8;
+    profile.warpsPerCta = 2;
+    profile.iterations = 4;
+    profile.segments.push_back({"a", 64 * units::KiB});
+    profile.segments.push_back({"b", 100}); // oddly sized
+    SegmentAccess access;
+    access.segment = 0;
+    access.pattern = AccessPattern::BlockStream;
+    access.perIteration = 2;
+    profile.loads.push_back(access);
+    profile.compute.push_back({isa::Opcode::FADD32, 3});
+    return profile;
+}
+
+TEST(KernelProfile, ValidateAcceptsWellFormed)
+{
+    tinyProfile().validate(); // must not abort
+}
+
+TEST(KernelProfile, TotalWarps)
+{
+    EXPECT_EQ(tinyProfile().totalWarps(), 16u);
+}
+
+TEST(KernelProfile, FootprintSumsSegments)
+{
+    EXPECT_EQ(tinyProfile().footprint(), 64 * units::KiB + 100);
+}
+
+TEST(KernelProfile, ApproxOpsPerWarpCountsEverything)
+{
+    KernelProfile profile = tinyProfile();
+    // Per iteration: 2 loads + 3 compute + 1 sync-ish allowance.
+    Count ops = profile.approxOpsPerWarp();
+    EXPECT_GE(ops, profile.iterations * 5u);
+}
+
+TEST(SegmentLayout, SegmentsArePageAlignedAndDisjoint)
+{
+    KernelProfile profile = tinyProfile();
+    SegmentLayout layout(profile);
+    EXPECT_EQ(layout.base(0) % SegmentLayout::pageBytes, 0u);
+    EXPECT_EQ(layout.base(1) % SegmentLayout::pageBytes, 0u);
+    EXPECT_GE(layout.base(1), layout.base(0) + layout.size(0));
+    // Address zero is never mapped.
+    EXPECT_GT(layout.base(0), 0u);
+}
+
+TEST(SegmentLayout, OddSizesRoundUpToPages)
+{
+    KernelProfile profile = tinyProfile();
+    SegmentLayout layout(profile);
+    EXPECT_EQ(layout.size(1), SegmentLayout::pageBytes);
+    EXPECT_EQ(layout.end(),
+              layout.base(1) + layout.size(1));
+}
+
+TEST(SegmentLayout, ChunkOwnerCoversWholeSegment)
+{
+    KernelProfile profile = tinyProfile();
+    SegmentLayout layout(profile);
+    unsigned last_owner = 0;
+    for (std::uint64_t addr = layout.base(0);
+         addr < layout.base(0) + layout.size(0); addr += 4096) {
+        unsigned owner = chunkOwnerCta(profile, layout, 0, addr);
+        EXPECT_LT(owner, profile.ctaCount);
+        EXPECT_GE(owner, last_owner); // monotone over the segment
+        last_owner = owner;
+    }
+}
+
+TEST(WorkloadClass, Names)
+{
+    EXPECT_STREQ(workloadClassName(WorkloadClass::Compute), "C");
+    EXPECT_STREQ(workloadClassName(WorkloadClass::Memory), "M");
+}
+
+using KernelProfileDeath = KernelProfile;
+
+TEST(KernelProfileDeathTest, RejectsBadSegmentIndex)
+{
+    KernelProfile profile = tinyProfile();
+    profile.loads[0].segment = 99;
+    EXPECT_EXIT(profile.validate(), ::testing::ExitedWithCode(1),
+                "references segment");
+}
+
+TEST(KernelProfileDeathTest, RejectsZeroShapes)
+{
+    KernelProfile profile = tinyProfile();
+    profile.iterations = 0;
+    EXPECT_EXIT(profile.validate(), ::testing::ExitedWithCode(1),
+                "zero-sized");
+}
+
+TEST(KernelProfileDeathTest, RejectsBadDivergence)
+{
+    KernelProfile profile = tinyProfile();
+    profile.loads[0].divergence = 1.5;
+    EXPECT_EXIT(profile.validate(), ::testing::ExitedWithCode(1),
+                "divergence");
+}
+
+} // namespace

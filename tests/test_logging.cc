@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for the gem5-style logging facilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(Logging, FoldConcatenatesHeterogeneousArguments)
+{
+    EXPECT_EQ(detail::fold("x=", 42, " y=", 2.5, " z"), "x=42 y=2.5 z");
+    EXPECT_EQ(detail::fold(), "");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(mmgpu_fatal("user misconfigured ", 7),
+                ::testing::ExitedWithCode(1), "user misconfigured 7");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(mmgpu_panic("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeathTest, AssertPassesOnTrue)
+{
+    mmgpu_assert(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalseWithExpressionText)
+{
+    EXPECT_DEATH(mmgpu_assert(2 + 2 == 5, "message ", 99),
+                 "2 \\+ 2 == 5");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning: ", 1);
+    setInformEnabled(false);
+    inform("suppressed");
+    setInformEnabled(true);
+    inform("visible");
+    SUCCEED();
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the power-measurement protocols.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/measurement.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::power;
+
+SensorSpec
+cleanSpec()
+{
+    SensorSpec spec;
+    spec.noiseSigma = 0.0;
+    spec.quantization = 0.0;
+    return spec;
+}
+
+TEST(PowerMeter, SteadyPowerOfFlatTimeline)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(10.0, 150.0);
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    EXPECT_NEAR(meter.measureSteadyPower(timeline, 2.0, 8.0), 150.0,
+                0.01);
+}
+
+TEST(PowerMeter, ShortRoiFallsBackToSingleRead)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(10.0, 80.0);
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    // ROI shorter than one refresh period.
+    Watts value = meter.measureSteadyPower(timeline, 5.0, 5.005);
+    EXPECT_NEAR(value, 80.0, 0.5);
+}
+
+TEST(PowerMeter, KernelAttributionLongKernelsAccurate)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(0.5, 60.0); // idle lead-in
+    timeline.addPhase(1.0, 200.0);
+    timeline.addPhase(0.5, 60.0);
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    Joules energy =
+        meter.attributeKernelEnergy(timeline, {{0.5, 1.5}});
+    // True kernel energy is 200 J; the EMA has converged by the
+    // kernel's end, so attribution lands close.
+    EXPECT_NEAR(energy, 200.0, 12.0);
+}
+
+TEST(PowerMeter, KernelAttributionShortKernelsUnderread)
+{
+    // Sub-refresh kernels: attribution uses the lagging sensor, so
+    // it underestimates the kernel's true energy — the Fig. 4b
+    // outlier mechanism.
+    PowerTimeline timeline;
+    std::vector<KernelWindow> windows;
+    double t = 0.5;
+    timeline.addPhase(0.5, 60.0);
+    Joules true_energy = 0.0;
+    for (int i = 0; i < 100; ++i) {
+        timeline.addPhase(1e-3, 260.0);
+        windows.push_back({t, t + 1e-3});
+        true_energy += 260.0 * 1e-3;
+        t += 1e-3;
+        timeline.addPhase(9e-3, 60.0);
+        t += 9e-3;
+    }
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    Joules measured = meter.attributeKernelEnergy(timeline, windows);
+    EXPECT_LT(measured, true_energy * 0.55);
+    EXPECT_GT(measured, true_energy * 0.2);
+}
+
+TEST(PowerMeter, EnergyPerEventEquationFive)
+{
+    // Eq. 5: (P_active - P_idle) * T / N.
+    EXPECT_DOUBLE_EQ(
+        PowerMeter::energyPerEvent(160.0, 60.0, 2.0, 1e9), 2e-7);
+    EXPECT_DOUBLE_EQ(PowerMeter::energyPerEvent(160.0, 60.0, 2.0, 0.0),
+                     0.0);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the assembled memory-system resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::mem;
+
+MemConfig
+smallConfig(unsigned gpms)
+{
+    MemConfig config;
+    config.gpmCount = gpms;
+    config.smsPerGpm = 2;
+    config.l1BytesPerSm = 4 * units::KiB;
+    config.l2BytesPerGpm = 64 * units::KiB;
+    return config;
+}
+
+TEST(MemSystem, FunctionalCachePaths)
+{
+    MemSystem mem(smallConfig(1), nullptr);
+    auto l1 = mem.l1Access(0, 0, fullLineMask, false);
+    EXPECT_EQ(l1.missMask, fullLineMask);
+    auto l2 = mem.l2Access(0, 0, fullLineMask, false);
+    EXPECT_EQ(l2.missMask, fullLineMask);
+    // Refills are visible.
+    EXPECT_EQ(mem.l1Access(0, 0, fullLineMask, false).missMask, 0u);
+    EXPECT_EQ(mem.l2Access(0, 0, fullLineMask, false).missMask, 0u);
+    EXPECT_EQ(mem.l1Accesses(), 2u);
+    EXPECT_EQ(mem.l2Accesses(), 2u);
+}
+
+TEST(MemSystem, PerSmL1sArePrivate)
+{
+    MemSystem mem(smallConfig(1), nullptr);
+    mem.l1Access(0, 0, fullLineMask, false);
+    EXPECT_EQ(mem.l1Access(1, 0, fullLineMask, false).missMask,
+              fullLineMask);
+}
+
+TEST(MemSystem, BandwidthServersSerialize)
+{
+    MemSystem mem(smallConfig(1), nullptr);
+    double a = mem.dramAcquire(0, 0.0, 256.0);
+    double b = mem.dramAcquire(0, 0.0, 256.0);
+    EXPECT_GT(b, a);
+    EXPECT_GT(mem.dramQueueing(), 0.0);
+    EXPECT_GT(mem.dramBusy(), 0.0);
+}
+
+TEST(MemSystem, PagePlacement)
+{
+    noc::RingNetwork ring(2, 64.0, 10);
+    MemSystem mem(smallConfig(2), &ring);
+    mem.prePlace(0x0, 1);
+    EXPECT_EQ(mem.pageTouch(0x10, 0), 1u);
+    EXPECT_EQ(mem.pageTouch(0x2000, 0), 0u); // fresh first touch
+}
+
+TEST(MemSystem, KernelBoundaryInvalidatesL1s)
+{
+    MemSystem mem(smallConfig(1), nullptr);
+    mem.l1Access(0, 0, fullLineMask, false);
+    MemCounters counters;
+    mem.kernelBoundary(0.0, counters);
+    EXPECT_EQ(mem.l1Access(0, 0, fullLineMask, false).missMask,
+              fullLineMask);
+}
+
+TEST(MemSystem, KernelBoundaryWritesBackLocalDirtyButKeepsLines)
+{
+    MemSystem mem(smallConfig(1), nullptr);
+    mem.pageTouch(0, 0);
+    mem.l2Access(0, 0, fullLineMask, true); // dirty local line
+    MemCounters counters;
+    double drained = mem.kernelBoundary(10.0, counters);
+    EXPECT_GE(drained, 10.0);
+    EXPECT_EQ(counters.writebackSectors, 4u);
+    EXPECT_EQ(counters.localSectors, 4u);
+    // Line stays resident (clean) in the L2.
+    EXPECT_EQ(mem.l2Access(0, 0, fullLineMask, false).missMask, 0u);
+}
+
+TEST(MemSystem, KernelBoundaryPurgesRemoteLines)
+{
+    noc::RingNetwork ring(2, 64.0, 10);
+    MemSystem mem(smallConfig(2), &ring);
+    mem.prePlace(0x0, 1);                   // page homed on GPM 1
+    mem.l2Access(0, 0, fullLineMask, true); // GPM 0 caches it dirty
+    MemCounters counters;
+    mem.kernelBoundary(0.0, counters);
+    EXPECT_EQ(counters.remoteSectors, 4u);
+    EXPECT_GT(ring.traffic().messageBytes, 0u);
+    // Purged from GPM 0's L2.
+    EXPECT_EQ(mem.l2Access(0, 0, fullLineMask, false).hitMask, 0u);
+}
+
+TEST(MemSystemDeathTest, MultiGpmRequiresNetwork)
+{
+    EXPECT_EXIT(MemSystem(smallConfig(2), nullptr),
+                ::testing::ExitedWithCode(1), "requires a network");
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the GPUJoule microbenchmark suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/microbench.hh"
+#include "isa/ptx_parser.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+
+TEST(Microbench, ComputePtxParsesForEveryOpcode)
+{
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        std::string source = makeComputePtx(op, 8);
+        auto parsed = isa::parsePtx(source);
+        ASSERT_TRUE(parsed.ok) << isa::mnemonic(op) << ": "
+                               << parsed.error;
+        EXPECT_GE(parsed.kernel.countOf(op), 8u);
+    }
+}
+
+TEST(Microbench, ComputeSuiteCoversAllNonMemoryOpcodes)
+{
+    auto suite = computeSuite();
+    std::set<isa::Opcode> covered;
+    for (const auto &bench : suite) {
+        ASSERT_TRUE(bench.targetOp.has_value());
+        covered.insert(*bench.targetOp);
+    }
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        auto op = static_cast<isa::Opcode>(i);
+        if (!isa::isMemory(op))
+            EXPECT_TRUE(covered.count(op)) << isa::mnemonic(op);
+    }
+}
+
+TEST(Microbench, MemorySuiteCoversAllLevels)
+{
+    auto suite = memorySuite();
+    ASSERT_EQ(suite.size(), isa::numTxnLevels);
+    std::set<isa::TxnLevel> covered;
+    for (const auto &bench : suite) {
+        ASSERT_TRUE(bench.targetLevel.has_value());
+        covered.insert(*bench.targetLevel);
+    }
+    EXPECT_EQ(covered.size(), isa::numTxnLevels);
+}
+
+TEST(Microbench, ComputeActivityAtPeakRate)
+{
+    DeviceSpec spec;
+    auto suite = computeSuite();
+    const auto &fadd = suite.front();
+    auto rates = fadd.activityOn(spec);
+    EXPECT_DOUBLE_EQ(
+        rates.instrRates[static_cast<std::size_t>(*fadd.targetOp)],
+        spec.instrRate(*fadd.targetOp));
+}
+
+TEST(Microbench, SfuOpsRunAtOneEighthRate)
+{
+    DeviceSpec spec;
+    EXPECT_DOUBLE_EQ(spec.instrRate(isa::Opcode::SIN32) * 8.0,
+                     spec.instrRate(isa::Opcode::FADD32));
+    EXPECT_DOUBLE_EQ(spec.instrRate(isa::Opcode::FADD64) * 3.0,
+                     spec.instrRate(isa::Opcode::FADD32));
+}
+
+TEST(Microbench, MemoryCascadeInducesUpstreamTraffic)
+{
+    DeviceSpec spec;
+    Microbench dram_bench;
+    dram_bench.accessFractions[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] = 1.0;
+    auto rates = dram_bench.activityOn(spec);
+    double access_rate = spec.accessRate(isa::TxnLevel::DramToL2);
+    EXPECT_DOUBLE_EQ(rates.txnRates[static_cast<std::size_t>(
+                         isa::TxnLevel::L1ToReg)],
+                     access_rate);
+    EXPECT_DOUBLE_EQ(rates.txnRates[static_cast<std::size_t>(
+                         isa::TxnLevel::L2ToL1)],
+                     access_rate * 4.0);
+    EXPECT_DOUBLE_EQ(rates.txnRates[static_cast<std::size_t>(
+                         isa::TxnLevel::DramToL2)],
+                     access_rate * 4.0);
+}
+
+TEST(Microbench, SharedCascadeTouchesOnlyShared)
+{
+    DeviceSpec spec;
+    Microbench bench;
+    bench.accessFractions[static_cast<std::size_t>(
+        isa::TxnLevel::SharedToReg)] = 1.0;
+    auto rates = bench.activityOn(spec);
+    EXPECT_GT(rates.txnRates[static_cast<std::size_t>(
+                  isa::TxnLevel::SharedToReg)],
+              0.0);
+    EXPECT_DOUBLE_EQ(rates.txnRates[static_cast<std::size_t>(
+                         isa::TxnLevel::DramToL2)],
+                     0.0);
+}
+
+TEST(Microbench, StallBenchInducesStallCycles)
+{
+    DeviceSpec spec;
+    auto rates = stallBench().activityOn(spec);
+    EXPECT_NEAR(rates.stallRate, 0.6 * spec.smCount * spec.clockHz,
+                1.0);
+}
+
+TEST(Microbench, ValidationSuiteIsTheFigureFourASet)
+{
+    auto suite = validationSuite();
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "validate.fadd64+shared");
+    EXPECT_EQ(suite[4].name, "validate.fadd64+l2+dram");
+    for (const auto &bench : suite) {
+        EXPECT_GT(bench.instrFractions[static_cast<std::size_t>(
+                      isa::Opcode::FADD64)],
+                  0.0);
+    }
+}
+
+TEST(DeviceSpec, AccessRatesFollowBandwidths)
+{
+    DeviceSpec spec;
+    EXPECT_DOUBLE_EQ(spec.accessRate(isa::TxnLevel::DramToL2),
+                     spec.dramBytesPerSec / 128.0);
+    EXPECT_DOUBLE_EQ(spec.dramSectorRateMax(),
+                     spec.dramBytesPerSec / 32.0);
+}
+
+} // namespace

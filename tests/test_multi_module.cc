@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the multi-module energy parameterization (§V-A2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/multi_module.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::joule;
+
+TEST(MultiModule, HbmReplacesDramEpt)
+{
+    EnergyTable table = paperTableIb();
+    EnergyParams params =
+        multiModuleParams(table, 1e-9, 60.0, MultiModuleOptions{});
+    // 21.1 pJ/bit * 256 bits = 5.4016 nJ per 32 B sector.
+    EXPECT_NEAR(params.table.eptOf(isa::TxnLevel::DramToL2),
+                21.1e-12 * 256.0, 1e-15);
+    // Other levels untouched.
+    EXPECT_DOUBLE_EQ(params.table.eptOf(isa::TxnLevel::L1ToReg),
+                     table.eptOf(isa::TxnLevel::L1ToReg));
+}
+
+TEST(MultiModule, OnPackageDefaults)
+{
+    MultiModuleOptions options;
+    options.onPackage = true;
+    EnergyParams params =
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options);
+    EXPECT_DOUBLE_EQ(params.linkPjPerBit, 0.54);
+    EXPECT_DOUBLE_EQ(params.switchPjPerBit, 0.0);
+    EXPECT_DOUBLE_EQ(params.constGrowthFraction, 0.5);
+}
+
+TEST(MultiModule, OnBoardDefaults)
+{
+    MultiModuleOptions options;
+    options.onPackage = false;
+    EnergyParams params =
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options);
+    EXPECT_DOUBLE_EQ(params.linkPjPerBit, 10.0);
+    EXPECT_DOUBLE_EQ(params.constGrowthFraction, 1.0);
+}
+
+TEST(MultiModule, SwitchAddsCrossingEnergy)
+{
+    MultiModuleOptions options;
+    options.onPackage = false;
+    options.switched = true;
+    EnergyParams params =
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options);
+    EXPECT_DOUBLE_EQ(params.switchPjPerBit, 10.0);
+}
+
+TEST(MultiModule, LinkEnergyScaleForPointStudy)
+{
+    MultiModuleOptions options;
+    options.onPackage = false;
+    options.linkEnergyScale = 4.0; // the paper's 4x sensitivity point
+    EnergyParams params =
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options);
+    EXPECT_DOUBLE_EQ(params.linkPjPerBit, 40.0);
+}
+
+TEST(MultiModule, ConstGrowthOverride)
+{
+    MultiModuleOptions options;
+    options.onPackage = true;
+    options.constGrowthOverride = 0.75; // 25% amortization point
+    EnergyParams params =
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options);
+    EXPECT_DOUBLE_EQ(params.constGrowthFraction, 0.75);
+}
+
+TEST(MultiModule, PassesThroughCalibratedScalars)
+{
+    EnergyParams params = multiModuleParams(paperTableIb(), 2.5e-9,
+                                            55.0, MultiModuleOptions{});
+    EXPECT_DOUBLE_EQ(params.stallEnergyPerSmCycle, 2.5e-9);
+    EXPECT_DOUBLE_EQ(params.constPowerPerGpm, 55.0);
+}
+
+TEST(MultiModule, PublishedConstants)
+{
+    EXPECT_DOUBLE_EQ(constants::onPackagePjPerBit, 0.54);
+    EXPECT_DOUBLE_EQ(constants::onBoardPjPerBit, 10.0);
+    EXPECT_DOUBLE_EQ(constants::switchPjPerBit, 10.0);
+    EXPECT_DOUBLE_EQ(constants::hbmPjPerBit, 21.1);
+    EXPECT_DOUBLE_EQ(constants::onPackageConstGrowth, 0.5);
+}
+
+TEST(MultiModuleDeathTest, RejectsBadScale)
+{
+    MultiModuleOptions options;
+    options.linkEnergyScale = 0.0;
+    EXPECT_EXIT(
+        multiModuleParams(paperTableIb(), 1e-9, 60.0, options),
+        ::testing::ExitedWithCode(1), "link energy scale");
+}
+
+} // namespace

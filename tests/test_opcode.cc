@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the PTX-subset opcode tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hh"
+
+namespace
+{
+
+using namespace mmgpu::isa;
+
+TEST(Opcode, MnemonicRoundTrip)
+{
+    for (std::size_t i = 0; i < numOpcodes; ++i) {
+        Opcode op = opcodeFromIndex(i);
+        auto parsed = parseMnemonic(mnemonic(op));
+        ASSERT_TRUE(parsed.has_value()) << mnemonic(op);
+        EXPECT_EQ(*parsed, op);
+    }
+}
+
+TEST(Opcode, UnknownMnemonicRejected)
+{
+    EXPECT_FALSE(parseMnemonic("frobnicate.f32").has_value());
+    EXPECT_FALSE(parseMnemonic("").has_value());
+}
+
+TEST(Opcode, AliasesAccepted)
+{
+    EXPECT_EQ(parseMnemonic("mov.b32"), Opcode::MOV32);
+    EXPECT_EQ(parseMnemonic("ld.global.u32"), Opcode::LD_GLOBAL);
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD_GLOBAL));
+    EXPECT_TRUE(isLoad(Opcode::LD_SHARED));
+    EXPECT_FALSE(isLoad(Opcode::ST_GLOBAL));
+    EXPECT_TRUE(isStore(Opcode::ST_GLOBAL));
+    EXPECT_TRUE(isMemory(Opcode::LD_GLOBAL));
+    EXPECT_FALSE(isMemory(Opcode::FADD32));
+}
+
+TEST(Opcode, OpClassConsistentWithFuncUnit)
+{
+    for (std::size_t i = 0; i < numOpcodes; ++i) {
+        Opcode op = opcodeFromIndex(i);
+        bool is_ldst = funcUnit(op) == FuncUnit::LDST;
+        EXPECT_EQ(opClass(op) == OpClass::Memory, is_ldst)
+            << mnemonic(op);
+    }
+}
+
+TEST(Opcode, KeplerThroughputRatios)
+{
+    // FP64 runs at 1/3 rate, SFU at 1/8 — encoded as issue costs.
+    EXPECT_EQ(issueCost(Opcode::FADD32), 1u);
+    EXPECT_EQ(issueCost(Opcode::FADD64), 3u);
+    EXPECT_EQ(issueCost(Opcode::FFMA64), 3u);
+    EXPECT_EQ(issueCost(Opcode::SIN32), 8u);
+    EXPECT_EQ(issueCost(Opcode::RCP32), 8u);
+}
+
+TEST(Opcode, LatenciesArePositive)
+{
+    for (std::size_t i = 0; i < numOpcodes; ++i) {
+        Opcode op = opcodeFromIndex(i);
+        EXPECT_GT(defaultLatency(op), 0u) << mnemonic(op);
+        EXPECT_GT(issueCost(op), 0u) << mnemonic(op);
+    }
+}
+
+TEST(Opcode, SfuOpsUseSfuUnit)
+{
+    for (Opcode op : {Opcode::SIN32, Opcode::COS32, Opcode::SQRT32,
+                      Opcode::LG232, Opcode::EX232, Opcode::RCP32})
+        EXPECT_EQ(funcUnit(op), FuncUnit::SFU) << mnemonic(op);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for first-touch page placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/page_table.hh"
+
+namespace
+{
+
+using mmgpu::mem::PageTable;
+
+TEST(PageTable, FirstToucherOwnsPage)
+{
+    PageTable pages(4);
+    EXPECT_EQ(pages.touch(0x1000, 2), 2u);
+    // Later touches from other GPMs don't rehome it.
+    EXPECT_EQ(pages.touch(0x1000, 3), 2u);
+    EXPECT_EQ(pages.touch(0x1fff, 1), 2u); // same page
+}
+
+TEST(PageTable, DistinctPagesIndependent)
+{
+    PageTable pages(4);
+    pages.touch(0x0000, 0);
+    pages.touch(0x1000, 1);
+    pages.touch(0x2000, 2);
+    EXPECT_EQ(pages.homeOf(0x0800), 0u);
+    EXPECT_EQ(pages.homeOf(0x1800), 1u);
+    EXPECT_EQ(pages.homeOf(0x2800), 2u);
+}
+
+TEST(PageTable, HomeOfUnmappedReturnsSentinel)
+{
+    PageTable pages(4);
+    EXPECT_EQ(pages.homeOf(0x9000), 4u);
+}
+
+TEST(PageTable, CountsMappedPagesAndFirstTouches)
+{
+    PageTable pages(2);
+    pages.touch(0x0000, 0);
+    pages.touch(0x0100, 0); // same page
+    pages.touch(0x1000, 1);
+    EXPECT_EQ(pages.mappedPages(), 2u);
+    EXPECT_EQ(pages.firstTouches(), 2u);
+}
+
+TEST(PageTable, ResetForgetsMappings)
+{
+    PageTable pages(2);
+    pages.touch(0x0000, 1);
+    pages.reset();
+    EXPECT_EQ(pages.mappedPages(), 0u);
+    EXPECT_EQ(pages.touch(0x0000, 0), 0u);
+}
+
+TEST(PageTable, PageSizeIsFourKiB)
+{
+    EXPECT_EQ(PageTable::pageBytes, 4096u);
+}
+
+} // namespace

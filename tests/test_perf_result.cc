@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for PerfResult derived quantities and adversarial
+ * simulator inputs (failure injection at the profile level).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu_sim.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::sim;
+
+TEST(PerfResult, DerivedQuantitiesOnEmptyResult)
+{
+    PerfResult result;
+    EXPECT_EQ(result.totalWarpInstrs(), 0u);
+    EXPECT_DOUBLE_EQ(result.remoteFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(result.ipc(), 0.0);
+}
+
+TEST(PerfResult, RemoteFractionArithmetic)
+{
+    PerfResult result;
+    result.mem.remoteSectors = 30;
+    result.mem.localSectors = 70;
+    EXPECT_DOUBLE_EQ(result.remoteFraction(), 0.3);
+}
+
+TEST(PerfResult, IpcArithmetic)
+{
+    PerfResult result;
+    result.instrs[0] = 500;
+    result.instrs[3] = 500;
+    result.execCycles = 250.0;
+    EXPECT_DOUBLE_EQ(result.ipc(), 4.0);
+}
+
+// ---- adversarial profiles ----
+
+trace::KernelProfile
+skeleton()
+{
+    trace::KernelProfile profile;
+    profile.name = "adversarial";
+    profile.ctaCount = 4;
+    profile.warpsPerCta = 1;
+    profile.iterations = 2;
+    profile.seed = 3;
+    profile.segments.push_back({"seg", 64 * units::KiB});
+    return profile;
+}
+
+TEST(GpuSimAdversarial, PureComputeNoMemory)
+{
+    trace::KernelProfile profile = skeleton();
+    profile.compute.push_back({isa::Opcode::RCP32, 5});
+    GpuSim machine(baselineConfig());
+    PerfResult result = machine.run(profile);
+    EXPECT_GT(result.execCycles, 0.0);
+    EXPECT_EQ(result.mem.txns[static_cast<std::size_t>(
+                  isa::TxnLevel::L1ToReg)],
+              0u);
+    EXPECT_EQ(result.instrs[static_cast<std::size_t>(
+                  isa::Opcode::RCP32)],
+              5u * 2u * 4u);
+}
+
+TEST(GpuSimAdversarial, PureMemoryNoCompute)
+{
+    trace::KernelProfile profile = skeleton();
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::Random;
+    access.perIteration = 3;
+    profile.loads.push_back(access);
+    GpuSim machine(baselineConfig());
+    PerfResult result = machine.run(profile);
+    EXPECT_GT(result.execCycles, 0.0);
+    EXPECT_EQ(result.instrs[static_cast<std::size_t>(
+                  isa::Opcode::LD_GLOBAL)],
+              3u * 2u * 4u);
+}
+
+TEST(GpuSimAdversarial, SingleWarpSingleIteration)
+{
+    trace::KernelProfile profile = skeleton();
+    profile.ctaCount = 1;
+    profile.iterations = 1;
+    profile.compute.push_back({isa::Opcode::FADD32, 1});
+    GpuSim machine(baselineConfig());
+    PerfResult result = machine.run(profile);
+    EXPECT_EQ(result.totalWarpInstrs(), 1u);
+}
+
+TEST(GpuSimAdversarial, MlpOfOneSerializesLoads)
+{
+    trace::KernelProfile fast = skeleton();
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::Random;
+    access.perIteration = 8;
+    fast.loads.push_back(access);
+    fast.mlp = 16;
+    trace::KernelProfile slow = fast;
+    slow.mlp = 1;
+
+    GpuSim machine(baselineConfig());
+    double t_fast = machine.run(fast).execCycles;
+    double t_slow = machine.run(slow).execCycles;
+    EXPECT_GT(t_slow, t_fast * 1.5);
+}
+
+TEST(GpuSimAdversarial, MaximallyDivergentAccesses)
+{
+    trace::KernelProfile profile = skeleton();
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::Random;
+    access.perIteration = 2;
+    access.divergence = 1.0;
+    profile.loads.push_back(access);
+    profile.ctaCount = 16;
+    GpuSim machine(multiGpmConfig(2, BwSetting::Bw1x,
+                                  noc::Topology::Ring,
+                                  IntegrationDomain::OnBoard));
+    PerfResult result = machine.run(profile);
+    // Every access is 8 sectors across two lines.
+    Count loads = result.instrs[static_cast<std::size_t>(
+        isa::Opcode::LD_GLOBAL)];
+    EXPECT_GE(result.l1Accesses, 2 * loads);
+}
+
+TEST(GpuSimAdversarial, TinySegmentSharedByAllCtas)
+{
+    // A one-page segment: every CTA's chunk wraps onto it, all GPMs
+    // hammer the same page, and the run must still complete with
+    // conserved counters.
+    trace::KernelProfile profile = skeleton();
+    profile.segments[0].bytes = 4096;
+    profile.ctaCount = 64;
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::Broadcast;
+    access.perIteration = 2;
+    profile.loads.push_back(access);
+    GpuSim machine(multiGpmConfig(4, BwSetting::Bw2x));
+    PerfResult result = machine.run(profile);
+    EXPECT_EQ(result.mem.remoteSectors + result.mem.localSectors,
+              result.mem.txns[static_cast<std::size_t>(
+                  isa::TxnLevel::DramToL2)]);
+}
+
+TEST(GpuSimAdversarial, ManyLaunchesOfTinyKernels)
+{
+    trace::KernelProfile profile = skeleton();
+    profile.launches = 12;
+    profile.compute.push_back({isa::Opcode::IADD32, 1});
+    GpuSim machine(baselineConfig());
+    PerfResult result = machine.run(profile);
+    // Launch-overhead gaps dominate: 11 gaps of 2000 cycles.
+    EXPECT_GT(result.execCycles, 11 * 2000.0);
+    EXPECT_EQ(result.instrs[static_cast<std::size_t>(
+                  isa::Opcode::IADD32)],
+              12u * 2u * 4u);
+}
+
+TEST(GpuSimAdversarial, MoreGpmsThanCtas)
+{
+    trace::KernelProfile profile = skeleton();
+    profile.ctaCount = 2; // 30 GPMs get no work at all
+    profile.compute.push_back({isa::Opcode::FADD32, 4});
+    GpuSim machine(multiGpmConfig(32, BwSetting::Bw2x));
+    PerfResult result = machine.run(profile);
+    EXPECT_EQ(result.totalWarpInstrs(), 2u * 2u * 4u);
+    EXPECT_GT(result.execCycles, 0.0);
+}
+
+} // namespace

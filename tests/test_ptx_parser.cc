@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the inline-PTX parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/ptx_parser.hh"
+
+namespace
+{
+
+using namespace mmgpu::isa;
+
+TEST(PtxParser, ParsesAlgorithmOneStyleKernel)
+{
+    // The paper's Algorithm 1 FMA microbenchmark shape.
+    auto result = parsePtx(R"(
+        // FMA microbenchmark ROI
+        .reg .f32 %r1, %r2, %r3;
+        mov.f32 %r1, 0f3F800000;
+        fma.rn.f32 %r3, %r1, %r3, %r2;
+        fma.rn.f32 %r3, %r1, %r3, %r2;
+    )");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.kernel.body.size(), 3u);
+    EXPECT_EQ(result.kernel.countOf(Opcode::FFMA32), 2u);
+    EXPECT_EQ(result.kernel.countOf(Opcode::MOV32), 1u);
+    EXPECT_EQ(result.kernel.registers.size(), 3u);
+}
+
+TEST(PtxParser, EmptyAndCommentOnlySourcesParse)
+{
+    EXPECT_TRUE(parsePtx("").ok);
+    EXPECT_TRUE(parsePtx("// nothing here\n\n").ok);
+}
+
+TEST(PtxParser, MissingSemicolonDiagnosed)
+{
+    auto result = parsePtx(".reg .f32 %r1;\nmov.f32 %r1, 0f0\n");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("line 2"), std::string::npos);
+    EXPECT_NE(result.error.find("';'"), std::string::npos);
+}
+
+TEST(PtxParser, UndeclaredRegisterDiagnosed)
+{
+    auto result = parsePtx("add.f32 %r1, %r2, %r3;");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("undeclared"), std::string::npos);
+}
+
+TEST(PtxParser, RedeclaredRegisterDiagnosed)
+{
+    auto result = parsePtx(".reg .f32 %r1;\n.reg .f32 %r1;");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("redeclared"), std::string::npos);
+}
+
+TEST(PtxParser, UnknownMnemonicDiagnosed)
+{
+    auto result = parsePtx(".reg .f32 %r1;\nbogus.f32 %r1, %r1;");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("bogus.f32"), std::string::npos);
+}
+
+TEST(PtxParser, UnknownDirectiveDiagnosed)
+{
+    auto result = parsePtx(".shared .f32 %s1;");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("directive"), std::string::npos);
+}
+
+TEST(PtxParser, BracketAddressingAccepted)
+{
+    auto result = parsePtx(R"(
+        .reg .f32 %p;
+        ld.global.f32 %p, [%p];
+        st.global.f32 [%p], %p;
+    )");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.kernel.countOf(Opcode::LD_GLOBAL), 1u);
+    EXPECT_EQ(result.kernel.countOf(Opcode::ST_GLOBAL), 1u);
+}
+
+TEST(PtxParser, BracketUndeclaredRegisterDiagnosed)
+{
+    auto result = parsePtx(".reg .f32 %p;\nld.global.f32 %p, [%q];");
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("%q"), std::string::npos);
+}
+
+TEST(PtxParser, ImmediateOperandsAccepted)
+{
+    auto result = parsePtx(R"(
+        .reg .f32 %r1;
+        mov.f32 %r1, 0f3F800000;
+        add.f32 %r1, %r1, 1.5;
+    )");
+    ASSERT_TRUE(result.ok) << result.error;
+}
+
+TEST(PtxParser, MultiRegisterDeclaration)
+{
+    auto result = parsePtx(".reg .f64 %d1, %d2 , %d3;");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.kernel.registers.size(), 3u);
+    EXPECT_TRUE(result.kernel.registers.count("d2"));
+}
+
+TEST(PtxParser, InstructionWithoutOperandsDiagnosed)
+{
+    auto result = parsePtx("add.f32 ;");
+    EXPECT_FALSE(result.ok);
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the NVML-like power sensor model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/sensor.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::power;
+
+SensorSpec
+noiselessSpec()
+{
+    SensorSpec spec;
+    spec.noiseSigma = 0.0;
+    spec.quantization = 0.0;
+    return spec;
+}
+
+TEST(Sensor, SteadyStateConverges)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 120.0);
+    PowerSensor sensor(noiselessSpec());
+    // Several response time constants in: reading ~ true power.
+    EXPECT_NEAR(sensor.read(timeline, 1.0), 120.0, 0.5);
+}
+
+TEST(Sensor, LagsBehindSteps)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(1.0, 60.0);
+    timeline.addPhase(1.0, 160.0);
+    PowerSensor sensor(noiselessSpec());
+    // Right after the step (one refresh period in) the reading sits
+    // well below the new level but above the old one.
+    Watts just_after = sensor.read(timeline, 1.0 + 0.015);
+    EXPECT_GT(just_after, 60.0);
+    EXPECT_LT(just_after, 150.0);
+}
+
+TEST(Sensor, SubRefreshKernelsUnderread)
+{
+    // The paper's BFS/MiniAMR mechanism: kernels much shorter than
+    // the refresh/response window read as a duty-cycled average.
+    PowerTimeline timeline;
+    double kernel_power = 200.0, idle_power = 60.0;
+    for (int i = 0; i < 400; ++i) {
+        timeline.addPhase(0.5e-3, kernel_power);
+        timeline.addPhase(4.5e-3, idle_power); // 10% duty cycle
+    }
+    PowerSensor sensor(noiselessSpec());
+    Watts mid = sensor.read(timeline, 1.0);
+    // Should be near the duty-cycled mean (74 W), nowhere near the
+    // kernel's true 200 W.
+    EXPECT_LT(mid, 100.0);
+    EXPECT_GT(mid, 60.0);
+}
+
+TEST(Sensor, ValueLatchedBetweenRefreshes)
+{
+    SensorSpec spec = noiselessSpec();
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 100.0);
+    PowerSensor sensor(spec);
+    // Two reads within one refresh period return the same latched
+    // value (modulo no noise).
+    Watts a = sensor.read(timeline, 1.0000);
+    Watts b = sensor.read(timeline, 1.0040);
+    EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(Sensor, QuantizationRoundsToStep)
+{
+    SensorSpec spec = noiselessSpec();
+    spec.quantization = 1.0;
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 100.4);
+    PowerSensor sensor(spec);
+    Watts value = sensor.read(timeline, 2.0);
+    EXPECT_DOUBLE_EQ(value, std::round(value));
+}
+
+TEST(Sensor, NoiseIsDeterministicPerSeed)
+{
+    SensorSpec spec;
+    spec.noiseSigma = 0.01;
+    spec.quantization = 0.0; // so noise is visible in the reading
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 100.0);
+    PowerSensor a(spec, 42), b(spec, 42), c(spec, 43);
+    EXPECT_DOUBLE_EQ(a.read(timeline, 1.0), b.read(timeline, 1.0));
+    // A different seed gives (almost surely) different noise.
+    PowerSensor a2(spec, 42);
+    a2.read(timeline, 1.0);
+    EXPECT_NE(a2.read(timeline, 2.0), c.read(timeline, 2.0));
+}
+
+TEST(Sensor, NeverNegative)
+{
+    SensorSpec spec;
+    spec.noiseSigma = 2.0; // absurd noise
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 0.5);
+    PowerSensor sensor(spec, 7);
+    for (int i = 1; i < 50; ++i)
+        EXPECT_GE(sensor.read(timeline, i * 0.1), 0.0);
+}
+
+} // namespace

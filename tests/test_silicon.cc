@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the virtual silicon and power timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpujoule/energy_table.hh"
+#include "gpujoule/reference_device.hh"
+#include "power/silicon.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::power;
+
+TEST(PowerTimeline, PowerAtPhaseBoundaries)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(1.0, 50.0);
+    timeline.addPhase(2.0, 100.0);
+    EXPECT_DOUBLE_EQ(timeline.powerAt(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(timeline.powerAt(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(timeline.powerAt(2.9), 100.0);
+    EXPECT_DOUBLE_EQ(timeline.powerAt(3.1), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.powerAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.duration(), 3.0);
+}
+
+TEST(PowerTimeline, ExactIntegration)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(1.0, 50.0);
+    timeline.addPhase(2.0, 100.0);
+    EXPECT_DOUBLE_EQ(timeline.totalEnergy(), 250.0);
+    EXPECT_DOUBLE_EQ(timeline.integrate(0.5, 1.5), 75.0);
+    EXPECT_DOUBLE_EQ(timeline.integrate(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(timeline.integrate(2.5, 10.0), 50.0);
+}
+
+TEST(PowerTimeline, ZeroDurationPhasesIgnored)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(0.0, 500.0);
+    timeline.addPhase(-1.0, 500.0);
+    timeline.addPhase(1.0, 10.0);
+    EXPECT_DOUBLE_EQ(timeline.duration(), 1.0);
+    EXPECT_DOUBLE_EQ(timeline.totalEnergy(), 10.0);
+}
+
+TEST(PowerTimeline, ManyPhasesBinarySearchConsistent)
+{
+    PowerTimeline timeline;
+    double expected = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        timeline.addPhase(0.001, i % 7 + 1.0);
+        expected += 0.001 * (i % 7 + 1.0);
+    }
+    EXPECT_NEAR(timeline.totalEnergy(), expected, 1e-9);
+    EXPECT_EQ(timeline.phaseCount(), 1000u);
+}
+
+TEST(SiliconGpu, KernelPowerIsLinearInRates)
+{
+    GroundTruth truth;
+    truth.idlePower = 60.0;
+    truth.epi[static_cast<std::size_t>(isa::Opcode::FADD32)] = 1e-10;
+    SiliconGpu device(truth);
+
+    ActivityRates slow;
+    slow.instrRates[static_cast<std::size_t>(isa::Opcode::FADD32)] =
+        1e11;
+    ActivityRates fast = slow;
+    fast.instrRates[static_cast<std::size_t>(isa::Opcode::FADD32)] =
+        2e11;
+
+    EXPECT_DOUBLE_EQ(device.kernelPower(slow), 70.0);
+    EXPECT_DOUBLE_EQ(device.kernelPower(fast), 80.0);
+    EXPECT_DOUBLE_EQ(device.idlePower(), 60.0);
+}
+
+TEST(SiliconGpu, DramBackgroundExposedAtLowUtilization)
+{
+    GroundTruth truth;
+    truth.idlePower = 60.0;
+    truth.memActiveFloor = 30.0;
+    truth.dramSectorRateMax = 1e9;
+    SiliconGpu device(truth);
+
+    ActivityRates idle_mem;
+    // No DRAM traffic at all: memory self-refreshes, no floor.
+    EXPECT_DOUBLE_EQ(device.kernelPower(idle_mem), 60.0);
+
+    ActivityRates trickle;
+    trickle.txnRates[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] = 1e6; // ~0 utilization
+    EXPECT_NEAR(device.kernelPower(trickle), 90.0, 0.5);
+
+    ActivityRates moderate;
+    moderate.txnRates[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] = 4e8; // 40% utilization
+    // Past the knee the background has all but vanished.
+    EXPECT_LT(device.kernelPower(moderate) -
+                  60.0 - 4e8 * truth.ept[static_cast<std::size_t>(
+                                    isa::TxnLevel::DramToL2)],
+              1.0);
+
+    ActivityRates saturated;
+    saturated.txnRates[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] = 1e9; // peak: floor amortized
+    EXPECT_NEAR(device.kernelPower(saturated),
+                60.0 + 1e9 * truth.ept[static_cast<std::size_t>(
+                                 isa::TxnLevel::DramToL2)],
+                0.1);
+}
+
+TEST(ReferenceDevice, PerturbedButCloseToPaperTable)
+{
+    joule::DeviceSpec spec;
+    GroundTruth truth = joule::referenceK40Truth(spec, 1234, 0.05);
+    auto paper = joule::paperTableIb();
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
+        EXPECT_GT(truth.epi[i], paper.epi[i] * 0.94);
+        EXPECT_LT(truth.epi[i], paper.epi[i] * 1.06);
+    }
+    EXPECT_GT(truth.idlePower, 0.0);
+    EXPECT_GT(truth.memActiveFloor, 0.0);
+    EXPECT_GT(truth.stallEnergyPerSmCycle, 0.0);
+    EXPECT_NEAR(truth.dramSectorRateMax, spec.dramSectorRateMax(),
+                1.0);
+}
+
+TEST(ReferenceDevice, DifferentSeedsDifferentTruths)
+{
+    auto a = joule::referenceK40Truth({}, 1);
+    auto b = joule::referenceK40Truth({}, 2);
+    EXPECT_NE(a.epi[0], b.epi[0]);
+}
+
+TEST(ReferenceDevice, DeterministicForSameSeed)
+{
+    auto a = joule::referenceK40Truth({}, 7);
+    auto b = joule::referenceK40Truth({}, 7);
+    EXPECT_EQ(a.epi, b.epi);
+    EXPECT_EQ(a.ept, b.ept);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the SM issue/occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sm/sm_core.hh"
+
+namespace
+{
+
+using mmgpu::sm::SmCore;
+
+TEST(SmCore, IssueBandwidthSerializes)
+{
+    SmCore core(0, 0, 32, 2.0); // 2 slots/cycle
+    EXPECT_DOUBLE_EQ(core.acquireIssue(0.0, 2), 1.0);
+    EXPECT_DOUBLE_EQ(core.acquireIssue(0.0, 2), 2.0);
+    EXPECT_DOUBLE_EQ(core.busyCycles(), 2.0);
+}
+
+TEST(SmCore, SlotAccounting)
+{
+    SmCore core(3, 1, 8, 2.0);
+    EXPECT_EQ(core.freeSlots(), 8u);
+    core.reserveSlots(4);
+    EXPECT_EQ(core.freeSlots(), 4u);
+    core.releaseSlot(1.0);
+    EXPECT_EQ(core.freeSlots(), 5u);
+    EXPECT_EQ(core.smGlobal(), 3u);
+    EXPECT_EQ(core.gpm(), 1u);
+}
+
+TEST(SmCore, StallIsWindowMinusBusy)
+{
+    SmCore core(0, 0, 8, 2.0);
+    core.acquireIssue(0.0, 2); // busy 1 cycle
+    core.noteActive(11.0);     // active window now 11 cycles
+    EXPECT_DOUBLE_EQ(core.occupiedCycles(), 11.0);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 10.0);
+}
+
+TEST(SmCore, InactiveCoreHasNoWindow)
+{
+    SmCore core(0, 0, 8, 2.0);
+    EXPECT_DOUBLE_EQ(core.occupiedCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 0.0);
+}
+
+TEST(SmCore, WindowStartsAtFirstActivity)
+{
+    SmCore core(0, 0, 8, 2.0);
+    core.acquireIssue(100.0, 2);
+    core.noteActive(150.0);
+    EXPECT_DOUBLE_EQ(core.occupiedCycles(), 50.0);
+}
+
+TEST(SmCore, StallNeverNegative)
+{
+    SmCore core(0, 0, 8, 2.0);
+    core.acquireIssue(0.0, 10); // busy 5, window ~0
+    EXPECT_DOUBLE_EQ(core.stallCycles(), 0.0);
+}
+
+TEST(SmCore, ResetRestoresEverything)
+{
+    SmCore core(0, 0, 8, 2.0);
+    core.reserveSlots(8);
+    core.acquireIssue(0.0, 4);
+    core.reset();
+    EXPECT_EQ(core.freeSlots(), 8u);
+    EXPECT_DOUBLE_EQ(core.busyCycles(), 0.0);
+    EXPECT_DOUBLE_EQ(core.occupiedCycles(), 0.0);
+}
+
+TEST(SmCoreDeathTest, OverSubscriptionPanics)
+{
+    SmCore core(0, 0, 4, 2.0);
+    EXPECT_DEATH(core.reserveSlots(5), "over-subscribed");
+}
+
+TEST(SmCoreDeathTest, DoubleFreePanics)
+{
+    SmCore core(0, 0, 4, 2.0);
+    EXPECT_DEATH(core.releaseSlot(0.0), "double free");
+}
+
+} // namespace

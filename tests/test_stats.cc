@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(StatCounter, StartsAtZero)
+{
+    StatCounter counter;
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(StatCounter, AddAccumulates)
+{
+    StatCounter counter;
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(StatCounter, ResetClears)
+{
+    StatCounter counter;
+    counter.add(5);
+    counter.reset();
+    EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(StatDistribution, EmptyIsZero)
+{
+    StatDistribution dist;
+    EXPECT_EQ(dist.count(), 0u);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 0.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 0.0);
+}
+
+TEST(StatDistribution, TracksMoments)
+{
+    StatDistribution dist;
+    dist.sample(1.0);
+    dist.sample(2.0);
+    dist.sample(6.0);
+    EXPECT_EQ(dist.count(), 3u);
+    EXPECT_DOUBLE_EQ(dist.sum(), 9.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 6.0);
+}
+
+TEST(StatDistribution, NegativeSamples)
+{
+    StatDistribution dist;
+    dist.sample(-5.0);
+    dist.sample(5.0);
+    EXPECT_DOUBLE_EQ(dist.min(), -5.0);
+    EXPECT_DOUBLE_EQ(dist.max(), 5.0);
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.0);
+}
+
+TEST(StatGroup, CounterGetOrCreate)
+{
+    StatGroup group("gpm0.l2");
+    group.counter("hits").add(3);
+    group.counter("hits").add(2);
+    EXPECT_EQ(group.read("hits"), 5u);
+    EXPECT_EQ(group.read("misses"), 0u);
+}
+
+TEST(StatGroup, ResetClearsAll)
+{
+    StatGroup group("sm");
+    group.counter("a").add(1);
+    group.distribution("d").sample(4.0);
+    group.reset();
+    EXPECT_EQ(group.read("a"), 0u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup group("l1");
+    group.counter("hits").add(7);
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("l1.hits 7"), std::string::npos);
+}
+
+TEST(StatGroup, SumCounterAcrossGroups)
+{
+    StatGroup a("a"), b("b");
+    a.counter("x").add(2);
+    b.counter("x").add(3);
+    EXPECT_EQ(sumCounter({&a, &b}, "x"), 5u);
+    EXPECT_EQ(sumCounter({&a, &b}, "y"), 0u);
+}
+
+} // namespace

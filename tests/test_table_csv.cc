@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the table renderer and CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table("Demo");
+    table.header({"name", "value"});
+    table.addRow({"x", "1"});
+    table.addRow({"longer-name", "2"});
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::pct(36.04), "36.0%");
+}
+
+TEST(CsvWriter, WritesEscapedContent)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({"plain", "with,comma"});
+    csv.addRow({"quote\"inside", "multi\nline"});
+    std::string path = ::testing::TempDir() + "mmgpu_test.csv";
+    ASSERT_TRUE(csv.writeTo(path));
+
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    EXPECT_NE(text.find("a,b"), std::string::npos);
+    EXPECT_NE(text.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(text.find("\"quote\"\"inside\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, FailsGracefullyOnBadPath)
+{
+    CsvWriter csv({"a"});
+    csv.addRow({"1"});
+    EXPECT_FALSE(csv.writeTo("/nonexistent-dir-xyz/out.csv"));
+}
+
+} // namespace

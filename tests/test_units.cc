@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Unit tests for common/units.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(Units, EnergyPerTransferMatchesHandComputation)
+{
+    // 10 pJ/bit over 32 bytes = 10e-12 * 256 = 2.56 nJ.
+    EXPECT_DOUBLE_EQ(units::energyPerTransfer(10.0, 32), 2.56e-9);
+}
+
+TEST(Units, EnergyPerTransferZeroBytes)
+{
+    EXPECT_DOUBLE_EQ(units::energyPerTransfer(10.0, 0), 0.0);
+}
+
+TEST(Units, TableIbPjPerBitConsistency)
+{
+    // The paper's DRAM row: 7.82 nJ per 32 B sector == 30.55 pJ/bit.
+    double pj_per_bit = 7.82e-9 / (32.0 * 8.0) / 1e-12;
+    EXPECT_NEAR(pj_per_bit, 30.55, 0.01);
+}
+
+TEST(ClockDomain, CycleSecondsRoundTrip)
+{
+    ClockDomain clock(1e9);
+    EXPECT_DOUBLE_EQ(clock.toSeconds(1000), 1e-6);
+    EXPECT_EQ(clock.toCycles(1e-6), 1000u);
+}
+
+TEST(ClockDomain, BytesPerCycleAtOneGigahertz)
+{
+    // At 1 GHz, N GB/s is N bytes/cycle.
+    ClockDomain clock(1e9);
+    EXPECT_DOUBLE_EQ(clock.bytesPerCycle(256e9), 256.0);
+}
+
+TEST(ClockDomain, K40ClockConversion)
+{
+    ClockDomain clock(745e6);
+    EXPECT_NEAR(clock.toSeconds(745000000), 1.0, 1e-12);
+}
+
+TEST(Units, ByteConstants)
+{
+    EXPECT_EQ(units::KiB, 1024u);
+    EXPECT_EQ(units::MiB, 1024u * 1024u);
+    EXPECT_EQ(units::GiB, 1024ull * 1024 * 1024);
+}
+
+} // namespace

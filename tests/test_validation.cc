@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Integration tests for the Fig. 4b application-validation harness.
+ * Runs on a 4-application subset to stay fast; the full 18-app sweep
+ * is the bench binary's job.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/validation.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::harness;
+
+class ValidationTest : public ::testing::Test
+{
+  protected:
+    static StudyContext &
+    context()
+    {
+        static StudyContext instance;
+        return instance;
+    }
+
+    static std::vector<trace::KernelProfile>
+    subset(std::initializer_list<const char *> names)
+    {
+        std::vector<trace::KernelProfile> apps;
+        for (const char *name : names)
+            apps.push_back(*trace::findWorkload(name));
+        return apps;
+    }
+};
+
+TEST_F(ValidationTest, WellBehavedAppsPredictWithinTenPercent)
+{
+    ScalingRunner runner(context());
+    auto points = validateApplications(
+        runner, subset({"Stream", "Kmeans", "Hotspot"}));
+    for (const auto &point : points) {
+        EXPECT_FALSE(point.expectedOutlier) << point.workload;
+        EXPECT_LT(std::abs(point.errorPercent()), 10.0)
+            << point.workload;
+        EXPECT_GT(point.modeled, 0.0);
+        EXPECT_GT(point.measured, 0.0);
+    }
+}
+
+TEST_F(ValidationTest, LowMemoryUtilizationAppsUnderestimated)
+{
+    // Paper §IV-B2: RSBench and CoMD — the model underestimates
+    // because the DRAM background power is invisible to Eq. 4.
+    ScalingRunner runner(context());
+    auto points =
+        validateApplications(runner, subset({"RSBench", "CoMD"}));
+    for (const auto &point : points) {
+        EXPECT_TRUE(point.expectedOutlier);
+        EXPECT_LT(point.errorPercent(), -8.0) << point.workload;
+    }
+}
+
+TEST_F(ValidationTest, ShortKernelAppsMismeasuredUpward)
+{
+    // Paper §IV-B2: BFS and MiniAMR — kernels shorter than the
+    // sensor refresh read low, so the model appears to overestimate.
+    ScalingRunner runner(context());
+    auto points =
+        validateApplications(runner, subset({"BFS", "MiniAMR"}));
+    for (const auto &point : points) {
+        EXPECT_TRUE(point.expectedOutlier);
+        EXPECT_GT(point.errorPercent(), 25.0) << point.workload;
+    }
+}
+
+TEST_F(ValidationTest, MeanAbsoluteError)
+{
+    std::vector<AppValidationPoint> points(2);
+    points[0].modeled = 110.0;
+    points[0].measured = 100.0; // +10%
+    points[1].modeled = 80.0;
+    points[1].measured = 100.0; // -20%
+    EXPECT_DOUBLE_EQ(meanAbsoluteErrorPercent(points), 15.0);
+}
+
+TEST_F(ValidationTest, DeterministicAcrossCalls)
+{
+    ScalingRunner runner(context());
+    auto a = validateApplications(runner, subset({"Stream"}));
+    auto b = validateApplications(runner, subset({"Stream"}));
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_DOUBLE_EQ(a[0].measured, b[0].measured);
+    EXPECT_DOUBLE_EQ(a[0].modeled, b[0].modeled);
+}
+
+} // namespace

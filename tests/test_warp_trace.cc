@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for deterministic warp trace generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/warp_trace.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::trace;
+using isa::TraceOp;
+using isa::TraceOpKind;
+
+KernelProfile
+makeProfile(AccessPattern pattern, double divergence = 0.0,
+            double irregular = 0.0)
+{
+    KernelProfile profile;
+    profile.name = "wt";
+    profile.ctaCount = 16;
+    profile.warpsPerCta = 2;
+    profile.iterations = 6;
+    profile.seed = 77;
+    profile.segments.push_back({"seg", 256 * units::KiB});
+    SegmentAccess access;
+    access.segment = 0;
+    access.pattern = pattern;
+    access.perIteration = 2;
+    access.divergence = divergence;
+    access.irregular = irregular;
+    profile.loads.push_back(access);
+    profile.compute.push_back({isa::Opcode::FFMA32, 4});
+    SegmentAccess store = access;
+    store.perIteration = 1;
+    profile.stores.push_back(store);
+    return profile;
+}
+
+std::vector<TraceOp>
+drain(WarpTrace &trace)
+{
+    std::vector<TraceOp> ops;
+    while (true) {
+        TraceOp op = trace.next();
+        ops.push_back(op);
+        if (op.kind == TraceOpKind::Exit)
+            break;
+    }
+    return ops;
+}
+
+TEST(WarpTrace, DeterministicForSameIdentity)
+{
+    KernelProfile profile = makeProfile(AccessPattern::Random, 0.3);
+    SegmentLayout layout(profile);
+    WarpTrace a(profile, layout, 0, 3, 1);
+    WarpTrace b(profile, layout, 0, 3, 1);
+    auto ops_a = drain(a);
+    auto ops_b = drain(b);
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (std::size_t i = 0; i < ops_a.size(); ++i) {
+        EXPECT_EQ(ops_a[i].kind, ops_b[i].kind);
+        EXPECT_EQ(ops_a[i].addr, ops_b[i].addr);
+        EXPECT_EQ(ops_a[i].sectors, ops_b[i].sectors);
+    }
+}
+
+TEST(WarpTrace, DifferentWarpsDifferentAddresses)
+{
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream);
+    SegmentLayout layout(profile);
+    WarpTrace a(profile, layout, 0, 0, 0);
+    WarpTrace b(profile, layout, 0, 5, 1);
+    auto ops_a = drain(a);
+    auto ops_b = drain(b);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < ops_a.size(); ++i) {
+        if (ops_a[i].kind == TraceOpKind::Load &&
+            ops_a[i].addr != ops_b[i].addr)
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(WarpTrace, EndsWithDrainSyncThenExit)
+{
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream);
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 0, 0);
+    auto ops = drain(trace);
+    ASSERT_GE(ops.size(), 2u);
+    EXPECT_EQ(ops[ops.size() - 1].kind, TraceOpKind::Exit);
+    EXPECT_EQ(ops[ops.size() - 2].kind, TraceOpKind::Sync);
+    EXPECT_TRUE(trace.finished());
+    // next() after Exit keeps returning Exit.
+    EXPECT_EQ(trace.next().kind, TraceOpKind::Exit);
+}
+
+TEST(WarpTrace, OpCountsMatchProfile)
+{
+    KernelProfile profile = makeProfile(AccessPattern::Stencil);
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 2, 1);
+    auto ops = drain(trace);
+
+    unsigned loads = 0, stores = 0, blocks = 0;
+    for (const auto &op : ops) {
+        loads += op.kind == TraceOpKind::Load;
+        stores += op.kind == TraceOpKind::Store;
+        blocks += op.kind == TraceOpKind::ComputeBlock;
+    }
+    EXPECT_EQ(loads, profile.iterations * 2);
+    EXPECT_EQ(stores, profile.iterations * 1);
+    EXPECT_EQ(blocks, profile.iterations);
+}
+
+TEST(WarpTrace, ComputeBlockAggregatesMix)
+{
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream);
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 0, 0);
+    auto ops = drain(trace);
+    for (const auto &op : ops) {
+        if (op.kind == TraceOpKind::ComputeBlock) {
+            EXPECT_EQ(op.blockSlots(),
+                      4 * isa::issueCost(isa::Opcode::FFMA32));
+            EXPECT_EQ(op.blockLatency(),
+                      4 * isa::defaultLatency(isa::Opcode::FFMA32));
+        }
+    }
+}
+
+TEST(WarpTrace, AddressesStayInsideSegment)
+{
+    for (auto pattern :
+         {AccessPattern::BlockStream, AccessPattern::Stencil,
+          AccessPattern::Random, AccessPattern::Broadcast}) {
+        KernelProfile profile = makeProfile(pattern, 0.4, 0.2);
+        SegmentLayout layout(profile);
+        for (unsigned cta : {0u, 7u, 15u}) {
+            WarpTrace trace(profile, layout, 0, cta, 0);
+            auto ops = drain(trace);
+            for (const auto &op : ops) {
+                if (op.kind != TraceOpKind::Load &&
+                    op.kind != TraceOpKind::Store)
+                    continue;
+                ASSERT_GE(op.addr, layout.base(0));
+                ASSERT_LE(op.addr + op.sectors * isa::sectorBytes,
+                          layout.base(0) + layout.size(0));
+                ASSERT_EQ(op.addr % isa::sectorBytes, 0u);
+            }
+        }
+    }
+}
+
+TEST(WarpTrace, DivergenceProducesWideAccesses)
+{
+    KernelProfile profile = makeProfile(AccessPattern::Random, 1.0);
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 0, 0);
+    auto ops = drain(trace);
+    for (const auto &op : ops) {
+        if (op.kind == TraceOpKind::Load)
+            EXPECT_EQ(op.sectors, 8u);
+    }
+}
+
+TEST(WarpTrace, NoDivergenceMeansCoalescedLines)
+{
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream, 0.0);
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 0, 0);
+    auto ops = drain(trace);
+    for (const auto &op : ops) {
+        if (op.kind == TraceOpKind::Load)
+            EXPECT_EQ(op.sectors, 4u);
+    }
+}
+
+TEST(WarpTrace, BlockStreamIsSequentialWithinWarpSlice)
+{
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream);
+    profile.stores.clear();
+    SegmentLayout layout(profile);
+    WarpTrace trace(profile, layout, 0, 4, 1);
+    auto ops = drain(trace);
+    std::vector<std::uint64_t> addrs;
+    for (const auto &op : ops)
+        if (op.kind == TraceOpKind::Load)
+            addrs.push_back(op.addr);
+    ASSERT_GE(addrs.size(), 2u);
+    // Sequential 128 B strides (modulo wrap).
+    unsigned sequential = 0;
+    for (std::size_t i = 1; i < addrs.size(); ++i)
+        sequential += addrs[i] == addrs[i - 1] + isa::cacheLineBytes;
+    EXPECT_GE(sequential, addrs.size() / 2);
+}
+
+TEST(WarpTrace, LaunchAffectsRandomStreams)
+{
+    KernelProfile profile = makeProfile(AccessPattern::Random);
+    SegmentLayout layout(profile);
+    WarpTrace launch0(profile, layout, 0, 1, 0);
+    WarpTrace launch1(profile, layout, 1, 1, 0);
+    auto ops0 = drain(launch0);
+    auto ops1 = drain(launch1);
+    bool differ = false;
+    for (std::size_t i = 0; i < ops0.size(); ++i)
+        if (ops0[i].kind == TraceOpKind::Load &&
+            ops0[i].addr != ops1[i].addr)
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+TEST(WarpTrace, BlockStreamRepeatsAcrossLaunches)
+{
+    // Iterative apps re-touch the same bytes each launch: the
+    // streaming addresses must be identical for every launch.
+    KernelProfile profile = makeProfile(AccessPattern::BlockStream);
+    SegmentLayout layout(profile);
+    WarpTrace launch0(profile, layout, 0, 1, 0);
+    WarpTrace launch1(profile, layout, 1, 1, 0);
+    auto ops0 = drain(launch0);
+    auto ops1 = drain(launch1);
+    ASSERT_EQ(ops0.size(), ops1.size());
+    for (std::size_t i = 0; i < ops0.size(); ++i)
+        if (ops0[i].kind == TraceOpKind::Load)
+            EXPECT_EQ(ops0[i].addr, ops1[i].addr);
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the Table II workload catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::trace;
+
+TEST(Workloads, EighteenApplications)
+{
+    EXPECT_EQ(allWorkloads().size(), 18u);
+}
+
+TEST(Workloads, FourteenInScalingSubset)
+{
+    EXPECT_EQ(scalingWorkloads().size(), 14u);
+}
+
+TEST(Workloads, ScalingSubsetExcludesThePaperFour)
+{
+    std::set<std::string> names;
+    for (const auto &profile : scalingWorkloads())
+        names.insert(profile.name);
+    for (const char *excluded :
+         {"BFS", "LuleshUns", "MnCtct", "Srad-v1"})
+        EXPECT_FALSE(names.count(excluded)) << excluded;
+}
+
+TEST(Workloads, TableTwoCategoryBalance)
+{
+    // Table II: 8 compute-intensive, 10 memory-intensive.
+    unsigned compute = 0, memory = 0;
+    for (const auto &profile : allWorkloads()) {
+        if (profile.cls == WorkloadClass::Compute)
+            ++compute;
+        else
+            ++memory;
+    }
+    EXPECT_EQ(compute, 8u);
+    EXPECT_EQ(memory, 10u);
+}
+
+TEST(Workloads, NamesAreUniqueAndFindable)
+{
+    std::set<std::string> names;
+    for (const auto &profile : allWorkloads()) {
+        EXPECT_TRUE(names.insert(profile.name).second) << profile.name;
+        auto found = findWorkload(profile.name);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(found->seed, profile.seed);
+    }
+    EXPECT_FALSE(findWorkload("NoSuchApp").has_value());
+}
+
+TEST(Workloads, AllProfilesValidate)
+{
+    for (const auto &profile : allWorkloads())
+        profile.validate(); // must not abort
+}
+
+TEST(Workloads, SeedsAreUnique)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &profile : allWorkloads())
+        EXPECT_TRUE(seeds.insert(profile.seed).second) << profile.name;
+}
+
+TEST(Workloads, ScalingWorkloadsFillThirtyTwoGpms)
+{
+    // Paper §V-A: the subset must have enough inherent parallelism
+    // for a 32x GPU: at least one CTA wave across 512 SMs.
+    for (const auto &profile : scalingWorkloads()) {
+        EXPECT_GE(profile.totalWarps(), 512u * 32u) << profile.name;
+    }
+}
+
+TEST(Workloads, ValidationOutliersAreThePaperFour)
+{
+    std::set<std::string> outliers;
+    for (const auto &profile : allWorkloads())
+        if (isValidationOutlier(profile.name))
+            outliers.insert(profile.name);
+    EXPECT_EQ(outliers,
+              (std::set<std::string>{"RSBench", "CoMD", "BFS",
+                                     "MiniAMR"}));
+}
+
+TEST(Workloads, SensorOutliersHaveSubRefreshKernels)
+{
+    // BFS and MiniAMR must replay with kernels shorter than the
+    // 15 ms sensor refresh; everything else must be comfortably
+    // longer.
+    for (const auto &profile : allWorkloads()) {
+        if (profile.name == "BFS" || profile.name == "MiniAMR")
+            EXPECT_LT(profile.hwKernelSeconds, 15e-3) << profile.name;
+        else
+            EXPECT_GT(profile.hwKernelSeconds, 15e-3) << profile.name;
+    }
+}
+
+TEST(Workloads, MemoryClassMovesMoreBytesPerInstruction)
+{
+    // Aggregate check that the C/M labels mean something: average
+    // global accesses per compute instruction must be higher for M.
+    auto intensity = [](const KernelProfile &profile) {
+        double accesses = 0.0, compute = 0.0;
+        for (const auto &access : profile.loads)
+            accesses += access.perIteration;
+        for (const auto &access : profile.stores)
+            accesses += access.perIteration;
+        for (const auto &mix : profile.compute)
+            compute += mix.perIteration * isa::issueCost(mix.op);
+        return compute / accesses;
+    };
+    double c_mean = 0.0, m_mean = 0.0;
+    unsigned c_n = 0, m_n = 0;
+    for (const auto &profile : allWorkloads()) {
+        if (profile.cls == WorkloadClass::Compute) {
+            c_mean += intensity(profile);
+            ++c_n;
+        } else {
+            m_mean += intensity(profile);
+            ++m_n;
+        }
+    }
+    EXPECT_GT(c_mean / c_n, 2.0 * m_mean / m_n);
+}
+
+} // namespace
