@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gating.dir/bench_ablation_gating.cc.o"
+  "CMakeFiles/bench_ablation_gating.dir/bench_ablation_gating.cc.o.d"
+  "bench_ablation_gating"
+  "bench_ablation_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_locality.dir/bench_ablation_locality.cc.o"
+  "CMakeFiles/bench_ablation_locality.dir/bench_ablation_locality.cc.o.d"
+  "bench_ablation_locality"
+  "bench_ablation_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

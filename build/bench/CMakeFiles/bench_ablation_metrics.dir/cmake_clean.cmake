@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cc.o"
+  "CMakeFiles/bench_ablation_metrics.dir/bench_ablation_metrics.cc.o.d"
+  "bench_ablation_metrics"
+  "bench_ablation_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pins.dir/bench_ablation_pins.cc.o"
+  "CMakeFiles/bench_ablation_pins.dir/bench_ablation_pins.cc.o.d"
+  "bench_ablation_pins"
+  "bench_ablation_pins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

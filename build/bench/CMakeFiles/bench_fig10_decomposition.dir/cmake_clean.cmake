@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_decomposition.dir/bench_fig10_decomposition.cc.o"
+  "CMakeFiles/bench_fig10_decomposition.dir/bench_fig10_decomposition.cc.o.d"
+  "bench_fig10_decomposition"
+  "bench_fig10_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_microbench_validation.dir/bench_fig4a_microbench_validation.cc.o"
+  "CMakeFiles/bench_fig4a_microbench_validation.dir/bench_fig4a_microbench_validation.cc.o.d"
+  "bench_fig4a_microbench_validation"
+  "bench_fig4a_microbench_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_microbench_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_incremental.dir/bench_fig7_incremental.cc.o"
+  "CMakeFiles/bench_fig7_incremental.dir/bench_fig7_incremental.cc.o.d"
+  "bench_fig7_incremental"
+  "bench_fig7_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_bandwidth.dir/bench_fig8_bandwidth.cc.o"
+  "CMakeFiles/bench_fig8_bandwidth.dir/bench_fig8_bandwidth.cc.o.d"
+  "bench_fig8_bandwidth"
+  "bench_fig8_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

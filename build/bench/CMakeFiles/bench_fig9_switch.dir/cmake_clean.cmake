@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_switch.dir/bench_fig9_switch.cc.o"
+  "CMakeFiles/bench_fig9_switch.dir/bench_fig9_switch.cc.o.d"
+  "bench_fig9_switch"
+  "bench_fig9_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pointstudy_amortization.dir/bench_pointstudy_amortization.cc.o"
+  "CMakeFiles/bench_pointstudy_amortization.dir/bench_pointstudy_amortization.cc.o.d"
+  "bench_pointstudy_amortization"
+  "bench_pointstudy_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointstudy_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pointstudy_link_energy.dir/bench_pointstudy_link_energy.cc.o"
+  "CMakeFiles/bench_pointstudy_link_energy.dir/bench_pointstudy_link_energy.cc.o.d"
+  "bench_pointstudy_link_energy"
+  "bench_pointstudy_link_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pointstudy_link_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_epi.dir/bench_table1_epi.cc.o"
+  "CMakeFiles/bench_table1_epi.dir/bench_table1_epi.cc.o.d"
+  "bench_table1_epi"
+  "bench_table1_epi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_epi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

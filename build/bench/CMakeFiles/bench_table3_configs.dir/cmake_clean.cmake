@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_configs.dir/bench_table3_configs.cc.o"
+  "CMakeFiles/bench_table3_configs.dir/bench_table3_configs.cc.o.d"
+  "bench_table3_configs"
+  "bench_table3_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

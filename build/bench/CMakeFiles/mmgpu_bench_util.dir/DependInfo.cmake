@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/mmgpu_bench_util.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/mmgpu_bench_util.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/mmgpu_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mmgpu_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mmgpu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmgpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mmgpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmgpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/mmgpu_bench_util.dir/bench_util.cc.o.d"
+  "libmmgpu_bench_util.a"
+  "libmmgpu_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_upgrade.dir/datacenter_upgrade.cpp.o"
+  "CMakeFiles/datacenter_upgrade.dir/datacenter_upgrade.cpp.o.d"
+  "datacenter_upgrade"
+  "datacenter_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_explorer.dir/interconnect_explorer.cpp.o"
+  "CMakeFiles/interconnect_explorer.dir/interconnect_explorer.cpp.o.d"
+  "interconnect_explorer"
+  "interconnect_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_cli.dir/mmgpu_cli.cpp.o"
+  "CMakeFiles/mmgpu_cli.dir/mmgpu_cli.cpp.o.d"
+  "mmgpu_cli"
+  "mmgpu_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_common.dir/csv.cc.o"
+  "CMakeFiles/mmgpu_common.dir/csv.cc.o.d"
+  "CMakeFiles/mmgpu_common.dir/json.cc.o"
+  "CMakeFiles/mmgpu_common.dir/json.cc.o.d"
+  "CMakeFiles/mmgpu_common.dir/logging.cc.o"
+  "CMakeFiles/mmgpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/mmgpu_common.dir/stats.cc.o"
+  "CMakeFiles/mmgpu_common.dir/stats.cc.o.d"
+  "CMakeFiles/mmgpu_common.dir/table.cc.o"
+  "CMakeFiles/mmgpu_common.dir/table.cc.o.d"
+  "libmmgpu_common.a"
+  "libmmgpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpujoule/calibration.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/calibration.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/calibration.cc.o.d"
+  "/root/repo/src/gpujoule/energy_model.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/energy_model.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/energy_model.cc.o.d"
+  "/root/repo/src/gpujoule/energy_table.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/energy_table.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/energy_table.cc.o.d"
+  "/root/repo/src/gpujoule/gating.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/gating.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/gating.cc.o.d"
+  "/root/repo/src/gpujoule/microbench.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/microbench.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/microbench.cc.o.d"
+  "/root/repo/src/gpujoule/multi_module.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/multi_module.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/multi_module.cc.o.d"
+  "/root/repo/src/gpujoule/reference_device.cc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/reference_device.cc.o" "gcc" "src/gpujoule/CMakeFiles/mmgpu_gpujoule.dir/reference_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmgpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mmgpu_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_gpujoule.dir/calibration.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/calibration.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/energy_model.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/energy_model.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/energy_table.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/energy_table.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/gating.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/gating.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/microbench.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/microbench.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/multi_module.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/multi_module.cc.o.d"
+  "CMakeFiles/mmgpu_gpujoule.dir/reference_device.cc.o"
+  "CMakeFiles/mmgpu_gpujoule.dir/reference_device.cc.o.d"
+  "libmmgpu_gpujoule.a"
+  "libmmgpu_gpujoule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_gpujoule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

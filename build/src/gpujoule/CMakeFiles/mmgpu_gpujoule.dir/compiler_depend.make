@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mmgpu_gpujoule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_harness.dir/report.cc.o"
+  "CMakeFiles/mmgpu_harness.dir/report.cc.o.d"
+  "CMakeFiles/mmgpu_harness.dir/study.cc.o"
+  "CMakeFiles/mmgpu_harness.dir/study.cc.o.d"
+  "CMakeFiles/mmgpu_harness.dir/validation.cc.o"
+  "CMakeFiles/mmgpu_harness.dir/validation.cc.o.d"
+  "libmmgpu_harness.a"
+  "libmmgpu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

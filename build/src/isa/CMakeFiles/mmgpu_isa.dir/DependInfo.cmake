@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/instruction.cc" "src/isa/CMakeFiles/mmgpu_isa.dir/instruction.cc.o" "gcc" "src/isa/CMakeFiles/mmgpu_isa.dir/instruction.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/isa/CMakeFiles/mmgpu_isa.dir/opcode.cc.o" "gcc" "src/isa/CMakeFiles/mmgpu_isa.dir/opcode.cc.o.d"
+  "/root/repo/src/isa/ptx_parser.cc" "src/isa/CMakeFiles/mmgpu_isa.dir/ptx_parser.cc.o" "gcc" "src/isa/CMakeFiles/mmgpu_isa.dir/ptx_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_isa.dir/instruction.cc.o"
+  "CMakeFiles/mmgpu_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/mmgpu_isa.dir/opcode.cc.o"
+  "CMakeFiles/mmgpu_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/mmgpu_isa.dir/ptx_parser.cc.o"
+  "CMakeFiles/mmgpu_isa.dir/ptx_parser.cc.o.d"
+  "libmmgpu_isa.a"
+  "libmmgpu_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_mem.dir/cache.cc.o"
+  "CMakeFiles/mmgpu_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mmgpu_mem.dir/mem_system.cc.o"
+  "CMakeFiles/mmgpu_mem.dir/mem_system.cc.o.d"
+  "libmmgpu_mem.a"
+  "libmmgpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

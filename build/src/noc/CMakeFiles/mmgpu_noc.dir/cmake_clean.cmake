@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_noc.dir/interconnect.cc.o"
+  "CMakeFiles/mmgpu_noc.dir/interconnect.cc.o.d"
+  "libmmgpu_noc.a"
+  "libmmgpu_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

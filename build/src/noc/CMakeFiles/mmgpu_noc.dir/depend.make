@@ -1,0 +1,2 @@
+# Empty dependencies file for mmgpu_noc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/measurement.cc" "src/power/CMakeFiles/mmgpu_power.dir/measurement.cc.o" "gcc" "src/power/CMakeFiles/mmgpu_power.dir/measurement.cc.o.d"
+  "/root/repo/src/power/sensor.cc" "src/power/CMakeFiles/mmgpu_power.dir/sensor.cc.o" "gcc" "src/power/CMakeFiles/mmgpu_power.dir/sensor.cc.o.d"
+  "/root/repo/src/power/silicon.cc" "src/power/CMakeFiles/mmgpu_power.dir/silicon.cc.o" "gcc" "src/power/CMakeFiles/mmgpu_power.dir/silicon.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmgpu_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_power.dir/measurement.cc.o"
+  "CMakeFiles/mmgpu_power.dir/measurement.cc.o.d"
+  "CMakeFiles/mmgpu_power.dir/sensor.cc.o"
+  "CMakeFiles/mmgpu_power.dir/sensor.cc.o.d"
+  "CMakeFiles/mmgpu_power.dir/silicon.cc.o"
+  "CMakeFiles/mmgpu_power.dir/silicon.cc.o.d"
+  "libmmgpu_power.a"
+  "libmmgpu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

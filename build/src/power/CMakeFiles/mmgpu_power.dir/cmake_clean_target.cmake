@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmgpu_power.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/gpu_config.cc" "src/sim/CMakeFiles/mmgpu_sim.dir/gpu_config.cc.o" "gcc" "src/sim/CMakeFiles/mmgpu_sim.dir/gpu_config.cc.o.d"
+  "/root/repo/src/sim/gpu_sim.cc" "src/sim/CMakeFiles/mmgpu_sim.dir/gpu_sim.cc.o" "gcc" "src/sim/CMakeFiles/mmgpu_sim.dir/gpu_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmgpu_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mmgpu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/mmgpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mmgpu_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_sim.dir/gpu_config.cc.o"
+  "CMakeFiles/mmgpu_sim.dir/gpu_config.cc.o.d"
+  "CMakeFiles/mmgpu_sim.dir/gpu_sim.cc.o"
+  "CMakeFiles/mmgpu_sim.dir/gpu_sim.cc.o.d"
+  "libmmgpu_sim.a"
+  "libmmgpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/kernel_profile.cc" "src/trace/CMakeFiles/mmgpu_trace.dir/kernel_profile.cc.o" "gcc" "src/trace/CMakeFiles/mmgpu_trace.dir/kernel_profile.cc.o.d"
+  "/root/repo/src/trace/warp_trace.cc" "src/trace/CMakeFiles/mmgpu_trace.dir/warp_trace.cc.o" "gcc" "src/trace/CMakeFiles/mmgpu_trace.dir/warp_trace.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/trace/CMakeFiles/mmgpu_trace.dir/workloads.cc.o" "gcc" "src/trace/CMakeFiles/mmgpu_trace.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmgpu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/mmgpu_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

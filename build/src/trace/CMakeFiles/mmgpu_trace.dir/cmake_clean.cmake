@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmgpu_trace.dir/kernel_profile.cc.o"
+  "CMakeFiles/mmgpu_trace.dir/kernel_profile.cc.o.d"
+  "CMakeFiles/mmgpu_trace.dir/warp_trace.cc.o"
+  "CMakeFiles/mmgpu_trace.dir/warp_trace.cc.o.d"
+  "CMakeFiles/mmgpu_trace.dir/workloads.cc.o"
+  "CMakeFiles/mmgpu_trace.dir/workloads.cc.o.d"
+  "libmmgpu_trace.a"
+  "libmmgpu_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmgpu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandwidth_server.dir/test_bandwidth_server.cc.o"
+  "CMakeFiles/test_bandwidth_server.dir/test_bandwidth_server.cc.o.d"
+  "test_bandwidth_server"
+  "test_bandwidth_server.pdb"
+  "test_bandwidth_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandwidth_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

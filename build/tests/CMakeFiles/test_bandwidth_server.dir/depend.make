@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bandwidth_server.
+# This may be replaced when dependencies are built.

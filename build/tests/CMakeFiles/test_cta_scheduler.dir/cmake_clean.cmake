@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cta_scheduler.dir/test_cta_scheduler.cc.o"
+  "CMakeFiles/test_cta_scheduler.dir/test_cta_scheduler.cc.o.d"
+  "test_cta_scheduler"
+  "test_cta_scheduler.pdb"
+  "test_cta_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cta_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

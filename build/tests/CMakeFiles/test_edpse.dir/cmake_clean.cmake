@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edpse.dir/test_edpse.cc.o"
+  "CMakeFiles/test_edpse.dir/test_edpse.cc.o.d"
+  "test_edpse"
+  "test_edpse.pdb"
+  "test_edpse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edpse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

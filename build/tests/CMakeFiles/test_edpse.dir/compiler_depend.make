@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_edpse.
+# This may be replaced when dependencies are built.

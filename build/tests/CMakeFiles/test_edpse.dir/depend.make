@@ -1,0 +1,2 @@
+# Empty dependencies file for test_edpse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_table.dir/test_energy_table.cc.o"
+  "CMakeFiles/test_energy_table.dir/test_energy_table.cc.o.d"
+  "test_energy_table"
+  "test_energy_table.pdb"
+  "test_energy_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

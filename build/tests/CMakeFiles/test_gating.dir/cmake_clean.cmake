@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gating.dir/test_gating.cc.o"
+  "CMakeFiles/test_gating.dir/test_gating.cc.o.d"
+  "test_gating"
+  "test_gating.pdb"
+  "test_gating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

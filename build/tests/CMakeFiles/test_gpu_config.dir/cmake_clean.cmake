@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_config.dir/test_gpu_config.cc.o"
+  "CMakeFiles/test_gpu_config.dir/test_gpu_config.cc.o.d"
+  "test_gpu_config"
+  "test_gpu_config.pdb"
+  "test_gpu_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

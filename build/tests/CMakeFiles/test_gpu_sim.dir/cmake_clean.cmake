@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_sim.dir/test_gpu_sim.cc.o"
+  "CMakeFiles/test_gpu_sim.dir/test_gpu_sim.cc.o.d"
+  "test_gpu_sim"
+  "test_gpu_sim.pdb"
+  "test_gpu_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

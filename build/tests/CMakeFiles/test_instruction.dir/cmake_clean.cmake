@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instruction.dir/test_instruction.cc.o"
+  "CMakeFiles/test_instruction.dir/test_instruction.cc.o.d"
+  "test_instruction"
+  "test_instruction.pdb"
+  "test_instruction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

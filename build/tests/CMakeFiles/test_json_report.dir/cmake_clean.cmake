@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_report.dir/test_json_report.cc.o"
+  "CMakeFiles/test_json_report.dir/test_json_report.cc.o.d"
+  "test_json_report"
+  "test_json_report.pdb"
+  "test_json_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

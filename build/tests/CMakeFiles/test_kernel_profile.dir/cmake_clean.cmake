@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_profile.dir/test_kernel_profile.cc.o"
+  "CMakeFiles/test_kernel_profile.dir/test_kernel_profile.cc.o.d"
+  "test_kernel_profile"
+  "test_kernel_profile.pdb"
+  "test_kernel_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_system.dir/test_mem_system.cc.o"
+  "CMakeFiles/test_mem_system.dir/test_mem_system.cc.o.d"
+  "test_mem_system"
+  "test_mem_system.pdb"
+  "test_mem_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

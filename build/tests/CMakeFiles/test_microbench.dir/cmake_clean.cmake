@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_microbench.dir/test_microbench.cc.o"
+  "CMakeFiles/test_microbench.dir/test_microbench.cc.o.d"
+  "test_microbench"
+  "test_microbench.pdb"
+  "test_microbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_module.dir/test_multi_module.cc.o"
+  "CMakeFiles/test_multi_module.dir/test_multi_module.cc.o.d"
+  "test_multi_module"
+  "test_multi_module.pdb"
+  "test_multi_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opcode.dir/test_opcode.cc.o"
+  "CMakeFiles/test_opcode.dir/test_opcode.cc.o.d"
+  "test_opcode"
+  "test_opcode.pdb"
+  "test_opcode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_table.dir/test_page_table.cc.o"
+  "CMakeFiles/test_page_table.dir/test_page_table.cc.o.d"
+  "test_page_table"
+  "test_page_table.pdb"
+  "test_page_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

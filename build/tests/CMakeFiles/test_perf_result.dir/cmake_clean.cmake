@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_result.dir/test_perf_result.cc.o"
+  "CMakeFiles/test_perf_result.dir/test_perf_result.cc.o.d"
+  "test_perf_result"
+  "test_perf_result.pdb"
+  "test_perf_result[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_result.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

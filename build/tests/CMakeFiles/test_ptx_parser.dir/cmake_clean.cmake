@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ptx_parser.dir/test_ptx_parser.cc.o"
+  "CMakeFiles/test_ptx_parser.dir/test_ptx_parser.cc.o.d"
+  "test_ptx_parser"
+  "test_ptx_parser.pdb"
+  "test_ptx_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ptx_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

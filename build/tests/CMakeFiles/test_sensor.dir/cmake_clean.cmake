@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensor.dir/test_sensor.cc.o"
+  "CMakeFiles/test_sensor.dir/test_sensor.cc.o.d"
+  "test_sensor"
+  "test_sensor.pdb"
+  "test_sensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_silicon.dir/test_silicon.cc.o"
+  "CMakeFiles/test_silicon.dir/test_silicon.cc.o.d"
+  "test_silicon"
+  "test_silicon.pdb"
+  "test_silicon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_silicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

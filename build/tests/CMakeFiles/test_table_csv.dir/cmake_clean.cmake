@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_csv.dir/test_table_csv.cc.o"
+  "CMakeFiles/test_table_csv.dir/test_table_csv.cc.o.d"
+  "test_table_csv"
+  "test_table_csv.pdb"
+  "test_table_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validation.dir/test_validation.cc.o"
+  "CMakeFiles/test_validation.dir/test_validation.cc.o.d"
+  "test_validation"
+  "test_validation.pdb"
+  "test_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

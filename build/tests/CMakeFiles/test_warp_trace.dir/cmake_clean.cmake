@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warp_trace.dir/test_warp_trace.cc.o"
+  "CMakeFiles/test_warp_trace.dir/test_warp_trace.cc.o.d"
+  "test_warp_trace"
+  "test_warp_trace.pdb"
+  "test_warp_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
