@@ -20,7 +20,13 @@
  *   --placement <first-touch|striped>
  *   --cta-sched <distributed|round-robin>
  *   --link-energy-scale <f> multiplier on link pJ/bit
+ *   --trace-out <file>      write a chrome://tracing JSON of the run
+ *   --timeline-csv <file>   write the timeline as wide CSV
+ *   --timeline-dt <us>      telemetry bin width in simulated
+ *                           microseconds (default 50)
  *   --list                  list catalog workloads and exit
+ *
+ * Flags accept both "--flag value" and "--flag=value".
  */
 
 #include <cstdio>
@@ -29,6 +35,8 @@
 #include <vector>
 
 #include "harness/study.hh"
+#include "telemetry/chrome_trace.hh"
+#include "telemetry/csv_export.hh"
 
 using namespace mmgpu;
 
@@ -45,7 +53,9 @@ usage(const char *argv0)
                  "[--domain package|board]\n"
                  "          [--placement first-touch|striped]\n"
                  "          [--cta-sched distributed|round-robin]\n"
-                 "          [--link-energy-scale F] [--list]\n",
+                 "          [--link-energy-scale F] [--list]\n"
+                 "          [--trace-out FILE] [--timeline-csv FILE] "
+                 "[--timeline-dt US]\n",
                  argv0);
     std::exit(2);
 }
@@ -98,16 +108,32 @@ main(int argc, char **argv)
         sim::PlacementPolicy::FirstTouchOwner;
     sm::CtaSchedPolicy cta_sched = sm::CtaSchedPolicy::Distributed;
     double link_scale = 1.0;
+    std::string trace_out;
+    std::string timeline_csv;
+    double timeline_dt_us = 50.0;
 
+    // Normalize "--flag=value" into "--flag value".
+    std::vector<std::string> args;
     for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(std::move(arg));
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
         auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc) {
+            if (i + 1 >= args.size()) {
                 std::fprintf(stderr, "%s needs a value\n", flag);
                 usage(argv[0]);
             }
-            return argv[++i];
+            return args[++i].c_str();
         };
-        if (!std::strcmp(argv[i], "--list")) {
+        if (!std::strcmp(args[i].c_str(), "--list")) {
             std::printf("%-12s %-5s %-10s %s\n", "name", "class",
                         "footprint", "launches");
             for (const auto &profile : trace::allWorkloads())
@@ -118,11 +144,11 @@ main(int argc, char **argv)
                                 units::MiB,
                             profile.launches);
             return 0;
-        } else if (!std::strcmp(argv[i], "--workload")) {
+        } else if (!std::strcmp(args[i].c_str(), "--workload")) {
             workload = need("--workload");
-        } else if (!std::strcmp(argv[i], "--gpms")) {
+        } else if (!std::strcmp(args[i].c_str(), "--gpms")) {
             gpms = static_cast<unsigned>(std::atoi(need("--gpms")));
-        } else if (!std::strcmp(argv[i], "--bw")) {
+        } else if (!std::strcmp(args[i].c_str(), "--bw")) {
             std::string v = need("--bw");
             if (v == "1x")
                 bw = sim::BwSetting::Bw1x;
@@ -132,7 +158,7 @@ main(int argc, char **argv)
                 bw = sim::BwSetting::Bw4x;
             else
                 usage(argv[0]);
-        } else if (!std::strcmp(argv[i], "--topology")) {
+        } else if (!std::strcmp(args[i].c_str(), "--topology")) {
             std::string v = need("--topology");
             if (v == "ring")
                 topology = noc::Topology::Ring;
@@ -140,7 +166,7 @@ main(int argc, char **argv)
                 topology = noc::Topology::Switch;
             else
                 usage(argv[0]);
-        } else if (!std::strcmp(argv[i], "--domain")) {
+        } else if (!std::strcmp(args[i].c_str(), "--domain")) {
             std::string v = need("--domain");
             if (v == "package")
                 domain = 0;
@@ -148,7 +174,7 @@ main(int argc, char **argv)
                 domain = 1;
             else
                 usage(argv[0]);
-        } else if (!std::strcmp(argv[i], "--placement")) {
+        } else if (!std::strcmp(args[i].c_str(), "--placement")) {
             std::string v = need("--placement");
             if (v == "first-touch")
                 placement = sim::PlacementPolicy::FirstTouchOwner;
@@ -156,7 +182,7 @@ main(int argc, char **argv)
                 placement = sim::PlacementPolicy::Striped;
             else
                 usage(argv[0]);
-        } else if (!std::strcmp(argv[i], "--cta-sched")) {
+        } else if (!std::strcmp(args[i].c_str(), "--cta-sched")) {
             std::string v = need("--cta-sched");
             if (v == "distributed")
                 cta_sched = sm::CtaSchedPolicy::Distributed;
@@ -164,8 +190,19 @@ main(int argc, char **argv)
                 cta_sched = sm::CtaSchedPolicy::RoundRobin;
             else
                 usage(argv[0]);
-        } else if (!std::strcmp(argv[i], "--link-energy-scale")) {
+        } else if (!std::strcmp(args[i].c_str(), "--link-energy-scale")) {
             link_scale = std::atof(need("--link-energy-scale"));
+        } else if (!std::strcmp(args[i].c_str(), "--trace-out")) {
+            trace_out = need("--trace-out");
+        } else if (!std::strcmp(args[i].c_str(), "--timeline-csv")) {
+            timeline_csv = need("--timeline-csv");
+        } else if (!std::strcmp(args[i].c_str(), "--timeline-dt")) {
+            timeline_dt_us = std::atof(need("--timeline-dt"));
+            if (timeline_dt_us <= 0.0) {
+                std::fprintf(stderr,
+                             "--timeline-dt must be positive\n");
+                return 2;
+            }
         } else {
             usage(argv[0]);
         }
@@ -193,6 +230,18 @@ main(int argc, char **argv)
     harness::StudyContext context;
     harness::ScalingRunner runner(context);
 
+    bool want_telemetry = !trace_out.empty() || !timeline_csv.empty();
+    if (want_telemetry) {
+        // Bin width from simulated microseconds to core cycles.
+        runner.enableTelemetry(timeline_dt_us * 1.0e-6 *
+                               config.clock.frequency());
+        if (workload == "all") {
+            std::fprintf(stderr,
+                         "note: --trace-out/--timeline-csv capture "
+                         "the last workload of --workload all\n");
+        }
+    }
+
     std::vector<trace::KernelProfile> workloads;
     if (workload == "all") {
         workloads = trace::scalingWorkloads();
@@ -207,6 +256,7 @@ main(int argc, char **argv)
         workloads.push_back(*found);
     }
 
+    const harness::RunOutcome *last = nullptr;
     for (const auto &profile : workloads) {
         const harness::RunOutcome *base = nullptr;
         if (gpms > 1)
@@ -214,6 +264,23 @@ main(int argc, char **argv)
         const auto &run =
             runner.run(config, profile, link_scale);
         printRun(run, base, gpms);
+        last = &run;
+    }
+
+    if (want_telemetry && last && last->telemetry) {
+        const telemetry::Telemetry &tel = *last->telemetry;
+        if (!trace_out.empty() &&
+            telemetry::writeChromeTrace(tel, trace_out)) {
+            std::printf("\nwrote %s (open in chrome://tracing or "
+                        "https://ui.perfetto.dev)\n",
+                        trace_out.c_str());
+        }
+        if (!timeline_csv.empty() &&
+            telemetry::writeTimelineCsv(tel, timeline_csv)) {
+            std::printf("wrote %s (one column per track; try "
+                        "examples/timeline_viewer)\n",
+                        timeline_csv.c_str());
+        }
     }
     return 0;
 }

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * timeline_viewer — terminal sparklines for telemetry timeline CSVs.
+ *
+ * Renders each track of a wide-format timeline CSV (as written by
+ * `mmgpu_cli --timeline-csv=...` or telemetry::writeTimelineCsv) as
+ * a unicode sparkline, one row per track, so link saturation and
+ * per-GPM activity are visible without leaving the shell.
+ *
+ *   timeline_viewer run.csv            # link utilization (default)
+ *   timeline_viewer run.csv gpm       # every gpm* track
+ *   timeline_viewer run.csv ''        # all tracks
+ *
+ * The optional second argument is a track-path prefix filter.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+/** Eight-step block ramp; index by floor(level * 8) clamped. */
+const char *const sparkRamp[] = {"▁", "▂", "▃",
+                                 "▄", "▅", "▆",
+                                 "▇", "█"};
+
+struct TimelineData
+{
+    std::vector<std::string> tracks; //!< column names minus t_us
+    std::vector<std::vector<double>> columns; //!< per track
+    double firstUs = 0.0;
+    double lastUs = 0.0;
+};
+
+/** Split one CSV line (the exporter never quotes or embeds commas). */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::stringstream stream(line);
+    std::string cell;
+    while (std::getline(stream, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.emplace_back();
+    return cells;
+}
+
+bool
+loadTimeline(const std::string &path, TimelineData &data)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+        std::fprintf(stderr, "%s is empty\n", path.c_str());
+        return false;
+    }
+    std::vector<std::string> header = splitCsv(line);
+    if (header.size() < 2 || header[0] != "t_us") {
+        std::fprintf(stderr,
+                     "%s does not look like a timeline CSV "
+                     "(expected a t_us first column)\n",
+                     path.c_str());
+        return false;
+    }
+    data.tracks.assign(header.begin() + 1, header.end());
+    data.columns.assign(data.tracks.size(), {});
+
+    bool first_row = true;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> cells = splitCsv(line);
+        if (cells.size() != header.size()) {
+            std::fprintf(stderr, "ragged row in %s\n", path.c_str());
+            return false;
+        }
+        double t = std::atof(cells[0].c_str());
+        if (first_row)
+            data.firstUs = t;
+        data.lastUs = t;
+        first_row = false;
+        for (std::size_t c = 1; c < cells.size(); ++c)
+            data.columns[c - 1].push_back(
+                std::atof(cells[c].c_str()));
+    }
+    if (first_row) {
+        std::fprintf(stderr, "%s has no data rows\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Downsample @p values to @p width buckets by max (saturation must
+ *  stay visible, so never average peaks away). */
+std::vector<double>
+bucketMax(const std::vector<double> &values, std::size_t width)
+{
+    if (values.size() <= width)
+        return values;
+    std::vector<double> out(width, 0.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        std::size_t bucket = i * width / values.size();
+        out[bucket] = std::max(out[bucket], values[i]);
+    }
+    return out;
+}
+
+std::string
+sparkline(const std::vector<double> &values, double scale)
+{
+    std::string out;
+    for (double v : values) {
+        double level = scale > 0.0 ? v / scale : 0.0;
+        int step = static_cast<int>(level * 8.0);
+        step = std::clamp(step, 0, 7);
+        out += sparkRamp[step];
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || argc > 3) {
+        std::fprintf(stderr,
+                     "usage: %s <timeline.csv> [track-prefix]\n"
+                     "  track-prefix defaults to 'link' (inter-GPM "
+                     "link utilization); pass '' for all tracks\n",
+                     argv[0]);
+        return 2;
+    }
+    std::string path = argv[1];
+    std::string prefix = argc == 3 ? argv[2] : "link";
+
+    TimelineData data;
+    if (!loadTimeline(path, data))
+        return 1;
+
+    constexpr std::size_t width = 72;
+    std::size_t name_width = 0;
+    std::vector<std::size_t> selected;
+    for (std::size_t i = 0; i < data.tracks.size(); ++i) {
+        if (data.tracks[i].rfind(prefix, 0) != 0)
+            continue;
+        selected.push_back(i);
+        name_width = std::max(name_width, data.tracks[i].size());
+    }
+    if (selected.empty()) {
+        std::fprintf(stderr, "no track matches prefix '%s'\n",
+                     prefix.c_str());
+        return 1;
+    }
+
+    std::printf("%s: %zu bins, %.1f..%.1f us\n", path.c_str(),
+                data.columns[selected[0]].size(), data.firstUs,
+                data.lastUs);
+    for (std::size_t i : selected) {
+        const std::vector<double> &column = data.columns[i];
+        double peak = 0.0;
+        for (double v : column)
+            peak = std::max(peak, v);
+        // Utilization-like tracks scale to 1.0 so saturation reads
+        // as a full block; unbounded tracks (watts) scale to peak.
+        double scale = peak <= 1.0 + 1e-9 ? 1.0 : peak;
+        std::printf("%-*s |%s| peak %.3g\n",
+                    static_cast<int>(name_width),
+                    data.tracks[i].c_str(),
+                    sparkline(bucketMax(column, width), scale)
+                        .c_str(),
+                    peak);
+    }
+    return 0;
+}

@@ -51,4 +51,27 @@ estimate(const EnergyInputs &inputs, const EnergyParams &params)
     return breakdown;
 }
 
+EnergyBreakdown
+estimate(const EnergyInputs &inputs, const EnergyParams &params,
+         telemetry::Telemetry &telemetry)
+{
+    EnergyBreakdown breakdown = estimate(inputs, params);
+
+    telemetry::CounterRegistry &reg = telemetry.counters();
+    reg.gauge("energy/sm_busy_j").set(breakdown.smBusy);
+    reg.gauge("energy/sm_idle_j").set(breakdown.smIdle);
+    reg.gauge("energy/constant_j").set(breakdown.constant);
+    reg.gauge("energy/shm_to_reg_j").set(breakdown.shmToReg);
+    reg.gauge("energy/l1_to_reg_j").set(breakdown.l1ToReg);
+    reg.gauge("energy/l2_to_l1_j").set(breakdown.l2ToL1);
+    reg.gauge("energy/dram_to_l2_j").set(breakdown.dramToL2);
+    reg.gauge("energy/inter_module_j").set(breakdown.interModule);
+    reg.gauge("energy/total_j").set(breakdown.total());
+    if (inputs.execTime > 0.0) {
+        reg.gauge("energy/avg_power_w")
+            .set(breakdown.total() / inputs.execTime);
+    }
+    return breakdown;
+}
+
 } // namespace mmgpu::joule

@@ -25,6 +25,7 @@
 #include "gpujoule/energy_table.hh"
 #include "isa/instruction.hh"
 #include "isa/opcode.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mmgpu::joule
 {
@@ -127,6 +128,17 @@ struct EnergyBreakdown
 /** Evaluate Eq. 4. */
 EnergyBreakdown estimate(const EnergyInputs &inputs,
                          const EnergyParams &params);
+
+/**
+ * Evaluate Eq. 4 and record the per-component breakdown into
+ * @p telemetry as "energy/..." gauges (joules) plus the derived
+ * "energy/total_j" and "energy/avg_power_w" figures. Pass the same
+ * Telemetry the simulator filled so one export carries both the
+ * performance activity and its energy attribution.
+ */
+EnergyBreakdown estimate(const EnergyInputs &inputs,
+                         const EnergyParams &params,
+                         telemetry::Telemetry &telemetry);
 
 } // namespace mmgpu::joule
 

@@ -1,9 +1,12 @@
 #include "harness/study.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.hh"
 #include "gpujoule/reference_device.hh"
+#include "power/sensor.hh"
 
 namespace mmgpu::harness
 {
@@ -69,13 +72,97 @@ ScalingRunner::run(const sim::GpuConfig &config,
 
     sim::GpuSim machine(config);
     RunOutcome outcome;
+    if (telemetryEnabled_) {
+        outcome.telemetry = std::make_shared<telemetry::Telemetry>(
+            telemetry::TelemetryConfig{telemetryDt_});
+        machine.attachTelemetry(outcome.telemetry.get());
+    }
     outcome.perf = machine.run(profile);
     joule::EnergyParams params = context_->paramsFor(
         config, link_energy_scale, const_growth_override);
-    outcome.energy = joule::estimate(
-        inputsFrom(outcome.perf, config.gpmCount, config.totalSms()),
-        params);
+    joule::EnergyInputs inputs =
+        inputsFrom(outcome.perf, config.gpmCount, config.totalSms());
+    if (outcome.telemetry) {
+        outcome.energy =
+            joule::estimate(inputs, params, *outcome.telemetry);
+        addPowerTracks(*outcome.telemetry, params);
+        machine.attachTelemetry(nullptr);
+    } else {
+        outcome.energy = joule::estimate(inputs, params);
+    }
     return cache.emplace(key.str(), std::move(outcome)).first->second;
+}
+
+void
+addPowerTracks(telemetry::Telemetry &telemetry,
+               const joule::EnergyParams &params)
+{
+    telemetry::Timeline *timeline = telemetry.timeline();
+    if (timeline == nullptr || timeline->binCount() == 0)
+        return;
+
+    const telemetry::RunInfo &info = telemetry.runInfo();
+    const telemetry::ActivitySampler *instr =
+        telemetry.findActivity("instr");
+    const telemetry::ActivitySampler *txn =
+        telemetry.findActivity("txn");
+
+    std::size_t bins = timeline->binCount();
+    double dt_seconds = timeline->dt() / info.clockHz;
+    double const_watts = params.constPowerPerGpm *
+                         params.constScale(info.gpmCount);
+
+    // Per-GPM SM activity tracks, for the EP_stall term: stall
+    // cycles in a bin are the active-window cycles the SMs did not
+    // spend issuing.
+    std::vector<std::pair<const telemetry::TimelineTrack *,
+                          const telemetry::TimelineTrack *>>
+        sm_tracks;
+    for (unsigned g = 0; g < info.gpmCount; ++g) {
+        std::string prefix = "gpm" + std::to_string(g);
+        sm_tracks.emplace_back(timeline->find(prefix + "/sm_busy"),
+                               timeline->find(prefix + "/sm_active"));
+    }
+
+    using Kind = telemetry::TimelineTrack::Kind;
+    telemetry::TimelineTrack &true_power =
+        timeline->track("gpu/power_true_w", Kind::Level);
+    power::PowerTimeline series;
+    for (std::size_t b = 0; b < bins; ++b) {
+        double joules = 0.0;
+        if (instr) {
+            for (std::size_t c = 0; c < instr->channels(); ++c) {
+                joules += params.table.epi[c] * instr->at(b, c) *
+                          isa::warpSize;
+            }
+        }
+        if (txn) {
+            for (std::size_t c = 0; c < txn->channels(); ++c)
+                joules += params.table.ept[c] * txn->at(b, c);
+        }
+        double stall_cycles = 0.0;
+        for (const auto &[busy, active] : sm_tracks) {
+            if (busy && active) {
+                stall_cycles += std::max(0.0, active->rawBin(b) -
+                                                  busy->rawBin(b));
+            }
+        }
+        joules += params.stallEnergyPerSmCycle * stall_cycles;
+
+        double watts = const_watts + joules / dt_seconds;
+        true_power.setBin(b, watts);
+        series.addPhase(dt_seconds, watts);
+    }
+
+    // Replay the series through the on-board sensor model: what an
+    // NVML poll at each bin midpoint would have reported.
+    power::PowerSensor sensor;
+    telemetry::TimelineTrack &sensed =
+        timeline->track("gpu/power_sensor_w", Kind::Level);
+    for (std::size_t b = 0; b < bins; ++b) {
+        double t = (static_cast<double>(b) + 0.5) * dt_seconds;
+        sensed.setBin(b, sensor.read(series, t));
+    }
 }
 
 std::vector<ScalingPoint>

@@ -25,6 +25,7 @@
 #include "metrics/edpse.hh"
 #include "sim/gpu_config.hh"
 #include "sim/gpu_sim.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/workloads.hh"
 
 namespace mmgpu::harness
@@ -35,6 +36,14 @@ struct RunOutcome
 {
     sim::PerfResult perf;
     joule::EnergyBreakdown energy;
+
+    /**
+     * Telemetry recorded during the run: counters, per-GPM/per-link
+     * timelines, and the derived power tracks. Null unless the
+     * runner had telemetry enabled (ScalingRunner::enableTelemetry);
+     * shared so memoized outcomes stay copyable.
+     */
+    std::shared_ptr<telemetry::Telemetry> telemetry;
 
     /** Energy/delay point for the metrics. */
     metrics::EnergyDelay
@@ -110,13 +119,53 @@ class ScalingRunner
                           double link_energy_scale = 1.0,
                           double const_growth_override = -1.0);
 
+    /**
+     * Record telemetry on subsequent (non-memoized) runs.
+     * @param timeline_dt_cycles Timeline bin width in core cycles;
+     *        0 records counters/gauges only. Each outcome carries
+     *        its own Telemetry instance (RunOutcome::telemetry),
+     *        already finalized, with the energy breakdown gauges and
+     *        — when the timeline is enabled — the derived
+     *        "gpu/power_*" tracks filled in.
+     */
+    void
+    enableTelemetry(double timeline_dt_cycles)
+    {
+        telemetryDt_ = timeline_dt_cycles;
+        telemetryEnabled_ = true;
+    }
+
+    /** Stop recording telemetry on subsequent runs. */
+    void disableTelemetry() { telemetryEnabled_ = false; }
+
     /** The study context. */
     const StudyContext &context() const { return *context_; }
 
   private:
     const StudyContext *context_;
     std::map<std::string, RunOutcome> cache;
+    bool telemetryEnabled_ = false;
+    double telemetryDt_ = 0.0;
 };
+
+/**
+ * Derive instantaneous-power tracks from a finalized telemetry
+ * timeline and the calibrated energy parameters:
+ *
+ *  - "gpu/power_true_w": per-bin average true power from Eq. 4's
+ *    dynamic terms (EPI x per-bin instruction activity, EPT x
+ *    per-bin transaction activity, EP_stall x per-bin stall cycles)
+ *    plus the GPM-scaled constant power. Inter-GPM link energy is
+ *    not time-resolved and is excluded (it is a small term; the
+ *    totals in the "energy/..." gauges include it).
+ *  - "gpu/power_sensor_w": the same series sampled through the
+ *    NVML-like on-board sensor model (15 ms refresh, response lag,
+ *    quantization), reproducing the sensor artifacts of §IV-B2.
+ *
+ * No-op when @p telemetry has no timeline or an empty run.
+ */
+void addPowerTracks(telemetry::Telemetry &telemetry,
+                    const joule::EnergyParams &params);
 
 /** Per-workload scaling observation against the 1-GPM baseline. */
 struct ScalingPoint

@@ -76,6 +76,11 @@ MemSystem::kernelBoundary(noc::Tick t, MemCounters &counters)
                 isa::TxnLevel::DramToL2)] += sectors;
             counters.writebackSectors += sectors;
 
+            if (telTxn_)
+                telTxn_->addAt(t,
+                               static_cast<std::size_t>(
+                                   isa::TxnLevel::DramToL2),
+                               sectors);
             unsigned home = pages.touch(line_addr, g);
             noc::Tick at_home = t;
             if (home != g && network != nullptr) {
@@ -143,6 +148,29 @@ MemSystem::dramBusy() const
     for (const auto &dram : drams)
         total += dram.busyCycles();
     return total;
+}
+
+void
+MemSystem::attachTelemetry(telemetry::Telemetry &tel)
+{
+    telemetry::CounterRegistry &reg = tel.counters();
+    telL1SectorHits_ = &reg.counter("mem/l1_sector_hits");
+    telL1SectorMisses_ = &reg.counter("mem/l1_sector_misses");
+    telL2SectorHits_ = &reg.counter("mem/l2_sector_hits");
+    telL2SectorMisses_ = &reg.counter("mem/l2_sector_misses");
+    telDramQueueCycles_ = &reg.counter("mem/dram_queue_cycles");
+
+    telemetry::Timeline *tl = tel.timeline();
+    if (tl == nullptr)
+        return;
+    telTxn_ = &tel.activity("txn", isa::numTxnLevels);
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned g = 0; g < cfg.gpmCount; ++g) {
+        drams[g].setTelemetrySink(
+            &tl->track(indexedName("gpm", g) + "/hbm", Kind::Busy));
+        nocs[g].setTelemetrySink(
+            &tl->track(indexedName("gpm", g) + "/noc", Kind::Busy));
+    }
 }
 
 } // namespace mmgpu::mem

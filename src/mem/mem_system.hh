@@ -25,12 +25,15 @@
 #include <memory>
 #include <vector>
 
+#include <bit>
+
 #include "common/units.hh"
 #include "isa/instruction.hh"
 #include "mem/cache.hh"
 #include "mem/page_table.hh"
 #include "noc/bandwidth_server.hh"
 #include "noc/interconnect.hh"
+#include "telemetry/telemetry.hh"
 
 namespace mmgpu::mem
 {
@@ -105,7 +108,13 @@ class MemSystem
              bool is_write)
     {
         mmgpu_assert(sm < l1s.size(), "bad SM id");
-        return l1s[sm].access(line_addr, sectors, is_write);
+        CacheAccessResult result =
+            l1s[sm].access(line_addr, sectors, is_write);
+        if (telL1SectorHits_) {
+            telL1SectorHits_->add(std::popcount(result.hitMask));
+            telL1SectorMisses_->add(std::popcount(result.missMask));
+        }
+        return result;
     }
 
     /** Functional L2 lookup/fill for GPM @p gpm. */
@@ -114,7 +123,13 @@ class MemSystem
              bool is_write)
     {
         mmgpu_assert(gpm < l2s.size(), "bad GPM id");
-        return l2s[gpm].access(line_addr, sectors, is_write);
+        CacheAccessResult result =
+            l2s[gpm].access(line_addr, sectors, is_write);
+        if (telL2SectorHits_) {
+            telL2SectorHits_->add(std::popcount(result.hitMask));
+            telL2SectorMisses_->add(std::popcount(result.missMask));
+        }
+        return result;
     }
 
     /** Serialize @p bytes on GPM @p gpm's SM<->L2 crossbar. */
@@ -128,6 +143,11 @@ class MemSystem
     noc::Tick
     dramAcquire(unsigned gpm, noc::Tick t, double bytes)
     {
+        if (telDramQueueCycles_) {
+            double wait = drams[gpm].nextFreeAt() - t;
+            if (wait > 0.0)
+                telDramQueueCycles_->add(wait);
+        }
         return drams[gpm].acquire(t, bytes);
     }
 
@@ -176,6 +196,15 @@ class MemSystem
     /** Total busy cycles on all DRAM channels (utilization probe). */
     double dramBusy() const;
 
+    /**
+     * Register this hierarchy's telemetry: "mem/..." hit/miss and
+     * DRAM-queueing counters, plus (when @p tel has an enabled
+     * timeline) per-GPM "gpm<g>/hbm" and "gpm<g>/noc" utilization
+     * tracks fed by the bandwidth servers. @p tel must outlive this
+     * MemSystem (the engine builds a fresh one per run).
+     */
+    void attachTelemetry(telemetry::Telemetry &tel);
+
   private:
     MemConfig cfg;
     noc::InterGpmNetwork *network; //!< nullptr when monolithic
@@ -185,6 +214,15 @@ class MemSystem
     std::vector<SectoredCache> l2s;          //!< per GPM
     std::vector<noc::BandwidthServer> drams; //!< per GPM
     std::vector<noc::BandwidthServer> nocs;  //!< per GPM
+
+    // Telemetry hook handles; null while detached, so the disabled
+    // cost of each hook is one branch-on-null.
+    telemetry::ActivitySampler *telTxn_ = nullptr;
+    telemetry::Counter *telL1SectorHits_ = nullptr;
+    telemetry::Counter *telL1SectorMisses_ = nullptr;
+    telemetry::Counter *telL2SectorHits_ = nullptr;
+    telemetry::Counter *telL2SectorMisses_ = nullptr;
+    telemetry::Counter *telDramQueueCycles_ = nullptr;
 };
 
 } // namespace mmgpu::mem

@@ -22,6 +22,7 @@
 
 #include "common/logging.hh"
 #include "common/units.hh"
+#include "telemetry/timeline.hh"
 
 namespace mmgpu::noc
 {
@@ -58,6 +59,8 @@ class BandwidthServer
         busy += service;
         queueing += start - t;
         ++requests;
+        if (sink_)
+            sink_->addSpan(start, nextFree);
         return nextFree;
     }
 
@@ -76,6 +79,21 @@ class BandwidthServer
     /** Diagnostic name. */
     const std::string &name() const { return name_; }
 
+    /** Earliest time a new request would start service (telemetry
+     *  probes compute queueing deltas from this). */
+    Tick nextFreeAt() const { return nextFree; }
+
+    /**
+     * Mirror every future busy interval into @p sink (nullptr
+     * detaches). Disabled telemetry costs one branch-on-null per
+     * acquire(); the sink must outlive the server or be detached.
+     */
+    void
+    setTelemetrySink(telemetry::TimelineTrack *sink)
+    {
+        sink_ = sink;
+    }
+
     /** Forget all history (between launches/runs). */
     void
     reset()
@@ -89,6 +107,7 @@ class BandwidthServer
   private:
     std::string name_;
     double bytesPerCycle;
+    telemetry::TimelineTrack *sink_ = nullptr;
     Tick nextFree = 0.0;
     double busy = 0.0;
     double queueing = 0.0;

@@ -101,6 +101,18 @@ RingNetwork::totalBusy() const
 }
 
 void
+RingNetwork::attachTelemetry(telemetry::Timeline &timeline)
+{
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned g = 0; g < gpmCount; ++g) {
+        links[g][0].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".cw"), Kind::Busy));
+        links[g][1].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".ccw"), Kind::Busy));
+    }
+}
+
+void
 RingNetwork::reset()
 {
     for (auto &pair : links) {
@@ -173,6 +185,18 @@ SwitchNetwork::totalBusy() const
     for (const auto &link : downlinks)
         total += link.busyCycles();
     return total;
+}
+
+void
+SwitchNetwork::attachTelemetry(telemetry::Timeline &timeline)
+{
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned g = 0; g < gpmCount; ++g) {
+        uplinks[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".up"), Kind::Busy));
+        downlinks[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".down"), Kind::Busy));
+    }
 }
 
 void

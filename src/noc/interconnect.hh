@@ -146,6 +146,14 @@ class InterGpmNetwork
     /** Aggregate busy cycles across all links (utilization probe). */
     virtual double totalBusy() const = 0;
 
+    /**
+     * Register one Busy utilization track per physical link in
+     * @p timeline (under the "link/" group) and mirror every link's
+     * busy intervals into it. The timeline must outlive the network
+     * (the engine attaches a fresh network each run).
+     */
+    virtual void attachTelemetry(telemetry::Timeline &timeline) = 0;
+
     /** Clear link state and traffic counters. */
     virtual void reset() = 0;
 
@@ -178,6 +186,8 @@ class RingNetwork : public InterGpmNetwork
 
     double totalQueueing() const override;
     double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
 
     void reset() override;
 
@@ -214,6 +224,8 @@ class SwitchNetwork : public InterGpmNetwork
 
     double totalQueueing() const override;
     double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
 
     void reset() override;
 

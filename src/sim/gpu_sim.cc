@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -22,6 +23,65 @@ GpuSim::GpuSim(const GpuConfig &config) : config_(config)
 }
 
 GpuSim::~GpuSim() = default;
+
+void
+GpuSim::attachTelemetry(telemetry::Telemetry *telemetry)
+{
+    telemetry_ = telemetry;
+    // Handles are (re)resolved per run; drop stale ones now so a
+    // detach cannot leave dangling hook pointers behind.
+    clearTelemetryHooks();
+}
+
+void
+GpuSim::clearTelemetryHooks()
+{
+    ctrEventsWarp_ = nullptr;
+    ctrEventsMem_ = nullptr;
+    ctrBlockWindow_ = nullptr;
+    ctrBlockDrain_ = nullptr;
+    ctrWarpWakes_ = nullptr;
+    instrSampler_ = nullptr;
+    txnSampler_ = nullptr;
+    smActiveTracks_.clear();
+}
+
+void
+GpuSim::setupTelemetry()
+{
+    telemetry::Telemetry &tel = *telemetry_;
+    tel.beginRun();
+    clearTelemetryHooks();
+
+    telemetry::CounterRegistry &reg = tel.counters();
+    ctrEventsWarp_ = &reg.counter("sim/events_warp");
+    ctrEventsMem_ = &reg.counter("sim/events_mem");
+    ctrBlockWindow_ = &reg.counter("warp/block_mlp_window");
+    ctrBlockDrain_ = &reg.counter("warp/block_drain");
+    ctrWarpWakes_ = &reg.counter("warp/wakes");
+
+    memory->attachTelemetry(tel);
+
+    telemetry::Timeline *timeline = tel.timeline();
+    if (timeline == nullptr)
+        return;
+    instrSampler_ = &tel.activity("instr", isa::numOpcodes);
+    txnSampler_ = &tel.activity("txn", isa::numTxnLevels);
+
+    using Kind = telemetry::TimelineTrack::Kind;
+    double sms_per_gpm = static_cast<double>(config_.smsPerGpm);
+    for (unsigned g = 0; g < config_.gpmCount; ++g) {
+        std::string prefix = "gpm" + std::to_string(g);
+        telemetry::TimelineTrack &busy = timeline->track(
+            prefix + "/sm_busy", Kind::Busy, sms_per_gpm);
+        smActiveTracks_.push_back(&timeline->track(
+            prefix + "/sm_active", Kind::Busy, sms_per_gpm));
+        for (unsigned s = 0; s < config_.smsPerGpm; ++s)
+            sms[g * config_.smsPerGpm + s].attachTelemetry(&busy);
+    }
+    if (network)
+        network->attachTelemetry(*timeline);
+}
 
 void
 GpuSim::pushWarp(noc::Tick when, std::uint32_t slot)
@@ -75,6 +135,8 @@ PerfResult
 GpuSim::run(const trace::KernelProfile &profile)
 {
     profile.validate();
+    mmgpu_assert(calendar.empty(),
+                 "stale calendar events at run() entry");
 
     // Fresh machine state per run so GpuSim is reusable.
     network = noc::makeNetwork(config_.topology, config_.gpmCount,
@@ -99,6 +161,11 @@ GpuSim::run(const trace::KernelProfile &profile)
     stallAccum = 0.0;
     occupiedAccum = 0.0;
     endOfRun = 0.0;
+
+    if (telemetry_)
+        setupTelemetry();
+    else
+        clearTelemetryHooks();
 
     trace::SegmentLayout layout(profile);
 
@@ -148,6 +215,10 @@ GpuSim::run(const trace::KernelProfile &profile)
             busyAccum += core.busyCycles();
             stallAccum += core.stallCycles();
             occupiedAccum += core.occupiedCycles();
+            if (!smActiveTracks_.empty() && core.everActive()) {
+                smActiveTracks_[core.gpm()]->addSpan(
+                    core.firstActiveAt(), core.lastActiveAt());
+            }
             core.reset();
         }
     }
@@ -178,6 +249,23 @@ GpuSim::run(const trace::KernelProfile &profile)
     result.l2SectorHits = memory->l2SectorHits();
     result.dramQueueing = memory->dramQueueing();
     result.dramBusy = memory->dramBusy();
+
+    if (telemetry_) {
+        telemetry::CounterRegistry &reg = telemetry_->counters();
+        reg.gauge("sim/end_cycles").set(endOfRun);
+        reg.gauge("sim/ipc").set(result.ipc());
+        reg.gauge("sim/sm_busy_cycles").set(busyAccum);
+        reg.gauge("sim/sm_stall_cycles").set(stallAccum);
+        reg.gauge("sim/sm_occupied_cycles").set(occupiedAccum);
+
+        telemetry::RunInfo info;
+        info.configName = config_.name;
+        info.workloadName = profile.name;
+        info.gpmCount = config_.gpmCount;
+        info.clockHz = config_.clock.frequency();
+        info.endCycles = endOfRun;
+        telemetry_->finalizeRun(info);
+    }
     return result;
 }
 
@@ -222,6 +310,7 @@ GpuSim::startWriteback(noc::Tick t, unsigned gpm,
     memCounters.txns[static_cast<std::size_t>(
         isa::TxnLevel::DramToL2)] += sectors;
     memCounters.writebackSectors += sectors;
+    noteTxn(t, isa::TxnLevel::DramToL2, sectors);
 
     unsigned home = memory->pageTouch(line_addr, gpm);
     if (home == gpm || network == nullptr) {
@@ -261,6 +350,7 @@ GpuSim::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
     if (!is_store) {
         memCounters.txns[static_cast<std::size_t>(
             isa::TxnLevel::L1ToReg)] += 1;
+        noteTxn(t, isa::TxnLevel::L1ToReg, 1.0);
     }
 
     std::uint32_t access_index = invalidIndex;
@@ -293,6 +383,7 @@ GpuSim::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
             memory->nocAcquire(gpm, t, bytes);
             memCounters.txns[static_cast<std::size_t>(
                 isa::TxnLevel::L2ToL1)] += n;
+            noteTxn(t, isa::TxnLevel::L2ToL1, n);
 
             std::uint32_t task_index = allocTask();
             MemTask &task = taskPool[task_index];
@@ -330,6 +421,7 @@ GpuSim::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
         memCounters.l1SectorMisses += miss;
         memCounters.txns[static_cast<std::size_t>(
             isa::TxnLevel::L2ToL1)] += miss;
+        noteTxn(t, isa::TxnLevel::L2ToL1, miss);
         double bytes = miss * static_cast<double>(isa::sectorBytes);
         memory->nocAcquire(gpm, t, bytes);
 
@@ -368,10 +460,14 @@ GpuSim::completePart(std::uint32_t access_index, noc::Tick t)
 
     if (slot.blocked == WarpBlock::Window) {
         slot.blocked = WarpBlock::None;
+        if (ctrWarpWakes_)
+            ctrWarpWakes_->add();
         pushWarp(t, warp_slot);
     } else if (slot.blocked == WarpBlock::Drain &&
                slot.outstanding == 0) {
         slot.blocked = WarpBlock::None;
+        if (ctrWarpWakes_)
+            ctrWarpWakes_->add();
         pushWarp(t, warp_slot);
     }
 }
@@ -409,6 +505,7 @@ GpuSim::stepMem(std::uint32_t task_index, noc::Tick t)
         memCounters.l2SectorMisses += miss;
         memCounters.txns[static_cast<std::size_t>(
             isa::TxnLevel::DramToL2)] += miss;
+        noteTxn(t, isa::TxnLevel::DramToL2, miss);
 
         task.homeGpm = memory->pageTouch(task.lineAddr, task.reqGpm);
         if (task.homeGpm == task.reqGpm || network == nullptr) {
@@ -525,15 +622,19 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
     switch (op.kind) {
       case isa::TraceOpKind::Compute: {
         instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noteInstr(t, op.op);
         noc::Tick issued = core.acquireIssue(t, isa::issueCost(op.op));
         pushWarp(issued + static_cast<double>(isa::defaultLatency(op.op)),
                  slot_index);
         break;
       }
       case isa::TraceOpKind::ComputeBlock: {
-        for (const auto &mix : profile.compute)
+        for (const auto &mix : profile.compute) {
             instrs_[static_cast<std::size_t>(mix.op)] +=
                 mix.perIteration;
+            noteInstr(t, mix.op,
+                      static_cast<double>(mix.perIteration));
+        }
         noc::Tick issued = core.acquireIssue(t, op.blockSlots());
         pushWarp(issued + static_cast<double>(op.blockLatency()),
                  slot_index);
@@ -544,6 +645,8 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
             instrs_[static_cast<std::size_t>(op.op)] += 1;
             memCounters.txns[static_cast<std::size_t>(
                 isa::TxnLevel::SharedToReg)] += 1;
+            noteInstr(t, op.op);
+            noteTxn(t, isa::TxnLevel::SharedToReg, 1.0);
             noc::Tick issued = core.acquireIssue(t, 1);
             pushWarp(issued +
                          static_cast<double>(
@@ -557,9 +660,12 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
             slot.replay = op;
             slot.blocked = WarpBlock::Window;
             core.noteActive(t);
+            if (ctrBlockWindow_)
+                ctrBlockWindow_->add();
             break;
         }
         instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noteInstr(t, op.op);
         noc::Tick issued = core.acquireIssue(t, 1);
         startGlobalAccess(issued, slot_index, slot.sm, gpm, op.addr,
                           op.sectors, false);
@@ -568,6 +674,7 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
       }
       case isa::TraceOpKind::Store: {
         instrs_[static_cast<std::size_t>(op.op)] += 1;
+        noteInstr(t, op.op);
         noc::Tick issued = core.acquireIssue(t, 1);
         startGlobalAccess(issued, invalidIndex, slot.sm, gpm, op.addr,
                           op.sectors, true);
@@ -578,6 +685,8 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
         if (slot.outstanding > 0) {
             slot.blocked = WarpBlock::Drain;
             core.noteActive(t);
+            if (ctrBlockDrain_)
+                ctrBlockDrain_->add();
         } else {
             pushWarp(t, slot_index);
         }
@@ -632,6 +741,8 @@ GpuSim::runLaunch(const trace::KernelProfile &profile,
         Event event = calendar.top();
         calendar.pop();
         last = std::max(last, event.when);
+        if (ctrEventsWarp_)
+            (event.isMem ? ctrEventsMem_ : ctrEventsWarp_)->add();
         if (event.isMem)
             stepMem(event.index, event.when);
         else

@@ -34,6 +34,7 @@
 #include "sim/perf_result.hh"
 #include "sm/cta_scheduler.hh"
 #include "sm/sm_core.hh"
+#include "telemetry/telemetry.hh"
 #include "trace/kernel_profile.hh"
 #include "trace/warp_trace.hh"
 
@@ -54,14 +55,30 @@ class GpuSim
 
     /**
      * Run @p profile (all of its launches) to completion.
-     * The machine is rebuilt first, so a GpuSim is reusable across
-     * workloads.
+     *
+     * Every call rebuilds the machine (network, memory hierarchy,
+     * SMs) and zeroes all accumulators before simulating, so a
+     * GpuSim is reusable across workloads and across repeated runs
+     * of the same workload: two consecutive run() calls with the
+     * same profile produce identical PerfResults.
+     *
      * @return the performance result.
      */
     PerfResult run(const trace::KernelProfile &profile);
 
     /** The configuration this machine was built from. */
     const GpuConfig &config() const { return config_; }
+
+    /**
+     * Mirror this engine's activity into @p telemetry on every
+     * subsequent run() (nullptr detaches). The engine calls
+     * Telemetry::beginRun()/finalizeRun() itself, registers its
+     * counters/tracks after rebuilding the machine, and wires the
+     * memory system and network in turn. The Telemetry object must
+     * outlive the GpuSim (or be detached first). When detached —
+     * the default — every hook compiles down to a branch-on-null.
+     */
+    void attachTelemetry(telemetry::Telemetry *telemetry);
 
   private:
     static constexpr std::uint32_t invalidIndex = 0xffffffffu;
@@ -172,6 +189,30 @@ class GpuSim
     /** A load part finished; notify its access and maybe its warp. */
     void completePart(std::uint32_t access_index, noc::Tick t);
 
+    /** Register counters/tracks for this run's fresh machine. */
+    void setupTelemetry();
+
+    /** Null all cached telemetry handles (detached state). */
+    void clearTelemetryHooks();
+
+    /** Record @p amount txns of @p level at time @p t (hook). */
+    void
+    noteTxn(noc::Tick t, isa::TxnLevel level, double amount)
+    {
+        if (txnSampler_)
+            txnSampler_->addAt(t, static_cast<std::size_t>(level),
+                               amount);
+    }
+
+    /** Record one warp instruction of @p op at time @p t (hook). */
+    void
+    noteInstr(noc::Tick t, isa::Opcode op, double amount = 1.0)
+    {
+        if (instrSampler_)
+            instrSampler_->addAt(t, static_cast<std::size_t>(op),
+                                 amount);
+    }
+
     GpuConfig config_;
     std::unique_ptr<noc::InterGpmNetwork> network;
     std::unique_ptr<mem::MemSystem> memory;
@@ -202,6 +243,19 @@ class GpuSim
     double stallAccum = 0.0;
     double occupiedAccum = 0.0;
     noc::Tick endOfRun = 0.0;
+
+    // Telemetry. telemetry_ is the attached sink (nullable); the
+    // rest are cached handles refreshed by setupTelemetry() each
+    // run, null while detached so hooks are branch-on-null.
+    telemetry::Telemetry *telemetry_ = nullptr;
+    telemetry::Counter *ctrEventsWarp_ = nullptr;
+    telemetry::Counter *ctrEventsMem_ = nullptr;
+    telemetry::Counter *ctrBlockWindow_ = nullptr;
+    telemetry::Counter *ctrBlockDrain_ = nullptr;
+    telemetry::Counter *ctrWarpWakes_ = nullptr;
+    telemetry::ActivitySampler *instrSampler_ = nullptr;
+    telemetry::ActivitySampler *txnSampler_ = nullptr;
+    std::vector<telemetry::TimelineTrack *> smActiveTracks_;
 };
 
 } // namespace mmgpu::sim

@@ -120,6 +120,26 @@ class SmCore
         return everActive_ ? lastActive_ - firstActive_ : 0.0;
     }
 
+    /** True once the SM has seen any activity this launch. */
+    bool everActive() const { return everActive_; }
+
+    /** Start of the active window (valid when everActive()). */
+    noc::Tick firstActiveAt() const { return firstActive_; }
+
+    /** End of the active window (valid when everActive()). */
+    noc::Tick lastActiveAt() const { return lastActive_; }
+
+    /**
+     * Mirror the issue pipeline's busy intervals into @p busy
+     * (nullptr detaches). Several SMs of one GPM may share a track;
+     * the engine attaches after building the machine each run.
+     */
+    void
+    attachTelemetry(telemetry::TimelineTrack *busy)
+    {
+        issue.setTelemetrySink(busy);
+    }
+
     /** Reset all timing state between launches/runs. */
     void
     reset()

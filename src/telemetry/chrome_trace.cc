@@ -1,0 +1,139 @@
+#include "telemetry/chrome_trace.hh"
+
+#include <fstream>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mmgpu::telemetry
+{
+
+namespace
+{
+
+/** Top-level path segment ("gpm0/hbm" -> "gpm0"). */
+std::string
+groupOf(const std::string &path)
+{
+    auto slash = path.find('/');
+    return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+/** Path without its top-level segment ("gpm0/hbm" -> "hbm"). */
+std::string
+leafOf(const std::string &path)
+{
+    auto slash = path.find('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+} // namespace
+
+JsonValue
+chromeTraceJson(const Telemetry &tel)
+{
+    const RunInfo &info = tel.runInfo();
+    double us_per_cycle = 1.0e6 / info.clockHz;
+
+    JsonValue events = JsonValue::array();
+
+    const Timeline *tl = tel.timeline();
+    std::map<std::string, unsigned> pids;
+    if (tl) {
+        // Stable pid per top-level group, in sorted order.
+        for (const TimelineTrack *track : tl->tracks()) {
+            std::string group = groupOf(track->path());
+            if (!pids.count(group)) {
+                unsigned pid =
+                    static_cast<unsigned>(pids.size());
+                pids.emplace(group, pid);
+            }
+        }
+        for (const auto &[group, pid] : pids) {
+            JsonValue meta = JsonValue::object();
+            meta.set("name", "process_name");
+            meta.set("ph", "M");
+            meta.set("pid", pid);
+            meta.set("args",
+                     JsonValue::object().set("name", group));
+            events.push(std::move(meta));
+        }
+
+        // One counter series per track, one sample per bin, plus a
+        // closing sample at the run end so the last step renders.
+        for (const TimelineTrack *track : tl->tracks()) {
+            unsigned pid = pids.at(groupOf(track->path()));
+            std::string name = leafOf(track->path());
+            for (std::size_t b = 0; b < track->binCount(); ++b) {
+                JsonValue event = JsonValue::object();
+                event.set("name", name);
+                event.set("ph", "C");
+                event.set("pid", pid);
+                event.set("ts", static_cast<double>(b) * tl->dt() *
+                                    us_per_cycle);
+                event.set("args",
+                          JsonValue::object().set(
+                              "value", track->valueAt(b)));
+                events.push(std::move(event));
+            }
+            if (track->binCount() > 0) {
+                JsonValue event = JsonValue::object();
+                event.set("name", name);
+                event.set("ph", "C");
+                event.set("pid", pid);
+                event.set("ts", tl->duration() * us_per_cycle);
+                event.set("args", JsonValue::object().set(
+                                      "value", 0.0));
+                events.push(std::move(event));
+            }
+        }
+    }
+
+    // Registry counters/gauges as one global instant event.
+    JsonValue totals = JsonValue::object();
+    for (const Counter *counter : tel.counters().counters())
+        totals.set(counter->path, counter->value);
+    for (const Gauge *gauge : tel.counters().gauges())
+        totals.set(gauge->path, gauge->value);
+    JsonValue instant = JsonValue::object();
+    instant.set("name", "counters");
+    instant.set("ph", "I");
+    instant.set("s", "g");
+    instant.set("pid", 0);
+    instant.set("ts", info.endCycles * us_per_cycle);
+    instant.set("args", std::move(totals));
+    events.push(std::move(instant));
+
+    JsonValue doc = JsonValue::object();
+    doc.set("displayTimeUnit", "ms");
+    doc.set("traceEvents", std::move(events));
+    JsonValue other = JsonValue::object();
+    other.set("config", info.configName);
+    other.set("workload", info.workloadName);
+    other.set("gpmCount", info.gpmCount);
+    other.set("clockHz", info.clockHz);
+    other.set("durationCycles", info.endCycles);
+    if (tl) {
+        other.set("timelineDtCycles", tl->dt());
+        other.set("timelineBins",
+                  static_cast<unsigned long long>(tl->binCount()));
+    }
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+bool
+writeChromeTrace(const Telemetry &tel, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write Chrome trace to ", path);
+        return false;
+    }
+    chromeTraceJson(tel).write(out);
+    out << "\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace mmgpu::telemetry

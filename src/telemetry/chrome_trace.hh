@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Chrome-trace (chrome://tracing / Perfetto "JSON Object Format")
+ * export of a Telemetry collection.
+ *
+ * Every timeline track becomes one counter series ("ph":"C"), grouped
+ * into a trace "process" per top-level path segment — so a 4-GPM run
+ * shows gpm0..gpm3 plus a link group, one counter track each, exactly
+ * the per-GPM / per-link lanes the paper's Figure 8/10 analyses need.
+ * Registry counters and gauges are attached as one global instant
+ * event at the end of the run.
+ *
+ * Timestamps are emitted in microseconds of simulated time (the
+ * format's native unit), converted from core cycles with the run's
+ * clock frequency.
+ */
+
+#ifndef MMGPU_TELEMETRY_CHROME_TRACE_HH
+#define MMGPU_TELEMETRY_CHROME_TRACE_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mmgpu::telemetry
+{
+
+/** Build the full Chrome-trace JSON document for @p tel. */
+JsonValue chromeTraceJson(const Telemetry &tel);
+
+/**
+ * Write chromeTraceJson(@p tel) to @p path.
+ * @return true on success (failure warns, mirroring CsvWriter).
+ */
+bool writeChromeTrace(const Telemetry &tel, const std::string &path);
+
+} // namespace mmgpu::telemetry
+
+#endif // MMGPU_TELEMETRY_CHROME_TRACE_HH

@@ -1,0 +1,95 @@
+#include "telemetry/counter_registry.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::telemetry
+{
+
+Counter &
+CounterRegistry::counter(const std::string &path)
+{
+    mmgpu_assert(!path.empty(), "telemetry counter with empty path");
+    auto it = counterIndex.find(path);
+    if (it != counterIndex.end())
+        return *it->second;
+    counterStore.push_back(Counter{path, 0.0});
+    Counter *created = &counterStore.back();
+    counterIndex.emplace(path, created);
+    return *created;
+}
+
+Gauge &
+CounterRegistry::gauge(const std::string &path)
+{
+    mmgpu_assert(!path.empty(), "telemetry gauge with empty path");
+    auto it = gaugeIndex.find(path);
+    if (it != gaugeIndex.end())
+        return *it->second;
+    gaugeStore.push_back(Gauge{path, 0.0, 0.0});
+    Gauge *created = &gaugeStore.back();
+    gaugeIndex.emplace(path, created);
+    return *created;
+}
+
+const Counter *
+CounterRegistry::findCounter(const std::string &path) const
+{
+    auto it = counterIndex.find(path);
+    return it == counterIndex.end() ? nullptr : it->second;
+}
+
+const Gauge *
+CounterRegistry::findGauge(const std::string &path) const
+{
+    auto it = gaugeIndex.find(path);
+    return it == gaugeIndex.end() ? nullptr : it->second;
+}
+
+std::vector<const Counter *>
+CounterRegistry::counters() const
+{
+    std::vector<const Counter *> sorted;
+    sorted.reserve(counterIndex.size());
+    for (const auto &[path, counter] : counterIndex)
+        sorted.push_back(counter);
+    return sorted;
+}
+
+std::vector<const Gauge *>
+CounterRegistry::gauges() const
+{
+    std::vector<const Gauge *> sorted;
+    sorted.reserve(gaugeIndex.size());
+    for (const auto &[path, gauge] : gaugeIndex)
+        sorted.push_back(gauge);
+    return sorted;
+}
+
+std::vector<const Counter *>
+CounterRegistry::countersUnder(const std::string &prefix) const
+{
+    std::vector<const Counter *> matched;
+    for (auto it = counterIndex.lower_bound(prefix);
+         it != counterIndex.end(); ++it) {
+        const std::string &path = it->first;
+        if (path.compare(0, prefix.size(), prefix) != 0)
+            break;
+        if (path.size() == prefix.size() ||
+            path[prefix.size()] == '/')
+            matched.push_back(it->second);
+    }
+    return matched;
+}
+
+void
+CounterRegistry::reset()
+{
+    for (auto &counter : counterStore)
+        counter.value = 0.0;
+    for (auto &gauge : gaugeStore) {
+        gauge.value = 0.0;
+        gauge.peak = 0.0;
+    }
+}
+
+} // namespace mmgpu::telemetry

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Named run-time counters and gauges for the telemetry subsystem.
+ *
+ * The registry is handle-based so the hot paths never pay a string
+ * lookup: instrumentation sites resolve a Counter/Gauge pointer once
+ * (when telemetry is attached) and afterwards an update is a single
+ * add through that pointer. When telemetry is disabled the sites hold
+ * a null pointer and the whole hook compiles down to a branch-on-null.
+ *
+ * Names are hierarchical slash-separated paths ("gpm0/sm3/issue"), so
+ * exporters can group per-GPM / per-link series and aggregations can
+ * select subtrees by prefix.
+ */
+
+#ifndef MMGPU_TELEMETRY_COUNTER_REGISTRY_HH
+#define MMGPU_TELEMETRY_COUNTER_REGISTRY_HH
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmgpu::telemetry
+{
+
+/**
+ * A monotonically increasing event counter. The value is a double so
+ * fractional quantities (queueing cycles, bytes over fractional
+ * ticks) accumulate without truncation; event counts stay exact well
+ * past 2^52 events.
+ */
+struct Counter
+{
+    std::string path;
+    double value = 0.0;
+
+    /** Accumulate @p delta (monotonic: callers only ever add). */
+    void add(double delta = 1.0) { value += delta; }
+};
+
+/** An instantaneous last-value-wins gauge with a running peak. */
+struct Gauge
+{
+    std::string path;
+    double value = 0.0;
+    double peak = 0.0;
+
+    void
+    set(double v)
+    {
+        value = v;
+        peak = std::max(peak, v);
+    }
+};
+
+/**
+ * Get-or-create registry of counters and gauges. Returned references
+ * are stable for the registry's lifetime (deque storage), so
+ * instrumentation sites may cache raw pointers across a whole run.
+ */
+class CounterRegistry
+{
+  public:
+    /** Get or create the counter at @p path (must be non-empty). */
+    Counter &counter(const std::string &path);
+
+    /** Get or create the gauge at @p path (must be non-empty). */
+    Gauge &gauge(const std::string &path);
+
+    /** @return the counter at @p path, or nullptr if never created. */
+    const Counter *findCounter(const std::string &path) const;
+
+    /** @return the gauge at @p path, or nullptr if never created. */
+    const Gauge *findGauge(const std::string &path) const;
+
+    /** All counters in path-sorted order (for deterministic export). */
+    std::vector<const Counter *> counters() const;
+
+    /** All gauges in path-sorted order. */
+    std::vector<const Gauge *> gauges() const;
+
+    /**
+     * Counters whose path starts with "@p prefix/" (or equals
+     * @p prefix), path-sorted — subtree aggregation helper.
+     */
+    std::vector<const Counter *>
+    countersUnder(const std::string &prefix) const;
+
+    /** Zero every counter and gauge, keeping all registrations (and
+     *  therefore every cached handle) valid. */
+    void reset();
+
+  private:
+    std::deque<Counter> counterStore;
+    std::deque<Gauge> gaugeStore;
+    std::map<std::string, Counter *> counterIndex;
+    std::map<std::string, Gauge *> gaugeIndex;
+};
+
+} // namespace mmgpu::telemetry
+
+#endif // MMGPU_TELEMETRY_COUNTER_REGISTRY_HH

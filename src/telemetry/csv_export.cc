@@ -1,0 +1,81 @@
+#include "telemetry/csv_export.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mmgpu::telemetry
+{
+
+namespace
+{
+
+std::string
+formatNumber(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+} // namespace
+
+CsvWriter
+timelineCsv(const Telemetry &tel)
+{
+    const Timeline *tl = tel.timeline();
+    mmgpu_assert(tl != nullptr,
+                 "timeline CSV requested with sampling disabled");
+    auto tracks = tl->tracks();
+
+    std::vector<std::string> header;
+    header.reserve(tracks.size() + 1);
+    header.push_back("t_us");
+    for (const TimelineTrack *track : tracks)
+        header.push_back(track->path());
+
+    CsvWriter csv(std::move(header));
+    double us_per_cycle = 1.0e6 / tel.runInfo().clockHz;
+    for (std::size_t b = 0; b < tl->binCount(); ++b) {
+        std::vector<std::string> row;
+        row.reserve(tracks.size() + 1);
+        row.push_back(formatNumber(static_cast<double>(b) *
+                                   tl->dt() * us_per_cycle));
+        for (const TimelineTrack *track : tracks)
+            row.push_back(formatNumber(track->valueAt(b)));
+        csv.addRow(std::move(row));
+    }
+    return csv;
+}
+
+CsvWriter
+countersCsv(const Telemetry &tel)
+{
+    CsvWriter csv({"kind", "path", "value", "peak"});
+    for (const Counter *counter : tel.counters().counters())
+        csv.addRow({"counter", counter->path,
+                    formatNumber(counter->value), ""});
+    for (const Gauge *gauge : tel.counters().gauges())
+        csv.addRow({"gauge", gauge->path,
+                    formatNumber(gauge->value),
+                    formatNumber(gauge->peak)});
+    return csv;
+}
+
+bool
+writeTimelineCsv(const Telemetry &tel, const std::string &path)
+{
+    if (tel.timeline() == nullptr) {
+        warn("no timeline recorded; not writing ", path);
+        return false;
+    }
+    return timelineCsv(tel).writeTo(path);
+}
+
+bool
+writeCountersCsv(const Telemetry &tel, const std::string &path)
+{
+    return countersCsv(tel).writeTo(path);
+}
+
+} // namespace mmgpu::telemetry

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CSV export of a Telemetry collection via the common/csv helpers.
+ *
+ * The timeline is written wide — one time column plus one column per
+ * track, one row per bin — which is the layout the terminal sparkline
+ * viewer (examples/timeline_viewer) and any spreadsheet consume
+ * directly. Counters/gauges are written long (kind,path,value,peak).
+ */
+
+#ifndef MMGPU_TELEMETRY_CSV_EXPORT_HH
+#define MMGPU_TELEMETRY_CSV_EXPORT_HH
+
+#include <string>
+
+#include "common/csv.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mmgpu::telemetry
+{
+
+/**
+ * Build the wide timeline CSV for @p tel: header "t_us" followed by
+ * every track path in sorted order; one row per bin with the bin
+ * start time in simulated microseconds and each track's exported
+ * value. The timeline must be enabled.
+ */
+CsvWriter timelineCsv(const Telemetry &tel);
+
+/** Build the long counters CSV: kind,path,value,peak. */
+CsvWriter countersCsv(const Telemetry &tel);
+
+/** Write timelineCsv(@p tel) to @p path; false (with a warning) on
+ *  failure or when the timeline is disabled. */
+bool writeTimelineCsv(const Telemetry &tel, const std::string &path);
+
+/** Write countersCsv(@p tel) to @p path. */
+bool writeCountersCsv(const Telemetry &tel, const std::string &path);
+
+} // namespace mmgpu::telemetry
+
+#endif // MMGPU_TELEMETRY_CSV_EXPORT_HH

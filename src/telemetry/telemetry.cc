@@ -1,0 +1,61 @@
+#include "telemetry/telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::telemetry
+{
+
+Telemetry::Telemetry(TelemetryConfig config) : config_(config)
+{
+    if (timelineEnabled())
+        tl.emplace(config_.timelineDtCycles);
+}
+
+ActivitySampler &
+Telemetry::activity(const std::string &name, std::size_t channels)
+{
+    mmgpu_assert(timelineEnabled(),
+                 "activity sampler '", name,
+                 "' requested with the timeline disabled");
+    auto it = samplers.find(name);
+    if (it != samplers.end()) {
+        mmgpu_assert(it->second.channels() == channels,
+                     "activity sampler '", name,
+                     "' re-registered with a different width");
+        return it->second;
+    }
+    return samplers
+        .emplace(name,
+                 ActivitySampler(config_.timelineDtCycles, channels))
+        .first->second;
+}
+
+const ActivitySampler *
+Telemetry::findActivity(const std::string &name) const
+{
+    auto it = samplers.find(name);
+    return it == samplers.end() ? nullptr : &it->second;
+}
+
+void
+Telemetry::beginRun()
+{
+    registry.reset();
+    if (timelineEnabled())
+        tl.emplace(config_.timelineDtCycles);
+    samplers.clear();
+    info_ = RunInfo{};
+}
+
+void
+Telemetry::finalizeRun(const RunInfo &info)
+{
+    info_ = info;
+    if (tl) {
+        tl->finalize(info.endCycles);
+        for (auto &[name, sampler] : samplers)
+            sampler.clampTo(tl->binCount());
+    }
+}
+
+} // namespace mmgpu::telemetry

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Telemetry collector facade.
+ *
+ * A Telemetry object is the single handle the simulation engine, the
+ * harness, and the exporters share. It owns
+ *
+ *  - a CounterRegistry of named event counters and gauges (always
+ *    active while attached),
+ *  - an optional Timeline of per-GPM / per-link binned time series
+ *    (active when the configured sampling interval is > 0), and
+ *  - named ActivitySamplers for dense per-category series (per-opcode
+ *    instruction activity, per-level transaction activity) that the
+ *    harness turns into the power timeline after a run.
+ *
+ * Telemetry is strictly opt-in: a simulator without an attached
+ * collector carries only null hook pointers, so the disabled cost of
+ * every instrumentation site is one branch-on-null. One Telemetry
+ * instance holds the data of the *last* run it observed; the engine
+ * calls beginRun() to clear it before refilling.
+ */
+
+#ifndef MMGPU_TELEMETRY_TELEMETRY_HH
+#define MMGPU_TELEMETRY_TELEMETRY_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "telemetry/counter_registry.hh"
+#include "telemetry/timeline.hh"
+
+namespace mmgpu::telemetry
+{
+
+/** Collector configuration. */
+struct TelemetryConfig
+{
+    /**
+     * Timeline bin width in core cycles; 0 records counters only
+     * (no time series, no activity samplers).
+     */
+    double timelineDtCycles = 0.0;
+};
+
+/** Identification of the run a collector observed. */
+struct RunInfo
+{
+    std::string configName;
+    std::string workloadName;
+    unsigned gpmCount = 1;
+    double clockHz = 1.0e9;
+    Tick endCycles = 0.0;
+};
+
+/** The shared collector handle. */
+class Telemetry
+{
+  public:
+    explicit Telemetry(TelemetryConfig config);
+
+    const TelemetryConfig &config() const { return config_; }
+
+    /** True when time-series sampling is configured. */
+    bool timelineEnabled() const { return config_.timelineDtCycles > 0.0; }
+
+    CounterRegistry &counters() { return registry; }
+    const CounterRegistry &counters() const { return registry; }
+
+    /** The timeline, or nullptr when sampling is disabled. */
+    Timeline *timeline() { return tl ? &*tl : nullptr; }
+    const Timeline *timeline() const { return tl ? &*tl : nullptr; }
+
+    /**
+     * Get or create the activity sampler named @p name with
+     * @p channels channels. Only valid while the timeline is enabled;
+     * the channel count is fixed on first creation.
+     */
+    ActivitySampler &activity(const std::string &name,
+                              std::size_t channels);
+
+    /** @return the sampler named @p name, or nullptr. */
+    const ActivitySampler *findActivity(const std::string &name) const;
+
+    /**
+     * Clear all recorded data for a fresh run: counters are zeroed
+     * (registrations survive), the timeline and activity samplers are
+     * rebuilt empty, and the run info is reset.
+     */
+    void beginRun();
+
+    /**
+     * Freeze the run: the timeline and every activity sampler are
+     * clamped to the common bin count for @p info.endCycles, and the
+     * run identification is recorded for the exporters.
+     */
+    void finalizeRun(const RunInfo &info);
+
+    /** Identification of the recorded run. */
+    const RunInfo &runInfo() const { return info_; }
+
+  private:
+    TelemetryConfig config_;
+    CounterRegistry registry;
+    std::optional<Timeline> tl;
+    std::map<std::string, ActivitySampler> samplers;
+    RunInfo info_;
+};
+
+} // namespace mmgpu::telemetry
+
+#endif // MMGPU_TELEMETRY_TELEMETRY_HH

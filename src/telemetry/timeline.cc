@@ -1,0 +1,216 @@
+#include "telemetry/timeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mmgpu::telemetry
+{
+
+TimelineTrack::TimelineTrack(std::string path, Kind kind, double dt,
+                             double capacity)
+    : path_(std::move(path)), kind_(kind), dt_(dt),
+      capacity_(capacity)
+{
+    mmgpu_assert(dt_ > 0.0, "timeline track '", path_,
+                 "' with non-positive bin width");
+    mmgpu_assert(capacity_ > 0.0, "timeline track '", path_,
+                 "' with non-positive capacity");
+}
+
+std::size_t
+TimelineTrack::binFor(Tick t) const
+{
+    if (t <= 0.0)
+        return 0;
+    return static_cast<std::size_t>(t / dt_);
+}
+
+void
+TimelineTrack::grow(std::size_t bin)
+{
+    if (bin >= bins_.size())
+        bins_.resize(bin + 1, 0.0);
+}
+
+void
+TimelineTrack::addSpan(Tick begin, Tick end, double weight)
+{
+    begin = std::max(begin, 0.0);
+    if (end <= begin)
+        return;
+    std::size_t first = binFor(begin);
+    std::size_t last = binFor(end);
+    // An interval ending exactly on a bin boundary contributes
+    // nothing to the bin that starts there.
+    if (last > first && end == static_cast<double>(last) * dt_)
+        --last;
+    grow(last);
+    if (first == last) {
+        bins_[first] += (end - begin) * weight;
+        return;
+    }
+    bins_[first] +=
+        (static_cast<double>(first + 1) * dt_ - begin) * weight;
+    for (std::size_t b = first + 1; b < last; ++b)
+        bins_[b] += dt_ * weight;
+    bins_[last] +=
+        (end - static_cast<double>(last) * dt_) * weight;
+}
+
+void
+TimelineTrack::addAt(Tick t, double amount)
+{
+    std::size_t bin = binFor(t);
+    grow(bin);
+    bins_[bin] += amount;
+}
+
+void
+TimelineTrack::setBin(std::size_t bin, double value)
+{
+    grow(bin);
+    bins_[bin] = value;
+}
+
+double
+TimelineTrack::rawBin(std::size_t bin) const
+{
+    return bin < bins_.size() ? bins_[bin] : 0.0;
+}
+
+double
+TimelineTrack::valueAt(std::size_t bin) const
+{
+    double raw = rawBin(bin);
+    switch (kind_) {
+      case Kind::Busy:
+        return raw / (capacity_ * dt_);
+      case Kind::Rate:
+        return raw / dt_;
+      case Kind::Level:
+        return raw;
+      default:
+        mmgpu_panic("bad track kind");
+    }
+}
+
+void
+TimelineTrack::padTo(std::size_t bin_count)
+{
+    if (bin_count > bins_.size())
+        bins_.resize(bin_count, 0.0);
+}
+
+void
+TimelineTrack::clampTo(std::size_t bin_count)
+{
+    if (bin_count == 0) {
+        bins_.clear();
+        return;
+    }
+    if (bins_.size() > bin_count) {
+        for (std::size_t b = bin_count; b < bins_.size(); ++b)
+            bins_[bin_count - 1] += bins_[b];
+        bins_.resize(bin_count);
+    }
+    padTo(bin_count);
+}
+
+Timeline::Timeline(double dt_cycles) : dt_(dt_cycles)
+{
+    mmgpu_assert(dt_ > 0.0, "timeline with non-positive bin width");
+}
+
+TimelineTrack &
+Timeline::track(const std::string &path, TimelineTrack::Kind kind,
+                double capacity)
+{
+    auto it = index.find(path);
+    if (it != index.end())
+        return *it->second;
+    store.emplace_back(path, kind, dt_, capacity);
+    TimelineTrack *created = &store.back();
+    index.emplace(path, created);
+    return *created;
+}
+
+const TimelineTrack *
+Timeline::find(const std::string &path) const
+{
+    auto it = index.find(path);
+    return it == index.end() ? nullptr : it->second;
+}
+
+void
+Timeline::finalize(Tick end)
+{
+    end_ = std::max(end, 0.0);
+    binCount_ =
+        end_ > 0.0
+            ? static_cast<std::size_t>(std::ceil(end_ / dt_))
+            : 0;
+    for (auto &trk : store)
+        trk.clampTo(binCount_);
+}
+
+std::vector<const TimelineTrack *>
+Timeline::tracks() const
+{
+    std::vector<const TimelineTrack *> sorted;
+    sorted.reserve(index.size());
+    for (const auto &[path, trk] : index)
+        sorted.push_back(trk);
+    return sorted;
+}
+
+ActivitySampler::ActivitySampler(double dt, std::size_t channels)
+    : dt_(dt), channels_(channels)
+{
+    mmgpu_assert(dt_ > 0.0,
+                 "activity sampler with non-positive bin width");
+    mmgpu_assert(channels_ > 0, "activity sampler with no channels");
+}
+
+void
+ActivitySampler::addAt(Tick t, std::size_t channel, double amount)
+{
+    mmgpu_assert(channel < channels_, "bad activity channel");
+    std::size_t bin =
+        t <= 0.0 ? 0 : static_cast<std::size_t>(t / dt_);
+    if (bin >= bins_) {
+        bins_ = bin + 1;
+        data_.resize(bins_ * channels_, 0.0);
+    }
+    data_[bin * channels_ + channel] += amount;
+}
+
+double
+ActivitySampler::at(std::size_t bin, std::size_t channel) const
+{
+    mmgpu_assert(channel < channels_, "bad activity channel");
+    if (bin >= bins_)
+        return 0.0;
+    return data_[bin * channels_ + channel];
+}
+
+void
+ActivitySampler::clampTo(std::size_t bin_count)
+{
+    if (bin_count == 0) {
+        bins_ = 0;
+        data_.clear();
+        return;
+    }
+    if (bins_ > bin_count) {
+        for (std::size_t b = bin_count; b < bins_; ++b)
+            for (std::size_t c = 0; c < channels_; ++c)
+                data_[(bin_count - 1) * channels_ + c] +=
+                    data_[b * channels_ + c];
+    }
+    bins_ = bin_count;
+    data_.resize(bins_ * channels_, 0.0);
+}
+
+} // namespace mmgpu::telemetry

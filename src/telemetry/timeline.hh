@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Uniformly binned per-resource time series for the telemetry
+ * subsystem.
+ *
+ * The simulator is event driven: resources are busy over arbitrary
+ * fractional-cycle intervals, not at fixed sampling points. A
+ * TimelineTrack therefore accumulates contributions into fixed-width
+ * simulated-time bins — a busy interval is split exactly across the
+ * bins it overlaps — so the exported series is an *exact* integral
+ * per bin rather than a point sample that could alias against the
+ * event schedule. Bin i covers [i*dt, (i+1)*dt) in core cycles.
+ *
+ * Three track kinds cover everything the exporters need:
+ *  - Busy:  addSpan() of busy intervals; normalized to a utilization
+ *           in [0, capacity]/capacity where capacity is the number of
+ *           servers feeding the track (per-GPM SM aggregation).
+ *  - Rate:  addAt() point events; normalized to events per cycle.
+ *  - Level: setBin() of externally computed values (e.g. watts from
+ *           the calibrated energy model); exported verbatim.
+ */
+
+#ifndef MMGPU_TELEMETRY_TIMELINE_HH
+#define MMGPU_TELEMETRY_TIMELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmgpu::telemetry
+{
+
+/** Simulation timestamps in (fractional) core cycles; mirrors
+ *  noc::Tick without depending on the noc library. */
+using Tick = double;
+
+/** One named, uniformly binned time series. */
+class TimelineTrack
+{
+  public:
+    /** How raw bin contents map to exported values. */
+    enum class Kind : std::uint8_t
+    {
+        Busy,   //!< busy-time integral; exported as utilization
+        Rate,   //!< event accumulation; exported as events/cycle
+        Level,  //!< externally set level (e.g. watts); exported raw
+    };
+
+    /**
+     * @param path Hierarchical series name ("gpm0/hbm").
+     * @param kind Track kind.
+     * @param dt Bin width in cycles (> 0).
+     * @param capacity Number of unit-rate servers aggregated into
+     *        this track (Busy normalization divisor).
+     */
+    TimelineTrack(std::string path, Kind kind, double dt,
+                  double capacity = 1.0);
+
+    const std::string &path() const { return path_; }
+    Kind kind() const { return kind_; }
+    double dt() const { return dt_; }
+    double capacity() const { return capacity_; }
+
+    /**
+     * Accumulate the interval [@p begin, @p end) weighted by
+     * @p weight, split exactly across the bins it overlaps.
+     * Negative times are clamped to 0; empty intervals are ignored.
+     */
+    void addSpan(Tick begin, Tick end, double weight = 1.0);
+
+    /**
+     * Accumulate a point contribution of @p amount at time @p t
+     * (bin floor(t/dt); t < 0 clamps to bin 0).
+     */
+    void addAt(Tick t, double amount = 1.0);
+
+    /** Set bin @p bin to @p value, growing the track as needed
+     *  (Level tracks). */
+    void setBin(std::size_t bin, double value);
+
+    /** Number of bins currently held. */
+    std::size_t binCount() const { return bins_.size(); }
+
+    /** Raw accumulated content of bin @p bin (0 past the end). */
+    double rawBin(std::size_t bin) const;
+
+    /**
+     * Exported value of bin @p bin: Busy -> busy/(capacity*dt)
+     * utilization, Rate -> amount/dt, Level -> raw.
+     */
+    double valueAt(std::size_t bin) const;
+
+    /** Grow (never shrink) to exactly @p bin_count bins, padding
+     *  with zeros. */
+    void padTo(std::size_t bin_count);
+
+    /**
+     * Force exactly @p bin_count bins: pad if short, and fold any
+     * overflow (a sample landing exactly at the run end, which sits
+     * on a bin boundary) into the last kept bin.
+     */
+    void clampTo(std::size_t bin_count);
+
+  private:
+    /** Bin index for time @p t, clamped at 0. */
+    std::size_t binFor(Tick t) const;
+
+    /** Ensure bin @p bin exists. */
+    void grow(std::size_t bin);
+
+    std::string path_;
+    Kind kind_;
+    double dt_;
+    double capacity_;
+    std::vector<double> bins_;
+};
+
+/**
+ * The set of tracks recorded during one simulated run, all sharing
+ * one bin width. Track references are stable (deque storage), so
+ * bandwidth servers and instrumentation sites cache raw pointers.
+ */
+class Timeline
+{
+  public:
+    /** @param dt_cycles Bin width in core cycles (> 0). */
+    explicit Timeline(double dt_cycles);
+
+    /** Bin width in cycles. */
+    double dt() const { return dt_; }
+
+    /** Get or create the track at @p path. Kind and capacity are
+     *  fixed on first creation. */
+    TimelineTrack &track(const std::string &path,
+                         TimelineTrack::Kind kind,
+                         double capacity = 1.0);
+
+    /** @return the track at @p path, or nullptr if never created. */
+    const TimelineTrack *find(const std::string &path) const;
+
+    /**
+     * Freeze the run at @p end cycles: every track is padded to the
+     * common bin count ceil(end/dt) (at least one bin when end > 0),
+     * so exporters see a rectangular series. A span or sample landing
+     * exactly at @p end belongs to the last bin; nothing is recorded
+     * past it because @p end is the time of the last simulated event.
+     */
+    void finalize(Tick end);
+
+    /** Run end time in cycles (0 before finalize()). */
+    Tick duration() const { return end_; }
+
+    /** Common bin count after finalize(). */
+    std::size_t binCount() const { return binCount_; }
+
+    /** All tracks in path-sorted order (deterministic export). */
+    std::vector<const TimelineTrack *> tracks() const;
+
+  private:
+    double dt_;
+    Tick end_ = 0.0;
+    std::size_t binCount_ = 0;
+    std::deque<TimelineTrack> store;
+    std::map<std::string, TimelineTrack *> index;
+};
+
+/**
+ * A binned multi-channel accumulator for dense per-category activity
+ * (per-opcode instruction counts, per-level transaction counts).
+ * Kept separate from TimelineTrack so one cache-friendly bin-major
+ * matrix serves all channels of a category.
+ */
+class ActivitySampler
+{
+  public:
+    /**
+     * @param dt Bin width in cycles (> 0).
+     * @param channels Number of channels (> 0).
+     */
+    ActivitySampler(double dt, std::size_t channels);
+
+    double dt() const { return dt_; }
+    std::size_t channels() const { return channels_; }
+
+    /** Accumulate @p amount into (@p channel, bin floor(t/dt)). */
+    void addAt(Tick t, std::size_t channel, double amount = 1.0);
+
+    /** Number of bins currently held. */
+    std::size_t binCount() const { return bins_; }
+
+    /** Accumulated amount in (@p bin, @p channel); 0 past the end. */
+    double at(std::size_t bin, std::size_t channel) const;
+
+    /** Force exactly @p bin_count bins: pad if short, fold overflow
+     *  (boundary samples) into the last kept bin. */
+    void clampTo(std::size_t bin_count);
+
+  private:
+    double dt_;
+    std::size_t channels_;
+    std::size_t bins_ = 0;
+    std::vector<double> data_; //!< bin-major [bin * channels + ch]
+};
+
+} // namespace mmgpu::telemetry
+
+#endif // MMGPU_TELEMETRY_TIMELINE_HH

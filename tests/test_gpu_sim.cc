@@ -63,6 +63,47 @@ TEST(GpuSim, GpuSimIsReusableAcrossRuns)
     EXPECT_DOUBLE_EQ(first.execCycles, second.execCycles);
 }
 
+TEST(GpuSim, ReuseRebuildsEveryAccumulator)
+{
+    // run() documents that it rebuilds the machine: a second run of
+    // the same profile must reproduce the *entire* PerfResult, not
+    // just the end time — any accumulator surviving a run shows up
+    // here as drift. Multi-GPM with remote traffic and writebacks
+    // exercises every counter family.
+    KernelProfile profile = smallProfile(AccessPattern::Random, 128);
+    SegmentAccess store;
+    store.segment = 0;
+    store.pattern = AccessPattern::Random;
+    store.perIteration = 1;
+    profile.stores.push_back(store);
+
+    GpuSim sim(multiGpmConfig(4, BwSetting::Bw2x));
+    PerfResult a = sim.run(profile);
+    PerfResult b = sim.run(profile);
+    EXPECT_DOUBLE_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mem.txns, b.mem.txns);
+    EXPECT_EQ(a.mem.l1SectorMisses, b.mem.l1SectorMisses);
+    EXPECT_EQ(a.mem.l2SectorMisses, b.mem.l2SectorMisses);
+    EXPECT_EQ(a.mem.remoteSectors, b.mem.remoteSectors);
+    EXPECT_EQ(a.mem.localSectors, b.mem.localSectors);
+    EXPECT_EQ(a.mem.writebackSectors, b.mem.writebackSectors);
+    EXPECT_EQ(a.link.byteHops, b.link.byteHops);
+    EXPECT_EQ(a.link.messageBytes, b.link.messageBytes);
+    EXPECT_EQ(a.link.transfers, b.link.transfers);
+    EXPECT_DOUBLE_EQ(a.linkQueueing, b.linkQueueing);
+    EXPECT_DOUBLE_EQ(a.linkBusy, b.linkBusy);
+    EXPECT_DOUBLE_EQ(a.smBusyCycles, b.smBusyCycles);
+    EXPECT_DOUBLE_EQ(a.smStallCycles, b.smStallCycles);
+    EXPECT_DOUBLE_EQ(a.smOccupiedCycles, b.smOccupiedCycles);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1SectorHits, b.l1SectorHits);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2SectorHits, b.l2SectorHits);
+    EXPECT_DOUBLE_EQ(a.dramQueueing, b.dramQueueing);
+    EXPECT_DOUBLE_EQ(a.dramBusy, b.dramBusy);
+}
+
 TEST(GpuSim, InstructionCountsMatchProfileExactly)
 {
     KernelProfile profile = smallProfile(AccessPattern::BlockStream);
