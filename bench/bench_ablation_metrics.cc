@@ -28,6 +28,11 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
+    std::vector<sim::GpuConfig> sweep;
+    for (unsigned n : sim::tableThreeGpmCounts())
+        sweep.push_back(sim::multiGpmConfig(n, sim::BwSetting::Bw2x));
+    bench::prefill(runner, sweep, workloads);
+
     TextTable table("Scaling efficiency (%) per metric, "
                     "2x-BW on-package ring");
     table.header({"config", "EDPSE", "ED2PSE", "perf/W SE",

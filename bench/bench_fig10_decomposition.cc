@@ -33,6 +33,16 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
+    std::vector<sim::GpuConfig> sweep;
+    for (unsigned n : sim::tableThreeGpmCounts())
+        for (auto bw : sim::tableFourBwSettings())
+            sweep.push_back(sim::multiGpmConfig(
+                n, bw, noc::Topology::Ring, sim::defaultDomainFor(bw)));
+    sweep.push_back(sim::multiGpmConfig(32, sim::BwSetting::Bw4x,
+                                        noc::Topology::Ring,
+                                        sim::IntegrationDomain::OnBoard));
+    bench::prefill(runner, sweep, workloads);
+
     TextTable table("Normalized to the 1-GPM GPU (ring everywhere)");
     table.header({"config", "BW", "domain", "speedup",
                   "energy ratio"});

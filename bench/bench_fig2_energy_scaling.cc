@@ -26,6 +26,14 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
+    std::vector<sim::GpuConfig> sweep;
+    for (unsigned n : sim::tableThreeGpmCounts())
+        sweep.push_back(
+            sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
+                                noc::Topology::Ring,
+                                sim::IntegrationDomain::OnBoard));
+    bench::prefill(runner, sweep, workloads);
+
     TextTable table("Energy normalized to 1-GPM GPU "
                     "(1x-BW on-board ring)");
     table.header({"GPU capability", "energy ratio", "speedup",

@@ -24,6 +24,13 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
+    std::vector<sim::GpuConfig> sweep;
+    for (unsigned n : sim::tableThreeGpmCounts())
+        for (auto bw : sim::tableFourBwSettings())
+            sweep.push_back(sim::multiGpmConfig(
+                n, bw, noc::Topology::Ring, sim::defaultDomainFor(bw)));
+    bench::prefill(runner, sweep, workloads);
+
     TextTable table("EDPSE (%) per bandwidth setting");
     table.header({"config", "1x-BW", "2x-BW", "4x-BW",
                   "4x/1x ratio"});

@@ -25,6 +25,20 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
+    std::vector<sim::GpuConfig> sweep;
+    for (unsigned n : sim::tableThreeGpmCounts()) {
+        sweep.push_back(sim::multiGpmConfig(
+            n, sim::BwSetting::Bw1x, noc::Topology::Ring,
+            sim::IntegrationDomain::OnBoard));
+        sweep.push_back(sim::multiGpmConfig(
+            n, sim::BwSetting::Bw1x, noc::Topology::Switch,
+            sim::IntegrationDomain::OnBoard));
+        sweep.push_back(sim::multiGpmConfig(
+            n, sim::BwSetting::Bw2x, noc::Topology::Switch,
+            sim::IntegrationDomain::OnBoard));
+    }
+    bench::prefill(runner, sweep, workloads);
+
     TextTable table("EDPSE (%), on-board integration");
     table.header({"config", "ring (1x-BW)", "switch (1x-BW)",
                   "switch (2x-BW)", "switch/ring"});

@@ -1,6 +1,8 @@
 #include "bench_util.hh"
 
 #include <cstdio>
+#include <mutex>
+#include <optional>
 
 #include "common/logging.hh"
 
@@ -10,14 +12,34 @@ namespace mmgpu::bench
 harness::StudyContext &
 studyContext()
 {
-    static harness::StudyContext context;
-    return context;
+    // std::call_once rather than a bare function-local static: the
+    // calibration campaign inside the constructor must run exactly
+    // once even when the first callers race, and an exception leaves
+    // the flag unset so a later call can retry instead of poisoning
+    // the static forever.
+    static std::once_flag once;
+    static std::optional<harness::StudyContext> context;
+    std::call_once(once, [] { context.emplace(); });
+    return *context;
 }
 
 harness::ScalingRunner
 makeRunner()
 {
     return harness::ScalingRunner(studyContext());
+}
+
+void
+prefill(harness::ScalingRunner &runner,
+        const std::vector<sim::GpuConfig> &configs,
+        const std::vector<trace::KernelProfile> &workloads,
+        double link_energy_scale, double const_growth_override)
+{
+    harness::ParallelRunner pool(runner);
+    for (const auto &config : configs)
+        pool.enqueueStudy(config, workloads, link_energy_scale,
+                          const_growth_override);
+    pool.drain();
 }
 
 void

@@ -1,11 +1,15 @@
 /**
  * @file
- * Minimal JSON emission.
+ * Minimal JSON emission and parsing.
  *
  * Benches and the harness export machine-readable reports so results
- * can be post-processed without scraping text tables. Writing-only
- * (the framework never parses JSON), so the surface is a small
- * value-builder with correct escaping and deterministic key order.
+ * can be post-processed without scraping text tables: the surface is
+ * a small value-builder with correct escaping and deterministic key
+ * order. The persistent run cache additionally needs to read its own
+ * output back, so a strict recursive-descent parser and read
+ * accessors round the API out. The parser accepts exactly what
+ * write() emits (standard JSON); it is not a general validator for
+ * hostile input beyond failing cleanly.
  */
 
 #ifndef MMGPU_COMMON_JSON_HH
@@ -13,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <variant>
@@ -70,6 +75,32 @@ class JsonValue
     /** Serialize to a string. */
     std::string dump() const;
 
+    // ---- read accessors (used by the persistent run cache) ----
+
+    bool isNull() const;
+    bool isObject() const;
+    bool isArray() const;
+    bool isString() const;
+    bool isNumber() const;
+
+    /**
+     * Member lookup on an object; nullptr when absent or when this
+     * value is not an object.
+     */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Element count of an array (0 for non-arrays). */
+    std::size_t size() const;
+
+    /** Array element; nullptr out of range or for non-arrays. */
+    const JsonValue *at(std::size_t index) const;
+
+    /** String payload; empty for non-strings. */
+    const std::string &asString() const;
+
+    /** Numeric payload; 0.0 for non-numbers. */
+    double asNumber() const;
+
   private:
     using Object = std::map<std::string, JsonValue>;
     using Array = std::vector<JsonValue>;
@@ -77,6 +108,14 @@ class JsonValue
                  Array>
         value;
 };
+
+/**
+ * Parse @p text as one JSON document.
+ * @return the value, or std::nullopt on any syntax error (the run
+ *         cache treats malformed files as a cache miss, never a
+ *         crash).
+ */
+std::optional<JsonValue> parseJson(const std::string &text);
 
 } // namespace mmgpu
 

@@ -1,20 +1,32 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace mmgpu
 {
 
 namespace
 {
-bool informEnabled = true;
+
+// The harness runs simulations on worker threads (ParallelRunner);
+// reporting must neither tear the enable flag nor interleave lines.
+std::atomic<bool> informEnabled{true};
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
 } // namespace
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -23,30 +35,39 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " << msg << "\n  @ " << file << ":"
+                  << line << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "fatal: " << msg << "\n  @ " << file << ":"
+                  << line << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (informEnabled)
-        std::cerr << "info: " << msg << std::endl;
+    if (!informEnabled.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "info: " << msg << std::endl;
 }
 
 } // namespace detail

@@ -1,0 +1,108 @@
+#include "harness/parallel_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace mmgpu::harness
+{
+
+ParallelRunner::ParallelRunner(ScalingRunner &runner, unsigned workers)
+    : runner_(&runner),
+      workers_(workers > 0 ? workers : defaultWorkers())
+{
+}
+
+unsigned
+ParallelRunner::defaultWorkers()
+{
+    if (const char *jobs = std::getenv("MMGPU_JOBS");
+        jobs != nullptr && *jobs != '\0') {
+        char *end = nullptr;
+        long parsed = std::strtol(jobs, &end, 10);
+        if (end != jobs && *end == '\0' && parsed >= 1)
+            return static_cast<unsigned>(parsed);
+        warn("ignoring malformed MMGPU_JOBS='", jobs, "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+ParallelRunner::enqueue(const sim::GpuConfig &config,
+                        const trace::KernelProfile &profile,
+                        double link_energy_scale,
+                        double const_growth_override)
+{
+    if (runner_->cached(config, profile, link_energy_scale,
+                        const_growth_override))
+        return;
+    RunKey key{config.name, profile.name,
+               static_cast<std::uint8_t>(config.placement),
+               static_cast<std::uint8_t>(config.ctaScheduling),
+               link_energy_scale, const_growth_override};
+    if (!queued_.insert(std::move(key)).second)
+        return;
+    jobs_.push_back(Job{config, profile, link_energy_scale,
+                        const_growth_override});
+}
+
+void
+ParallelRunner::enqueueStudy(
+    const sim::GpuConfig &config,
+    const std::vector<trace::KernelProfile> &workloads,
+    double link_energy_scale, double const_growth_override)
+{
+    const sim::GpuConfig baseline = sim::baselineConfig();
+    for (const auto &profile : workloads) {
+        enqueue(baseline, profile);
+        enqueue(config, profile, link_energy_scale,
+                const_growth_override);
+    }
+}
+
+void
+ParallelRunner::drain()
+{
+    std::vector<Job> jobs = std::move(jobs_);
+    jobs_.clear();
+    queued_.clear();
+    if (jobs.empty())
+        return;
+
+    auto work = [this, &jobs](std::size_t index) {
+        const Job &job = jobs[index];
+        runner_->run(job.config, job.profile, job.linkEnergyScale,
+                     job.constGrowthOverride);
+    };
+
+    unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(workers_, jobs.size()));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            work(i);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t index =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (index >= jobs.size())
+                return;
+            work(index);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &thread : pool)
+        thread.join();
+}
+
+} // namespace mmgpu::harness

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Persistent cross-process cache of simulated runs.
+ *
+ * Every bench binary replays overlapping slices of the same
+ * (workload x configuration) sweep: the 1-GPM baseline alone is
+ * recomputed by each of the 17 binaries. The RunCache persists
+ * finished `PerfResult` + `EnergyBreakdown` pairs to
+ * `.mmgpu-cache/runs.json` (relative to the working directory, i.e.
+ * next to the build tree the benches run from) so the sweep one
+ * binary computes is free for the next.
+ *
+ * Keys are a 64-bit FNV-1a fingerprint over *every* input that can
+ * change a result: the full GpuConfig (including the derived memory
+ * configuration), the full KernelProfile (mixes, segments, seeds,
+ * access descriptors), the link-energy scale and constant-growth
+ * overrides, the calibration outcome the energy model used, and a
+ * schema-version salt. Bumping `runCacheSchemaVersion` invalidates
+ * every existing cache file; stale or corrupt files degrade to a
+ * cache miss, never an error.
+ *
+ * Serialization is exact: doubles are stored as C99 hexfloat strings
+ * ("%a") and event counts as decimal strings, so a cache round-trip
+ * is bit-identical to the freshly computed result — the determinism
+ * tests assert this.
+ *
+ * Escape hatches: `MMGPU_NO_CACHE=1` disables the process-wide cache
+ * entirely; `MMGPU_CACHE_DIR=<dir>` relocates it (used by the test
+ * suite for isolation).
+ */
+
+#ifndef MMGPU_HARNESS_RUN_CACHE_HH
+#define MMGPU_HARNESS_RUN_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "gpujoule/calibration.hh"
+#include "gpujoule/energy_model.hh"
+#include "sim/gpu_config.hh"
+#include "sim/perf_result.hh"
+#include "trace/kernel_profile.hh"
+
+namespace mmgpu::harness
+{
+
+/**
+ * Version salt folded into every cache key and written to the file
+ * header. Bump when the simulator, the energy model, or the
+ * serialized layout changes meaning.
+ */
+constexpr std::uint64_t runCacheSchemaVersion = 1;
+
+/** Fingerprint of a calibration outcome (energy-param inputs). */
+std::uint64_t
+calibrationFingerprint(const joule::CalibrationResult &calib);
+
+/**
+ * Cache key of one run. @p calib_fingerprint comes from
+ * calibrationFingerprint() (the StudyContext caches it).
+ */
+std::uint64_t runFingerprint(const sim::GpuConfig &config,
+                             const trace::KernelProfile &profile,
+                             double link_energy_scale,
+                             double const_growth_override,
+                             std::uint64_t calib_fingerprint);
+
+/** On-disk run cache; all methods are thread-safe. */
+class RunCache
+{
+  public:
+    /**
+     * Bind to @p path and load whatever valid entries it holds.
+     * Missing, corrupt, or version-mismatched files yield an empty
+     * cache (a warning is emitted for corrupt ones).
+     */
+    explicit RunCache(std::string path);
+
+    /**
+     * Look up @p key.
+     * @return true and fill @p perf / @p energy on a hit.
+     */
+    bool lookup(std::uint64_t key, sim::PerfResult &perf,
+                joule::EnergyBreakdown &energy);
+
+    /** Record a finished run under @p key. */
+    void insert(std::uint64_t key, const sim::PerfResult &perf,
+                const joule::EnergyBreakdown &energy);
+
+    /**
+     * Write back to disk if any insert happened since the last
+     * flush. Entries written by other processes in the meantime are
+     * merged, not clobbered. Failures warn and return false.
+     */
+    bool flush();
+
+    /** The bound file path. */
+    const std::string &path() const { return path_; }
+
+    /** Entries currently held (loaded + inserted). */
+    std::size_t size() const;
+
+    /** Lookup hits since construction. */
+    std::uint64_t hits() const { return hits_.load(); }
+
+    /** Lookup misses since construction. */
+    std::uint64_t misses() const { return misses_.load(); }
+
+    /**
+     * The process-wide cache at `$MMGPU_CACHE_DIR/runs.json`
+     * (default `.mmgpu-cache/runs.json`), created on first use and
+     * flushed automatically at process exit. Returns nullptr when
+     * `MMGPU_NO_CACHE=1` is set.
+     */
+    static RunCache *processCache();
+
+  private:
+    struct Entry
+    {
+        sim::PerfResult perf;
+        joule::EnergyBreakdown energy;
+    };
+
+    void loadLocked();
+
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, Entry> entries_;
+    bool dirty_ = false;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace mmgpu::harness
+
+#endif // MMGPU_HARNESS_RUN_CACHE_HH

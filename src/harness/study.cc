@@ -1,15 +1,117 @@
 #include "harness/study.hh"
 
 #include <algorithm>
-#include <sstream>
+#include <array>
+#include <map>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "gpujoule/reference_device.hh"
+#include "harness/parallel_runner.hh"
 #include "power/sensor.hh"
 
 namespace mmgpu::harness
 {
+
+namespace
+{
+
+/**
+ * Containers whose element references survive insertion of other
+ * elements. The memo cache hands out references into its map while
+ * worker threads keep inserting, so node stability is load-bearing;
+ * this trait turns a casual container swap (e.g. to a flat/vector-
+ * backed map, whose elements relocate) into a compile error instead
+ * of a silent dangling reference. std::map and std::unordered_map
+ * both qualify ([associative.reqmts]/[unord.req]: insertion never
+ * invalidates references to existing elements — unordered rehash
+ * invalidates iterators, not references).
+ */
+template <typename M>
+struct is_node_stable_map : std::false_type
+{
+};
+template <typename K, typename V, typename C, typename A>
+struct is_node_stable_map<std::map<K, V, C, A>> : std::true_type
+{
+};
+template <typename K, typename V, typename H, typename E, typename A>
+struct is_node_stable_map<std::unordered_map<K, V, H, E, A>>
+    : std::true_type
+{
+};
+
+} // namespace
+
+/**
+ * Sharded memo cache. A shard is a mutex-protected map; the mutex
+ * covers only entry lookup/insertion (microseconds), while the
+ * per-entry once_flag serializes the actual simulation of one key
+ * (seconds) without blocking other keys in the same shard.
+ */
+struct ScalingRunner::Cache
+{
+    struct Entry
+    {
+        std::once_flag once;
+        std::atomic<bool> done{false};
+        RunOutcome outcome;
+    };
+
+    using ShardMap = std::map<RunKey, Entry>;
+    static_assert(is_node_stable_map<ShardMap>::value,
+                  "run() returns references into this map while "
+                  "other threads insert; the container must keep "
+                  "element addresses stable under insertion");
+
+    struct Shard
+    {
+        std::mutex mutex;
+        ShardMap entries;
+    };
+
+    static constexpr std::size_t shardCount = 8;
+    std::array<Shard, shardCount> shards;
+
+    static std::uint64_t
+    hashOf(const RunKey &key)
+    {
+        Fnv1a hash;
+        hash.add(key.config);
+        hash.add(key.workload);
+        hash.add(key.placement);
+        hash.add(key.ctaScheduling);
+        hash.add(key.linkEnergyScale);
+        hash.add(key.constGrowthOverride);
+        return hash.digest();
+    }
+
+    Shard &
+    shardFor(const RunKey &key)
+    {
+        return shards[hashOf(key) % shardCount];
+    }
+};
+
+namespace
+{
+
+RunKey
+makeKey(const sim::GpuConfig &config,
+        const trace::KernelProfile &profile, double link_energy_scale,
+        double const_growth_override)
+{
+    return RunKey{config.name, profile.name,
+                  static_cast<std::uint8_t>(config.placement),
+                  static_cast<std::uint8_t>(config.ctaScheduling),
+                  link_energy_scale, const_growth_override};
+}
+
+} // namespace
 
 joule::EnergyInputs
 inputsFrom(const sim::PerfResult &perf, unsigned gpm_count,
@@ -37,6 +139,7 @@ StudyContext::StudyContext()
     calib = calibrator.calibrate();
     if (!calib.converged)
         warn("study proceeding with unconverged calibration");
+    calibFp_ = ::mmgpu::harness::calibrationFingerprint(calib);
 }
 
 joule::EnergyParams
@@ -54,24 +157,80 @@ StudyContext::paramsFor(const sim::GpuConfig &config,
                                     calib.constPower, options);
 }
 
+ScalingRunner::ScalingRunner(const StudyContext &context)
+    : context_(&context),
+      cache_(std::make_unique<Cache>()),
+      persistent_(RunCache::processCache())
+{
+}
+
+ScalingRunner::ScalingRunner(ScalingRunner &&) noexcept = default;
+ScalingRunner &
+ScalingRunner::operator=(ScalingRunner &&) noexcept = default;
+ScalingRunner::~ScalingRunner() = default;
+
 const RunOutcome &
 ScalingRunner::run(const sim::GpuConfig &config,
                    const trace::KernelProfile &profile,
                    double link_energy_scale,
                    double const_growth_override)
 {
-    std::ostringstream key;
-    key << config.name << "|"
-        << sim::placementPolicyName(config.placement) << "|"
-        << sm::ctaSchedPolicyName(config.ctaScheduling) << "|"
-        << profile.name << "|" << link_energy_scale << "|"
-        << const_growth_override;
-    auto it = cache.find(key.str());
-    if (it != cache.end())
-        return it->second;
+    RunKey key = makeKey(config, profile, link_energy_scale,
+                         const_growth_override);
+    Cache::Shard &shard = cache_->shardFor(key);
+    Cache::Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        entry = &shard.entries.try_emplace(std::move(key))
+                     .first->second;
+    }
+    // First caller computes; concurrent callers of the same key
+    // block here until the outcome is ready, then share the node.
+    std::call_once(entry->once, [&] {
+        entry->outcome = compute(config, profile, link_energy_scale,
+                                 const_growth_override);
+        entry->done.store(true, std::memory_order_release);
+    });
+    return entry->outcome;
+}
+
+bool
+ScalingRunner::cached(const sim::GpuConfig &config,
+                      const trace::KernelProfile &profile,
+                      double link_energy_scale,
+                      double const_growth_override) const
+{
+    RunKey key = makeKey(config, profile, link_energy_scale,
+                         const_growth_override);
+    Cache::Shard &shard = cache_->shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    return it != shard.entries.end() &&
+           it->second.done.load(std::memory_order_acquire);
+}
+
+RunOutcome
+ScalingRunner::compute(const sim::GpuConfig &config,
+                       const trace::KernelProfile &profile,
+                       double link_energy_scale,
+                       double const_growth_override) const
+{
+    RunOutcome outcome;
+    std::uint64_t fingerprint = 0;
+    if (persistent_ != nullptr) {
+        fingerprint = runFingerprint(config, profile,
+                                     link_energy_scale,
+                                     const_growth_override,
+                                     context_->calibrationFingerprint());
+        // A disk hit cannot reconstruct telemetry timelines, so
+        // telemetry-enabled runs always simulate.
+        if (persistentReads_ && !telemetryEnabled_ &&
+            persistent_->lookup(fingerprint, outcome.perf,
+                                outcome.energy))
+            return outcome;
+    }
 
     sim::GpuSim machine(config);
-    RunOutcome outcome;
     if (telemetryEnabled_) {
         outcome.telemetry = std::make_shared<telemetry::Telemetry>(
             telemetry::TelemetryConfig{telemetryDt_});
@@ -90,7 +249,10 @@ ScalingRunner::run(const sim::GpuConfig &config,
     } else {
         outcome.energy = joule::estimate(inputs, params);
     }
-    return cache.emplace(key.str(), std::move(outcome)).first->second;
+    if (persistent_ != nullptr)
+        persistent_->insert(fingerprint, outcome.perf,
+                            outcome.energy);
+    return outcome;
 }
 
 void
@@ -170,6 +332,14 @@ scalingStudy(ScalingRunner &runner, const sim::GpuConfig &config,
              const std::vector<trace::KernelProfile> &workloads,
              double link_energy_scale, double const_growth_override)
 {
+    // Submit the whole sweep up front: every uncached point runs
+    // concurrently, and the aggregation loop below reads memoized
+    // outcomes only.
+    ParallelRunner pool(runner);
+    pool.enqueueStudy(config, workloads, link_energy_scale,
+                      const_growth_override);
+    pool.drain();
+
     const sim::GpuConfig baseline = sim::baselineConfig();
     std::vector<ScalingPoint> points;
     points.reserve(workloads.size());

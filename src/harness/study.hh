@@ -14,6 +14,7 @@
 #ifndef MMGPU_HARNESS_STUDY_HH
 #define MMGPU_HARNESS_STUDY_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "gpujoule/calibration.hh"
 #include "gpujoule/energy_model.hh"
 #include "gpujoule/multi_module.hh"
+#include "harness/run_cache.hh"
 #include "metrics/edpse.hh"
 #include "sim/gpu_config.hh"
 #include "sim/gpu_sim.hh"
@@ -62,7 +64,16 @@ joule::EnergyInputs inputsFrom(const sim::PerfResult &perf,
                                unsigned gpm_count,
                                unsigned total_sms = 0);
 
-/** Calibrated model shared by a whole study. */
+/**
+ * Calibrated model shared by a whole study.
+ *
+ * Thread-safety: a StudyContext is strictly immutable once its
+ * constructor returns — the calibration campaign runs inside the
+ * constructor and every accessor (including paramsFor()) is const
+ * and touches only that frozen state. Construct it before spawning
+ * workers (bench::studyContext() guards this with std::call_once)
+ * and any number of ParallelRunner threads may share it.
+ */
 class StudyContext
 {
   public:
@@ -94,30 +105,101 @@ class StudyContext
               double link_energy_scale = 1.0,
               double const_growth_override = -1.0) const;
 
+    /**
+     * FNV-1a fingerprint of the calibration outcome, folded into
+     * every persistent-cache key (a recalibrated energy model must
+     * never serve stale cached energies).
+     */
+    std::uint64_t calibrationFingerprint() const { return calibFp_; }
+
   private:
     joule::DeviceSpec spec;
     std::unique_ptr<power::SiliconGpu> device_;
     joule::CalibrationResult calib;
+    std::uint64_t calibFp_ = 0;
 };
 
-/** Memoizing (workload x configuration) runner. */
+/**
+ * Memoized lookup key of one run: everything that distinguishes two
+ * (configuration, workload, energy-override) points of a sweep. A
+ * plain struct with field-wise ordering — cheaper to build and
+ * compare than the ostringstream-formatted string it replaced, and
+ * hashable for shard selection.
+ */
+struct RunKey
+{
+    std::string config;
+    std::string workload;
+    std::uint8_t placement = 0;
+    std::uint8_t ctaScheduling = 0;
+    double linkEnergyScale = 1.0;
+    double constGrowthOverride = -1.0;
+
+    friend bool
+    operator<(const RunKey &a, const RunKey &b)
+    {
+        if (int c = a.config.compare(b.config))
+            return c < 0;
+        if (int c = a.workload.compare(b.workload))
+            return c < 0;
+        if (a.placement != b.placement)
+            return a.placement < b.placement;
+        if (a.ctaScheduling != b.ctaScheduling)
+            return a.ctaScheduling < b.ctaScheduling;
+        if (a.linkEnergyScale != b.linkEnergyScale)
+            return a.linkEnergyScale < b.linkEnergyScale;
+        return a.constGrowthOverride < b.constGrowthOverride;
+    }
+};
+
+/**
+ * Memoizing (workload x configuration) runner.
+ *
+ * Thread-safety: run() may be called from any number of threads
+ * concurrently (this is what ParallelRunner does). The memo cache is
+ * sharded by key hash; each shard is a mutex-protected std::map whose
+ * *node stability* is load-bearing — run() returns references into
+ * the map while other threads keep inserting, and exactly one thread
+ * computes any given key (per-entry std::call_once) while others
+ * block until the outcome is ready. Telemetry/persistent-cache
+ * configuration calls are not synchronized: make them before the
+ * first concurrent run() (benches configure, then drain).
+ *
+ * Runs are additionally served from / recorded into the process-wide
+ * persistent RunCache (attached by default unless MMGPU_NO_CACHE=1),
+ * making finished sweeps free across bench binaries. Telemetry-
+ * enabled runs always simulate (a disk hit cannot reconstruct
+ * timelines) but still publish their perf/energy to the cache.
+ */
 class ScalingRunner
 {
   public:
     /** @param context Calibrated study context (not owned). */
-    explicit ScalingRunner(const StudyContext &context)
-        : context_(&context)
-    {
-    }
+    explicit ScalingRunner(const StudyContext &context);
+
+    // Movable (bench::makeRunner returns by value); defined in
+    // study.cc where the cache type is complete.
+    ScalingRunner(ScalingRunner &&) noexcept;
+    ScalingRunner &operator=(ScalingRunner &&) noexcept;
+    ~ScalingRunner();
 
     /**
      * Simulate @p profile on @p config and estimate its energy.
-     * Results are memoized on (config name, workload name).
+     * Results are memoized on (config name, NUMA policies, workload
+     * name, energy overrides); the returned reference stays valid
+     * for the runner's lifetime, including under concurrent run()
+     * calls on other threads.
      */
     const RunOutcome &run(const sim::GpuConfig &config,
                           const trace::KernelProfile &profile,
                           double link_energy_scale = 1.0,
                           double const_growth_override = -1.0);
+
+    /** @return true when the point is already memoized (completed). */
+    bool cached(const sim::GpuConfig &config,
+                const trace::KernelProfile &profile,
+                double link_energy_scale = 1.0,
+                double const_growth_override = -1.0) const;
 
     /**
      * Record telemetry on subsequent (non-memoized) runs.
@@ -138,12 +220,44 @@ class ScalingRunner
     /** Stop recording telemetry on subsequent runs. */
     void disableTelemetry() { telemetryEnabled_ = false; }
 
+    /**
+     * Use @p cache instead of the process-wide persistent cache;
+     * nullptr detaches persistence entirely. Tests use this for
+     * isolation; benches use it to time cold passes.
+     */
+    void attachPersistentCache(RunCache *cache)
+    {
+        persistent_ = cache;
+    }
+
+    /** The persistent cache in use (nullptr when detached). */
+    RunCache *persistentCache() const { return persistent_; }
+
+    /**
+     * Toggle persistent-cache *reads* (writes continue). Benches
+     * disable reads to measure genuine simulation wall-clock while
+     * still publishing results for later binaries.
+     */
+    void setPersistentReads(bool enabled)
+    {
+        persistentReads_ = enabled;
+    }
+
     /** The study context. */
     const StudyContext &context() const { return *context_; }
 
   private:
+    struct Cache; // sharded memo cache; defined in study.cc
+
+    RunOutcome compute(const sim::GpuConfig &config,
+                       const trace::KernelProfile &profile,
+                       double link_energy_scale,
+                       double const_growth_override) const;
+
     const StudyContext *context_;
-    std::map<std::string, RunOutcome> cache;
+    std::unique_ptr<Cache> cache_;
+    RunCache *persistent_ = nullptr;
+    bool persistentReads_ = true;
     bool telemetryEnabled_ = false;
     double telemetryDt_ = 0.0;
 };
@@ -182,6 +296,12 @@ struct ScalingPoint
 /**
  * Run every workload in @p workloads on the 1-GPM baseline and on
  * @p config; return per-workload EDPSE/speedup/energy observations.
+ *
+ * The whole (baseline + scaled) sweep is submitted to a
+ * ParallelRunner up front, so uncached points execute concurrently
+ * (one worker per hardware thread; MMGPU_JOBS overrides) before the
+ * serial aggregation pass reads them back from the memo cache.
+ * Results are bit-identical to a serial execution.
  */
 std::vector<ScalingPoint>
 scalingStudy(ScalingRunner &runner, const sim::GpuConfig &config,

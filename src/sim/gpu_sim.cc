@@ -86,13 +86,15 @@ GpuSim::setupTelemetry()
 void
 GpuSim::pushWarp(noc::Tick when, std::uint32_t slot)
 {
-    calendar.push({when, slot, false});
+    calendar.push_back({when, slot, false});
+    std::push_heap(calendar.begin(), calendar.end(), std::greater<>{});
 }
 
 void
 GpuSim::pushMem(noc::Tick when, std::uint32_t task)
 {
-    calendar.push({when, task, true});
+    calendar.push_back({when, task, true});
+    std::push_heap(calendar.begin(), calendar.end(), std::greater<>{});
 }
 
 std::uint32_t
@@ -287,8 +289,11 @@ GpuSim::fillSm(const trace::KernelProfile &profile,
             unsigned slot_id = freeSlotsPerSm[sm_id].back();
             freeSlotsPerSm[sm_id].pop_back();
             WarpSlot &slot = slots[slot_id];
-            slot.trace = std::make_unique<trace::WarpTrace>(
-                profile, layout, launch, cta, w);
+            if (slot.trace)
+                slot.trace->reset(profile, layout, launch, cta, w);
+            else
+                slot.trace = std::make_unique<trace::WarpTrace>(
+                    profile, layout, launch, cta, w);
             slot.sm = sm_id;
             slot.cta = cta;
             slot.outstanding = 0;
@@ -693,8 +698,9 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
         break;
       }
       case isa::TraceOpKind::Exit: {
+        // The trace object is kept (dead but allocated) so the next
+        // dispatch into this slot can rebind it without allocating.
         slot.live = false;
-        slot.trace.reset();
         core.releaseSlot(t);
         freeSlotsPerSm[slot.sm].push_back(slot_index);
         mmgpu_assert(ctaWarpsLeft[slot.cta] > 0, "CTA underflow");
@@ -714,14 +720,21 @@ GpuSim::runLaunch(const trace::KernelProfile &profile,
                   const trace::SegmentLayout &layout, unsigned launch,
                   noc::Tick start)
 {
-    // Transient state.
+    // Transient state. The slot vector persists across launches and
+    // runs (the SM geometry is fixed by the config): a launch leaves
+    // every slot dead but keeps its WarpTrace allocation, which
+    // fillSm() rebinds in place on the next dispatch. The free lists
+    // are rebuilt in slot order each launch so dispatch order never
+    // depends on the previous launch's completion order.
     unsigned total_slots = config_.totalSms() * config_.warpSlotsPerSm;
-    slots.clear();
     slots.resize(total_slots);
-    freeSlotsPerSm.assign(config_.totalSms(), {});
-    for (unsigned s = 0; s < config_.totalSms(); ++s)
+    calendar.reserve(total_slots);
+    freeSlotsPerSm.resize(config_.totalSms());
+    for (unsigned s = 0; s < config_.totalSms(); ++s) {
+        freeSlotsPerSm[s].clear();
         for (unsigned k = 0; k < config_.warpSlotsPerSm; ++k)
             freeSlotsPerSm[s].push_back(s * config_.warpSlotsPerSm + k);
+    }
 
     ctaQueues.clear();
     for (auto &list : sm::assignCtas(profile.ctaCount,
@@ -738,8 +751,10 @@ GpuSim::runLaunch(const trace::KernelProfile &profile,
 
     noc::Tick last = start;
     while (!calendar.empty()) {
-        Event event = calendar.top();
-        calendar.pop();
+        Event event = calendar.front();
+        std::pop_heap(calendar.begin(), calendar.end(),
+                      std::greater<>{});
+        calendar.pop_back();
         last = std::max(last, event.when);
         if (ctrEventsWarp_)
             (event.isMem ? ctrEventsMem_ : ctrEventsWarp_)->add();

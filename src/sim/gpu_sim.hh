@@ -27,7 +27,6 @@
 
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "sim/gpu_config.hh"
@@ -224,11 +223,22 @@ class GpuSim
     std::vector<AccessRec> accessPool;
     std::vector<std::uint32_t> freeAccesses;
 
-    // Per-launch transient state.
+    // Per-launch transient state. The containers themselves persist
+    // across launches and runs so their backing storage (and the
+    // WarpTrace objects inside the slots) is allocated once and
+    // reused; runLaunch() re-initializes the *contents* each launch.
     std::vector<WarpSlot> slots;
     std::vector<std::vector<unsigned>> freeSlotsPerSm;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        calendar;
+    /**
+     * The event calendar: a binary min-heap (std::push_heap /
+     * std::pop_heap over Event::operator>) on an explicit vector
+     * instead of std::priority_queue. The heap operations are the
+     * exact ones priority_queue is specified to perform, so event
+     * ordering is bit-identical; owning the vector lets run() keep
+     * the backing capacity across launches instead of reallocating
+     * it from scratch every time.
+     */
+    std::vector<Event> calendar;
     std::vector<sm::GpmCtaQueue> ctaQueues;
     std::vector<unsigned> ctaWarpsLeft;
 

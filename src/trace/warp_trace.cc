@@ -65,12 +65,28 @@ chunkOwnerCta(const KernelProfile &profile, const SegmentLayout &layout,
 WarpTrace::WarpTrace(const KernelProfile &prof,
                      const SegmentLayout &layout, unsigned launch,
                      unsigned cta, unsigned warp)
-    : profile(prof),
-      rng(Rng(prof.seed)
+    : profile(&prof)
+{
+    reset(prof, layout, launch, cta, warp);
+}
+
+void
+WarpTrace::reset(const KernelProfile &prof, const SegmentLayout &layout,
+                 unsigned launch, unsigned cta, unsigned warp)
+{
+    profile = &prof;
+    rng = Rng(prof.seed)
               .fork(0x1000003ull * launch + 1)
               .fork(0x9E370001ull * cta + 3)
-              .fork(0x85EBCA77ull * warp + 7))
-{
+              .fork(0x85EBCA77ull * warp + 7);
+    schedule.clear();
+    loadState.clear();
+    storeState.clear();
+    iteration = 0;
+    cursor = 0;
+    drained_ = false;
+    finished_ = false;
+
     mmgpu_assert(cta < prof.ctaCount && warp < prof.warpsPerCta,
                  "warp identifiers out of range");
 
@@ -115,23 +131,23 @@ WarpTrace::WarpTrace(const KernelProfile &prof,
         return state;
     };
 
-    for (const auto &access : profile.loads)
+    for (const auto &access : prof.loads)
         loadState.push_back(make_state(access));
-    for (const auto &access : profile.stores)
+    for (const auto &access : prof.stores)
         storeState.push_back(make_state(access));
 
     // Build the per-iteration schedule: global loads (memory-level
     // parallelism is enforced by the simulator's per-warp outstanding
     // window, not by explicit syncs), shared loads, one aggregated
     // compute block, stores.
-    for (unsigned i = 0; i < profile.loads.size(); ++i) {
-        for (unsigned n = 0; n < profile.loads[i].perIteration; ++n) {
+    for (unsigned i = 0; i < prof.loads.size(); ++i) {
+        for (unsigned n = 0; n < prof.loads[i].perIteration; ++n) {
             schedule.push_back(
                 {SchedOp::Kind::GlobalLoad, isa::Opcode::LD_GLOBAL, i});
         }
     }
 
-    for (unsigned n = 0; n < profile.sharedLoadsPerIter; ++n)
+    for (unsigned n = 0; n < prof.sharedLoadsPerIter; ++n)
         schedule.push_back(
             {SchedOp::Kind::SharedLoad, isa::Opcode::LD_SHARED, 0});
 
@@ -140,7 +156,7 @@ WarpTrace::WarpTrace(const KernelProfile &prof,
     // delays the warp by the serial chain latency.
     std::uint32_t block_slots = 0;
     std::uint32_t block_latency = 0;
-    for (const auto &mix : profile.compute) {
+    for (const auto &mix : prof.compute) {
         block_slots += mix.perIteration * isa::issueCost(mix.op);
         block_latency += mix.perIteration * isa::defaultLatency(mix.op);
     }
@@ -150,13 +166,13 @@ WarpTrace::WarpTrace(const KernelProfile &prof,
         blockOp = isa::TraceOp::computeBlock(block_slots, block_latency);
     }
 
-    for (unsigned i = 0; i < profile.stores.size(); ++i)
-        for (unsigned n = 0; n < profile.stores[i].perIteration; ++n)
+    for (unsigned i = 0; i < prof.stores.size(); ++i)
+        for (unsigned n = 0; n < prof.stores[i].perIteration; ++n)
             schedule.push_back(
                 {SchedOp::Kind::GlobalStore, isa::Opcode::ST_GLOBAL, i});
 
     mmgpu_assert(!schedule.empty(),
-                 "profile '", profile.name, "' generates empty warps");
+                 "profile '", prof.name, "' generates empty warps");
     (void)launch;
 }
 
@@ -222,10 +238,10 @@ WarpTrace::materialize(const SchedOp &slot)
       case SchedOp::Kind::SharedLoad:
         return isa::TraceOp::loadShared();
       case SchedOp::Kind::GlobalLoad:
-        return makeAccess(profile.loads[slot.accessIndex],
+        return makeAccess(profile->loads[slot.accessIndex],
                           loadState[slot.accessIndex], false);
       case SchedOp::Kind::GlobalStore:
-        return makeAccess(profile.stores[slot.accessIndex],
+        return makeAccess(profile->stores[slot.accessIndex],
                           storeState[slot.accessIndex], true);
       case SchedOp::Kind::Sync:
         return isa::TraceOp::sync();
@@ -239,7 +255,7 @@ WarpTrace::next()
 {
     if (finished_)
         return isa::TraceOp::exit();
-    if (iteration >= profile.iterations) {
+    if (iteration >= profile->iterations) {
         if (!drained_) {
             // Wait for all in-flight loads before retiring.
             drained_ = true;

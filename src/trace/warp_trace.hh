@@ -79,6 +79,17 @@ class WarpTrace
               unsigned launch, unsigned cta, unsigned warp);
 
     /**
+     * Re-bind this object to a (possibly different) warp identity,
+     * exactly as if freshly constructed with the same arguments but
+     * reusing the schedule/state vector allocations. The simulator's
+     * warp-slot pool calls this on every CTA dispatch, which keeps
+     * trace setup off the allocator in the steady state.
+     */
+    void reset(const KernelProfile &profile,
+               const SegmentLayout &layout, unsigned launch,
+               unsigned cta, unsigned warp);
+
+    /**
      * Produce the next trace operation.
      * @return the op; TraceOpKind::Exit once the warp is finished
      *         (and forever after).
@@ -121,7 +132,9 @@ class WarpTrace
     isa::TraceOp makeAccess(const SegmentAccess &access,
                             AccessState &state, bool is_store);
 
-    const KernelProfile &profile;
+    // Pointer rather than a reference so reset() can re-bind the
+    // object (and so WarpTrace stays assignable for pooling).
+    const KernelProfile *profile;
     std::vector<SchedOp> schedule;
     std::vector<AccessState> loadState;
     std::vector<AccessState> storeState;

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Concurrency tests for the parallel sweep executor and the
+ * thread-safe ScalingRunner memo cache. These carry the tier2 ctest
+ * label as well as tier1: a TSan build tree
+ * (`cmake -B build-tsan -DMMGPU_SANITIZE=thread` then
+ * `ctest -L tier2`) runs them race-instrumented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_runner.hh"
+#include "harness/run_cache.hh"
+#include "harness/study.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::harness;
+
+/** Shared context: calibration runs once for the whole suite. */
+StudyContext &
+context()
+{
+    static StudyContext instance;
+    return instance;
+}
+
+trace::KernelProfile
+tinyWorkload(const char *name, unsigned seed,
+             trace::WorkloadClass cls = trace::WorkloadClass::Compute)
+{
+    trace::KernelProfile profile;
+    profile.name = name;
+    profile.cls = cls;
+    profile.ctaCount = 64;
+    profile.warpsPerCta = 2;
+    profile.iterations = 3;
+    profile.seed = seed;
+    profile.segments.push_back({"seg", 1 * units::MiB});
+    trace::SegmentAccess access;
+    access.segment = 0;
+    access.pattern = trace::AccessPattern::Stencil;
+    access.haloFraction = 0.1;
+    access.perIteration = 2;
+    profile.loads.push_back(access);
+    profile.compute.push_back({isa::Opcode::FFMA32, 4});
+    return profile;
+}
+
+std::vector<trace::KernelProfile>
+sweepWorkloads()
+{
+    return {
+        tinyWorkload("pw1", 11),
+        tinyWorkload("pw2", 12, trace::WorkloadClass::Memory),
+        tinyWorkload("pw3", 13),
+    };
+}
+
+std::vector<sim::GpuConfig>
+sweepConfigs()
+{
+    return {
+        sim::multiGpmConfig(2, sim::BwSetting::Bw2x),
+        sim::multiGpmConfig(4, sim::BwSetting::Bw1x,
+                            noc::Topology::Ring,
+                            sim::IntegrationDomain::OnBoard),
+    };
+}
+
+void
+expectIdentical(const RunOutcome &a, const RunOutcome &b)
+{
+    // Bit-exact equality, not tolerance: parallel execution must not
+    // perturb results at all.
+    EXPECT_EQ(a.perf.execCycles, b.perf.execCycles);
+    EXPECT_EQ(a.perf.execSeconds, b.perf.execSeconds);
+    EXPECT_EQ(a.perf.instrs, b.perf.instrs);
+    EXPECT_EQ(a.perf.mem.txns, b.perf.mem.txns);
+    EXPECT_EQ(a.perf.mem.l1SectorMisses, b.perf.mem.l1SectorMisses);
+    EXPECT_EQ(a.perf.mem.l2SectorMisses, b.perf.mem.l2SectorMisses);
+    EXPECT_EQ(a.perf.mem.remoteSectors, b.perf.mem.remoteSectors);
+    EXPECT_EQ(a.perf.mem.localSectors, b.perf.mem.localSectors);
+    EXPECT_EQ(a.perf.link.byteHops, b.perf.link.byteHops);
+    EXPECT_EQ(a.perf.link.messageBytes, b.perf.link.messageBytes);
+    EXPECT_EQ(a.perf.link.transfers, b.perf.link.transfers);
+    EXPECT_EQ(a.perf.smBusyCycles, b.perf.smBusyCycles);
+    EXPECT_EQ(a.perf.smStallCycles, b.perf.smStallCycles);
+    EXPECT_EQ(a.perf.smOccupiedCycles, b.perf.smOccupiedCycles);
+    EXPECT_EQ(a.perf.dramQueueing, b.perf.dramQueueing);
+    EXPECT_EQ(a.perf.linkQueueing, b.perf.linkQueueing);
+    EXPECT_EQ(a.energy.smBusy, b.energy.smBusy);
+    EXPECT_EQ(a.energy.smIdle, b.energy.smIdle);
+    EXPECT_EQ(a.energy.constant, b.energy.constant);
+    EXPECT_EQ(a.energy.shmToReg, b.energy.shmToReg);
+    EXPECT_EQ(a.energy.l1ToReg, b.energy.l1ToReg);
+    EXPECT_EQ(a.energy.l2ToL1, b.energy.l2ToL1);
+    EXPECT_EQ(a.energy.dramToL2, b.energy.dramToL2);
+    EXPECT_EQ(a.energy.interModule, b.energy.interModule);
+}
+
+/** Run the whole sweep at @p workers and copy out every outcome. */
+std::vector<RunOutcome>
+runSweep(unsigned workers, RunCache *disk = nullptr)
+{
+    ScalingRunner runner(context());
+    runner.attachPersistentCache(disk);
+    ParallelRunner pool(runner, workers);
+    auto configs = sweepConfigs();
+    auto workloads = sweepWorkloads();
+    for (const auto &config : configs)
+        pool.enqueueStudy(config, workloads);
+    EXPECT_EQ(pool.workers(), workers);
+    pool.drain();
+    EXPECT_EQ(pool.pending(), 0u);
+
+    std::vector<RunOutcome> outcomes;
+    for (const auto &profile : workloads)
+        outcomes.push_back(runner.run(sim::baselineConfig(), profile));
+    for (const auto &config : configs)
+        for (const auto &profile : workloads)
+            outcomes.push_back(runner.run(config, profile));
+    return outcomes;
+}
+
+TEST(ParallelRunner, BitIdenticalAcrossWorkerCounts)
+{
+    auto serial = runSweep(1);
+    auto two = runSweep(2);
+    auto eight = runSweep(8);
+    ASSERT_EQ(serial.size(), two.size());
+    ASSERT_EQ(serial.size(), eight.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectIdentical(serial[i], two[i]);
+        expectIdentical(serial[i], eight[i]);
+    }
+}
+
+TEST(ParallelRunner, ReferencesStayValidUnderInsertion)
+{
+    // The memo cache hands out references into its map; inserting
+    // many further keys (splitting across every shard) must not
+    // invalidate them. Backed by the static_assert on map node
+    // stability in study.cc.
+    ScalingRunner runner(context());
+    auto first_workload = tinyWorkload("stable", 1);
+    const RunOutcome &first =
+        runner.run(sim::baselineConfig(), first_workload);
+    const RunOutcome copy = first;
+
+    for (unsigned i = 0; i < 24; ++i) {
+        std::string name = "churn" + std::to_string(i);
+        runner.run(sim::baselineConfig(),
+                   tinyWorkload(name.c_str(), 100 + i));
+    }
+
+    const RunOutcome &again =
+        runner.run(sim::baselineConfig(), first_workload);
+    EXPECT_EQ(&first, &again); // same node, untouched
+    expectIdentical(copy, first);
+}
+
+TEST(ParallelRunner, PersistentCacheRoundTripsBitExactly)
+{
+    namespace fs = std::filesystem;
+    fs::remove_all("parallel_runner_scratch");
+    std::string path = "parallel_runner_scratch/runs.json";
+
+    std::vector<RunOutcome> computed;
+    {
+        RunCache disk(path);
+        computed = runSweep(2, &disk);
+        EXPECT_TRUE(disk.flush());
+        EXPECT_EQ(disk.hits(), 0u);
+    }
+
+    // A fresh runner against the flushed file must serve every
+    // point from disk, bit-identically.
+    RunCache reloaded(path);
+    EXPECT_EQ(reloaded.size(), computed.size());
+    auto warm = runSweep(4, &reloaded);
+    EXPECT_EQ(reloaded.hits(), computed.size());
+    ASSERT_EQ(warm.size(), computed.size());
+    for (std::size_t i = 0; i < warm.size(); ++i)
+        expectIdentical(computed[i], warm[i]);
+
+    fs::remove_all("parallel_runner_scratch");
+}
+
+TEST(ParallelRunner, EnqueueDeduplicatesWork)
+{
+    ScalingRunner runner(context());
+    ParallelRunner pool(runner, 1);
+    auto config = sim::multiGpmConfig(2, sim::BwSetting::Bw2x);
+    auto workload = tinyWorkload("dedup", 42);
+
+    pool.enqueue(config, workload);
+    pool.enqueue(config, workload); // duplicate in the same batch
+    EXPECT_EQ(pool.pending(), 1u);
+    pool.drain();
+
+    pool.enqueue(config, workload); // already memoized
+    EXPECT_EQ(pool.pending(), 0u);
+    EXPECT_TRUE(runner.cached(config, workload));
+}
+
+TEST(ParallelRunner, DefaultWorkersHonorsEnvOverride)
+{
+    ::setenv("MMGPU_JOBS", "3", 1);
+    EXPECT_EQ(ParallelRunner::defaultWorkers(), 3u);
+    ::setenv("MMGPU_JOBS", "not-a-number", 1);
+    EXPECT_GE(ParallelRunner::defaultWorkers(), 1u);
+    ::unsetenv("MMGPU_JOBS");
+    EXPECT_GE(ParallelRunner::defaultWorkers(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the persistent on-disk run cache: bit-exact round-trips,
+ * graceful handling of missing/corrupt/stale files, and the
+ * fingerprint keying.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "harness/run_cache.hh"
+#include "sim/gpu_config.hh"
+#include "trace/workloads.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::harness;
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch path per test (ctest runs tests concurrently). */
+std::string
+scratchPath(const char *name)
+{
+    fs::path dir = fs::path("run_cache_scratch") / name;
+    fs::remove_all(dir);
+    return (dir / "runs.json").string();
+}
+
+/** A PerfResult exercising every serialized field with awkward
+ *  doubles (non-terminating binary fractions, tiny magnitudes). */
+sim::PerfResult
+fussyPerf()
+{
+    sim::PerfResult perf;
+    perf.configName = "cfg \"quoted\"";
+    perf.workloadName = "wl\\backslash";
+    perf.execCycles = 123456789.000000123;
+    perf.execSeconds = 0.1; // not representable in binary
+    for (std::size_t i = 0; i < perf.instrs.size(); ++i)
+        perf.instrs[i] = 0x123456789abcdefull + i;
+    for (std::size_t i = 0; i < perf.mem.txns.size(); ++i)
+        perf.mem.txns[i] = 7 * i + 1;
+    perf.mem.l1SectorMisses = 11;
+    perf.mem.l2SectorMisses = 22;
+    perf.mem.remoteSectors = 33;
+    perf.mem.localSectors = 44;
+    perf.mem.writebackSectors = 55;
+    perf.link.byteHops = 66;
+    perf.link.messageBytes = 77;
+    perf.link.switchBytes = 88;
+    perf.link.transfers = 99;
+    perf.smBusyCycles = 1.0 / 3.0;
+    perf.smStallCycles = 2.0 / 7.0;
+    perf.smOccupiedCycles = 1e-300; // subnormal-adjacent
+    perf.l1Accesses = 101;
+    perf.l1SectorHits = 102;
+    perf.l2Accesses = 103;
+    perf.l2SectorHits = 104;
+    perf.dramQueueing = 3.141592653589793;
+    perf.linkQueueing = 2.718281828459045;
+    perf.linkBusy = 0x1.fffffffffffffp+100;
+    perf.dramBusy = 5e-324; // smallest subnormal
+    return perf;
+}
+
+joule::EnergyBreakdown
+fussyEnergy()
+{
+    joule::EnergyBreakdown energy;
+    energy.smBusy = 1.0 / 9.0;
+    energy.smIdle = 1.0 / 11.0;
+    energy.constant = 123.456e-5;
+    energy.shmToReg = 0.0;
+    energy.l1ToReg = 1e22;
+    energy.l2ToL1 = 0.30000000000000004;
+    energy.dramToL2 = 6.02214076e23;
+    energy.interModule = 1.6021766e-19;
+    return energy;
+}
+
+void
+expectExact(const sim::PerfResult &a, const sim::PerfResult &b)
+{
+    EXPECT_EQ(a.configName, b.configName);
+    EXPECT_EQ(a.workloadName, b.workloadName);
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.execSeconds, b.execSeconds);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mem.txns, b.mem.txns);
+    EXPECT_EQ(a.mem.l1SectorMisses, b.mem.l1SectorMisses);
+    EXPECT_EQ(a.mem.l2SectorMisses, b.mem.l2SectorMisses);
+    EXPECT_EQ(a.mem.remoteSectors, b.mem.remoteSectors);
+    EXPECT_EQ(a.mem.localSectors, b.mem.localSectors);
+    EXPECT_EQ(a.mem.writebackSectors, b.mem.writebackSectors);
+    EXPECT_EQ(a.link.byteHops, b.link.byteHops);
+    EXPECT_EQ(a.link.messageBytes, b.link.messageBytes);
+    EXPECT_EQ(a.link.switchBytes, b.link.switchBytes);
+    EXPECT_EQ(a.link.transfers, b.link.transfers);
+    EXPECT_EQ(a.smBusyCycles, b.smBusyCycles);
+    EXPECT_EQ(a.smStallCycles, b.smStallCycles);
+    EXPECT_EQ(a.smOccupiedCycles, b.smOccupiedCycles);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1SectorHits, b.l1SectorHits);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2SectorHits, b.l2SectorHits);
+    EXPECT_EQ(a.dramQueueing, b.dramQueueing);
+    EXPECT_EQ(a.linkQueueing, b.linkQueueing);
+    EXPECT_EQ(a.linkBusy, b.linkBusy);
+    EXPECT_EQ(a.dramBusy, b.dramBusy);
+}
+
+void
+expectExact(const joule::EnergyBreakdown &a,
+            const joule::EnergyBreakdown &b)
+{
+    EXPECT_EQ(a.smBusy, b.smBusy);
+    EXPECT_EQ(a.smIdle, b.smIdle);
+    EXPECT_EQ(a.constant, b.constant);
+    EXPECT_EQ(a.shmToReg, b.shmToReg);
+    EXPECT_EQ(a.l1ToReg, b.l1ToReg);
+    EXPECT_EQ(a.l2ToL1, b.l2ToL1);
+    EXPECT_EQ(a.dramToL2, b.dramToL2);
+    EXPECT_EQ(a.interModule, b.interModule);
+}
+
+TEST(RunCache, RoundTripIsBitExact)
+{
+    std::string path = scratchPath("roundtrip");
+    sim::PerfResult perf = fussyPerf();
+    joule::EnergyBreakdown energy = fussyEnergy();
+
+    {
+        RunCache cache(path);
+        EXPECT_EQ(cache.size(), 0u);
+        cache.insert(0xdeadbeefcafef00dull, perf, energy);
+        EXPECT_TRUE(cache.flush());
+    }
+
+    RunCache reloaded(path);
+    ASSERT_EQ(reloaded.size(), 1u);
+    sim::PerfResult perf2;
+    joule::EnergyBreakdown energy2;
+    ASSERT_TRUE(
+        reloaded.lookup(0xdeadbeefcafef00dull, perf2, energy2));
+    expectExact(perf, perf2);
+    expectExact(energy, energy2);
+    EXPECT_FALSE(reloaded.lookup(0x1234ull, perf2, energy2));
+    EXPECT_EQ(reloaded.hits(), 1u);
+    EXPECT_EQ(reloaded.misses(), 1u);
+
+    fs::remove_all("run_cache_scratch/roundtrip");
+}
+
+TEST(RunCache, CorruptFileIsAMissNotACrash)
+{
+    std::string path = scratchPath("corrupt");
+    fs::create_directories(fs::path(path).parent_path());
+    {
+        std::ofstream os(path);
+        os << "{\"schema\": 1, \"entries\": [this is not json";
+    }
+
+    RunCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);
+    sim::PerfResult perf;
+    joule::EnergyBreakdown energy;
+    EXPECT_FALSE(cache.lookup(1, perf, energy));
+
+    // The cache stays usable: inserts overwrite the corrupt file.
+    cache.insert(1, fussyPerf(), fussyEnergy());
+    EXPECT_TRUE(cache.flush());
+    RunCache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 1u);
+
+    fs::remove_all("run_cache_scratch/corrupt");
+}
+
+TEST(RunCache, StaleSchemaIsInvalidated)
+{
+    std::string path = scratchPath("schema");
+    fs::create_directories(fs::path(path).parent_path());
+    {
+        std::ofstream os(path);
+        os << "{\"schema\": 999, \"entries\": []}";
+    }
+    RunCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);
+    fs::remove_all("run_cache_scratch/schema");
+}
+
+TEST(RunCache, MissingFileIsEmpty)
+{
+    RunCache cache("run_cache_scratch/missing/does_not_exist.json");
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RunCache, FlushMergesSiblingEntries)
+{
+    std::string path = scratchPath("merge");
+    RunCache a(path);
+    RunCache b(path);
+    a.insert(1, fussyPerf(), fussyEnergy());
+    b.insert(2, fussyPerf(), fussyEnergy());
+    EXPECT_TRUE(a.flush());
+    EXPECT_TRUE(b.flush()); // must not drop key 1
+
+    RunCache merged(path);
+    EXPECT_EQ(merged.size(), 2u);
+    fs::remove_all("run_cache_scratch/merge");
+}
+
+TEST(RunCache, FingerprintCoversEveryInput)
+{
+    auto config = sim::multiGpmConfig(4, sim::BwSetting::Bw2x);
+    auto workloads = trace::scalingWorkloads();
+    const trace::KernelProfile &profile = workloads.front();
+
+    std::uint64_t base = runFingerprint(config, profile, 1.0, -1.0, 7);
+    EXPECT_EQ(runFingerprint(config, profile, 1.0, -1.0, 7), base);
+
+    // Any changed input must move the key.
+    EXPECT_NE(runFingerprint(config, profile, 2.0, -1.0, 7), base);
+    EXPECT_NE(runFingerprint(config, profile, 1.0, 0.5, 7), base);
+    EXPECT_NE(runFingerprint(config, profile, 1.0, -1.0, 8), base);
+
+    auto other_config = sim::multiGpmConfig(8, sim::BwSetting::Bw2x);
+    EXPECT_NE(runFingerprint(other_config, profile, 1.0, -1.0, 7),
+              base);
+
+    trace::KernelProfile reseeded = profile;
+    reseeded.seed += 1;
+    EXPECT_NE(runFingerprint(config, reseeded, 1.0, -1.0, 7), base);
+
+    trace::KernelProfile stretched = profile;
+    stretched.iterations += 1;
+    EXPECT_NE(runFingerprint(config, stretched, 1.0, -1.0, 7), base);
+}
+
+} // namespace
