@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Degraded-mode interconnect point study (fault-injection companion
+ * to the §V-B ring scaling results): on the 8-GPM on-package 2x-BW
+ * ring, compare EDPSE of the healthy machine against (a) one fully
+ * failed clockwise link — traffic reroutes the long way around — and
+ * (b) every link derated to half width. Failing one of sixteen links
+ * costs much less than halving all of them: reroutes consume spare
+ * ring capacity, while a uniform derate moves every transfer onto a
+ * slower link. The healthy column must be bit-identical to the same
+ * study without any fault machinery loaded (fault-off determinism).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Degraded-mode interconnect, 8-GPM 2x-BW ring",
+                  "EDPSE under one failed link (reroute) and "
+                  "half-width links (derate)");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    const auto healthy = sim::multiGpmConfig(
+        8, sim::BwSetting::Bw2x, noc::Topology::Ring,
+        sim::IntegrationDomain::OnPackage);
+
+    // One failed clockwise link out of GPM 0.
+    auto one_failed = healthy;
+    one_failed.name += "/fail-gpm0-cw";
+    one_failed.linkFaults.faults.push_back(
+        fault::LinkFault{0, 0, 0.0});
+
+    // Every link (both directions) derated to half capacity.
+    auto derated = healthy;
+    derated.name += "/derate-50";
+    for (unsigned g = 0; g < 8; ++g) {
+        for (unsigned c = 0; c < 2; ++c)
+            derated.linkFaults.faults.push_back(
+                fault::LinkFault{g, c, 0.5});
+    }
+
+    struct Mode
+    {
+        const char *label;
+        const sim::GpuConfig *config;
+    };
+    const Mode modes[] = {{"healthy", &healthy},
+                          {"1 link failed", &one_failed},
+                          {"all links 50%", &derated}};
+
+    TextTable table("EDPSE under interconnect degradation");
+    table.header({"mode", "EDPSE", "delta", "speedup", "energy"});
+    CsvWriter csv({"mode", "edpse", "speedup", "energy_ratio"});
+
+    double edpse_healthy = 0.0, edpse_failed = 0.0;
+    double edpse_derated = 0.0;
+    for (const Mode &mode : modes) {
+        auto points = harness::scalingStudy(runner, *mode.config,
+                                            workloads);
+        double edpse =
+            harness::meanOf(points, &harness::ScalingPoint::edpse);
+        double speedup =
+            harness::meanOf(points, &harness::ScalingPoint::speedup);
+        double energy = harness::meanOf(
+            points, &harness::ScalingPoint::energyRatio);
+        if (mode.config == &healthy)
+            edpse_healthy = edpse;
+        else if (mode.config == &one_failed)
+            edpse_failed = edpse;
+        else
+            edpse_derated = edpse;
+        table.addRow({mode.label, TextTable::pct(edpse),
+                      TextTable::pct(edpse - edpse_healthy),
+                      TextTable::num(speedup, 2),
+                      TextTable::num(energy, 3)});
+        csv.addRow({mode.label, TextTable::num(edpse, 2),
+                    TextTable::num(speedup, 2),
+                    TextTable::num(energy, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\none failed link costs %.2f EDPSE points; "
+                "half-width links cost %.2f\n",
+                edpse_healthy - edpse_failed,
+                edpse_healthy - edpse_derated);
+    bench::writeCsv("pointstudy_degraded", csv);
+
+    // Sanity: degradation can only hurt, and losing one of sixteen
+    // links hurts less than halving all sixteen.
+    bool sane = edpse_failed <= edpse_healthy + 1e-9 &&
+                edpse_derated <= edpse_healthy + 1e-9 &&
+                edpse_derated <= edpse_failed + 1e-9;
+    return sane ? 0 : 1;
+}

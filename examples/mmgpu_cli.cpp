@@ -24,6 +24,17 @@
  *   --timeline-csv <file>   write the timeline as wide CSV
  *   --timeline-dt <us>      telemetry bin width in simulated
  *                           microseconds (default 50)
+ *   --fault-seed <n>        calibrate through a faulty sensor with
+ *                           this fault-stream seed (default fault
+ *                           rates; MMGPU_FAULT_SEED is equivalent)
+ *   --fault-dropout <p>     sensor read dropout probability
+ *   --fault-spike <p>       sensor spike-outlier probability
+ *   --fault-glitch <p>      sensor quantization-glitch probability
+ *   --fault-jitter <f>      refresh-interval jitter fraction
+ *   --link-fault <g:c:s>    degrade link channel c of GPM g to
+ *                           capacity fraction s (0 = failed;
+ *                           repeatable; ring reroutes around
+ *                           failures)
  *   --list                  list catalog workloads and exit
  *
  * Flags accept both "--flag value" and "--flag=value".
@@ -55,7 +66,11 @@ usage(const char *argv0)
                  "          [--cta-sched distributed|round-robin]\n"
                  "          [--link-energy-scale F] [--list]\n"
                  "          [--trace-out FILE] [--timeline-csv FILE] "
-                 "[--timeline-dt US]\n",
+                 "[--timeline-dt US]\n"
+                 "          [--fault-seed N] [--fault-dropout P] "
+                 "[--fault-spike P]\n"
+                 "          [--fault-glitch P] [--fault-jitter F] "
+                 "[--link-fault G:C:S]...\n",
                  argv0);
     std::exit(2);
 }
@@ -111,6 +126,8 @@ main(int argc, char **argv)
     std::string trace_out;
     std::string timeline_csv;
     double timeline_dt_us = 50.0;
+    fault::FaultPlan plan = fault::FaultPlan::fromEnv();
+    fault::LinkFaultSpec link_faults;
 
     // Normalize "--flag=value" into "--flag value".
     std::vector<std::string> args;
@@ -203,6 +220,31 @@ main(int argc, char **argv)
                              "--timeline-dt must be positive\n");
                 return 2;
             }
+        } else if (!std::strcmp(args[i].c_str(), "--fault-seed")) {
+            plan.seed = std::strtoull(need("--fault-seed"), nullptr, 0);
+            if (!plan.sensor.enabled())
+                plan.sensor = fault::defaultSensorFaults();
+        } else if (!std::strcmp(args[i].c_str(), "--fault-dropout")) {
+            plan.sensor.dropoutRate = std::atof(need("--fault-dropout"));
+        } else if (!std::strcmp(args[i].c_str(), "--fault-spike")) {
+            plan.sensor.spikeRate = std::atof(need("--fault-spike"));
+        } else if (!std::strcmp(args[i].c_str(), "--fault-glitch")) {
+            plan.sensor.glitchRate = std::atof(need("--fault-glitch"));
+        } else if (!std::strcmp(args[i].c_str(), "--fault-jitter")) {
+            plan.sensor.jitterFraction =
+                std::atof(need("--fault-jitter"));
+        } else if (!std::strcmp(args[i].c_str(), "--link-fault")) {
+            const char *v = need("--link-fault");
+            unsigned g = 0;
+            unsigned c = 0;
+            double s = 0.0;
+            if (std::sscanf(v, "%u:%u:%lf", &g, &c, &s) != 3) {
+                std::fprintf(stderr,
+                             "--link-fault wants GPM:CHANNEL:SCALE, "
+                             "e.g. 0:0:0.5\n");
+                return 2;
+            }
+            link_faults.faults.push_back(fault::LinkFault{g, c, s});
         } else {
             usage(argv[0]);
         }
@@ -221,14 +263,34 @@ main(int argc, char **argv)
         config.placement = placement;
         config.ctaScheduling = cta_sched;
     }
+    config.linkFaults = link_faults;
+    if (Result<void> checked = config.check(); !checked.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     checked.error().describe().c_str());
+        return 2;
+    }
     std::printf("design point: %s (placement %s, CTA scheduling %s)\n",
                 config.name.c_str(),
                 sim::placementPolicyName(config.placement),
                 sm::ctaSchedPolicyName(config.ctaScheduling));
+    if (plan.sensor.enabled()) {
+        std::printf("sensor faults: seed %#llx, dropout %.0f%%, "
+                    "spikes %.0f%%, glitches %.0f%%, jitter %.0f%%\n",
+                    static_cast<unsigned long long>(plan.seed),
+                    plan.sensor.dropoutRate * 100.0,
+                    plan.sensor.spikeRate * 100.0,
+                    plan.sensor.glitchRate * 100.0,
+                    plan.sensor.jitterFraction * 100.0);
+    }
+    if (!link_faults.empty()) {
+        std::printf("link faults: %zu degraded/failed link(s)\n",
+                    link_faults.faults.size());
+    }
     std::printf("calibrating GPUJoule...\n\n");
 
-    harness::StudyContext context;
+    harness::StudyContext context(plan);
     harness::ScalingRunner runner(context);
+    runner.setFaultPlan(&plan);
 
     bool want_telemetry = !trace_out.empty() || !timeline_csv.empty();
     if (want_telemetry) {

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI gate for the mmgpu repository.
+#
+# Builds three trees and runs the tiered test suite in each:
+#
+#   build        Release       tier1 (the ROADMAP verify gate)
+#   build-asan   ASan + UBSan  tier1
+#   build-tsan   TSan          tier1 + tier2 (the concurrency tests,
+#                              race-instrumented)
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick  Release tier1 only (the pre-push smoke run).
+#
+# Environment: MMGPU_JOBS caps sweep worker threads inside the tests;
+# CTEST_PARALLEL_LEVEL caps ctest concurrency (default: nproc).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+: "${CTEST_PARALLEL_LEVEL:=${jobs}}"
+export CTEST_PARALLEL_LEVEL
+
+generator_args=()
+if command -v ninja >/dev/null 2>&1; then
+    generator_args=(-G Ninja)
+fi
+
+configure_and_build() {
+    local tree="$1"
+    shift
+    # An already-configured tree keeps its cached generator; forcing
+    # -G onto it is a hard cmake error.
+    if [[ -f "${tree}/CMakeCache.txt" ]]; then
+        cmake -B "${tree}" -S . "$@"
+    else
+        cmake -B "${tree}" -S . "${generator_args[@]}" "$@"
+    fi
+    cmake --build "${tree}" -j "${jobs}"
+}
+
+run_tier() {
+    local tree="$1" tier="$2"
+    echo "== ${tree}: ctest -L ${tier} =="
+    ctest --test-dir "${tree}" -L "${tier}" --output-on-failure
+}
+
+echo "== Release tree =="
+configure_and_build build -DCMAKE_BUILD_TYPE=Release
+run_tier build tier1
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "CI quick gate passed (Release tier1)."
+    exit 0
+fi
+
+echo "== ASan/UBSan tree =="
+configure_and_build build-asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMMGPU_SANITIZE=address,undefined
+run_tier build-asan tier1
+
+echo "== TSan tree =="
+configure_and_build build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMMGPU_SANITIZE=thread
+run_tier build-tsan tier1
+run_tier build-tsan tier2
+
+echo "CI gate passed: tier1 everywhere, tier2 under TSan."

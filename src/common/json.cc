@@ -420,18 +420,27 @@ class Parser
         std::size_t start = pos;
         if (pos < text.size() && text[pos] == '-')
             ++pos;
+        // JSON numbers start with a digit after the optional minus;
+        // without this check strtod would also accept "+1", ".5" and
+        // the NaN/Infinity spellings.
+        if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') {
+            pos = start;
+            return std::nullopt;
+        }
         while (pos < text.size() &&
                ((text[pos] >= '0' && text[pos] <= '9') ||
                 text[pos] == '.' || text[pos] == 'e' ||
                 text[pos] == 'E' || text[pos] == '+' ||
                 text[pos] == '-'))
             ++pos;
-        if (pos == start)
-            return std::nullopt;
         std::string token = text.substr(start, pos - start);
         char *end = nullptr;
         double parsed = std::strtod(token.c_str(), &end);
         if (end != token.c_str() + token.size())
+            return std::nullopt;
+        // Overflowed literals ("1e999999") come back infinite;
+        // JSON has no way to round-trip them, so reject.
+        if (!std::isfinite(parsed))
             return std::nullopt;
         return JsonValue(parsed);
     }

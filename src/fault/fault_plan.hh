@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection.
+ *
+ * Real GPUJoule-style measurement campaigns contend with a sensor
+ * that drops samples, spikes, and glitches, with links that fail or
+ * degrade, and with sweep points that hang or die. A FaultPlan
+ * describes all of that declaratively so any campaign can be rerun
+ * bit-identically: everything stochastic draws from streams derived
+ * from the plan's seed, and nothing about worker interleaving feeds
+ * back into the draws (sensor faults are keyed per read off a
+ * private stream, link faults are fixed at network construction,
+ * harness faults match sweep points by name).
+ *
+ * Taxonomy and the determinism contract are documented in DESIGN.md
+ * "Fault model & degraded modes".
+ */
+
+#ifndef MMGPU_FAULT_FAULT_PLAN_HH
+#define MMGPU_FAULT_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmgpu::fault
+{
+
+/**
+ * Sensor misbehaviour rates. All probabilities are per read; a read
+ * suffers at most one of {dropout, spike, glitch}, checked in that
+ * order.
+ */
+struct SensorFaultSpec
+{
+    /** P(read returns no sample — an NVML error). */
+    double dropoutRate = 0.0;
+
+    /** P(read is an outlier spike). */
+    double spikeRate = 0.0;
+
+    /** Spike multiplies the true reading by (1 + spikeMagnitude). */
+    double spikeMagnitude = 1.5;
+
+    /** P(read is offset by a quantization glitch). */
+    double glitchRate = 0.0;
+
+    /** Glitch offset in quantization steps (signed draw). */
+    double glitchSteps = 4.0;
+
+    /** Refresh-latch jitter as a fraction of the refresh period:
+     *  each read's latch tick arrives uniformly up to this fraction
+     *  of a period late. */
+    double jitterFraction = 0.0;
+
+    /** True when any rate is non-zero. */
+    bool
+    enabled() const
+    {
+        return dropoutRate > 0.0 || spikeRate > 0.0 ||
+               glitchRate > 0.0 || jitterFraction > 0.0;
+    }
+};
+
+/**
+ * The default sensor-fault campaign used by tests and docs: >= 5%
+ * dropout plus occasional spikes/glitches and latch jitter. The
+ * calibration tolerance stated in DESIGN.md is against this plan.
+ */
+SensorFaultSpec defaultSensorFaults();
+
+/** One degraded or failed inter-GPM link. */
+struct LinkFault
+{
+    /** GPM whose outgoing link is affected. */
+    unsigned gpm = 0;
+
+    /** Direction/port: ring 0 = clockwise, 1 = counter-clockwise;
+     *  switch 0 = uplink, 1 = downlink. */
+    unsigned channel = 0;
+
+    /** Remaining capacity fraction in (0, 1]; exactly 0 marks the
+     *  link failed (ring traffic reroutes the long way around). */
+    double capacityScale = 1.0;
+
+    bool failed() const { return capacityScale == 0.0; }
+};
+
+/** The set of link faults applied to one configuration. */
+struct LinkFaultSpec
+{
+    std::vector<LinkFault> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /**
+     * Order-sensitive FNV-1a digest; 0 for the empty spec. Folded
+     * into run fingerprints and memo keys so degraded runs never
+     * alias healthy ones.
+     */
+    std::uint64_t digest() const;
+};
+
+/**
+ * Sweep-point sabotage for harness robustness testing. Points are
+ * matched by workload name or by "config|workload".
+ */
+struct HarnessFaultSpec
+{
+    /** Points that fail with SimError{InjectedFault}. */
+    std::vector<std::string> failPoints;
+
+    /** Points that hang (cooperatively, in wall-clock time) until
+     *  hangSeconds elapse or a watchdog cancels them. */
+    std::vector<std::string> hangPoints;
+
+    /** How long an injected hang stalls when nothing cancels it. */
+    double hangSeconds = 30.0;
+
+    bool
+    enabled() const
+    {
+        return !failPoints.empty() || !hangPoints.empty();
+    }
+
+    /** @return true when @p points lists this (config, workload). */
+    static bool matches(const std::vector<std::string> &points,
+                        const std::string &config,
+                        const std::string &workload);
+};
+
+/** A complete, reproducible fault campaign. */
+struct FaultPlan
+{
+    /** Master seed; every fault stream is derived from it. */
+    std::uint64_t seed = 0x0f4a17;
+
+    SensorFaultSpec sensor;
+    HarnessFaultSpec harness;
+
+    /** True when any category injects anything. */
+    bool
+    enabled() const
+    {
+        return sensor.enabled() || harness.enabled();
+    }
+
+    /**
+     * FNV-1a fingerprint over the seed and every rate/point: two
+     * plans with equal fingerprints inject bit-identical faults.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** Derived seed for an independent consumer stream ("sensor",
+     *  "calibration", ...): equal plans give equal streams. */
+    std::uint64_t streamFor(const std::string &consumer) const;
+
+    /**
+     * Build a plan from the environment: `MMGPU_FAULT_SEED=<n>`
+     * enables the default sensor campaign under seed n;
+     * `MMGPU_FAULT_DROPOUT` / `MMGPU_FAULT_SPIKE` /
+     * `MMGPU_FAULT_GLITCH` / `MMGPU_FAULT_JITTER` override the
+     * individual rates. Returns a disabled plan when unset.
+     */
+    static FaultPlan fromEnv();
+};
+
+} // namespace mmgpu::fault
+
+#endif // MMGPU_FAULT_FAULT_PLAN_HH

@@ -23,6 +23,15 @@ Calibrator::Calibrator(const power::SiliconGpu &dev, DeviceSpec s,
 {
 }
 
+void
+Calibrator::attachFaults(const fault::FaultPlan &plan)
+{
+    if (!plan.sensor.enabled())
+        return;
+    sensor.attachFaults(plan.sensor, plan.streamFor("sensor"));
+    faulty = true;
+}
+
 Watts
 Calibrator::measureBench(const Microbench &bench, Seconds roi)
 {
@@ -44,11 +53,65 @@ Calibrator::measureIdle(Seconds roi)
     return meter.measureSteadyPower(timeline, warmup, warmup + roi);
 }
 
+Watts
+Calibrator::measureBenchTolerant(const Microbench &bench, Seconds roi,
+                                 const CalibrationSettings &settings,
+                                 CalibrationResult &result)
+{
+    power::ActivityRates rates = bench.activityOn(spec);
+    Watts true_power = device->kernelPower(rates);
+
+    Seconds r = roi;
+    for (unsigned attempt = 0;; ++attempt) {
+        power::PowerTimeline timeline;
+        timeline.addPhase(warmup, device->idlePower());
+        timeline.addPhase(warmup + r + warmup, true_power);
+        power::SteadyMeasurement m = meter.measureSteadyPowerRobust(
+            timeline, 2.0 * warmup, 2.0 * warmup + r,
+            settings.minValidFraction);
+        if (m.ok || attempt >= settings.measureRetries)
+            return m.power;
+        ++result.measurementRetries;
+        r *= 2.0;
+    }
+}
+
+Watts
+Calibrator::measureIdleTolerant(Seconds roi,
+                                const CalibrationSettings &settings,
+                                CalibrationResult &result)
+{
+    Seconds r = roi;
+    for (unsigned attempt = 0;; ++attempt) {
+        power::PowerTimeline timeline;
+        timeline.addPhase(warmup + r + warmup, device->idlePower());
+        power::SteadyMeasurement m = meter.measureSteadyPowerRobust(
+            timeline, warmup, warmup + r,
+            settings.minValidFraction);
+        if (m.ok || attempt >= settings.measureRetries)
+            return m.power;
+        ++result.measurementRetries;
+        r *= 2.0;
+    }
+}
+
 CalibrationResult
 Calibrator::calibrate(const CalibrationSettings &settings)
 {
     CalibrationResult result;
     Seconds roi = settings.initialRoi;
+
+    // With sensor faults attached every measurement goes through the
+    // robust estimator and retry-with-backoff; without, the original
+    // averaging protocol runs bit-identically to before.
+    auto bench_power = [&](const Microbench &b) {
+        return faulty ? measureBenchTolerant(b, roi, settings, result)
+                      : measureBench(b, roi);
+    };
+    auto idle_power = [&] {
+        return faulty ? measureIdleTolerant(roi, settings, result)
+                      : measureIdle(roi);
+    };
 
     const auto compute_benches = computeSuite();
     const auto memory_benches = memorySuite();
@@ -59,14 +122,14 @@ Calibrator::calibrate(const CalibrationSettings &settings)
         result.iterations = iter;
 
         // Step 1a: Const_Power from the idle device.
-        result.constPower = measureIdle(roi);
+        result.constPower = idle_power();
 
         // Step 1b: compute EPIs per Eq. 5 — the measured power delta
         // divided by the (thread-level) instruction rate.
         for (const auto &bench : compute_benches) {
             mmgpu_assert(bench.targetOp.has_value(),
                          "compute bench without target");
-            Watts active = measureBench(bench, roi);
+            Watts active = bench_power(bench);
             double rate = spec.instrRate(*bench.targetOp);
             Joules epi = (active - result.constPower) / rate;
             result.table.epi[static_cast<std::size_t>(
@@ -91,7 +154,7 @@ Calibrator::calibrate(const CalibrationSettings &settings)
             mmgpu_assert(bench.targetLevel.has_value(),
                          "memory bench without target level");
             isa::TxnLevel level = *bench.targetLevel;
-            Watts active = measureBench(bench, roi);
+            Watts active = bench_power(bench);
             double access_rate = spec.accessRate(level);
             double delta = active - result.constPower;
 
@@ -124,7 +187,7 @@ Calibrator::calibrate(const CalibrationSettings &settings)
         // Step 1d: EP_stall from the low-occupancy bench — subtract
         // the known compute contribution, divide by the stall rate.
         {
-            Watts active = measureBench(stall_bench, roi);
+            Watts active = bench_power(stall_bench);
             power::ActivityRates rates = stall_bench.activityOn(spec);
             double compute_power =
                 rates.instrRates[static_cast<std::size_t>(
@@ -165,7 +228,7 @@ Calibrator::calibrate(const CalibrationSettings &settings)
             ValidationPoint point;
             point.name = bench.name;
             point.modeled = estimate(inputs, params).total();
-            point.measured = measureBench(bench, roi) * duration;
+            point.measured = bench_power(bench) * duration;
             result.validation.push_back(point);
             worst = std::max(worst,
                              std::abs(point.relativeError()));
@@ -174,16 +237,23 @@ Calibrator::calibrate(const CalibrationSettings &settings)
         // Step 4: accuracy achieved?
         if (worst <= settings.accuracyTarget) {
             result.converged = true;
-            return result;
+            break;
         }
         roi *= settings.roiGrowth;
     }
 
-    result.converged = false;
-    warn("GPUJoule calibration did not reach ",
-         settings.accuracyTarget * 100.0,
-         "% on the validation microbenchmarks after ",
-         result.iterations, " iterations");
+    if (!result.converged) {
+        warn("GPUJoule calibration did not reach ",
+             settings.accuracyTarget * 100.0,
+             "% on the validation microbenchmarks after ",
+             result.iterations, " iterations");
+    }
+
+    const power::SensorFaultStats &stats = sensor.faultStats();
+    result.sensorReads = stats.reads;
+    result.droppedSamples = stats.dropouts;
+    result.spikeSamples = stats.spikes;
+    result.glitchSamples = stats.glitches;
     return result;
 }
 

@@ -22,10 +22,32 @@
 #include <set>
 #include <vector>
 
+#include "common/result.hh"
 #include "harness/study.hh"
 
 namespace mmgpu::harness
 {
+
+/** One sweep point that failed to compute. */
+struct PointFailure
+{
+    RunKey key;
+    SimError error;
+};
+
+/** What a drain() pass accomplished. */
+struct DrainReport
+{
+    /** Points that completed (fresh or memoized). */
+    std::size_t completed = 0;
+
+    /** Points that failed, with their errors; the rest of the batch
+     *  still ran to completion (failed-point isolation). */
+    std::vector<PointFailure> failures;
+
+    /** Every point completed. */
+    bool ok() const { return failures.empty(); }
+};
 
 /** Batch executor filling a ScalingRunner's memo cache. */
 class ParallelRunner
@@ -74,13 +96,36 @@ class ParallelRunner
     unsigned workers() const { return workers_; }
 
     /**
+     * Cancel any point still running @p seconds after it started
+     * (0 disables, the default). A monitor thread polls per-point
+     * start times and raises that point's cooperative cancel flag;
+     * the point then reports a timeout SimError instead of stalling
+     * the whole sweep. Cancellation is cooperative — it interrupts
+     * the waits that poll the flag (injected hangs), not arbitrary
+     * compute loops.
+     */
+    void setWatchdog(double seconds) { watchdogSeconds_ = seconds; }
+
+    /**
+     * Checkpoint partial progress: flush the runner's persistent
+     * cache after every @p n completed points (0 disables, the
+     * default). An interrupted sweep then resumes from the last
+     * checkpoint instead of recomputing from scratch.
+     */
+    void setCheckpointEvery(std::size_t n) { checkpointEvery_ = n; }
+
+    /**
      * Execute every queued run and block until all complete. Jobs
      * are claimed off a shared atomic cursor; with one worker (or a
      * single job) everything runs inline on the calling thread.
      * The queue is empty afterwards; the runner's memo cache holds
      * the outcomes.
+     *
+     * A failing point (invalid config, injected fault, watchdog
+     * timeout) is isolated: the remaining points still execute, and
+     * the failure is reported in the returned DrainReport.
      */
-    void drain();
+    DrainReport drain();
 
   private:
     struct Job
@@ -93,6 +138,8 @@ class ParallelRunner
 
     ScalingRunner *runner_;
     unsigned workers_;
+    double watchdogSeconds_ = 0.0;
+    std::size_t checkpointEvery_ = 0;
     std::vector<Job> jobs_;
     std::set<RunKey> queued_; //!< duplicate suppression per batch
 };

@@ -1,11 +1,13 @@
 #include "harness/run_cache.hh"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/hash.hh"
 #include "common/json.hh"
@@ -103,6 +105,7 @@ encodePerf(const sim::PerfResult &perf)
     v.set("linkMessageBytes", encodeCount(perf.link.messageBytes));
     v.set("linkSwitchBytes", encodeCount(perf.link.switchBytes));
     v.set("linkTransfers", encodeCount(perf.link.transfers));
+    v.set("linkRerouted", encodeCount(perf.link.rerouted));
     v.set("smBusyCycles", encodeDouble(perf.smBusyCycles));
     v.set("smStallCycles", encodeDouble(perf.smStallCycles));
     v.set("smOccupiedCycles", encodeDouble(perf.smOccupiedCycles));
@@ -150,6 +153,8 @@ decodePerf(const JsonValue *v, sim::PerfResult &perf)
                        perf.link.switchBytes) &&
            decodeCount(v->find("linkTransfers"),
                        perf.link.transfers) &&
+           decodeCount(v->find("linkRerouted"),
+                       perf.link.rerouted) &&
            decodeDouble(v->find("smBusyCycles"), perf.smBusyCycles) &&
            decodeDouble(v->find("smStallCycles"),
                         perf.smStallCycles) &&
@@ -306,6 +311,11 @@ runFingerprint(const sim::GpuConfig &config,
     hash.add(profile.hwKernelSeconds);
     hash.add(profile.hwGapSeconds);
 
+    // Link faults change routing and link capacities; healthy
+    // configurations contribute nothing (fingerprints unchanged).
+    if (!config.linkFaults.empty())
+        hash.add(config.linkFaults.digest());
+
     // Energy-parameter overrides.
     hash.add(link_energy_scale);
     hash.add(const_growth_override);
@@ -430,27 +440,38 @@ RunCache::flush()
     if (target.has_parent_path())
         fs::create_directories(target.parent_path(), ec);
     std::string tmp = path_ + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out.is_open()) {
-            warn("run cache: cannot write ", tmp);
-            return false;
+
+    // Write + atomic rename, retried with bounded backoff: a
+    // transient failure (filesystem pressure, a racing sibling on
+    // some platforms) should not lose a sweep's worth of results.
+    constexpr unsigned attempts = 3;
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+        if (attempt > 1) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(attempt == 2 ? 1 : 8));
         }
-        doc.write(out);
-        out << "\n";
-        if (!out.good()) {
-            warn("run cache: short write to ", tmp);
-            return false;
+        bool wrote = false;
+        {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (out.is_open()) {
+                doc.write(out);
+                out << "\n";
+                wrote = out.good();
+            }
+        }
+        if (!wrote)
+            continue;
+        ec.clear();
+        fs::rename(tmp, target, ec);
+        if (!ec) {
+            dirty_ = false;
+            return true;
         }
     }
-    fs::rename(tmp, target, ec);
-    if (ec) {
-        warn("run cache: rename to ", path_, " failed: ",
-             ec.message());
-        return false;
-    }
-    dirty_ = false;
-    return true;
+    warn("run cache: flushing ", path_, " failed after ", attempts,
+         " attempts");
+    return false;
 }
 
 RunCache *

@@ -52,7 +52,7 @@ namespace mmgpu::harness
  * header. Bump when the simulator, the energy model, or the
  * serialized layout changes meaning.
  */
-constexpr std::uint64_t runCacheSchemaVersion = 1;
+constexpr std::uint64_t runCacheSchemaVersion = 2;
 
 /** Fingerprint of a calibration outcome (energy-param inputs). */
 std::uint64_t

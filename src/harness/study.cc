@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -53,15 +56,22 @@ struct is_node_stable_map<std::unordered_map<K, V, H, E, A>>
  * per-entry once_flag serializes the actual simulation of one key
  * (seconds) without blocking other keys in the same shard.
  */
+/**
+ * One memoized point: exactly one thread computes it (per-entry
+ * once_flag); the outcome or the failure is then shared by every
+ * caller. A failed point stays failed for the runner's lifetime —
+ * re-querying fails fast instead of re-simulating.
+ */
+struct ScalingRunner::Entry
+{
+    std::once_flag once;
+    std::atomic<bool> done{false};
+    RunOutcome outcome;
+    std::optional<SimError> error;
+};
+
 struct ScalingRunner::Cache
 {
-    struct Entry
-    {
-        std::once_flag once;
-        std::atomic<bool> done{false};
-        RunOutcome outcome;
-    };
-
     using ShardMap = std::map<RunKey, Entry>;
     static_assert(is_node_stable_map<ShardMap>::value,
                   "run() returns references into this map while "
@@ -87,6 +97,7 @@ struct ScalingRunner::Cache
         hash.add(key.ctaScheduling);
         hash.add(key.linkEnergyScale);
         hash.add(key.constGrowthOverride);
+        hash.add(key.linkFaultDigest);
         return hash.digest();
     }
 
@@ -108,10 +119,17 @@ makeKey(const sim::GpuConfig &config,
     return RunKey{config.name, profile.name,
                   static_cast<std::uint8_t>(config.placement),
                   static_cast<std::uint8_t>(config.ctaScheduling),
-                  link_energy_scale, const_growth_override};
+                  link_energy_scale, const_growth_override,
+                  config.linkFaults.digest()};
 }
 
 } // namespace
+
+std::string
+runKeyName(const RunKey &key)
+{
+    return key.config + "|" + key.workload;
+}
 
 joule::EnergyInputs
 inputsFrom(const sim::PerfResult &perf, unsigned gpm_count,
@@ -131,15 +149,26 @@ inputsFrom(const sim::PerfResult &perf, unsigned gpm_count,
     return inputs;
 }
 
-StudyContext::StudyContext()
+StudyContext::StudyContext() : StudyContext(fault::FaultPlan{}) {}
+
+StudyContext::StudyContext(const fault::FaultPlan &plan)
 {
     device_ = std::make_unique<power::SiliconGpu>(
         joule::referenceK40Truth(spec));
     joule::Calibrator calibrator(*device_, spec);
+    calibrator.attachFaults(plan);
     calib = calibrator.calibrate();
     if (!calib.converged)
         warn("study proceeding with unconverged calibration");
     calibFp_ = ::mmgpu::harness::calibrationFingerprint(calib);
+    if (plan.sensor.enabled()) {
+        // Salt the fingerprint with the plan so a degraded campaign
+        // never shares persistent-cache entries with a healthy one,
+        // even if the recovered tables happen to coincide.
+        Fnv1a salted(calibFp_);
+        salted.add(plan.fingerprint());
+        calibFp_ = salted.digest();
+    }
 }
 
 joule::EnergyParams
@@ -169,16 +198,17 @@ ScalingRunner &
 ScalingRunner::operator=(ScalingRunner &&) noexcept = default;
 ScalingRunner::~ScalingRunner() = default;
 
-const RunOutcome &
-ScalingRunner::run(const sim::GpuConfig &config,
-                   const trace::KernelProfile &profile,
-                   double link_energy_scale,
-                   double const_growth_override)
+ScalingRunner::Entry &
+ScalingRunner::ensure(const sim::GpuConfig &config,
+                      const trace::KernelProfile &profile,
+                      double link_energy_scale,
+                      double const_growth_override,
+                      const std::atomic<bool> *cancel)
 {
     RunKey key = makeKey(config, profile, link_energy_scale,
                          const_growth_override);
     Cache::Shard &shard = cache_->shardFor(key);
-    Cache::Entry *entry;
+    Entry *entry;
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         entry = &shard.entries.try_emplace(std::move(key))
@@ -187,11 +217,45 @@ ScalingRunner::run(const sim::GpuConfig &config,
     // First caller computes; concurrent callers of the same key
     // block here until the outcome is ready, then share the node.
     std::call_once(entry->once, [&] {
-        entry->outcome = compute(config, profile, link_energy_scale,
-                                 const_growth_override);
+        Result<RunOutcome> computed =
+            compute(config, profile, link_energy_scale,
+                    const_growth_override, cancel);
+        if (computed.ok())
+            entry->outcome = std::move(computed.value());
+        else
+            entry->error = computed.error();
         entry->done.store(true, std::memory_order_release);
     });
-    return entry->outcome;
+    return *entry;
+}
+
+const RunOutcome &
+ScalingRunner::run(const sim::GpuConfig &config,
+                   const trace::KernelProfile &profile,
+                   double link_energy_scale,
+                   double const_growth_override)
+{
+    Entry &entry = ensure(config, profile, link_energy_scale,
+                          const_growth_override, nullptr);
+    if (entry.error) {
+        mmgpu_fatal("run ", config.name, "|", profile.name,
+                    " failed: ", entry.error->describe());
+    }
+    return entry.outcome;
+}
+
+Result<const RunOutcome *>
+ScalingRunner::tryRun(const sim::GpuConfig &config,
+                      const trace::KernelProfile &profile,
+                      double link_energy_scale,
+                      double const_growth_override,
+                      const std::atomic<bool> *cancel)
+{
+    Entry &entry = ensure(config, profile, link_energy_scale,
+                          const_growth_override, cancel);
+    if (entry.error)
+        return *entry.error;
+    return Result<const RunOutcome *>(&entry.outcome);
 }
 
 bool
@@ -209,12 +273,52 @@ ScalingRunner::cached(const sim::GpuConfig &config,
            it->second.done.load(std::memory_order_acquire);
 }
 
-RunOutcome
+Result<RunOutcome>
 ScalingRunner::compute(const sim::GpuConfig &config,
                        const trace::KernelProfile &profile,
                        double link_energy_scale,
-                       double const_growth_override) const
+                       double const_growth_override,
+                       const std::atomic<bool> *cancel) const
 {
+    // Invalid configurations surface as errors instead of the fatal
+    // GpuSim would raise, so one bad point cannot kill a sweep.
+    if (Result<void> checked = config.check(); !checked.ok())
+        return checked.error();
+
+    // Injected harness faults, matched by point name: a forced
+    // failure reports immediately; a forced hang stalls until the
+    // watchdog cancels it (or, with no watchdog, until the plan's
+    // hang window elapses and the point proceeds normally).
+    if (faultPlan_ != nullptr && faultPlan_->harness.enabled()) {
+        const fault::HarnessFaultSpec &spec = faultPlan_->harness;
+        if (fault::HarnessFaultSpec::matches(spec.failPoints,
+                                             config.name,
+                                             profile.name)) {
+            return SimError::injectedFault(
+                "fault plan failed point " + config.name + "|" +
+                profile.name);
+        }
+        if (fault::HarnessFaultSpec::matches(spec.hangPoints,
+                                             config.name,
+                                             profile.name)) {
+            auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(spec.hangSeconds));
+            while (std::chrono::steady_clock::now() < deadline) {
+                if (cancel != nullptr &&
+                    cancel->load(std::memory_order_acquire)) {
+                    return SimError::timeout(
+                        "watchdog cancelled hung point " +
+                        config.name + "|" + profile.name);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+            }
+        }
+    }
+
     RunOutcome outcome;
     std::uint64_t fingerprint = 0;
     if (persistent_ != nullptr) {

@@ -14,12 +14,15 @@
 #ifndef MMGPU_HARNESS_STUDY_HH
 #define MMGPU_HARNESS_STUDY_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
+#include "fault/fault_plan.hh"
 #include "gpujoule/calibration.hh"
 #include "gpujoule/energy_model.hh"
 #include "gpujoule/multi_module.hh"
@@ -83,6 +86,17 @@ class StudyContext
      */
     StudyContext();
 
+    /**
+     * Like the default constructor, but the calibration campaign
+     * observes the device through a sensor degraded per @p plan
+     * (fault studies and the CLI's --fault-seed path). The
+     * calibrator switches to its outlier-robust protocol; the plan's
+     * fingerprint is folded into calibrationFingerprint() so faulty
+     * campaigns never share persistent-cache entries with healthy
+     * ones.
+     */
+    explicit StudyContext(const fault::FaultPlan &plan);
+
     /** The calibration outcome (table, const power, EP_stall). */
     const joule::CalibrationResult &calibration() const { return calib; }
 
@@ -135,6 +149,10 @@ struct RunKey
     double linkEnergyScale = 1.0;
     double constGrowthOverride = -1.0;
 
+    /** LinkFaultSpec::digest() of the configuration (0 = healthy),
+     *  so degraded-mode points never alias healthy ones. */
+    std::uint64_t linkFaultDigest = 0;
+
     friend bool
     operator<(const RunKey &a, const RunKey &b)
     {
@@ -148,9 +166,14 @@ struct RunKey
             return a.ctaScheduling < b.ctaScheduling;
         if (a.linkEnergyScale != b.linkEnergyScale)
             return a.linkEnergyScale < b.linkEnergyScale;
-        return a.constGrowthOverride < b.constGrowthOverride;
+        if (a.constGrowthOverride != b.constGrowthOverride)
+            return a.constGrowthOverride < b.constGrowthOverride;
+        return a.linkFaultDigest < b.linkFaultDigest;
     }
 };
+
+/** "config|workload" display form of a RunKey (failure reports). */
+std::string runKeyName(const RunKey &key);
 
 /**
  * Memoizing (workload x configuration) runner.
@@ -194,6 +217,35 @@ class ScalingRunner
                           const trace::KernelProfile &profile,
                           double link_energy_scale = 1.0,
                           double const_growth_override = -1.0);
+
+    /**
+     * Like run(), but failures (invalid configurations, injected
+     * harness faults, watchdog cancellation) come back as a SimError
+     * instead of killing the process — what ParallelRunner uses to
+     * isolate a poisoned point from the rest of a sweep. The error
+     * is memoized like an outcome (a failed point fails fast on
+     * re-query); errors are never written to the persistent cache.
+     *
+     * @param cancel Optional cooperative cancellation flag (the
+     *        watchdog sets it); polled while an injected hang waits.
+     */
+    Result<const RunOutcome *>
+    tryRun(const sim::GpuConfig &config,
+           const trace::KernelProfile &profile,
+           double link_energy_scale = 1.0,
+           double const_growth_override = -1.0,
+           const std::atomic<bool> *cancel = nullptr);
+
+    /**
+     * Inject @p plan's harness faults (forced point failures and
+     * hangs) into subsequent computations; nullptr detaches. The
+     * plan must outlive the runner. Sensor faults are a calibration
+     * concern (StudyContext); link faults ride in GpuConfig.
+     */
+    void setFaultPlan(const fault::FaultPlan *plan)
+    {
+        faultPlan_ = plan;
+    }
 
     /** @return true when the point is already memoized (completed). */
     bool cached(const sim::GpuConfig &config,
@@ -249,14 +301,24 @@ class ScalingRunner
   private:
     struct Cache; // sharded memo cache; defined in study.cc
 
-    RunOutcome compute(const sim::GpuConfig &config,
-                       const trace::KernelProfile &profile,
-                       double link_energy_scale,
-                       double const_growth_override) const;
+    /** Shared run()/tryRun() path: memoize outcome or error. */
+    struct Entry;
+    Entry &ensure(const sim::GpuConfig &config,
+                  const trace::KernelProfile &profile,
+                  double link_energy_scale,
+                  double const_growth_override,
+                  const std::atomic<bool> *cancel);
+
+    Result<RunOutcome> compute(const sim::GpuConfig &config,
+                               const trace::KernelProfile &profile,
+                               double link_energy_scale,
+                               double const_growth_override,
+                               const std::atomic<bool> *cancel) const;
 
     const StudyContext *context_;
     std::unique_ptr<Cache> cache_;
     RunCache *persistent_ = nullptr;
+    const fault::FaultPlan *faultPlan_ = nullptr;
     bool persistentReads_ = true;
     bool telemetryEnabled_ = false;
     double telemetryDt_ = 0.0;

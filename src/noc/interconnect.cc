@@ -1,5 +1,6 @@
 #include "noc/interconnect.hh"
 
+#include <algorithm>
 #include <array>
 #include <sstream>
 
@@ -34,22 +35,99 @@ linkName(const char *kind, unsigned gpm, const char *suffix)
     return os.str();
 }
 
+/**
+ * Per-link capacity scales from a fault spec: 1.0 healthy, (0, 1)
+ * derated, 0 failed. Multiple faults on one link compose by taking
+ * the most severe. Fatal on malformed entries — configuration
+ * validation reports these with context first; this is the backstop
+ * for directly constructed networks.
+ */
+std::vector<std::array<double, 2>>
+linkScales(const char *kind, unsigned gpm_count,
+           const fault::LinkFaultSpec &faults)
+{
+    std::vector<std::array<double, 2>> scales(
+        gpm_count, std::array<double, 2>{1.0, 1.0});
+    for (const auto &f : faults.faults) {
+        if (f.gpm >= gpm_count)
+            mmgpu_fatal(kind, " link fault names GPM ", f.gpm,
+                        " but the network has ", gpm_count);
+        if (f.channel > 1)
+            mmgpu_fatal(kind, " link fault channel ", f.channel,
+                        " (links have channels 0 and 1)");
+        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
+            mmgpu_fatal(kind, " link fault capacity scale ",
+                        f.capacityScale, " outside [0, 1]");
+        double &slot = scales[f.gpm][f.channel];
+        slot = std::min(slot, f.capacityScale);
+    }
+    return scales;
+}
+
 } // namespace
 
 RingNetwork::RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                         Cycles hop_latency)
+                         Cycles hop_latency,
+                         const fault::LinkFaultSpec &faults)
     : gpmCount(gpm_count), hopLatency(hop_latency)
 {
     if (gpm_count < 2)
         mmgpu_fatal("ring requires >= 2 GPMs, got ", gpm_count);
+    auto scales = linkScales("ring", gpm_count, faults);
     links.reserve(gpm_count);
+    failed.assign(gpm_count, std::array<bool, 2>{false, false});
     for (unsigned g = 0; g < gpm_count; ++g) {
+        // Failed links keep their nominal capacity but are excluded
+        // from routing; derated links run at reduced width.
+        std::array<double, 2> rate;
+        for (unsigned c = 0; c < 2; ++c) {
+            failed[g][c] = scales[g][c] == 0.0;
+            anyFailed = anyFailed || failed[g][c];
+            rate[c] = failed[g][c]
+                          ? link_bytes_per_cycle
+                          : link_bytes_per_cycle * scales[g][c];
+        }
         links.push_back(std::array<BandwidthServer, 2>{
-            BandwidthServer(linkName("ring", g, ".cw"),
-                            link_bytes_per_cycle),
-            BandwidthServer(linkName("ring", g, ".ccw"),
-                            link_bytes_per_cycle)});
+            BandwidthServer(linkName("ring", g, ".cw"), rate[0]),
+            BandwidthServer(linkName("ring", g, ".ccw"), rate[1])});
     }
+    if (anyFailed) {
+        viaCw.assign(std::size_t{gpmCount} * gpmCount, false);
+        viaCcw.assign(std::size_t{gpmCount} * gpmCount, false);
+        for (unsigned s = 0; s < gpmCount; ++s) {
+            for (unsigned d = 0; d < gpmCount; ++d) {
+                if (s == d)
+                    continue;
+                std::size_t at = std::size_t{s} * gpmCount + d;
+                viaCw[at] = cwViable(s, d);
+                viaCcw[at] = ccwViable(s, d);
+                if (!viaCw[at] && !viaCcw[at])
+                    mmgpu_fatal("link faults partition the ring: GPM ",
+                                s, " cannot reach GPM ", d,
+                                " in either direction");
+            }
+        }
+    }
+}
+
+bool
+RingNetwork::cwViable(unsigned src, unsigned dst) const
+{
+    for (unsigned u = src; u != dst; u = (u + 1) % gpmCount) {
+        if (failed[u][0])
+            return false;
+    }
+    return true;
+}
+
+bool
+RingNetwork::ccwViable(unsigned src, unsigned dst) const
+{
+    for (unsigned u = src; u != dst; u = (u + gpmCount - 1) % gpmCount) {
+        if (failed[u][1])
+            return false;
+    }
+    return true;
 }
 
 unsigned
@@ -70,6 +148,20 @@ RingNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
     unsigned forward = (dst + gpmCount - current) % gpmCount;
     unsigned backward = gpmCount - forward;
     bool clockwise = forward <= backward;
+    if (anyFailed) {
+        // Graceful reroute: when the preferred (shortest) direction
+        // crosses a failed link, go the long way around. Progress in
+        // the chosen direction only shrinks its remaining arc, so a
+        // message never oscillates between directions; the
+        // constructor guaranteed one direction is always viable.
+        bool preferred_ok =
+            clockwise ? viaCw[std::size_t{current} * gpmCount + dst]
+                      : viaCcw[std::size_t{current} * gpmCount + dst];
+        if (!preferred_ok) {
+            clockwise = !clockwise;
+            ++traffic_.rerouted;
+        }
+    }
 
     BandwidthServer &link =
         clockwise ? links[current][0] : links[current][1];
@@ -124,17 +216,25 @@ RingNetwork::reset()
 
 SwitchNetwork::SwitchNetwork(unsigned gpm_count,
                              double link_bytes_per_cycle,
-                             Cycles port_latency, Cycles fabric_latency)
+                             Cycles port_latency, Cycles fabric_latency,
+                             const fault::LinkFaultSpec &faults)
     : gpmCount(gpm_count), portLatency(port_latency),
       fabricLatency(fabric_latency)
 {
     if (gpm_count < 2)
         mmgpu_fatal("switch requires >= 2 GPMs, got ", gpm_count);
+    auto scales = linkScales("switch", gpm_count, faults);
     for (unsigned g = 0; g < gpm_count; ++g) {
+        for (unsigned c = 0; c < 2; ++c) {
+            if (scales[g][c] == 0.0)
+                mmgpu_fatal("switch port failure on GPM ", g,
+                            " strands it: the switch has no alternate"
+                            " path; use a capacity scale > 0");
+        }
         uplinks.emplace_back(linkName("sw", g, ".up"),
-                             link_bytes_per_cycle);
+                             link_bytes_per_cycle * scales[g][0]);
         downlinks.emplace_back(linkName("sw", g, ".down"),
-                               link_bytes_per_cycle);
+                               link_bytes_per_cycle * scales[g][1]);
     }
 }
 
@@ -209,10 +309,39 @@ SwitchNetwork::reset()
     traffic_.reset();
 }
 
+bool
+ringPartitioned(unsigned gpm_count, const fault::LinkFaultSpec &faults)
+{
+    std::vector<std::array<bool, 2>> down(
+        gpm_count, std::array<bool, 2>{false, false});
+    for (const auto &f : faults.faults) {
+        if (f.gpm >= gpm_count || f.channel > 1)
+            continue; // malformed entries are rejected elsewhere
+        if (f.capacityScale == 0.0)
+            down[f.gpm][f.channel] = true;
+    }
+    for (unsigned s = 0; s < gpm_count; ++s) {
+        for (unsigned d = 0; d < gpm_count; ++d) {
+            if (s == d)
+                continue;
+            bool cw_ok = true;
+            for (unsigned u = s; u != d; u = (u + 1) % gpm_count)
+                cw_ok = cw_ok && !down[u][0];
+            bool ccw_ok = true;
+            for (unsigned u = s; u != d;
+                 u = (u + gpm_count - 1) % gpm_count)
+                ccw_ok = ccw_ok && !down[u][1];
+            if (!cw_ok && !ccw_ok)
+                return true;
+        }
+    }
+    return false;
+}
+
 std::unique_ptr<InterGpmNetwork>
 makeNetwork(Topology topology, unsigned gpm_count,
             double per_gpm_io_bytes_per_cycle, Cycles hop_latency,
-            Cycles switch_latency)
+            Cycles switch_latency, const fault::LinkFaultSpec &faults)
 {
     switch (topology) {
       case Topology::None:
@@ -221,11 +350,12 @@ makeNetwork(Topology topology, unsigned gpm_count,
         // A GPM's I/O bandwidth is split across its two ring
         // directions.
         return std::make_unique<RingNetwork>(
-            gpm_count, per_gpm_io_bytes_per_cycle / 2.0, hop_latency);
+            gpm_count, per_gpm_io_bytes_per_cycle / 2.0, hop_latency,
+            faults);
       case Topology::Switch:
         return std::make_unique<SwitchNetwork>(
             gpm_count, per_gpm_io_bytes_per_cycle, hop_latency,
-            switch_latency);
+            switch_latency, faults);
       default:
         mmgpu_panic("bad topology");
     }

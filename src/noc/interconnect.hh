@@ -17,10 +17,12 @@
 #ifndef MMGPU_NOC_INTERCONNECT_HH
 #define MMGPU_NOC_INTERCONNECT_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 #include "noc/bandwidth_server.hh"
 
 namespace mmgpu::noc
@@ -62,6 +64,10 @@ struct LinkTraffic
     /** Messages that crossed the network. */
     Count transfers = 0;
 
+    /** Ring hops forced away from the shortest direction by a
+     *  failed link (degraded-mode diagnostic; 0 when healthy). */
+    Count rerouted = 0;
+
     void
     reset()
     {
@@ -69,6 +75,7 @@ struct LinkTraffic
         messageBytes = 0;
         switchBytes = 0;
         transfers = 0;
+        rerouted = 0;
     }
 };
 
@@ -177,9 +184,15 @@ class RingNetwork : public InterGpmNetwork
      *        The paper's per-GPM I/O bandwidth setting is split
      *        across the two directions a GPM can send into.
      * @param hop_latency Per-hop pipeline latency in cycles.
+     * @param faults Degraded/failed links (channel 0 = clockwise,
+     *        1 = counter-clockwise). A failed link forces traffic
+     *        the long way around the ring (graceful reroute); the
+     *        constructor is fatal when the failures leave some pair
+     *        of GPMs unreachable in both directions.
      */
     RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                Cycles hop_latency);
+                Cycles hop_latency,
+                const fault::LinkFaultSpec &faults = {});
 
     HopOutcome step(unsigned current, unsigned dst, Tick t,
                     double bytes) override;
@@ -191,14 +204,28 @@ class RingNetwork : public InterGpmNetwork
 
     void reset() override;
 
-    /** Hop count of the shorter direction from @p src to @p dst. */
+    /** Hop count of the shorter direction from @p src to @p dst
+     *  (ignores faults: the healthy-topology distance). */
     unsigned hopCount(unsigned src, unsigned dst) const;
 
   private:
+    /** All clockwise links from @p src to @p dst are up. */
+    bool cwViable(unsigned src, unsigned dst) const;
+
+    /** All counter-clockwise links from @p src to @p dst are up. */
+    bool ccwViable(unsigned src, unsigned dst) const;
+
     unsigned gpmCount;
     Cycles hopLatency;
     /** links[g][0] = clockwise link out of GPM g, [1] = ccw. */
     std::vector<std::array<BandwidthServer, 2>> links;
+    /** failed[g][c]: link exists but routes no traffic. */
+    std::vector<std::array<bool, 2>> failed;
+    /** Any failed link present (degraded routing engaged). */
+    bool anyFailed = false;
+    /** Precomputed viability, indexed [src * gpmCount + dst]. */
+    std::vector<bool> viaCw;
+    std::vector<bool> viaCcw;
 };
 
 /**
@@ -215,9 +242,14 @@ class SwitchNetwork : public InterGpmNetwork
      *        (the full per-GPM I/O bandwidth setting).
      * @param port_latency One-way port latency in cycles.
      * @param fabric_latency Fabric crossing latency in cycles.
+     * @param faults Degraded ports (channel 0 = uplink, 1 =
+     *        downlink). Ports run at reduced width (capacityScale);
+     *        a fully failed port (scale 0) strands its GPM — the
+     *        switch has no alternate path — and is fatal here.
      */
     SwitchNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                  Cycles port_latency, Cycles fabric_latency);
+                  Cycles port_latency, Cycles fabric_latency,
+                  const fault::LinkFaultSpec &faults = {});
 
     HopOutcome step(unsigned current, unsigned dst, Tick t,
                     double bytes) override;
@@ -241,13 +273,23 @@ class SwitchNetwork : public InterGpmNetwork
 };
 
 /**
- * Build the network for @p topology.
+ * Do @p faults' failed links leave some pair of GPMs on a
+ * @p gpm_count ring unreachable in both directions? Exposed so
+ * configuration validation can reject such plans before a fatal
+ * deep inside network construction.
+ */
+bool ringPartitioned(unsigned gpm_count,
+                     const fault::LinkFaultSpec &faults);
+
+/**
+ * Build the network for @p topology, wiring in any link faults.
  * @return nullptr for Topology::None.
  */
 std::unique_ptr<InterGpmNetwork>
 makeNetwork(Topology topology, unsigned gpm_count,
             double per_gpm_io_bytes_per_cycle, Cycles hop_latency,
-            Cycles switch_latency);
+            Cycles switch_latency,
+            const fault::LinkFaultSpec &faults = {});
 
 } // namespace mmgpu::noc
 

@@ -1,5 +1,8 @@
 #include "power/measurement.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace mmgpu::power
@@ -9,7 +12,7 @@ Watts
 PowerMeter::measureSteadyPower(const PowerTimeline &timeline,
                                Seconds roi_start, Seconds roi_end)
 {
-    mmgpu_assert(roi_end > roi_start, "empty measurement ROI");
+    mmgpu_assert(roi_end >= roi_start, "inverted measurement ROI");
     const Seconds period = sensor->spec().refreshPeriod;
     double sum = 0.0;
     unsigned samples = 0;
@@ -23,6 +26,72 @@ PowerMeter::measureSteadyPower(const PowerTimeline &timeline,
         return sensor->read(timeline, roi_end);
     }
     return sum / samples;
+}
+
+SteadyMeasurement
+PowerMeter::measureSteadyPowerRobust(const PowerTimeline &timeline,
+                                     Seconds roi_start,
+                                     Seconds roi_end,
+                                     double min_valid_fraction)
+{
+    mmgpu_assert(roi_end >= roi_start, "inverted measurement ROI");
+    const Seconds period = sensor->spec().refreshPeriod;
+
+    std::vector<double> values;
+    unsigned polls = 0;
+    SteadyMeasurement out;
+    for (Seconds t = roi_start + period; t <= roi_end; t += period) {
+        ++polls;
+        SensorSample s = sensor->sample(timeline, t);
+        if (!s.valid) {
+            ++out.dropped;
+            continue;
+        }
+        values.push_back(s.value);
+    }
+    if (polls == 0) {
+        // ROI shorter than one refresh period: a single read is all
+        // the protocol can offer.
+        SensorSample s = sensor->sample(timeline, roi_end);
+        polls = 1;
+        if (s.valid)
+            values.push_back(s.value);
+        else
+            ++out.dropped;
+    }
+    out.samples = static_cast<unsigned>(values.size());
+    if (values.empty()) {
+        out.ok = false;
+        return out;
+    }
+
+    // Median of contiguous-window means: split the surviving samples
+    // into up to five windows; a spike inflates at most one window's
+    // mean and the median rejects it. With fewer than five samples
+    // this degrades to the plain median of the reads.
+    const std::size_t window_count =
+        std::min<std::size_t>(5, values.size());
+    std::vector<double> means;
+    means.reserve(window_count);
+    const std::size_t base = values.size() / window_count;
+    const std::size_t extra = values.size() % window_count;
+    std::size_t cursor = 0;
+    for (std::size_t w = 0; w < window_count; ++w) {
+        std::size_t len = base + (w < extra ? 1 : 0);
+        double sum = 0.0;
+        for (std::size_t i = 0; i < len; ++i)
+            sum += values[cursor + i];
+        means.push_back(sum / static_cast<double>(len));
+        cursor += len;
+    }
+    std::sort(means.begin(), means.end());
+    const std::size_t mid = means.size() / 2;
+    out.power = means.size() % 2 == 1
+                    ? means[mid]
+                    : 0.5 * (means[mid - 1] + means[mid]);
+    out.ok = static_cast<double>(out.samples) >=
+             min_valid_fraction * static_cast<double>(polls);
+    return out;
 }
 
 Joules

@@ -33,6 +33,22 @@ struct KernelWindow
     Seconds end = 0.0;
 };
 
+/** Outcome of a fault-aware steady-state measurement. */
+struct SteadyMeasurement
+{
+    /** Robust steady-power estimate over the ROI. */
+    Watts power = 0.0;
+
+    /** Valid samples that went into the estimate. */
+    unsigned samples = 0;
+
+    /** Dropped-out reads (NVML errors) within the ROI. */
+    unsigned dropped = 0;
+
+    /** True when enough reads survived to trust the estimate. */
+    bool ok = false;
+};
+
 /** Measurement protocols. */
 class PowerMeter
 {
@@ -43,10 +59,26 @@ class PowerMeter
     /**
      * Average sensor reading over [roi_start, roi_end], polling at
      * the sensor's refresh period (the paper's steady-state
-     * microbenchmark protocol).
+     * microbenchmark protocol). A zero-length ROI degrades to a
+     * single read at roi_end.
      */
     Watts measureSteadyPower(const PowerTimeline &timeline,
                              Seconds roi_start, Seconds roi_end);
+
+    /**
+     * Outlier-robust variant for faulty sensors: polls like
+     * measureSteadyPower but discards dropped-out reads, then
+     * estimates steady power as the median of window means (the
+     * samples are split into up to five contiguous windows; a spike
+     * inflates one window's mean and the median rejects it). The
+     * result is flagged not-ok when fewer than
+     * @p min_valid_fraction of the polls survived — callers retry
+     * with a longer ROI (per-microbench retry-with-backoff).
+     */
+    SteadyMeasurement
+    measureSteadyPowerRobust(const PowerTimeline &timeline,
+                             Seconds roi_start, Seconds roi_end,
+                             double min_valid_fraction = 0.5);
 
     /**
      * Per-kernel energy attribution: for each window, energy is the

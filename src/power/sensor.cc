@@ -55,21 +55,77 @@ PowerSensor::filteredPower(const PowerTimeline &timeline,
     return filtered;
 }
 
+void
+PowerSensor::attachFaults(const fault::SensorFaultSpec &faults,
+                          std::uint64_t seed)
+{
+    faults_ = faults;
+    faultRng_ = Rng(seed);
+}
+
 Watts
 PowerSensor::read(const PowerTimeline &timeline, Seconds t)
 {
+    return sample(timeline, t).value;
+}
+
+SensorSample
+PowerSensor::sample(const PowerTimeline &timeline, Seconds t)
+{
     mmgpu_assert(t >= 0.0, "sensor read before time zero");
     // The register updates every refreshPeriod; a read returns the
-    // value latched at the most recent refresh tick.
-    Seconds latch =
-        std::floor(t / spec_.refreshPeriod) * spec_.refreshPeriod;
-    double value = filteredPower(timeline, latch);
+    // value latched at the most recent refresh tick. floor(t/T) can
+    // round the quotient below the integer when t is an exact
+    // multiple of T (t/T lands one ulp under the integer), so bump k
+    // whenever the next tick is still <= t: a read landing exactly
+    // on a refresh boundary sees that boundary's latch.
+    double k = std::floor(t / spec_.refreshPeriod);
+    if ((k + 1.0) * spec_.refreshPeriod <= t)
+        k += 1.0;
+    Seconds latch = k * spec_.refreshPeriod;
 
+    SensorSample out;
+    if (faults_) {
+        ++faultStats_.reads;
+        // Latch jitter: the refresh tick lands late, so a read just
+        // after a nominal tick can still see the previous latch.
+        if (faults_->jitterFraction > 0.0 && latch > 0.0) {
+            Seconds late = faults_->jitterFraction *
+                           spec_.refreshPeriod * faultRng_.uniform();
+            if (latch + late > t)
+                latch -= spec_.refreshPeriod;
+            if (latch < 0.0)
+                latch = 0.0;
+        }
+        if (faultRng_.chance(faults_->dropoutRate)) {
+            ++faultStats_.dropouts;
+            out.valid = false;
+            out.value = 0.0;
+            return out;
+        }
+        out.spiked = faultRng_.chance(faults_->spikeRate);
+        out.glitched =
+            !out.spiked && faultRng_.chance(faults_->glitchRate);
+    }
+
+    double value = filteredPower(timeline, latch);
     value *= 1.0 + spec_.noiseSigma * rng.gaussian();
+    if (out.spiked) {
+        ++faultStats_.spikes;
+        value *= 1.0 + faults_->spikeMagnitude;
+    }
+    if (out.glitched) {
+        ++faultStats_.glitches;
+        double step = spec_.quantization > 0.0 ? spec_.quantization
+                                               : 1.0;
+        double sign = faultRng_.chance(0.5) ? 1.0 : -1.0;
+        value += sign * faults_->glitchSteps * step;
+    }
     if (spec_.quantization > 0.0)
         value = std::round(value / spec_.quantization) *
                 spec_.quantization;
-    return value < 0.0 ? 0.0 : value;
+    out.value = value < 0.0 ? 0.0 : value;
+    return out;
 }
 
 } // namespace mmgpu::power

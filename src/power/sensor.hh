@@ -15,8 +15,11 @@
 #ifndef MMGPU_POWER_SENSOR_HH
 #define MMGPU_POWER_SENSOR_HH
 
+#include <optional>
+
 #include "common/rng.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 #include "power/silicon.hh"
 
 namespace mmgpu::power
@@ -40,6 +43,31 @@ struct SensorSpec
     double noiseSigma = 0.005;
 };
 
+/** One sensor read with its fault annotations. */
+struct SensorSample
+{
+    /** Reported value; 0 when the read dropped out. */
+    Watts value = 0.0;
+
+    /** False when the read returned no sample (an NVML error). */
+    bool valid = true;
+
+    /** The read was an injected outlier spike. */
+    bool spiked = false;
+
+    /** The read was offset by an injected quantization glitch. */
+    bool glitched = false;
+};
+
+/** Injected-fault accounting since construction. */
+struct SensorFaultStats
+{
+    Count reads = 0;
+    Count dropouts = 0;
+    Count spikes = 0;
+    Count glitches = 0;
+};
+
 /** Samples a PowerTimeline the way the on-board sensor would. */
 class PowerSensor
 {
@@ -55,9 +83,26 @@ class PowerSensor
      * The value the sensor would report at time @p t into
      * @p timeline: the exponentially weighted average of true power
      * (time constant responseTau), held since the last refresh tick,
-     * quantized and noisy.
+     * quantized and noisy. With faults attached, a dropped-out read
+     * reports 0 — callers that must distinguish use sample().
      */
     Watts read(const PowerTimeline &timeline, Seconds t);
+
+    /** Like read(), but reporting dropout/spike/glitch status. */
+    SensorSample sample(const PowerTimeline &timeline, Seconds t);
+
+    /**
+     * Inject faults per @p faults into every subsequent read, drawn
+     * from a stream seeded by @p seed (independent of the noise
+     * stream, so the underlying noise sequence is unchanged).
+     * Detached sensors behave exactly as before — the fault path
+     * costs nothing when never attached.
+     */
+    void attachFaults(const fault::SensorFaultSpec &faults,
+                      std::uint64_t seed);
+
+    /** Injected-fault counters (zero when faults never attached). */
+    const SensorFaultStats &faultStats() const { return faultStats_; }
 
     /** The spec in use. */
     const SensorSpec &spec() const { return spec_; }
@@ -69,6 +114,9 @@ class PowerSensor
 
     SensorSpec spec_;
     Rng rng;
+    std::optional<fault::SensorFaultSpec> faults_;
+    Rng faultRng_{0};
+    SensorFaultStats faultStats_;
 };
 
 } // namespace mmgpu::power

@@ -1,8 +1,10 @@
 #include "sim/gpu_config.hh"
 
 #include <sstream>
+#include <string>
 
 #include "common/logging.hh"
+#include "isa/instruction.hh"
 
 namespace mmgpu::sim
 {
@@ -60,22 +62,78 @@ defaultDomainFor(BwSetting bw)
                                  : IntegrationDomain::OnPackage;
 }
 
+Result<void>
+GpuConfig::check() const
+{
+    auto bad = [this](const std::string &what) {
+        return SimError::config("config '" + name + "': " + what);
+    };
+
+    if (gpmCount == 0 || smsPerGpm == 0 || warpSlotsPerSm == 0)
+        return bad("zero-sized machine (gpmCount, smsPerGpm and"
+                   " warpSlotsPerSm must all be > 0)");
+    if (issueSlotsPerCycle <= 0.0)
+        return bad("non-positive issue rate");
+    if (clock.frequency() <= 0.0)
+        return bad("non-positive core clock frequency");
+    if (memory.gpmCount != gpmCount || memory.smsPerGpm != smsPerGpm)
+        return bad("memory config disagrees with machine shape (set"
+                   " memory.gpmCount/memory.smsPerGpm to match)");
+    if (gpmCount > 1 && topology == noc::Topology::None)
+        return bad("multi-GPM machine without interconnect (choose a"
+                   " ring or switch topology)");
+    if (gpmCount == 1 && topology != noc::Topology::None)
+        return bad("single-GPM machine with an interconnect (drop the"
+                   " topology or add GPMs)");
+    if (gpmCount > 1 && interGpmBytesPerCycle <= 0.0)
+        return bad("zero inter-GPM link bandwidth: a multi-GPM"
+                   " machine needs interGpmBytesPerCycle > 0");
+
+    if (memory.l2BytesPerGpm == 0 || memory.l2Assoc == 0)
+        return bad("inconsistent L2 slices: zero slice size or"
+                   " associativity");
+    if (memory.l2BytesPerGpm %
+            (static_cast<Bytes>(memory.l2Assoc) * isa::cacheLineBytes)
+        != 0)
+        return bad("inconsistent L2 slices: slice size is not a"
+                   " multiple of associativity x " +
+                   std::to_string(isa::cacheLineBytes) +
+                   "-byte lines");
+
+    for (const auto &f : linkFaults.faults) {
+        if (topology == noc::Topology::None)
+            return bad("link faults on a machine without an"
+                       " interconnect");
+        if (f.gpm >= gpmCount)
+            return bad("link fault names GPM " +
+                       std::to_string(f.gpm) + " but the machine has " +
+                       std::to_string(gpmCount));
+        if (f.channel > 1)
+            return bad("link fault channel " +
+                       std::to_string(f.channel) +
+                       " (links have channels 0 and 1)");
+        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
+            return bad("link fault capacity scale outside [0, 1]");
+        if (topology == noc::Topology::Switch && f.failed())
+            return bad("switch port failure strands GPM " +
+                       std::to_string(f.gpm) +
+                       ": the switch has no alternate path; use a"
+                       " capacity scale > 0");
+    }
+    if (topology == noc::Topology::Ring &&
+        noc::ringPartitioned(gpmCount, linkFaults))
+        return bad("link faults partition the ring: some GPM pair is"
+                   " unreachable in both directions");
+
+    return Result<void>::success();
+}
+
 void
 GpuConfig::validate() const
 {
-    if (gpmCount == 0 || smsPerGpm == 0 || warpSlotsPerSm == 0)
-        mmgpu_fatal("config '", name, "': zero-sized machine");
-    if (issueSlotsPerCycle <= 0.0)
-        mmgpu_fatal("config '", name, "': non-positive issue rate");
-    if (memory.gpmCount != gpmCount || memory.smsPerGpm != smsPerGpm)
-        mmgpu_fatal("config '", name,
-                    "': memory config disagrees with machine shape");
-    if (gpmCount > 1 && topology == noc::Topology::None)
-        mmgpu_fatal("config '", name,
-                    "': multi-GPM machine without interconnect");
-    if (gpmCount == 1 && topology != noc::Topology::None)
-        mmgpu_fatal("config '", name,
-                    "': single-GPM machine with an interconnect");
+    Result<void> checked = check();
+    if (!checked.ok())
+        mmgpu_fatal(checked.error().message);
 }
 
 GpuConfig

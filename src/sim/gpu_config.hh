@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
 #include "common/units.hh"
+#include "fault/fault_plan.hh"
 #include "mem/mem_system.hh"
 #include "noc/interconnect.hh"
 #include "sm/cta_scheduler.hh"
@@ -98,8 +100,22 @@ struct GpuConfig
     /** Core clock. All configurations run at 1 GHz. */
     ClockDomain clock{1.0e9};
 
+    /**
+     * Degraded or failed inter-GPM links for fault studies. Empty in
+     * every healthy configuration (and excluded from run
+     * fingerprints when empty, so healthy caches are unaffected).
+     */
+    fault::LinkFaultSpec linkFaults;
+
     /** Total SMs across the GPU. */
     unsigned totalSms() const { return gpmCount * smsPerGpm; }
+
+    /**
+     * Consistency checks. Reports the first problem found with an
+     * actionable message; library code that must not abort calls
+     * this instead of validate().
+     */
+    Result<void> check() const;
 
     /** Consistency checks; fatal() on user error. */
     void validate() const;

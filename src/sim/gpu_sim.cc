@@ -144,7 +144,8 @@ GpuSim::run(const trace::KernelProfile &profile)
     network = noc::makeNetwork(config_.topology, config_.gpmCount,
                                config_.interGpmBytesPerCycle,
                                config_.hopLatency,
-                               config_.switchLatency);
+                               config_.switchLatency,
+                               config_.linkFaults);
     memory = std::make_unique<mem::MemSystem>(config_.memory,
                                               network.get());
     sms.clear();
@@ -259,6 +260,13 @@ GpuSim::run(const trace::KernelProfile &profile)
         reg.gauge("sim/sm_busy_cycles").set(busyAccum);
         reg.gauge("sim/sm_stall_cycles").set(stallAccum);
         reg.gauge("sim/sm_occupied_cycles").set(occupiedAccum);
+        if (!config_.linkFaults.empty()) {
+            reg.counter("fault/link_reroutes")
+                .add(result.link.rerouted);
+            reg.gauge("fault/degraded_links")
+                .set(static_cast<double>(
+                    config_.linkFaults.faults.size()));
+        }
 
         telemetry::RunInfo info;
         info.configName = config_.name;

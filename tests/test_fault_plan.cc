@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the deterministic fault-plan descriptions: the
+ * fingerprint/stream derivations (the reproducibility contract), the
+ * sweep-point matcher, and the environment loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "fault/fault_plan.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+using namespace mmgpu::fault;
+
+TEST(SensorFaultSpec, EnabledWhenAnyRateIsSet)
+{
+    SensorFaultSpec spec;
+    EXPECT_FALSE(spec.enabled());
+    spec.dropoutRate = 0.01;
+    EXPECT_TRUE(spec.enabled());
+
+    spec = {};
+    spec.jitterFraction = 0.1;
+    EXPECT_TRUE(spec.enabled());
+}
+
+TEST(SensorFaultSpec, DefaultCampaignMeetsDocumentedFloor)
+{
+    // DESIGN.md states the calibration tolerance against this plan:
+    // at least 5% dropout plus spikes.
+    SensorFaultSpec spec = defaultSensorFaults();
+    EXPECT_TRUE(spec.enabled());
+    EXPECT_GE(spec.dropoutRate, 0.05);
+    EXPECT_GT(spec.spikeRate, 0.0);
+}
+
+TEST(LinkFaultSpec, DigestIsOrderSensitiveAndZeroWhenEmpty)
+{
+    LinkFaultSpec empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_EQ(empty.digest(), 0u);
+
+    LinkFaultSpec a;
+    a.faults.push_back({0, 0, 0.0});
+    a.faults.push_back({1, 1, 0.5});
+    LinkFaultSpec b;
+    b.faults.push_back({1, 1, 0.5});
+    b.faults.push_back({0, 0, 0.0});
+    EXPECT_NE(a.digest(), 0u);
+    EXPECT_EQ(a.digest(), LinkFaultSpec{a}.digest());
+    EXPECT_NE(a.digest(), b.digest());
+
+    LinkFaultSpec derated = a;
+    derated.faults[0].capacityScale = 0.25;
+    EXPECT_NE(a.digest(), derated.digest());
+}
+
+TEST(LinkFault, FailedMeansExactlyZeroCapacity)
+{
+    EXPECT_TRUE((LinkFault{0, 0, 0.0}.failed()));
+    EXPECT_FALSE((LinkFault{0, 0, 0.5}.failed()));
+    EXPECT_FALSE((LinkFault{0, 0, 1.0}.failed()));
+}
+
+TEST(HarnessFaultSpec, MatchesByWorkloadOrQualifiedName)
+{
+    std::vector<std::string> points = {"bfs", "8-GPM|stream"};
+    EXPECT_TRUE(HarnessFaultSpec::matches(points, "any-cfg", "bfs"));
+    EXPECT_TRUE(HarnessFaultSpec::matches(points, "8-GPM", "stream"));
+    EXPECT_FALSE(
+        HarnessFaultSpec::matches(points, "4-GPM", "stream"));
+    EXPECT_FALSE(HarnessFaultSpec::matches(points, "any-cfg", "mst"));
+    EXPECT_FALSE(HarnessFaultSpec::matches({}, "cfg", "bfs"));
+}
+
+TEST(FaultPlan, DisabledByDefault)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    plan.sensor.dropoutRate = 0.05;
+    EXPECT_TRUE(plan.enabled());
+
+    FaultPlan hangs;
+    hangs.harness.hangPoints.push_back("bfs");
+    EXPECT_TRUE(hangs.enabled());
+}
+
+TEST(FaultPlan, FingerprintCoversEveryKnob)
+{
+    FaultPlan base;
+    std::uint64_t fp = base.fingerprint();
+    EXPECT_EQ(FaultPlan{}.fingerprint(), fp); // stable
+
+    FaultPlan reseeded;
+    reseeded.seed += 1;
+    EXPECT_NE(reseeded.fingerprint(), fp);
+
+    FaultPlan noisy;
+    noisy.sensor.dropoutRate = 0.08;
+    EXPECT_NE(noisy.fingerprint(), fp);
+
+    FaultPlan jittery;
+    jittery.sensor.jitterFraction = 0.25;
+    EXPECT_NE(jittery.fingerprint(), fp);
+
+    FaultPlan sabotaged;
+    sabotaged.harness.failPoints.push_back("bfs");
+    EXPECT_NE(sabotaged.fingerprint(), fp);
+
+    FaultPlan hung;
+    hung.harness.hangPoints.push_back("bfs");
+    EXPECT_NE(hung.fingerprint(), sabotaged.fingerprint());
+}
+
+TEST(FaultPlan, StreamsAreStablePerConsumerAndDistinct)
+{
+    FaultPlan plan;
+    EXPECT_EQ(plan.streamFor("sensor"), plan.streamFor("sensor"));
+    EXPECT_NE(plan.streamFor("sensor"), plan.streamFor("calibration"));
+
+    FaultPlan reseeded;
+    reseeded.seed += 1;
+    EXPECT_NE(reseeded.streamFor("sensor"), plan.streamFor("sensor"));
+}
+
+TEST(FaultPlan, FromEnvDisabledWithoutSeed)
+{
+    ::unsetenv("MMGPU_FAULT_SEED");
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, FromEnvEnablesDefaultCampaign)
+{
+    ::setenv("MMGPU_FAULT_SEED", "0x123", 1);
+    ::unsetenv("MMGPU_FAULT_DROPOUT");
+    ::unsetenv("MMGPU_FAULT_SPIKE");
+    ::unsetenv("MMGPU_FAULT_GLITCH");
+    ::unsetenv("MMGPU_FAULT_JITTER");
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_TRUE(plan.sensor.enabled());
+    EXPECT_EQ(plan.seed, 0x123u);
+    EXPECT_DOUBLE_EQ(plan.sensor.dropoutRate,
+                     defaultSensorFaults().dropoutRate);
+    ::unsetenv("MMGPU_FAULT_SEED");
+}
+
+TEST(FaultPlan, FromEnvRateOverridesAndBadValues)
+{
+    ::setenv("MMGPU_FAULT_SEED", "7", 1);
+    ::setenv("MMGPU_FAULT_DROPOUT", "0.5", 1);
+    ::setenv("MMGPU_FAULT_SPIKE", "not-a-rate", 1); // ignored
+    ::setenv("MMGPU_FAULT_GLITCH", "1.5", 1);       // out of range
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_DOUBLE_EQ(plan.sensor.dropoutRate, 0.5);
+    EXPECT_DOUBLE_EQ(plan.sensor.spikeRate,
+                     defaultSensorFaults().spikeRate);
+    EXPECT_DOUBLE_EQ(plan.sensor.glitchRate,
+                     defaultSensorFaults().glitchRate);
+    ::unsetenv("MMGPU_FAULT_SEED");
+    ::unsetenv("MMGPU_FAULT_DROPOUT");
+    ::unsetenv("MMGPU_FAULT_SPIKE");
+    ::unsetenv("MMGPU_FAULT_GLITCH");
+}
+
+TEST(FaultPlan, FromEnvMalformedSeedStaysDisabled)
+{
+    ::setenv("MMGPU_FAULT_SEED", "not-a-seed", 1);
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_FALSE(plan.enabled());
+    ::unsetenv("MMGPU_FAULT_SEED");
+}
+
+} // namespace

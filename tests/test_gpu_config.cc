@@ -104,4 +104,116 @@ TEST(GpuConfigDeathTest, MultiGpmWithoutInterconnect)
                 "without interconnect");
 }
 
+/** check()'s error message for @p config (must be an error). */
+std::string
+checkError(const GpuConfig &config)
+{
+    Result<void> checked = config.check();
+    EXPECT_FALSE(checked.ok());
+    return checked.ok() ? std::string() : checked.error().message;
+}
+
+TEST(GpuConfigCheck, ValidConfigsPass)
+{
+    EXPECT_TRUE(baselineConfig().check().ok());
+    EXPECT_TRUE(
+        multiGpmConfig(8, BwSetting::Bw2x).check().ok());
+    EXPECT_TRUE(monolithicConfig(16).check().ok());
+}
+
+TEST(GpuConfigCheck, ErrorsNameTheConfigAndTheFix)
+{
+    GpuConfig config = baselineConfig();
+    config.gpmCount = 0;
+    std::string message = checkError(config);
+    // Actionable: names the offending config and the fields to fix.
+    EXPECT_NE(message.find(config.name), std::string::npos);
+    EXPECT_NE(message.find("gpmCount"), std::string::npos);
+}
+
+TEST(GpuConfigCheck, RejectsZeroLinkBandwidth)
+{
+    GpuConfig config = multiGpmConfig(4, BwSetting::Bw2x);
+    config.interGpmBytesPerCycle = 0.0;
+    EXPECT_NE(checkError(config).find("zero inter-GPM link"),
+              std::string::npos);
+}
+
+TEST(GpuConfigCheck, RejectsZeroClock)
+{
+    GpuConfig config = baselineConfig();
+    config.clock = ClockDomain(0.0);
+    EXPECT_NE(checkError(config).find("clock"), std::string::npos);
+}
+
+TEST(GpuConfigCheck, RejectsInconsistentL2Slices)
+{
+    GpuConfig config = baselineConfig();
+    config.memory.l2BytesPerGpm = 0;
+    EXPECT_NE(checkError(config).find("inconsistent L2 slices"),
+              std::string::npos);
+
+    GpuConfig ragged = baselineConfig();
+    ragged.memory.l2BytesPerGpm += 1; // not a multiple of a line
+    EXPECT_NE(checkError(ragged).find("inconsistent L2 slices"),
+              std::string::npos);
+}
+
+TEST(GpuConfigCheck, RejectsMalformedLinkFaults)
+{
+    GpuConfig ring = multiGpmConfig(4, BwSetting::Bw2x);
+
+    GpuConfig bad_gpm = ring;
+    bad_gpm.linkFaults.faults.push_back({9, 0, 0.5});
+    EXPECT_NE(checkError(bad_gpm).find("names GPM 9"),
+              std::string::npos);
+
+    GpuConfig bad_channel = ring;
+    bad_channel.linkFaults.faults.push_back({0, 2, 0.5});
+    EXPECT_NE(checkError(bad_channel).find("channel 2"),
+              std::string::npos);
+
+    GpuConfig bad_scale = ring;
+    bad_scale.linkFaults.faults.push_back({0, 0, 1.5});
+    EXPECT_NE(checkError(bad_scale).find("outside [0, 1]"),
+              std::string::npos);
+
+    GpuConfig no_network = baselineConfig();
+    no_network.linkFaults.faults.push_back({0, 0, 0.5});
+    EXPECT_NE(
+        checkError(no_network).find("without an"), std::string::npos);
+}
+
+TEST(GpuConfigCheck, RejectsStrandingSwitchPortFailure)
+{
+    GpuConfig config =
+        multiGpmConfig(4, BwSetting::Bw4x, noc::Topology::Switch,
+                       IntegrationDomain::OnBoard);
+    config.linkFaults.faults.push_back({1, 0, 0.0});
+    EXPECT_NE(checkError(config).find("strands GPM 1"),
+              std::string::npos);
+
+    // A derated (non-zero) port is fine.
+    GpuConfig derated =
+        multiGpmConfig(4, BwSetting::Bw4x, noc::Topology::Switch,
+                       IntegrationDomain::OnBoard);
+    derated.linkFaults.faults.push_back({1, 0, 0.25});
+    EXPECT_TRUE(derated.check().ok());
+}
+
+TEST(GpuConfigCheck, RejectsRingPartition)
+{
+    GpuConfig config = multiGpmConfig(4, BwSetting::Bw2x);
+    // Both directions out of GPM 0 failed: it cannot reach anyone.
+    config.linkFaults.faults.push_back({0, 0, 0.0});
+    config.linkFaults.faults.push_back({0, 1, 0.0});
+    EXPECT_NE(checkError(config).find("partition the ring"),
+              std::string::npos);
+
+    // One failed direction reroutes and passes.
+    GpuConfig survivable = multiGpmConfig(4, BwSetting::Bw2x);
+    survivable.linkFaults.faults.push_back({0, 0, 0.0});
+    EXPECT_TRUE(survivable.check().ok());
+}
+
 } // namespace

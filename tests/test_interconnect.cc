@@ -153,4 +153,108 @@ TEST(Ring, ResetClearsTrafficAndLinks)
     EXPECT_DOUBLE_EQ(ring.totalBusy(), 0.0);
 }
 
+fault::LinkFaultSpec
+faultsOf(std::initializer_list<fault::LinkFault> faults)
+{
+    fault::LinkFaultSpec spec;
+    spec.faults = faults;
+    return spec;
+}
+
+TEST(RingFaults, FailedLinkReroutesTheLongWayAround)
+{
+    // Clockwise link out of GPM 0 is down: the 1-hop 0->1 transfer
+    // must take the 7-hop counter-clockwise path instead.
+    RingNetwork ring(8, 64.0, 10, faultsOf({{0, 0, 0.0}}));
+    EXPECT_DOUBLE_EQ(ring.transfer(0.0, 0, 1, 64.0), 7.0 * 11.0);
+    EXPECT_EQ(ring.traffic().byteHops, 7u * 64u);
+    EXPECT_GT(ring.traffic().rerouted, 0u);
+    // hopCount stays the healthy-topology distance.
+    EXPECT_EQ(ring.hopCount(0, 1), 1u);
+}
+
+TEST(RingFaults, UnaffectedPairsRouteNormally)
+{
+    RingNetwork healthy(8, 64.0, 10);
+    RingNetwork degraded(8, 64.0, 10, faultsOf({{0, 0, 0.0}}));
+    // 4 -> 6 never touches GPM 0's clockwise link.
+    EXPECT_DOUBLE_EQ(degraded.transfer(0.0, 4, 6, 64.0),
+                     healthy.transfer(0.0, 4, 6, 64.0));
+    EXPECT_EQ(degraded.traffic().rerouted, 0u);
+}
+
+TEST(RingFaults, DeratedLinkIsSlowerButNotRerouted)
+{
+    RingNetwork healthy(8, 64.0, 0);
+    RingNetwork derated(8, 64.0, 0, faultsOf({{0, 0, 0.5}}));
+    double fast = healthy.transfer(0.0, 0, 1, 64.0);
+    double slow = derated.transfer(0.0, 0, 1, 64.0);
+    EXPECT_DOUBLE_EQ(slow, fast * 2.0); // half width, double service
+    EXPECT_EQ(derated.traffic().rerouted, 0u);
+}
+
+TEST(RingFaults, DuplicateFaultsComposeToTheWorst)
+{
+    // Two derates on the same link: the stricter one wins.
+    RingNetwork ring(8, 64.0, 0,
+                     faultsOf({{0, 0, 0.5}, {0, 0, 0.25}}));
+    EXPECT_DOUBLE_EQ(ring.transfer(0.0, 0, 1, 64.0), 4.0);
+}
+
+TEST(RingFaults, ResetKeepsDegradedRouting)
+{
+    RingNetwork ring(8, 64.0, 10, faultsOf({{0, 0, 0.0}}));
+    ring.transfer(0.0, 0, 1, 64.0);
+    ring.reset();
+    EXPECT_EQ(ring.traffic().rerouted, 0u);
+    // The fault is construction-time state: still rerouting.
+    EXPECT_DOUBLE_EQ(ring.transfer(0.0, 0, 1, 64.0), 7.0 * 11.0);
+}
+
+TEST(RingFaultsDeathTest, PartitionedRingIsFatal)
+{
+    EXPECT_EXIT(
+        RingNetwork(4, 64.0, 10, faultsOf({{0, 0, 0.0}, {0, 1, 0.0}})),
+        ::testing::ExitedWithCode(1), "partition the ring");
+}
+
+TEST(RingPartitioned, DetectsUnreachablePairs)
+{
+    EXPECT_FALSE(ringPartitioned(8, faultsOf({{0, 0, 0.0}})));
+    EXPECT_FALSE(ringPartitioned(
+        8, faultsOf({{0, 0, 0.5}, {1, 1, 0.25}})));
+    EXPECT_TRUE(
+        ringPartitioned(8, faultsOf({{0, 0, 0.0}, {0, 1, 0.0}})));
+    // Two failed clockwise links leave the ccw direction whole.
+    EXPECT_FALSE(
+        ringPartitioned(8, faultsOf({{0, 0, 0.0}, {4, 0, 0.0}})));
+    EXPECT_FALSE(ringPartitioned(8, {}));
+}
+
+TEST(SwitchFaults, DeratedPortIsSlower)
+{
+    SwitchNetwork healthy(4, 64.0, 0, 0);
+    SwitchNetwork derated(4, 64.0, 0, 0, faultsOf({{0, 0, 0.5}}));
+    double fast = healthy.transfer(0.0, 0, 1, 64.0);
+    double slow = derated.transfer(0.0, 0, 1, 64.0);
+    EXPECT_GT(slow, fast);
+    // Only GPM 0's uplink is derated; other ports are untouched.
+    EXPECT_DOUBLE_EQ(derated.transfer(100.0, 2, 3, 64.0),
+                     healthy.transfer(100.0, 2, 3, 64.0));
+}
+
+TEST(SwitchFaultsDeathTest, FailedPortStrandsTheGpm)
+{
+    EXPECT_EXIT(SwitchNetwork(4, 64.0, 0, 0, faultsOf({{2, 1, 0.0}})),
+                ::testing::ExitedWithCode(1), "strands");
+}
+
+TEST(MakeNetwork, PassesFaultsThrough)
+{
+    auto ring = makeNetwork(Topology::Ring, 8, 128.0, 10, 20,
+                            faultsOf({{0, 0, 0.0}}));
+    ring->transfer(0.0, 0, 1, 64.0);
+    EXPECT_GT(ring->traffic().rerouted, 0u);
+}
+
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "power/measurement.hh"
 
 namespace
@@ -81,6 +83,84 @@ TEST(PowerMeter, KernelAttributionShortKernelsUnderread)
     Joules measured = meter.attributeKernelEnergy(timeline, windows);
     EXPECT_LT(measured, true_energy * 0.55);
     EXPECT_GT(measured, true_energy * 0.2);
+}
+
+TEST(PowerMeter, ZeroLengthRoiDegradesToSingleRead)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(10.0, 90.0);
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    // Exactly equal endpoints: no assert, one read at roi_end.
+    EXPECT_NEAR(meter.measureSteadyPower(timeline, 5.0, 5.0), 90.0,
+                0.5);
+
+    PowerSensor sensor2(cleanSpec());
+    PowerMeter meter2(sensor2);
+    SteadyMeasurement m =
+        meter2.measureSteadyPowerRobust(timeline, 5.0, 5.0);
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(m.samples, 1u);
+    EXPECT_NEAR(m.power, 90.0, 0.5);
+}
+
+TEST(PowerMeterDeathTest, InvertedRoiPanics)
+{
+    PowerTimeline timeline;
+    timeline.addPhase(10.0, 90.0);
+    PowerSensor sensor(cleanSpec());
+    PowerMeter meter(sensor);
+    EXPECT_DEATH(meter.measureSteadyPower(timeline, 6.0, 5.0),
+                 "inverted measurement ROI");
+}
+
+TEST(PowerMeter, RobustEstimatorRejectsSparseSpikes)
+{
+    // Sparse spikes land in a minority of the estimator's windows;
+    // the median of window means rejects those windows entirely,
+    // while the plain mean is pulled up by every spike. (A uniform
+    // heavy contamination pollutes all windows alike — that regime
+    // is covered by the calibration-level tolerance instead.)
+    fault::SensorFaultSpec faults;
+    faults.spikeRate = 0.05;
+    faults.spikeMagnitude = 2.0; // spike reads 3x the true level
+    PowerTimeline timeline;
+    timeline.addPhase(60.0, 100.0);
+    // 30 polls => ~1-2 spikes, confined to 1-2 of the 5 windows.
+    const Seconds roi_start = 2.0, roi_end = 2.45;
+
+    PowerSensor meanSensor(cleanSpec(), 42);
+    meanSensor.attachFaults(faults, 11);
+    PowerMeter meanMeter(meanSensor);
+    Watts mean =
+        meanMeter.measureSteadyPower(timeline, roi_start, roi_end);
+
+    PowerSensor robustSensor(cleanSpec(), 42);
+    robustSensor.attachFaults(faults, 11);
+    PowerMeter robustMeter(robustSensor);
+    SteadyMeasurement robust = robustMeter.measureSteadyPowerRobust(
+        timeline, roi_start, roi_end);
+
+    EXPECT_TRUE(robust.ok);
+    EXPECT_GT(mean, 102.0); // the spikes moved the plain mean
+    EXPECT_NEAR(robust.power, 100.0, 1.0);
+    EXPECT_LT(std::abs(robust.power - 100.0),
+              std::abs(mean - 100.0));
+}
+
+TEST(PowerMeter, RobustFlagsNotOkUnderHeavyDropout)
+{
+    fault::SensorFaultSpec faults;
+    faults.dropoutRate = 0.9;
+    PowerTimeline timeline;
+    timeline.addPhase(60.0, 100.0);
+    PowerSensor sensor(cleanSpec(), 42);
+    sensor.attachFaults(faults, 13);
+    PowerMeter meter(sensor);
+    SteadyMeasurement m =
+        meter.measureSteadyPowerRobust(timeline, 2.0, 10.0, 0.5);
+    EXPECT_FALSE(m.ok);
+    EXPECT_GT(m.dropped, m.samples);
 }
 
 TEST(PowerMeter, EnergyPerEventEquationFive)

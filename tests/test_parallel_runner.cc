@@ -92,6 +92,7 @@ expectIdentical(const RunOutcome &a, const RunOutcome &b)
     EXPECT_EQ(a.perf.link.byteHops, b.perf.link.byteHops);
     EXPECT_EQ(a.perf.link.messageBytes, b.perf.link.messageBytes);
     EXPECT_EQ(a.perf.link.transfers, b.perf.link.transfers);
+    EXPECT_EQ(a.perf.link.rerouted, b.perf.link.rerouted);
     EXPECT_EQ(a.perf.smBusyCycles, b.perf.smBusyCycles);
     EXPECT_EQ(a.perf.smStallCycles, b.perf.smStallCycles);
     EXPECT_EQ(a.perf.smOccupiedCycles, b.perf.smOccupiedCycles);

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the Result<T>/SimError error-propagation type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/result.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+TEST(SimError, FactoriesSetCodeAndMessage)
+{
+    EXPECT_EQ(SimError::config("c").code, ErrCode::Config);
+    EXPECT_EQ(SimError::io("i").code, ErrCode::Io);
+    EXPECT_EQ(SimError::parse("p").code, ErrCode::Parse);
+    EXPECT_EQ(SimError::timeout("t").code, ErrCode::Timeout);
+    EXPECT_EQ(SimError::injectedFault("f").code,
+              ErrCode::InjectedFault);
+    EXPECT_EQ(SimError::internal("x").code, ErrCode::Internal);
+    EXPECT_EQ(SimError::timeout("watchdog fired").message,
+              "watchdog fired");
+}
+
+TEST(SimError, DescribePrefixesTheCodeName)
+{
+    EXPECT_EQ(SimError::timeout("watchdog fired after 2s").describe(),
+              "timeout: watchdog fired after 2s");
+    EXPECT_EQ(SimError::injectedFault("poisoned").describe(),
+              "injected-fault: poisoned");
+}
+
+TEST(ErrCodeName, StableNames)
+{
+    EXPECT_STREQ(errCodeName(ErrCode::Config), "config");
+    EXPECT_STREQ(errCodeName(ErrCode::Io), "io");
+    EXPECT_STREQ(errCodeName(ErrCode::Parse), "parse");
+    EXPECT_STREQ(errCodeName(ErrCode::Timeout), "timeout");
+    EXPECT_STREQ(errCodeName(ErrCode::InjectedFault),
+                 "injected-fault");
+    EXPECT_STREQ(errCodeName(ErrCode::Internal), "internal");
+}
+
+TEST(Result, ValueRoundTrip)
+{
+    Result<int> ok(42);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+    EXPECT_EQ(ok.valueOr(7), 42);
+
+    ok.value() = 43;
+    EXPECT_EQ(ok.value(), 43);
+}
+
+TEST(Result, ErrorRoundTrip)
+{
+    Result<int> failed(SimError::io("disk full"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, ErrCode::Io);
+    EXPECT_EQ(failed.error().message, "disk full");
+    EXPECT_EQ(failed.valueOr(7), 7);
+}
+
+TEST(Result, MoveOnlyPayloads)
+{
+    Result<std::unique_ptr<int>> owned(std::make_unique<int>(5));
+    ASSERT_TRUE(owned.ok());
+    std::unique_ptr<int> taken = std::move(owned.value());
+    EXPECT_EQ(*taken, 5);
+}
+
+TEST(Result, VoidSpecialization)
+{
+    Result<void> ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_TRUE(Result<void>::success().ok());
+
+    Result<void> failed(SimError::config("bad shape"));
+    ASSERT_FALSE(failed.ok());
+    EXPECT_EQ(failed.error().code, ErrCode::Config);
+    EXPECT_EQ(failed.error().message, "bad shape");
+}
+
+TEST(ResultDeathTest, WrongAccessPanics)
+{
+    Result<int> ok(1);
+    Result<int> failed(SimError::internal("boom"));
+    EXPECT_DEATH((void)failed.value(), "value\\(\\) on an error");
+    EXPECT_DEATH((void)ok.error(), "error\\(\\) on an ok");
+    Result<void> fine;
+    EXPECT_DEATH((void)fine.error(), "error\\(\\) on an ok");
+}
+
+} // namespace

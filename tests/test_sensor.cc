@@ -112,4 +112,117 @@ TEST(Sensor, NeverNegative)
         EXPECT_GE(sensor.read(timeline, i * 0.1), 0.0);
 }
 
+TEST(Sensor, ReadExactlyOnRefreshBoundaryUsesThatTick)
+{
+    // A read at exactly t = k * refreshPeriod must see the latch
+    // taken *at* t, not the previous one (floor(t / T) can come out
+    // one ulp short). Power-of-two period makes boundaries exact.
+    SensorSpec spec = noiselessSpec();
+    spec.refreshPeriod = 0.25;
+    PowerTimeline timeline;
+    timeline.addPhase(0.5, 100.0);
+    timeline.addPhase(10.0, 300.0);
+    PowerSensor sensor(spec);
+    // Latch at 0.5 s still reads the pre-step level; the latch at
+    // 0.75 s (several response taus past the step) reads ~300 W.
+    EXPECT_LT(sensor.read(timeline, 0.74), 150.0);
+    EXPECT_GT(sensor.read(timeline, 0.75), 250.0);
+}
+
+TEST(Sensor, FaultFreeAttachmentChangesNothing)
+{
+    // Attaching an all-zero fault spec must leave every reading
+    // bit-identical to a detached sensor (the golden figures depend
+    // on the fault path being inert when unused).
+    SensorSpec spec;
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 140.0);
+    PowerSensor plain(spec, 42);
+    PowerSensor attached(spec, 42);
+    attached.attachFaults(fault::SensorFaultSpec{}, 99);
+    for (int i = 1; i <= 40; ++i) {
+        double t = i * 0.11;
+        SensorSample sample = attached.sample(timeline, t);
+        EXPECT_TRUE(sample.valid);
+        EXPECT_EQ(plain.read(timeline, t), sample.value);
+    }
+    EXPECT_EQ(attached.faultStats().dropouts, 0u);
+}
+
+TEST(Sensor, FaultsAreDeterministicPerSeed)
+{
+    fault::SensorFaultSpec faults = fault::defaultSensorFaults();
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 140.0);
+
+    PowerSensor a(SensorSpec{}, 42), b(SensorSpec{}, 42);
+    a.attachFaults(faults, 7);
+    b.attachFaults(faults, 7);
+    PowerSensor c(SensorSpec{}, 42);
+    c.attachFaults(faults, 8); // different fault stream
+
+    bool any_difference = false;
+    for (int i = 1; i <= 200; ++i) {
+        double t = 0.02 * i;
+        SensorSample sa = a.sample(timeline, t);
+        SensorSample sb = b.sample(timeline, t);
+        SensorSample sc = c.sample(timeline, t);
+        EXPECT_EQ(sa.value, sb.value);
+        EXPECT_EQ(sa.valid, sb.valid);
+        EXPECT_EQ(sa.spiked, sb.spiked);
+        EXPECT_EQ(sa.glitched, sb.glitched);
+        any_difference |= sa.valid != sc.valid ||
+                          sa.value != sc.value;
+    }
+    EXPECT_TRUE(any_difference);
+    EXPECT_EQ(a.faultStats().dropouts, b.faultStats().dropouts);
+    EXPECT_EQ(a.faultStats().spikes, b.faultStats().spikes);
+}
+
+TEST(Sensor, DropoutsAreCountedAndReadAsInvalidZeros)
+{
+    fault::SensorFaultSpec faults;
+    faults.dropoutRate = 0.5;
+    PowerTimeline timeline;
+    timeline.addPhase(60.0, 140.0);
+    PowerSensor sensor(SensorSpec{}, 42);
+    sensor.attachFaults(faults, 3);
+
+    unsigned invalid = 0;
+    for (int i = 1; i <= 1000; ++i) {
+        SensorSample sample = sensor.sample(timeline, 0.05 * i);
+        if (!sample.valid) {
+            ++invalid;
+            EXPECT_EQ(sample.value, 0.0);
+        }
+    }
+    const SensorFaultStats &stats = sensor.faultStats();
+    EXPECT_EQ(stats.reads, 1000u);
+    EXPECT_EQ(stats.dropouts, invalid);
+    // ~50% +- generous slack (fixed seed, so deterministic anyway).
+    EXPECT_GT(invalid, 400u);
+    EXPECT_LT(invalid, 600u);
+}
+
+TEST(Sensor, SpikesInflateByTheConfiguredMagnitude)
+{
+    fault::SensorFaultSpec faults;
+    faults.spikeRate = 1.0; // every read spikes
+    faults.spikeMagnitude = 1.5;
+    SensorSpec spec;
+    spec.noiseSigma = 0.0;
+    spec.quantization = 0.0;
+    PowerTimeline timeline;
+    timeline.addPhase(5.0, 100.0);
+    PowerSensor clean(spec);
+    PowerSensor spiky(spec);
+    spiky.attachFaults(faults, 5);
+
+    Watts base = clean.read(timeline, 2.0);
+    SensorSample sample = spiky.sample(timeline, 2.0);
+    EXPECT_TRUE(sample.spiked);
+    EXPECT_NEAR(sample.value, base * 2.5, 1e-9);
+    EXPECT_EQ(spiky.faultStats().spikes, 1u);
+}
+
 } // namespace
