@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
 # CI gate for the mmgpu repository.
 #
-# Builds three trees and runs the tiered test suite in each:
+# Static stages first (fail fast), then four build trees with the
+# tiered test suite:
 #
-#   build        Release       tier1 (the ROADMAP verify gate)
-#   build-asan   ASan + UBSan  tier1
-#   build-tsan   TSan          tier1 + tier2 (the concurrency tests,
-#                              race-instrumented)
+#   mmgpu-lint        whole-tree static analysis (tools/lint; also in
+#                     --quick — it is the cheapest signal we have)
+#   header_selfcheck  every src/ header compiles standalone
+#   clang-tidy        src/common + src/harness, only when the tool is
+#                     on PATH (the baseline container ships only GCC)
+#
+#   build           Release            tier1 (the ROADMAP verify gate)
+#   build-contracts MMGPU_CONTRACTS=2  tier1 with conservation audits
+#                                      armed (energy accounting, NoC
+#                                      flit conservation, pool bounds)
+#   build-asan      ASan + UBSan       tier1
+#   build-tsan      TSan               tier1 + tier2 (the concurrency
+#                                      tests, race-instrumented)
 #
 # Usage: scripts/ci.sh [--quick]
-#   --quick  Release tier1 only (the pre-push smoke run).
+#   --quick  lint + Release tier1 only (the pre-push smoke run).
 #
 # Environment: MMGPU_JOBS caps sweep worker threads inside the tests;
 # CTEST_PARALLEL_LEVEL caps ctest concurrency (default: nproc).
@@ -48,12 +58,33 @@ run_tier() {
 
 echo "== Release tree =="
 configure_and_build build -DCMAKE_BUILD_TYPE=Release
+
+echo "== mmgpu-lint =="
+cmake --build build -j "${jobs}" --target lint
+
 run_tier build tier1
 
 if [[ "${1:-}" == "--quick" ]]; then
-    echo "CI quick gate passed (Release tier1)."
+    echo "CI quick gate passed (lint + Release tier1)."
     exit 0
 fi
+
+echo "== Header self-containment =="
+cmake --build build -j "${jobs}" --target header_selfcheck
+
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (src/common, src/harness) =="
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    clang-tidy -p build src/common/*.cc src/harness/*.cc
+else
+    echo "== clang-tidy not on PATH; skipping (config: .clang-tidy) =="
+fi
+
+echo "== Contracts tree (MMGPU_CONTRACTS=2: audits armed) =="
+configure_and_build build-contracts \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMMGPU_CONTRACTS=2
+run_tier build-contracts tier1
 
 echo "== ASan/UBSan tree =="
 configure_and_build build-asan \
@@ -68,4 +99,5 @@ configure_and_build build-tsan \
 run_tier build-tsan tier1
 run_tier build-tsan tier2
 
-echo "CI gate passed: tier1 everywhere, tier2 under TSan."
+echo "CI gate passed: lint + headers clean, tier1 everywhere" \
+     "(audits armed in build-contracts), tier2 under TSan."

@@ -43,7 +43,9 @@ std::string
 fold(Args &&...args)
 {
     std::ostringstream os;
-    (os << ... << args);
+    // void-cast: an empty pack folds to plain `os`, which -Wall
+    // flags as a statement with no effect.
+    static_cast<void>((os << ... << args));
     return os.str();
 }
 

@@ -1,0 +1,26 @@
+#include "common/wallclock.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "common/contract.hh"
+
+namespace mmgpu::wallclock
+{
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+sleepMs(std::int64_t ms)
+{
+    MMGPU_EXPECT(ms >= 0, "negative sleep of ", ms, " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+} // namespace mmgpu::wallclock

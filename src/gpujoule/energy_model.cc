@@ -1,5 +1,10 @@
 #include "gpujoule/energy_model.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace mmgpu::joule
@@ -8,8 +13,8 @@ namespace mmgpu::joule
 EnergyBreakdown
 estimate(const EnergyInputs &inputs, const EnergyParams &params)
 {
-    mmgpu_assert(inputs.gpmCount >= 1, "energy estimate with no GPMs");
-    mmgpu_assert(inputs.execTime >= 0.0, "negative execution time");
+    MMGPU_EXPECT(inputs.gpmCount >= 1, "energy estimate with no GPMs");
+    MMGPU_EXPECT(inputs.execTime >= 0.0, "negative execution time");
 
     EnergyBreakdown breakdown;
 
@@ -48,6 +53,12 @@ estimate(const EnergyInputs &inputs, const EnergyParams &params)
         units::energyPerTransfer(params.switchPjPerBit,
                                  inputs.switchBytes);
 
+    if constexpr (contract::auditsEnabled) {
+        std::string verdict = auditEstimate(inputs, params, breakdown);
+        MMGPU_INVARIANT(verdict.empty(), verdict);
+    }
+    MMGPU_ENSURE(std::isfinite(breakdown.total()),
+                 "non-finite total energy");
     return breakdown;
 }
 
@@ -72,6 +83,117 @@ estimate(const EnergyInputs &inputs, const EnergyParams &params,
             .set(breakdown.total() / inputs.execTime);
     }
     return breakdown;
+}
+
+namespace
+{
+
+/**
+ * |got - want| within a 1e-9 relative band (absolute below 1e-15 J,
+ * far under one picojoule, so zero-energy components compare clean).
+ */
+bool
+closeEnough(long double want, double got)
+{
+    const long double diff = std::fabs(want - got);
+    const long double scale =
+        std::max<long double>(std::fabs(want), 1e-6L);
+    return diff <= 1e-9L * scale + 1e-15L;
+}
+
+std::string
+mismatch(const char *component, long double want, double got)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "energy audit: " << component << " reported " << got
+       << " J but re-derivation gives "
+       << static_cast<double>(want) << " J";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+auditEstimate(const EnergyInputs &inputs, const EnergyParams &params,
+              const EnergyBreakdown &breakdown)
+{
+    const double components[] = {
+        breakdown.smBusy,   breakdown.smIdle,   breakdown.constant,
+        breakdown.shmToReg, breakdown.l1ToReg,  breakdown.l2ToL1,
+        breakdown.dramToL2, breakdown.interModule};
+    for (double c : components) {
+        if (!std::isfinite(c))
+            return "energy audit: non-finite component";
+        if (c < 0.0)
+            return "energy audit: negative component";
+    }
+
+    // Re-derive the EPI sum in reverse opcode order with extended
+    // precision: catches both dropped terms and gross accumulation
+    // error in the forward pass.
+    long double sm_busy = 0.0L;
+    for (std::size_t i = isa::numOpcodes; i-- > 0;) {
+        sm_busy += static_cast<long double>(params.table.epi[i]) *
+                   static_cast<long double>(inputs.warpInstrs[i]) *
+                   isa::warpSize;
+    }
+    if (!closeEnough(sm_busy, breakdown.smBusy))
+        return mismatch("smBusy", sm_busy, breakdown.smBusy);
+
+    const struct
+    {
+        const char *name;
+        isa::TxnLevel level;
+        double got;
+    } txn_terms[] = {
+        {"shmToReg", isa::TxnLevel::SharedToReg, breakdown.shmToReg},
+        {"l1ToReg", isa::TxnLevel::L1ToReg, breakdown.l1ToReg},
+        {"l2ToL1", isa::TxnLevel::L2ToL1, breakdown.l2ToL1},
+        {"dramToL2", isa::TxnLevel::DramToL2, breakdown.dramToL2},
+    };
+    for (const auto &term : txn_terms) {
+        auto i = static_cast<std::size_t>(term.level);
+        long double want =
+            static_cast<long double>(params.table.ept[i]) *
+            static_cast<long double>(inputs.txns[i]);
+        if (!closeEnough(want, term.got))
+            return mismatch(term.name, want, term.got);
+    }
+
+    long double sm_idle =
+        static_cast<long double>(params.stallEnergyPerSmCycle) *
+        inputs.smStallCycles;
+    if (!closeEnough(sm_idle, breakdown.smIdle))
+        return mismatch("smIdle", sm_idle, breakdown.smIdle);
+
+    long double constant =
+        static_cast<long double>(params.constPowerPerGpm) *
+        params.constScale(inputs.gpmCount) * inputs.execTime;
+    if (!closeEnough(constant, breakdown.constant))
+        return mismatch("constant", constant, breakdown.constant);
+
+    long double inter_module =
+        static_cast<long double>(
+            units::energyPerTransfer(params.linkPjPerBit,
+                                     inputs.linkBytes)) +
+        static_cast<long double>(
+            units::energyPerTransfer(params.switchPjPerBit,
+                                     inputs.switchBytes));
+    if (!closeEnough(inter_module, breakdown.interModule))
+        return mismatch("interModule", inter_module,
+                        breakdown.interModule);
+
+    // The reported total must be exactly the sum of the reported
+    // components — a component added to the struct but forgotten in
+    // total() shows up here.
+    long double component_sum = 0.0L;
+    for (double c : components)
+        component_sum += c;
+    if (!closeEnough(component_sum, breakdown.total()))
+        return mismatch("total", component_sum, breakdown.total());
+
+    return {};
 }
 
 } // namespace mmgpu::joule

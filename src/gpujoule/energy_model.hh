@@ -20,6 +20,7 @@
 #define MMGPU_GPUJOULE_ENERGY_MODEL_HH
 
 #include <array>
+#include <string>
 
 #include "common/units.hh"
 #include "gpujoule/energy_table.hh"
@@ -139,6 +140,25 @@ EnergyBreakdown estimate(const EnergyInputs &inputs,
 EnergyBreakdown estimate(const EnergyInputs &inputs,
                          const EnergyParams &params,
                          telemetry::Telemetry &telemetry);
+
+/**
+ * Energy-accounting audit: re-derives every Eq. 4 term of
+ * @p breakdown from @p inputs and @p params with independent
+ * (long double, reverse-order) arithmetic and checks the reported
+ * components and total against them to a 1e-9 relative tolerance —
+ * catching silently dropped terms, unit slips, and accumulation
+ * error, the class of defect EnergAIzer-style calibration pipelines
+ * are most sensitive to. Also rejects non-finite or negative
+ * components outright.
+ *
+ * @return empty string when the books balance, else a diagnostic.
+ *         Plain-function form so tests can exercise it at any
+ *         contract level; estimate() wraps it in MMGPU_INVARIANT in
+ *         audit builds (MMGPU_CONTRACTS=2).
+ */
+std::string auditEstimate(const EnergyInputs &inputs,
+                          const EnergyParams &params,
+                          const EnergyBreakdown &breakdown);
 
 } // namespace mmgpu::joule
 

@@ -1,12 +1,12 @@
 #include "harness/parallel_runner.hh"
 
 #include <atomic>
-#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 
 #include "common/logging.hh"
+#include "common/wallclock.hh"
 
 namespace mmgpu::harness
 {
@@ -99,12 +99,8 @@ ParallelRunner::drain()
         std::atomic<bool> cancel{false};
     };
     std::vector<JobState> states(jobs.size());
-    const auto epoch = std::chrono::steady_clock::now();
-    auto now_ms = [&epoch] {
-        return std::chrono::duration_cast<std::chrono::milliseconds>(
-                   std::chrono::steady_clock::now() - epoch)
-            .count();
-    };
+    const std::int64_t epoch = wallclock::nowMs();
+    auto now_ms = [epoch] { return wallclock::nowMs() - epoch; };
 
     std::mutex report_mutex;
     std::atomic<std::size_t> completed{0};
@@ -152,8 +148,7 @@ ParallelRunner::drain()
                         state.cancel.store(
                             true, std::memory_order_release);
                 }
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(50));
+                wallclock::sleepMs(50);
             }
         });
     }

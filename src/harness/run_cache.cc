@@ -1,17 +1,16 @@
 #include "harness/run_cache.hh"
 
-#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/hash.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/wallclock.hh"
 
 namespace mmgpu::harness
 {
@@ -447,8 +446,7 @@ RunCache::flush()
     constexpr unsigned attempts = 3;
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
         if (attempt > 1) {
-            std::this_thread::sleep_for(
-                std::chrono::milliseconds(attempt == 2 ? 1 : 8));
+            wallclock::sleepMs(attempt == 2 ? 1 : 8);
         }
         bool wrote = false;
         {

@@ -2,17 +2,17 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <map>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
 
+#include "common/contract.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/wallclock.hh"
 #include "gpujoule/reference_device.hh"
 #include "harness/parallel_runner.hh"
 #include "power/sensor.hh"
@@ -301,20 +301,17 @@ ScalingRunner::compute(const sim::GpuConfig &config,
         if (fault::HarnessFaultSpec::matches(spec.hangPoints,
                                              config.name,
                                              profile.name)) {
-            auto deadline =
-                std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(spec.hangSeconds));
-            while (std::chrono::steady_clock::now() < deadline) {
+            const std::int64_t deadline =
+                wallclock::nowMs() +
+                static_cast<std::int64_t>(spec.hangSeconds * 1000.0);
+            while (wallclock::nowMs() < deadline) {
                 if (cancel != nullptr &&
                     cancel->load(std::memory_order_acquire)) {
                     return SimError::timeout(
                         "watchdog cancelled hung point " +
                         config.name + "|" + profile.name);
                 }
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(10));
+                wallclock::sleepMs(10);
             }
         }
     }

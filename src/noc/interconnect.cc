@@ -64,7 +64,31 @@ linkScales(const char *kind, unsigned gpm_count,
     return scales;
 }
 
+/**
+ * Format one violated conservation identity: "<what>: <lhs> != <rhs>".
+ */
+std::string
+imbalance(const char *what, Count lhs, Count rhs)
+{
+    std::ostringstream os;
+    os << what << ": " << lhs << " != " << rhs;
+    return os.str();
+}
+
 } // namespace
+
+std::string
+InterGpmNetwork::auditConservation() const
+{
+    if (traffic_.arrivals != traffic_.transfers)
+        return imbalance("messages injected vs delivered",
+                         traffic_.transfers, traffic_.arrivals);
+    if (traffic_.deliveredBytes != traffic_.messageBytes)
+        return imbalance("bytes injected vs delivered",
+                         traffic_.messageBytes,
+                         traffic_.deliveredBytes);
+    return {};
+}
 
 RingNetwork::RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
                          Cycles hop_latency,
@@ -171,7 +195,29 @@ RingNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
                          : (current + gpmCount - 1) % gpmCount;
     hop.arrived = hop.next == dst;
     traffic_.byteHops += static_cast<Count>(bytes);
+    if (hop.arrived) {
+        ++traffic_.arrivals;
+        traffic_.deliveredBytes += static_cast<Count>(bytes);
+    }
     return hop;
+}
+
+std::string
+RingNetwork::auditConservation() const
+{
+    std::string base = InterGpmNetwork::auditConservation();
+    if (!base.empty())
+        return base;
+    // A healthy ring routes every message the shortest way; reroutes
+    // can only come from the degraded path.
+    if (!anyFailed && traffic_.rerouted != 0)
+        return imbalance("reroutes on a healthy ring",
+                         traffic_.rerouted, 0);
+    // Ring messages never cross a switch fabric.
+    if (traffic_.switchBytes != 0)
+        return imbalance("switch bytes on a ring", traffic_.switchBytes,
+                         0);
+    return {};
 }
 
 double
@@ -261,8 +307,30 @@ SwitchNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
         hop.next = dst;
         hop.arrived = true;
         traffic_.byteHops += static_cast<Count>(bytes);
+        ++traffic_.arrivals;
+        traffic_.deliveredBytes += static_cast<Count>(bytes);
     }
     return hop;
+}
+
+std::string
+SwitchNetwork::auditConservation() const
+{
+    std::string base = InterGpmNetwork::auditConservation();
+    if (!base.empty())
+        return base;
+    // Every switch message crosses exactly one uplink and one
+    // downlink, and its full payload transits the fabric once.
+    if (traffic_.byteHops != 2 * traffic_.messageBytes)
+        return imbalance("switch byte-hops vs 2x message bytes",
+                         traffic_.byteHops,
+                         2 * traffic_.messageBytes);
+    if (traffic_.switchBytes != traffic_.messageBytes)
+        return imbalance("fabric bytes vs message bytes",
+                         traffic_.switchBytes, traffic_.messageBytes);
+    if (traffic_.rerouted != 0)
+        return imbalance("reroutes on a switch", traffic_.rerouted, 0);
+    return {};
 }
 
 double

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/units.hh"
@@ -68,6 +69,15 @@ struct LinkTraffic
      *  failed link (degraded-mode diagnostic; 0 when healthy). */
     Count rerouted = 0;
 
+    /** Messages whose final hop arrived at the destination GPM.
+     *  Equals transfers whenever the network is quiescent — the
+     *  flit-conservation audit. */
+    Count arrivals = 0;
+
+    /** Bytes delivered at destinations (the arrival-side twin of
+     *  messageBytes; equal at quiescent points). */
+    Count deliveredBytes = 0;
+
     void
     reset()
     {
@@ -76,6 +86,8 @@ struct LinkTraffic
         switchBytes = 0;
         transfers = 0;
         rerouted = 0;
+        arrivals = 0;
+        deliveredBytes = 0;
     }
 };
 
@@ -147,6 +159,22 @@ class InterGpmNetwork
     /** Accumulated traffic since the last reset. */
     const LinkTraffic &traffic() const { return traffic_; }
 
+    /**
+     * Flit-conservation audit, meaningful only at quiescent points
+     * (no message mid-journey): every message and byte injected into
+     * the network must have arrived at a destination exactly once —
+     * including traffic rerouted the long way around a degraded
+     * ring. Topology subclasses add their own identities (a switch
+     * message crosses exactly two endpoint links; a healthy ring
+     * never reroutes).
+     *
+     * @return empty string when the books balance, else a diagnostic.
+     *         Plain-function form (rather than asserting internally)
+     *         so tests can exercise it at any contract level; the
+     *         simulator wraps it in MMGPU_INVARIANT at end of run.
+     */
+    virtual std::string auditConservation() const;
+
     /** Aggregate queueing cycles across all links (congestion probe). */
     virtual double totalQueueing() const = 0;
 
@@ -196,6 +224,8 @@ class RingNetwork : public InterGpmNetwork
 
     HopOutcome step(unsigned current, unsigned dst, Tick t,
                     double bytes) override;
+
+    std::string auditConservation() const override;
 
     double totalQueueing() const override;
     double totalBusy() const override;
@@ -253,6 +283,8 @@ class SwitchNetwork : public InterGpmNetwork
 
     HopOutcome step(unsigned current, unsigned dst, Tick t,
                     double bytes) override;
+
+    std::string auditConservation() const override;
 
     double totalQueueing() const override;
     double totalBusy() const override;

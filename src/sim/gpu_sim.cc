@@ -4,6 +4,7 @@
 #include <bit>
 #include <string>
 
+#include "common/contract.hh"
 #include "common/logging.hh"
 
 namespace mmgpu::sim
@@ -229,6 +230,35 @@ GpuSim::run(const trace::KernelProfile &profile)
     if (profile.launches > 1) {
         endOfRun += static_cast<double>(config_.launchOverhead)
                     * (profile.launches - 1);
+    }
+
+    // End-of-run conservation audits (MMGPU_CONTRACTS=2). The
+    // calendar is drained and kernelBoundary() has flushed the
+    // caches, so the machine is quiescent: every in-flight quantity
+    // must be back at zero and the NoC books must balance.
+    if constexpr (contract::auditsEnabled) {
+        if (network) {
+            std::string verdict = network->auditConservation();
+            MMGPU_INVARIANT(verdict.empty(), verdict);
+        }
+        MMGPU_INVARIANT(freeTasks.size() == taskPool.size(),
+                        "leaked memory tasks: ",
+                        taskPool.size() - freeTasks.size(),
+                        " of ", taskPool.size(), " still in flight");
+        MMGPU_INVARIANT(freeAccesses.size() == accessPool.size(),
+                        "leaked access records: ",
+                        accessPool.size() - freeAccesses.size(),
+                        " of ", accessPool.size(),
+                        " still outstanding");
+        for (const WarpSlot &slot : slots) {
+            MMGPU_INVARIANT(!slot.live,
+                            "warp slot live after calendar drain");
+            MMGPU_INVARIANT(slot.outstanding == 0,
+                            "warp slot retains ", slot.outstanding,
+                            " outstanding accesses at end of run");
+        }
+        for (unsigned left : ctaWarpsLeft)
+            MMGPU_INVARIANT(left == 0, "undrained CTA at end of run");
     }
 
     PerfResult result;
@@ -677,6 +707,8 @@ GpuSim::stepWarp(const trace::KernelProfile &profile,
                 ctrBlockWindow_->add();
             break;
         }
+        MMGPU_INVARIANT(slot.outstanding < profile.mlp,
+                        "MLP window bound violated");
         instrs_[static_cast<std::size_t>(op.op)] += 1;
         noteInstr(t, op.op);
         noc::Tick issued = core.acquireIssue(t, 1);

@@ -1,0 +1,25 @@
+// lint-path: src/harness/fixture_clock.cc
+// Golden violation fixture: every construct below must trip
+// determinism-clock.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace mmgpu::fixture
+{
+
+long
+hostTimeEverywhere()
+{
+    auto now = std::chrono::steady_clock::now(); // banned type
+    (void)now;
+    std::srand(42);                    // banned seeding
+    int r = rand();                    // banned call
+    long t = time(nullptr);            // banned call
+    auto wall = std::chrono::system_clock::now(); // banned type
+    (void)wall;
+    return r + t;
+}
+
+} // namespace mmgpu::fixture

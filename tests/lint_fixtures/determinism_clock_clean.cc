@@ -1,0 +1,29 @@
+// lint-path: src/harness/fixture_clock_clean.cc
+// Clean twin of determinism_clock_bad.cc: same shape, but all time
+// flows through the sanctioned shims and look-alike names that must
+// NOT trip the rule (members named clock/time, user-namespace rand).
+
+#include "common/rng.hh"
+#include "common/wallclock.hh"
+
+namespace mmgpu::fixture
+{
+
+struct Config
+{
+    double clock = 1.0; // member named like the libc function
+    long time = 0;      // ditto
+};
+
+long
+deterministicTime(const Config &cfg, Rng &rng)
+{
+    const long t0 = wallclock::nowMs(); // the sanctioned clock shim
+    const double ghz = cfg.clock;       // member access, not a call
+    const long when = cfg.time;         // ditto
+    const unsigned draw = rng.nextU32(); // seeded, replayable
+    return t0 + static_cast<long>(ghz) + when +
+           static_cast<long>(draw);
+}
+
+} // namespace mmgpu::fixture

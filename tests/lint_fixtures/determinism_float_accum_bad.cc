@@ -1,0 +1,20 @@
+// lint-path: src/gpujoule/fixture_float_accum.cc
+// Golden violation fixture for determinism-float-accum: float
+// accumulators in energy/traffic totals drift with summation order.
+
+namespace mmgpu::fixture
+{
+
+double
+tally(const double *samples, int n)
+{
+    float totalEnergy = 0.0f; // accumulator-named float
+    float trafficBytes = 0.0f; // ditto
+    float scratch = 0.0f;
+    for (int i = 0; i < n; ++i) {
+        scratch += static_cast<float>(samples[i]); // float +=
+    }
+    return static_cast<double>(totalEnergy + trafficBytes + scratch);
+}
+
+} // namespace mmgpu::fixture

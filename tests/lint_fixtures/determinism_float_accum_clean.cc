@@ -1,0 +1,20 @@
+// lint-path: src/gpujoule/fixture_float_accum_clean.cc
+// Clean twin: totals are double; float appears only as a non-
+// accumulated scale factor (fine) and inside names that merely
+// resemble the keyword.
+
+namespace mmgpu::fixture
+{
+
+double
+tally(const double *samples, int n)
+{
+    double totalEnergy = 0.0;
+    const float scale = 0.5f; // no accumulation, benign name
+    for (int i = 0; i < n; ++i) {
+        totalEnergy += samples[i] * static_cast<double>(scale);
+    }
+    return totalEnergy;
+}
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,24 @@
+// lint-path: src/sim/fixture_ptr_key.cc
+// Golden violation fixture for determinism-ptr-key: pointer-keyed
+// associative containers iterate in allocation-address order.
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace mmgpu::fixture
+{
+
+struct Task
+{
+    int id = 0;
+};
+
+struct Tracker
+{
+    std::unordered_map<const Task *, int> retries; // pointer key
+    std::set<Task *> live;                         // pointer key
+    std::map<Task *, double> weights;              // pointer key
+};
+
+} // namespace mmgpu::fixture

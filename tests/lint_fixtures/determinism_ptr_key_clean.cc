@@ -1,0 +1,27 @@
+// lint-path: src/sim/fixture_ptr_key_clean.cc
+// Clean twin: stable-id keys, pointers only as values, and pointer
+// sequences (ordering is explicit, not address-derived).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mmgpu::fixture
+{
+
+struct Task
+{
+    std::uint32_t id = 0;
+};
+
+struct Tracker
+{
+    std::unordered_map<std::uint32_t, int> retries;  // id key
+    std::map<std::string, Task *> byName;            // ptr as value
+    std::vector<Task *> order;                       // explicit order
+    std::map<std::pair<int, int>, double> weights;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,26 @@
+// lint-path: src/mem/fixture_error_path.cc
+// Golden violation fixture for error-path: library code must never
+// kill the process or throw — failures travel as Result<T, SimError>.
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mmgpu::fixture
+{
+
+int
+loadOrDie(int fd)
+{
+    if (fd < 0) {
+        exit(1); // banned: kills the whole sweep
+    }
+    if (fd == 0) {
+        std::abort(); // banned
+    }
+    if (fd > 1024) {
+        throw std::runtime_error("bad fd"); // banned: naked throw
+    }
+    return fd;
+}
+
+} // namespace mmgpu::fixture

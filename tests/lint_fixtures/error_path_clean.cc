@@ -1,0 +1,37 @@
+// lint-path: src/mem/fixture_error_path_clean.cc
+// Clean twin of error_path_bad.cc: failures as Result, plus the
+// look-alikes that must NOT trip the rule — a member FUNCTION named
+// exit (declaration and qualified definition, as isa::TraceOp has),
+// member calls, and std::atexit (a different identifier).
+
+#include <cstdlib>
+
+#include "common/result.hh"
+
+namespace mmgpu::fixture
+{
+
+struct Machine
+{
+    static Machine exit(); // declaration named 'exit', not a call
+    void abort();          // member named 'abort'
+};
+
+Machine
+Machine::exit() // qualified definition, not a call
+{
+    return Machine{};
+}
+
+Result<int>
+load(int fd, Machine &machine)
+{
+    if (fd < 0) {
+        return Err<int>(SimError::Config, "bad fd");
+    }
+    machine.abort();       // member call, allowed
+    (void)Machine::exit(); // user-qualified, allowed
+    return Ok(fd);
+}
+
+} // namespace mmgpu::fixture

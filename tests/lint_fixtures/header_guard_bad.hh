@@ -1,0 +1,13 @@
+// lint-path: src/metrics/fixture_guard.hh
+// Golden violation fixture for header-guard: declarations begin with
+// no #ifndef/#define pair and no #pragma once.
+
+namespace mmgpu::fixture
+{
+
+struct Unguarded
+{
+    int value = 0;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,21 @@
+// lint-path: src/metrics/fixture_guard_clean.hh
+/**
+ * Clean twin: a long leading doc comment (which the guard detector
+ * must tolerate — real headers in this repo open with one) followed
+ * by a conventional #ifndef/#define guard.
+ */
+
+#ifndef MMGPU_FIXTURE_GUARD_CLEAN_HH
+#define MMGPU_FIXTURE_GUARD_CLEAN_HH
+
+namespace mmgpu::fixture
+{
+
+struct Guarded
+{
+    int value = 0;
+};
+
+} // namespace mmgpu::fixture
+
+#endif // MMGPU_FIXTURE_GUARD_CLEAN_HH

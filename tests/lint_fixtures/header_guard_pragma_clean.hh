@@ -1,0 +1,14 @@
+// lint-path: src/metrics/fixture_guard_pragma.hh
+// Clean twin (variant): #pragma once is an accepted guard form.
+
+#pragma once
+
+namespace mmgpu::fixture
+{
+
+struct PragmaGuarded
+{
+    int value = 0;
+};
+
+} // namespace mmgpu::fixture

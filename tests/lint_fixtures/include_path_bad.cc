@@ -1,0 +1,12 @@
+// lint-path: src/sim/fixture_include_path.cc
+// Golden violation fixture for include-path: relative escapes,
+// unqualified library includes, and repo headers smuggled through
+// the angle-bracket search path.
+
+#include "../common/logging.hh"  // relative escape
+#include "gpu_sim.hh"            // unqualified in library code
+#include <common/units.hh>       // repo header via angle brackets
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -1,0 +1,14 @@
+// lint-path: src/sim/fixture_include_path_clean.cc
+// Clean twin: module-qualified quoted includes for repo headers,
+// angle brackets reserved for the standard library.
+
+#include "sim/gpu_sim.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+#include <string>
+#include <vector>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

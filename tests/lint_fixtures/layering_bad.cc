@@ -1,0 +1,12 @@
+// lint-path: src/noc/fixture_layering.cc
+// Golden violation fixture for layering: src/noc reaching UP the
+// stack into sim/ and mem/ — back edges in the module DAG — plus an
+// include of a module nobody registered.
+
+#include "sim/gpu_sim.hh"      // back edge: noc -> sim
+#include "mem/cache.hh"        // back edge: noc -> mem
+#include "ghost/phantom.hh"    // unknown module
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

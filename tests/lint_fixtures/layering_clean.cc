@@ -1,0 +1,14 @@
+// lint-path: src/noc/fixture_layering_clean.cc
+// Clean twin: src/noc pulling in exactly its declared dependencies —
+// itself, the cross-cutting leaves (fault, telemetry), and common.
+
+#include "noc/interconnect.hh"
+#include "fault/fault_plan.hh"
+#include "telemetry/counters.hh"
+#include "common/units.hh"
+
+#include <vector>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

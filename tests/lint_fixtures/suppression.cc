@@ -1,0 +1,19 @@
+// lint-path: src/harness/fixture_suppression.cc
+// Suppression fixture: the first violation is silenced by an
+// end-of-line allow, the second by nothing — exactly one
+// determinism-clock diagnostic must survive.
+
+#include <cstdlib>
+
+namespace mmgpu::fixture
+{
+
+int
+twoViolationsOneAllowed()
+{
+    int a = rand(); // mmgpu-lint: allow(determinism-clock)
+    int b = rand(); // NOT suppressed
+    return a + b;
+}
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,22 @@
+// lint-path: src/harness/fixture_suppression_file.cc
+// mmgpu-lint: allow-file(determinism-clock)
+// File-wide suppression fixture: every determinism-clock hit below
+// is silenced, but the error-path violation still fires.
+
+#include <cstdlib>
+
+namespace mmgpu::fixture
+{
+
+int
+clocksAllowedExitNot()
+{
+    int a = rand();      // suppressed file-wide
+    int b = rand();      // suppressed file-wide
+    if (a == b) {
+        exit(1); // error-path still fires
+    }
+    return a;
+}
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the runtime contract layer (src/common/contract.hh) and
+ * the conservation audits it gates: macro gating semantics at the
+ * build's contract level, NoC flit-conservation bookkeeping on both
+ * topologies, and the Eq. 4 energy re-derivation audit — including
+ * that each audit actually REJECTS cooked books, not just accepts
+ * honest ones.
+ */
+
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hh"
+#include "gpujoule/energy_model.hh"
+#include "noc/interconnect.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+// ------------------------------------------------------------- //
+// Macro gating.
+
+TEST(Contract, LevelConstantsAgreeWithBuildDefinition)
+{
+    EXPECT_EQ(contract::level, MMGPU_CONTRACT_LEVEL);
+    EXPECT_EQ(contract::checksEnabled, contract::level >= 1);
+    EXPECT_EQ(contract::auditsEnabled, contract::level >= 2);
+}
+
+TEST(Contract, PassingContractsAreSilent)
+{
+    MMGPU_EXPECT(1 + 1 == 2, "arithmetic");
+    MMGPU_ENSURE(true);
+    MMGPU_INVARIANT(true, "always holds");
+}
+
+#if MMGPU_CONTRACT_LEVEL >= 1
+TEST(ContractDeathTest, ViolatedExpectPanics)
+{
+    EXPECT_DEATH(MMGPU_EXPECT(2 + 2 == 5, "cooked books"),
+                 "precondition violated");
+}
+
+TEST(ContractDeathTest, ViolatedEnsurePanics)
+{
+    EXPECT_DEATH(MMGPU_ENSURE(false, "broke on the way out"),
+                 "postcondition violated");
+}
+#endif
+
+#if MMGPU_CONTRACT_LEVEL >= 2
+TEST(ContractDeathTest, ViolatedInvariantPanicsAtAuditLevel)
+{
+    EXPECT_DEATH(MMGPU_INVARIANT(false, "books do not balance"),
+                 "invariant violated");
+}
+#endif
+
+TEST(Contract, DisabledInvariantDoesNotEvaluateItsCondition)
+{
+    // Audits may be O(n) walks: below audit level the condition must
+    // not run at all, only type-check.
+    int evaluations = 0;
+    auto probe = [&]() {
+        ++evaluations;
+        return true;
+    };
+    MMGPU_INVARIANT(probe(), "side effect probe");
+    EXPECT_EQ(evaluations, contract::auditsEnabled ? 1 : 0);
+}
+
+// ------------------------------------------------------------- //
+// NoC flit conservation.
+
+/** Test hatch: LinkTraffic is protected, so cooking the books takes
+ *  a subclass. */
+template <typename Network>
+struct Tampered : Network
+{
+    using Network::Network;
+    noc::LinkTraffic &books() { return this->traffic_; }
+};
+
+TEST(FlitConservation, HealthyRingBalancesAfterTraffic)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    noc::Tick t = 0;
+    for (unsigned src = 0; src < 4; ++src) {
+        for (unsigned dst = 0; dst < 4; ++dst) {
+            if (src != dst)
+                t = ring.transfer(t, src, dst, 1024.0);
+        }
+    }
+    EXPECT_EQ(ring.auditConservation(), "");
+    EXPECT_EQ(ring.traffic().transfers, ring.traffic().arrivals);
+    EXPECT_EQ(ring.traffic().messageBytes,
+              ring.traffic().deliveredBytes);
+}
+
+TEST(FlitConservation, RingAuditRejectsLostMessage)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 0, 2, 512.0);
+    ring.books().transfers += 1; // a message entered, never arrived
+    const std::string verdict = ring.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("injected vs delivered"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, RingAuditRejectsLostBytes)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 1, 3, 2048.0);
+    ring.books().deliveredBytes -= 32; // a sector evaporated
+    EXPECT_NE(ring.auditConservation(), "");
+}
+
+TEST(FlitConservation, HealthyRingAuditRejectsPhantomReroute)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 0, 1, 256.0);
+    ring.books().rerouted += 1; // no faults configured: impossible
+    const std::string verdict = ring.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("reroutes"), std::string::npos) << verdict;
+}
+
+TEST(FlitConservation, SwitchBalancesAndCountsTwoEndpointHops)
+{
+    Tampered<noc::SwitchNetwork> sw(8, 128.0, 3, 7);
+    noc::Tick t = 0;
+    Count bytes = 0;
+    for (unsigned src = 0; src < 8; ++src) {
+        const unsigned dst = (src + 3) % 8;
+        t = sw.transfer(t, src, dst, 4096.0);
+        bytes += 4096;
+    }
+    EXPECT_EQ(sw.auditConservation(), "");
+    // Every switch message crosses exactly two endpoint links.
+    EXPECT_EQ(sw.traffic().byteHops, 2 * bytes);
+    EXPECT_EQ(sw.traffic().switchBytes, bytes);
+}
+
+TEST(FlitConservation, SwitchAuditRejectsMissingFabricCrossing)
+{
+    Tampered<noc::SwitchNetwork> sw(4, 128.0, 3, 7);
+    sw.transfer(0, 1, 2, 1024.0);
+    sw.books().switchBytes -= 1024; // crossing went unbilled
+    const std::string verdict = sw.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("fabric bytes"), std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, SwitchAuditRejectsWrongHopCount)
+{
+    Tampered<noc::SwitchNetwork> sw(4, 128.0, 3, 7);
+    sw.transfer(0, 0, 3, 1024.0);
+    sw.books().byteHops += 1024; // as if a third link were crossed
+    EXPECT_NE(sw.auditConservation(), "");
+}
+
+TEST(FlitConservation, ResetClearsArrivalBooks)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 0, 2, 512.0);
+    ring.reset();
+    EXPECT_EQ(ring.traffic().arrivals, 0u);
+    EXPECT_EQ(ring.traffic().deliveredBytes, 0u);
+    EXPECT_EQ(ring.auditConservation(), "");
+}
+
+// ------------------------------------------------------------- //
+// Energy accounting audit.
+
+joule::EnergyParams
+params()
+{
+    joule::EnergyParams p;
+    p.table = joule::paperTableIb();
+    p.stallEnergyPerSmCycle = 1e-9;
+    p.constPowerPerGpm = 60.0;
+    p.linkPjPerBit = 10.0;
+    p.switchPjPerBit = 20.0;
+    return p;
+}
+
+joule::EnergyInputs
+busyInputs()
+{
+    joule::EnergyInputs inputs;
+    inputs.gpmCount = 4;
+    inputs.execTime = 0.25;
+    inputs.smStallCycles = 3.2e6;
+    inputs.linkBytes = 1500000000;
+    inputs.switchBytes = 500000000;
+    for (std::size_t i = 0; i < isa::numOpcodes; ++i)
+        inputs.warpInstrs[i] = 1000 + 17 * i;
+    for (std::size_t i = 0; i < isa::numTxnLevels; ++i)
+        inputs.txns[i] = 50000 + 311 * i;
+    return inputs;
+}
+
+TEST(EnergyAudit, HonestBreakdownPasses)
+{
+    const auto breakdown = joule::estimate(busyInputs(), params());
+    EXPECT_EQ(joule::auditEstimate(busyInputs(), params(), breakdown),
+              "");
+}
+
+TEST(EnergyAudit, RejectsTamperedComponent)
+{
+    auto breakdown = joule::estimate(busyInputs(), params());
+    breakdown.smBusy *= 1.0 + 1e-6; // a dropped-opcode-sized slip
+    const std::string verdict =
+        joule::auditEstimate(busyInputs(), params(), breakdown);
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("smBusy"), std::string::npos) << verdict;
+}
+
+TEST(EnergyAudit, RejectsUnitSlipInInterconnectTerm)
+{
+    auto breakdown = joule::estimate(busyInputs(), params());
+    breakdown.interModule *= 8.0; // bits-vs-bytes slip
+    const std::string verdict =
+        joule::auditEstimate(busyInputs(), params(), breakdown);
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("interModule"), std::string::npos)
+        << verdict;
+}
+
+TEST(EnergyAudit, RejectsNonFiniteAndNegativeComponents)
+{
+    auto breakdown = joule::estimate(busyInputs(), params());
+    auto bad = breakdown;
+    bad.constant = -1.0;
+    EXPECT_NE(joule::auditEstimate(busyInputs(), params(), bad), "");
+    bad = breakdown;
+    bad.smIdle = std::numeric_limits<double>::infinity();
+    EXPECT_NE(joule::auditEstimate(busyInputs(), params(), bad), "");
+}
+
+TEST(EnergyAudit, TinyComponentsCompareClean)
+{
+    // Near-zero terms must not trip the relative tolerance.
+    joule::EnergyInputs inputs;
+    inputs.gpmCount = 1;
+    inputs.execTime = 0.0;
+    const auto breakdown = joule::estimate(inputs, params());
+    EXPECT_EQ(joule::auditEstimate(inputs, params(), breakdown), "");
+}
+
+} // namespace

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Selfcheck for the mmgpu-lint engine: proves every rule FIRES on
+ * its golden violation fixture, stays QUIET on the clean twin, and
+ * that the real tree lints clean — the same property scripts/ci.sh
+ * enforces, here as a tier-1 test so a violation fails `ctest`
+ * before it ever reaches CI.
+ *
+ * Fixtures live in tests/lint_fixtures/ and carry their virtual
+ * repo path in a first-line `// lint-path: src/...` comment: rules
+ * scope on path (library vs test code, module layering), so the
+ * fixture content is linted as if it sat at that location.
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+namespace
+{
+
+using namespace mmgpu::lint;
+
+std::string
+fixtureText(const std::string &name)
+{
+    const std::string path =
+        std::string(MMGPU_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Parse a fixture, scoping it at its `// lint-path:` virtual path. */
+FileModel
+parseFixture(const std::string &name)
+{
+    const std::string text = fixtureText(name);
+    constexpr std::string_view marker = "// lint-path: ";
+    EXPECT_EQ(text.rfind(marker, 0), 0u)
+        << name << " lacks a lint-path header";
+    const std::size_t eol = text.find('\n');
+    std::string virtualPath =
+        text.substr(marker.size(), eol - marker.size());
+    while (!virtualPath.empty() && virtualPath.back() == '\r')
+        virtualPath.pop_back();
+    return parseSource(std::move(virtualPath), text);
+}
+
+std::vector<Diagnostic>
+lintFixture(const std::string &name)
+{
+    return lintFile(parseFixture(name), Config::repoDefault());
+}
+
+std::set<std::string>
+rulesFired(const std::vector<Diagnostic> &diags)
+{
+    std::set<std::string> rules;
+    for (const Diagnostic &d : diags)
+        rules.insert(d.rule);
+    return rules;
+}
+
+std::string
+describe(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diags)
+        os << d.file << ":" << d.line << ": [" << d.rule << "] "
+           << d.message << "\n";
+    return os.str();
+}
+
+/** Each rule fires on its bad fixture and ONLY on its clean twin's
+ *  silence — the clean twin must produce zero diagnostics of any
+ *  rule, or the twin is not actually clean. */
+struct RulePair
+{
+    const char *rule;
+    const char *bad;
+    const char *clean;
+    int minHits;
+};
+
+const RulePair rulePairs[] = {
+    {"determinism-clock", "determinism_clock_bad.cc",
+     "determinism_clock_clean.cc", 5},
+    {"determinism-ptr-key", "determinism_ptr_key_bad.cc",
+     "determinism_ptr_key_clean.cc", 3},
+    {"determinism-float-accum", "determinism_float_accum_bad.cc",
+     "determinism_float_accum_clean.cc", 3},
+    {"layering", "layering_bad.cc", "layering_clean.cc", 3},
+    {"include-path", "include_path_bad.cc",
+     "include_path_clean.cc", 3},
+    {"error-path", "error_path_bad.cc", "error_path_clean.cc", 3},
+    {"header-guard", "header_guard_bad.hh",
+     "header_guard_clean.hh", 1},
+};
+
+TEST(LintSelfcheck, EveryRuleFiresOnItsViolationFixture)
+{
+    for (const RulePair &pair : rulePairs) {
+        SCOPED_TRACE(pair.rule);
+        const std::vector<Diagnostic> diags = lintFixture(pair.bad);
+        int hits = 0;
+        for (const Diagnostic &d : diags) {
+            EXPECT_EQ(d.rule, pair.rule)
+                << pair.bad << " tripped a foreign rule:\n"
+                << describe(diags);
+            hits += d.rule == pair.rule;
+        }
+        EXPECT_GE(hits, pair.minHits)
+            << pair.bad << " under-fired:\n" << describe(diags);
+    }
+}
+
+TEST(LintSelfcheck, EveryCleanTwinIsSilent)
+{
+    for (const RulePair &pair : rulePairs) {
+        SCOPED_TRACE(pair.rule);
+        const std::vector<Diagnostic> diags = lintFixture(pair.clean);
+        EXPECT_TRUE(diags.empty())
+            << pair.clean << " is not clean:\n" << describe(diags);
+    }
+    const auto pragma =
+        lintFixture("header_guard_pragma_clean.hh");
+    EXPECT_TRUE(pragma.empty()) << describe(pragma);
+}
+
+TEST(LintSelfcheck, DiagnosticsNameTheirFixtureLine)
+{
+    const std::vector<Diagnostic> diags =
+        lintFixture("error_path_bad.cc");
+    ASSERT_FALSE(diags.empty());
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.file, "src/mem/fixture_error_path.cc");
+        EXPECT_GT(d.line, 1);
+        EXPECT_FALSE(d.message.empty());
+    }
+}
+
+TEST(LintSelfcheck, LineSuppressionSilencesExactlyItsLine)
+{
+    const std::vector<Diagnostic> diags = lintFixture("suppression.cc");
+    ASSERT_EQ(diags.size(), 1u) << describe(diags);
+    EXPECT_EQ(diags[0].rule, "determinism-clock");
+}
+
+TEST(LintSelfcheck, FileSuppressionSilencesOneRuleOnly)
+{
+    const std::vector<Diagnostic> diags =
+        lintFixture("suppression_file.cc");
+    const std::set<std::string> rules = rulesFired(diags);
+    EXPECT_EQ(rules.count("determinism-clock"), 0u)
+        << describe(diags);
+    EXPECT_EQ(rules.count("error-path"), 1u) << describe(diags);
+}
+
+// ------------------------------------------------------------- //
+// Lexer properties the rules depend on.
+
+TEST(LintLexer, CommentsAndStringsDoNotLeakTokens)
+{
+    const FileModel model = parseSource(
+        "src/sim/x.cc",
+        "// rand() time() exit()\n"
+        "/* std::chrono::steady_clock::now() */\n"
+        "const char *s = \"rand() abort()\";\n"
+        "const char *r = R\"(throw exit())\";\n");
+    const auto diags = lintFile(model, Config::repoDefault());
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+TEST(LintLexer, GuardDetectedBehindLeadingComments)
+{
+    const FileModel model = parseSource(
+        "src/sim/x.hh",
+        "/** long doc comment\n * spanning lines\n */\n"
+        "// and a line comment\n"
+        "#ifndef X_HH\n#define X_HH\nint a;\n#endif\n");
+    EXPECT_TRUE(model.hasGuard);
+}
+
+TEST(LintLexer, ConditionalBeforeIfndefIsNotAGuard)
+{
+    const FileModel model = parseSource(
+        "src/sim/x.hh",
+        "#ifdef SOMETHING\n#endif\n"
+        "#ifndef X_HH\n#define X_HH\n#endif\n");
+    EXPECT_FALSE(model.hasGuard);
+}
+
+TEST(LintLexer, IncludesRecordFormAndLine)
+{
+    const FileModel model = parseSource(
+        "src/sim/x.cc",
+        "#include \"sim/a.hh\"\n#include <vector>\n");
+    ASSERT_EQ(model.includes.size(), 2u);
+    EXPECT_EQ(model.includes[0].path, "sim/a.hh");
+    EXPECT_FALSE(model.includes[0].angled);
+    EXPECT_EQ(model.includes[0].line, 1);
+    EXPECT_EQ(model.includes[1].path, "vector");
+    EXPECT_TRUE(model.includes[1].angled);
+    EXPECT_EQ(model.includes[1].line, 2);
+}
+
+TEST(LintLexer, AtexitIsNotExit)
+{
+    // std::atexit is a distinct identifier and library code may
+    // register teardown hooks (run_cache does).
+    const FileModel model =
+        parseSource("src/harness/x.cc", "std::atexit(flush);\n");
+    const auto diags = lintFile(model, Config::repoDefault());
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+TEST(LintLexer, TestCodeMayUseClocksAndExit)
+{
+    // Scoping: determinism/error-path apply to src/ only.
+    const FileModel model = parseSource(
+        "tests/test_x.cc", "int t = time(nullptr); exit(0);\n");
+    const auto diags = lintFile(model, Config::repoDefault());
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+TEST(LintRules, ShimFilesAreExemptFromDeterminism)
+{
+    const FileModel model = parseSource(
+        "src/common/wallclock.cc",
+        "auto t = std::chrono::steady_clock::now();\n");
+    const auto diags = lintFile(model, Config::repoDefault());
+    EXPECT_TRUE(diags.empty()) << describe(diags);
+}
+
+TEST(LintRules, CatalogListsSevenUniqueRules)
+{
+    const auto &catalog = ruleCatalog();
+    EXPECT_EQ(catalog.size(), 7u);
+    std::set<std::string> ids;
+    for (const auto &[id, desc] : catalog) {
+        ids.insert(id);
+        EXPECT_FALSE(desc.empty());
+    }
+    EXPECT_EQ(ids.size(), catalog.size());
+}
+
+// ------------------------------------------------------------- //
+// The property CI enforces, as a test: the real tree is clean.
+
+TEST(LintTree, RepoLintsClean)
+{
+    const std::vector<std::string> files =
+        collectFiles(MMGPU_REPO_ROOT);
+    EXPECT_GT(files.size(), 100u)
+        << "collectFiles found suspiciously few files; wrong root?";
+    for (const std::string &f : files) {
+        EXPECT_EQ(f.find("lint_fixtures"), std::string::npos)
+            << "fixture leaked into the scan set: " << f;
+    }
+    const std::vector<Diagnostic> diags =
+        lintTree(MMGPU_REPO_ROOT, Config::repoDefault());
+    EXPECT_TRUE(diags.empty())
+        << "tree is not lint-clean:\n" << describe(diags);
+}
+
+} // namespace

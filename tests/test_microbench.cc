@@ -36,8 +36,9 @@ TEST(Microbench, ComputeSuiteCoversAllNonMemoryOpcodes)
     }
     for (std::size_t i = 0; i < isa::numOpcodes; ++i) {
         auto op = static_cast<isa::Opcode>(i);
-        if (!isa::isMemory(op))
+        if (!isa::isMemory(op)) {
             EXPECT_TRUE(covered.count(op)) << isa::mnemonic(op);
+        }
     }
 }
 

@@ -166,8 +166,9 @@ TEST(WarpTrace, DivergenceProducesWideAccesses)
     WarpTrace trace(profile, layout, 0, 0, 0);
     auto ops = drain(trace);
     for (const auto &op : ops) {
-        if (op.kind == TraceOpKind::Load)
+        if (op.kind == TraceOpKind::Load) {
             EXPECT_EQ(op.sectors, 8u);
+        }
     }
 }
 
@@ -178,8 +179,9 @@ TEST(WarpTrace, NoDivergenceMeansCoalescedLines)
     WarpTrace trace(profile, layout, 0, 0, 0);
     auto ops = drain(trace);
     for (const auto &op : ops) {
-        if (op.kind == TraceOpKind::Load)
+        if (op.kind == TraceOpKind::Load) {
             EXPECT_EQ(op.sectors, 4u);
+        }
     }
 }
 
@@ -229,9 +231,11 @@ TEST(WarpTrace, BlockStreamRepeatsAcrossLaunches)
     auto ops0 = drain(launch0);
     auto ops1 = drain(launch1);
     ASSERT_EQ(ops0.size(), ops1.size());
-    for (std::size_t i = 0; i < ops0.size(); ++i)
-        if (ops0[i].kind == TraceOpKind::Load)
+    for (std::size_t i = 0; i < ops0.size(); ++i) {
+        if (ops0[i].kind == TraceOpKind::Load) {
             EXPECT_EQ(ops0[i].addr, ops1[i].addr);
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * mmgpu-lint lexer: turns a source file into the FileModel the rules
+ * consume. Handles the full set of C++ lexical hazards that would
+ * otherwise produce false positives — line and block comments, string
+ * and character literals (including raw strings), preprocessor lines
+ * with backslash continuations — and extracts include directives,
+ * guard structure, and `mmgpu-lint: allow(...)` suppressions along
+ * the way.
+ */
+
+#include "lint.hh"
+
+#include <cctype>
+
+namespace mmgpu::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Multi-character punctuators the rules care about, longest first so
+ * maximal munch picks "->" over "-" and "::" over ":". Everything
+ * else lexes as a single character.
+ */
+constexpr std::string_view multiPunct[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  ".*",
+};
+
+class Lexer
+{
+public:
+    Lexer(std::string path, std::string_view src)
+        : src_(src)
+    {
+        model_.path = std::move(path);
+        auto dot = model_.path.rfind('.');
+        model_.isHeader = dot != std::string::npos &&
+                          model_.path.substr(dot) == ".hh";
+    }
+
+    FileModel run()
+    {
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+                atLineStart_ = true;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+                continue;
+            }
+            if (c == '/' && peek(1) == '/') {
+                lineComment();
+                continue;
+            }
+            if (c == '/' && peek(1) == '*') {
+                blockComment();
+                continue;
+            }
+            if (c == '#' && atLineStart_) {
+                preprocessor();
+                continue;
+            }
+            atLineStart_ = false;
+            if (c == '"') {
+                stringLiteral();
+                continue;
+            }
+            if (c == '\'') {
+                charLiteral();
+                continue;
+            }
+            if (c == 'R' && peek(1) == '"') {
+                rawString();
+                continue;
+            }
+            if (isIdentStart(c)) {
+                identifier();
+                continue;
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                number();
+                continue;
+            }
+            punct();
+        }
+        finishGuard();
+        return std::move(model_);
+    }
+
+private:
+    char peek(std::size_t ahead) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    void emit(Token::Kind kind, std::string text)
+    {
+        sawCode_ = true;
+        model_.tokens.push_back({kind, std::move(text), line_});
+    }
+
+    /** Scan one comment body for lint suppression directives. */
+    void scanDirectives(std::string_view body, int bodyLine)
+    {
+        scanDirective(body, bodyLine, "mmgpu-lint: allow-file(", true);
+        scanDirective(body, bodyLine, "mmgpu-lint: allow(", false);
+    }
+
+    void scanDirective(std::string_view body, int bodyLine,
+                       std::string_view marker, bool fileWide)
+    {
+        std::size_t at = body.find(marker);
+        while (at != std::string_view::npos) {
+            const std::size_t open = at + marker.size();
+            const std::size_t close = body.find(')', open);
+            if (close == std::string_view::npos)
+                return;
+            std::string_view list = body.substr(open, close - open);
+            std::size_t start = 0;
+            while (start <= list.size()) {
+                std::size_t comma = list.find(',', start);
+                if (comma == std::string_view::npos)
+                    comma = list.size();
+                std::string rule;
+                for (char c : list.substr(start, comma - start)) {
+                    if (!std::isspace(static_cast<unsigned char>(c)))
+                        rule.push_back(c);
+                }
+                if (!rule.empty()) {
+                    if (fileWide)
+                        model_.fileAllows.insert(rule);
+                    else
+                        model_.lineAllows[bodyLine].insert(rule);
+                }
+                if (comma == list.size())
+                    break;
+                start = comma + 1;
+            }
+            at = body.find(marker, close);
+        }
+    }
+
+    void lineComment()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '\n')
+            ++pos_;
+        scanDirectives(src_.substr(start, pos_ - start), line_);
+    }
+
+    void blockComment()
+    {
+        const std::size_t start = pos_;
+        const int startLine = line_;
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               !(src_[pos_] == '*' && peek(1) == '/')) {
+            if (src_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+        if (pos_ < src_.size())
+            pos_ += 2;
+        scanDirectives(src_.substr(start, pos_ - start), startLine);
+    }
+
+    void stringLiteral()
+    {
+        ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != '"') {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size())
+                ++pos_;
+            if (src_[pos_] == '\n')
+                ++line_;
+            ++pos_;
+        }
+        if (pos_ < src_.size())
+            ++pos_;
+        emit(Token::Kind::String, "\"\"");
+    }
+
+    void charLiteral()
+    {
+        ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != '\'') {
+            if (src_[pos_] == '\\' && pos_ + 1 < src_.size())
+                ++pos_;
+            ++pos_;
+        }
+        if (pos_ < src_.size())
+            ++pos_;
+        emit(Token::Kind::CharLit, "''");
+    }
+
+    void rawString()
+    {
+        // R"delim( ... )delim"
+        std::size_t p = pos_ + 2;
+        std::string delim;
+        while (p < src_.size() && src_[p] != '(')
+            delim.push_back(src_[p++]);
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src_.find(closer, p);
+        if (end == std::string_view::npos) {
+            pos_ = src_.size();
+        } else {
+            for (std::size_t i = pos_; i < end; ++i) {
+                if (src_[i] == '\n')
+                    ++line_;
+            }
+            pos_ = end + closer.size();
+        }
+        emit(Token::Kind::String, "\"\"");
+    }
+
+    void identifier()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < src_.size() && isIdentChar(src_[pos_]))
+            ++pos_;
+        emit(Token::Kind::Identifier,
+             std::string(src_.substr(start, pos_ - start)));
+    }
+
+    void number()
+    {
+        const std::size_t start = pos_;
+        // pp-number: digits, idents, dots, and exponent signs.
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (isIdentChar(c) || c == '.' || c == '\'') {
+                ++pos_;
+            } else if ((c == '+' || c == '-') && pos_ > start &&
+                       (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                        src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        emit(Token::Kind::Number,
+             std::string(src_.substr(start, pos_ - start)));
+    }
+
+    void punct()
+    {
+        for (std::string_view op : multiPunct) {
+            if (src_.substr(pos_).substr(0, op.size()) == op) {
+                emit(Token::Kind::Punct, std::string(op));
+                pos_ += op.size();
+                return;
+            }
+        }
+        emit(Token::Kind::Punct, std::string(1, src_[pos_]));
+        ++pos_;
+    }
+
+    /**
+     * Consume one logical preprocessor line (with backslash
+     * continuations), recording includes, #pragma once, and the
+     * opening #ifndef/#define guard pair.
+     */
+    void preprocessor()
+    {
+        const int directiveLine = line_;
+        std::string text;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                if (!text.empty() && text.back() == '\\') {
+                    text.pop_back();
+                    ++line_;
+                    ++pos_;
+                    continue;
+                }
+                break;
+            }
+            // Comments end or punch through the directive text.
+            if (c == '/' && peek(1) == '/') {
+                lineComment();
+                break;
+            }
+            if (c == '/' && peek(1) == '*') {
+                blockComment();
+                text.push_back(' ');
+                continue;
+            }
+            text.push_back(c);
+            ++pos_;
+        }
+        parseDirective(text, directiveLine);
+        atLineStart_ = true;
+    }
+
+    static std::string_view trimmed(std::string_view s)
+    {
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.front())))
+            s.remove_prefix(1);
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.back())))
+            s.remove_suffix(1);
+        return s;
+    }
+
+    void parseDirective(std::string_view text, int directiveLine)
+    {
+        text = trimmed(text);
+        if (text.empty() || text.front() != '#')
+            return;
+        text = trimmed(text.substr(1));
+        std::size_t nameEnd = 0;
+        while (nameEnd < text.size() && isIdentChar(text[nameEnd]))
+            ++nameEnd;
+        const std::string_view name = text.substr(0, nameEnd);
+        const std::string_view rest = trimmed(text.substr(nameEnd));
+
+        if (name == "include") {
+            parseInclude(rest, directiveLine);
+        } else if (name == "pragma") {
+            if (trimmed(rest) == "once" && !sawCode_)
+                pragmaOnce_ = true;
+        } else if (name == "ifndef") {
+            if (!sawCode_ && guardName_.empty() && !guardClosed_)
+                guardName_ = std::string(firstWord(rest));
+        } else if (name == "define") {
+            if (!sawCode_ && !guardName_.empty() &&
+                firstWord(rest) == guardName_)
+                guardDefined_ = true;
+        } else if (name == "if" || name == "ifdef") {
+            // A conditional before any #ifndef means no guard opens
+            // the file.
+            if (guardName_.empty())
+                guardClosed_ = true;
+        }
+    }
+
+    static std::string_view firstWord(std::string_view s)
+    {
+        std::size_t end = 0;
+        while (end < s.size() && isIdentChar(s[end]))
+            ++end;
+        return s.substr(0, end);
+    }
+
+    void parseInclude(std::string_view rest, int directiveLine)
+    {
+        if (rest.empty())
+            return;
+        char close = 0;
+        if (rest.front() == '<')
+            close = '>';
+        else if (rest.front() == '"')
+            close = '"';
+        else
+            return;
+        const std::size_t end = rest.find(close, 1);
+        if (end == std::string_view::npos)
+            return;
+        model_.includes.push_back(
+            {std::string(rest.substr(1, end - 1)), directiveLine,
+             close == '>'});
+    }
+
+    void finishGuard()
+    {
+        model_.hasGuard =
+            pragmaOnce_ || (!guardName_.empty() && guardDefined_);
+    }
+
+    std::string_view src_;
+    FileModel model_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    bool atLineStart_ = true;
+
+    bool sawCode_ = false; //!< any token emitted yet
+    bool pragmaOnce_ = false;
+    std::string guardName_;
+    bool guardDefined_ = false;
+    bool guardClosed_ = false;
+};
+
+} // namespace
+
+FileModel
+parseSource(std::string path, std::string_view content)
+{
+    return Lexer(std::move(path), content).run();
+}
+
+} // namespace mmgpu::lint

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * mmgpu-lint — in-tree static analysis for the repo's contracts.
+ *
+ * A fast, dependency-free analyzer over the token stream and include
+ * graph of src/, tests/, and bench/. It enforces the rules the unit
+ * tests cannot see but the repo's value rests on:
+ *
+ *   determinism-clock        no host clocks / libc randomness outside
+ *                            the src/common rng & wallclock shims
+ *   determinism-ptr-key      no pointer-keyed (unordered) containers:
+ *                            their iteration order is address-derived
+ *   determinism-float-accum  no float accumulators in energy/traffic
+ *                            totals (double everywhere)
+ *   layering                 includes must follow the module DAG
+ *                            (common -> isa/trace -> sm/mem/noc ->
+ *                            sim -> power/gpujoule -> metrics ->
+ *                            harness; fault & telemetry are
+ *                            cross-cutting leaves) — no back edges
+ *   include-path             quoted includes are module-qualified,
+ *                            no "..", no absolute paths
+ *   error-path               no exit()/abort()/terminate()/naked
+ *                            throw in library code — failures travel
+ *                            as Result<T, SimError> (the logging
+ *                            shims are the sanctioned exception)
+ *   header-guard             every header carries an include guard
+ *                            or #pragma once
+ *
+ * The engine is a library (linked by test_lint_selfcheck and by the
+ * mmgpu-lint CLI) and deliberately depends on nothing but the
+ * standard library: it must never be able to deadlock on the code it
+ * checks. Suppress a diagnostic with an end-of-line comment
+ * `// mmgpu-lint: allow(rule-id)` or file-wide with
+ * `// mmgpu-lint: allow-file(rule-id)` — use sparingly; every
+ * suppression is greppable.
+ */
+
+#ifndef MMGPU_TOOLS_LINT_HH
+#define MMGPU_TOOLS_LINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mmgpu::lint
+{
+
+/** One lexical token of a scanned file. */
+struct Token
+{
+    enum class Kind
+    {
+        Identifier, //!< identifiers and keywords
+        Number,     //!< numeric literals
+        String,     //!< string literals (text not preserved)
+        CharLit,    //!< character literals
+        Punct,      //!< operators & punctuation ("::", "->", "+=", ...)
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 1;
+};
+
+/** One #include directive. */
+struct Include
+{
+    std::string path;
+    int line = 1;
+    bool angled = false; //!< <system> form (ignored by layering)
+};
+
+/**
+ * Parsed model of one file: comment- and string-stripped token
+ * stream, include list, guard state, and suppression directives.
+ */
+struct FileModel
+{
+    /** Repo-relative path with '/' separators; rules scope on it. */
+    std::string path;
+
+    std::vector<Token> tokens;
+    std::vector<Include> includes;
+
+    bool isHeader = false;
+
+    /** #pragma once, or an #ifndef/#define pair opening the file. */
+    bool hasGuard = false;
+
+    /** line -> rule ids suppressed on that line. */
+    std::map<int, std::set<std::string>> lineAllows;
+
+    /** Rule ids suppressed for the whole file. */
+    std::set<std::string> fileAllows;
+};
+
+/**
+ * Lex @p content into a FileModel. @p path is the repo-relative
+ * virtual path the rules scope on (fixture tests pass paths that do
+ * not exist on disk).
+ */
+FileModel parseSource(std::string path, std::string_view content);
+
+/** One rule violation. */
+struct Diagnostic
+{
+    std::string file;
+    int line = 1;
+    std::string rule;
+    std::string message;
+};
+
+/** Engine configuration: layering DAG and per-rule allowlists. */
+struct Config
+{
+    /**
+     * module -> modules its quoted includes may come from (the
+     * transitive closure of the DAG, self included). A src/ module
+     * absent from this table is itself a violation: new modules must
+     * register their dependencies explicitly.
+     */
+    std::map<std::string, std::set<std::string>> layering;
+
+    /** Files (repo-relative) exempt from the determinism rules —
+     *  the rng/wallclock shims themselves. */
+    std::set<std::string> determinismExempt;
+
+    /** Files exempt from error-path — the logging shims that
+     *  implement panic/fatal. */
+    std::set<std::string> errorPathExempt;
+
+    /** The checked-in repo policy. */
+    static Config repoDefault();
+};
+
+/** Run every rule on one parsed file. */
+std::vector<Diagnostic> lintFile(const FileModel &file,
+                                 const Config &config);
+
+/**
+ * Repo-relative paths of every lintable file under @p root:
+ * *.cc / *.hh below src/, tests/, and bench/, skipping
+ * tests/lint_fixtures (which violates rules on purpose). Sorted.
+ */
+std::vector<std::string> collectFiles(const std::string &root);
+
+/** collectFiles + parseSource + lintFile over a whole tree. */
+std::vector<Diagnostic> lintTree(const std::string &root,
+                                 const Config &config);
+
+/** (rule id, one-line description) for every rule, stable order. */
+const std::vector<std::pair<std::string, std::string>> &ruleCatalog();
+
+} // namespace mmgpu::lint
+
+#endif // MMGPU_TOOLS_LINT_HH

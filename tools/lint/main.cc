@@ -1,0 +1,76 @@
+/**
+ * @file
+ * mmgpu-lint CLI.
+ *
+ *   mmgpu-lint [--root DIR] [--list-rules]
+ *
+ * Scans src/, tests/, and bench/ under --root (default: the current
+ * directory), prints every violation as
+ *
+ *   file:line: [rule-id] message
+ *
+ * and exits 1 when any were found. This is the binary behind the
+ * `lint` CMake target, the test_lint_selfcheck clean-tree check, and
+ * the scripts/ci.sh lint stage.
+ */
+
+#include "lint.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+int
+main(int argc, char **argv)
+{
+    using namespace mmgpu::lint;
+
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--list-rules") == 0) {
+            for (const auto &[id, desc] : ruleCatalog())
+                std::printf("%-24s %s\n", id.c_str(), desc.c_str());
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+            continue;
+        }
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: mmgpu-lint [--root DIR] "
+                        "[--list-rules]\n");
+            return 0;
+        }
+        std::fprintf(stderr, "mmgpu-lint: unknown argument '%s'\n",
+                     argv[i]);
+        return 2;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<std::string> files = collectFiles(root);
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "mmgpu-lint: no lintable files under '%s' "
+                     "(expected src/, tests/, bench/)\n",
+                     root.c_str());
+        return 2;
+    }
+    const std::vector<Diagnostic> diags =
+        lintTree(root, Config::repoDefault());
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    for (const Diagnostic &d : diags) {
+        std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    }
+    std::printf("mmgpu-lint: %zu files, %zu violation%s (%lld ms)\n",
+                files.size(), diags.size(),
+                diags.size() == 1 ? "" : "s",
+                static_cast<long long>(elapsed));
+    return diags.empty() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tree walking for mmgpu-lint: collect the lintable files under a
+ * repo root and run the rules over all of them.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mmgpu::lint
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr std::string_view scanRoots[] = {"src", "tests", "bench"};
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+} // namespace
+
+std::vector<std::string>
+collectFiles(const std::string &root)
+{
+    std::vector<std::string> files;
+    const fs::path base(root);
+    for (std::string_view sub : scanRoots) {
+        const fs::path dir = base / sub;
+        std::error_code ec;
+        if (!fs::is_directory(dir, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(dir, ec);
+             it != fs::recursive_directory_iterator();
+             it.increment(ec)) {
+            if (ec)
+                break;
+            if (it->is_directory() &&
+                it->path().filename() == "lint_fixtures") {
+                // Fixtures violate the rules on purpose.
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (!it->is_regular_file() ||
+                !lintableExtension(it->path()))
+                continue;
+            files.push_back(
+                it->path().lexically_relative(base).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::vector<Diagnostic>
+lintTree(const std::string &root, const Config &config)
+{
+    std::vector<Diagnostic> all;
+    for (const std::string &rel : collectFiles(root)) {
+        const std::string content =
+            readFile(fs::path(root) / fs::path(rel));
+        const FileModel model = parseSource(rel, content);
+        std::vector<Diagnostic> diags = lintFile(model, config);
+        all.insert(all.end(),
+                   std::make_move_iterator(diags.begin()),
+                   std::make_move_iterator(diags.end()));
+    }
+    return all;
+}
+
+} // namespace mmgpu::lint
