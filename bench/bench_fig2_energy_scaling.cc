@@ -26,13 +26,13 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
-    std::vector<sim::GpuConfig> sweep;
+    std::vector<bench::SweepCell> cells;
     for (unsigned n : sim::tableThreeGpmCounts())
-        sweep.push_back(
-            sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
-                                noc::Topology::Ring,
-                                sim::IntegrationDomain::OnBoard));
-    bench::prefill(runner, sweep, workloads);
+        cells.push_back(
+            {sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
+                                 noc::Topology::Ring,
+                                 sim::IntegrationDomain::OnBoard)});
+    const auto results = bench::runSweep(runner, cells, workloads);
 
     TextTable table("Energy normalized to 1-GPM GPU "
                     "(1x-BW on-board ring)");
@@ -41,16 +41,12 @@ main()
     CsvWriter csv({"gpms", "energy_ratio", "speedup"});
 
     double ratio32 = 0.0;
-    for (unsigned n : sim::tableThreeGpmCounts()) {
-        auto config =
-            sim::multiGpmConfig(n, sim::BwSetting::Bw1x,
-                                noc::Topology::Ring,
-                                sim::IntegrationDomain::OnBoard);
-        auto points = harness::scalingStudy(runner, config, workloads);
-        double ratio = harness::meanOf(
-            points, &harness::ScalingPoint::energyRatio);
-        double speed = harness::meanOf(
-            points, &harness::ScalingPoint::speedup);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        unsigned n = cells[i].config.gpmCount;
+        double ratio =
+            results[i].mean(&harness::ScalingPoint::energyRatio);
+        double speed =
+            results[i].mean(&harness::ScalingPoint::speedup);
         if (n == 32)
             ratio32 = ratio;
         char label[16];

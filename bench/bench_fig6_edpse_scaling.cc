@@ -97,7 +97,14 @@ main()
     runner.attachPersistentCache(disk);
     double warm_seconds = timedSweep(runner, configs, workloads, workers);
 
-    // Aggregate the figure from the warm runner's memo cache.
+    // Aggregate the figure from the warm runner's memo cache (the
+    // sweep is fully memoized, so runSweep's parallel phase finds
+    // nothing to do).
+    std::vector<bench::SweepCell> cells;
+    for (const auto &config : configs)
+        cells.push_back({config});
+    const auto results = bench::runSweep(runner, cells, workloads);
+
     TextTable table("EDPSE (%) by workload class");
     table.header({"config", "compute", "memory", "all",
                   ">= 50% threshold?"});
@@ -105,17 +112,14 @@ main()
 
     double all2 = 0.0, all32 = 0.0;
     double c32 = 0.0, m32 = 0.0;
-    for (const auto &config : configs) {
-        unsigned n = config.gpmCount;
-        auto points_n = harness::scalingStudy(runner, config, workloads);
-        double c = harness::meanOf(points_n,
-                                   &harness::ScalingPoint::edpse,
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        unsigned n = cells[i].config.gpmCount;
+        double c = results[i].mean(&harness::ScalingPoint::edpse,
                                    trace::WorkloadClass::Compute);
-        double m = harness::meanOf(points_n,
-                                   &harness::ScalingPoint::edpse,
+        double m = results[i].mean(&harness::ScalingPoint::edpse,
                                    trace::WorkloadClass::Memory);
         double all =
-            harness::meanOf(points_n, &harness::ScalingPoint::edpse);
+            results[i].mean(&harness::ScalingPoint::edpse);
         if (n == 2)
             all2 = all;
         if (n == 32) {

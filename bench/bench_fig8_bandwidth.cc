@@ -24,12 +24,15 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
-    std::vector<sim::GpuConfig> sweep;
+    // Grid: bandwidth settings vary fastest, so row n starts at
+    // cell 3n.
+    std::vector<bench::SweepCell> cells;
     for (unsigned n : sim::tableThreeGpmCounts())
         for (auto bw : sim::tableFourBwSettings())
-            sweep.push_back(sim::multiGpmConfig(
-                n, bw, noc::Topology::Ring, sim::defaultDomainFor(bw)));
-    bench::prefill(runner, sweep, workloads);
+            cells.push_back({sim::multiGpmConfig(
+                n, bw, noc::Topology::Ring,
+                sim::defaultDomainFor(bw))});
+    const auto results = bench::runSweep(runner, cells, workloads);
 
     TextTable table("EDPSE (%) per bandwidth setting");
     table.header({"config", "1x-BW", "2x-BW", "4x-BW",
@@ -37,17 +40,12 @@ main()
     CsvWriter csv({"gpms", "edpse_1x", "edpse_2x", "edpse_4x"});
 
     double ratio_at_32 = 0.0;
+    std::size_t cell = 0;
     for (unsigned n : sim::tableThreeGpmCounts()) {
         double edpse_by_bw[3] = {};
-        int index = 0;
-        for (auto bw : sim::tableFourBwSettings()) {
-            auto config = sim::multiGpmConfig(
-                n, bw, noc::Topology::Ring, sim::defaultDomainFor(bw));
-            auto points =
-                harness::scalingStudy(runner, config, workloads);
-            edpse_by_bw[index++] = harness::meanOf(
-                points, &harness::ScalingPoint::edpse);
-        }
+        for (double &edpse : edpse_by_bw)
+            edpse = results[cell++].mean(
+                &harness::ScalingPoint::edpse);
         double ratio = edpse_by_bw[2] / edpse_by_bw[0];
         if (n == 32)
             ratio_at_32 = ratio;

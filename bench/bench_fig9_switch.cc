@@ -25,19 +25,21 @@ main()
     harness::ScalingRunner runner = bench::makeRunner();
     const auto &workloads = trace::scalingWorkloads();
 
-    std::vector<sim::GpuConfig> sweep;
+    // Grid: (ring 1x, switch 1x, switch 2x) per GPM count, so row n
+    // starts at cell 3n.
+    std::vector<bench::SweepCell> cells;
     for (unsigned n : sim::tableThreeGpmCounts()) {
-        sweep.push_back(sim::multiGpmConfig(
+        cells.push_back({sim::multiGpmConfig(
             n, sim::BwSetting::Bw1x, noc::Topology::Ring,
-            sim::IntegrationDomain::OnBoard));
-        sweep.push_back(sim::multiGpmConfig(
+            sim::IntegrationDomain::OnBoard)});
+        cells.push_back({sim::multiGpmConfig(
             n, sim::BwSetting::Bw1x, noc::Topology::Switch,
-            sim::IntegrationDomain::OnBoard));
-        sweep.push_back(sim::multiGpmConfig(
+            sim::IntegrationDomain::OnBoard)});
+        cells.push_back({sim::multiGpmConfig(
             n, sim::BwSetting::Bw2x, noc::Topology::Switch,
-            sim::IntegrationDomain::OnBoard));
+            sim::IntegrationDomain::OnBoard)});
     }
-    bench::prefill(runner, sweep, workloads);
+    const auto results = bench::runSweep(runner, cells, workloads);
 
     TextTable table("EDPSE (%), on-board integration");
     table.header({"config", "ring (1x-BW)", "switch (1x-BW)",
@@ -45,26 +47,14 @@ main()
     CsvWriter csv({"gpms", "ring_1x", "switch_1x", "switch_2x"});
 
     double gain_at_32 = 0.0;
+    std::size_t cell = 0;
     for (unsigned n : sim::tableThreeGpmCounts()) {
-        auto ring = sim::multiGpmConfig(
-            n, sim::BwSetting::Bw1x, noc::Topology::Ring,
-            sim::IntegrationDomain::OnBoard);
-        auto sw1 = sim::multiGpmConfig(
-            n, sim::BwSetting::Bw1x, noc::Topology::Switch,
-            sim::IntegrationDomain::OnBoard);
-        auto sw2 = sim::multiGpmConfig(
-            n, sim::BwSetting::Bw2x, noc::Topology::Switch,
-            sim::IntegrationDomain::OnBoard);
-
-        double e_ring = harness::meanOf(
-            harness::scalingStudy(runner, ring, workloads),
-            &harness::ScalingPoint::edpse);
-        double e_sw1 = harness::meanOf(
-            harness::scalingStudy(runner, sw1, workloads),
-            &harness::ScalingPoint::edpse);
-        double e_sw2 = harness::meanOf(
-            harness::scalingStudy(runner, sw2, workloads),
-            &harness::ScalingPoint::edpse);
+        double e_ring =
+            results[cell++].mean(&harness::ScalingPoint::edpse);
+        double e_sw1 =
+            results[cell++].mean(&harness::ScalingPoint::edpse);
+        double e_sw2 =
+            results[cell++].mean(&harness::ScalingPoint::edpse);
 
         double gain = e_sw1 / e_ring;
         if (n == 32)

@@ -46,13 +46,15 @@ main()
                   "dE vs none", "dEDPSE vs none"});
     CsvWriter csv({"growth_fraction", "energy_ratio", "edpse"});
 
-    for (auto &point : points) {
-        auto study = harness::scalingStudy(runner, config, workloads,
-                                           1.0, point.growth);
-        point.energy = harness::meanOf(
-            study, &harness::ScalingPoint::energyRatio);
-        point.edpse =
-            harness::meanOf(study, &harness::ScalingPoint::edpse);
+    std::vector<bench::SweepCell> cells;
+    for (const auto &point : points)
+        cells.push_back({config, 1.0, point.growth});
+    const auto results = bench::runSweep(runner, cells, workloads);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        points[i].energy =
+            results[i].mean(&harness::ScalingPoint::energyRatio);
+        points[i].edpse =
+            results[i].mean(&harness::ScalingPoint::edpse);
     }
     for (const auto &point : points) {
         double de =

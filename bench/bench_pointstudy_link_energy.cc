@@ -31,19 +31,31 @@ main()
         32, sim::BwSetting::Bw1x, noc::Topology::Ring,
         sim::IntegrationDomain::OnBoard);
 
+    // Cells 0-2: link energy x1/x2/x4 at fixed bandwidth. Cell 3:
+    // the trade — 4x link energy buying 2x link bandwidth.
+    const double scales[] = {1.0, 2.0, 4.0};
+    std::vector<bench::SweepCell> cells;
+    for (double scale : scales)
+        cells.push_back({base_config, scale});
+    cells.push_back({sim::multiGpmConfig(
+                         32, sim::BwSetting::Bw2x,
+                         noc::Topology::Ring,
+                         sim::IntegrationDomain::OnBoard),
+                     4.0});
+    const auto results = bench::runSweep(runner, cells, workloads);
+
     TextTable table("EDPSE vs link energy scaling (bandwidth fixed)");
     table.header({"link energy", "EDPSE", "delta vs 1x",
                   "energy ratio"});
     CsvWriter csv({"scale", "edpse", "energy_ratio"});
 
     double edpse_base = 0.0, edpse_4x = 0.0;
-    for (double scale : {1.0, 2.0, 4.0}) {
-        auto points = harness::scalingStudy(runner, base_config,
-                                            workloads, scale);
+    for (std::size_t i = 0; i < 3; ++i) {
+        double scale = scales[i];
         double edpse =
-            harness::meanOf(points, &harness::ScalingPoint::edpse);
-        double energy = harness::meanOf(
-            points, &harness::ScalingPoint::energyRatio);
+            results[i].mean(&harness::ScalingPoint::edpse);
+        double energy =
+            results[i].mean(&harness::ScalingPoint::energyRatio);
         if (scale == 1.0)
             edpse_base = edpse;
         if (scale == 4.0)
@@ -65,14 +77,8 @@ main()
                 "(paper: below 1%%)\n",
                 impact);
 
-    // The trade: 4x link energy buying 2x link bandwidth.
-    auto traded_config = sim::multiGpmConfig(
-        32, sim::BwSetting::Bw2x, noc::Topology::Ring,
-        sim::IntegrationDomain::OnBoard);
-    auto traded = harness::scalingStudy(runner, traded_config,
-                                        workloads, 4.0);
     double edpse_traded =
-        harness::meanOf(traded, &harness::ScalingPoint::edpse);
+        results[3].mean(&harness::ScalingPoint::edpse);
     std::printf("4x link energy -> 2x bandwidth: EDPSE %.1f%% -> "
                 "%.1f%% (+%.1f points; paper: +8.8%%)\n",
                 edpse_base, edpse_traded, edpse_traded - edpse_base);

@@ -42,6 +42,27 @@ prefill(harness::ScalingRunner &runner,
     pool.drain();
 }
 
+std::vector<SweepResult>
+runSweep(harness::ScalingRunner &runner,
+         const std::vector<SweepCell> &cells,
+         const std::vector<trace::KernelProfile> &workloads)
+{
+    harness::ParallelRunner pool(runner);
+    for (const SweepCell &cell : cells)
+        pool.enqueueStudy(cell.config, workloads,
+                          cell.linkEnergyScale,
+                          cell.constGrowthOverride);
+    pool.drain();
+
+    std::vector<SweepResult> results;
+    results.reserve(cells.size());
+    for (const SweepCell &cell : cells)
+        results.push_back({harness::scalingStudy(
+            runner, cell.config, workloads, cell.linkEnergyScale,
+            cell.constGrowthOverride)});
+    return results;
+}
+
 void
 writeCsv(const std::string &name, const CsvWriter &csv)
 {

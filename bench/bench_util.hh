@@ -52,6 +52,51 @@ void prefill(harness::ScalingRunner &runner,
              double const_growth_override = -1.0);
 
 /**
+ * One cell of a declarative sweep: a machine configuration plus the
+ * energy-model knobs scalingStudy() threads to the estimator. Most
+ * benches sweep configs only; the point studies vary the knobs too.
+ */
+struct SweepCell
+{
+    sim::GpuConfig config;
+    double linkEnergyScale = 1.0;
+    double constGrowthOverride = -1.0;
+};
+
+/** An evaluated cell: its per-workload scaling points, with mean
+ *  reductions over any ScalingPoint metric. */
+struct SweepResult
+{
+    std::vector<harness::ScalingPoint> points;
+
+    double
+    mean(double harness::ScalingPoint::*metric) const
+    {
+        return harness::meanOf(points, metric);
+    }
+
+    double
+    mean(double harness::ScalingPoint::*metric,
+         trace::WorkloadClass cls) const
+    {
+        return harness::meanOf(points, metric, cls);
+    }
+};
+
+/**
+ * Evaluate every cell of a sweep against one memoizing runner: the
+ * whole grid is enqueued into a ParallelRunner up front (cold points
+ * simulate concurrently, memoized or disk-cached ones cost nothing),
+ * then each cell is aggregated serially from the warm memo cache.
+ * Results come back in cell order, so a bench declares its grid,
+ * calls runSweep once, and keeps only the table/CSV formatting.
+ */
+std::vector<SweepResult>
+runSweep(harness::ScalingRunner &runner,
+         const std::vector<SweepCell> &cells,
+         const std::vector<trace::KernelProfile> &workloads);
+
+/**
  * Write @p csv to "<name>.csv" in the current directory (benches are
  * run from the build tree); failures only warn.
  */

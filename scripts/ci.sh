@@ -10,10 +10,14 @@
 #   clang-tidy        src/common + src/harness, only when the tool is
 #                     on PATH (the baseline container ships only GCC)
 #
-#   build           Release            tier1 (the ROADMAP verify gate)
+#   build           Release            tier1 (the ROADMAP verify gate;
+#                                      includes the engine-layer tests
+#                                      and the build-once/reset-per-run
+#                                      bit-identity gate)
 #   build-contracts MMGPU_CONTRACTS=2  tier1 with conservation audits
 #                                      armed (energy accounting, NoC
-#                                      flit conservation, pool bounds)
+#                                      flit conservation, pool bounds,
+#                                      drain audits on machine reuse)
 #   build-asan      ASan + UBSan       tier1
 #   build-tsan      TSan               tier1 + tier2 (the concurrency
 #                                      tests, race-instrumented)
@@ -65,7 +69,8 @@ cmake --build build -j "${jobs}" --target lint
 run_tier build tier1
 
 if [[ "${1:-}" == "--quick" ]]; then
-    echo "CI quick gate passed (lint + Release tier1)."
+    echo "CI quick gate passed (lint + Release tier1, engine tests" \
+         "included)."
     exit 0
 fi
 

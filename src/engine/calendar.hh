@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The event calendar and simulation clock of the engine layer.
+ *
+ * Every machine in this repository advances by draining one global
+ * calendar of timestamped events. The calendar is a binary min-heap
+ * (std::push_heap / std::pop_heap over Event::operator>) on an
+ * explicit vector rather than a std::priority_queue: the heap
+ * operations are exactly the ones priority_queue is specified to
+ * perform, so event ordering is bit-identical, while owning the
+ * vector lets a build-once machine keep the backing capacity across
+ * launches and runs instead of reallocating it every time.
+ *
+ * Determinism contract: events are ordered by `when` only. Two
+ * events due at the same tick pop in an order determined solely by
+ * the heap's structure, which in turn is determined solely by the
+ * sequence of schedule()/pop() calls — never by allocation addresses
+ * or hashing. Callers that need a specific tie order must encode it
+ * in the schedule sequence.
+ */
+
+#ifndef MMGPU_ENGINE_CALENDAR_HH
+#define MMGPU_ENGINE_CALENDAR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "noc/bandwidth_server.hh"
+
+namespace mmgpu::engine
+{
+
+/**
+ * One calendar entry: a due time plus a payload index the owning
+ * engine interprets (a warp slot or a memory-task pool index,
+ * discriminated by isMem).
+ */
+struct Event
+{
+    noc::Tick when;
+    std::uint32_t index; //!< warp slot or mem task index
+    bool isMem;          //!< dispatch lane: memory pipeline vs warp
+
+    bool
+    operator>(const Event &other) const
+    {
+        return when > other.when;
+    }
+};
+
+/**
+ * The event calendar plus the simulation clock it implies.
+ *
+ * The clock (now()) is the latest event time ever popped, clamped
+ * from below by advanceTo() — which run loops call at each launch
+ * start so that a launch with no events still ends no earlier than
+ * it began.
+ */
+class Calendar
+{
+  public:
+    /** Queue an event for @p index's lane at time @p when. */
+    void
+    schedule(noc::Tick when, std::uint32_t index, bool is_mem)
+    {
+        heap_.push_back({when, index, is_mem});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events (diagnostics and audits). */
+    std::size_t pending() const { return heap_.size(); }
+
+    /**
+     * Pop the earliest event and advance the clock to its time.
+     * @pre !empty().
+     */
+    Event
+    pop()
+    {
+        mmgpu_assert(!heap_.empty(), "pop from empty calendar");
+        Event event = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        heap_.pop_back();
+        now_ = std::max(now_, event.when);
+        return event;
+    }
+
+    /** The simulation clock: latest popped/advanced time. */
+    noc::Tick now() const { return now_; }
+
+    /** Clamp the clock from below (start of a launch). */
+    void advanceTo(noc::Tick t) { now_ = std::max(now_, t); }
+
+    /** Pre-size the backing vector (capacity survives reset()). */
+    void reserve(std::size_t events) { heap_.reserve(events); }
+
+    /** Drop all pending events and rewind the clock to zero. */
+    void
+    reset()
+    {
+        heap_.clear();
+        now_ = 0.0;
+    }
+
+  private:
+    std::vector<Event> heap_;
+    noc::Tick now_ = 0.0;
+};
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_CALENDAR_HH

@@ -1,0 +1,54 @@
+#include "engine/component.hh"
+
+#include <utility>
+
+#include "common/contract.hh"
+
+namespace mmgpu::engine
+{
+
+void
+ComponentRegistry::add(Component &component)
+{
+    entries_.push_back({component.componentName(),
+                        [&component] { component.resetRun(); },
+                        [&component] {
+                            return component.auditDrained();
+                        }});
+}
+
+void
+ComponentRegistry::add(std::string name, std::function<void()> reset,
+                       std::function<std::string()> audit)
+{
+    entries_.push_back(
+        {std::move(name), std::move(reset), std::move(audit)});
+}
+
+void
+ComponentRegistry::resetAll()
+{
+    if constexpr (contract::auditsEnabled) {
+        std::string verdict = auditAll();
+        MMGPU_INVARIANT(verdict.empty(),
+                        "machine reused while not quiescent: ",
+                        verdict);
+    }
+    for (const Entry &entry : entries_)
+        entry.reset();
+}
+
+std::string
+ComponentRegistry::auditAll() const
+{
+    for (const Entry &entry : entries_) {
+        if (!entry.audit)
+            continue;
+        std::string verdict = entry.audit();
+        if (!verdict.empty())
+            return entry.name + ": " + verdict;
+    }
+    return {};
+}
+
+} // namespace mmgpu::engine

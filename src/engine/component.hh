@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The component protocol of build-once machines.
+ *
+ * A machine (sim::GpuSim) is constructed once and then run any number
+ * of times; everything with run-scoped state registers with a
+ * ComponentRegistry and follows the protocol:
+ *
+ *  - resetRun() restores the component to its freshly-constructed
+ *    state before every run (structural state — geometry, capacity,
+ *    reusable allocations — survives; accumulators and in-flight
+ *    state are zeroed);
+ *  - auditDrained() reports whether the component still holds
+ *    in-flight work, as a diagnostic string (empty = drained).
+ *
+ * The registry fires every component's drain audit at two points
+ * when conservation audits are armed (MMGPU_CONTRACTS=2): at the end
+ * of a run (the machine must be quiescent once the calendar drains)
+ * and again inside resetAll() — so a machine reused across sweep
+ * points cannot silently carry in-flight state from a previous
+ * workload into the next one.
+ */
+
+#ifndef MMGPU_ENGINE_COMPONENT_HH
+#define MMGPU_ENGINE_COMPONENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mmgpu::engine
+{
+
+/** A machine part with run-scoped state. */
+class Component
+{
+  public:
+    virtual ~Component() = default;
+
+    /** Stable diagnostic name (audit messages are prefixed by it). */
+    virtual const char *componentName() const = 0;
+
+    /** Zero all run-scoped state; called before every run. */
+    virtual void resetRun() = 0;
+
+    /**
+     * Drain audit: every in-flight quantity must be back at zero at
+     * a quiescent point.
+     * @return empty when drained, else a diagnostic.
+     */
+    virtual std::string auditDrained() const { return {}; }
+};
+
+/**
+ * Registration order is reset order. Components are not owned; they
+ * must outlive the registry (in a machine, both live for the
+ * machine's lifetime).
+ */
+class ComponentRegistry
+{
+  public:
+    /** Register @p component (resets fire in registration order). */
+    void add(Component &component);
+
+    /**
+     * Register an ad-hoc component from callables, for machine parts
+     * below the engine layer (the interconnect, the memory system)
+     * that should not inherit an engine interface. @p audit may be
+     * null (no drain state to check).
+     */
+    void add(std::string name, std::function<void()> reset,
+             std::function<std::string()> audit = nullptr);
+
+    /**
+     * Reset every component in registration order. When audits are
+     * armed (MMGPU_CONTRACTS=2) each component's drain audit runs
+     * first and a non-empty verdict is an invariant violation: a
+     * reused machine must be quiescent before it is zeroed.
+     */
+    void resetAll();
+
+    /**
+     * Run every drain audit.
+     * @return the first non-empty verdict, prefixed with the
+     *         component's name; empty when all components drained.
+     */
+    std::string auditAll() const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::function<void()> reset;
+        std::function<std::string()> audit;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_COMPONENT_HH

@@ -1,0 +1,42 @@
+#include "engine/cta_policy.hh"
+
+namespace mmgpu::engine
+{
+
+namespace
+{
+
+/** sm::assignCtas behind the CtaPolicy interface. */
+class BuiltinCtaPolicy : public CtaPolicy
+{
+  public:
+    explicit BuiltinCtaPolicy(sm::CtaSchedPolicy policy)
+        : policy_(policy)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return sm::ctaSchedPolicyName(policy_);
+    }
+
+    std::vector<std::vector<unsigned>>
+    assign(unsigned cta_count, unsigned gpm_count) const override
+    {
+        return sm::assignCtas(cta_count, gpm_count, policy_);
+    }
+
+  private:
+    sm::CtaSchedPolicy policy_;
+};
+
+} // namespace
+
+std::unique_ptr<CtaPolicy>
+makeCtaPolicy(sm::CtaSchedPolicy policy)
+{
+    return std::make_unique<BuiltinCtaPolicy>(policy);
+}
+
+} // namespace mmgpu::engine

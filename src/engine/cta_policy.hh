@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pluggable CTA-to-GPM scheduling policy.
+ *
+ * The engine consults one narrow interface when a launch begins (to
+ * build the per-GPM dispatch queues) and when the machine pre-places
+ * pages (first-touch homing follows the CTA owning each byte range).
+ * The built-in policies wrap sm::assignCtas; new schedulers plug in
+ * by implementing assign() without touching the warp engine or the
+ * memory pipeline.
+ */
+
+#ifndef MMGPU_ENGINE_CTA_POLICY_HH
+#define MMGPU_ENGINE_CTA_POLICY_HH
+
+#include <memory>
+#include <vector>
+
+#include "sm/cta_scheduler.hh"
+
+namespace mmgpu::engine
+{
+
+/** CTA-to-GPM assignment policy consulted once per launch. */
+class CtaPolicy
+{
+  public:
+    virtual ~CtaPolicy() = default;
+
+    /** Human-readable policy name (diagnostics). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Per-GPM CTA dispatch lists for one launch. List g holds the
+     * CTA ids GPM g runs, in dispatch order. Must be deterministic:
+     * the same (cta_count, gpm_count) must always produce the same
+     * lists.
+     */
+    virtual std::vector<std::vector<unsigned>>
+    assign(unsigned cta_count, unsigned gpm_count) const = 0;
+};
+
+/** The built-in policies (sm::CtaSchedPolicy) behind the interface. */
+std::unique_ptr<CtaPolicy> makeCtaPolicy(sm::CtaSchedPolicy policy);
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_CTA_POLICY_HH

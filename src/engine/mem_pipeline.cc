@@ -1,0 +1,411 @@
+#include "engine/mem_pipeline.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mmgpu::engine
+{
+
+namespace
+{
+
+/** Bytes of a read-request header on the inter-GPM network. */
+constexpr double requestHeaderBytes = 8.0;
+
+} // namespace
+
+const std::array<MemPipeline::Handler, numMemStages>
+    MemPipeline::stageHandlers = {
+        &MemPipeline::stageL2Lookup, // MemStage::L2Lookup
+        &MemPipeline::stageReqHop,   // MemStage::ReqHop
+        &MemPipeline::stageHomeDram, // MemStage::HomeDram
+        &MemPipeline::stageRespHop,  // MemStage::RespHop
+        &MemPipeline::stageComplete, // MemStage::Complete
+        &MemPipeline::stageWbHop,    // MemStage::WbHop
+        &MemPipeline::stageWbDram,   // MemStage::WbDram
+};
+
+MemPipeline::MemPipeline(const mem::MemConfig &config,
+                         mem::MemSystem &memory,
+                         noc::InterGpmNetwork *network,
+                         Calendar &calendar)
+    : cfg_(config), memory_(memory), network_(network),
+      calendar_(calendar)
+{
+}
+
+void
+MemPipeline::resetRun()
+{
+    // Pool capacity (and the vectors' backing storage) survives; the
+    // free lists are rebuilt to cover the whole pool so allocation
+    // order restarts from a fixed state every run.
+    taskPool_.clear();
+    freeTasks_.clear();
+    accessPool_.clear();
+    freeAccesses_.clear();
+    counters_.reset();
+}
+
+std::string
+MemPipeline::auditDrained() const
+{
+    if (freeTasks_.size() != taskPool_.size()) {
+        return "leaked memory tasks: " +
+               std::to_string(taskPool_.size() - freeTasks_.size()) +
+               " of " + std::to_string(taskPool_.size()) +
+               " still in flight";
+    }
+    if (freeAccesses_.size() != accessPool_.size()) {
+        return "leaked access records: " +
+               std::to_string(accessPool_.size() -
+                              freeAccesses_.size()) +
+               " of " + std::to_string(accessPool_.size()) +
+               " still outstanding";
+    }
+    return {};
+}
+
+void
+MemPipeline::pushMem(noc::Tick when, std::uint32_t task)
+{
+    calendar_.schedule(when, task, /*is_mem=*/true);
+}
+
+std::uint32_t
+MemPipeline::allocTask()
+{
+    if (freeTasks_.empty()) {
+        taskPool_.emplace_back();
+        return static_cast<std::uint32_t>(taskPool_.size() - 1);
+    }
+    std::uint32_t index = freeTasks_.back();
+    freeTasks_.pop_back();
+    return index;
+}
+
+void
+MemPipeline::freeTask(std::uint32_t index)
+{
+    freeTasks_.push_back(index);
+}
+
+std::uint32_t
+MemPipeline::allocAccess()
+{
+    if (freeAccesses_.empty()) {
+        accessPool_.emplace_back();
+        return static_cast<std::uint32_t>(accessPool_.size() - 1);
+    }
+    std::uint32_t index = freeAccesses_.back();
+    freeAccesses_.pop_back();
+    return index;
+}
+
+void
+MemPipeline::freeAccess(std::uint32_t index)
+{
+    freeAccesses_.push_back(index);
+}
+
+void
+MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
+                               unsigned sm, unsigned gpm,
+                               std::uint64_t addr,
+                               unsigned sector_count, bool is_store)
+{
+    mmgpu_assert(sector_count >= 1 && sector_count <= 8,
+                 "bad sector count ", sector_count);
+    mmgpu_assert(addr % isa::sectorBytes == 0, "unaligned address");
+
+    if (!is_store) {
+        counters_.txns[static_cast<std::size_t>(
+            isa::TxnLevel::L1ToReg)] += 1;
+        noteTxn(t, isa::TxnLevel::L1ToReg, 1.0);
+    }
+
+    std::uint32_t access_index = invalidIndex;
+    if (!is_store && warp_slot != invalidIndex) {
+        access_index = allocAccess();
+        accessPool_[access_index] = {warp_slot, 0};
+    }
+
+    // Walk the touched lines.
+    std::uint64_t first_sector = addr / isa::sectorBytes;
+    std::uint64_t end_sector = first_sector + sector_count;
+    while (first_sector < end_sector) {
+        std::uint64_t line_addr = first_sector /
+                                  mem::sectorsPerLine *
+                                  isa::cacheLineBytes;
+        unsigned lane0 =
+            static_cast<unsigned>(first_sector % mem::sectorsPerLine);
+        unsigned in_line =
+            static_cast<unsigned>(std::min<std::uint64_t>(
+                mem::sectorsPerLine - lane0,
+                end_sector - first_sector));
+        auto mask = static_cast<mem::SectorMask>(
+            ((1u << in_line) - 1u) << lane0);
+        first_sector += in_line;
+
+        if (is_store) {
+            // Write-through L1 (no allocate): the data crosses the
+            // L1<->L2 wires toward the local L2.
+            unsigned n = std::popcount(mask);
+            double bytes = n * static_cast<double>(isa::sectorBytes);
+            memory_.nocAcquire(gpm, t, bytes);
+            counters_.txns[static_cast<std::size_t>(
+                isa::TxnLevel::L2ToL1)] += n;
+            noteTxn(t, isa::TxnLevel::L2ToL1, n);
+
+            std::uint32_t task_index = allocTask();
+            MemTask &task = taskPool_[task_index];
+            task.stage = MemStage::L2Lookup;
+            task.mask = mask;
+            task.store = true;
+            task.node = gpm;
+            task.reqGpm = gpm;
+            task.lineAddr = line_addr;
+            task.access = invalidIndex;
+            pushMem(t + static_cast<double>(cfg_.nocLatency),
+                    task_index);
+            continue;
+        }
+
+        mem::CacheAccessResult l1r =
+            memory_.l1Access(sm, line_addr, mask, false);
+        mmgpu_assert(l1r.writebackMask == 0, "dirty L1 eviction");
+
+        if (access_index != invalidIndex)
+            accessPool_[access_index].partsLeft += 1;
+
+        if (l1r.missMask == 0) {
+            // L1 hit: complete after the L1 latency.
+            std::uint32_t task_index = allocTask();
+            MemTask &task = taskPool_[task_index];
+            task.stage = MemStage::Complete;
+            task.access = access_index;
+            pushMem(t + static_cast<double>(cfg_.l1Latency),
+                    task_index);
+            continue;
+        }
+
+        unsigned miss = std::popcount(l1r.missMask);
+        counters_.l1SectorMisses += miss;
+        counters_.txns[static_cast<std::size_t>(
+            isa::TxnLevel::L2ToL1)] += miss;
+        noteTxn(t, isa::TxnLevel::L2ToL1, miss);
+        double bytes = miss * static_cast<double>(isa::sectorBytes);
+        memory_.nocAcquire(gpm, t, bytes);
+
+        std::uint32_t task_index = allocTask();
+        MemTask &task = taskPool_[task_index];
+        task.stage = MemStage::L2Lookup;
+        task.mask = l1r.missMask;
+        task.store = false;
+        task.node = gpm;
+        task.reqGpm = gpm;
+        task.lineAddr = line_addr;
+        task.access = access_index;
+        pushMem(t + static_cast<double>(cfg_.nocLatency), task_index);
+    }
+}
+
+void
+MemPipeline::startWriteback(noc::Tick t, unsigned gpm,
+                            std::uint64_t line_addr,
+                            std::uint8_t dirty)
+{
+    unsigned sectors = std::popcount(dirty);
+    if (sectors == 0)
+        return;
+    counters_.txns[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] += sectors;
+    counters_.writebackSectors += sectors;
+    noteTxn(t, isa::TxnLevel::DramToL2, sectors);
+
+    unsigned home = memory_.pageTouch(line_addr, gpm);
+    if (home == gpm || network_ == nullptr) {
+        counters_.localSectors += sectors;
+        memory_.dramAcquire(
+            home, t,
+            sectors * static_cast<double>(isa::sectorBytes));
+        return;
+    }
+
+    counters_.remoteSectors += sectors;
+    network_->noteTransfer(sectors *
+                           static_cast<double>(isa::sectorBytes));
+    std::uint32_t task_index = allocTask();
+    MemTask &task = taskPool_[task_index];
+    task.stage = MemStage::WbHop;
+    task.mask = dirty;
+    task.store = true;
+    task.node = gpm;
+    task.homeGpm = home;
+    task.reqGpm = gpm;
+    task.lineAddr = line_addr;
+    task.access = invalidIndex;
+    pushMem(t, task_index);
+}
+
+void
+MemPipeline::completePart(std::uint32_t access_index, noc::Tick t)
+{
+    if (access_index == invalidIndex)
+        return;
+    AccessRec &access = accessPool_[access_index];
+    mmgpu_assert(access.partsLeft > 0, "access part underflow");
+    if (--access.partsLeft > 0)
+        return;
+
+    std::uint32_t warp_slot = access.warpSlot;
+    freeAccess(access_index);
+    if (warp_slot == invalidIndex)
+        return;
+
+    mmgpu_assert(waker_ != nullptr, "load completed with no waker");
+    waker_->loadDone(warp_slot, t);
+}
+
+void
+MemPipeline::step(std::uint32_t task_index, noc::Tick t)
+{
+    MemTask &task = taskPool_[task_index];
+    auto stage = static_cast<std::size_t>(task.stage);
+    mmgpu_assert(stage < numMemStages, "bad memory stage");
+    (this->*stageHandlers[stage])(task, task_index, t);
+}
+
+void
+MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_index,
+                           noc::Tick t)
+{
+    mem::CacheAccessResult l2r = memory_.l2Access(
+        task.reqGpm, task.lineAddr, task.mask, task.store);
+    if (l2r.writebackMask)
+        startWriteback(t, task.reqGpm, l2r.writebackAddr,
+                       l2r.writebackMask);
+
+    if (task.store) {
+        // Write-allocate without fetch (full-sector writes): the
+        // store is complete once it lands in the L2.
+        freeTask(task_index);
+        return;
+    }
+
+    if (l2r.missMask == 0) {
+        task.stage = MemStage::Complete;
+        pushMem(t + static_cast<double>(cfg_.l2Latency), task_index);
+        return;
+    }
+
+    // Fetch missed sectors from the home DRAM.
+    unsigned miss = std::popcount(l2r.missMask);
+    task.mask = l2r.missMask;
+    counters_.l2SectorMisses += miss;
+    counters_.txns[static_cast<std::size_t>(
+        isa::TxnLevel::DramToL2)] += miss;
+    noteTxn(t, isa::TxnLevel::DramToL2, miss);
+
+    task.homeGpm = memory_.pageTouch(task.lineAddr, task.reqGpm);
+    if (task.homeGpm == task.reqGpm || network_ == nullptr) {
+        counters_.localSectors += miss;
+        noc::Tick served = memory_.dramAcquire(
+            task.homeGpm, t,
+            miss * static_cast<double>(isa::sectorBytes));
+        task.stage = MemStage::Complete;
+        pushMem(served + static_cast<double>(cfg_.dramLatency) +
+                    static_cast<double>(cfg_.l2Latency),
+                task_index);
+        return;
+    }
+
+    counters_.remoteSectors += miss;
+    network_->noteTransfer(requestHeaderBytes);
+    task.stage = MemStage::ReqHop;
+    task.node = task.reqGpm;
+    pushMem(t, task_index);
+}
+
+void
+MemPipeline::stageReqHop(MemTask &task, std::uint32_t task_index,
+                         noc::Tick t)
+{
+    noc::HopOutcome hop = network_->step(task.node, task.homeGpm, t,
+                                         requestHeaderBytes);
+    task.node = hop.next;
+    task.stage = hop.arrived ? MemStage::HomeDram : MemStage::ReqHop;
+    pushMem(hop.ready, task_index);
+}
+
+void
+MemPipeline::stageHomeDram(MemTask &task, std::uint32_t task_index,
+                           noc::Tick t)
+{
+    unsigned miss = std::popcount(task.mask);
+    network_->noteTransfer(miss *
+                           static_cast<double>(isa::sectorBytes));
+    noc::Tick served = memory_.dramAcquire(
+        task.homeGpm, t,
+        miss * static_cast<double>(isa::sectorBytes));
+    task.stage = MemStage::RespHop;
+    task.node = task.homeGpm;
+    pushMem(served + static_cast<double>(cfg_.dramLatency),
+            task_index);
+}
+
+void
+MemPipeline::stageRespHop(MemTask &task, std::uint32_t task_index,
+                          noc::Tick t)
+{
+    unsigned miss = std::popcount(task.mask);
+    noc::HopOutcome hop = network_->step(
+        task.node, task.reqGpm, t,
+        miss * static_cast<double>(isa::sectorBytes));
+    task.node = hop.next;
+    if (hop.arrived) {
+        task.stage = MemStage::Complete;
+        pushMem(hop.ready + static_cast<double>(cfg_.l2Latency),
+                task_index);
+    } else {
+        pushMem(hop.ready, task_index);
+    }
+}
+
+void
+MemPipeline::stageComplete(MemTask &task, std::uint32_t task_index,
+                           noc::Tick t)
+{
+    std::uint32_t access = task.access;
+    freeTask(task_index);
+    completePart(access, t);
+}
+
+void
+MemPipeline::stageWbHop(MemTask &task, std::uint32_t task_index,
+                        noc::Tick t)
+{
+    unsigned sectors = std::popcount(task.mask);
+    noc::HopOutcome hop = network_->step(
+        task.node, task.homeGpm, t,
+        sectors * static_cast<double>(isa::sectorBytes));
+    task.node = hop.next;
+    if (hop.arrived)
+        task.stage = MemStage::WbDram;
+    pushMem(hop.ready, task_index);
+}
+
+void
+MemPipeline::stageWbDram(MemTask &task, std::uint32_t task_index,
+                         noc::Tick t)
+{
+    unsigned sectors = std::popcount(task.mask);
+    memory_.dramAcquire(
+        task.homeGpm, t,
+        sectors * static_cast<double>(isa::sectorBytes));
+    freeTask(task_index);
+}
+
+} // namespace mmgpu::engine

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The staged memory pipeline of the simulation engine.
+ *
+ * A warp-level global access fans out into line-granular MemTasks
+ * that advance through the pipeline one calendar event per stage:
+ *
+ *   L1 miss -> intra-GPM NoC -> L2 lookup -> (remote request hop(s)
+ *   -> home DRAM -> response hop(s) | local DRAM) -> completion,
+ *
+ * with dirty L2 evictions taking the writeback stages (WbHop ->
+ * WbDram). Each stage is a handler in a dispatch table indexed by
+ * MemStage, so alternative pipelines (different coherence points,
+ * extra hops, traffic models) can be expressed as handler changes
+ * rather than edits to one monolithic switch.
+ *
+ * Staging matters: every bandwidth server (NoC, HBM channel, ring
+ * link, switch port) is acquired at the calendar time the request
+ * actually reaches it, so servers see arrivals in time order and
+ * congestion — the paper's central mechanism, inter-GPM bandwidth
+ * pressure idling GPMs — emerges without ordering artifacts.
+ *
+ * Tasks and access records live in index-addressed pools with free
+ * lists, so steady-state simulation allocates nothing and a
+ * build-once machine keeps the pool capacity across runs. The
+ * Component drain audit checks that every pooled object is back on
+ * its free list at quiescent points.
+ */
+
+#ifndef MMGPU_ENGINE_MEM_PIPELINE_HH
+#define MMGPU_ENGINE_MEM_PIPELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/calendar.hh"
+#include "engine/component.hh"
+#include "mem/mem_system.hh"
+#include "noc/interconnect.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mmgpu::engine
+{
+
+/** Stage of an in-flight memory task. */
+enum class MemStage : std::uint8_t
+{
+    L2Lookup, //!< arrived at the local L2 slice
+    ReqHop,   //!< request header travelling to the home GPM
+    HomeDram, //!< arrived at the home GPM's memory controller
+    RespHop,  //!< data travelling back to the requester
+    Complete, //!< data available; notify the parent access
+    WbHop,    //!< eviction writeback travelling to its home
+    WbDram,   //!< eviction writeback at the home controller
+};
+
+/** Number of pipeline stages (dispatch-table size). */
+inline constexpr std::size_t numMemStages = 7;
+
+/**
+ * Warp-side notification interface: the pipeline tells the warp
+ * engine when a warp's last outstanding load part has completed.
+ * Narrow by design — the pipeline knows nothing else about warps.
+ */
+class WarpWaker
+{
+  public:
+    virtual ~WarpWaker() = default;
+
+    /** All parts of one of @p warp_slot's loads completed at @p t. */
+    virtual void loadDone(std::uint32_t warp_slot, noc::Tick t) = 0;
+};
+
+/** The staged memory pipeline of one machine. */
+class MemPipeline : public Component
+{
+  public:
+    /** Index value meaning "no access record / no warp slot". */
+    static constexpr std::uint32_t invalidIndex = 0xffffffffu;
+
+    /**
+     * @param config Latency/geometry slice of the machine config.
+     * @param memory Passive memory hierarchy (not owned).
+     * @param network Inter-GPM network; nullptr when monolithic.
+     * @param calendar The machine's event calendar (not owned).
+     *
+     * The warp side attaches afterwards via bindWaker() (the warp
+     * engine is constructed after the pipeline it issues into).
+     */
+    MemPipeline(const mem::MemConfig &config, mem::MemSystem &memory,
+                noc::InterGpmNetwork *network, Calendar &calendar);
+
+    /** Attach the warp-side completion sink (required for loads). */
+    void bindWaker(WarpWaker &waker) { waker_ = &waker; }
+
+    /**
+     * Begin a warp-level global access at time @p t, fanning it out
+     * into per-line tasks.
+     *
+     * @param warp_slot Owning warp slot for loads (its wake arrives
+     *        through the WarpWaker); invalidIndex for stores and
+     *        warp-less accesses.
+     * @param sm Flat SM id issuing the access.
+     * @param gpm GPM of that SM.
+     * @param addr Sector-aligned byte address.
+     * @param sector_count 1..8 consecutive 32 B sectors.
+     * @param is_store Write-through store (no completion event).
+     */
+    void startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
+                           unsigned sm, unsigned gpm,
+                           std::uint64_t addr, unsigned sector_count,
+                           bool is_store);
+
+    /** Advance task @p task_index one stage at time @p t. */
+    void step(std::uint32_t task_index, noc::Tick t);
+
+    /** Event counters the energy model consumes (shared with the
+     *  kernel-boundary writeback drain and the warp engine's
+     *  shared-memory accounting). */
+    mem::MemCounters &counters() { return counters_; }
+    const mem::MemCounters &counters() const { return counters_; }
+
+    /** Mirror transaction activity into @p sampler (nullptr
+     *  detaches). */
+    void setTxnSampler(telemetry::ActivitySampler *sampler)
+    {
+        txnSampler_ = sampler;
+    }
+
+    // Component protocol.
+    const char *componentName() const override { return "mem-pipeline"; }
+    void resetRun() override;
+    std::string auditDrained() const override;
+
+  private:
+    /** One line-granular memory task moving through the pipeline. */
+    struct MemTask
+    {
+        MemStage stage = MemStage::Complete;
+        std::uint8_t mask = 0; //!< sectors requested of this line
+        bool store = false;
+        unsigned node = 0; //!< current network node
+        unsigned homeGpm = 0;
+        unsigned reqGpm = 0;
+        std::uint64_t lineAddr = 0;
+        std::uint32_t access = invalidIndex; //!< parent AccessRec
+    };
+
+    /** A warp-level access fanned out into per-line tasks. */
+    struct AccessRec
+    {
+        std::uint32_t warpSlot = invalidIndex;
+        std::uint32_t partsLeft = 0;
+    };
+
+    /** Stage handler signature (dispatch-table entry). */
+    using Handler = void (MemPipeline::*)(MemTask &task,
+                                          std::uint32_t task_index,
+                                          noc::Tick t);
+
+    // Stage handlers, one per MemStage value.
+    void stageL2Lookup(MemTask &task, std::uint32_t task_index,
+                       noc::Tick t);
+    void stageReqHop(MemTask &task, std::uint32_t task_index,
+                     noc::Tick t);
+    void stageHomeDram(MemTask &task, std::uint32_t task_index,
+                       noc::Tick t);
+    void stageRespHop(MemTask &task, std::uint32_t task_index,
+                      noc::Tick t);
+    void stageComplete(MemTask &task, std::uint32_t task_index,
+                       noc::Tick t);
+    void stageWbHop(MemTask &task, std::uint32_t task_index,
+                    noc::Tick t);
+    void stageWbDram(MemTask &task, std::uint32_t task_index,
+                     noc::Tick t);
+
+    /** The MemStage -> handler dispatch table. */
+    static const std::array<Handler, numMemStages> stageHandlers;
+
+    void pushMem(noc::Tick when, std::uint32_t task);
+
+    std::uint32_t allocTask();
+    void freeTask(std::uint32_t index);
+    std::uint32_t allocAccess();
+    void freeAccess(std::uint32_t index);
+
+    /** Schedule an eviction writeback toward its home GPM. */
+    void startWriteback(noc::Tick t, unsigned gpm,
+                        std::uint64_t line_addr, std::uint8_t dirty);
+
+    /** A load part finished; notify its access, maybe its warp. */
+    void completePart(std::uint32_t access_index, noc::Tick t);
+
+    /** Record @p amount txns of @p level at time @p t (hook). */
+    void
+    noteTxn(noc::Tick t, isa::TxnLevel level, double amount)
+    {
+        if (txnSampler_)
+            txnSampler_->addAt(t, static_cast<std::size_t>(level),
+                               amount);
+    }
+
+    const mem::MemConfig &cfg_;
+    mem::MemSystem &memory_;
+    noc::InterGpmNetwork *network_; //!< nullptr when monolithic
+    Calendar &calendar_;
+    WarpWaker *waker_ = nullptr;
+
+    std::vector<MemTask> taskPool_;
+    std::vector<std::uint32_t> freeTasks_;
+    std::vector<AccessRec> accessPool_;
+    std::vector<std::uint32_t> freeAccesses_;
+
+    mem::MemCounters counters_;
+
+    telemetry::ActivitySampler *txnSampler_ = nullptr;
+};
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_MEM_PIPELINE_HH

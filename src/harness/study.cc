@@ -108,6 +108,79 @@ struct ScalingRunner::Cache
     }
 };
 
+/**
+ * Pool of idle build-once machines. GpuSim resets every component
+ * before each run, so a pooled machine produces bit-identical
+ * results to a freshly constructed one (test_gpu_sim.cc proves
+ * this); pooling removes the per-point hierarchy construction from
+ * sweeps. Keyed by machine identity — the same convention the memo
+ * key uses (the config name stands in for the full configuration),
+ * narrowed to the fields that shape the machine itself; energy
+ * overrides don't build different machines.
+ */
+struct ScalingRunner::MachinePool
+{
+    struct MachineKey
+    {
+        std::string config;
+        std::uint8_t placement = 0;
+        std::uint8_t ctaScheduling = 0;
+        std::uint64_t linkFaultDigest = 0;
+
+        friend bool
+        operator<(const MachineKey &a, const MachineKey &b)
+        {
+            if (int c = a.config.compare(b.config))
+                return c < 0;
+            if (a.placement != b.placement)
+                return a.placement < b.placement;
+            if (a.ctaScheduling != b.ctaScheduling)
+                return a.ctaScheduling < b.ctaScheduling;
+            return a.linkFaultDigest < b.linkFaultDigest;
+        }
+    };
+
+    static MachineKey
+    keyOf(const sim::GpuConfig &config)
+    {
+        return {config.name,
+                static_cast<std::uint8_t>(config.placement),
+                static_cast<std::uint8_t>(config.ctaScheduling),
+                config.linkFaults.digest()};
+    }
+
+    /** Reuse an idle machine for @p config, or build one. */
+    std::unique_ptr<sim::GpuSim>
+    acquire(const sim::GpuConfig &config)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            auto it = idle.find(keyOf(config));
+            if (it != idle.end() && !it->second.empty()) {
+                std::unique_ptr<sim::GpuSim> machine =
+                    std::move(it->second.back());
+                it->second.pop_back();
+                return machine;
+            }
+        }
+        // Construction builds the whole hierarchy; keep it outside
+        // the lock so a miss doesn't stall other workers.
+        return std::make_unique<sim::GpuSim>(config);
+    }
+
+    /** Return @p machine to the idle pool (telemetry detached). */
+    void
+    release(std::unique_ptr<sim::GpuSim> machine)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        idle[keyOf(machine->config())].push_back(std::move(machine));
+    }
+
+    std::mutex mutex;
+    std::map<MachineKey, std::vector<std::unique_ptr<sim::GpuSim>>>
+        idle;
+};
+
 namespace
 {
 
@@ -189,6 +262,7 @@ StudyContext::paramsFor(const sim::GpuConfig &config,
 ScalingRunner::ScalingRunner(const StudyContext &context)
     : context_(&context),
       cache_(std::make_unique<Cache>()),
+      machines_(std::make_unique<MachinePool>()),
       persistent_(RunCache::processCache())
 {
 }
@@ -331,13 +405,14 @@ ScalingRunner::compute(const sim::GpuConfig &config,
             return outcome;
     }
 
-    sim::GpuSim machine(config);
+    std::unique_ptr<sim::GpuSim> machine =
+        machines_->acquire(config);
     if (telemetryEnabled_) {
         outcome.telemetry = std::make_shared<telemetry::Telemetry>(
             telemetry::TelemetryConfig{telemetryDt_});
-        machine.attachTelemetry(outcome.telemetry.get());
+        machine->attachTelemetry(outcome.telemetry.get());
     }
-    outcome.perf = machine.run(profile);
+    outcome.perf = machine->run(profile);
     joule::EnergyParams params = context_->paramsFor(
         config, link_energy_scale, const_growth_override);
     joule::EnergyInputs inputs =
@@ -346,10 +421,11 @@ ScalingRunner::compute(const sim::GpuConfig &config,
         outcome.energy =
             joule::estimate(inputs, params, *outcome.telemetry);
         addPowerTracks(*outcome.telemetry, params);
-        machine.attachTelemetry(nullptr);
+        machine->attachTelemetry(nullptr);
     } else {
         outcome.energy = joule::estimate(inputs, params);
     }
+    machines_->release(std::move(machine));
     if (persistent_ != nullptr)
         persistent_->insert(fingerprint, outcome.perf,
                             outcome.energy);

@@ -193,6 +193,12 @@ std::string runKeyName(const RunKey &key);
  * making finished sweeps free across bench binaries. Telemetry-
  * enabled runs always simulate (a disk hit cannot reconstruct
  * timelines) but still publish their perf/energy to the cache.
+ *
+ * Machines are pooled: GpuSim is build-once/reset-per-run, so
+ * sweep points sharing a machine identity (config name, NUMA
+ * policies, link-fault digest — the same convention the memo key
+ * uses) reuse an idle machine instead of rebuilding the hierarchy,
+ * with bit-identical results at any worker count.
  */
 class ScalingRunner
 {
@@ -299,7 +305,8 @@ class ScalingRunner
     const StudyContext &context() const { return *context_; }
 
   private:
-    struct Cache; // sharded memo cache; defined in study.cc
+    struct Cache;       // sharded memo cache; defined in study.cc
+    struct MachinePool; // idle build-once machines; in study.cc
 
     /** Shared run()/tryRun() path: memoize outcome or error. */
     struct Entry;
@@ -317,6 +324,7 @@ class ScalingRunner
 
     const StudyContext *context_;
     std::unique_ptr<Cache> cache_;
+    std::unique_ptr<MachinePool> machines_;
     RunCache *persistent_ = nullptr;
     const fault::FaultPlan *faultPlan_ = nullptr;
     bool persistentReads_ = true;

@@ -129,4 +129,16 @@ SectoredCache::resetStats()
     sectorMisses_ = 0;
 }
 
+void
+SectoredCache::reset()
+{
+    // findVictim() never reads lastUse of an invalid line, so
+    // rewinding useClock while zeroing every line reproduces the
+    // as-constructed replacement behaviour exactly.
+    for (Line &line : lines)
+        line = Line{};
+    useClock = 1;
+    resetStats();
+}
+
 } // namespace mmgpu::mem

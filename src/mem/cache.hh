@@ -153,6 +153,14 @@ class SectoredCache
     /** Reset statistics (contents untouched). */
     void resetStats();
 
+    /**
+     * Restore the as-constructed state: every line invalid, the LRU
+     * clock rewound, statistics zeroed. A reset cache is
+     * indistinguishable from a freshly built one, which is what lets
+     * a build-once machine replay a run bit-identically.
+     */
+    void reset();
+
   private:
     struct Line
     {

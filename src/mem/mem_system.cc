@@ -151,6 +151,35 @@ MemSystem::dramBusy() const
 }
 
 void
+MemSystem::reset()
+{
+    pages.reset();
+    for (auto &l1 : l1s)
+        l1.reset();
+    for (auto &l2 : l2s)
+        l2.reset();
+    for (auto &dram : drams)
+        dram.reset();
+    for (auto &noc : nocs)
+        noc.reset();
+}
+
+void
+MemSystem::detachTelemetry()
+{
+    telTxn_ = nullptr;
+    telL1SectorHits_ = nullptr;
+    telL1SectorMisses_ = nullptr;
+    telL2SectorHits_ = nullptr;
+    telL2SectorMisses_ = nullptr;
+    telDramQueueCycles_ = nullptr;
+    for (auto &dram : drams)
+        dram.setTelemetrySink(nullptr);
+    for (auto &noc : nocs)
+        noc.setTelemetrySink(nullptr);
+}
+
+void
 MemSystem::attachTelemetry(telemetry::Telemetry &tel)
 {
     telemetry::CounterRegistry &reg = tel.counters();

@@ -205,6 +205,21 @@ class MemSystem
      */
     void attachTelemetry(telemetry::Telemetry &tel);
 
+    /**
+     * Null every telemetry handle and bandwidth-server sink. A
+     * build-once machine must call this when it runs detached, so a
+     * Telemetry object from an earlier run cannot dangle.
+     */
+    void detachTelemetry();
+
+    /**
+     * Restore the as-constructed state: page table emptied, every
+     * cache invalidated with statistics zeroed, all bandwidth
+     * servers rewound. Telemetry attachments are left as they are —
+     * the owner re-resolves or detaches them per run.
+     */
+    void reset();
+
   private:
     MemConfig cfg;
     noc::InterGpmNetwork *network; //!< nullptr when monolithic

@@ -251,6 +251,15 @@ RingNetwork::attachTelemetry(telemetry::Timeline &timeline)
 }
 
 void
+RingNetwork::detachTelemetry()
+{
+    for (auto &pair : links) {
+        pair[0].setTelemetrySink(nullptr);
+        pair[1].setTelemetrySink(nullptr);
+    }
+}
+
+void
 RingNetwork::reset()
 {
     for (auto &pair : links) {
@@ -365,6 +374,15 @@ SwitchNetwork::attachTelemetry(telemetry::Timeline &timeline)
         downlinks[g].setTelemetrySink(&timeline.track(
             linkName("link/gpm", g, ".down"), Kind::Busy));
     }
+}
+
+void
+SwitchNetwork::detachTelemetry()
+{
+    for (auto &link : uplinks)
+        link.setTelemetrySink(nullptr);
+    for (auto &link : downlinks)
+        link.setTelemetrySink(nullptr);
 }
 
 void

@@ -189,6 +189,13 @@ class InterGpmNetwork
      */
     virtual void attachTelemetry(telemetry::Timeline &timeline) = 0;
 
+    /**
+     * Null every link's telemetry sink. Build-once machines call
+     * this when running detached so tracks from an earlier run's
+     * Timeline cannot dangle (reset() deliberately preserves sinks).
+     */
+    virtual void detachTelemetry() = 0;
+
     /** Clear link state and traffic counters. */
     virtual void reset() = 0;
 
@@ -231,6 +238,8 @@ class RingNetwork : public InterGpmNetwork
     double totalBusy() const override;
 
     void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
 
     void reset() override;
 
@@ -290,6 +299,8 @@ class SwitchNetwork : public InterGpmNetwork
     double totalBusy() const override;
 
     void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
 
     void reset() override;
 

@@ -1,7 +1,5 @@
 #include "sim/gpu_sim.hh"
 
-#include <algorithm>
-#include <bit>
 #include <string>
 
 #include "common/contract.hh"
@@ -10,17 +8,51 @@
 namespace mmgpu::sim
 {
 
-namespace
-{
-
-/** Bytes of a read-request header on the inter-GPM network. */
-constexpr double requestHeaderBytes = 8.0;
-
-} // namespace
-
 GpuSim::GpuSim(const GpuConfig &config) : config_(config)
 {
     config_.validate();
+
+    network_ = noc::makeNetwork(config_.topology, config_.gpmCount,
+                                config_.interGpmBytesPerCycle,
+                                config_.hopLatency,
+                                config_.switchLatency,
+                                config_.linkFaults);
+    memory_ = std::make_unique<mem::MemSystem>(config_.memory,
+                                               network_.get());
+    for (unsigned s = 0; s < config_.totalSms(); ++s)
+        sms_.emplace_back(s, s / config_.smsPerGpm,
+                          config_.warpSlotsPerSm,
+                          config_.issueSlotsPerCycle);
+    ctaPolicy_ = engine::makeCtaPolicy(config_.ctaScheduling);
+    memPipeline_ = std::make_unique<engine::MemPipeline>(
+        config_.memory, *memory_, network_.get(), calendar_);
+    warpEngine_ = std::make_unique<engine::WarpEngine>(
+        config_.memory, config_.warpSlotsPerSm, sms_, calendar_,
+        *memPipeline_, *ctaPolicy_, config_.gpmCount);
+    memPipeline_->bindWaker(*warpEngine_);
+
+    // Reset order is registration order; the drain audits fire for
+    // every entry at quiescent points (MMGPU_CONTRACTS=2).
+    registry_.add(
+        "calendar", [this] { calendar_.reset(); },
+        [this] {
+            return calendar_.empty()
+                       ? std::string{}
+                       : std::to_string(calendar_.pending()) +
+                             " undrained events";
+        });
+    if (network_) {
+        registry_.add(
+            "network", [this] { network_->reset(); },
+            [this] { return network_->auditConservation(); });
+    }
+    registry_.add("memory", [this] { memory_->reset(); });
+    registry_.add("sm-cores", [this] {
+        for (auto &core : sms_)
+            core.reset();
+    });
+    registry_.add(*memPipeline_);
+    registry_.add(*warpEngine_);
 }
 
 GpuSim::~GpuSim() = default;
@@ -39,12 +71,14 @@ GpuSim::clearTelemetryHooks()
 {
     ctrEventsWarp_ = nullptr;
     ctrEventsMem_ = nullptr;
-    ctrBlockWindow_ = nullptr;
-    ctrBlockDrain_ = nullptr;
-    ctrWarpWakes_ = nullptr;
-    instrSampler_ = nullptr;
-    txnSampler_ = nullptr;
     smActiveTracks_.clear();
+    warpEngine_->setTelemetryHooks({});
+    memPipeline_->setTxnSampler(nullptr);
+    memory_->detachTelemetry();
+    if (network_)
+        network_->detachTelemetry();
+    for (auto &core : sms_)
+        core.attachTelemetry(nullptr);
 }
 
 void
@@ -57,17 +91,22 @@ GpuSim::setupTelemetry()
     telemetry::CounterRegistry &reg = tel.counters();
     ctrEventsWarp_ = &reg.counter("sim/events_warp");
     ctrEventsMem_ = &reg.counter("sim/events_mem");
-    ctrBlockWindow_ = &reg.counter("warp/block_mlp_window");
-    ctrBlockDrain_ = &reg.counter("warp/block_drain");
-    ctrWarpWakes_ = &reg.counter("warp/wakes");
+    engine::WarpEngine::TelemetryHooks hooks;
+    hooks.blockWindow = &reg.counter("warp/block_mlp_window");
+    hooks.blockDrain = &reg.counter("warp/block_drain");
+    hooks.warpWakes = &reg.counter("warp/wakes");
 
-    memory->attachTelemetry(tel);
+    memory_->attachTelemetry(tel);
 
     telemetry::Timeline *timeline = tel.timeline();
-    if (timeline == nullptr)
+    if (timeline == nullptr) {
+        warpEngine_->setTelemetryHooks(hooks);
         return;
-    instrSampler_ = &tel.activity("instr", isa::numOpcodes);
-    txnSampler_ = &tel.activity("txn", isa::numTxnLevels);
+    }
+    hooks.instr = &tel.activity("instr", isa::numOpcodes);
+    hooks.txn = &tel.activity("txn", isa::numTxnLevels);
+    warpEngine_->setTelemetryHooks(hooks);
+    memPipeline_->setTxnSampler(hooks.txn);
 
     using Kind = telemetry::TimelineTrack::Kind;
     double sms_per_gpm = static_cast<double>(config_.smsPerGpm);
@@ -78,93 +117,61 @@ GpuSim::setupTelemetry()
         smActiveTracks_.push_back(&timeline->track(
             prefix + "/sm_active", Kind::Busy, sms_per_gpm));
         for (unsigned s = 0; s < config_.smsPerGpm; ++s)
-            sms[g * config_.smsPerGpm + s].attachTelemetry(&busy);
+            sms_[g * config_.smsPerGpm + s].attachTelemetry(&busy);
     }
-    if (network)
-        network->attachTelemetry(*timeline);
+    if (network_)
+        network_->attachTelemetry(*timeline);
 }
 
 void
-GpuSim::pushWarp(noc::Tick when, std::uint32_t slot)
+GpuSim::prePlacePages(const trace::KernelProfile &profile,
+                      const trace::SegmentLayout &layout)
 {
-    calendar.push_back({when, slot, false});
-    std::push_heap(calendar.begin(), calendar.end(), std::greater<>{});
-}
-
-void
-GpuSim::pushMem(noc::Tick when, std::uint32_t task)
-{
-    calendar.push_back({when, task, true});
-    std::push_heap(calendar.begin(), calendar.end(), std::greater<>{});
-}
-
-std::uint32_t
-GpuSim::allocTask()
-{
-    if (freeTasks.empty()) {
-        taskPool.emplace_back();
-        return static_cast<std::uint32_t>(taskPool.size() - 1);
+    // FirstTouchOwner is idealized first touch: every page is homed
+    // on the GPM of the CTA owning its byte range (that CTA is the
+    // page's first toucher under distributed CTA scheduling; doing
+    // it up front avoids simulation-order races with halo accesses).
+    // Striped round-robins pages across GPMs regardless of use.
+    auto lists = ctaPolicy_->assign(profile.ctaCount, config_.gpmCount);
+    std::vector<unsigned> cta_to_gpm(profile.ctaCount);
+    for (unsigned g = 0; g < lists.size(); ++g)
+        for (unsigned c : lists[g])
+            cta_to_gpm[c] = g;
+    std::uint64_t page_index = 0;
+    for (unsigned s = 0; s < profile.segments.size(); ++s) {
+        std::uint64_t base = layout.base(s);
+        Bytes size = layout.size(s);
+        for (std::uint64_t page = base; page < base + size;
+             page += mem::PageTable::pageBytes, ++page_index) {
+            unsigned home;
+            if (config_.placement == PlacementPolicy::FirstTouchOwner) {
+                unsigned cta =
+                    trace::chunkOwnerCta(profile, layout, s, page);
+                home = cta_to_gpm[cta];
+            } else {
+                home = static_cast<unsigned>(page_index %
+                                             config_.gpmCount);
+            }
+            memory_->prePlace(page, home);
+        }
     }
-    std::uint32_t index = freeTasks.back();
-    freeTasks.pop_back();
-    return index;
-}
-
-void
-GpuSim::freeTask(std::uint32_t index)
-{
-    freeTasks.push_back(index);
-}
-
-std::uint32_t
-GpuSim::allocAccess()
-{
-    if (freeAccesses.empty()) {
-        accessPool.emplace_back();
-        return static_cast<std::uint32_t>(accessPool.size() - 1);
-    }
-    std::uint32_t index = freeAccesses.back();
-    freeAccesses.pop_back();
-    return index;
-}
-
-void
-GpuSim::freeAccess(std::uint32_t index)
-{
-    freeAccesses.push_back(index);
 }
 
 PerfResult
 GpuSim::run(const trace::KernelProfile &profile)
 {
     profile.validate();
-    mmgpu_assert(calendar.empty(),
+    mmgpu_assert(calendar_.empty(),
                  "stale calendar events at run() entry");
 
-    // Fresh machine state per run so GpuSim is reusable.
-    network = noc::makeNetwork(config_.topology, config_.gpmCount,
-                               config_.interGpmBytesPerCycle,
-                               config_.hopLatency,
-                               config_.switchLatency,
-                               config_.linkFaults);
-    memory = std::make_unique<mem::MemSystem>(config_.memory,
-                                              network.get());
-    sms.clear();
-    for (unsigned s = 0; s < config_.totalSms(); ++s)
-        sms.emplace_back(s, s / config_.smsPerGpm,
-                         config_.warpSlotsPerSm,
-                         config_.issueSlotsPerCycle);
-
-    taskPool.clear();
-    freeTasks.clear();
-    accessPool.clear();
-    freeAccesses.clear();
-    instrs_.fill(0);
-    memCounters.reset();
-    busyAccum = 0.0;
-    stallAccum = 0.0;
-    occupiedAccum = 0.0;
-    endOfRun = 0.0;
+    // Zero every component back to its as-constructed state (with
+    // MMGPU_CONTRACTS=2 the drain audits fire first, so a reused
+    // machine cannot carry in-flight state between runs).
+    registry_.resetAll();
+    busyAccum_ = 0.0;
+    stallAccum_ = 0.0;
+    occupiedAccum_ = 0.0;
+    endOfRun_ = 0.0;
 
     if (telemetry_)
         setupTelemetry();
@@ -172,53 +179,20 @@ GpuSim::run(const trace::KernelProfile &profile)
         clearTelemetryHooks();
 
     trace::SegmentLayout layout(profile);
-
-    // Page placement. FirstTouchOwner is idealized first touch:
-    // every page is homed on the GPM of the CTA owning its byte
-    // range (that CTA is the page's first toucher under distributed
-    // CTA scheduling; doing it up front avoids simulation-order
-    // races with halo accesses). Striped round-robins pages across
-    // GPMs regardless of who uses them.
-    {
-        auto lists = sm::assignCtas(profile.ctaCount, config_.gpmCount,
-                                    config_.ctaScheduling);
-        std::vector<unsigned> cta_to_gpm(profile.ctaCount);
-        for (unsigned g = 0; g < lists.size(); ++g)
-            for (unsigned c : lists[g])
-                cta_to_gpm[c] = g;
-        std::uint64_t page_index = 0;
-        for (unsigned s = 0; s < profile.segments.size(); ++s) {
-            std::uint64_t base = layout.base(s);
-            Bytes size = layout.size(s);
-            for (std::uint64_t page = base; page < base + size;
-                 page += mem::PageTable::pageBytes, ++page_index) {
-                unsigned home;
-                if (config_.placement ==
-                    PlacementPolicy::FirstTouchOwner) {
-                    unsigned cta = trace::chunkOwnerCta(profile, layout,
-                                                        s, page);
-                    home = cta_to_gpm[cta];
-                } else {
-                    home = static_cast<unsigned>(page_index %
-                                                 config_.gpmCount);
-                }
-                memory->prePlace(page, home);
-            }
-        }
-    }
+    prePlacePages(profile, layout);
 
     noc::Tick start = 0.0;
     for (unsigned launch = 0; launch < profile.launches; ++launch) {
         noc::Tick end = runLaunch(profile, layout, launch, start);
-        end = memory->kernelBoundary(end, memCounters);
-        endOfRun = end;
+        end = memory_->kernelBoundary(end, memPipeline_->counters());
+        endOfRun_ = end;
         start = end + static_cast<double>(config_.launchOverhead);
 
         // Fold per-launch SM accounting, then reset issue windows.
-        for (auto &core : sms) {
-            busyAccum += core.busyCycles();
-            stallAccum += core.stallCycles();
-            occupiedAccum += core.occupiedCycles();
+        for (auto &core : sms_) {
+            busyAccum_ += core.busyCycles();
+            stallAccum_ += core.stallCycles();
+            occupiedAccum_ += core.occupiedCycles();
             if (!smActiveTracks_.empty() && core.everActive()) {
                 smActiveTracks_[core.gpm()]->addSpan(
                     core.firstActiveAt(), core.lastActiveAt());
@@ -228,68 +202,48 @@ GpuSim::run(const trace::KernelProfile &profile)
     }
     // Launch gaps between kernels count toward wall-clock time.
     if (profile.launches > 1) {
-        endOfRun += static_cast<double>(config_.launchOverhead)
-                    * (profile.launches - 1);
+        endOfRun_ += static_cast<double>(config_.launchOverhead) *
+                     (profile.launches - 1);
     }
 
     // End-of-run conservation audits (MMGPU_CONTRACTS=2). The
     // calendar is drained and kernelBoundary() has flushed the
-    // caches, so the machine is quiescent: every in-flight quantity
-    // must be back at zero and the NoC books must balance.
+    // caches, so the machine is quiescent: every component's drain
+    // audit must come back clean.
     if constexpr (contract::auditsEnabled) {
-        if (network) {
-            std::string verdict = network->auditConservation();
-            MMGPU_INVARIANT(verdict.empty(), verdict);
-        }
-        MMGPU_INVARIANT(freeTasks.size() == taskPool.size(),
-                        "leaked memory tasks: ",
-                        taskPool.size() - freeTasks.size(),
-                        " of ", taskPool.size(), " still in flight");
-        MMGPU_INVARIANT(freeAccesses.size() == accessPool.size(),
-                        "leaked access records: ",
-                        accessPool.size() - freeAccesses.size(),
-                        " of ", accessPool.size(),
-                        " still outstanding");
-        for (const WarpSlot &slot : slots) {
-            MMGPU_INVARIANT(!slot.live,
-                            "warp slot live after calendar drain");
-            MMGPU_INVARIANT(slot.outstanding == 0,
-                            "warp slot retains ", slot.outstanding,
-                            " outstanding accesses at end of run");
-        }
-        for (unsigned left : ctaWarpsLeft)
-            MMGPU_INVARIANT(left == 0, "undrained CTA at end of run");
+        std::string verdict = registry_.auditAll();
+        MMGPU_INVARIANT(verdict.empty(), verdict);
     }
 
     PerfResult result;
     result.configName = config_.name;
     result.workloadName = profile.name;
-    result.execCycles = endOfRun;
-    result.execSeconds = endOfRun / config_.clock.frequency();
-    result.instrs = instrs_;
-    result.mem = memCounters;
-    if (network) {
-        result.link = network->traffic();
-        result.linkQueueing = network->totalQueueing();
-        result.linkBusy = network->totalBusy();
+    result.execCycles = endOfRun_;
+    result.execSeconds = endOfRun_ / config_.clock.frequency();
+    result.instrs = warpEngine_->instrs();
+    result.mem = memPipeline_->counters();
+    if (network_) {
+        result.link = network_->traffic();
+        result.linkQueueing = network_->totalQueueing();
+        result.linkBusy = network_->totalBusy();
     }
-    result.smBusyCycles = busyAccum;
-    result.smStallCycles = stallAccum;
-    result.smOccupiedCycles = occupiedAccum;
-    result.l1Accesses = memory->l1Accesses();
-    result.l1SectorHits = memory->l1SectorHits();
-    result.l2Accesses = memory->l2Accesses();
-    result.l2SectorHits = memory->l2SectorHits();
-    result.dramQueueing = memory->dramQueueing();
-    result.dramBusy = memory->dramBusy();
+    result.smBusyCycles = busyAccum_;
+    result.smStallCycles = stallAccum_;
+    result.smOccupiedCycles = occupiedAccum_;
+    result.l1Accesses = memory_->l1Accesses();
+    result.l1SectorHits = memory_->l1SectorHits();
+    result.l2Accesses = memory_->l2Accesses();
+    result.l2SectorHits = memory_->l2SectorHits();
+    result.dramQueueing = memory_->dramQueueing();
+    result.dramBusy = memory_->dramBusy();
 
     if (telemetry_) {
         telemetry::CounterRegistry &reg = telemetry_->counters();
-        reg.gauge("sim/end_cycles").set(endOfRun);
+        reg.gauge("sim/end_cycles").set(endOfRun_);
         reg.gauge("sim/ipc").set(result.ipc());
-        reg.gauge("sim/sm_busy_cycles").set(busyAccum);
-        reg.gauge("sim/sm_stall_cycles").set(stallAccum);
-        reg.gauge("sim/sm_occupied_cycles").set(occupiedAccum);
+        reg.gauge("sim/sm_busy_cycles").set(busyAccum_);
+        reg.gauge("sim/sm_stall_cycles").set(stallAccum_);
+        reg.gauge("sim/sm_occupied_cycles").set(occupiedAccum_);
         if (!config_.linkFaults.empty()) {
             reg.counter("fault/link_reroutes")
                 .add(result.link.rerouted);
@@ -303,456 +257,10 @@ GpuSim::run(const trace::KernelProfile &profile)
         info.workloadName = profile.name;
         info.gpmCount = config_.gpmCount;
         info.clockHz = config_.clock.frequency();
-        info.endCycles = endOfRun;
+        info.endCycles = endOfRun_;
         telemetry_->finalizeRun(info);
     }
     return result;
-}
-
-void
-GpuSim::fillSm(const trace::KernelProfile &profile,
-               const trace::SegmentLayout &layout, unsigned launch,
-               unsigned sm_id, noc::Tick t)
-{
-    sm::SmCore &core = sms[sm_id];
-    unsigned gpm = core.gpm();
-    while (core.freeSlots() >= profile.warpsPerCta &&
-           ctaQueues[gpm].hasWork()) {
-        unsigned cta = ctaQueues[gpm].pop();
-        core.reserveSlots(profile.warpsPerCta);
-        ctaWarpsLeft[cta] = profile.warpsPerCta;
-        for (unsigned w = 0; w < profile.warpsPerCta; ++w) {
-            mmgpu_assert(!freeSlotsPerSm[sm_id].empty(),
-                         "free-slot list disagrees with SmCore");
-            unsigned slot_id = freeSlotsPerSm[sm_id].back();
-            freeSlotsPerSm[sm_id].pop_back();
-            WarpSlot &slot = slots[slot_id];
-            if (slot.trace)
-                slot.trace->reset(profile, layout, launch, cta, w);
-            else
-                slot.trace = std::make_unique<trace::WarpTrace>(
-                    profile, layout, launch, cta, w);
-            slot.sm = sm_id;
-            slot.cta = cta;
-            slot.outstanding = 0;
-            slot.blocked = WarpBlock::None;
-            slot.replay.reset();
-            slot.live = true;
-            pushWarp(t, slot_id);
-        }
-    }
-}
-
-void
-GpuSim::startWriteback(noc::Tick t, unsigned gpm,
-                       std::uint64_t line_addr, std::uint8_t dirty)
-{
-    unsigned sectors = std::popcount(dirty);
-    if (sectors == 0)
-        return;
-    memCounters.txns[static_cast<std::size_t>(
-        isa::TxnLevel::DramToL2)] += sectors;
-    memCounters.writebackSectors += sectors;
-    noteTxn(t, isa::TxnLevel::DramToL2, sectors);
-
-    unsigned home = memory->pageTouch(line_addr, gpm);
-    if (home == gpm || network == nullptr) {
-        memCounters.localSectors += sectors;
-        memory->dramAcquire(
-            home, t,
-            sectors * static_cast<double>(isa::sectorBytes));
-        return;
-    }
-
-    memCounters.remoteSectors += sectors;
-    network->noteTransfer(sectors *
-                          static_cast<double>(isa::sectorBytes));
-    std::uint32_t task_index = allocTask();
-    MemTask &task = taskPool[task_index];
-    task.stage = MemStage::WbHop;
-    task.mask = dirty;
-    task.store = true;
-    task.node = gpm;
-    task.homeGpm = home;
-    task.reqGpm = gpm;
-    task.lineAddr = line_addr;
-    task.access = invalidIndex;
-    pushMem(t, task_index);
-}
-
-void
-GpuSim::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
-                          unsigned sm, unsigned gpm,
-                          std::uint64_t addr, unsigned sector_count,
-                          bool is_store)
-{
-    mmgpu_assert(sector_count >= 1 && sector_count <= 8,
-                 "bad sector count ", sector_count);
-    mmgpu_assert(addr % isa::sectorBytes == 0, "unaligned address");
-
-    if (!is_store) {
-        memCounters.txns[static_cast<std::size_t>(
-            isa::TxnLevel::L1ToReg)] += 1;
-        noteTxn(t, isa::TxnLevel::L1ToReg, 1.0);
-    }
-
-    std::uint32_t access_index = invalidIndex;
-    if (!is_store && warp_slot != invalidIndex) {
-        access_index = allocAccess();
-        accessPool[access_index] = {warp_slot, 0};
-        slots[warp_slot].outstanding += 1;
-    }
-
-    // Walk the touched lines.
-    std::uint64_t first_sector = addr / isa::sectorBytes;
-    std::uint64_t end_sector = first_sector + sector_count;
-    while (first_sector < end_sector) {
-        std::uint64_t line_addr = first_sector /
-                                  mem::sectorsPerLine *
-                                  isa::cacheLineBytes;
-        unsigned lane0 =
-            static_cast<unsigned>(first_sector % mem::sectorsPerLine);
-        unsigned in_line = static_cast<unsigned>(std::min<std::uint64_t>(
-            mem::sectorsPerLine - lane0, end_sector - first_sector));
-        auto mask = static_cast<mem::SectorMask>(
-            ((1u << in_line) - 1u) << lane0);
-        first_sector += in_line;
-
-        if (is_store) {
-            // Write-through L1 (no allocate): the data crosses the
-            // L1<->L2 wires toward the local L2.
-            unsigned n = std::popcount(mask);
-            double bytes = n * static_cast<double>(isa::sectorBytes);
-            memory->nocAcquire(gpm, t, bytes);
-            memCounters.txns[static_cast<std::size_t>(
-                isa::TxnLevel::L2ToL1)] += n;
-            noteTxn(t, isa::TxnLevel::L2ToL1, n);
-
-            std::uint32_t task_index = allocTask();
-            MemTask &task = taskPool[task_index];
-            task.stage = MemStage::L2Lookup;
-            task.mask = mask;
-            task.store = true;
-            task.node = gpm;
-            task.reqGpm = gpm;
-            task.lineAddr = line_addr;
-            task.access = invalidIndex;
-            pushMem(t + static_cast<double>(config_.memory.nocLatency),
-                    task_index);
-            continue;
-        }
-
-        mem::CacheAccessResult l1r =
-            memory->l1Access(sm, line_addr, mask, false);
-        mmgpu_assert(l1r.writebackMask == 0, "dirty L1 eviction");
-
-        if (access_index != invalidIndex)
-            accessPool[access_index].partsLeft += 1;
-
-        if (l1r.missMask == 0) {
-            // L1 hit: complete after the L1 latency.
-            std::uint32_t task_index = allocTask();
-            MemTask &task = taskPool[task_index];
-            task.stage = MemStage::Complete;
-            task.access = access_index;
-            pushMem(t + static_cast<double>(config_.memory.l1Latency),
-                    task_index);
-            continue;
-        }
-
-        unsigned miss = std::popcount(l1r.missMask);
-        memCounters.l1SectorMisses += miss;
-        memCounters.txns[static_cast<std::size_t>(
-            isa::TxnLevel::L2ToL1)] += miss;
-        noteTxn(t, isa::TxnLevel::L2ToL1, miss);
-        double bytes = miss * static_cast<double>(isa::sectorBytes);
-        memory->nocAcquire(gpm, t, bytes);
-
-        std::uint32_t task_index = allocTask();
-        MemTask &task = taskPool[task_index];
-        task.stage = MemStage::L2Lookup;
-        task.mask = l1r.missMask;
-        task.store = false;
-        task.node = gpm;
-        task.reqGpm = gpm;
-        task.lineAddr = line_addr;
-        task.access = access_index;
-        pushMem(t + static_cast<double>(config_.memory.nocLatency),
-                task_index);
-    }
-}
-
-void
-GpuSim::completePart(std::uint32_t access_index, noc::Tick t)
-{
-    if (access_index == invalidIndex)
-        return;
-    AccessRec &access = accessPool[access_index];
-    mmgpu_assert(access.partsLeft > 0, "access part underflow");
-    if (--access.partsLeft > 0)
-        return;
-
-    std::uint32_t warp_slot = access.warpSlot;
-    freeAccess(access_index);
-    if (warp_slot == invalidIndex)
-        return;
-
-    WarpSlot &slot = slots[warp_slot];
-    mmgpu_assert(slot.outstanding > 0, "warp outstanding underflow");
-    slot.outstanding -= 1;
-
-    if (slot.blocked == WarpBlock::Window) {
-        slot.blocked = WarpBlock::None;
-        if (ctrWarpWakes_)
-            ctrWarpWakes_->add();
-        pushWarp(t, warp_slot);
-    } else if (slot.blocked == WarpBlock::Drain &&
-               slot.outstanding == 0) {
-        slot.blocked = WarpBlock::None;
-        if (ctrWarpWakes_)
-            ctrWarpWakes_->add();
-        pushWarp(t, warp_slot);
-    }
-}
-
-void
-GpuSim::stepMem(std::uint32_t task_index, noc::Tick t)
-{
-    MemTask &task = taskPool[task_index];
-    const mem::MemConfig &mc = config_.memory;
-
-    switch (task.stage) {
-      case MemStage::L2Lookup: {
-        mem::CacheAccessResult l2r = memory->l2Access(
-            task.reqGpm, task.lineAddr, task.mask, task.store);
-        if (l2r.writebackMask)
-            startWriteback(t, task.reqGpm, l2r.writebackAddr,
-                           l2r.writebackMask);
-
-        if (task.store) {
-            // Write-allocate without fetch (full-sector writes):
-            // the store is complete once it lands in the L2.
-            freeTask(task_index);
-            return;
-        }
-
-        if (l2r.missMask == 0) {
-            task.stage = MemStage::Complete;
-            pushMem(t + static_cast<double>(mc.l2Latency), task_index);
-            return;
-        }
-
-        // Fetch missed sectors from the home DRAM.
-        unsigned miss = std::popcount(l2r.missMask);
-        task.mask = l2r.missMask;
-        memCounters.l2SectorMisses += miss;
-        memCounters.txns[static_cast<std::size_t>(
-            isa::TxnLevel::DramToL2)] += miss;
-        noteTxn(t, isa::TxnLevel::DramToL2, miss);
-
-        task.homeGpm = memory->pageTouch(task.lineAddr, task.reqGpm);
-        if (task.homeGpm == task.reqGpm || network == nullptr) {
-            memCounters.localSectors += miss;
-            noc::Tick served = memory->dramAcquire(
-                task.homeGpm, t,
-                miss * static_cast<double>(isa::sectorBytes));
-            task.stage = MemStage::Complete;
-            pushMem(served + static_cast<double>(mc.dramLatency) +
-                        static_cast<double>(mc.l2Latency),
-                    task_index);
-            return;
-        }
-
-        memCounters.remoteSectors += miss;
-        network->noteTransfer(requestHeaderBytes);
-        task.stage = MemStage::ReqHop;
-        task.node = task.reqGpm;
-        pushMem(t, task_index);
-        return;
-      }
-
-      case MemStage::ReqHop: {
-        noc::HopOutcome hop = network->step(task.node, task.homeGpm, t,
-                                            requestHeaderBytes);
-        task.node = hop.next;
-        task.stage = hop.arrived ? MemStage::HomeDram
-                                 : MemStage::ReqHop;
-        pushMem(hop.ready, task_index);
-        return;
-      }
-
-      case MemStage::HomeDram: {
-        unsigned miss = std::popcount(task.mask);
-        network->noteTransfer(miss *
-                              static_cast<double>(isa::sectorBytes));
-        noc::Tick served = memory->dramAcquire(
-            task.homeGpm, t,
-            miss * static_cast<double>(isa::sectorBytes));
-        task.stage = MemStage::RespHop;
-        task.node = task.homeGpm;
-        pushMem(served + static_cast<double>(mc.dramLatency),
-                task_index);
-        return;
-      }
-
-      case MemStage::RespHop: {
-        unsigned miss = std::popcount(task.mask);
-        noc::HopOutcome hop = network->step(
-            task.node, task.reqGpm, t,
-            miss * static_cast<double>(isa::sectorBytes));
-        task.node = hop.next;
-        if (hop.arrived) {
-            task.stage = MemStage::Complete;
-            pushMem(hop.ready + static_cast<double>(mc.l2Latency),
-                    task_index);
-        } else {
-            pushMem(hop.ready, task_index);
-        }
-        return;
-      }
-
-      case MemStage::Complete: {
-        std::uint32_t access = task.access;
-        freeTask(task_index);
-        completePart(access, t);
-        return;
-      }
-
-      case MemStage::WbHop: {
-        unsigned sectors = std::popcount(task.mask);
-        noc::HopOutcome hop = network->step(
-            task.node, task.homeGpm, t,
-            sectors * static_cast<double>(isa::sectorBytes));
-        task.node = hop.next;
-        if (hop.arrived) {
-            task.stage = MemStage::WbDram;
-        }
-        pushMem(hop.ready, task_index);
-        return;
-      }
-
-      case MemStage::WbDram: {
-        unsigned sectors = std::popcount(task.mask);
-        memory->dramAcquire(
-            task.homeGpm, t,
-            sectors * static_cast<double>(isa::sectorBytes));
-        freeTask(task_index);
-        return;
-      }
-
-      default:
-        mmgpu_panic("bad memory stage");
-    }
-}
-
-void
-GpuSim::stepWarp(const trace::KernelProfile &profile,
-                 std::uint32_t slot_index, noc::Tick t)
-{
-    WarpSlot &slot = slots[slot_index];
-    mmgpu_assert(slot.live, "event for dead warp slot");
-    sm::SmCore &core = sms[slot.sm];
-    unsigned gpm = core.gpm();
-
-    isa::TraceOp op;
-    if (slot.replay) {
-        op = *slot.replay;
-        slot.replay.reset();
-    } else {
-        op = slot.trace->next();
-    }
-
-    switch (op.kind) {
-      case isa::TraceOpKind::Compute: {
-        instrs_[static_cast<std::size_t>(op.op)] += 1;
-        noteInstr(t, op.op);
-        noc::Tick issued = core.acquireIssue(t, isa::issueCost(op.op));
-        pushWarp(issued + static_cast<double>(isa::defaultLatency(op.op)),
-                 slot_index);
-        break;
-      }
-      case isa::TraceOpKind::ComputeBlock: {
-        for (const auto &mix : profile.compute) {
-            instrs_[static_cast<std::size_t>(mix.op)] +=
-                mix.perIteration;
-            noteInstr(t, mix.op,
-                      static_cast<double>(mix.perIteration));
-        }
-        noc::Tick issued = core.acquireIssue(t, op.blockSlots());
-        pushWarp(issued + static_cast<double>(op.blockLatency()),
-                 slot_index);
-        break;
-      }
-      case isa::TraceOpKind::Load: {
-        if (op.op == isa::Opcode::LD_SHARED) {
-            instrs_[static_cast<std::size_t>(op.op)] += 1;
-            memCounters.txns[static_cast<std::size_t>(
-                isa::TxnLevel::SharedToReg)] += 1;
-            noteInstr(t, op.op);
-            noteTxn(t, isa::TxnLevel::SharedToReg, 1.0);
-            noc::Tick issued = core.acquireIssue(t, 1);
-            pushWarp(issued +
-                         static_cast<double>(
-                             config_.memory.sharedLatency),
-                     slot_index);
-            break;
-        }
-        // Enforce the memory-level-parallelism window: if full, park
-        // the warp; a load completion wakes it and the op replays.
-        if (slot.outstanding >= profile.mlp) {
-            slot.replay = op;
-            slot.blocked = WarpBlock::Window;
-            core.noteActive(t);
-            if (ctrBlockWindow_)
-                ctrBlockWindow_->add();
-            break;
-        }
-        MMGPU_INVARIANT(slot.outstanding < profile.mlp,
-                        "MLP window bound violated");
-        instrs_[static_cast<std::size_t>(op.op)] += 1;
-        noteInstr(t, op.op);
-        noc::Tick issued = core.acquireIssue(t, 1);
-        startGlobalAccess(issued, slot_index, slot.sm, gpm, op.addr,
-                          op.sectors, false);
-        pushWarp(issued, slot_index);
-        break;
-      }
-      case isa::TraceOpKind::Store: {
-        instrs_[static_cast<std::size_t>(op.op)] += 1;
-        noteInstr(t, op.op);
-        noc::Tick issued = core.acquireIssue(t, 1);
-        startGlobalAccess(issued, invalidIndex, slot.sm, gpm, op.addr,
-                          op.sectors, true);
-        pushWarp(issued, slot_index);
-        break;
-      }
-      case isa::TraceOpKind::Sync: {
-        if (slot.outstanding > 0) {
-            slot.blocked = WarpBlock::Drain;
-            core.noteActive(t);
-            if (ctrBlockDrain_)
-                ctrBlockDrain_->add();
-        } else {
-            pushWarp(t, slot_index);
-        }
-        break;
-      }
-      case isa::TraceOpKind::Exit: {
-        // The trace object is kept (dead but allocated) so the next
-        // dispatch into this slot can rebind it without allocating.
-        slot.live = false;
-        core.releaseSlot(t);
-        freeSlotsPerSm[slot.sm].push_back(slot_index);
-        mmgpu_assert(ctaWarpsLeft[slot.cta] > 0, "CTA underflow");
-        if (--ctaWarpsLeft[slot.cta] == 0) {
-            // CTA complete: backfill this SM.
-            fillSm(profile, *launchLayout, launchIndex, slot.sm, t);
-        }
-        break;
-      }
-      default:
-        mmgpu_panic("bad trace op kind");
-    }
 }
 
 noc::Tick
@@ -760,52 +268,21 @@ GpuSim::runLaunch(const trace::KernelProfile &profile,
                   const trace::SegmentLayout &layout, unsigned launch,
                   noc::Tick start)
 {
-    // Transient state. The slot vector persists across launches and
-    // runs (the SM geometry is fixed by the config): a launch leaves
-    // every slot dead but keeps its WarpTrace allocation, which
-    // fillSm() rebinds in place on the next dispatch. The free lists
-    // are rebuilt in slot order each launch so dispatch order never
-    // depends on the previous launch's completion order.
-    unsigned total_slots = config_.totalSms() * config_.warpSlotsPerSm;
-    slots.resize(total_slots);
-    calendar.reserve(total_slots);
-    freeSlotsPerSm.resize(config_.totalSms());
-    for (unsigned s = 0; s < config_.totalSms(); ++s) {
-        freeSlotsPerSm[s].clear();
-        for (unsigned k = 0; k < config_.warpSlotsPerSm; ++k)
-            freeSlotsPerSm[s].push_back(s * config_.warpSlotsPerSm + k);
-    }
+    calendar_.advanceTo(start);
+    warpEngine_->beginLaunch(profile, layout, launch, start);
 
-    ctaQueues.clear();
-    for (auto &list : sm::assignCtas(profile.ctaCount,
-                                     config_.gpmCount,
-                                     config_.ctaScheduling))
-        ctaQueues.emplace_back(std::move(list));
-    ctaWarpsLeft.assign(profile.ctaCount, 0);
-
-    launchLayout = &layout;
-    launchIndex = launch;
-
-    for (unsigned s = 0; s < config_.totalSms(); ++s)
-        fillSm(profile, layout, launch, s, start);
-
-    noc::Tick last = start;
-    while (!calendar.empty()) {
-        Event event = calendar.front();
-        std::pop_heap(calendar.begin(), calendar.end(),
-                      std::greater<>{});
-        calendar.pop_back();
-        last = std::max(last, event.when);
+    while (!calendar_.empty()) {
+        engine::Event event = calendar_.pop();
         if (ctrEventsWarp_)
             (event.isMem ? ctrEventsMem_ : ctrEventsWarp_)->add();
         if (event.isMem)
-            stepMem(event.index, event.when);
+            memPipeline_->step(event.index, event.when);
         else
-            stepWarp(profile, event.index, event.when);
+            warpEngine_->step(event.index, event.when);
     }
 
-    launchLayout = nullptr;
-    return last;
+    warpEngine_->endLaunch();
+    return calendar_.now();
 }
 
 } // namespace mmgpu::sim

@@ -2,40 +2,41 @@
  * @file
  * The event-driven multi-GPM GPU performance simulator.
  *
- * GpuSim assembles SMs, the memory resources, and the inter-GPM
- * network per a GpuConfig and replays a KernelProfile's warp traces
- * on it. The engine runs one global calendar carrying two event
- * kinds:
+ * GpuSim is a thin façade over the engine layer: it builds the
+ * machine — SMs, memory resources, inter-GPM network, the
+ * engine::Calendar, an engine::WarpEngine and engine::MemPipeline —
+ * once in its constructor, and run() replays a KernelProfile on it.
+ * The warp engine issues trace operations against SM issue
+ * bandwidth and enforces the memory-level-parallelism window; the
+ * memory pipeline advances each global access through its staged
+ * path (L1 miss -> intra-GPM NoC -> L2 -> remote hops/DRAM ->
+ * completion), one calendar event per stage. See the engine headers
+ * for the machinery; this class only assembles, resets, and reports.
  *
- *  - warp continuations: a warp issues its next trace operation
- *    against its SM's issue bandwidth, blocks when its memory-level-
- *    parallelism window is full, and drains before retiring;
- *  - memory-pipeline stages: each global access advances through
- *    L1 miss -> intra-GPM NoC -> L2 -> (remote request hop(s) ->
- *    home DRAM -> response hop(s) | local DRAM) -> completion, one
- *    calendar event per stage.
- *
- * Staging matters: every bandwidth server (NoC, HBM channel, ring
- * link, switch port) is acquired at the calendar time the request
- * actually reaches it, so servers see arrivals in time order and
- * congestion (the paper's central mechanism — inter-GPM bandwidth
- * pressure idling GPMs) emerges without ordering artifacts.
+ * Machines are build-once/reset-per-run: every part with run-scoped
+ * state follows the engine::Component protocol and is zeroed through
+ * one ComponentRegistry before each run, so repeated (and
+ * interleaved) runs on one GpuSim are bit-identical to runs on
+ * freshly constructed machines — which is what lets the harness pool
+ * and reuse machines across sweep points.
  */
 
 #ifndef MMGPU_SIM_GPU_SIM_HH
 #define MMGPU_SIM_GPU_SIM_HH
 
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "engine/calendar.hh"
+#include "engine/component.hh"
+#include "engine/cta_policy.hh"
+#include "engine/mem_pipeline.hh"
+#include "engine/warp_engine.hh"
 #include "sim/gpu_config.hh"
 #include "sim/perf_result.hh"
-#include "sm/cta_scheduler.hh"
 #include "sm/sm_core.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/kernel_profile.hh"
-#include "trace/warp_trace.hh"
 
 namespace mmgpu::sim
 {
@@ -44,7 +45,11 @@ namespace mmgpu::sim
 class GpuSim
 {
   public:
-    /** Build the machine described by @p config (validated). */
+    /**
+     * Build the machine described by @p config (validated): the
+     * network, memory hierarchy, SM cores, and both engines are
+     * constructed here, once, and live for the GpuSim's lifetime.
+     */
     explicit GpuSim(const GpuConfig &config);
 
     ~GpuSim();
@@ -55,11 +60,14 @@ class GpuSim
     /**
      * Run @p profile (all of its launches) to completion.
      *
-     * Every call rebuilds the machine (network, memory hierarchy,
-     * SMs) and zeroes all accumulators before simulating, so a
+     * The machine is never rebuilt: every component is reset to its
+     * as-constructed state (structural allocations survive), so a
      * GpuSim is reusable across workloads and across repeated runs
-     * of the same workload: two consecutive run() calls with the
-     * same profile produce identical PerfResults.
+     * of the same workload, and any sequence of run() calls yields
+     * the same PerfResult a freshly constructed machine would. With
+     * MMGPU_CONTRACTS=2 the per-component drain audits additionally
+     * verify the machine is quiescent both at end of run and before
+     * each reuse.
      *
      * @return the performance result.
      */
@@ -71,200 +79,54 @@ class GpuSim
     /**
      * Mirror this engine's activity into @p telemetry on every
      * subsequent run() (nullptr detaches). The engine calls
-     * Telemetry::beginRun()/finalizeRun() itself, registers its
-     * counters/tracks after rebuilding the machine, and wires the
-     * memory system and network in turn. The Telemetry object must
-     * outlive the GpuSim (or be detached first). When detached —
-     * the default — every hook compiles down to a branch-on-null.
+     * Telemetry::beginRun()/finalizeRun() itself and re-resolves
+     * every counter/track handle per run, so the same machine can
+     * alternate between attached and detached runs. The Telemetry
+     * object must outlive the GpuSim (or be detached first). When
+     * detached — the default — every hook compiles down to a
+     * branch-on-null.
      */
     void attachTelemetry(telemetry::Telemetry *telemetry);
 
   private:
-    static constexpr std::uint32_t invalidIndex = 0xffffffffu;
-
-    /** Why a warp is not schedulable right now. */
-    enum class WarpBlock : std::uint8_t
-    {
-        None,    //!< runnable (an event is pending for it)
-        Window,  //!< MLP window full; woken by a load completion
-        Drain,   //!< waiting for all outstanding loads (final sync)
-    };
-
-    /** A resident warp context bound to an SM warp slot. */
-    struct WarpSlot
-    {
-        std::unique_ptr<trace::WarpTrace> trace;
-        unsigned sm = 0;          //!< flat SM id
-        unsigned cta = 0;
-        unsigned outstanding = 0; //!< loads in flight
-        WarpBlock blocked = WarpBlock::None;
-        std::optional<isa::TraceOp> replay;
-        bool live = false;
-    };
-
-    /** Stage of an in-flight memory task. */
-    enum class MemStage : std::uint8_t
-    {
-        L2Lookup,   //!< arrived at the local L2 slice
-        ReqHop,     //!< request header travelling to the home GPM
-        HomeDram,   //!< arrived at the home GPM's memory controller
-        RespHop,    //!< data travelling back to the requester
-        Complete,   //!< data available; notify the parent access
-        WbHop,      //!< eviction writeback travelling to its home
-        WbDram,     //!< eviction writeback at the home controller
-    };
-
-    /** One line-granular memory task moving through the pipeline. */
-    struct MemTask
-    {
-        MemStage stage = MemStage::Complete;
-        std::uint8_t mask = 0;     //!< sectors requested of this line
-        bool store = false;
-        unsigned node = 0;         //!< current network node
-        unsigned homeGpm = 0;
-        unsigned reqGpm = 0;
-        std::uint64_t lineAddr = 0;
-        std::uint32_t access = invalidIndex; //!< parent AccessRec
-    };
-
-    /** A warp-level access fanned out into per-line tasks. */
-    struct AccessRec
-    {
-        std::uint32_t warpSlot = invalidIndex;
-        std::uint32_t partsLeft = 0;
-    };
-
-    /** Calendar entry. */
-    struct Event
-    {
-        noc::Tick when;
-        std::uint32_t index; //!< warp slot or mem task index
-        bool isMem;
-
-        bool
-        operator>(const Event &other) const
-        {
-            return when > other.when;
-        }
-    };
-
-    // -- engine helpers --
-
-    void pushWarp(noc::Tick when, std::uint32_t slot);
-    void pushMem(noc::Tick when, std::uint32_t task);
-
-    std::uint32_t allocTask();
-    void freeTask(std::uint32_t index);
-    std::uint32_t allocAccess();
-    void freeAccess(std::uint32_t index);
-
     /** Run one kernel launch starting at @p start; returns end time. */
     noc::Tick runLaunch(const trace::KernelProfile &profile,
                         const trace::SegmentLayout &layout,
                         unsigned launch, noc::Tick start);
 
-    /** Dispatch CTAs to @p sm while it has room; pushes warp events. */
-    void fillSm(const trace::KernelProfile &profile,
-                const trace::SegmentLayout &layout, unsigned launch,
-                unsigned sm, noc::Tick t);
+    /** Home every page up front per the placement policy. */
+    void prePlacePages(const trace::KernelProfile &profile,
+                       const trace::SegmentLayout &layout);
 
-    /** Process one warp continuation. */
-    void stepWarp(const trace::KernelProfile &profile,
-                  std::uint32_t slot_index, noc::Tick t);
-
-    /** Process one memory-pipeline stage. */
-    void stepMem(std::uint32_t task_index, noc::Tick t);
-
-    /** Begin a warp-level global access (fans out line tasks). */
-    void startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
-                           unsigned sm, unsigned gpm,
-                           std::uint64_t addr, unsigned sector_count,
-                           bool is_store);
-
-    /** Schedule an eviction writeback toward its home GPM. */
-    void startWriteback(noc::Tick t, unsigned gpm,
-                        std::uint64_t line_addr, std::uint8_t dirty);
-
-    /** A load part finished; notify its access and maybe its warp. */
-    void completePart(std::uint32_t access_index, noc::Tick t);
-
-    /** Register counters/tracks for this run's fresh machine. */
+    /** Register counters/tracks for this run on the machine. */
     void setupTelemetry();
 
-    /** Null all cached telemetry handles (detached state). */
+    /** Null every telemetry handle and sink (detached state). */
     void clearTelemetryHooks();
 
-    /** Record @p amount txns of @p level at time @p t (hook). */
-    void
-    noteTxn(noc::Tick t, isa::TxnLevel level, double amount)
-    {
-        if (txnSampler_)
-            txnSampler_->addAt(t, static_cast<std::size_t>(level),
-                               amount);
-    }
-
-    /** Record one warp instruction of @p op at time @p t (hook). */
-    void
-    noteInstr(noc::Tick t, isa::Opcode op, double amount = 1.0)
-    {
-        if (instrSampler_)
-            instrSampler_->addAt(t, static_cast<std::size_t>(op),
-                                 amount);
-    }
-
     GpuConfig config_;
-    std::unique_ptr<noc::InterGpmNetwork> network;
-    std::unique_ptr<mem::MemSystem> memory;
-    std::vector<sm::SmCore> sms;
 
-    // Pools.
-    std::vector<MemTask> taskPool;
-    std::vector<std::uint32_t> freeTasks;
-    std::vector<AccessRec> accessPool;
-    std::vector<std::uint32_t> freeAccesses;
+    // The machine, built once.
+    engine::Calendar calendar_;
+    std::unique_ptr<noc::InterGpmNetwork> network_;
+    std::unique_ptr<mem::MemSystem> memory_;
+    std::vector<sm::SmCore> sms_;
+    std::unique_ptr<engine::CtaPolicy> ctaPolicy_;
+    std::unique_ptr<engine::MemPipeline> memPipeline_;
+    std::unique_ptr<engine::WarpEngine> warpEngine_;
+    engine::ComponentRegistry registry_;
 
-    // Per-launch transient state. The containers themselves persist
-    // across launches and runs so their backing storage (and the
-    // WarpTrace objects inside the slots) is allocated once and
-    // reused; runLaunch() re-initializes the *contents* each launch.
-    std::vector<WarpSlot> slots;
-    std::vector<std::vector<unsigned>> freeSlotsPerSm;
-    /**
-     * The event calendar: a binary min-heap (std::push_heap /
-     * std::pop_heap over Event::operator>) on an explicit vector
-     * instead of std::priority_queue. The heap operations are the
-     * exact ones priority_queue is specified to perform, so event
-     * ordering is bit-identical; owning the vector lets run() keep
-     * the backing capacity across launches instead of reallocating
-     * it from scratch every time.
-     */
-    std::vector<Event> calendar;
-    std::vector<sm::GpmCtaQueue> ctaQueues;
-    std::vector<unsigned> ctaWarpsLeft;
-
-    /** Launch-scoped context for CTA backfill from stepWarp(). */
-    const trace::SegmentLayout *launchLayout = nullptr;
-    unsigned launchIndex = 0;
-
-    // Accumulated across launches.
-    std::array<Count, isa::numOpcodes> instrs_{};
-    mem::MemCounters memCounters;
-    double busyAccum = 0.0;
-    double stallAccum = 0.0;
-    double occupiedAccum = 0.0;
-    noc::Tick endOfRun = 0.0;
+    // Accumulated across launches; zeroed per run.
+    double busyAccum_ = 0.0;
+    double stallAccum_ = 0.0;
+    double occupiedAccum_ = 0.0;
+    noc::Tick endOfRun_ = 0.0;
 
     // Telemetry. telemetry_ is the attached sink (nullable); the
-    // rest are cached handles refreshed by setupTelemetry() each
-    // run, null while detached so hooks are branch-on-null.
+    // handles are refreshed per run, null while detached.
     telemetry::Telemetry *telemetry_ = nullptr;
     telemetry::Counter *ctrEventsWarp_ = nullptr;
     telemetry::Counter *ctrEventsMem_ = nullptr;
-    telemetry::Counter *ctrBlockWindow_ = nullptr;
-    telemetry::Counter *ctrBlockDrain_ = nullptr;
-    telemetry::Counter *ctrWarpWakes_ = nullptr;
-    telemetry::ActivitySampler *instrSampler_ = nullptr;
-    telemetry::ActivitySampler *txnSampler_ = nullptr;
     std::vector<telemetry::TimelineTrack *> smActiveTracks_;
 };
 

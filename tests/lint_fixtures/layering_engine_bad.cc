@@ -1,0 +1,14 @@
+// lint-path: src/engine/fixture_layering.cc
+// Golden violation fixture for the engine layer's layering edges:
+// src/engine reaching UP the stack into sim/ and harness/ — back
+// edges in the module DAG (the engine must stay assemblable without
+// the façade above it) — plus power/, which sits on a parallel
+// branch the engine has no edge to.
+
+#include "sim/gpu_sim.hh"        // back edge: engine -> sim
+#include "harness/study.hh"      // back edge: engine -> harness
+#include "power/energy_model.hh" // parallel branch: engine -> power
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

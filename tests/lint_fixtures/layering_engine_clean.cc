@@ -1,0 +1,21 @@
+// lint-path: src/engine/fixture_layering_clean.cc
+// Clean twin: src/engine pulling in exactly its declared
+// dependencies — itself, the machine layers below it (sm, mem, noc,
+// isa, trace), the cross-cutting leaves, and common.
+
+#include "engine/calendar.hh"
+#include "engine/component.hh"
+#include "sm/sm_core.hh"
+#include "mem/mem_system.hh"
+#include "noc/interconnect.hh"
+#include "isa/opcode.hh"
+#include "trace/kernel_profile.hh"
+#include "fault/fault_plan.hh"
+#include "telemetry/telemetry.hh"
+#include "common/units.hh"
+
+#include <vector>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

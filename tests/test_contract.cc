@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/contract.hh"
+#include "engine/component.hh"
 #include "gpujoule/energy_model.hh"
 #include "noc/interconnect.hh"
 
@@ -176,6 +177,63 @@ TEST(FlitConservation, ResetClearsArrivalBooks)
     EXPECT_EQ(ring.traffic().deliveredBytes, 0u);
     EXPECT_EQ(ring.auditConservation(), "");
 }
+
+// ------------------------------------------------------------- //
+// Drain audits through the component protocol.
+//
+// Build-once machines re-run the conservation audits inside
+// ComponentRegistry::resetAll(): a machine reused across sweep
+// points must be quiescent before it is zeroed, so cooked books
+// caught by auditConservation() must also make reuse fail — not
+// just the end-of-run check.
+
+TEST(ComponentAudit, HealthyNetworkPassesRegistryAudit)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 0, 2, 512.0);
+    engine::ComponentRegistry registry;
+    registry.add(
+        "network", [&ring]() { ring.reset(); },
+        [&ring]() { return ring.auditConservation(); });
+    EXPECT_EQ(registry.auditAll(), "");
+    registry.resetAll(); // quiescent: must not trip the invariant
+    EXPECT_EQ(ring.traffic().transfers, 0u);
+}
+
+TEST(ComponentAudit, CookedBooksSurfaceThroughTheRegistry)
+{
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 0, 2, 512.0);
+    ring.books().transfers += 1; // a message entered, never arrived
+    engine::ComponentRegistry registry;
+    registry.add(
+        "network", [&ring]() { ring.reset(); },
+        [&ring]() { return ring.auditConservation(); });
+    const std::string verdict = registry.auditAll();
+    EXPECT_NE(verdict, "");
+    EXPECT_EQ(verdict.rfind("network: ", 0), 0u) << verdict;
+    EXPECT_NE(verdict.find("injected vs delivered"),
+              std::string::npos)
+        << verdict;
+}
+
+#if MMGPU_CONTRACT_LEVEL >= 2
+TEST(ContractDeathTest, ReusingTamperedMachineDiesInResetAll)
+{
+    // The reuse gate itself: with audits armed, resetAll() on a
+    // machine whose network lost a message must die rather than
+    // carry the imbalance into the next sweep point.
+    Tampered<noc::RingNetwork> ring(4, 64.0, 5);
+    ring.transfer(0, 1, 3, 1024.0);
+    ring.books().deliveredBytes -= 32; // a sector evaporated
+    engine::ComponentRegistry registry;
+    registry.add(
+        "network", [&ring]() { ring.reset(); },
+        [&ring]() { return ring.auditConservation(); });
+    EXPECT_DEATH(registry.resetAll(),
+                 "machine reused while not quiescent");
+}
+#endif
 
 // ------------------------------------------------------------- //
 // Energy accounting audit.

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/gpu_sim.hh"
+#include "telemetry/telemetry.hh"
 
 namespace
 {
@@ -386,6 +387,145 @@ TEST(GpuSim, PolicyKnobsDoNotChangeWorkDone)
     PerfResult a = base.run(profile);
     PerfResult b = striped.run(profile);
     EXPECT_EQ(a.totalWarpInstrs(), b.totalWarpInstrs());
+}
+
+// ------------------------------------------------------------- //
+// Build-once / reset-per-run: a machine constructed once and reset
+// between runs must be bit-identical to a machine rebuilt from
+// scratch for every run — PerfResult for PerfResult, field for
+// field. These tests are the acceptance gate for the engine-layer
+// refactor; EXPECT_DOUBLE_EQ (exact compare) everywhere, no
+// tolerances.
+
+void
+expectBitIdentical(const PerfResult &a, const PerfResult &b)
+{
+    EXPECT_DOUBLE_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.instrs, b.instrs);
+    EXPECT_EQ(a.mem.txns, b.mem.txns);
+    EXPECT_EQ(a.mem.l1SectorMisses, b.mem.l1SectorMisses);
+    EXPECT_EQ(a.mem.l2SectorMisses, b.mem.l2SectorMisses);
+    EXPECT_EQ(a.mem.remoteSectors, b.mem.remoteSectors);
+    EXPECT_EQ(a.mem.localSectors, b.mem.localSectors);
+    EXPECT_EQ(a.mem.writebackSectors, b.mem.writebackSectors);
+    EXPECT_EQ(a.link.byteHops, b.link.byteHops);
+    EXPECT_EQ(a.link.messageBytes, b.link.messageBytes);
+    EXPECT_EQ(a.link.switchBytes, b.link.switchBytes);
+    EXPECT_EQ(a.link.transfers, b.link.transfers);
+    EXPECT_DOUBLE_EQ(a.linkQueueing, b.linkQueueing);
+    EXPECT_DOUBLE_EQ(a.linkBusy, b.linkBusy);
+    EXPECT_DOUBLE_EQ(a.smBusyCycles, b.smBusyCycles);
+    EXPECT_DOUBLE_EQ(a.smStallCycles, b.smStallCycles);
+    EXPECT_DOUBLE_EQ(a.smOccupiedCycles, b.smOccupiedCycles);
+    EXPECT_EQ(a.l1Accesses, b.l1Accesses);
+    EXPECT_EQ(a.l1SectorHits, b.l1SectorHits);
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+    EXPECT_EQ(a.l2SectorHits, b.l2SectorHits);
+    EXPECT_DOUBLE_EQ(a.dramQueueing, b.dramQueueing);
+    EXPECT_DOUBLE_EQ(a.dramBusy, b.dramBusy);
+}
+
+TEST(GpuSimReuse, ReusedMachineMatchesFreshMachineBitForBit)
+{
+    KernelProfile profile = smallProfile(AccessPattern::Random, 128);
+    SegmentAccess store;
+    store.segment = 0;
+    store.pattern = AccessPattern::Random;
+    store.perIteration = 1;
+    profile.stores.push_back(store);
+
+    GpuSim reused(multiGpmConfig(4, BwSetting::Bw2x));
+    for (int run = 0; run < 3; ++run) {
+        SCOPED_TRACE("run " + std::to_string(run));
+        GpuSim fresh(multiGpmConfig(4, BwSetting::Bw2x));
+        expectBitIdentical(reused.run(profile), fresh.run(profile));
+    }
+}
+
+TEST(GpuSimReuse, InterleavedProfilesDoNotContaminateEachOther)
+{
+    // One machine alternating between two very different workloads
+    // (local streaming vs remote-heavy random, different CTA counts
+    // and launch counts) must reproduce what fresh machines compute
+    // for each — any run-scoped state surviving reset() shows up as
+    // cross-profile contamination here.
+    KernelProfile streaming =
+        smallProfile(AccessPattern::BlockStream, 64, 2);
+    KernelProfile scattered = smallProfile(AccessPattern::Random, 96);
+    SegmentAccess store;
+    store.segment = 0;
+    store.pattern = AccessPattern::Random;
+    store.perIteration = 1;
+    scattered.stores.push_back(store);
+
+    GpuSim machine(multiGpmConfig(4, BwSetting::Bw2x));
+    const PerfResult stream_a = machine.run(streaming);
+    const PerfResult scatter_a = machine.run(scattered);
+    const PerfResult stream_b = machine.run(streaming);
+    const PerfResult scatter_b = machine.run(scattered);
+
+    GpuSim fresh_stream(multiGpmConfig(4, BwSetting::Bw2x));
+    GpuSim fresh_scatter(multiGpmConfig(4, BwSetting::Bw2x));
+    const PerfResult stream_ref = fresh_stream.run(streaming);
+    const PerfResult scatter_ref = fresh_scatter.run(scattered);
+
+    expectBitIdentical(stream_a, stream_ref);
+    expectBitIdentical(stream_b, stream_ref);
+    expectBitIdentical(scatter_a, scatter_ref);
+    expectBitIdentical(scatter_b, scatter_ref);
+}
+
+TEST(GpuSimReuse, PolicyConfigsKeepTheirIdentityAcrossReuse)
+{
+    // Placement/scheduling policy state (page homes, CTA queues) is
+    // launch- or run-scoped: reusing a striped machine must keep
+    // producing striped numbers, not drift toward first-touch.
+    KernelProfile profile =
+        smallProfile(AccessPattern::BlockStream, 256);
+    auto config = multiGpmConfig(4, BwSetting::Bw2x);
+    config.placement = PlacementPolicy::Striped;
+    GpuSim striped(config);
+    const PerfResult first = striped.run(profile);
+    const PerfResult second = striped.run(profile);
+    expectBitIdentical(first, second);
+    EXPECT_GT(second.remoteFraction(), 0.5);
+}
+
+TEST(GpuSimReuse, TelemetryAttachDetachReattachOnOneMachine)
+{
+    // A reused machine must survive telemetry mode changes between
+    // runs: attached -> detached (no dangling sinks into a dead
+    // registry) -> reattached (hooks re-resolve against the new
+    // registry). The instrumented runs must also not perturb the
+    // numbers.
+    KernelProfile profile = smallProfile(AccessPattern::Random, 96);
+    GpuSim machine(multiGpmConfig(4, BwSetting::Bw2x));
+    const PerfResult bare_first = machine.run(profile);
+
+    {
+        telemetry::Telemetry telemetry(
+            telemetry::TelemetryConfig{512.0});
+        machine.attachTelemetry(&telemetry);
+        const PerfResult instrumented = machine.run(profile);
+        expectBitIdentical(instrumented, bare_first);
+        const telemetry::Counter *warp_events =
+            telemetry.counters().findCounter("sim/events_warp");
+        ASSERT_NE(warp_events, nullptr);
+        EXPECT_GT(warp_events->value, 0.0);
+        machine.attachTelemetry(nullptr); // detach before it dies
+    }
+
+    const PerfResult bare_again = machine.run(profile);
+    expectBitIdentical(bare_again, bare_first);
+
+    telemetry::Telemetry second(telemetry::TelemetryConfig{0.0});
+    machine.attachTelemetry(&second);
+    const PerfResult reattached = machine.run(profile);
+    expectBitIdentical(reattached, bare_first);
+    const telemetry::Counter *mem_events =
+        second.counters().findCounter("sim/events_mem");
+    ASSERT_NE(mem_events, nullptr);
+    EXPECT_GT(mem_events->value, 0.0);
 }
 
 TEST(GpuSim, SharedLoadsCountSharedTxns)

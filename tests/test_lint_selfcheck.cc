@@ -98,6 +98,8 @@ const RulePair rulePairs[] = {
     {"determinism-float-accum", "determinism_float_accum_bad.cc",
      "determinism_float_accum_clean.cc", 3},
     {"layering", "layering_bad.cc", "layering_clean.cc", 3},
+    {"layering", "layering_engine_bad.cc",
+     "layering_engine_clean.cc", 3},
     {"include-path", "include_path_bad.cc",
      "include_path_clean.cc", 3},
     {"error-path", "error_path_bad.cc", "error_path_clean.cc", 3},

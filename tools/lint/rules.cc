@@ -465,14 +465,16 @@ Config::repoDefault()
     config.layering["noc"] = with({}, "noc");
     config.layering["sm"] = with({"noc"}, "sm");
     config.layering["mem"] = with({"noc", "isa"}, "mem");
+    config.layering["engine"] =
+        with({"sm", "mem", "noc", "isa", "trace"}, "engine");
     config.layering["sim"] =
-        with({"sm", "mem", "noc", "isa", "trace"}, "sim");
+        with({"engine", "sm", "mem", "noc", "isa", "trace"}, "sim");
     config.layering["power"] = with({"isa"}, "power");
     config.layering["gpujoule"] = with({"power", "isa"}, "gpujoule");
     config.layering["metrics"] = with({}, "metrics");
     config.layering["harness"] =
-        with({"sim", "sm", "mem", "noc", "isa", "trace", "power",
-              "gpujoule", "metrics"},
+        with({"sim", "engine", "sm", "mem", "noc", "isa", "trace",
+              "power", "gpujoule", "metrics"},
              "harness");
 
     // The shims are where host time/randomness is allowed to live.
