@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Service-layer bench: what does the daemon add on top of the
+ * simulations it serves, and what does its memo reuse buy?
+ *
+ * Drives the Figure 6 sweep (a full scaling study per Table III
+ * module count) through an in-process SimService twice:
+ *
+ *   cold  every study simulates from scratch (empty memo cache);
+ *         latency is dominated by simulation itself
+ *   warm  the same requests again; everything is served from the
+ *         runner's memo cache, so latency IS the service overhead
+ *         (admission, routing, dedup bookkeeping, encoding)
+ *
+ * The warm pass is pipelined (all studies submitted before any
+ * response is awaited) so the admission queue actually fills and the
+ * housekeeper's queue-depth timeseries shows real backlog. Results
+ * land in BENCH_serve.json: per-request cold/warm latencies, the
+ * cold:warm ratio, service stats, and the queue-depth timeseries.
+ */
+
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
+#include "common/wallclock.hh"
+#include "serve/service.hh"
+#include "sim/gpu_config.hh"
+
+namespace
+{
+
+using namespace mmgpu;
+
+serve::Request
+studyRequest(unsigned gpms)
+{
+    serve::Request request;
+    request.type = serve::RequestType::Study;
+    request.id = "fig6-" + std::to_string(gpms);
+    request.spec.workload = "all";
+    request.spec.gpms = gpms;
+    request.spec.bw = sim::BwSetting::Bw2x;
+    return request;
+}
+
+/** Latencies of one pass over the Figure 6 sweep, pipelined. */
+std::vector<double>
+sweepLatencies(serve::SimService &service,
+               const std::vector<unsigned> &gpm_counts)
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t pending = gpm_counts.size();
+    std::vector<double> latencies(gpm_counts.size(), 0.0);
+    std::vector<std::int64_t> submitted(gpm_counts.size(), 0);
+
+    for (std::size_t i = 0; i < gpm_counts.size(); ++i) {
+        submitted[i] = wallclock::nowMs();
+        service.submit(
+            studyRequest(gpm_counts[i]),
+            [&, i](const serve::Response &response) {
+                std::lock_guard<std::mutex> lock(mutex);
+                latencies[i] = static_cast<double>(
+                    wallclock::nowMs() - submitted[i]);
+                if (response.status != serve::ResponseStatus::Ok)
+                    latencies[i] = -latencies[i]; // flag failures
+                --pending;
+                cv.notify_all();
+            });
+    }
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return pending == 0; });
+    return latencies;
+}
+
+JsonValue
+latencyArray(const std::vector<unsigned> &gpm_counts,
+             const std::vector<double> &latencies)
+{
+    JsonValue array = JsonValue::array();
+    for (std::size_t i = 0; i < gpm_counts.size(); ++i) {
+        JsonValue row = JsonValue::object();
+        row.set("gpms", static_cast<double>(gpm_counts[i]));
+        row.set("latency-ms", latencies[i]);
+        array.push(std::move(row));
+    }
+    return array;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mmgpu;
+
+    serve::ServeOptions options;
+    // One shard, so the pipelined sweep builds real backlog and the
+    // queue-depth timeseries shows it draining (with two shards the
+    // prefetch slots absorb all five studies and the queue never
+    // grows).
+    options.shards = 1;
+    options.sampleMs = 100;     // fine-grained queue-depth series...
+    options.timeseriesCap = 8192; // ...retained for the whole run
+    serve::SimService service(options, bench::studyContext());
+    service.runner().attachPersistentCache(nullptr);
+    service.start();
+
+    const std::vector<unsigned> gpm_counts =
+        sim::tableThreeGpmCounts();
+
+    std::printf("bench_serve: cold pass (%zu studies)...\n",
+                gpm_counts.size());
+    std::vector<double> cold = sweepLatencies(service, gpm_counts);
+    std::printf("bench_serve: warm pass (memo-served)...\n");
+    std::vector<double> warm = sweepLatencies(service, gpm_counts);
+
+    double cold_total = 0.0, warm_total = 0.0;
+    bool failed = false;
+    for (std::size_t i = 0; i < gpm_counts.size(); ++i) {
+        failed = failed || cold[i] < 0.0 || warm[i] < 0.0;
+        cold_total += cold[i];
+        warm_total += warm[i];
+        std::printf("  %2u GPMs: cold %8.1f ms   warm %6.1f ms\n",
+                    gpm_counts[i], cold[i], warm[i]);
+    }
+    serve::ServiceStats stats = service.stats();
+    std::printf("bench_serve: cold %.1f ms total, warm %.1f ms "
+                "total (x%.0f), %llu sims, p95 %.1f ms\n",
+                cold_total, warm_total,
+                warm_total > 0.0 ? cold_total / warm_total : 0.0,
+                static_cast<unsigned long long>(
+                    stats.simulationsStarted),
+                stats.latencyP95Ms);
+
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", JsonValue("serve"));
+    doc.set("sweep", JsonValue("fig6 (2x-BW scaling studies)"));
+    doc.set("shards", static_cast<double>(options.shards));
+    doc.set("cold", latencyArray(gpm_counts, cold));
+    doc.set("warm", latencyArray(gpm_counts, warm));
+    doc.set("cold-total-ms", cold_total);
+    doc.set("warm-total-ms", warm_total);
+    doc.set("cold-over-warm",
+            warm_total > 0.0 ? cold_total / warm_total : 0.0);
+    JsonValue stats_json = JsonValue::object();
+    stats_json.set("completed", static_cast<double>(stats.completed));
+    stats_json.set("simulations-started",
+                   static_cast<double>(stats.simulationsStarted));
+    stats_json.set("dedup-attached",
+                   static_cast<double>(stats.dedupAttached));
+    stats_json.set("affinity-hits",
+                   static_cast<double>(stats.affinityHits));
+    stats_json.set("latency-p50-ms", stats.latencyP50Ms);
+    stats_json.set("latency-p95-ms", stats.latencyP95Ms);
+    doc.set("stats", std::move(stats_json));
+    JsonValue series = JsonValue::array();
+    for (const serve::StatsSample &sample : service.timeseries()) {
+        JsonValue row = JsonValue::object();
+        row.set("t-ms", static_cast<double>(sample.tMs));
+        row.set("queue-depth",
+                static_cast<double>(sample.queueDepth));
+        row.set("busy-shards",
+                static_cast<double>(sample.busyShards));
+        row.set("inflight", static_cast<double>(sample.inflight));
+        series.push(std::move(row));
+    }
+    doc.set("queue-timeseries", std::move(series));
+
+    std::ofstream out("BENCH_serve.json");
+    doc.write(out);
+    out << "\n";
+    std::printf("bench_serve: wrote BENCH_serve.json\n");
+
+    service.beginShutdown();
+    service.join();
+    return failed ? 1 : 0;
+}

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * mmgpu_client — command-line client of the mmgpu_serve daemon.
+ *
+ * Verbs (one per invocation, all against --connect <socket>):
+ *
+ *   --ping                     liveness probe
+ *   --run                      one design point (spec flags below)
+ *   --study                    scaling study (default workload: all)
+ *   --stats                    service statistics snapshot
+ *   --shutdown                 ask the daemon to drain and exit
+ *   --send FILE                send a request script ('-' = stdin),
+ *                              printing responses in arrival order
+ *   --verify-fig6              recompute the Figure 6 sweep
+ *                              in-process (cache disabled) and
+ *                              assert the daemon's study responses
+ *                              are bit-identical, hexfloat by
+ *                              hexfloat; nonzero exit on mismatch
+ *   --soak N                   pipeline the fig6 run sweep N times
+ *                              (duplicate-heavy load) and verify
+ *                              every response arrives ok
+ *
+ * Spec flags (run/study/verify): --workload, --gpms, --bw,
+ * --topology, --domain, --placement, --cta-sched,
+ * --link-energy-scale, --priority. --gpms-list (verify/soak) limits
+ * the sweep's module counts, e.g. --gpms-list 4,32.
+ *
+ * Flags accept both "--flag value" and "--flag=value".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/study.hh"
+#include "serve/client.hh"
+#include "serve/request.hh"
+
+using namespace mmgpu;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --connect SOCKET (--ping | --run | --study | "
+        "--stats |\n"
+        "          --shutdown | --send FILE | --verify-fig6 | "
+        "--soak N)\n"
+        "          [--workload W] [--gpms N] [--bw 1x|2x|4x]\n"
+        "          [--topology ring|switch] "
+        "[--domain package|board]\n"
+        "          [--placement first-touch|striped]\n"
+        "          [--cta-sched distributed|round-robin]\n"
+        "          [--link-energy-scale F] [--priority 0|1|2]\n"
+        "          [--gpms-list N,N,...] [--timeout-ms MS]\n",
+        argv0);
+    std::exit(2);
+}
+
+std::vector<unsigned>
+parseGpmList(const std::string &text)
+{
+    std::vector<unsigned> counts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        std::string token =
+            text.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (!token.empty())
+            counts.push_back(static_cast<unsigned>(
+                std::strtoul(token.c_str(), nullptr, 0)));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return counts;
+}
+
+/** Fetch "points" entries keyed by workload from a study response. */
+std::map<std::string, const JsonValue *>
+studyPointsByWorkload(const JsonValue &result)
+{
+    std::map<std::string, const JsonValue *> byName;
+    const JsonValue *points = result.find("points");
+    if (points == nullptr)
+        return byName;
+    for (std::size_t i = 0; i < points->size(); ++i) {
+        const JsonValue *point = points->at(i);
+        const JsonValue *name =
+            point != nullptr ? point->find("workload") : nullptr;
+        if (name != nullptr && name->isString())
+            byName[name->asString()] = point;
+    }
+    return byName;
+}
+
+/** Compare one hexfloat field; prints and returns false on drift. */
+bool
+checkField(const std::string &workload, const char *field,
+           double local, const JsonValue *point)
+{
+    const JsonValue *remote =
+        point != nullptr ? point->find(field) : nullptr;
+    std::string expect = serve::encodeHexDouble(local);
+    if (remote == nullptr || !remote->isString() ||
+        remote->asString() != expect) {
+        std::fprintf(stderr,
+                     "MISMATCH %s.%s: daemon=%s local=%s\n",
+                     workload.c_str(), field,
+                     remote != nullptr && remote->isString()
+                         ? remote->asString().c_str()
+                         : "<missing>",
+                     expect.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+verifyFig6(serve::ServeClient &client,
+           const std::vector<unsigned> &gpm_counts,
+           std::int64_t timeout_ms)
+{
+    // The reference: a fresh in-process computation with the
+    // persistent cache detached, so nothing the daemon wrote can
+    // leak into the numbers being checked against it.
+    std::fprintf(stderr, "verify-fig6: calibrating locally...\n");
+    harness::StudyContext context;
+    harness::ScalingRunner runner(context);
+    runner.attachPersistentCache(nullptr);
+
+    bool all_ok = true;
+    for (unsigned gpms : gpm_counts) {
+        serve::Request request;
+        request.type = serve::RequestType::Study;
+        request.id = "fig6-" + std::to_string(gpms);
+        request.spec.workload = "all";
+        request.spec.gpms = gpms;
+        request.spec.bw = sim::BwSetting::Bw2x;
+
+        Result<serve::Response> reply =
+            client.roundTrip(request, timeout_ms);
+        if (!reply.ok() ||
+            reply.value().status != serve::ResponseStatus::Ok) {
+            std::fprintf(stderr, "verify-fig6: %u GPMs: %s\n", gpms,
+                         reply.ok()
+                             ? reply.value().message.c_str()
+                             : reply.error().describe().c_str());
+            return 1;
+        }
+
+        sim::GpuConfig config = request.spec.config();
+        std::vector<harness::ScalingPoint> local =
+            harness::scalingStudy(runner, config,
+                                  trace::scalingWorkloads());
+        auto remote = studyPointsByWorkload(reply.value().result);
+
+        for (const harness::ScalingPoint &point : local) {
+            auto it = remote.find(point.workload);
+            const JsonValue *rp =
+                it == remote.end() ? nullptr : it->second;
+            bool ok = rp != nullptr;
+            ok = checkField(point.workload, "speedup",
+                            point.speedup, rp) && ok;
+            ok = checkField(point.workload, "energy-ratio",
+                            point.energyRatio, rp) && ok;
+            ok = checkField(point.workload, "edpse", point.edpse,
+                            rp) && ok;
+            ok = checkField(point.workload, "ed2pse", point.ed2pse,
+                            rp) && ok;
+            ok = checkField(point.workload, "perf-per-watt-se",
+                            point.perfPerWattSE, rp) && ok;
+            all_ok = all_ok && ok;
+        }
+        std::fprintf(stderr,
+                     "verify-fig6: %u GPMs: %zu workloads %s\n",
+                     gpms, local.size(),
+                     all_ok ? "bit-identical" : "MISMATCHED");
+    }
+    std::printf("verify-fig6: %s\n", all_ok ? "PASS" : "FAIL");
+    return all_ok ? 0 : 1;
+}
+
+int
+soak(serve::ServeClient &client, unsigned rounds,
+     const std::vector<unsigned> &gpm_counts,
+     std::int64_t timeout_ms)
+{
+    // Pipeline the whole duplicate-heavy load before reading a
+    // single response: the daemon's admission queue, dedup table,
+    // and per-connection write path all get exercised at depth.
+    std::vector<std::string> ids;
+    for (unsigned round = 0; round < rounds; ++round) {
+        for (unsigned gpms : gpm_counts) {
+            for (const trace::KernelProfile &profile :
+                 trace::scalingWorkloads()) {
+                serve::Request request;
+                request.type = serve::RequestType::Run;
+                request.id = "soak-" + std::to_string(round) + "-" +
+                             std::to_string(gpms) + "-" +
+                             profile.name;
+                request.spec.workload = profile.name;
+                request.spec.gpms = gpms;
+                request.spec.bw = sim::BwSetting::Bw2x;
+                request.priority = static_cast<int>(round % 3);
+                if (Result<void> sent =
+                        client.sendLine(request.encode());
+                    !sent.ok()) {
+                    std::fprintf(stderr, "soak: %s\n",
+                                 sent.error().describe().c_str());
+                    return 1;
+                }
+                ids.push_back(request.id);
+            }
+        }
+    }
+
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        Result<std::string> line = client.recvLine(timeout_ms);
+        if (!line.ok()) {
+            std::fprintf(stderr, "soak: %s\n",
+                         line.error().describe().c_str());
+            return 1;
+        }
+        Result<serve::Response> response =
+            serve::parseResponse(line.value());
+        if (!response.ok()) {
+            std::fprintf(stderr, "soak: bad response: %s\n",
+                         line.value().c_str());
+            return 1;
+        }
+        if (response.value().status == serve::ResponseStatus::Ok)
+            ++ok;
+        else
+            ++failed;
+    }
+    std::printf("soak: %zu responses, %zu ok, %zu failed\n",
+                ids.size(), ok, failed);
+    return failed == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string verb;
+    std::string send_path;
+    unsigned soak_rounds = 0;
+    std::int64_t timeout_ms = 600000;
+    std::vector<unsigned> gpm_list;
+    serve::Request request;
+
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(arg);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s wants a value\n", flag);
+                usage(argv[0]);
+            }
+            return args[++i].c_str();
+        };
+        if (args[i] == "--connect") {
+            socket_path = need("--connect");
+        } else if (args[i] == "--ping" || args[i] == "--run" ||
+                   args[i] == "--study" || args[i] == "--stats" ||
+                   args[i] == "--shutdown" ||
+                   args[i] == "--verify-fig6") {
+            verb = args[i].substr(2);
+        } else if (args[i] == "--send") {
+            verb = "send";
+            send_path = need("--send");
+        } else if (args[i] == "--soak") {
+            verb = "soak";
+            soak_rounds = static_cast<unsigned>(
+                std::strtoul(need("--soak"), nullptr, 0));
+        } else if (args[i] == "--workload") {
+            request.spec.workload = need("--workload");
+        } else if (args[i] == "--gpms") {
+            request.spec.gpms = static_cast<unsigned>(
+                std::strtoul(need("--gpms"), nullptr, 0));
+        } else if (args[i] == "--bw") {
+            std::string v = need("--bw");
+            if (v == "1x")
+                request.spec.bw = sim::BwSetting::Bw1x;
+            else if (v == "2x")
+                request.spec.bw = sim::BwSetting::Bw2x;
+            else if (v == "4x")
+                request.spec.bw = sim::BwSetting::Bw4x;
+            else
+                usage(argv[0]);
+        } else if (args[i] == "--topology") {
+            std::string v = need("--topology");
+            if (v == "ring")
+                request.spec.topology = noc::Topology::Ring;
+            else if (v == "switch")
+                request.spec.topology = noc::Topology::Switch;
+            else
+                usage(argv[0]);
+        } else if (args[i] == "--domain") {
+            std::string v = need("--domain");
+            if (v == "package")
+                request.spec.domain = 0;
+            else if (v == "board")
+                request.spec.domain = 1;
+            else
+                usage(argv[0]);
+        } else if (args[i] == "--placement") {
+            std::string v = need("--placement");
+            if (v == "first-touch")
+                request.spec.placement =
+                    sim::PlacementPolicy::FirstTouchOwner;
+            else if (v == "striped")
+                request.spec.placement =
+                    sim::PlacementPolicy::Striped;
+            else
+                usage(argv[0]);
+        } else if (args[i] == "--cta-sched") {
+            std::string v = need("--cta-sched");
+            if (v == "distributed")
+                request.spec.ctaSched =
+                    sm::CtaSchedPolicy::Distributed;
+            else if (v == "round-robin")
+                request.spec.ctaSched =
+                    sm::CtaSchedPolicy::RoundRobin;
+            else
+                usage(argv[0]);
+        } else if (args[i] == "--link-energy-scale") {
+            request.spec.linkEnergyScale =
+                std::atof(need("--link-energy-scale"));
+        } else if (args[i] == "--priority") {
+            request.priority =
+                std::atoi(need("--priority"));
+        } else if (args[i] == "--gpms-list") {
+            gpm_list = parseGpmList(need("--gpms-list"));
+        } else if (args[i] == "--timeout-ms") {
+            timeout_ms =
+                std::strtol(need("--timeout-ms"), nullptr, 0);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (socket_path.empty() || verb.empty())
+        usage(argv[0]);
+    if (gpm_list.empty())
+        gpm_list = sim::tableThreeGpmCounts();
+
+    serve::ServeClient client;
+    if (Result<void> connected = client.connect(socket_path);
+        !connected.ok()) {
+        std::fprintf(stderr, "mmgpu_client: %s\n",
+                     connected.error().describe().c_str());
+        return 1;
+    }
+
+    if (verb == "verify-fig6")
+        return verifyFig6(client, gpm_list, timeout_ms);
+    if (verb == "soak")
+        return soak(client, soak_rounds, gpm_list, timeout_ms);
+
+    if (verb == "send") {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (send_path != "-") {
+            file.open(send_path);
+            if (!file) {
+                std::fprintf(stderr,
+                             "mmgpu_client: cannot read %s\n",
+                             send_path.c_str());
+                return 2;
+            }
+            in = &file;
+        }
+        std::size_t sent = 0;
+        std::string line;
+        while (std::getline(*in, line)) {
+            std::size_t first = line.find_first_not_of(" \t");
+            if (first == std::string::npos || line[first] == '#')
+                continue;
+            if (Result<void> s = client.sendLine(line); !s.ok()) {
+                std::fprintf(stderr, "mmgpu_client: %s\n",
+                             s.error().describe().c_str());
+                return 1;
+            }
+            ++sent;
+        }
+        int failures = 0;
+        for (std::size_t i = 0; i < sent; ++i) {
+            Result<std::string> reply = client.recvLine(timeout_ms);
+            if (!reply.ok()) {
+                std::fprintf(stderr, "mmgpu_client: %s\n",
+                             reply.error().describe().c_str());
+                return 1;
+            }
+            std::printf("%s\n", reply.value().c_str());
+            Result<serve::Response> parsed =
+                serve::parseResponse(reply.value());
+            if (!parsed.ok() ||
+                parsed.value().status != serve::ResponseStatus::Ok)
+                ++failures;
+        }
+        return failures == 0 ? 0 : 1;
+    }
+
+    // Single-request verbs.
+    if (verb == "ping")
+        request.type = serve::RequestType::Ping;
+    else if (verb == "run")
+        request.type = serve::RequestType::Run;
+    else if (verb == "study")
+        request.type = serve::RequestType::Study;
+    else if (verb == "stats")
+        request.type = serve::RequestType::Stats;
+    else if (verb == "shutdown")
+        request.type = serve::RequestType::Shutdown;
+    if (verb == "study" && request.spec.workload == "Stream")
+        request.spec.workload = "all";
+    if (request.id.empty())
+        request.id = verb;
+
+    Result<serve::Response> reply =
+        client.roundTrip(request, timeout_ms);
+    if (!reply.ok()) {
+        std::fprintf(stderr, "mmgpu_client: %s\n",
+                     reply.error().describe().c_str());
+        return 1;
+    }
+    std::printf("%s\n", reply.value().encode().c_str());
+    return reply.value().status == serve::ResponseStatus::Ok ? 0 : 1;
+}

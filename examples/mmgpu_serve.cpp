@@ -1,0 +1,194 @@
+/**
+ * @file
+ * mmgpu_serve — the long-lived simulation daemon.
+ *
+ * Calibrates once, then owns the machine pool, the memoized run
+ * cache, and a worker fleet for as long as the process lives, so
+ * every client request after the first pays marginal simulation
+ * cost only. Two front ends share one SimService engine:
+ *
+ *   mmgpu_serve --socket /tmp/mmgpu.sock          # serve clients
+ *   mmgpu_serve --batch sweep.txt                 # scripted session
+ *
+ * Socket mode runs until a client sends {"type":"shutdown"}; batch
+ * mode drains the script and exits (nonzero when any request failed).
+ *
+ * Options:
+ *   --socket <path>       listen on this unix socket
+ *   --batch <file>        run a request script ('-' = stdin)
+ *   --shards <n>          worker shards (default 2)
+ *   --queue-depth <n>     admission bound (default 64)
+ *   --watchdog <sec>      per-request budget, 0 = off (default 30)
+ *   --flush-sec <sec>     run-cache background flush period
+ *                         (default: MMGPU_CACHE_FLUSH_SEC)
+ *   --sample-ms <ms>      health-sample period (default 200)
+ *   --stats-csv <file>    write the health timeseries on exit
+ *
+ * Flags accept both "--flag value" and "--flag=value".
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/batch.hh"
+#include "serve/service.hh"
+#include "serve/socket_server.hh"
+
+using namespace mmgpu;
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s (--socket PATH | --batch FILE)\n"
+                 "          [--shards N] [--queue-depth N] "
+                 "[--watchdog SEC]\n"
+                 "          [--flush-sec SEC] [--sample-ms MS] "
+                 "[--stats-csv FILE]\n",
+                 argv0);
+    std::exit(2);
+}
+
+void
+writeStatsCsv(const std::string &path,
+              const std::vector<serve::StatsSample> &samples)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "mmgpu_serve: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "t_ms,queue_depth,busy_shards,inflight,cache_hit_rate\n";
+    for (const serve::StatsSample &s : samples) {
+        out << s.tMs << ',' << s.queueDepth << ',' << s.busyShards
+            << ',' << s.inflight << ',' << s.cacheHitRate << '\n';
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path;
+    std::string batch_path;
+    std::string stats_csv;
+    serve::ServeOptions options;
+
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            args.push_back(arg.substr(0, eq));
+            args.push_back(arg.substr(eq + 1));
+        } else {
+            args.push_back(arg);
+        }
+    }
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "%s wants a value\n", flag);
+                usage(argv[0]);
+            }
+            return args[++i].c_str();
+        };
+        if (args[i] == "--socket") {
+            socket_path = need("--socket");
+        } else if (args[i] == "--batch") {
+            batch_path = need("--batch");
+        } else if (args[i] == "--shards") {
+            options.shards = std::strtoul(need("--shards"), nullptr, 0);
+        } else if (args[i] == "--queue-depth") {
+            options.queueDepth =
+                std::strtoul(need("--queue-depth"), nullptr, 0);
+        } else if (args[i] == "--watchdog") {
+            options.watchdogSeconds = std::atof(need("--watchdog"));
+        } else if (args[i] == "--flush-sec") {
+            options.cacheFlushSec = std::atof(need("--flush-sec"));
+        } else if (args[i] == "--sample-ms") {
+            options.sampleMs =
+                std::strtol(need("--sample-ms"), nullptr, 0);
+        } else if (args[i] == "--stats-csv") {
+            stats_csv = need("--stats-csv");
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (socket_path.empty() && batch_path.empty())
+        usage(argv[0]);
+    if (options.shards == 0 || options.queueDepth == 0) {
+        std::fprintf(stderr,
+                     "--shards and --queue-depth must be > 0\n");
+        return 2;
+    }
+
+    std::fprintf(stderr, "mmgpu_serve: calibrating...\n");
+    harness::StudyContext context;
+    serve::SimService service(options, context);
+    service.start();
+
+    int exit_code = 0;
+    if (!batch_path.empty()) {
+        std::ifstream file;
+        std::istream *in = &std::cin;
+        if (batch_path != "-") {
+            file.open(batch_path);
+            if (!file) {
+                std::fprintf(stderr,
+                             "mmgpu_serve: cannot read %s\n",
+                             batch_path.c_str());
+                return 2;
+            }
+            in = &file;
+        }
+        serve::BatchResult result =
+            serve::runBatch(service, *in, std::cout);
+        std::fprintf(stderr,
+                     "mmgpu_serve: batch done, %zu requests, "
+                     "%zu failures\n",
+                     result.requests, result.failures);
+        if (result.failures > 0)
+            exit_code = 1;
+        service.beginShutdown();
+    } else {
+        serve::SocketServer server(service, socket_path);
+        if (Result<void> started = server.start(); !started.ok()) {
+            std::fprintf(stderr, "mmgpu_serve: %s\n",
+                         started.error().describe().c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "mmgpu_serve: listening on %s\n",
+                     socket_path.c_str());
+        service.waitShutdown();
+        std::fprintf(stderr, "mmgpu_serve: shutting down\n");
+        server.stop();
+    }
+
+    service.join();
+    if (!stats_csv.empty())
+        writeStatsCsv(stats_csv, service.timeseries());
+
+    serve::ServiceStats stats = service.stats();
+    std::fprintf(stderr,
+                 "mmgpu_serve: served %llu ok / %llu failed / "
+                 "%llu rejected; %llu sims, %llu dedup-attached\n",
+                 static_cast<unsigned long long>(stats.completed),
+                 static_cast<unsigned long long>(stats.failed),
+                 static_cast<unsigned long long>(stats.rejected),
+                 static_cast<unsigned long long>(
+                     stats.simulationsStarted),
+                 static_cast<unsigned long long>(stats.dedupAttached));
+    return exit_code;
+}

@@ -97,6 +97,30 @@ configure_and_build build-asan \
     -DMMGPU_SANITIZE=address,undefined
 run_tier build-asan tier1
 
+echo "== Serve smoke (ASan tree: batch + socket bit-identity) =="
+serve_dir="$(mktemp -d)"
+trap 'rm -rf "${serve_dir}"' EXIT
+# Batch mode: scripted requests through the full service engine.
+cat > "${serve_dir}/batch.txt" <<'EOF'
+{"type": "ping", "id": "ci-ping"}
+{"type": "run", "id": "ci-run", "workload": "Stream", "gpms": 4}
+{"type": "run", "id": "ci-dup", "workload": "Stream", "gpms": 4}
+{"type": "stats", "id": "ci-stats"}
+EOF
+build-asan/examples/mmgpu_serve --batch "${serve_dir}/batch.txt" \
+    > "${serve_dir}/batch.out"
+[[ "$(grep -c '"status":"ok"' "${serve_dir}/batch.out")" -eq 4 ]]
+# Socket mode: background daemon, client-side recomputation of the
+# Figure 6 sweep must match the served hexfloats byte for byte, and
+# the daemon must shut down ASan-clean (exit 0).
+build-asan/examples/mmgpu_serve --socket "${serve_dir}/serve.sock" &
+serve_pid=$!
+build-asan/examples/mmgpu_client --connect "${serve_dir}/serve.sock" \
+    --verify-fig6 --gpms-list 2,8
+build-asan/examples/mmgpu_client --connect "${serve_dir}/serve.sock" \
+    --shutdown > /dev/null
+wait "${serve_pid}"
+
 echo "== TSan tree =="
 configure_and_build build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -140,6 +140,58 @@ JsonValue::dump() const
     return os.str();
 }
 
+void
+JsonValue::writeCompact(std::ostream &os) const
+{
+    if (std::holds_alternative<std::nullptr_t>(value)) {
+        os << "null";
+    } else if (auto *b = std::get_if<bool>(&value)) {
+        os << (*b ? "true" : "false");
+    } else if (auto *d = std::get_if<double>(&value)) {
+        if (!std::isfinite(*d)) {
+            os << "null"; // JSON has no Inf/NaN
+        } else if (*d == std::floor(*d) && std::abs(*d) < 1e15) {
+            os << static_cast<long long>(*d);
+        } else {
+            std::ostringstream tmp;
+            tmp << std::setprecision(12) << *d;
+            os << tmp.str();
+        }
+    } else if (auto *s = std::get_if<std::string>(&value)) {
+        writeEscaped(os, *s);
+    } else if (auto *object = std::get_if<Object>(&value)) {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, child] : *object) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscaped(os, key);
+            os << ':';
+            child.writeCompact(os);
+        }
+        os << '}';
+    } else if (auto *array = std::get_if<Array>(&value)) {
+        os << '[';
+        bool first = true;
+        for (const auto &child : *array) {
+            if (!first)
+                os << ',';
+            first = false;
+            child.writeCompact(os);
+        }
+        os << ']';
+    }
+}
+
+std::string
+JsonValue::dumpCompact() const
+{
+    std::ostringstream os;
+    writeCompact(os);
+    return os.str();
+}
+
 bool
 JsonValue::isNull() const
 {

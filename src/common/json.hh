@@ -75,6 +75,16 @@ class JsonValue
     /** Serialize to a string. */
     std::string dump() const;
 
+    /**
+     * Serialize without any whitespace or newlines — one line no
+     * matter how nested. The service socket protocol frames one JSON
+     * document per line, so embedded newlines would tear a message.
+     */
+    void writeCompact(std::ostream &os) const;
+
+    /** Compact serialization to a string (newline-free). */
+    std::string dumpCompact() const;
+
     // ---- read accessors (used by the persistent run cache) ----
 
     bool isNull() const;

@@ -327,6 +327,63 @@ RunCache::RunCache(std::string path) : path_(std::move(path))
     loadLocked();
 }
 
+RunCache::~RunCache()
+{
+    stopAutoFlush();
+}
+
+void
+RunCache::startAutoFlush(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    flushPeriodMs_.store(
+        static_cast<std::int64_t>(seconds * 1000.0),
+        std::memory_order_release);
+    if (flusher_.joinable())
+        return; // already running; it picks up the new period
+    flusherStop_.store(false, std::memory_order_release);
+    flusher_ = std::thread([this] {
+        std::int64_t last = wallclock::nowMs();
+        while (!flusherStop_.load(std::memory_order_acquire)) {
+            wallclock::sleepMs(20);
+            const std::int64_t period =
+                flushPeriodMs_.load(std::memory_order_acquire);
+            if (wallclock::nowMs() - last < period)
+                continue;
+            // flush() is a no-op unless inserts happened; the
+            // counter still ticks so tests can await a pass.
+            flush();
+            autoFlushes_.fetch_add(1, std::memory_order_relaxed);
+            last = wallclock::nowMs();
+        }
+    });
+}
+
+void
+RunCache::stopAutoFlush()
+{
+    if (!flusher_.joinable())
+        return;
+    flusherStop_.store(true, std::memory_order_release);
+    flusher_.join();
+}
+
+double
+RunCache::autoFlushSecondsFromEnv()
+{
+    const char *text = std::getenv("MMGPU_CACHE_FLUSH_SEC");
+    if (text == nullptr || *text == '\0')
+        return 0.0;
+    char *end = nullptr;
+    double seconds = std::strtod(text, &end);
+    if (end == text || *end != '\0' || seconds <= 0.0) {
+        warn("ignoring malformed MMGPU_CACHE_FLUSH_SEC='", text, "'");
+        return 0.0;
+    }
+    return seconds;
+}
+
 void
 RunCache::loadLocked()
 {
@@ -485,9 +542,14 @@ RunCache::processCache()
                                ? dir
                                : ".mmgpu-cache";
         auto *cache = new RunCache(base + "/runs.json");
+        if (double seconds = autoFlushSecondsFromEnv();
+            seconds > 0.0)
+            cache->startAutoFlush(seconds);
         std::atexit([] {
-            if (RunCache *c = processCache())
+            if (RunCache *c = processCache()) {
+                c->stopAutoFlush();
                 c->flush();
+            }
         });
         return cache;
     }();

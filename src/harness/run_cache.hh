@@ -26,7 +26,12 @@
  *
  * Escape hatches: `MMGPU_NO_CACHE=1` disables the process-wide cache
  * entirely; `MMGPU_CACHE_DIR=<dir>` relocates it (used by the test
- * suite for isolation).
+ * suite for isolation); `MMGPU_CACHE_FLUSH_SEC=<s>` arms a periodic
+ * background flush so a long-lived process (the mmgpu_serve daemon)
+ * persists warm entries without waiting for shutdown. Flushes are
+ * atomic (tmp + rename), so a crash between flushes leaves the last
+ * flushed file intact — everything inserted since is recomputed, and
+ * sibling processes merge into it as usual.
  */
 
 #ifndef MMGPU_HARNESS_RUN_CACHE_HH
@@ -37,6 +42,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "gpujoule/calibration.hh"
 #include "gpujoule/energy_model.hh"
@@ -79,6 +85,14 @@ class RunCache
      */
     explicit RunCache(std::string path);
 
+    /** Stops the auto-flush thread; does NOT flush (callers that
+     *  want a final flush call it explicitly, as processCache's
+     *  atexit hook does). */
+    ~RunCache();
+
+    RunCache(const RunCache &) = delete;
+    RunCache &operator=(const RunCache &) = delete;
+
     /**
      * Look up @p key.
      * @return true and fill @p perf / @p energy on a hit.
@@ -110,6 +124,28 @@ class RunCache
     std::uint64_t misses() const { return misses_.load(); }
 
     /**
+     * Start a background thread that flushes every @p seconds (> 0)
+     * while the cache is alive — the persistence story of a
+     * long-lived daemon, where "at process exit" may be days away.
+     * Idempotent: a second call retunes the period. The thread only
+     * writes when inserts happened since the last flush.
+     */
+    void startAutoFlush(double seconds);
+
+    /** Stop the background flush thread (joins it; no final flush). */
+    void stopAutoFlush();
+
+    /** Background flushes performed since construction. */
+    std::uint64_t autoFlushes() const { return autoFlushes_.load(); }
+
+    /**
+     * The `MMGPU_CACHE_FLUSH_SEC` environment knob: seconds between
+     * background flushes, or 0 when unset/malformed/non-positive
+     * (auto-flush disabled).
+     */
+    static double autoFlushSecondsFromEnv();
+
+    /**
      * The process-wide cache at `$MMGPU_CACHE_DIR/runs.json`
      * (default `.mmgpu-cache/runs.json`), created on first use and
      * flushed automatically at process exit. Returns nullptr when
@@ -132,6 +168,14 @@ class RunCache
     bool dirty_ = false;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+
+    // Auto-flush thread state. flusherStop_ is polled between short
+    // sleeps so stopAutoFlush() returns promptly even with a long
+    // flush period.
+    std::thread flusher_;
+    std::atomic<bool> flusherStop_{false};
+    std::atomic<std::int64_t> flushPeriodMs_{0};
+    std::atomic<std::uint64_t> autoFlushes_{0};
 };
 
 } // namespace mmgpu::harness

@@ -1,0 +1,69 @@
+#include "serve/admission.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::serve
+{
+
+AdmissionQueue::AdmissionQueue(std::size_t max_depth)
+    : maxDepth_(max_depth)
+{
+    mmgpu_assert(max_depth > 0, "admission queue needs depth > 0");
+}
+
+Admit
+AdmissionQueue::tryPush(Request request, std::int64_t now_ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_.load())
+            return Admit::Stopped;
+        if (queue_.size() >= maxDepth_) {
+            rejected_.fetch_add(1);
+            return Admit::QueueFull;
+        }
+        Job job;
+        job.ticket = nextTicket_++;
+        job.admittedMs = now_ms;
+        int priority = request.priority;
+        job.request = std::move(request);
+        queue_.emplace(std::make_pair(priority, job.ticket),
+                       std::move(job));
+        accepted_.fetch_add(1);
+    }
+    cv_.notify_one();
+    return Admit::Accepted;
+}
+
+std::optional<Job>
+AdmissionQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock,
+             [this] { return stopped_.load() || !queue_.empty(); });
+    if (queue_.empty())
+        return std::nullopt; // stopped and drained
+    auto first = queue_.begin();
+    Job job = std::move(first->second);
+    queue_.erase(first);
+    return job;
+}
+
+void
+AdmissionQueue::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopped_.store(true);
+    }
+    cv_.notify_all();
+}
+
+std::size_t
+AdmissionQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+} // namespace mmgpu::serve

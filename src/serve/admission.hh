@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounded priority admission queue of the simulation service.
+ *
+ * Admission is the service's backpressure point: the queue holds at
+ * most `maxDepth` pending requests, and a push against a full queue
+ * is *rejected immediately* — the client gets a "rejected" response
+ * and may retry with backoff — rather than blocking the socket reader
+ * or growing memory without bound. Within the bound, ordering is
+ * strict priority (0 = high, 1 = normal, 2 = batch) with FIFO among
+ * equals, implemented as a map keyed on (priority, admission ticket)
+ * so a flood of batch work can never starve an interactive probe.
+ */
+
+#ifndef MMGPU_SERVE_ADMISSION_HH
+#define MMGPU_SERVE_ADMISSION_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "serve/request.hh"
+
+namespace mmgpu::serve
+{
+
+/** One admitted request, stamped with its admission order and time. */
+struct Job
+{
+    Request request;
+    std::uint64_t ticket = 0;    //!< admission order (FIFO tiebreak)
+    std::int64_t admittedMs = 0; //!< wallclock::nowMs() at admission
+};
+
+/** Outcome of an admission attempt. */
+enum class Admit : std::uint8_t
+{
+    Accepted,  //!< queued; a worker will pick it up
+    QueueFull, //!< bounded depth exceeded — reject, don't block
+    Stopped,   //!< the service is shutting down
+};
+
+/** Bounded, priority-ordered, thread-safe admission queue. */
+class AdmissionQueue
+{
+  public:
+    /** @param max_depth Bound on pending jobs (> 0). */
+    explicit AdmissionQueue(std::size_t max_depth);
+
+    /**
+     * Admit @p request (non-blocking). On Accepted the job is queued
+     * and one waiting pop() wakes; QueueFull/Stopped leave the queue
+     * untouched.
+     */
+    Admit tryPush(Request request, std::int64_t now_ms);
+
+    /**
+     * Block until a job is available or the queue is stopped.
+     * @return the highest-priority / oldest job, or nullopt once
+     *         stopped *and* drained.
+     */
+    std::optional<Job> pop();
+
+    /**
+     * Stop admitting; wake every blocked pop(). Jobs already queued
+     * still drain (pop() keeps returning them) so accepted work is
+     * never silently dropped.
+     */
+    void stop();
+
+    /** True once stop() was called. */
+    bool stopped() const { return stopped_.load(); }
+
+    /** Pending jobs right now. */
+    std::size_t depth() const;
+
+    /** Jobs accepted since construction. */
+    std::uint64_t accepted() const { return accepted_.load(); }
+
+    /** Pushes rejected for depth since construction. */
+    std::uint64_t rejected() const { return rejected_.load(); }
+
+  private:
+    const std::size_t maxDepth_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    /** (priority, ticket) -> job; map order is the service order. */
+    std::map<std::pair<int, std::uint64_t>, Job> queue_;
+    std::uint64_t nextTicket_ = 0;
+    std::atomic<bool> stopped_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+};
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_ADMISSION_HH

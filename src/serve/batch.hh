@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Scripted batch front end of the simulation service.
+ *
+ * `mmgpu_serve --batch file` runs a request script through the same
+ * SimService engine the socket serves — one request line per line,
+ * `#` comments and blank lines skipped — writing one response line
+ * per request, in request order. Useful for canned sweeps, CI
+ * drivers, and reproducing a client session without a socket.
+ */
+
+#ifndef MMGPU_SERVE_BATCH_HH
+#define MMGPU_SERVE_BATCH_HH
+
+#include <istream>
+#include <ostream>
+
+#include "serve/service.hh"
+
+namespace mmgpu::serve
+{
+
+/** Outcome tally of one batch script. */
+struct BatchResult
+{
+    std::size_t requests = 0; //!< request lines processed
+    std::size_t failures = 0; //!< error or rejected responses
+};
+
+/**
+ * Run every request line of @p in through @p service, writing each
+ * response line to @p out in request order (requests are still
+ * submitted one at a time, so a batch is a serial client).
+ */
+BatchResult runBatch(SimService &service, std::istream &in,
+                     std::ostream &out);
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_BATCH_HH

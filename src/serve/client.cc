@@ -1,0 +1,149 @@
+#include "serve/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/wallclock.hh"
+
+namespace mmgpu::serve
+{
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+Result<void>
+ServeClient::connect(const std::string &socket_path,
+                     std::int64_t timeout_ms)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return SimError::config("socket path too long: " +
+                                socket_path);
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    std::int64_t deadline = wallclock::nowMs() + timeout_ms;
+    while (true) {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return SimError::io(std::string("socket(): ") +
+                                std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd_ = fd;
+            return Result<void>::success();
+        }
+        int err = errno;
+        ::close(fd);
+        // ENOENT/ECONNREFUSED while the daemon is still starting.
+        if (wallclock::nowMs() >= deadline) {
+            return SimError::io("connect(" + socket_path +
+                                "): " + std::strerror(err));
+        }
+        wallclock::sleepMs(20);
+    }
+}
+
+Result<void>
+ServeClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return SimError::io("client is not connected");
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t written = 0;
+    while (written < framed.size()) {
+        ssize_t n = ::send(fd_, framed.data() + written,
+                           framed.size() - written, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            int err = errno;
+            close();
+            return SimError::io(std::string("send(): ") +
+                                std::strerror(err));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return Result<void>::success();
+}
+
+Result<std::string>
+ServeClient::recvLine(std::int64_t timeout_ms)
+{
+    if (fd_ < 0)
+        return SimError::io("client is not connected");
+    std::int64_t deadline = wallclock::nowMs() + timeout_ms;
+    while (true) {
+        std::size_t nl = pending_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = pending_.substr(0, nl);
+            pending_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+
+        std::int64_t remaining = deadline - wallclock::nowMs();
+        if (remaining <= 0)
+            return SimError::timeout("no response within " +
+                                     std::to_string(timeout_ms) +
+                                     " ms");
+        pollfd pfd{};
+        pfd.fd = fd_;
+        pfd.events = POLLIN;
+        int ready = ::poll(
+            &pfd, 1,
+            static_cast<int>(std::min<std::int64_t>(remaining, 100)));
+        if (ready < 0 && errno != EINTR)
+            return SimError::io(std::string("poll(): ") +
+                                std::strerror(errno));
+        if (ready <= 0)
+            continue;
+
+        char buffer[4096];
+        ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            close();
+            return SimError::io("connection closed by the daemon");
+        }
+        pending_.append(buffer, static_cast<std::size_t>(n));
+    }
+}
+
+Result<Response>
+ServeClient::roundTrip(const Request &request,
+                       std::int64_t timeout_ms)
+{
+    if (Result<void> sent = sendLine(request.encode()); !sent.ok())
+        return sent.error();
+    Result<std::string> line = recvLine(timeout_ms);
+    if (!line.ok())
+        return line.error();
+    return parseResponse(line.value());
+}
+
+} // namespace mmgpu::serve

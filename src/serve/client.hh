@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Client side of the mmgpu_serve socket protocol.
+ *
+ * A thin blocking connection: connect to the daemon's unix socket,
+ * send request lines, read response lines. Used by the mmgpu_client
+ * binary, the service tests, and the serve bench. Each ServeClient
+ * is single-threaded (no internal locking); open several clients for
+ * concurrent traffic.
+ */
+
+#ifndef MMGPU_SERVE_CLIENT_HH
+#define MMGPU_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "common/result.hh"
+#include "serve/request.hh"
+
+namespace mmgpu::serve
+{
+
+/** One blocking client connection. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+
+    /** Closes the connection if open. */
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /**
+     * Connect to the daemon at @p socket_path, retrying for up to
+     * @p timeout_ms (the daemon may still be binding).
+     */
+    Result<void> connect(const std::string &socket_path,
+                         std::int64_t timeout_ms = 5000);
+
+    /** True while the connection is usable. */
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the connection (idempotent). */
+    void close();
+
+    /** Send one raw line (newline appended). */
+    Result<void> sendLine(const std::string &line);
+
+    /**
+     * Read one response line, waiting up to @p timeout_ms.
+     * Times out as SimError::timeout, EOF as SimError::io.
+     */
+    Result<std::string> recvLine(std::int64_t timeout_ms = 60000);
+
+    /** sendLine + recvLine + parseResponse, for serial callers. */
+    Result<Response> roundTrip(const Request &request,
+                               std::int64_t timeout_ms = 60000);
+
+  private:
+    int fd_ = -1;
+    std::string pending_; //!< bytes read past the last newline
+};
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_CLIENT_HH

@@ -1,0 +1,67 @@
+#include "serve/router.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmgpu::serve
+{
+
+Router::Router(std::size_t shards, std::size_t slack,
+               std::uint64_t seed)
+    : load_(shards, 0), rng_(seed), slack_(slack)
+{
+    mmgpu_assert(shards > 0, "router needs at least one shard");
+}
+
+std::size_t
+Router::route(std::uint64_t machine_identity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t least =
+        *std::min_element(load_.begin(), load_.end());
+
+    auto it = affinity_.find(machine_identity);
+    if (it != affinity_.end() && load_[it->second] <= least + slack_) {
+        ++affinityHits_;
+        ++load_[it->second];
+        return it->second;
+    }
+
+    std::size_t shard;
+    if (load_.size() == 1) {
+        shard = 0;
+    } else {
+        std::size_t a = rng_.below(load_.size());
+        std::size_t b = rng_.below(load_.size());
+        shard = load_[a] <= load_[b] ? a : b;
+    }
+    affinity_[machine_identity] = shard;
+    ++load_[shard];
+    return shard;
+}
+
+void
+Router::release(std::size_t shard)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    mmgpu_assert(shard < load_.size() && load_[shard] > 0,
+                 "release() without a matching route()");
+    --load_[shard];
+}
+
+std::vector<std::size_t>
+Router::loads() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return load_;
+}
+
+std::uint64_t
+Router::affinityHits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return affinityHits_;
+}
+
+} // namespace mmgpu::serve

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shard routing for the simulation service.
+ *
+ * Every worker shard owns one ScalingRunner machine-pool view, so
+ * where a request lands matters twice: for *load* (a busy shard adds
+ * queueing latency) and for *locality* (a shard that just simulated
+ * the same machine identity holds a warm build-once machine it can
+ * reset instead of rebuilding the whole GPM hierarchy).
+ *
+ * The policy, in order:
+ *
+ *  1. Affinity: if the request's machine identity was last served by
+ *     shard S and S's load is within `slack` of the least-loaded
+ *     shard, route to S.
+ *  2. Power-of-two-choices: otherwise draw two shards from a seeded
+ *     deterministic RNG, route to the less loaded of the two, and
+ *     update the affinity table.
+ *
+ * Power-of-two-choices gives near-least-loaded balance without
+ * scanning all shards per request; the affinity override bounds how
+ * much balance we trade for machine reuse. The RNG is seeded, so a
+ * replayed request sequence routes identically — routing never
+ * affects *results* (the memo cache dedups work), only placement.
+ */
+
+#ifndef MMGPU_SERVE_ROUTER_HH
+#define MMGPU_SERVE_ROUTER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mmgpu::serve
+{
+
+/** Thread-safe affinity + power-of-two-choices shard router. */
+class Router
+{
+  public:
+    /**
+     * @param shards Worker shard count (> 0).
+     * @param slack Load headroom an affinity hit may cost versus the
+     *        least-loaded shard before balance wins (jobs).
+     * @param seed Seed of the deterministic choice stream.
+     */
+    explicit Router(std::size_t shards, std::size_t slack = 2,
+                    std::uint64_t seed = 0x10c411ull);
+
+    /**
+     * Pick the shard for @p machine_identity and account one job of
+     * load against it (release() when the job finishes).
+     */
+    std::size_t route(std::uint64_t machine_identity);
+
+    /** Account one finished job off @p shard. */
+    void release(std::size_t shard);
+
+    /** Current per-shard queued+running load. */
+    std::vector<std::size_t> loads() const;
+
+    /** Shard count. */
+    std::size_t shards() const { return load_.size(); }
+
+    /** Requests routed by the affinity rule since construction. */
+    std::uint64_t affinityHits() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::size_t> load_;
+    std::map<std::uint64_t, std::size_t> affinity_;
+    Rng rng_;
+    const std::size_t slack_;
+    std::uint64_t affinityHits_ = 0;
+};
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_ROUTER_HH

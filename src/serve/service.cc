@@ -1,0 +1,560 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/wallclock.hh"
+#include "trace/workloads.hh"
+
+namespace mmgpu::serve
+{
+
+namespace
+{
+
+/** Latency observations retained for the percentile estimates. */
+constexpr std::size_t latencyRingCap = 1024;
+
+/** Watchdog / housekeeping poll granularity. */
+constexpr std::int64_t pollMs = 50;
+
+/**
+ * Jobs a shard may hold beyond the one it is running. Kept at 1 so
+ * the *admission* queue is where work waits: its depth bound stays
+ * the real backpressure limit, and a job's priority keeps mattering
+ * until the moment a shard can actually take it.
+ */
+constexpr std::size_t shardPendingCap = 1;
+
+/** @p q-th percentile (0..1) of @p values; 0 when empty. */
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::size_t rank = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1) + 0.5);
+    rank = std::min(rank, values.size() - 1);
+    std::nth_element(values.begin(), values.begin() + rank,
+                     values.end());
+    return values[rank];
+}
+
+} // namespace
+
+SimService::SimService(const ServeOptions &options,
+                       const harness::StudyContext &context)
+    : options_(options), context_(context), runner_(context),
+      queue_(options.queueDepth),
+      router_(options.shards, options.routerSlack),
+      tel_(telemetry::TelemetryConfig{})
+{
+    mmgpu_assert(options.shards > 0, "service needs >= 1 shard");
+    for (std::size_t i = 0; i < options.shards; ++i) {
+        shardQueues_.push_back(std::make_unique<ShardQueue>());
+        busySinceMs_.push_back(
+            std::make_unique<std::atomic<std::int64_t>>(0));
+        cancel_.push_back(
+            std::make_unique<std::atomic<bool>>(false));
+    }
+    telemetry::CounterRegistry &reg = tel_.counters();
+    cAccepted_ = &reg.counter("serve/accepted");
+    cRejected_ = &reg.counter("serve/rejected");
+    cCompleted_ = &reg.counter("serve/completed");
+    cFailed_ = &reg.counter("serve/failed");
+    cDedup_ = &reg.counter("serve/dedup_attached");
+    cSims_ = &reg.counter("serve/sims_started");
+    gQueueDepth_ = &reg.gauge("serve/queue_depth");
+    gInflight_ = &reg.gauge("serve/inflight");
+    gBusyShards_ = &reg.gauge("serve/busy_shards");
+    gHitRate_ = &reg.gauge("serve/cache_hit_rate");
+}
+
+SimService::~SimService()
+{
+    beginShutdown();
+    join();
+}
+
+void
+SimService::start()
+{
+    mmgpu_assert(!started_, "SimService::start() called twice");
+    started_ = true;
+
+    if (harness::RunCache *cache = runner_.persistentCache()) {
+        double seconds = options_.cacheFlushSec > 0.0
+                             ? options_.cacheFlushSec
+                             : harness::RunCache::
+                                   autoFlushSecondsFromEnv();
+        if (seconds > 0.0)
+            cache->startAutoFlush(seconds);
+    }
+
+    dispatcher_ = std::thread([this] { dispatchLoop(); });
+    for (std::size_t i = 0; i < options_.shards; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    housekeeper_ = std::thread([this] { housekeepLoop(); });
+}
+
+void
+SimService::submit(Request request, ResponseCallback done)
+{
+    switch (request.type) {
+      case RequestType::Ping: {
+        JsonValue result = JsonValue::object();
+        result.set("pong", true);
+        done(Response::ok(request.id, std::move(result)));
+        return;
+      }
+      case RequestType::Stats:
+        done(statsResponse(request.id));
+        return;
+      case RequestType::Shutdown: {
+        JsonValue result = JsonValue::object();
+        result.set("stopping", true);
+        done(Response::ok(request.id, std::move(result)));
+        beginShutdown();
+        return;
+      }
+      case RequestType::Run:
+      case RequestType::Study:
+        break;
+      default:
+        done(Response::error(
+            request.id,
+            SimError::internal("unhandled request type")));
+        return;
+    }
+
+    const std::uint64_t identity = request.workIdentity();
+    const std::string id = request.id;
+    Admit admit = Admit::Accepted;
+    {
+        // One lock spans the attach-or-admit decision so a duplicate
+        // arriving between "no entry" and "queued" cannot slip
+        // through and simulate twice.
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(identity);
+        if (it != inflight_.end()) {
+            it->second.sinks.emplace_back(id, std::move(done));
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cDedup_->add();
+            return;
+        }
+        admit = queue_.tryPush(std::move(request),
+                               wallclock::nowMs());
+        if (admit == Admit::Accepted)
+            inflight_[identity].sinks.emplace_back(id,
+                                                   std::move(done));
+    }
+    if (admit == Admit::Accepted) {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        cAccepted_->add();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        cRejected_->add();
+    }
+    done(Response::rejected(id, admit == Admit::Stopped
+                                    ? "service is shutting down"
+                                    : "admission queue is full"));
+}
+
+void
+SimService::submitLine(const std::string &line, ResponseCallback done)
+{
+    Result<Request> parsed = parseRequest(line);
+    if (!parsed.ok()) {
+        done(Response::error(parseRequestId(line), parsed.error()));
+        return;
+    }
+    submit(std::move(parsed.value()), std::move(done));
+}
+
+Response
+SimService::call(Request request)
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool ready = false;
+    Response out;
+    submit(std::move(request), [&](const Response &response) {
+        std::lock_guard<std::mutex> lock(mutex);
+        out = response;
+        ready = true;
+        cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return ready; });
+    return out;
+}
+
+void
+SimService::beginShutdown()
+{
+    if (shutdown_.exchange(true))
+        return;
+    queue_.stop();
+    shutdownCv_.notify_all();
+}
+
+void
+SimService::waitShutdown()
+{
+    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    shutdownCv_.wait(lock, [this] { return shutdown_.load(); });
+}
+
+void
+SimService::join()
+{
+    if (!started_ || joined_)
+        return;
+    joined_ = true;
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+    for (std::thread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    stopHousekeeper_.store(true);
+    if (housekeeper_.joinable())
+        housekeeper_.join();
+}
+
+void
+SimService::dispatchLoop()
+{
+    while (std::optional<Job> job = queue_.pop()) {
+        std::size_t shard =
+            router_.route(job->request.spec.machineIdentity());
+        RoutedJob routed;
+        routed.job = std::move(*job);
+        routed.shard = shard;
+        ShardQueue &sq = *shardQueues_[shard];
+        {
+            std::unique_lock<std::mutex> lock(sq.mutex);
+            sq.cv.wait(lock, [&sq] {
+                return sq.jobs.size() < shardPendingCap;
+            });
+            sq.jobs.push_back(std::move(routed));
+        }
+        sq.cv.notify_all();
+    }
+    // Admission stopped and drained: close every shard feed.
+    for (auto &sq : shardQueues_) {
+        {
+            std::lock_guard<std::mutex> lock(sq->mutex);
+            sq->closed = true;
+        }
+        sq->cv.notify_all();
+    }
+}
+
+void
+SimService::workerLoop(std::size_t shard)
+{
+    ShardQueue &sq = *shardQueues_[shard];
+    while (true) {
+        RoutedJob routed;
+        {
+            std::unique_lock<std::mutex> lock(sq.mutex);
+            sq.cv.wait(lock, [&sq] {
+                return !sq.jobs.empty() || sq.closed;
+            });
+            if (sq.jobs.empty())
+                return; // closed and drained
+            routed = std::move(sq.jobs.front());
+            sq.jobs.pop_front();
+        }
+        sq.cv.notify_all(); // a prefetch slot freed for the dispatcher
+        execute(shard, routed.job);
+    }
+}
+
+void
+SimService::execute(std::size_t shard, const Job &job)
+{
+    cancel_[shard]->store(false);
+    busySinceMs_[shard]->store(wallclock::nowMs());
+
+    Response response =
+        job.request.type == RequestType::Run
+            ? executeRun(job.request, cancel_[shard].get())
+            : executeStudy(job.request, cancel_[shard].get());
+
+    busySinceMs_[shard]->store(0);
+    router_.release(shard);
+
+    std::vector<std::pair<std::string, ResponseCallback>> sinks;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(job.request.workIdentity());
+        if (it != inflight_.end()) {
+            sinks = std::move(it->second.sinks);
+            inflight_.erase(it);
+        }
+    }
+    {
+        // Count *requests answered*, not jobs executed: every
+        // dedup-attached subscriber of this job gets a response.
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        if (response.status == ResponseStatus::Ok)
+            cCompleted_->add(static_cast<double>(sinks.size()));
+        else
+            cFailed_->add(static_cast<double>(sinks.size()));
+    }
+    recordLatency(static_cast<double>(wallclock::nowMs() -
+                                      job.admittedMs));
+    for (auto &[sink_id, sink] : sinks) {
+        Response copy = response;
+        copy.id = sink_id;
+        sink(copy);
+    }
+}
+
+Response
+SimService::executeRun(const Request &request,
+                       const std::atomic<bool> *cancel)
+{
+    const RunSpec &spec = request.spec;
+    sim::GpuConfig config = spec.config();
+    if (Result<void> check = config.check(); !check.ok())
+        return Response::error(request.id, check.error());
+    std::optional<trace::KernelProfile> profile =
+        trace::findWorkload(spec.workload);
+    if (!profile) {
+        return Response::error(
+            request.id, SimError::config("unknown workload '" +
+                                         spec.workload + "'"));
+    }
+    if (!runner_.cached(config, *profile, spec.linkEnergyScale,
+                        spec.constGrowthOverride)) {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        cSims_->add();
+    }
+    Result<const harness::RunOutcome *> outcome = runner_.tryRun(
+        config, *profile, spec.linkEnergyScale,
+        spec.constGrowthOverride, cancel);
+    if (!outcome.ok())
+        return Response::error(request.id, outcome.error());
+    return Response::ok(request.id, encodeOutcome(*outcome.value()));
+}
+
+Response
+SimService::executeStudy(const Request &request,
+                         const std::atomic<bool> *cancel)
+{
+    const RunSpec &spec = request.spec;
+    sim::GpuConfig config = spec.config();
+    if (Result<void> check = config.check(); !check.ok())
+        return Response::error(request.id, check.error());
+
+    std::vector<trace::KernelProfile> workloads;
+    if (spec.workload == "all") {
+        workloads = trace::scalingWorkloads();
+    } else {
+        std::optional<trace::KernelProfile> profile =
+            trace::findWorkload(spec.workload);
+        if (!profile) {
+            return Response::error(
+                request.id, SimError::config("unknown workload '" +
+                                             spec.workload + "'"));
+        }
+        workloads.push_back(std::move(*profile));
+    }
+
+    // Pre-run every point through the error-isolating tryRun() path
+    // so one poisoned point yields an error *response* instead of
+    // killing the daemon inside scalingStudy()'s fatal-on-error
+    // aggregation. Afterwards scalingStudy() reads pure memo hits,
+    // so its aggregation is bit-identical to the in-process path.
+    const sim::GpuConfig baseline = sim::baselineConfig();
+    for (const trace::KernelProfile &profile : workloads) {
+        if (!runner_.cached(baseline, profile)) {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cSims_->add();
+        }
+        Result<const harness::RunOutcome *> one =
+            runner_.tryRun(baseline, profile, 1.0, -1.0, cancel);
+        if (!one.ok())
+            return Response::error(request.id, one.error());
+        if (!runner_.cached(config, profile, spec.linkEnergyScale,
+                            spec.constGrowthOverride)) {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cSims_->add();
+        }
+        Result<const harness::RunOutcome *> scaled = runner_.tryRun(
+            config, profile, spec.linkEnergyScale,
+            spec.constGrowthOverride, cancel);
+        if (!scaled.ok())
+            return Response::error(request.id, scaled.error());
+    }
+
+    std::vector<harness::ScalingPoint> points = harness::scalingStudy(
+        runner_, config, workloads, spec.linkEnergyScale,
+        spec.constGrowthOverride);
+    return Response::ok(request.id, encodeStudy(config, points));
+}
+
+Response
+SimService::statsResponse(const std::string &id)
+{
+    ServiceStats s = stats();
+    JsonValue doc = JsonValue::object();
+    doc.set("accepted", s.accepted);
+    doc.set("rejected", s.rejected);
+    doc.set("completed", s.completed);
+    doc.set("failed", s.failed);
+    doc.set("dedup-attached", s.dedupAttached);
+    doc.set("sims-started", s.simulationsStarted);
+    doc.set("affinity-hits", s.affinityHits);
+    doc.set("queue-depth", s.queueDepth);
+    doc.set("inflight", s.inflight);
+    doc.set("busy-shards", s.busyShards);
+    doc.set("shards", s.shards);
+    doc.set("cache-hit-rate", s.cacheHitRate);
+    doc.set("latency-p50-ms", s.latencyP50Ms);
+    doc.set("latency-p95-ms", s.latencyP95Ms);
+    JsonValue series = JsonValue::array();
+    for (const StatsSample &sample : timeseries()) {
+        JsonValue p = JsonValue::object();
+        p.set("t-ms", static_cast<long long>(sample.tMs));
+        p.set("queue-depth", sample.queueDepth);
+        p.set("busy-shards", sample.busyShards);
+        p.set("inflight", sample.inflight);
+        p.set("cache-hit-rate", sample.cacheHitRate);
+        series.push(std::move(p));
+    }
+    doc.set("timeseries", std::move(series));
+    return Response::ok(id, std::move(doc));
+}
+
+void
+SimService::recordLatency(double ms)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    if (latencyRing_.size() < latencyRingCap)
+        latencyRing_.push_back(ms);
+    else
+        latencyRing_[latencyNext_ % latencyRingCap] = ms;
+    ++latencyNext_;
+    ++latencyCount_;
+}
+
+double
+SimService::cacheHitRate() const
+{
+    harness::RunCache *cache = runner_.persistentCache();
+    if (cache == nullptr)
+        return 0.0;
+    double hits = static_cast<double>(cache->hits());
+    double misses = static_cast<double>(cache->misses());
+    double total = hits + misses;
+    return total > 0.0 ? hits / total : 0.0;
+}
+
+std::size_t
+SimService::busyShardCount() const
+{
+    std::size_t busy = 0;
+    for (const auto &since : busySinceMs_)
+        if (since->load() != 0)
+            ++busy;
+    return busy;
+}
+
+ServiceStats
+SimService::stats() const
+{
+    ServiceStats s;
+    {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        s.accepted = static_cast<std::uint64_t>(cAccepted_->value);
+        s.rejected = static_cast<std::uint64_t>(cRejected_->value);
+        s.completed = static_cast<std::uint64_t>(cCompleted_->value);
+        s.failed = static_cast<std::uint64_t>(cFailed_->value);
+        s.dedupAttached = static_cast<std::uint64_t>(cDedup_->value);
+        s.simulationsStarted =
+            static_cast<std::uint64_t>(cSims_->value);
+    }
+    s.affinityHits = router_.affinityHits();
+    s.queueDepth = queue_.depth();
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        s.inflight = inflight_.size();
+    }
+    s.busyShards = busyShardCount();
+    s.shards = options_.shards;
+    s.cacheHitRate = cacheHitRate();
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        s.latencyP50Ms = percentile(latencyRing_, 0.50);
+        s.latencyP95Ms = percentile(latencyRing_, 0.95);
+    }
+    return s;
+}
+
+std::vector<StatsSample>
+SimService::timeseries() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return {samples_.begin(), samples_.end()};
+}
+
+void
+SimService::housekeepLoop()
+{
+    std::int64_t lastSample = wallclock::nowMs();
+    while (!stopHousekeeper_.load()) {
+        wallclock::sleepMs(pollMs);
+
+        // Watchdog: cancel any shard stuck past its budget. tryRun
+        // polls the flag at its cooperative points (injected hangs),
+        // so a hung point comes back as a timeout error response and
+        // the shard moves on — blast radius is one request.
+        if (options_.watchdogSeconds > 0.0) {
+            std::int64_t now = wallclock::nowMs();
+            std::int64_t budget = static_cast<std::int64_t>(
+                options_.watchdogSeconds * 1000.0);
+            for (std::size_t i = 0; i < busySinceMs_.size(); ++i) {
+                std::int64_t since = busySinceMs_[i]->load();
+                if (since != 0 && now - since > budget)
+                    cancel_[i]->store(true);
+            }
+        }
+
+        std::int64_t now = wallclock::nowMs();
+        if (now - lastSample < options_.sampleMs)
+            continue;
+        lastSample = now;
+
+        StatsSample sample;
+        sample.tMs = now;
+        sample.queueDepth = queue_.depth();
+        sample.busyShards = busyShardCount();
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            sample.inflight = inflight_.size();
+        }
+        sample.cacheHitRate = cacheHitRate();
+        {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            samples_.push_back(sample);
+            while (samples_.size() > options_.timeseriesCap)
+                samples_.pop_front();
+        }
+        {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            gQueueDepth_->set(
+                static_cast<double>(sample.queueDepth));
+            gInflight_->set(static_cast<double>(sample.inflight));
+            gBusyShards_->set(
+                static_cast<double>(sample.busyShards));
+            gHitRate_->set(sample.cacheHitRate);
+        }
+    }
+}
+
+} // namespace mmgpu::serve

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * The long-lived simulation service behind mmgpu_serve.
+ *
+ * A SimService owns what a bench binary normally rebuilds per
+ * process — the calibrated StudyContext, the memoizing ScalingRunner
+ * with its build-once machine pool, and the persistent run cache —
+ * and serves simulation requests against them indefinitely. Request
+ * lifecycle (DESIGN.md §10):
+ *
+ *   RECEIVED -> ADMITTED | REJECTED            (bounded queue)
+ *   ADMITTED -> ATTACHED | ROUTED              (in-flight dedup)
+ *   ROUTED   -> RUNNING -> COMPLETED | FAILED  (shard worker)
+ *
+ * Duplicate work never simulates twice: a request whose work
+ * identity matches an in-flight job *attaches* to it as an extra
+ * subscriber, and completed work is served from the runner's memo
+ * cache (and the persistent cache across restarts). A housekeeper
+ * thread samples service health into a bounded timeseries, arms the
+ * per-shard watchdog that cancels hung points, and the attached run
+ * cache's background flush persists warm entries between requests.
+ *
+ * Threading: submit() is safe from any thread (socket connection
+ * handlers call it concurrently); responses are delivered on worker
+ * threads via the callback passed to submit(). start() before the
+ * first submit(); beginShutdown() may be called from any thread
+ * (including a response path); join() from the owning thread only.
+ */
+
+#ifndef MMGPU_SERVE_SERVICE_HH
+#define MMGPU_SERVE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness/study.hh"
+#include "serve/admission.hh"
+#include "serve/request.hh"
+#include "serve/router.hh"
+#include "telemetry/telemetry.hh"
+
+namespace mmgpu::serve
+{
+
+/** Service tuning knobs (all have serviceable defaults). */
+struct ServeOptions
+{
+    std::size_t shards = 2;        //!< worker shard count
+    std::size_t queueDepth = 64;   //!< admission bound
+    double watchdogSeconds = 30.0; //!< per-job budget; 0 disables
+    double cacheFlushSec = 0.0;    //!< run-cache background flush; 0
+                                   //!< defers to MMGPU_CACHE_FLUSH_SEC
+    std::int64_t sampleMs = 200;   //!< health-sample period
+    std::size_t timeseriesCap = 512; //!< health samples retained
+    std::size_t routerSlack = 2;   //!< affinity load headroom (jobs)
+};
+
+/** One health sample of the running service. */
+struct StatsSample
+{
+    std::int64_t tMs = 0;        //!< wallclock of the sample
+    std::size_t queueDepth = 0;  //!< admission queue depth
+    std::size_t busyShards = 0;  //!< shards mid-simulation
+    std::size_t inflight = 0;    //!< distinct in-flight identities
+    double cacheHitRate = 0.0;   //!< persistent-cache hit fraction
+};
+
+/** Aggregate service statistics (the "stats" request payload). */
+struct ServiceStats
+{
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t dedupAttached = 0; //!< subscribers on in-flight work
+    std::uint64_t simulationsStarted = 0; //!< genuinely uncached points
+    std::uint64_t affinityHits = 0;
+    std::size_t queueDepth = 0;
+    std::size_t inflight = 0;
+    std::size_t busyShards = 0;
+    std::size_t shards = 0;
+    double cacheHitRate = 0.0;
+    double latencyP50Ms = 0.0; //!< admission -> response, recent
+    double latencyP95Ms = 0.0;
+};
+
+/** Response sink; invoked exactly once per submitted request. */
+using ResponseCallback = std::function<void(const Response &)>;
+
+/** The daemon's request engine. */
+class SimService
+{
+  public:
+    /**
+     * @param options Tuning knobs.
+     * @param context Calibrated study context (not owned; outlives
+     *        the service).
+     */
+    SimService(const ServeOptions &options,
+               const harness::StudyContext &context);
+
+    /** Joins every service thread (beginShutdown() + join()). */
+    ~SimService();
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /** Spawn dispatcher, shard workers, and housekeeper. */
+    void start();
+
+    /**
+     * Submit a parsed request. @p done fires exactly once, on a
+     * worker thread (run/study) or inline (ping/stats/shutdown and
+     * every reject path).
+     */
+    void submit(Request request, ResponseCallback done);
+
+    /**
+     * Submit a raw protocol line: parse errors become error
+     * responses addressed to whatever id could be salvaged.
+     */
+    void submitLine(const std::string &line, ResponseCallback done);
+
+    /** Synchronous submit() — blocks until the response lands. */
+    Response call(Request request);
+
+    /**
+     * Stop admitting new work and let queued work drain; safe from
+     * any thread, including a response callback. Idempotent.
+     */
+    void beginShutdown();
+
+    /** True once a shutdown request / beginShutdown() happened. */
+    bool shuttingDown() const { return shutdown_.load(); }
+
+    /** Block until shuttingDown() (the daemon's run loop). */
+    void waitShutdown();
+
+    /** Join all service threads (after beginShutdown()). */
+    void join();
+
+    /** Aggregate statistics snapshot. */
+    ServiceStats stats() const;
+
+    /** The bounded health timeseries (oldest first). */
+    std::vector<StatsSample> timeseries() const;
+
+    /** Service telemetry (serve/... counters and gauges). */
+    const telemetry::Telemetry &serviceTelemetry() const
+    {
+        return tel_;
+    }
+
+    /** The underlying runner (tests compare against direct runs). */
+    harness::ScalingRunner &runner() { return runner_; }
+
+  private:
+    /** Subscribers awaiting one in-flight piece of work. */
+    struct InFlight
+    {
+        std::vector<std::pair<std::string, ResponseCallback>> sinks;
+    };
+
+    /** A job plus its routing/accounting context. */
+    struct RoutedJob
+    {
+        Job job;
+        std::size_t shard = 0;
+    };
+
+    void dispatchLoop();
+    void workerLoop(std::size_t shard);
+    void housekeepLoop();
+
+    /** Execute one admitted job and fan its response out. */
+    void execute(std::size_t shard, const Job &job);
+
+    /** Run/Study bodies; @p cancel is the shard watchdog flag. */
+    Response executeRun(const Request &request,
+                        const std::atomic<bool> *cancel);
+    Response executeStudy(const Request &request,
+                          const std::atomic<bool> *cancel);
+    Response statsResponse(const std::string &id);
+
+    /** Record an admission->response latency observation. */
+    void recordLatency(double ms);
+
+    double cacheHitRate() const;
+    std::size_t busyShardCount() const;
+
+    const ServeOptions options_;
+    const harness::StudyContext &context_;
+    harness::ScalingRunner runner_;
+    AdmissionQueue queue_;
+    Router router_;
+    telemetry::Telemetry tel_;
+
+    // In-flight dedup table, keyed on Request::workIdentity().
+    mutable std::mutex inflightMutex_;
+    std::map<std::uint64_t, InFlight> inflight_;
+
+    // Per-shard feed queues (dispatcher -> worker).
+    struct ShardQueue
+    {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::deque<RoutedJob> jobs;
+        bool closed = false;
+    };
+    std::vector<std::unique_ptr<ShardQueue>> shardQueues_;
+
+    // Per-shard watchdog state: busySinceMs_ == 0 means idle.
+    std::vector<std::unique_ptr<std::atomic<std::int64_t>>> busySinceMs_;
+    std::vector<std::unique_ptr<std::atomic<bool>>> cancel_;
+
+    // Health timeseries + latency ring (statsMutex_).
+    mutable std::mutex statsMutex_;
+    std::deque<StatsSample> samples_;
+    std::vector<double> latencyRing_;
+    std::size_t latencyNext_ = 0;
+    std::uint64_t latencyCount_ = 0;
+
+    // Cached telemetry handles (registered in the constructor).
+    telemetry::Counter *cAccepted_ = nullptr;
+    telemetry::Counter *cRejected_ = nullptr;
+    telemetry::Counter *cCompleted_ = nullptr;
+    telemetry::Counter *cFailed_ = nullptr;
+    telemetry::Counter *cDedup_ = nullptr;
+    telemetry::Counter *cSims_ = nullptr;
+    telemetry::Gauge *gQueueDepth_ = nullptr;
+    telemetry::Gauge *gInflight_ = nullptr;
+    telemetry::Gauge *gBusyShards_ = nullptr;
+    telemetry::Gauge *gHitRate_ = nullptr;
+    mutable std::mutex telMutex_; //!< guards all counter/gauge updates
+
+    std::thread dispatcher_;
+    std::vector<std::thread> workers_;
+    std::thread housekeeper_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<bool> stopHousekeeper_{false};
+    std::mutex shutdownMutex_;
+    std::condition_variable shutdownCv_;
+    bool started_ = false;
+    bool joined_ = false;
+};
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_SERVICE_HH

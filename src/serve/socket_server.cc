@@ -1,0 +1,200 @@
+#include "serve/socket_server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace mmgpu::serve
+{
+
+SocketServer::ConnState::~ConnState()
+{
+    ::close(fd);
+}
+
+bool
+SocketServer::ConnState::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(writeMutex);
+    if (!alive)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t written = 0;
+    while (written < framed.size()) {
+        // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not
+        // a process-killing SIGPIPE.
+        ssize_t n = ::send(fd, framed.data() + written,
+                           framed.size() - written, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            alive = false;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+SocketServer::SocketServer(SimService &service, std::string path)
+    : service_(service), path_(std::move(path))
+{
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+Result<void>
+SocketServer::start()
+{
+    mmgpu_assert(!running_, "SocketServer::start() called twice");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        return SimError::config("socket path too long: " + path_);
+    }
+    std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        return SimError::io(std::string("socket(): ") +
+                            std::strerror(errno));
+    }
+    ::unlink(path_.c_str()); // stale socket file from a dead daemon
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        SimError error = SimError::io("bind(" + path_ +
+                                      "): " + std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return error;
+    }
+    if (::listen(listenFd_, 16) != 0) {
+        SimError error = SimError::io(std::string("listen(): ") +
+                                      std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(path_.c_str());
+        return error;
+    }
+    running_ = true;
+    stop_.store(false);
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return Result<void>::success();
+}
+
+void
+SocketServer::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    stop_.store(true);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+
+    // Shut every live connection so blocked readers wake with EOF.
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (const auto &weak : conns_) {
+            if (std::shared_ptr<ConnState> conn = weak.lock()) {
+                std::lock_guard<std::mutex> wlock(conn->writeMutex);
+                conn->alive = false;
+                ::shutdown(conn->fd, SHUT_RDWR);
+            }
+        }
+        threads.swap(connThreads_);
+        conns_.clear();
+    }
+    for (std::thread &thread : threads)
+        if (thread.joinable())
+            thread.join();
+    ::unlink(path_.c_str());
+}
+
+void
+SocketServer::acceptLoop()
+{
+    while (!stop_.load()) {
+        pollfd pfd{};
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        int ready = ::poll(&pfd, 1, 100);
+        if (ready <= 0)
+            continue; // timeout (stop_ check) or EINTR
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        accepted_.fetch_add(1);
+        auto conn = std::make_shared<ConnState>(fd);
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.push_back(conn);
+        connThreads_.emplace_back(
+            [this, conn] { connectionLoop(conn); });
+    }
+}
+
+void
+SocketServer::connectionLoop(std::shared_ptr<ConnState> conn)
+{
+    std::string pending;
+    char buffer[4096];
+    while (true) {
+        ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break; // EOF or error: client is gone
+
+        pending.append(buffer, static_cast<std::size_t>(n));
+
+        // A client streaming garbage without a newline must not
+        // balloon daemon memory: cap the partial line too.
+        if (pending.find('\n') == std::string::npos &&
+            pending.size() > maxRequestBytes) {
+            conn->writeLine(
+                Response::error(
+                    "", SimError::parse(
+                            "request line exceeds " +
+                            std::to_string(maxRequestBytes) +
+                            " bytes"))
+                    .encode());
+            break;
+        }
+
+        std::size_t start = 0;
+        for (std::size_t nl = pending.find('\n', start);
+             nl != std::string::npos;
+             nl = pending.find('\n', start)) {
+            std::string line =
+                pending.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            service_.submitLine(
+                line, [conn](const Response &response) {
+                    conn->writeLine(response.encode());
+                });
+        }
+        pending.erase(0, start);
+    }
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    conn->alive = false;
+}
+
+} // namespace mmgpu::serve

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unix-domain-socket front end of the simulation service.
+ *
+ * One JSON document per line, both directions (serve/request.hh).
+ * Each accepted connection gets a reader thread that frames lines,
+ * enforces the per-request size cap mid-line, and hands complete
+ * lines to SimService::submitLine(); responses are written back on
+ * whatever worker thread completes them, serialized per connection
+ * by a write mutex — so clients may pipeline requests and receive
+ * responses out of order (correlate by "id").
+ *
+ * Failure containment: a malformed line gets an error response, an
+ * oversized line gets an error response and the connection dropped,
+ * and a client that disappears mid-request (EOF, EPIPE) just has its
+ * pending responses discarded — the daemon and the simulation keep
+ * running, and the memoized result still serves the next asker.
+ */
+
+#ifndef MMGPU_SERVE_SOCKET_SERVER_HH
+#define MMGPU_SERVE_SOCKET_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hh"
+#include "serve/service.hh"
+
+namespace mmgpu::serve
+{
+
+/** Accept loop + per-connection line framing over AF_UNIX. */
+class SocketServer
+{
+  public:
+    /**
+     * @param service Request engine (not owned; outlives the server).
+     * @param path Socket filesystem path (< ~100 chars; a stale file
+     *        at the path is unlinked on start()).
+     */
+    SocketServer(SimService &service, std::string path);
+
+    /** Stops and joins if still running. */
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /** Bind, listen, and spawn the accept loop. */
+    Result<void> start();
+
+    /**
+     * Stop accepting, shut every live connection, join all threads,
+     * and unlink the socket file. Idempotent.
+     */
+    void stop();
+
+    /** The socket path. */
+    const std::string &path() const { return path_; }
+
+    /** Connections accepted since start(). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return accepted_.load();
+    }
+
+  private:
+    /** Per-connection shared state; the fd closes when the last
+     *  holder (reader thread or pending response) lets go. */
+    struct ConnState
+    {
+        explicit ConnState(int fd) : fd(fd) {}
+        ~ConnState();
+
+        /** Write one line; false (and dead) on a broken peer. */
+        bool writeLine(const std::string &line);
+
+        const int fd;
+        std::mutex writeMutex;
+        bool alive = true; //!< under writeMutex
+    };
+
+    void acceptLoop();
+    void connectionLoop(std::shared_ptr<ConnState> conn);
+
+    SimService &service_;
+    const std::string path_;
+    int listenFd_ = -1;
+    std::thread acceptor_;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+    bool running_ = false;
+
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<std::weak_ptr<ConnState>> conns_;
+};
+
+} // namespace mmgpu::serve
+
+#endif // MMGPU_SERVE_SOCKET_SERVER_HH

@@ -1,0 +1,13 @@
+// lint-path: src/harness/fixture_layering_serve.cc
+// Golden violation fixture for serve layering: the service layer is
+// the TOP of the DAG, so anything below reaching into serve/ is a
+// back edge. Three violations: harness -> serve twice, plus an
+// unregistered sibling of serve.
+
+#include "serve/service.hh"      // back edge: harness -> serve
+#include "serve/request.hh"      // back edge: harness -> serve
+#include "daemonkit/loop.hh"     // unknown module
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

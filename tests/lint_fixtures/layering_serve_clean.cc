@@ -1,0 +1,17 @@
+// lint-path: src/serve/fixture_layering_serve_clean.cc
+// Clean twin: src/serve may include everything — it is the top of
+// the module DAG (harness, sim, the leaves) plus itself.
+
+#include "serve/request.hh"
+#include "harness/study.hh"
+#include "sim/gpu_config.hh"
+#include "trace/workloads.hh"
+#include "telemetry/telemetry.hh"
+#include "fault/fault_plan.hh"
+#include "common/result.hh"
+
+#include <string>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

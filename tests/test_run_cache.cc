@@ -8,8 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/wallclock.hh"
 
 #include "harness/run_cache.hh"
 #include "sim/gpu_config.hh"
@@ -240,6 +246,90 @@ TEST(RunCache, FingerprintCoversEveryInput)
     trace::KernelProfile stretched = profile;
     stretched.iterations += 1;
     EXPECT_NE(runFingerprint(config, stretched, 1.0, -1.0, 7), base);
+}
+
+TEST(RunCache, CrashLosesOnlyUnflushedInserts)
+{
+    std::string path = scratchPath("crash");
+
+    // The "crashing" process: entry 1 reaches disk via an explicit
+    // flush, entry 2 lives only in memory when the process dies
+    // without running destructors or the atexit flush.
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        RunCache doomed(path);
+        doomed.insert(1, fussyPerf(), fussyEnergy());
+        bool flushed = doomed.flush();
+        doomed.insert(2, fussyPerf(), fussyEnergy());
+        _exit(flushed ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // The survivor sees exactly the flushed state — never a torn
+    // file (flush is write-tmp + rename), never the lost insert.
+    RunCache survivor(path);
+    EXPECT_EQ(survivor.size(), 1u);
+    sim::PerfResult perf;
+    joule::EnergyBreakdown energy;
+    EXPECT_TRUE(survivor.lookup(1, perf, energy));
+    expectExact(fussyPerf(), perf);
+    EXPECT_FALSE(survivor.lookup(2, perf, energy));
+
+    // And stays writable: post-crash work merges on top.
+    survivor.insert(3, fussyPerf(), fussyEnergy());
+    EXPECT_TRUE(survivor.flush());
+    RunCache merged(path);
+    EXPECT_EQ(merged.size(), 2u);
+
+    fs::remove_all("run_cache_scratch/crash");
+}
+
+TEST(RunCache, AutoFlushPersistsEntriesInTheBackground)
+{
+    std::string path = scratchPath("autoflush");
+    RunCache cache(path);
+    cache.startAutoFlush(0.05);
+    cache.insert(42, fussyPerf(), fussyEnergy());
+
+    // No explicit flush(): the background thread must land it.
+    std::int64_t deadline = wallclock::nowMs() + 10000;
+    bool persisted = false;
+    while (!persisted && wallclock::nowMs() < deadline) {
+        RunCache probe(path);
+        persisted = probe.size() == 1;
+        if (!persisted)
+            wallclock::sleepMs(20);
+    }
+    EXPECT_TRUE(persisted);
+    EXPECT_GE(cache.autoFlushes(), 1u);
+
+    cache.stopAutoFlush();
+    std::uint64_t passes = cache.autoFlushes();
+    wallclock::sleepMs(150);
+    EXPECT_EQ(cache.autoFlushes(), passes); // stop means stopped
+
+    fs::remove_all("run_cache_scratch/autoflush");
+}
+
+TEST(RunCache, AutoFlushEnvKnobParsesDefensively)
+{
+    unsetenv("MMGPU_CACHE_FLUSH_SEC");
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 0.0);
+    setenv("MMGPU_CACHE_FLUSH_SEC", "", 1);
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 0.0);
+    setenv("MMGPU_CACHE_FLUSH_SEC", "nonsense", 1);
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 0.0);
+    setenv("MMGPU_CACHE_FLUSH_SEC", "-5", 1);
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 0.0);
+    setenv("MMGPU_CACHE_FLUSH_SEC", "2.5x", 1);
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 0.0);
+    setenv("MMGPU_CACHE_FLUSH_SEC", "2.5", 1);
+    EXPECT_EQ(RunCache::autoFlushSecondsFromEnv(), 2.5);
+    unsetenv("MMGPU_CACHE_FLUSH_SEC");
 }
 
 } // namespace

@@ -476,6 +476,12 @@ Config::repoDefault()
         with({"sim", "engine", "sm", "mem", "noc", "isa", "trace",
               "power", "gpujoule", "metrics"},
              "harness");
+    // The service layer sits on top of everything: it serves what
+    // the harness computes and must never be included from below.
+    config.layering["serve"] =
+        with({"harness", "sim", "engine", "sm", "mem", "noc", "isa",
+              "trace", "power", "gpujoule", "metrics"},
+             "serve");
 
     // The shims are where host time/randomness is allowed to live.
     config.determinismExempt = {
