@@ -1,6 +1,7 @@
 #include "serve/router.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -15,25 +16,40 @@ Router::Router(std::size_t shards, std::size_t slack,
 }
 
 std::size_t
-Router::route(std::uint64_t machine_identity)
+Router::route(std::uint64_t machine_identity,
+              const std::vector<std::uint8_t> *deliverable)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::size_t least =
-        *std::min_element(load_.begin(), load_.end());
+    mmgpu_assert(deliverable == nullptr ||
+                     deliverable->size() == load_.size(),
+                 "deliverable mask size != shard count");
+    std::vector<std::size_t> candidates;
+    std::size_t least = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < load_.size(); ++i) {
+        if (deliverable != nullptr && (*deliverable)[i] == 0)
+            continue;
+        candidates.push_back(i);
+        least = std::min(least, load_[i]);
+    }
+    mmgpu_assert(!candidates.empty(),
+                 "route() needs at least one deliverable shard");
 
     auto it = affinity_.find(machine_identity);
-    if (it != affinity_.end() && load_[it->second] <= least + slack_) {
+    if (it != affinity_.end() &&
+        (deliverable == nullptr ||
+         (*deliverable)[it->second] != 0) &&
+        load_[it->second] <= least + slack_) {
         ++affinityHits_;
         ++load_[it->second];
         return it->second;
     }
 
     std::size_t shard;
-    if (load_.size() == 1) {
-        shard = 0;
+    if (candidates.size() == 1) {
+        shard = candidates.front();
     } else {
-        std::size_t a = rng_.below(load_.size());
-        std::size_t b = rng_.below(load_.size());
+        std::size_t a = candidates[rng_.below(candidates.size())];
+        std::size_t b = candidates[rng_.below(candidates.size())];
         shard = load_[a] <= load_[b] ? a : b;
     }
     affinity_[machine_identity] = shard;

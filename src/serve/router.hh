@@ -11,17 +11,24 @@
  * The policy, in order:
  *
  *  1. Affinity: if the request's machine identity was last served by
- *     shard S and S's load is within `slack` of the least-loaded
- *     shard, route to S.
- *  2. Power-of-two-choices: otherwise draw two shards from a seeded
- *     deterministic RNG, route to the less loaded of the two, and
- *     update the affinity table.
+ *     shard S, S is deliverable, and S's load is within `slack` of
+ *     the least-loaded deliverable shard, route to S.
+ *  2. Power-of-two-choices: otherwise draw two deliverable shards
+ *     from a seeded deterministic RNG, route to the less loaded of
+ *     the two, and update the affinity table.
+ *
+ * "Deliverable" comes from the caller (the service dispatcher passes
+ * the set of shards with a free prefetch slot) so routing never
+ * picks a shard the dispatcher cannot feed — the fix for head-of-
+ * line blocking where affinity kept choosing one full shard while
+ * idle shards starved. With no mask, every shard is deliverable.
  *
  * Power-of-two-choices gives near-least-loaded balance without
  * scanning all shards per request; the affinity override bounds how
  * much balance we trade for machine reuse. The RNG is seeded, so a
- * replayed request sequence routes identically — routing never
- * affects *results* (the memo cache dedups work), only placement.
+ * replayed request sequence routes identically given the same
+ * deliverable sets — routing never affects *results* (the memo
+ * cache dedups work), only placement.
  */
 
 #ifndef MMGPU_SERVE_ROUTER_HH
@@ -53,8 +60,14 @@ class Router
     /**
      * Pick the shard for @p machine_identity and account one job of
      * load against it (release() when the job finishes).
+     *
+     * @param deliverable Optional per-shard mask (size == shards());
+     *        only shards with a nonzero entry are eligible, and at
+     *        least one must be. nullptr means all shards.
      */
-    std::size_t route(std::uint64_t machine_identity);
+    std::size_t
+    route(std::uint64_t machine_identity,
+          const std::vector<std::uint8_t> *deliverable = nullptr);
 
     /** Account one finished job off @p shard. */
     void release(std::size_t shard);

@@ -50,12 +50,15 @@ SimService::SimService(const ServeOptions &options,
       tel_(telemetry::TelemetryConfig{})
 {
     mmgpu_assert(options.shards > 0, "service needs >= 1 shard");
+    shardPending_.assign(options.shards, 0);
     for (std::size_t i = 0; i < options.shards; ++i) {
         shardQueues_.push_back(std::make_unique<ShardQueue>());
         busySinceMs_.push_back(
             std::make_unique<std::atomic<std::int64_t>>(0));
         cancel_.push_back(
             std::make_unique<std::atomic<bool>>(false));
+        generation_.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(0));
     }
     telemetry::CounterRegistry &reg = tel_.counters();
     cAccepted_ = &reg.counter("serve/accepted");
@@ -197,6 +200,12 @@ SimService::beginShutdown()
     if (shutdown_.exchange(true))
         return;
     queue_.stop();
+    // Notify under the mutex waitShutdown() checks its predicate
+    // with: a bare notify can land between that check and the block
+    // and be lost, hanging the daemon's run loop forever.
+    {
+        std::lock_guard<std::mutex> lock(shutdownMutex_);
+    }
     shutdownCv_.notify_all();
 }
 
@@ -227,17 +236,38 @@ void
 SimService::dispatchLoop()
 {
     while (std::optional<Job> job = queue_.pop()) {
-        std::size_t shard =
-            router_.route(job->request.spec.machineIdentity());
+        // Route only over shards with a free prefetch slot, so one
+        // full shard never head-of-line-blocks delivery to idle
+        // ones (affinity then degrades to balance, which is the
+        // right trade: a warm machine is worth queueing slack, not
+        // starving the rest of the fleet). Block only when *every*
+        // slot is taken — then the admission queue really is the
+        // place work waits.
+        std::size_t shard = 0;
+        {
+            std::unique_lock<std::mutex> lock(slotMutex_);
+            std::vector<std::uint8_t> open(options_.shards, 0);
+            for (;;) {
+                bool any = false;
+                for (std::size_t i = 0; i < options_.shards; ++i) {
+                    open[i] =
+                        shardPending_[i] < shardPendingCap ? 1 : 0;
+                    any = any || open[i] != 0;
+                }
+                if (any)
+                    break;
+                slotCv_.wait(lock);
+            }
+            shard = router_.route(
+                job->request.spec.machineIdentity(), &open);
+            ++shardPending_[shard];
+        }
         RoutedJob routed;
         routed.job = std::move(*job);
         routed.shard = shard;
         ShardQueue &sq = *shardQueues_[shard];
         {
-            std::unique_lock<std::mutex> lock(sq.mutex);
-            sq.cv.wait(lock, [&sq] {
-                return sq.jobs.size() < shardPendingCap;
-            });
+            std::lock_guard<std::mutex> lock(sq.mutex);
             sq.jobs.push_back(std::move(routed));
         }
         sq.cv.notify_all();
@@ -268,7 +298,12 @@ SimService::workerLoop(std::size_t shard)
             routed = std::move(sq.jobs.front());
             sq.jobs.pop_front();
         }
-        sq.cv.notify_all(); // a prefetch slot freed for the dispatcher
+        {
+            // A prefetch slot freed: tell the dispatcher.
+            std::lock_guard<std::mutex> lock(slotMutex_);
+            --shardPending_[shard];
+        }
+        slotCv_.notify_all();
         execute(shard, routed.job);
     }
 }
@@ -276,6 +311,10 @@ SimService::workerLoop(std::size_t shard)
 void
 SimService::execute(std::size_t shard, const Job &job)
 {
+    // New job epoch: the watchdog cancels only against the
+    // generation it observed, so a cancel aimed at the previous job
+    // cannot land on this one.
+    generation_[shard]->fetch_add(1);
     cancel_[shard]->store(false);
     busySinceMs_[shard]->store(wallclock::nowMs());
 
@@ -285,6 +324,7 @@ SimService::execute(std::size_t shard, const Job &job)
             : executeStudy(job.request, cancel_[shard].get());
 
     busySinceMs_[shard]->store(0);
+    generation_[shard]->fetch_add(1); // idle epoch
     router_.release(shard);
 
     std::vector<std::pair<std::string, ResponseCallback>> sinks;
@@ -519,9 +559,19 @@ SimService::housekeepLoop()
             std::int64_t budget = static_cast<std::int64_t>(
                 options_.watchdogSeconds * 1000.0);
             for (std::size_t i = 0; i < busySinceMs_.size(); ++i) {
+                std::uint64_t gen = generation_[i]->load();
                 std::int64_t since = busySinceMs_[i]->load();
-                if (since != 0 && now - since > budget)
-                    cancel_[i]->store(true);
+                if (since == 0 || now - since <= budget)
+                    continue;
+                if (generation_[i]->load() != gen)
+                    continue; // job turned over mid-observation
+                cancel_[i]->store(true);
+                // If a fresh job slipped in between the check and
+                // the store, retract: a job milliseconds old cannot
+                // be over budget, and it will be re-judged against
+                // its own epoch on a later tick.
+                if (generation_[i]->load() != gen)
+                    cancel_[i]->store(false);
             }
         }
 

@@ -217,9 +217,21 @@ class SimService
     };
     std::vector<std::unique_ptr<ShardQueue>> shardQueues_;
 
+    // Shard prefetch-slot occupancy (slotMutex_). The dispatcher
+    // delivers only to shards with a free slot — one full shard must
+    // not block delivery to idle ones — and waits on slotCv_ only
+    // when every slot is taken; workers signal as they drain.
+    std::mutex slotMutex_;
+    std::condition_variable slotCv_;
+    std::vector<std::size_t> shardPending_;
+
     // Per-shard watchdog state: busySinceMs_ == 0 means idle.
+    // generation_ stamps job epochs (bumped at job start and end) so
+    // the watchdog only cancels the job it actually observed as
+    // over-budget, never a fresh one that took the shard since.
     std::vector<std::unique_ptr<std::atomic<std::int64_t>>> busySinceMs_;
     std::vector<std::unique_ptr<std::atomic<bool>>> cancel_;
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> generation_;
 
     // Health timeseries + latency ring (statsMutex_).
     mutable std::mutex statsMutex_;

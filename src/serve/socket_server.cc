@@ -1,5 +1,6 @@
 #include "serve/socket_server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -13,6 +14,19 @@
 namespace mmgpu::serve
 {
 
+namespace
+{
+
+/** Longest a response write may stall on a full socket buffer (a
+ *  client that pipelines but never reads) before the connection is
+ *  dropped instead of blocking a worker thread. */
+constexpr int writeStallMs = 10000;
+
+/** poll() slice while stalled, so a shutdown fd is noticed fast. */
+constexpr int writePollMs = 100;
+
+} // namespace
+
 SocketServer::ConnState::~ConnState()
 {
     ::close(fd);
@@ -22,23 +36,47 @@ bool
 SocketServer::ConnState::writeLine(const std::string &line)
 {
     std::lock_guard<std::mutex> lock(writeMutex);
-    if (!alive)
+    if (!alive.load())
         return false;
     std::string framed = line;
     framed.push_back('\n');
     std::size_t written = 0;
+    int stalled_ms = 0;
     while (written < framed.size()) {
+        // MSG_DONTWAIT: never park a worker thread inside send() — a
+        // stalled client must cost its connection, not a shard, and
+        // stop() must always be able to wake us via shutdown().
         // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not
         // a process-killing SIGPIPE.
         ssize_t n = ::send(fd, framed.data() + written,
-                           framed.size() - written, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            alive = false;
-            return false;
+                           framed.size() - written,
+                           MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            written += static_cast<std::size_t>(n);
+            stalled_ms = 0;
+            continue;
         }
-        written += static_cast<std::size_t>(n);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (stalled_ms >= writeStallMs) {
+                // Client stopped reading: drop it. shutdown() also
+                // wakes this connection's reader out of recv().
+                alive.store(false);
+                ::shutdown(fd, SHUT_RDWR);
+                return false;
+            }
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            ::poll(&pfd, 1, writePollMs);
+            stalled_ms += writePollMs;
+            if (!alive.load())
+                return false;
+            continue;
+        }
+        alive.store(false);
+        return false;
     }
     return true;
 }
@@ -105,21 +143,26 @@ SocketServer::stop()
     ::close(listenFd_);
     listenFd_ = -1;
 
-    // Shut every live connection so blocked readers wake with EOF.
-    std::vector<std::thread> threads;
+    // Shut every live connection so blocked readers wake with EOF
+    // and stalled writers wake with EPIPE. Deliberately NOT under
+    // the connection's writeMutex: a stalled writeLine() holds it,
+    // and shutdown() on an fd is safe concurrently with send() —
+    // taking the mutex here would deadlock stop() against the very
+    // writer it is trying to unblock.
+    std::map<std::uint64_t, std::thread> threads;
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         for (const auto &weak : conns_) {
             if (std::shared_ptr<ConnState> conn = weak.lock()) {
-                std::lock_guard<std::mutex> wlock(conn->writeMutex);
-                conn->alive = false;
+                conn->alive.store(false);
                 ::shutdown(conn->fd, SHUT_RDWR);
             }
         }
         threads.swap(connThreads_);
         conns_.clear();
+        finishedConns_.clear();
     }
-    for (std::thread &thread : threads)
+    for (auto &[id, thread] : threads)
         if (thread.joinable())
             thread.join();
     ::unlink(path_.c_str());
@@ -129,6 +172,11 @@ void
 SocketServer::acceptLoop()
 {
     while (!stop_.load()) {
+        // Reap on every pass (the 100 ms poll timeout drives this
+        // even with no new connections) so a long-lived daemon
+        // serving many short connections never accumulates
+        // exited-but-joinable reader threads.
+        reapFinished();
         pollfd pfd{};
         pfd.fd = listenFd_;
         pfd.events = POLLIN;
@@ -141,14 +189,51 @@ SocketServer::acceptLoop()
         accepted_.fetch_add(1);
         auto conn = std::make_shared<ConnState>(fd);
         std::lock_guard<std::mutex> lock(connMutex_);
+        std::uint64_t id = nextConnId_++;
         conns_.push_back(conn);
-        connThreads_.emplace_back(
-            [this, conn] { connectionLoop(conn); });
+        connThreads_.emplace(id, std::thread([this, id, conn] {
+                                 connectionLoop(id, conn);
+                             }));
     }
 }
 
 void
-SocketServer::connectionLoop(std::shared_ptr<ConnState> conn)
+SocketServer::reapFinished()
+{
+    std::vector<std::thread> finished;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (std::uint64_t id : finishedConns_) {
+            auto it = connThreads_.find(id);
+            if (it == connThreads_.end())
+                continue;
+            finished.push_back(std::move(it->second));
+            connThreads_.erase(it);
+        }
+        finishedConns_.clear();
+        conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                    [](const auto &weak) {
+                                        return weak.expired();
+                                    }),
+                     conns_.end());
+    }
+    // Join outside connMutex_: the exiting thread's last act is to
+    // enqueue its id under that mutex.
+    for (std::thread &thread : finished)
+        if (thread.joinable())
+            thread.join();
+}
+
+std::size_t
+SocketServer::trackedConnectionThreads() const
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    return connThreads_.size();
+}
+
+void
+SocketServer::connectionLoop(std::uint64_t id,
+                             std::shared_ptr<ConnState> conn)
 {
     std::string pending;
     char buffer[4096];
@@ -193,8 +278,9 @@ SocketServer::connectionLoop(std::shared_ptr<ConnState> conn)
         }
         pending.erase(0, start);
     }
-    std::lock_guard<std::mutex> lock(conn->writeMutex);
-    conn->alive = false;
+    conn->alive.store(false);
+    std::lock_guard<std::mutex> lock(connMutex_);
+    finishedConns_.push_back(id);
 }
 
 } // namespace mmgpu::serve

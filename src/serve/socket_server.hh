@@ -14,13 +14,21 @@
  * oversized line gets an error response and the connection dropped,
  * and a client that disappears mid-request (EOF, EPIPE) just has its
  * pending responses discarded — the daemon and the simulation keep
- * running, and the memoized result still serves the next asker.
+ * running, and the memoized result still serves the next asker. A
+ * client that pipelines requests but never reads responses cannot
+ * wedge a worker either: response writes are non-blocking with a
+ * bounded stall budget, after which the connection is dropped.
+ * Finished reader threads are reaped by the accept loop as it runs,
+ * so a long-lived daemon serving many short connections does not
+ * accumulate joinable threads.
  */
 
 #ifndef MMGPU_SERVE_SOCKET_SERVER_HH
 #define MMGPU_SERVE_SOCKET_SERVER_HH
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,6 +76,10 @@ class SocketServer
         return accepted_.load();
     }
 
+    /** Reader threads currently tracked (finished ones are reaped
+     *  lazily by the accept loop; tests poll this). */
+    std::size_t trackedConnectionThreads() const;
+
   private:
     /** Per-connection shared state; the fd closes when the last
      *  holder (reader thread or pending response) lets go. */
@@ -76,16 +88,26 @@ class SocketServer
         explicit ConnState(int fd) : fd(fd) {}
         ~ConnState();
 
-        /** Write one line; false (and dead) on a broken peer. */
+        /**
+         * Write one line; false (and dead) on a broken peer or a
+         * client stalled past the write budget. Never blocks
+         * indefinitely: sends are non-blocking, waits are bounded
+         * poll() slices, and a concurrent shutdown() of the fd (see
+         * stop()) wakes the writer immediately.
+         */
         bool writeLine(const std::string &line);
 
         const int fd;
-        std::mutex writeMutex;
-        bool alive = true; //!< under writeMutex
+        std::mutex writeMutex;         //!< serializes writers only
+        std::atomic<bool> alive{true}; //!< cleared outside the mutex
     };
 
     void acceptLoop();
-    void connectionLoop(std::shared_ptr<ConnState> conn);
+    void connectionLoop(std::uint64_t id,
+                        std::shared_ptr<ConnState> conn);
+
+    /** Join reader threads that announced exit; prune dead conns. */
+    void reapFinished();
 
     SimService &service_;
     const std::string path_;
@@ -95,8 +117,10 @@ class SocketServer
     std::atomic<std::uint64_t> accepted_{0};
     bool running_ = false;
 
-    std::mutex connMutex_;
-    std::vector<std::thread> connThreads_;
+    mutable std::mutex connMutex_;
+    std::uint64_t nextConnId_ = 0;
+    std::map<std::uint64_t, std::thread> connThreads_;
+    std::vector<std::uint64_t> finishedConns_; //!< ids awaiting join
     std::vector<std::weak_ptr<ConnState>> conns_;
 };
 

@@ -248,6 +248,75 @@ TEST(ServeService, FullQueueRejectsInsteadOfBlocking)
     EXPECT_EQ(fixture.service.stats().rejected, rejected);
 }
 
+TEST(ServeService, FullShardPrefetchDoesNotStarveIdleShards)
+{
+    ServeOptions options;
+    options.shards = 2;
+    options.watchdogSeconds = 3.0;
+    ServiceFixture fixture(options);
+
+    fault::FaultPlan plan;
+    plan.harness.hangPoints.push_back("BFS");
+    plan.harness.hangSeconds = 30.0;
+    fixture.service.runner().setFaultPlan(&plan);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    int bfs_done = 0;
+    bool probe_done = false;
+    int bfs_done_at_probe = -1;
+    auto bfs_sink = [&](const Response &) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ++bfs_done;
+        cv.notify_all();
+    };
+
+    // Two hangs with the same machine identity: the first occupies
+    // a shard, the second lands in that shard's prefetch slot via
+    // affinity.
+    fixture.service.submit(runRequest("BFS", 2, "hog1"), bfs_sink);
+    std::int64_t deadline = wallclock::nowMs() + 5000;
+    while (fixture.service.stats().busyShards == 0 &&
+           wallclock::nowMs() < deadline)
+        wallclock::sleepMs(10);
+    ASSERT_GT(fixture.service.stats().busyShards, 0u);
+    Request hog2 = runRequest("BFS", 2, "hog2");
+    hog2.spec.linkEnergyScale = 1.5; // distinct work identity
+    fixture.service.submit(std::move(hog2), bfs_sink);
+
+    // Same machine identity, no hang: affinity points at the full
+    // shard, but the dispatcher must reroute to the idle one
+    // instead of queueing behind the hang.
+    fixture.service.submit(
+        runRequest("Stream", 2, "probe"),
+        [&](const Response &response) {
+            std::lock_guard<std::mutex> lock(mutex);
+            probe_done = true;
+            bfs_done_at_probe = bfs_done;
+            EXPECT_EQ(response.status, ResponseStatus::Ok)
+                << response.message;
+            cv.notify_all();
+        });
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                                [&] { return probe_done; }));
+        // The probe finished by rerouting, not by waiting for the
+        // watchdog to clear the warm shard first.
+        EXPECT_EQ(bfs_done_at_probe, 0);
+    }
+
+    // Let the watchdog reclaim both hangs before the fault plan
+    // (stack-owned) goes out of scope under the service.
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                                [&] { return bfs_done == 2; }));
+    }
+    fixture.service.runner().setFaultPlan(nullptr);
+}
+
 TEST(ServeService, ShutdownRejectsNewWorkButAnswersInlineVerbs)
 {
     ServiceFixture fixture;
@@ -352,6 +421,26 @@ TEST(ServeRouter, LoadAccountingBalances)
         router.release(shard);
     for (std::size_t load : router.loads())
         EXPECT_EQ(load, 0u);
+}
+
+TEST(ServeRouter, DeliverableMaskOverridesAffinity)
+{
+    Router router(3);
+    std::size_t warm = router.route(0x123);
+    router.release(warm);
+
+    // Warm shard masked out: routing must fall back to another.
+    std::vector<std::uint8_t> open(3, 1);
+    open[warm] = 0;
+    std::size_t fallback = router.route(0x123, &open);
+    EXPECT_NE(fallback, warm);
+    router.release(fallback);
+
+    // The fallback updated the affinity table: with the mask
+    // lifted, the identity now sticks to its new home.
+    std::size_t again = router.route(0x123);
+    EXPECT_EQ(again, fallback);
+    router.release(again);
 }
 
 TEST(ServeSocket, GarbageOverSocketGetsErrorsNotACrash)
@@ -464,6 +553,76 @@ TEST(ServeSocket, TruncatedFramingAndMidLineDisconnects)
     EXPECT_EQ(fixture.service.stats().rejected, 0u);
 
     server.stop();
+}
+
+TEST(ServeSocket, FinishedConnectionThreadsAreReaped)
+{
+    ServiceFixture fixture;
+    std::string path = "serve_reap.sock";
+    SocketServer server(fixture.service, path);
+    ASSERT_TRUE(server.start().ok());
+
+    for (int i = 0; i < 8; ++i) {
+        ServeClient client;
+        ASSERT_TRUE(client.connect(path).ok());
+        Request ping;
+        ping.type = RequestType::Ping;
+        ping.id = "reap-" + std::to_string(i);
+        Result<Response> pong = client.roundTrip(ping);
+        ASSERT_TRUE(pong.ok()) << pong.error().describe();
+    } // each dtor closes the socket; its reader thread exits
+
+    // The accept loop reaps on every poll tick (~100 ms), without
+    // needing a new connection to arrive.
+    std::int64_t deadline = wallclock::nowMs() + 5000;
+    while (server.trackedConnectionThreads() > 0 &&
+           wallclock::nowMs() < deadline)
+        wallclock::sleepMs(20);
+    EXPECT_EQ(server.trackedConnectionThreads(), 0u);
+    EXPECT_EQ(server.connectionsAccepted(), 8u);
+
+    server.stop();
+}
+
+TEST(ServeSocket, StopUnblocksAWriterStalledOnAFullSocket)
+{
+    ServiceFixture fixture;
+    std::string path = "serve_stall.sock";
+    SocketServer server(fixture.service, path);
+    ASSERT_TRUE(server.start().ok());
+
+    // A client that floods garbage (every line earns an error
+    // response) but never reads: the response path must stall
+    // without wedging the reader thread, and stop() must still
+    // return — pre-fix, stop() deadlocked on the writer's mutex.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un raw{};
+    raw.sun_family = AF_UNIX;
+    std::memcpy(raw.sun_path, path.c_str(), path.size() + 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&raw),
+                        sizeof(raw)),
+              0);
+    std::string chunk;
+    for (int i = 0; i < 512; ++i)
+        chunk += "z\n";
+    // Fill until the kernel refuses twice, with a drain pause in
+    // between so the server's writer is actually wedged against our
+    // unread receive buffer.
+    for (int round = 0; round < 2; ++round) {
+        for (int i = 0; i < 4096; ++i) {
+            ssize_t n = ::send(fd, chunk.data(), chunk.size(),
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (n < 0)
+                break;
+        }
+        wallclock::sleepMs(300);
+    }
+
+    std::int64_t start = wallclock::nowMs();
+    server.stop();
+    EXPECT_LT(wallclock::nowMs() - start, 8000);
+    ::close(fd);
 }
 
 } // namespace
