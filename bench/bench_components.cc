@@ -10,7 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
+#include "engine/calendar.hh"
+#include "engine/pool.hh"
 #include "mem/cache.hh"
+#include "mem/page_table.hh"
 #include "noc/bandwidth_server.hh"
 #include "noc/interconnect.hh"
 #include "sim/gpu_sim.hh"
@@ -36,6 +39,93 @@ BM_CacheAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_CacheAccess);
+
+void
+BM_CalendarScheduleSequential(benchmark::State &state)
+{
+    // A CTA-dispatch-shaped load: bursts of 8 same-tick events
+    // scheduled one by one, drained against a standing population.
+    engine::Calendar calendar;
+    Rng rng(3);
+    double t = 0.0;
+    for (unsigned i = 0; i < 1024; ++i)
+        calendar.schedule(static_cast<double>(rng.below(64)), i,
+                          false);
+    for (auto _ : state) {
+        t += 1.0;
+        for (std::uint32_t w = 0; w < 8; ++w)
+            calendar.schedule(t + static_cast<double>(rng.below(4)),
+                              w, false);
+        for (unsigned p = 0; p < 8; ++p)
+            benchmark::DoNotOptimize(calendar.pop());
+    }
+}
+BENCHMARK(BM_CalendarScheduleSequential);
+
+void
+BM_CalendarScheduleBatch(benchmark::State &state)
+{
+    // Same load as BM_CalendarScheduleSequential, but each burst
+    // lands via one scheduleBatch() call (the fillSm fast path).
+    engine::Calendar calendar;
+    Rng rng(3);
+    double t = 0.0;
+    for (unsigned i = 0; i < 1024; ++i)
+        calendar.schedule(static_cast<double>(rng.below(64)), i,
+                          false);
+    engine::Event burst[8];
+    for (auto _ : state) {
+        t += 1.0;
+        for (std::uint32_t w = 0; w < 8; ++w)
+            burst[w] = {t + static_cast<double>(rng.below(4)), w,
+                        false};
+        calendar.scheduleBatch(burst, 8);
+        for (unsigned p = 0; p < 8; ++p)
+            benchmark::DoNotOptimize(calendar.pop());
+    }
+}
+BENCHMARK(BM_CalendarScheduleBatch);
+
+void
+BM_GenPoolAllocRelease(benchmark::State &state)
+{
+    // The mem-pipeline task churn: allocate a small working set,
+    // touch each slot through its handle, release in FIFO order.
+    engine::GenPool<std::uint64_t> pool;
+    std::uint32_t handles[16];
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 16; ++i) {
+            handles[i] = pool.alloc();
+            pool.at(handles[i]) = i;
+        }
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < 16; ++i)
+            sum += pool.at(handles[i]);
+        benchmark::DoNotOptimize(sum);
+        for (unsigned i = 0; i < 16; ++i)
+            pool.release(handles[i]);
+    }
+}
+BENCHMARK(BM_GenPoolAllocRelease);
+
+void
+BM_PageTableTouch(benchmark::State &state)
+{
+    // Line-granular touches over a block-streamed footprint: long
+    // same-page runs (the one-entry cache's hit case) with a page
+    // crossing every 32nd access.
+    mem::PageTable table(8);
+    Rng rng(4);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        addr += isa::cacheLineBytes;
+        if (addr >= 64 * units::MiB)
+            addr = rng.below(1024) * mem::PageTable::pageBytes;
+        benchmark::DoNotOptimize(
+            table.touch(addr, static_cast<unsigned>(addr >> 22) % 8));
+    }
+}
+BENCHMARK(BM_PageTableTouch);
 
 void
 BM_BandwidthServer(benchmark::State &state)

@@ -22,6 +22,9 @@
  *   --link-energy-scale <f> multiplier on link pJ/bit
  *   --trace-out <file>      write a chrome://tracing JSON of the run
  *   --timeline-csv <file>   write the timeline as wide CSV
+ *   --prof-out <file>       write profiler aggregates as JSON at
+ *                           exit (set MMGPU_PROFILE=1 to populate
+ *                           the engine's timing sites)
  *   --timeline-dt <us>      telemetry bin width in simulated
  *                           microseconds (default 50)
  *   --fault-seed <n>        calibrate through a faulty sensor with
@@ -45,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prof.hh"
 #include "harness/study.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/csv_export.hh"
@@ -67,6 +71,7 @@ usage(const char *argv0)
                  "          [--link-energy-scale F] [--list]\n"
                  "          [--trace-out FILE] [--timeline-csv FILE] "
                  "[--timeline-dt US]\n"
+                 "          [--prof-out FILE]\n"
                  "          [--fault-seed N] [--fault-dropout P] "
                  "[--fault-spike P]\n"
                  "          [--fault-glitch P] [--fault-jitter F] "
@@ -125,6 +130,7 @@ main(int argc, char **argv)
     double link_scale = 1.0;
     std::string trace_out;
     std::string timeline_csv;
+    std::string prof_out;
     double timeline_dt_us = 50.0;
     fault::FaultPlan plan = fault::FaultPlan::fromEnv();
     fault::LinkFaultSpec link_faults;
@@ -213,6 +219,8 @@ main(int argc, char **argv)
             trace_out = need("--trace-out");
         } else if (!std::strcmp(args[i].c_str(), "--timeline-csv")) {
             timeline_csv = need("--timeline-csv");
+        } else if (!std::strcmp(args[i].c_str(), "--prof-out")) {
+            prof_out = need("--prof-out");
         } else if (!std::strcmp(args[i].c_str(), "--timeline-dt")) {
             timeline_dt_us = std::atof(need("--timeline-dt"));
             if (timeline_dt_us <= 0.0) {
@@ -343,6 +351,19 @@ main(int argc, char **argv)
                         "examples/timeline_viewer)\n",
                         timeline_csv.c_str());
         }
+    }
+    if (!prof_out.empty()) {
+        if (!prof::enabled()) {
+            std::fprintf(stderr,
+                         "note: --prof-out without MMGPU_PROFILE=1 "
+                         "records no timing sites\n");
+        }
+        if (prof::writeJson(prof_out))
+            std::printf("wrote %s (profiler aggregates)\n",
+                        prof_out.c_str());
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         prof_out.c_str());
     }
     return 0;
 }

@@ -8,6 +8,7 @@
  *   --run                      one design point (spec flags below)
  *   --study                    scaling study (default workload: all)
  *   --stats                    service statistics snapshot
+ *   --prof                     profiler aggregates snapshot
  *   --shutdown                 ask the daemon to drain and exit
  *   --send FILE                send a request script ('-' = stdin),
  *                              printing responses in arrival order
@@ -53,8 +54,8 @@ usage(const char *argv0)
         stderr,
         "usage: %s --connect SOCKET (--ping | --run | --study | "
         "--stats |\n"
-        "          --shutdown | --send FILE | --verify-fig6 | "
-        "--soak N)\n"
+        "          --prof | --shutdown | --send FILE | "
+        "--verify-fig6 | --soak N)\n"
         "          [--workload W] [--gpms N] [--bw 1x|2x|4x]\n"
         "          [--topology ring|switch] "
         "[--domain package|board]\n"
@@ -289,7 +290,7 @@ main(int argc, char **argv)
             socket_path = need("--connect");
         } else if (args[i] == "--ping" || args[i] == "--run" ||
                    args[i] == "--study" || args[i] == "--stats" ||
-                   args[i] == "--shutdown" ||
+                   args[i] == "--prof" || args[i] == "--shutdown" ||
                    args[i] == "--verify-fig6") {
             verb = args[i].substr(2);
         } else if (args[i] == "--send") {
@@ -436,6 +437,8 @@ main(int argc, char **argv)
         request.type = serve::RequestType::Study;
     else if (verb == "stats")
         request.type = serve::RequestType::Stats;
+    else if (verb == "prof")
+        request.type = serve::RequestType::Prof;
     else if (verb == "shutdown")
         request.type = serve::RequestType::Shutdown;
     if (verb == "study" && request.spec.workload == "Stream")

@@ -23,6 +23,9 @@
  *                         (default: MMGPU_CACHE_FLUSH_SEC)
  *   --sample-ms <ms>      health-sample period (default 200)
  *   --stats-csv <file>    write the health timeseries on exit
+ *   --prof-out <file>     write profiler aggregates as JSON on exit
+ *                         (per-shard job timers always; engine
+ *                         timing sites when MMGPU_PROFILE=1)
  *
  * Flags accept both "--flag value" and "--flag=value".
  */
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prof.hh"
 #include "serve/batch.hh"
 #include "serve/service.hh"
 #include "serve/socket_server.hh"
@@ -52,7 +56,8 @@ usage(const char *argv0)
                  "          [--shards N] [--queue-depth N] "
                  "[--watchdog SEC]\n"
                  "          [--flush-sec SEC] [--sample-ms MS] "
-                 "[--stats-csv FILE]\n",
+                 "[--stats-csv FILE]\n"
+                 "          [--prof-out FILE]\n",
                  argv0);
     std::exit(2);
 }
@@ -82,6 +87,7 @@ main(int argc, char **argv)
     std::string socket_path;
     std::string batch_path;
     std::string stats_csv;
+    std::string prof_out;
     serve::ServeOptions options;
 
     std::vector<std::string> args;
@@ -122,6 +128,8 @@ main(int argc, char **argv)
                 std::strtol(need("--sample-ms"), nullptr, 0);
         } else if (args[i] == "--stats-csv") {
             stats_csv = need("--stats-csv");
+        } else if (args[i] == "--prof-out") {
+            prof_out = need("--prof-out");
         } else {
             usage(argv[0]);
         }
@@ -179,6 +187,10 @@ main(int argc, char **argv)
     service.join();
     if (!stats_csv.empty())
         writeStatsCsv(stats_csv, service.timeseries());
+    if (!prof_out.empty() && !prof::writeJson(prof_out)) {
+        std::fprintf(stderr, "mmgpu_serve: cannot write %s\n",
+                     prof_out.c_str());
+    }
 
     serve::ServiceStats stats = service.stats();
     std::fprintf(stderr,

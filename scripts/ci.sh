@@ -9,6 +9,9 @@
 #   header_selfcheck  every src/ header compiles standalone
 #   clang-tidy        src/common + src/harness, only when the tool is
 #                     on PATH (the baseline container ships only GCC)
+#   perf-smoke        component microbenches once + a profiler JSON
+#                     artifact; ratio sanity-checks only, no absolute
+#                     wall-clock thresholds (CI hosts drift)
 #
 #   build           Release            tier1 (the ROADMAP verify gate;
 #                                      includes the engine-layer tests
@@ -73,6 +76,47 @@ if [[ "${1:-}" == "--quick" ]]; then
          "included)."
     exit 0
 fi
+
+echo "== perf-smoke (microbenches + profiler artifact) =="
+# One pass over the component microbenches plus a profiled run.
+# Deliberately NO absolute wall-clock thresholds — CI hosts drift —
+# only ratio sanity-checks between benchmarks measured seconds apart
+# on the same host, with generous slack for scheduler noise.
+perf_dir="build/perf-smoke"
+mkdir -p "${perf_dir}"
+cmake --build build -j "${jobs}" --target bench_components
+build/bench/bench_components \
+    --benchmark_filter='Calendar|GenPool|PageTable|CacheAccess' \
+    --benchmark_min_time=0.1 \
+    --benchmark_out="${perf_dir}/microbench.json" \
+    --benchmark_out_format=json > /dev/null
+bench_cpu_time() {
+    awk -F': ' -v name="$1" \
+        '$0 ~ "\"name\": \"" name "\"" { found = 1 }
+         found && /"cpu_time"/ { gsub(/[ ,]/, "", $2); print $2; exit }' \
+        "${perf_dir}/microbench.json"
+}
+seq_ns="$(bench_cpu_time BM_CalendarScheduleSequential)"
+batch_ns="$(bench_cpu_time BM_CalendarScheduleBatch)"
+[[ -n "${seq_ns}" && -n "${batch_ns}" ]]
+# scheduleBatch must not lose to element-wise schedule (10% slack).
+awk -v s="${seq_ns}" -v b="${batch_ns}" \
+    'BEGIN { exit !(b <= s * 1.10) }' || {
+    echo "perf-smoke: scheduleBatch (${batch_ns} ns) slower than" \
+         "element-wise schedule (${seq_ns} ns)" >&2
+    exit 1
+}
+# Profiler artifact: an armed run must produce parseable aggregates
+# for the event loop. The run cache must be bypassed — a cached
+# design point skips simulation entirely and profiles as empty.
+MMGPU_NO_CACHE=1 MMGPU_PROFILE=1 build/examples/mmgpu_cli \
+    --workload Stream --gpms 2 \
+    --prof-out "${perf_dir}/prof.json" > /dev/null 2>&1
+grep -q '"sim/step_warp"' "${perf_dir}/prof.json"
+grep -q '"sim/step_mem"' "${perf_dir}/prof.json"
+echo "perf-smoke ok: batch/sequential = $(awk -v s="${seq_ns}" \
+    -v b="${batch_ns}" 'BEGIN { printf "%.2f", b / s }'), artifacts" \
+    "in ${perf_dir}/"
 
 echo "== Header self-containment =="
 cmake --build build -j "${jobs}" --target header_selfcheck

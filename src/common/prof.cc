@@ -1,0 +1,230 @@
+#include "common/prof.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace mmgpu::prof
+{
+
+namespace
+{
+
+/**
+ * The site registry. Leaked on purpose: sites are registered from
+ * static initializers and function-local statics in arbitrary TUs,
+ * and the exit report must be able to walk them no matter how
+ * static destruction is ordered. Registered Site objects are
+ * trivially destructible, so a "destroyed" site is still readable.
+ */
+struct Registry
+{
+    // Recursive: dynamicSite() constructs a Site (whose constructor
+    // registers itself, re-entering the lock) while holding it, so
+    // concurrent dynamicSite() calls cannot race a half-registered
+    // entry.
+    std::recursive_mutex mutex;
+    std::vector<Site *> sites;
+    // Dynamic-label sites own their label storage here (Site keeps a
+    // const char* into the map's stable keys).
+    std::map<std::string, Site *> dynamic;
+};
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry; // leaked, see above
+    return *instance;
+}
+
+bool
+readEnabled()
+{
+    const char *env = std::getenv("MMGPU_PROFILE");
+    return env != nullptr && env[0] != '\0' &&
+           std::strcmp(env, "0") != 0;
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+atExitReport()
+{
+    if (enabled())
+        report();
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    static const bool value = [] {
+        bool on = readEnabled();
+        if (on)
+            std::atexit(atExitReport);
+        return on;
+    }();
+    return value;
+}
+
+Site::Site(const char *label) : label_(label)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::recursive_mutex> lock(reg.mutex);
+    reg.sites.push_back(this);
+}
+
+Site *
+dynamicSite(const std::string &label)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::recursive_mutex> lock(reg.mutex);
+    auto it = reg.dynamic.find(label);
+    if (it != reg.dynamic.end())
+        return it->second;
+    // std::map keys are stable, so the Site can point at the key.
+    it = reg.dynamic.emplace(label, nullptr).first;
+    it->second = new Site(it->first.c_str()); // leaked with the registry
+    return it->second;
+}
+
+namespace
+{
+thread_local Scope *currentScope = nullptr;
+} // namespace
+
+void
+Scope::open(Site &site)
+{
+    site_ = &site;
+    parent_ = currentScope;
+    currentScope = this;
+    startNs_ = wallclock::nowNs();
+}
+
+void
+Scope::close()
+{
+    std::int64_t end = wallclock::nowNs();
+    auto elapsed = static_cast<std::uint64_t>(
+        end > startNs_ ? end - startNs_ : 0);
+    std::uint64_t self =
+        childNs_ < elapsed ? elapsed - childNs_ : 0;
+    site_->addSample(elapsed, self);
+    currentScope = parent_;
+    if (parent_ != nullptr)
+        parent_->childNs_ += elapsed;
+}
+
+std::vector<SiteSnapshot>
+snapshot()
+{
+    std::vector<SiteSnapshot> out;
+    Registry &reg = registry();
+    std::lock_guard<std::recursive_mutex> lock(reg.mutex);
+    out.reserve(reg.sites.size());
+    for (const Site *site : reg.sites) {
+        SiteSnapshot snap;
+        snap.label = site->label();
+        snap.calls = site->calls();
+        snap.inclusiveNs = site->inclusiveNs();
+        snap.exclusiveNs = site->exclusiveNs();
+        snap.count = site->count();
+        if (snap.calls == 0 && snap.count == 0)
+            continue;
+        out.push_back(std::move(snap));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SiteSnapshot &a, const SiteSnapshot &b) {
+                  if (a.exclusiveNs != b.exclusiveNs)
+                      return a.exclusiveNs > b.exclusiveNs;
+                  return a.label < b.label;
+              });
+    return out;
+}
+
+std::string
+snapshotJson()
+{
+    std::vector<SiteSnapshot> sites = snapshot();
+    std::string out = "{\"sites\":[";
+    bool first = true;
+    for (const SiteSnapshot &site : sites) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"label\":";
+        appendJsonString(out, site.label);
+        char buf[160];
+        std::snprintf(buf, sizeof buf,
+                      ",\"calls\":%llu,\"inclusive_ns\":%llu,"
+                      "\"exclusive_ns\":%llu,\"count\":%llu}",
+                      static_cast<unsigned long long>(site.calls),
+                      static_cast<unsigned long long>(site.inclusiveNs),
+                      static_cast<unsigned long long>(site.exclusiveNs),
+                      static_cast<unsigned long long>(site.count));
+        out += buf;
+    }
+    out += "]}";
+    return out;
+}
+
+bool
+writeJson(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr)
+        return false;
+    std::string json = snapshotJson();
+    bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+              json.size();
+    ok = std::fclose(file) == 0 && ok;
+    return ok;
+}
+
+void
+report()
+{
+    std::vector<SiteSnapshot> sites = snapshot();
+    if (sites.empty())
+        return;
+    std::fprintf(stderr,
+                 "\n[mmgpu-prof] %-38s %12s %14s %14s %12s\n", "site",
+                 "calls", "excl ms", "incl ms", "count");
+    for (const SiteSnapshot &site : sites) {
+        std::fprintf(stderr,
+                     "[mmgpu-prof] %-38s %12llu %14.3f %14.3f %12llu\n",
+                     site.label.c_str(),
+                     static_cast<unsigned long long>(site.calls),
+                     static_cast<double>(site.exclusiveNs) / 1e6,
+                     static_cast<double>(site.inclusiveNs) / 1e6,
+                     static_cast<unsigned long long>(site.count));
+    }
+}
+
+} // namespace mmgpu::prof

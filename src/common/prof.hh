@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Zero-cost-when-disabled profiling: scoped timers and counters.
+ *
+ * The engine's binding constraint is wall-clock per sweep point, so
+ * the repo carries its own always-available profiler instead of
+ * relying on external tooling being installed. Instrumentation sites
+ * are static `Site` objects aggregated per label; `Scope` stamps
+ * inclusive and exclusive (self) nanoseconds into its site via the
+ * wallclock shim (the only sanctioned clock — mmgpu-lint's
+ * determinism-clock rule stays intact).
+ *
+ * Cost model:
+ *  - `MMGPU_PROFILE` unset/0: every `Scope` constructor is a single
+ *    predictable branch on a cached bool; no clock reads, no atomics.
+ *    Counters likewise. Overhead is unmeasurable by design.
+ *  - `MMGPU_PROFILE=1`: two clock reads per scope plus relaxed
+ *    atomic adds. A per-event site costs ~100 ns/event — fine for
+ *    finding where the time goes, not for nanosecond-true numbers.
+ *
+ * Reporting: a human-readable table on stderr at process exit
+ * (sorted by exclusive time), `writeJson()` for machine consumption
+ * (`mmgpu_cli --prof-out`, `mmgpu_serve --prof-out` / `prof` verb),
+ * and `snapshot()` for in-process consumers (serve `stats`).
+ *
+ * Threading: sites are registered once under a mutex; sample
+ * accumulation is relaxed-atomic so parallel workers can share a
+ * site. Exclusive-time bookkeeping uses a thread-local scope stack,
+ * so nesting across threads is simply independent.
+ *
+ * Determinism: nothing here feeds simulation state. Timing values
+ * are observational only and must never enter a RunKey, cache
+ * fingerprint, or result.
+ */
+
+#ifndef MMGPU_COMMON_PROF_HH
+#define MMGPU_COMMON_PROF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/wallclock.hh"
+
+namespace mmgpu::prof
+{
+
+/** True when MMGPU_PROFILE is set to a nonzero value. Cached once. */
+bool enabled();
+
+/**
+ * One aggregation bucket. Construct as a function-local or
+ * namespace-scope `static` next to the code being timed; the
+ * constructor registers the site in the global report. Sites are
+ * trivially destructible on purpose: registration outlives every
+ * static-destruction order question because nothing ever
+ * unregisters, and the report walks live objects at exit.
+ */
+class Site
+{
+  public:
+    explicit Site(const char *label);
+
+    /** Record one timed interval (both values in ns). */
+    void addSample(std::uint64_t inclusive_ns, std::uint64_t exclusive_ns)
+    {
+        calls_.fetch_add(1, std::memory_order_relaxed);
+        inclusiveNs_.fetch_add(inclusive_ns, std::memory_order_relaxed);
+        exclusiveNs_.fetch_add(exclusive_ns, std::memory_order_relaxed);
+    }
+
+    /** Record @p delta units of a plain counter (no timing). */
+    void addCount(std::uint64_t delta)
+    {
+        count_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    const char *label() const { return label_; }
+    std::uint64_t calls() const
+    {
+        return calls_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t inclusiveNs() const
+    {
+        return inclusiveNs_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t exclusiveNs() const
+    {
+        return exclusiveNs_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    const char *label_;
+    std::atomic<std::uint64_t> calls_{0};
+    std::atomic<std::uint64_t> inclusiveNs_{0};
+    std::atomic<std::uint64_t> exclusiveNs_{0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/**
+ * Look up (or create) a site with a runtime-computed label, e.g.
+ * "serve/shard3". Returned pointer is valid for the process
+ * lifetime. Costs a mutex + map lookup — for request-grained code,
+ * resolve once and keep the pointer.
+ */
+Site *dynamicSite(const std::string &label);
+
+/**
+ * RAII timer. When profiling is disabled the constructor is one
+ * branch and the destructor a null check.
+ */
+class Scope
+{
+  public:
+    explicit Scope(Site &site)
+    {
+        if (enabled())
+            open(site);
+    }
+    ~Scope()
+    {
+        if (site_ != nullptr)
+            close();
+    }
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    void open(Site &site);
+    void close();
+
+    Site *site_ = nullptr;
+    Scope *parent_ = nullptr;
+    std::int64_t startNs_ = 0;
+    std::uint64_t childNs_ = 0;
+};
+
+/** Point-in-time copy of one site, for reporting. */
+struct SiteSnapshot
+{
+    std::string label;
+    std::uint64_t calls = 0;
+    std::uint64_t inclusiveNs = 0;
+    std::uint64_t exclusiveNs = 0;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Copy every registered site with at least one call or count,
+ * sorted by exclusive ns descending. Works whether or not profiling
+ * is enabled (serve's shard timers sample unconditionally).
+ */
+std::vector<SiteSnapshot> snapshot();
+
+/** Serialize snapshot() as a JSON object string. */
+std::string snapshotJson();
+
+/** Write snapshotJson() to @p path. Returns false on I/O failure. */
+bool writeJson(const std::string &path);
+
+/**
+ * Print the human-readable report to stderr now (normally runs via
+ * atexit when profiling is enabled; exposed for tests).
+ */
+void report();
+
+#define MMGPU_PROF_CONCAT2(a, b) a##b
+#define MMGPU_PROF_CONCAT(a, b) MMGPU_PROF_CONCAT2(a, b)
+
+/** Time the enclosing scope under @p label (a string literal). */
+#define MMGPU_PROF_SCOPE(label)                                               \
+    static ::mmgpu::prof::Site MMGPU_PROF_CONCAT(mmgpuProfSite,               \
+                                                 __LINE__){label};            \
+    ::mmgpu::prof::Scope MMGPU_PROF_CONCAT(mmgpuProfScope, __LINE__)          \
+    {                                                                         \
+        MMGPU_PROF_CONCAT(mmgpuProfSite, __LINE__)                            \
+    }
+
+/** Bump a labelled counter by @p delta when profiling is enabled. */
+#define MMGPU_PROF_COUNT(label, delta)                                        \
+    do                                                                        \
+    {                                                                         \
+        if (::mmgpu::prof::enabled())                                         \
+        {                                                                     \
+            static ::mmgpu::prof::Site mmgpuProfCountSite{label};             \
+            mmgpuProfCountSite.addCount(delta);                               \
+        }                                                                     \
+    } while (false)
+
+} // namespace mmgpu::prof
+
+#endif // MMGPU_COMMON_PROF_HH

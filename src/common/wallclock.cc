@@ -16,6 +16,14 @@ nowMs()
         .count();
 }
 
+std::int64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 void
 sleepMs(std::int64_t ms)
 {

@@ -27,6 +27,14 @@ namespace mmgpu::wallclock
 /** Monotonic host time in milliseconds since an arbitrary epoch. */
 std::int64_t nowMs();
 
+/**
+ * Monotonic host time in nanoseconds since an arbitrary epoch.
+ * The profiler's clock (common/prof.hh): millisecond granularity is
+ * useless for timing engine hot loops. Same epoch caveat as nowMs()
+ * — never persist or compare across processes.
+ */
+std::int64_t nowNs();
+
 /** Block the calling thread for @p ms milliseconds (>= 0). */
 void sleepMs(std::int64_t ms);
 

@@ -17,6 +17,23 @@
  * sequence of schedule()/pop() calls — never by allocation addresses
  * or hashing. Callers that need a specific tie order must encode it
  * in the schedule sequence.
+ *
+ * The push side is a hand-rolled hole-based sift-up that performs
+ * exactly the moves of libstdc++'s __push_heap with std::greater
+ * (move the parent down while it compares greater than the new
+ * value, then store the value) — so its element placement, and
+ * therefore every same-tick pop order, is bit-identical to the
+ * std::push_heap the seed used. The strict `>` comparison is also
+ * the same-tick fast path: an event due no earlier than its parent
+ * (ties included) is placed with a single comparison and no element
+ * moves. scheduleBatch() appends a burst then sifts each element in
+ * append order; a sift only reads and writes the element's ancestor
+ * chain (strictly smaller indices), so later appends are invisible
+ * to earlier sifts and the resulting heap is identical to that of
+ * element-wise schedule() calls — proven by test, not just argued.
+ * The pop side stays on std::pop_heap: its bottom-up hole-adjust
+ * places equal keys differently from a naive sift-down, so
+ * reimplementing it would silently change tie order.
  */
 
 #ifndef MMGPU_ENGINE_CALENDAR_HH
@@ -67,7 +84,23 @@ class Calendar
     schedule(noc::Tick when, std::uint32_t index, bool is_mem)
     {
         heap_.push_back({when, index, is_mem});
-        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+        siftUp(heap_.size() - 1);
+    }
+
+    /**
+     * Queue @p count events in one append. Equivalent to calling
+     * schedule() for each event in order — same final heap layout,
+     * same subsequent pop order — but grows the vector once and
+     * keeps the sift loop hot for same-call-site bursts (CTA
+     * dispatch, per-line access fan-out).
+     */
+    void
+    scheduleBatch(const Event *events, std::size_t count)
+    {
+        heap_.insert(heap_.end(), events, events + count);
+        std::size_t size = heap_.size();
+        for (std::size_t i = size - count; i < size; ++i)
+            siftUp(i);
     }
 
     /** True when no events are pending. */
@@ -109,6 +142,30 @@ class Calendar
     }
 
   private:
+    /**
+     * Hole-based sift-up, exactly __push_heap's element placement
+     * (see the file comment's determinism argument). The first
+     * comparison doubles as the fast path: events due at or after
+     * their parent — the common future-event case and every
+     * same-tick tie — cost one comparison and zero moves.
+     */
+    void
+    siftUp(std::size_t hole)
+    {
+        if (hole == 0)
+            return;
+        std::size_t parent = (hole - 1) / 2;
+        if (!(heap_[parent].when > heap_[hole].when))
+            return;
+        Event value = heap_[hole];
+        do {
+            heap_[hole] = heap_[parent];
+            hole = parent;
+            parent = (hole - 1) / 2;
+        } while (hole > 0 && heap_[parent].when > value.when);
+        heap_[hole] = value;
+    }
+
     std::vector<Event> heap_;
     noc::Tick now_ = 0.0;
 };

@@ -1,7 +1,6 @@
 #include "engine/mem_pipeline.hh"
 
 #include <algorithm>
-#include <bit>
 
 #include "common/logging.hh"
 
@@ -16,17 +15,6 @@ constexpr double requestHeaderBytes = 8.0;
 
 } // namespace
 
-const std::array<MemPipeline::Handler, numMemStages>
-    MemPipeline::stageHandlers = {
-        &MemPipeline::stageL2Lookup, // MemStage::L2Lookup
-        &MemPipeline::stageReqHop,   // MemStage::ReqHop
-        &MemPipeline::stageHomeDram, // MemStage::HomeDram
-        &MemPipeline::stageRespHop,  // MemStage::RespHop
-        &MemPipeline::stageComplete, // MemStage::Complete
-        &MemPipeline::stageWbHop,    // MemStage::WbHop
-        &MemPipeline::stageWbDram,   // MemStage::WbDram
-};
-
 MemPipeline::MemPipeline(const mem::MemConfig &config,
                          mem::MemSystem &memory,
                          noc::InterGpmNetwork *network,
@@ -39,75 +27,36 @@ MemPipeline::MemPipeline(const mem::MemConfig &config,
 void
 MemPipeline::resetRun()
 {
-    // Pool capacity (and the vectors' backing storage) survives; the
-    // free lists are rebuilt to cover the whole pool so allocation
-    // order restarts from a fixed state every run.
-    taskPool_.clear();
-    freeTasks_.clear();
-    accessPool_.clear();
-    freeAccesses_.clear();
+    // Pool storage survives; the cursors rewind so allocation order
+    // restarts from a fixed state every run, and generations advance
+    // so stale handles from the previous run stay invalid.
+    tasks_.resetRun();
+    accesses_.resetRun();
     counters_.reset();
 }
 
 std::string
 MemPipeline::auditDrained() const
 {
-    if (freeTasks_.size() != taskPool_.size()) {
+    if (tasks_.inFlight() != 0) {
         return "leaked memory tasks: " +
-               std::to_string(taskPool_.size() - freeTasks_.size()) +
-               " of " + std::to_string(taskPool_.size()) +
+               std::to_string(tasks_.inFlight()) + " of " +
+               std::to_string(tasks_.highWater()) +
                " still in flight";
     }
-    if (freeAccesses_.size() != accessPool_.size()) {
+    if (accesses_.inFlight() != 0) {
         return "leaked access records: " +
-               std::to_string(accessPool_.size() -
-                              freeAccesses_.size()) +
-               " of " + std::to_string(accessPool_.size()) +
+               std::to_string(accesses_.inFlight()) + " of " +
+               std::to_string(accesses_.highWater()) +
                " still outstanding";
     }
     return {};
 }
 
 void
-MemPipeline::pushMem(noc::Tick when, std::uint32_t task)
+MemPipeline::pushMem(noc::Tick when, std::uint32_t task_handle)
 {
-    calendar_.schedule(when, task, /*is_mem=*/true);
-}
-
-std::uint32_t
-MemPipeline::allocTask()
-{
-    if (freeTasks_.empty()) {
-        taskPool_.emplace_back();
-        return static_cast<std::uint32_t>(taskPool_.size() - 1);
-    }
-    std::uint32_t index = freeTasks_.back();
-    freeTasks_.pop_back();
-    return index;
-}
-
-void
-MemPipeline::freeTask(std::uint32_t index)
-{
-    freeTasks_.push_back(index);
-}
-
-std::uint32_t
-MemPipeline::allocAccess()
-{
-    if (freeAccesses_.empty()) {
-        accessPool_.emplace_back();
-        return static_cast<std::uint32_t>(accessPool_.size() - 1);
-    }
-    std::uint32_t index = freeAccesses_.back();
-    freeAccesses_.pop_back();
-    return index;
-}
-
-void
-MemPipeline::freeAccess(std::uint32_t index)
-{
-    freeAccesses_.push_back(index);
+    calendar_.schedule(when, task_handle, /*is_mem=*/true);
 }
 
 void
@@ -126,10 +75,10 @@ MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
         noteTxn(t, isa::TxnLevel::L1ToReg, 1.0);
     }
 
-    std::uint32_t access_index = invalidIndex;
+    std::uint32_t access_handle = invalidIndex;
     if (!is_store && warp_slot != invalidIndex) {
-        access_index = allocAccess();
-        accessPool_[access_index] = {warp_slot, 0};
+        access_handle = accesses_.alloc();
+        accesses_.at(access_handle) = {warp_slot, 0};
     }
 
     // Walk the touched lines.
@@ -152,15 +101,15 @@ MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
         if (is_store) {
             // Write-through L1 (no allocate): the data crosses the
             // L1<->L2 wires toward the local L2.
-            unsigned n = std::popcount(mask);
+            unsigned n = mem::sectorCount(mask);
             double bytes = n * static_cast<double>(isa::sectorBytes);
             memory_.nocAcquire(gpm, t, bytes);
             counters_.txns[static_cast<std::size_t>(
                 isa::TxnLevel::L2ToL1)] += n;
             noteTxn(t, isa::TxnLevel::L2ToL1, n);
 
-            std::uint32_t task_index = allocTask();
-            MemTask &task = taskPool_[task_index];
+            std::uint32_t task_handle = tasks_.alloc();
+            MemTask &task = tasks_.at(task_handle);
             task.stage = MemStage::L2Lookup;
             task.mask = mask;
             task.store = true;
@@ -169,7 +118,7 @@ MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
             task.lineAddr = line_addr;
             task.access = invalidIndex;
             pushMem(t + static_cast<double>(cfg_.nocLatency),
-                    task_index);
+                    task_handle);
             continue;
         }
 
@@ -177,21 +126,21 @@ MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
             memory_.l1Access(sm, line_addr, mask, false);
         mmgpu_assert(l1r.writebackMask == 0, "dirty L1 eviction");
 
-        if (access_index != invalidIndex)
-            accessPool_[access_index].partsLeft += 1;
+        if (access_handle != invalidIndex)
+            accesses_.at(access_handle).partsLeft += 1;
 
         if (l1r.missMask == 0) {
             // L1 hit: complete after the L1 latency.
-            std::uint32_t task_index = allocTask();
-            MemTask &task = taskPool_[task_index];
+            std::uint32_t task_handle = tasks_.alloc();
+            MemTask &task = tasks_.at(task_handle);
             task.stage = MemStage::Complete;
-            task.access = access_index;
+            task.access = access_handle;
             pushMem(t + static_cast<double>(cfg_.l1Latency),
-                    task_index);
+                    task_handle);
             continue;
         }
 
-        unsigned miss = std::popcount(l1r.missMask);
+        unsigned miss = mem::sectorCount(l1r.missMask);
         counters_.l1SectorMisses += miss;
         counters_.txns[static_cast<std::size_t>(
             isa::TxnLevel::L2ToL1)] += miss;
@@ -199,16 +148,16 @@ MemPipeline::startGlobalAccess(noc::Tick t, std::uint32_t warp_slot,
         double bytes = miss * static_cast<double>(isa::sectorBytes);
         memory_.nocAcquire(gpm, t, bytes);
 
-        std::uint32_t task_index = allocTask();
-        MemTask &task = taskPool_[task_index];
+        std::uint32_t task_handle = tasks_.alloc();
+        MemTask &task = tasks_.at(task_handle);
         task.stage = MemStage::L2Lookup;
         task.mask = l1r.missMask;
         task.store = false;
         task.node = gpm;
         task.reqGpm = gpm;
         task.lineAddr = line_addr;
-        task.access = access_index;
-        pushMem(t + static_cast<double>(cfg_.nocLatency), task_index);
+        task.access = access_handle;
+        pushMem(t + static_cast<double>(cfg_.nocLatency), task_handle);
     }
 }
 
@@ -217,7 +166,7 @@ MemPipeline::startWriteback(noc::Tick t, unsigned gpm,
                             std::uint64_t line_addr,
                             std::uint8_t dirty)
 {
-    unsigned sectors = std::popcount(dirty);
+    unsigned sectors = mem::sectorCount(dirty);
     if (sectors == 0)
         return;
     counters_.txns[static_cast<std::size_t>(
@@ -237,8 +186,8 @@ MemPipeline::startWriteback(noc::Tick t, unsigned gpm,
     counters_.remoteSectors += sectors;
     network_->noteTransfer(sectors *
                            static_cast<double>(isa::sectorBytes));
-    std::uint32_t task_index = allocTask();
-    MemTask &task = taskPool_[task_index];
+    std::uint32_t task_handle = tasks_.alloc();
+    MemTask &task = tasks_.at(task_handle);
     task.stage = MemStage::WbHop;
     task.mask = dirty;
     task.store = true;
@@ -247,21 +196,21 @@ MemPipeline::startWriteback(noc::Tick t, unsigned gpm,
     task.reqGpm = gpm;
     task.lineAddr = line_addr;
     task.access = invalidIndex;
-    pushMem(t, task_index);
+    pushMem(t, task_handle);
 }
 
 void
-MemPipeline::completePart(std::uint32_t access_index, noc::Tick t)
+MemPipeline::completePart(std::uint32_t access_handle, noc::Tick t)
 {
-    if (access_index == invalidIndex)
+    if (access_handle == invalidIndex)
         return;
-    AccessRec &access = accessPool_[access_index];
+    AccessRec &access = accesses_.at(access_handle);
     mmgpu_assert(access.partsLeft > 0, "access part underflow");
     if (--access.partsLeft > 0)
         return;
 
     std::uint32_t warp_slot = access.warpSlot;
-    freeAccess(access_index);
+    accesses_.release(access_handle);
     if (warp_slot == invalidIndex)
         return;
 
@@ -270,16 +219,41 @@ MemPipeline::completePart(std::uint32_t access_index, noc::Tick t)
 }
 
 void
-MemPipeline::step(std::uint32_t task_index, noc::Tick t)
+MemPipeline::step(std::uint32_t task_handle, noc::Tick t)
 {
-    MemTask &task = taskPool_[task_index];
-    auto stage = static_cast<std::size_t>(task.stage);
-    mmgpu_assert(stage < numMemStages, "bad memory stage");
-    (this->*stageHandlers[stage])(task, task_index, t);
+    // tasks_.at() generation-checks the handle under MMGPU_CONTRACTS=2:
+    // an event aimed at a task slot that was freed and recycled since
+    // the event was scheduled dies here with a diagnostic.
+    MemTask &task = tasks_.at(task_handle);
+    switch (task.stage) {
+      case MemStage::L2Lookup:
+        stageL2Lookup(task, task_handle, t);
+        break;
+      case MemStage::ReqHop:
+        stageReqHop(task, task_handle, t);
+        break;
+      case MemStage::HomeDram:
+        stageHomeDram(task, task_handle, t);
+        break;
+      case MemStage::RespHop:
+        stageRespHop(task, task_handle, t);
+        break;
+      case MemStage::Complete:
+        stageComplete(task, task_handle, t);
+        break;
+      case MemStage::WbHop:
+        stageWbHop(task, task_handle, t);
+        break;
+      case MemStage::WbDram:
+        stageWbDram(task, task_handle, t);
+        break;
+      default:
+        mmgpu_panic("bad memory stage");
+    }
 }
 
 void
-MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_handle,
                            noc::Tick t)
 {
     mem::CacheAccessResult l2r = memory_.l2Access(
@@ -291,18 +265,18 @@ MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_index,
     if (task.store) {
         // Write-allocate without fetch (full-sector writes): the
         // store is complete once it lands in the L2.
-        freeTask(task_index);
+        tasks_.release(task_handle);
         return;
     }
 
     if (l2r.missMask == 0) {
         task.stage = MemStage::Complete;
-        pushMem(t + static_cast<double>(cfg_.l2Latency), task_index);
+        pushMem(t + static_cast<double>(cfg_.l2Latency), task_handle);
         return;
     }
 
     // Fetch missed sectors from the home DRAM.
-    unsigned miss = std::popcount(l2r.missMask);
+    unsigned miss = mem::sectorCount(l2r.missMask);
     task.mask = l2r.missMask;
     counters_.l2SectorMisses += miss;
     counters_.txns[static_cast<std::size_t>(
@@ -318,7 +292,7 @@ MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_index,
         task.stage = MemStage::Complete;
         pushMem(served + static_cast<double>(cfg_.dramLatency) +
                     static_cast<double>(cfg_.l2Latency),
-                task_index);
+                task_handle);
         return;
     }
 
@@ -326,25 +300,25 @@ MemPipeline::stageL2Lookup(MemTask &task, std::uint32_t task_index,
     network_->noteTransfer(requestHeaderBytes);
     task.stage = MemStage::ReqHop;
     task.node = task.reqGpm;
-    pushMem(t, task_index);
+    pushMem(t, task_handle);
 }
 
 void
-MemPipeline::stageReqHop(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageReqHop(MemTask &task, std::uint32_t task_handle,
                          noc::Tick t)
 {
     noc::HopOutcome hop = network_->step(task.node, task.homeGpm, t,
                                          requestHeaderBytes);
     task.node = hop.next;
     task.stage = hop.arrived ? MemStage::HomeDram : MemStage::ReqHop;
-    pushMem(hop.ready, task_index);
+    pushMem(hop.ready, task_handle);
 }
 
 void
-MemPipeline::stageHomeDram(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageHomeDram(MemTask &task, std::uint32_t task_handle,
                            noc::Tick t)
 {
-    unsigned miss = std::popcount(task.mask);
+    unsigned miss = mem::sectorCount(task.mask);
     network_->noteTransfer(miss *
                            static_cast<double>(isa::sectorBytes));
     noc::Tick served = memory_.dramAcquire(
@@ -353,14 +327,14 @@ MemPipeline::stageHomeDram(MemTask &task, std::uint32_t task_index,
     task.stage = MemStage::RespHop;
     task.node = task.homeGpm;
     pushMem(served + static_cast<double>(cfg_.dramLatency),
-            task_index);
+            task_handle);
 }
 
 void
-MemPipeline::stageRespHop(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageRespHop(MemTask &task, std::uint32_t task_handle,
                           noc::Tick t)
 {
-    unsigned miss = std::popcount(task.mask);
+    unsigned miss = mem::sectorCount(task.mask);
     noc::HopOutcome hop = network_->step(
         task.node, task.reqGpm, t,
         miss * static_cast<double>(isa::sectorBytes));
@@ -368,44 +342,44 @@ MemPipeline::stageRespHop(MemTask &task, std::uint32_t task_index,
     if (hop.arrived) {
         task.stage = MemStage::Complete;
         pushMem(hop.ready + static_cast<double>(cfg_.l2Latency),
-                task_index);
+                task_handle);
     } else {
-        pushMem(hop.ready, task_index);
+        pushMem(hop.ready, task_handle);
     }
 }
 
 void
-MemPipeline::stageComplete(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageComplete(MemTask &task, std::uint32_t task_handle,
                            noc::Tick t)
 {
     std::uint32_t access = task.access;
-    freeTask(task_index);
+    tasks_.release(task_handle);
     completePart(access, t);
 }
 
 void
-MemPipeline::stageWbHop(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageWbHop(MemTask &task, std::uint32_t task_handle,
                         noc::Tick t)
 {
-    unsigned sectors = std::popcount(task.mask);
+    unsigned sectors = mem::sectorCount(task.mask);
     noc::HopOutcome hop = network_->step(
         task.node, task.homeGpm, t,
         sectors * static_cast<double>(isa::sectorBytes));
     task.node = hop.next;
     if (hop.arrived)
         task.stage = MemStage::WbDram;
-    pushMem(hop.ready, task_index);
+    pushMem(hop.ready, task_handle);
 }
 
 void
-MemPipeline::stageWbDram(MemTask &task, std::uint32_t task_index,
+MemPipeline::stageWbDram(MemTask &task, std::uint32_t task_handle,
                          noc::Tick t)
 {
-    unsigned sectors = std::popcount(task.mask);
+    unsigned sectors = mem::sectorCount(task.mask);
     memory_.dramAcquire(
         task.homeGpm, t,
         sectors * static_cast<double>(isa::sectorBytes));
-    freeTask(task_index);
+    tasks_.release(task_handle);
 }
 
 } // namespace mmgpu::engine

@@ -9,10 +9,12 @@
  *   -> home DRAM -> response hop(s) | local DRAM) -> completion,
  *
  * with dirty L2 evictions taking the writeback stages (WbHop ->
- * WbDram). Each stage is a handler in a dispatch table indexed by
- * MemStage, so alternative pipelines (different coherence points,
- * extra hops, traffic models) can be expressed as handler changes
- * rather than edits to one monolithic switch.
+ * WbDram). Stage dispatch is a direct switch on MemStage inside
+ * step(): with every handler in this translation unit the compiler
+ * inlines the short stages into the event loop, where the earlier
+ * member-function-pointer dispatch table cost an indirect call per
+ * event (measurably so — stage dispatch was one of the profiler's
+ * top engine lines).
  *
  * Staging matters: every bandwidth server (NoC, HBM channel, ring
  * link, switch port) is acquired at the calendar time the request
@@ -20,23 +22,25 @@
  * congestion — the paper's central mechanism, inter-GPM bandwidth
  * pressure idling GPMs — emerges without ordering artifacts.
  *
- * Tasks and access records live in index-addressed pools with free
- * lists, so steady-state simulation allocates nothing and a
- * build-once machine keeps the pool capacity across runs. The
- * Component drain audit checks that every pooled object is back on
- * its free list at quiescent points.
+ * Tasks and access records live in generation-checked bump pools
+ * (engine/pool.hh): steady-state simulation allocates nothing, a
+ * build-once machine keeps pool capacity across runs, and under
+ * MMGPU_CONTRACTS=2 a calendar event aimed at a recycled task slot
+ * dies loudly instead of corrupting an unrelated task. The
+ * Component drain audit checks that every pooled object is free at
+ * quiescent points.
  */
 
 #ifndef MMGPU_ENGINE_MEM_PIPELINE_HH
 #define MMGPU_ENGINE_MEM_PIPELINE_HH
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "engine/calendar.hh"
 #include "engine/component.hh"
+#include "engine/pool.hh"
 #include "mem/mem_system.hh"
 #include "noc/interconnect.hh"
 #include "telemetry/telemetry.hh"
@@ -77,8 +81,9 @@ class WarpWaker
 class MemPipeline : public Component
 {
   public:
-    /** Index value meaning "no access record / no warp slot". */
-    static constexpr std::uint32_t invalidIndex = 0xffffffffu;
+    /** Handle value meaning "no access record / no warp slot". */
+    static constexpr std::uint32_t invalidIndex =
+        GenPool<int>::invalidHandle;
 
     /**
      * @param config Latency/geometry slice of the machine config.
@@ -113,8 +118,9 @@ class MemPipeline : public Component
                            std::uint64_t addr, unsigned sector_count,
                            bool is_store);
 
-    /** Advance task @p task_index one stage at time @p t. */
-    void step(std::uint32_t task_index, noc::Tick t);
+    /** Advance the task behind handle @p task_handle one stage at
+     *  time @p t (handles come back out of the calendar). */
+    void step(std::uint32_t task_handle, noc::Tick t);
 
     /** Event counters the energy model consumes (shared with the
      *  kernel-boundary writeback drain and the warp engine's
@@ -155,43 +161,33 @@ class MemPipeline : public Component
         std::uint32_t partsLeft = 0;
     };
 
-    /** Stage handler signature (dispatch-table entry). */
-    using Handler = void (MemPipeline::*)(MemTask &task,
-                                          std::uint32_t task_index,
-                                          noc::Tick t);
-
-    // Stage handlers, one per MemStage value.
-    void stageL2Lookup(MemTask &task, std::uint32_t task_index,
+    // Stage handlers, one per MemStage value, dispatched by the
+    // switch in step() (all in mem_pipeline.cc, so the hot short
+    // ones inline into it). Each takes the task's pool handle so it
+    // can reschedule or release the task.
+    void stageL2Lookup(MemTask &task, std::uint32_t task_handle,
                        noc::Tick t);
-    void stageReqHop(MemTask &task, std::uint32_t task_index,
+    void stageReqHop(MemTask &task, std::uint32_t task_handle,
                      noc::Tick t);
-    void stageHomeDram(MemTask &task, std::uint32_t task_index,
+    void stageHomeDram(MemTask &task, std::uint32_t task_handle,
                        noc::Tick t);
-    void stageRespHop(MemTask &task, std::uint32_t task_index,
+    void stageRespHop(MemTask &task, std::uint32_t task_handle,
                       noc::Tick t);
-    void stageComplete(MemTask &task, std::uint32_t task_index,
+    void stageComplete(MemTask &task, std::uint32_t task_handle,
                        noc::Tick t);
-    void stageWbHop(MemTask &task, std::uint32_t task_index,
+    void stageWbHop(MemTask &task, std::uint32_t task_handle,
                     noc::Tick t);
-    void stageWbDram(MemTask &task, std::uint32_t task_index,
+    void stageWbDram(MemTask &task, std::uint32_t task_handle,
                      noc::Tick t);
 
-    /** The MemStage -> handler dispatch table. */
-    static const std::array<Handler, numMemStages> stageHandlers;
-
-    void pushMem(noc::Tick when, std::uint32_t task);
-
-    std::uint32_t allocTask();
-    void freeTask(std::uint32_t index);
-    std::uint32_t allocAccess();
-    void freeAccess(std::uint32_t index);
+    void pushMem(noc::Tick when, std::uint32_t task_handle);
 
     /** Schedule an eviction writeback toward its home GPM. */
     void startWriteback(noc::Tick t, unsigned gpm,
                         std::uint64_t line_addr, std::uint8_t dirty);
 
     /** A load part finished; notify its access, maybe its warp. */
-    void completePart(std::uint32_t access_index, noc::Tick t);
+    void completePart(std::uint32_t access_handle, noc::Tick t);
 
     /** Record @p amount txns of @p level at time @p t (hook). */
     void
@@ -208,10 +204,8 @@ class MemPipeline : public Component
     Calendar &calendar_;
     WarpWaker *waker_ = nullptr;
 
-    std::vector<MemTask> taskPool_;
-    std::vector<std::uint32_t> freeTasks_;
-    std::vector<AccessRec> accessPool_;
-    std::vector<std::uint32_t> freeAccesses_;
+    GenPool<MemTask> tasks_;
+    GenPool<AccessRec> accesses_;
 
     mem::MemCounters counters_;
 

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Generation-checked bump pools for index-addressed engine objects.
+ *
+ * The engine's in-flight objects (memory tasks, access records) are
+ * addressed by pool index rather than pointer, so calendar events and
+ * cross-object links stay valid when the backing vector grows. A
+ * GenPool hands out *handles*: the low 24 bits are the pool index,
+ * the high 8 bits a per-slot generation that increments on every
+ * release. Under MMGPU_CONTRACTS=2 every dereference checks the
+ * handle's generation against the slot's — a stale event aimed at a
+ * recycled slot (the index-pool version of use-after-free) dies with
+ * a diagnostic instead of silently corrupting an unrelated task.
+ *
+ * Allocation is bump-first: a cursor walks a pre-sized vector, and
+ * only exhausted cursors grow it (geometric, capacity survives
+ * resetRun()). Released slots go on a free list that is preferred
+ * over the cursor, so allocation order — and therefore handle values
+ * — is a pure function of the alloc/release sequence, never of
+ * addresses. resetRun() rewinds the cursor instead of clearing the
+ * vector, which keeps slot storage warm across runs.
+ *
+ * Generations deliberately wrap at 256: the check is probabilistic
+ * (a stale handle escapes detection with probability 1/256 per
+ * recycle), which is the usual trade for keeping handles in 32 bits.
+ */
+
+#ifndef MMGPU_ENGINE_POOL_HH
+#define MMGPU_ENGINE_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contract.hh"
+#include "common/logging.hh"
+
+namespace mmgpu::engine
+{
+
+/** Index-addressed object pool with generation-checked handles. */
+template <typename T>
+class GenPool
+{
+  public:
+    /** Bits of a handle holding the pool index. */
+    static constexpr unsigned indexBits = 24;
+
+    /** Mask extracting the index from a handle. */
+    static constexpr std::uint32_t indexMask = (1u << indexBits) - 1u;
+
+    /** Reserved handle meaning "none" (also all-ones index). */
+    static constexpr std::uint32_t invalidHandle = 0xffffffffu;
+
+    /**
+     * Allocate a slot and return its handle. The slot's contents are
+     * whatever the previous user left (or value-initialized T for a
+     * never-used slot); callers assign every field they later read.
+     */
+    std::uint32_t
+    alloc()
+    {
+        std::uint32_t index;
+        if (!free_.empty()) {
+            index = free_.back();
+            free_.pop_back();
+        } else {
+            if (top_ == items_.size()) {
+                std::size_t grown = items_.size() * 2 + 64;
+                items_.resize(grown);
+                gens_.resize(grown, 0);
+            }
+            index = top_++;
+        }
+        mmgpu_assert(index < indexMask, "pool index space exhausted");
+        return index |
+               (static_cast<std::uint32_t>(gens_[index]) << indexBits);
+    }
+
+    /** Dereference @p handle (generation-checked at CONTRACTS>=2). */
+    T &
+    at(std::uint32_t handle)
+    {
+        std::uint32_t index = handle & indexMask;
+        MMGPU_INVARIANT(
+            gens_[index] ==
+                static_cast<std::uint8_t>(handle >> indexBits),
+            "stale pool handle: generation mismatch on slot ", index);
+        return items_[index];
+    }
+
+    /** Return @p handle's slot to the free list. */
+    void
+    release(std::uint32_t handle)
+    {
+        std::uint32_t index = handle & indexMask;
+        MMGPU_INVARIANT(
+            gens_[index] ==
+                static_cast<std::uint8_t>(handle >> indexBits),
+            "stale pool handle released: slot ", index);
+        gens_[index] += 1; // invalidates every outstanding handle
+        free_.push_back(index);
+    }
+
+    /** Slots handed out and not yet released. */
+    std::size_t
+    inFlight() const
+    {
+        return top_ - free_.size();
+    }
+
+    /** High-water slot count this run (diagnostics). */
+    std::size_t highWater() const { return top_; }
+
+    /**
+     * Rewind to the all-free state. Slot storage and capacity
+     * survive; generations deliberately do NOT reset, so handles
+     * from a previous run stay invalid.
+     */
+    void
+    resetRun()
+    {
+        for (std::uint32_t i = 0; i < top_; ++i)
+            gens_[i] += 1;
+        top_ = 0;
+        free_.clear();
+    }
+
+  private:
+    std::vector<T> items_;
+    std::vector<std::uint8_t> gens_;
+    std::vector<std::uint32_t> free_;
+    std::uint32_t top_ = 0;
+};
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_POOL_HH

@@ -98,6 +98,10 @@ WarpEngine::fillSm(unsigned sm_id, noc::Tick t)
         unsigned cta = ctaQueues_[gpm].pop();
         core.reserveSlots(profile.warpsPerCta);
         ctaWarpsLeft_[cta] = profile.warpsPerCta;
+        // One calendar batch per CTA: every warp's first event lands
+        // at the same tick t, in slot order — scheduleBatch() places
+        // them exactly as warp-by-warp schedule() calls would.
+        batchScratch_.clear();
         for (unsigned w = 0; w < profile.warpsPerCta; ++w) {
             mmgpu_assert(!freeSlotsPerSm_[sm_id].empty(),
                          "free-slot list disagrees with SmCore");
@@ -116,8 +120,10 @@ WarpEngine::fillSm(unsigned sm_id, noc::Tick t)
             slot.blocked = WarpBlock::None;
             slot.replay.reset();
             slot.live = true;
-            pushWarp(t, slot_id);
+            batchScratch_.push_back({t, slot_id, /*isMem=*/false});
         }
+        calendar_.scheduleBatch(batchScratch_.data(),
+                                batchScratch_.size());
     }
 }
 
@@ -130,14 +136,12 @@ WarpEngine::loadDone(std::uint32_t warp_slot, noc::Tick t)
 
     if (slot.blocked == WarpBlock::Window) {
         slot.blocked = WarpBlock::None;
-        if (hooks_.warpWakes)
-            hooks_.warpWakes->add();
+        hooks_.warpWakes->add();
         pushWarp(t, warp_slot);
     } else if (slot.blocked == WarpBlock::Drain &&
                slot.outstanding == 0) {
         slot.blocked = WarpBlock::None;
-        if (hooks_.warpWakes)
-            hooks_.warpWakes->add();
+        hooks_.warpWakes->add();
         pushWarp(t, warp_slot);
     }
 }
@@ -206,8 +210,7 @@ WarpEngine::step(std::uint32_t slot_index, noc::Tick t)
             slot.replay = op;
             slot.blocked = WarpBlock::Window;
             core.noteActive(t);
-            if (hooks_.blockWindow)
-                hooks_.blockWindow->add();
+            hooks_.blockWindow->add();
             break;
         }
         MMGPU_INVARIANT(slot.outstanding < profile.mlp,
@@ -234,8 +237,7 @@ WarpEngine::step(std::uint32_t slot_index, noc::Tick t)
         if (slot.outstanding > 0) {
             slot.blocked = WarpBlock::Drain;
             core.noteActive(t);
-            if (hooks_.blockDrain)
-                hooks_.blockDrain->add();
+            hooks_.blockDrain->add();
         } else {
             pushWarp(t, slot_index);
         }

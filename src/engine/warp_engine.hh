@@ -50,8 +50,11 @@ class WarpEngine : public Component, public WarpWaker
         MemPipeline::invalidIndex;
 
     /**
-     * Telemetry hooks, null while detached (branch-on-null). The
-     * owner refreshes them per run.
+     * Telemetry hooks, null while detached. Counter hooks are
+     * branch-free in the hot path: setTelemetryHooks() redirects a
+     * null Counter to a per-engine discard sink, so step()/loadDone()
+     * always add unconditionally. Sampler hooks stay branch-on-null —
+     * addAt() does real binning work that a sink could not absorb.
      */
     struct TelemetryHooks
     {
@@ -109,6 +112,12 @@ class WarpEngine : public Component, public WarpWaker
     void setTelemetryHooks(const TelemetryHooks &hooks)
     {
         hooks_ = hooks;
+        if (!hooks_.blockWindow)
+            hooks_.blockWindow = &nullCounter_;
+        if (!hooks_.blockDrain)
+            hooks_.blockDrain = &nullCounter_;
+        if (!hooks_.warpWakes)
+            hooks_.warpWakes = &nullCounter_;
     }
 
     // Component protocol.
@@ -167,6 +176,7 @@ class WarpEngine : public Component, public WarpWaker
     std::vector<std::vector<unsigned>> freeSlotsPerSm_;
     std::vector<sm::GpmCtaQueue> ctaQueues_;
     std::vector<unsigned> ctaWarpsLeft_;
+    std::vector<Event> batchScratch_; //!< fillSm's per-CTA batch
 
     /** Launch-scoped context for CTA backfill from step(). */
     const trace::KernelProfile *profile_ = nullptr;
@@ -175,7 +185,12 @@ class WarpEngine : public Component, public WarpWaker
 
     std::array<Count, isa::numOpcodes> instrs_{};
 
-    TelemetryHooks hooks_;
+    /** Discard sink the Counter hooks point at while detached —
+     *  per-engine, never shared, so parallel machines can't race. */
+    telemetry::Counter nullCounter_;
+
+    TelemetryHooks hooks_{&nullCounter_, &nullCounter_, &nullCounter_,
+                          nullptr, nullptr};
 };
 
 } // namespace mmgpu::engine

@@ -1,7 +1,5 @@
 #include "mem/cache.hh"
 
-#include <bit>
-
 #include "common/logging.hh"
 
 namespace mmgpu::mem
@@ -18,19 +16,36 @@ SectoredCache::SectoredCache(std::string name, Bytes capacity_bytes,
         mmgpu_fatal("cache '", name_, "': capacity ", capacity_bytes,
                     " not divisible into ", associativity, "-way sets");
     sets = static_cast<unsigned>(line_count / associativity);
-    lines.resize(line_count);
+    if ((sets & (sets - 1)) == 0)
+        setMask_ = sets - 1;
+    tagLru_.assign(line_count * 2, 0);
+    for (std::size_t set = 0; set < sets; ++set) {
+        std::uint64_t *tags = setTags(set);
+        for (unsigned w = 0; w < ways; ++w)
+            tags[w] = invalidTag;
+    }
+    meta_.assign(line_count, Meta{});
 }
 
-SectoredCache::Line *
-SectoredCache::findVictim(std::size_t set_base)
+unsigned
+SectoredCache::findVictim(const std::uint64_t *tags,
+                          const std::uint64_t *last) const
 {
-    Line *victim = &lines[set_base];
+    // Same selection as scanning an array of line structs: the first
+    // invalid way short-circuits; otherwise the strictly smallest
+    // LRU stamp wins, earliest way on ties. The stamp of an invalid
+    // way is never read. The min scan carries (best, victim) through
+    // ternaries so it compiles to conditional moves — a branchy scan
+    // over LRU stamps is data-dependent and mispredicts constantly
+    // in a miss-heavy set.
+    unsigned victim = 0;
+    std::uint64_t best = last[0];
     for (unsigned w = 0; w < ways; ++w) {
-        Line &line = lines[set_base + w];
-        if (!line.validMask)
-            return &line; // free way
-        if (line.lastUse < victim->lastUse)
-            victim = &line;
+        if (tags[w] == invalidTag)
+            return w; // free way
+        bool better = last[w] < best;
+        victim = better ? w : victim;
+        best = better ? last[w] : best;
     }
     return victim;
 }
@@ -43,45 +58,47 @@ SectoredCache::access(std::uint64_t addr, SectorMask sectors,
                  "bad sector mask");
 
     std::uint64_t tag = addr / isa::cacheLineBytes;
-    std::size_t set_base =
-        static_cast<std::size_t>(tag % sets) * ways;
+    std::size_t set = setOf(tag);
+    std::uint64_t *tags = setTags(set);
+    std::uint64_t *last = tags + ways;
 
     CacheAccessResult result;
     ++accesses_;
     ++useClock;
 
-    // Probe the set.
+    // Probe the set: tag lane only, invalid ways can never match.
     for (unsigned w = 0; w < ways; ++w) {
-        Line &line = lines[set_base + w];
-        if (line.validMask && line.tag == tag) {
-            result.hitMask = sectors & line.validMask;
-            result.missMask = sectors & ~line.validMask;
-            line.validMask |= sectors; // fill missed sectors
+        if (tags[w] == tag) {
+            Meta &meta = meta_[set * ways + w];
+            result.hitMask = sectors & meta.valid;
+            result.missMask = sectors & ~meta.valid;
+            meta.valid |= sectors; // fill missed sectors
             if (is_write)
-                line.dirtyMask |= sectors;
-            line.lastUse = useClock;
+                meta.dirty |= sectors;
+            last[w] = useClock;
             if (result.missMask == 0)
                 ++hits_;
-            sectorHits_ += std::popcount(result.hitMask);
-            sectorMisses_ += std::popcount(result.missMask);
+            sectorHits_ += sectorCount(result.hitMask);
+            sectorMisses_ += sectorCount(result.missMask);
             return result;
         }
     }
 
     // Full line miss: allocate via LRU.
-    Line *victim = findVictim(set_base);
-    if (victim->validMask && victim->dirtyMask) {
-        result.writebackMask = victim->dirtyMask;
-        result.writebackAddr = victim->tag * isa::cacheLineBytes;
+    unsigned victim = findVictim(tags, last);
+    Meta &meta = meta_[set * ways + victim];
+    if (tags[victim] != invalidTag && meta.dirty) {
+        result.writebackMask = meta.dirty;
+        result.writebackAddr = tags[victim] * isa::cacheLineBytes;
     }
-    victim->tag = tag;
-    victim->validMask = sectors;
-    victim->dirtyMask = is_write ? sectors : 0;
-    victim->lastUse = useClock;
+    tags[victim] = tag;
+    meta.valid = sectors;
+    meta.dirty = is_write ? sectors : 0;
+    last[victim] = useClock;
 
     result.hitMask = 0;
     result.missMask = sectors;
-    sectorMisses_ += std::popcount(sectors);
+    sectorMisses_ += sectorCount(sectors);
     return result;
 }
 
@@ -89,11 +106,10 @@ void
 SectoredCache::assertResident(std::uint64_t addr) const
 {
     std::uint64_t tag = addr / isa::cacheLineBytes;
-    std::size_t set_base =
-        static_cast<std::size_t>(tag % sets) * ways;
+    std::size_t set = setOf(tag);
+    const std::uint64_t *tags = setTags(set);
     for (unsigned w = 0; w < ways; ++w) {
-        const Line &line = lines[set_base + w];
-        if (line.validMask && line.tag == tag)
+        if (tags[w] == tag)
             return;
     }
     mmgpu_panic("line ", addr, " not resident in ", name_);
@@ -110,13 +126,19 @@ void
 SectoredCache::cleanDirty(
     std::vector<std::pair<std::uint64_t, SectorMask>> *writebacks)
 {
-    for (auto &line : lines) {
-        if (!line.validMask || !line.dirtyMask)
-            continue;
-        if (writebacks)
-            writebacks->emplace_back(line.tag * isa::cacheLineBytes,
-                                     line.dirtyMask);
-        line.dirtyMask = 0;
+    for (std::size_t set = 0; set < sets; ++set) {
+        const std::uint64_t *tags = setTags(set);
+        for (unsigned w = 0; w < ways; ++w) {
+            if (tags[w] == invalidTag)
+                continue;
+            Meta &meta = meta_[set * ways + w];
+            if (!meta.dirty)
+                continue;
+            if (writebacks)
+                writebacks->emplace_back(tags[w] * isa::cacheLineBytes,
+                                         meta.dirty);
+            meta.dirty = 0;
+        }
     }
 }
 
@@ -132,11 +154,17 @@ SectoredCache::resetStats()
 void
 SectoredCache::reset()
 {
-    // findVictim() never reads lastUse of an invalid line, so
-    // rewinding useClock while zeroing every line reproduces the
-    // as-constructed replacement behaviour exactly.
-    for (Line &line : lines)
-        line = Line{};
+    // findVictim() never reads the LRU stamp of an invalid line, so
+    // rewinding useClock while invalidating every line reproduces
+    // the as-constructed replacement behaviour exactly.
+    for (std::size_t set = 0; set < sets; ++set) {
+        std::uint64_t *tags = setTags(set);
+        for (unsigned w = 0; w < ways; ++w) {
+            tags[w] = invalidTag;
+            tags[ways + w] = 0;
+        }
+    }
+    std::fill(meta_.begin(), meta_.end(), Meta{});
     useClock = 1;
     resetStats();
 }

@@ -36,6 +36,21 @@ inline constexpr unsigned sectorsPerLine =
 /** All four sectors present. */
 inline constexpr SectorMask fullLineMask = 0xF;
 
+/**
+ * Population count of a sector mask via a 16-entry table.
+ * std::popcount on a generic x86-64 target lowers to a libgcc call
+ * (the baseline ISA has no popcnt instruction), which is real
+ * per-access overhead in the cache and pipeline hot paths; a nibble
+ * table is one L1-resident load.
+ */
+inline unsigned
+sectorCount(SectorMask mask)
+{
+    constexpr std::uint8_t bits[16] = {0, 1, 1, 2, 1, 2, 2, 3,
+                                       1, 2, 2, 3, 2, 3, 3, 4};
+    return bits[mask & 0xF];
+}
+
 /** Result of a cache access. */
 struct CacheAccessResult
 {
@@ -114,16 +129,20 @@ class SectoredCache
     flushIf(Pred predicate,
             std::vector<std::pair<std::uint64_t, SectorMask>> *writebacks)
     {
-        for (auto &line : lines) {
-            if (!line.validMask)
-                continue;
-            std::uint64_t addr = line.tag * isa::cacheLineBytes;
-            if (!predicate(addr))
-                continue;
-            if (line.dirtyMask && writebacks)
-                writebacks->emplace_back(addr, line.dirtyMask);
-            line.validMask = 0;
-            line.dirtyMask = 0;
+        for (std::size_t set = 0; set < sets; ++set) {
+            std::uint64_t *tags = setTags(set);
+            for (unsigned w = 0; w < ways; ++w) {
+                if (tags[w] == invalidTag)
+                    continue;
+                std::uint64_t addr = tags[w] * isa::cacheLineBytes;
+                if (!predicate(addr))
+                    continue;
+                Meta &meta = meta_[set * ways + w];
+                if (meta.dirty && writebacks)
+                    writebacks->emplace_back(addr, meta.dirty);
+                tags[w] = invalidTag;
+                meta = Meta{};
+            }
         }
     }
 
@@ -162,20 +181,65 @@ class SectoredCache
     void reset();
 
   private:
-    struct Line
+    /**
+     * Set-blocked tag-array layout: each set owns one contiguous
+     * block of 2 * ways u64 — its tag lane followed by its LRU-stamp
+     * lane. The probe loop — by far the hottest code in the memory
+     * model — scans only the 8-byte tag lane (two cache lines for a
+     * 16-way L2 instead of the six an array-of-Line layout costs),
+     * the valid bit is folded into the tag as a sentinel so a probe
+     * is one integer compare per way, and because the LRU lane sits
+     * right behind the tag lane, a miss's victim scan stays inside
+     * the same already-fetched region — full struct-of-arrays lanes
+     * measured *slower* here, since a random set index then costs
+     * three distant memory regions per access instead of one.
+     * Sector valid/dirty masks are cold (touched only on the matched
+     * way) and live in a small separate line-indexed array.
+     */
+    struct Meta
     {
-        std::uint64_t tag = 0; //!< line address / 128
-        SectorMask validMask = 0;
-        SectorMask dirtyMask = 0;
-        std::uint64_t lastUse = 0;
+        SectorMask valid = 0;
+        SectorMask dirty = 0;
     };
 
-    Line *findVictim(std::size_t set_base);
+    /** Tag value of an invalid line; no reachable address maps to
+     *  it, so probes need no separate valid check. */
+    static constexpr std::uint64_t invalidTag = ~std::uint64_t{0};
+
+    /** Tag lane of @p set (its LRU lane starts @c ways behind it). */
+    std::uint64_t *
+    setTags(std::size_t set)
+    {
+        return &tagLru_[set * 2 * ways];
+    }
+    const std::uint64_t *
+    setTags(std::size_t set) const
+    {
+        return &tagLru_[set * 2 * ways];
+    }
+
+    /** Victim way of the set with tag lane @p tags / LRU lane
+     *  @p last — the first invalid way, else the least-recently-used
+     *  one (earliest way on ties). */
+    unsigned findVictim(const std::uint64_t *tags,
+                        const std::uint64_t *last) const;
+
+    /** Set index of @p tag: single AND when the set count is a power
+     *  of two (it always is for real L1/L2 geometries — a 64-bit
+     *  divide per access is the alternative), modulo otherwise. */
+    std::size_t
+    setOf(std::uint64_t tag) const
+    {
+        return setMask_ ? static_cast<std::size_t>(tag & setMask_)
+                        : static_cast<std::size_t>(tag % sets);
+    }
 
     std::string name_;
     unsigned sets;
     unsigned ways;
-    std::vector<Line> lines;
+    std::uint64_t setMask_ = 0; //!< sets - 1 if pow2, else 0 (use %)
+    std::vector<std::uint64_t> tagLru_; //!< per set: tags, LRU stamps
+    std::vector<Meta> meta_;            //!< sector valid/dirty masks
     std::uint64_t useClock = 1;
     Count accesses_ = 0;
     Count hits_ = 0;

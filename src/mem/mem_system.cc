@@ -1,6 +1,5 @@
 #include "mem/mem_system.hh"
 
-#include <bit>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -69,7 +68,7 @@ MemSystem::kernelBoundary(noc::Tick t, MemCounters &counters)
         l2s[g].cleanDirty(&writebacks);
 
         for (const auto &[line_addr, dirty] : writebacks) {
-            unsigned sectors = std::popcount(dirty);
+            unsigned sectors = sectorCount(dirty);
             double bytes =
                 sectors * static_cast<double>(isa::sectorBytes);
             counters.txns[static_cast<std::size_t>(
@@ -168,10 +167,10 @@ void
 MemSystem::detachTelemetry()
 {
     telTxn_ = nullptr;
-    telL1SectorHits_ = nullptr;
-    telL1SectorMisses_ = nullptr;
-    telL2SectorHits_ = nullptr;
-    telL2SectorMisses_ = nullptr;
+    telL1SectorHits_ = &nullCounter_;
+    telL1SectorMisses_ = &nullCounter_;
+    telL2SectorHits_ = &nullCounter_;
+    telL2SectorMisses_ = &nullCounter_;
     telDramQueueCycles_ = nullptr;
     for (auto &dram : drams)
         dram.setTelemetrySink(nullptr);

@@ -25,7 +25,6 @@
 #include <memory>
 #include <vector>
 
-#include <bit>
 
 #include "common/units.hh"
 #include "isa/instruction.hh"
@@ -110,10 +109,8 @@ class MemSystem
         mmgpu_assert(sm < l1s.size(), "bad SM id");
         CacheAccessResult result =
             l1s[sm].access(line_addr, sectors, is_write);
-        if (telL1SectorHits_) {
-            telL1SectorHits_->add(std::popcount(result.hitMask));
-            telL1SectorMisses_->add(std::popcount(result.missMask));
-        }
+        telL1SectorHits_->add(sectorCount(result.hitMask));
+        telL1SectorMisses_->add(sectorCount(result.missMask));
         return result;
     }
 
@@ -125,10 +122,8 @@ class MemSystem
         mmgpu_assert(gpm < l2s.size(), "bad GPM id");
         CacheAccessResult result =
             l2s[gpm].access(line_addr, sectors, is_write);
-        if (telL2SectorHits_) {
-            telL2SectorHits_->add(std::popcount(result.hitMask));
-            telL2SectorMisses_->add(std::popcount(result.missMask));
-        }
+        telL2SectorHits_->add(sectorCount(result.hitMask));
+        telL2SectorMisses_->add(sectorCount(result.missMask));
         return result;
     }
 
@@ -230,13 +225,18 @@ class MemSystem
     std::vector<noc::BandwidthServer> drams; //!< per GPM
     std::vector<noc::BandwidthServer> nocs;  //!< per GPM
 
-    // Telemetry hook handles; null while detached, so the disabled
-    // cost of each hook is one branch-on-null.
+    // Telemetry hook handles. Counter hooks point at a per-system
+    // discard sink while detached so l1Access()/l2Access() — called
+    // once per line per warp access — stay branch-free; the sampler
+    // hook stays branch-on-null (addAt does real binning work). The
+    // DRAM queue hook keeps its branch: it guards a nextFreeAt()
+    // computation, not just the add.
     telemetry::ActivitySampler *telTxn_ = nullptr;
-    telemetry::Counter *telL1SectorHits_ = nullptr;
-    telemetry::Counter *telL1SectorMisses_ = nullptr;
-    telemetry::Counter *telL2SectorHits_ = nullptr;
-    telemetry::Counter *telL2SectorMisses_ = nullptr;
+    telemetry::Counter nullCounter_;
+    telemetry::Counter *telL1SectorHits_ = &nullCounter_;
+    telemetry::Counter *telL1SectorMisses_ = &nullCounter_;
+    telemetry::Counter *telL2SectorHits_ = &nullCounter_;
+    telemetry::Counter *telL2SectorMisses_ = &nullCounter_;
     telemetry::Counter *telDramQueueCycles_ = nullptr;
 };
 

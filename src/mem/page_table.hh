@@ -40,9 +40,18 @@ class PageTable
     touch(std::uint64_t addr, unsigned accessor_gpm)
     {
         std::uint64_t page = addr / pageBytes;
+        // One-entry lookup cache: consecutive line misses land on
+        // the same 4 KB page far more often than not, and a cached
+        // page is by definition already mapped — so the hit path
+        // skips the hash probe with identical semantics (same home,
+        // no first-touch accounting change).
+        if (page == cachedPage_)
+            return cachedHome_;
         auto [it, inserted] = table.try_emplace(page, accessor_gpm);
         if (inserted)
             ++firstTouches_;
+        cachedPage_ = page;
+        cachedHome_ = it->second;
         return it->second;
     }
 
@@ -69,12 +78,19 @@ class PageTable
     {
         table.clear();
         firstTouches_ = 0;
+        cachedPage_ = noPage;
+        cachedHome_ = 0;
     }
 
   private:
+    /** Sentinel: no 64-bit byte address divides down to this page. */
+    static constexpr std::uint64_t noPage = ~std::uint64_t{0};
+
     unsigned gpmCount;
     std::unordered_map<std::uint64_t, unsigned> table;
     Count firstTouches_ = 0;
+    std::uint64_t cachedPage_ = noPage;
+    unsigned cachedHome_ = 0;
 };
 
 } // namespace mmgpu::mem

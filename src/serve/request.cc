@@ -39,6 +39,8 @@ typeFromName(const std::string &name)
         return RequestType::Study;
     if (name == "stats")
         return RequestType::Stats;
+    if (name == "prof")
+        return RequestType::Prof;
     if (name == "shutdown")
         return RequestType::Shutdown;
     return SimError::parse("unknown request type '" + name + "'");
@@ -85,6 +87,8 @@ requestTypeName(RequestType type)
         return "study";
       case RequestType::Stats:
         return "stats";
+      case RequestType::Prof:
+        return "prof";
       case RequestType::Shutdown:
         return "shutdown";
       default:

@@ -12,7 +12,8 @@
  *
  * Request fields (all but "type" optional; defaults in brackets):
  *
- *   {"type": "run" | "study" | "stats" | "ping" | "shutdown",
+ *   {"type": "run" | "study" | "stats" | "prof" | "ping" |
+ *            "shutdown",
  *    "id": "client tag echoed in the response" [""],
  *    "workload": "<Table II name>" | "all" (study only) ["Stream"],
  *    "gpms": 1|2|4|8|16|32 [4],
@@ -66,6 +67,7 @@ enum class RequestType : std::uint8_t
     Run,      //!< one (workload x configuration) design point
     Study,    //!< full scaling study vs. the 1-GPM baseline
     Stats,    //!< service statistics snapshot
+    Prof,     //!< profiler aggregates snapshot (common/prof.hh)
     Shutdown, //!< stop accepting, drain, exit the serve loop
 };
 

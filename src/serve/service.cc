@@ -52,6 +52,8 @@ SimService::SimService(const ServeOptions &options,
     mmgpu_assert(options.shards > 0, "service needs >= 1 shard");
     shardPending_.assign(options.shards, 0);
     for (std::size_t i = 0; i < options.shards; ++i) {
+        shardSites_.push_back(
+            prof::dynamicSite("serve/shard" + std::to_string(i)));
         shardQueues_.push_back(std::make_unique<ShardQueue>());
         busySinceMs_.push_back(
             std::make_unique<std::atomic<std::int64_t>>(0));
@@ -112,6 +114,9 @@ SimService::submit(Request request, ResponseCallback done)
       }
       case RequestType::Stats:
         done(statsResponse(request.id));
+        return;
+      case RequestType::Prof:
+        done(profResponse(request.id));
         return;
       case RequestType::Shutdown: {
         JsonValue result = JsonValue::object();
@@ -318,10 +323,14 @@ SimService::execute(std::size_t shard, const Job &job)
     cancel_[shard]->store(false);
     busySinceMs_[shard]->store(wallclock::nowMs());
 
+    std::int64_t job_start_ns = wallclock::nowNs();
     Response response =
         job.request.type == RequestType::Run
             ? executeRun(job.request, cancel_[shard].get())
             : executeStudy(job.request, cancel_[shard].get());
+    auto job_ns = static_cast<std::uint64_t>(wallclock::nowNs() -
+                                             job_start_ns);
+    shardSites_[shard]->addSample(job_ns, job_ns);
 
     busySinceMs_[shard]->store(0);
     generation_[shard]->fetch_add(1); // idle epoch
@@ -468,6 +477,39 @@ SimService::statsResponse(const std::string &id)
         series.push(std::move(p));
     }
     doc.set("timeseries", std::move(series));
+    // Per-shard job-time aggregates from the profiler's
+    // "serve/shard<N>" sites (sampled unconditionally in execute()).
+    JsonValue shards = JsonValue::object();
+    for (const prof::SiteSnapshot &site : prof::snapshot()) {
+        if (site.label.rfind("serve/shard", 0) != 0)
+            continue;
+        JsonValue one = JsonValue::object();
+        one.set("jobs", site.calls);
+        one.set("busy-ms",
+                static_cast<double>(site.inclusiveNs) / 1.0e6);
+        shards.set(site.label, std::move(one));
+    }
+    doc.set("prof-shards", std::move(shards));
+    return Response::ok(id, std::move(doc));
+}
+
+Response
+SimService::profResponse(const std::string &id)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("profiling-enabled", prof::enabled());
+    JsonValue sites = JsonValue::array();
+    for (const prof::SiteSnapshot &site : prof::snapshot()) {
+        JsonValue one = JsonValue::object();
+        one.set("label", site.label);
+        one.set("calls", site.calls);
+        one.set("inclusive-ns", site.inclusiveNs);
+        one.set("exclusive-ns", site.exclusiveNs);
+        if (site.count != 0)
+            one.set("count", site.count);
+        sites.push(std::move(one));
+    }
+    doc.set("sites", std::move(sites));
     return Response::ok(id, std::move(doc));
 }
 

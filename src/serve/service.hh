@@ -41,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/prof.hh"
 #include "harness/study.hh"
 #include "serve/admission.hh"
 #include "serve/request.hh"
@@ -189,6 +190,7 @@ class SimService
     Response executeStudy(const Request &request,
                           const std::atomic<bool> *cancel);
     Response statsResponse(const std::string &id);
+    Response profResponse(const std::string &id);
 
     /** Record an admission->response latency observation. */
     void recordLatency(double ms);
@@ -224,6 +226,12 @@ class SimService
     std::mutex slotMutex_;
     std::condition_variable slotCv_;
     std::vector<std::size_t> shardPending_;
+
+    // Per-shard job timers ("serve/shard<N>" profiler sites).
+    // Sampled unconditionally — shard job-time aggregates are cheap
+    // (one clock pair per job, not per event) and the stats/prof
+    // verbs report them whether or not MMGPU_PROFILE is set.
+    std::vector<prof::Site *> shardSites_;
 
     // Per-shard watchdog state: busySinceMs_ == 0 means idle.
     // generation_ stamps job epochs (bumped at job start and end) so

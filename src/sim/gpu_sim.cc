@@ -4,6 +4,7 @@
 
 #include "common/contract.hh"
 #include "common/logging.hh"
+#include "common/prof.hh"
 
 namespace mmgpu::sim
 {
@@ -69,8 +70,8 @@ GpuSim::attachTelemetry(telemetry::Telemetry *telemetry)
 void
 GpuSim::clearTelemetryHooks()
 {
-    ctrEventsWarp_ = nullptr;
-    ctrEventsMem_ = nullptr;
+    ctrEventsWarp_ = &nullCounter_;
+    ctrEventsMem_ = &nullCounter_;
     smActiveTracks_.clear();
     warpEngine_->setTelemetryHooks({});
     memPipeline_->setTxnSampler(nullptr);
@@ -160,6 +161,7 @@ GpuSim::prePlacePages(const trace::KernelProfile &profile,
 PerfResult
 GpuSim::run(const trace::KernelProfile &profile)
 {
+    MMGPU_PROF_SCOPE("sim/run");
     profile.validate();
     mmgpu_assert(calendar_.empty(),
                  "stale calendar events at run() entry");
@@ -167,7 +169,10 @@ GpuSim::run(const trace::KernelProfile &profile)
     // Zero every component back to its as-constructed state (with
     // MMGPU_CONTRACTS=2 the drain audits fire first, so a reused
     // machine cannot carry in-flight state between runs).
-    registry_.resetAll();
+    {
+        MMGPU_PROF_SCOPE("sim/reset");
+        registry_.resetAll();
+    }
     busyAccum_ = 0.0;
     stallAccum_ = 0.0;
     occupiedAccum_ = 0.0;
@@ -179,12 +184,19 @@ GpuSim::run(const trace::KernelProfile &profile)
         clearTelemetryHooks();
 
     trace::SegmentLayout layout(profile);
-    prePlacePages(profile, layout);
+    {
+        MMGPU_PROF_SCOPE("sim/preplace");
+        prePlacePages(profile, layout);
+    }
 
     noc::Tick start = 0.0;
     for (unsigned launch = 0; launch < profile.launches; ++launch) {
         noc::Tick end = runLaunch(profile, layout, launch, start);
-        end = memory_->kernelBoundary(end, memPipeline_->counters());
+        {
+            MMGPU_PROF_SCOPE("sim/kernel_boundary");
+            end = memory_->kernelBoundary(end,
+                                          memPipeline_->counters());
+        }
         endOfRun_ = end;
         start = end + static_cast<double>(config_.launchOverhead);
 
@@ -269,16 +281,41 @@ GpuSim::runLaunch(const trace::KernelProfile &profile,
                   noc::Tick start)
 {
     calendar_.advanceTo(start);
-    warpEngine_->beginLaunch(profile, layout, launch, start);
+    {
+        MMGPU_PROF_SCOPE("sim/begin_launch");
+        warpEngine_->beginLaunch(profile, layout, launch, start);
+    }
 
-    while (!calendar_.empty()) {
-        engine::Event event = calendar_.pop();
-        if (ctrEventsWarp_)
+    // The event loop is the engine's hot path, so the profiled
+    // variant is a separate loop: with MMGPU_PROFILE=0 the plain
+    // loop below runs with zero instrumentation (not even a branch
+    // per event), which is what keeps the disabled overhead
+    // unmeasurable. The profiled copy samples the clock around each
+    // step and attributes it to the warp or mem engine.
+    if (prof::enabled()) {
+        static prof::Site warpSite("sim/step_warp");
+        static prof::Site memSite("sim/step_mem");
+        while (!calendar_.empty()) {
+            engine::Event event = calendar_.pop();
             (event.isMem ? ctrEventsMem_ : ctrEventsWarp_)->add();
-        if (event.isMem)
-            memPipeline_->step(event.index, event.when);
-        else
-            warpEngine_->step(event.index, event.when);
+            std::int64_t t0 = wallclock::nowNs();
+            if (event.isMem)
+                memPipeline_->step(event.index, event.when);
+            else
+                warpEngine_->step(event.index, event.when);
+            auto dt = static_cast<std::uint64_t>(wallclock::nowNs() -
+                                                 t0);
+            (event.isMem ? memSite : warpSite).addSample(dt, dt);
+        }
+    } else {
+        while (!calendar_.empty()) {
+            engine::Event event = calendar_.pop();
+            (event.isMem ? ctrEventsMem_ : ctrEventsWarp_)->add();
+            if (event.isMem)
+                memPipeline_->step(event.index, event.when);
+            else
+                warpEngine_->step(event.index, event.when);
+        }
     }
 
     warpEngine_->endLaunch();

@@ -123,10 +123,14 @@ class GpuSim
     noc::Tick endOfRun_ = 0.0;
 
     // Telemetry. telemetry_ is the attached sink (nullable); the
-    // handles are refreshed per run, null while detached.
+    // handles are refreshed per run. The event counters point at a
+    // per-machine discard sink while detached so the event loop adds
+    // unconditionally — runLaunch() pops tens of millions of events
+    // per run and a branch per pop is measurable.
     telemetry::Telemetry *telemetry_ = nullptr;
-    telemetry::Counter *ctrEventsWarp_ = nullptr;
-    telemetry::Counter *ctrEventsMem_ = nullptr;
+    telemetry::Counter nullCounter_;
+    telemetry::Counter *ctrEventsWarp_ = &nullCounter_;
+    telemetry::Counter *ctrEventsMem_ = &nullCounter_;
     std::vector<telemetry::TimelineTrack *> smActiveTracks_;
 };
 

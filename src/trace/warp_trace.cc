@@ -79,9 +79,11 @@ WarpTrace::reset(const KernelProfile &prof, const SegmentLayout &layout,
               .fork(0x1000003ull * launch + 1)
               .fork(0x9E370001ull * cta + 3)
               .fork(0x85EBCA77ull * warp + 7);
-    schedule.clear();
-    loadState.clear();
-    storeState.clear();
+    schedKinds.clear();
+    schedOps.clear();
+    schedAccess.clear();
+    loadLanes.clear();
+    storeLanes.clear();
     iteration = 0;
     cursor = 0;
     drained_ = false;
@@ -91,65 +93,71 @@ WarpTrace::reset(const KernelProfile &prof, const SegmentLayout &layout,
                  "warp identifiers out of range");
 
     // Build per-access streaming state.
-    auto make_state = [&](const SegmentAccess &access) {
-        AccessState state;
-        state.segBase = layout.base(access.segment);
-        state.segSize = layout.size(access.segment);
+    auto push_state = [&](const SegmentAccess &access,
+                          AccessLanes &lanes) {
+        std::uint64_t seg_base = layout.base(access.segment);
+        Bytes seg_size = layout.size(access.segment);
 
         // CTA-partitioned chunk, line aligned.
         Bytes chunk = alignUp(
-            std::max<Bytes>(state.segSize / prof.ctaCount,
+            std::max<Bytes>(seg_size / prof.ctaCount,
                             isa::cacheLineBytes),
             isa::cacheLineBytes);
         std::uint64_t cta_offset = static_cast<std::uint64_t>(cta) * chunk;
-        cta_offset %= state.segSize; // wrap tiny segments
-        state.ctaBase = state.segBase + cta_offset;
+        cta_offset %= seg_size; // wrap tiny segments
+        std::uint64_t cta_base = seg_base + cta_offset;
 
         unsigned stride = std::max(1u, access.haloStride);
         unsigned up = (cta + stride) % prof.ctaCount;
         unsigned down = (cta + prof.ctaCount - stride % prof.ctaCount)
                         % prof.ctaCount;
-        state.haloUpBase =
-            state.segBase +
-            (static_cast<std::uint64_t>(up) * chunk) % state.segSize;
-        state.haloDownBase =
-            state.segBase +
-            (static_cast<std::uint64_t>(down) * chunk) % state.segSize;
+        lanes.haloUpBase.push_back(
+            seg_base +
+            (static_cast<std::uint64_t>(up) * chunk) % seg_size);
+        lanes.haloDownBase.push_back(
+            seg_base +
+            (static_cast<std::uint64_t>(down) * chunk) % seg_size);
 
         // Warp slice within the chunk.
         Bytes slice = alignUp(
             std::max<Bytes>(chunk / prof.warpsPerCta,
                             isa::cacheLineBytes),
             isa::cacheLineBytes);
-        state.ctaBase += static_cast<std::uint64_t>(warp % prof.warpsPerCta)
-                         * slice;
-        state.span = slice;
+        cta_base += static_cast<std::uint64_t>(warp % prof.warpsPerCta)
+                    * slice;
 
+        lanes.ctaBase.push_back(cta_base);
+        lanes.span.push_back(slice);
+        lanes.segBase.push_back(seg_base);
+        lanes.segSize.push_back(seg_size);
         // Iterative apps: every launch re-walks the same bytes, so
         // position restarts at 0 for all launches by construction.
-        state.position = 0;
-        return state;
+        lanes.position.push_back(0);
     };
 
     for (const auto &access : prof.loads)
-        loadState.push_back(make_state(access));
+        push_state(access, loadLanes);
     for (const auto &access : prof.stores)
-        storeState.push_back(make_state(access));
+        push_state(access, storeLanes);
 
     // Build the per-iteration schedule: global loads (memory-level
     // parallelism is enforced by the simulator's per-warp outstanding
     // window, not by explicit syncs), shared loads, one aggregated
     // compute block, stores.
+    auto push_op = [&](SchedKind kind, isa::Opcode op,
+                       std::uint32_t access_index) {
+        schedKinds.push_back(kind);
+        schedOps.push_back(op);
+        schedAccess.push_back(access_index);
+    };
+
     for (unsigned i = 0; i < prof.loads.size(); ++i) {
-        for (unsigned n = 0; n < prof.loads[i].perIteration; ++n) {
-            schedule.push_back(
-                {SchedOp::Kind::GlobalLoad, isa::Opcode::LD_GLOBAL, i});
-        }
+        for (unsigned n = 0; n < prof.loads[i].perIteration; ++n)
+            push_op(SchedKind::GlobalLoad, isa::Opcode::LD_GLOBAL, i);
     }
 
     for (unsigned n = 0; n < prof.sharedLoadsPerIter; ++n)
-        schedule.push_back(
-            {SchedOp::Kind::SharedLoad, isa::Opcode::LD_SHARED, 0});
+        push_op(SchedKind::SharedLoad, isa::Opcode::LD_SHARED, 0);
 
     // Aggregate the compute mix into one dependent-chain block: the
     // block charges the SM issue pipeline for every instruction and
@@ -161,54 +169,75 @@ WarpTrace::reset(const KernelProfile &prof, const SegmentLayout &layout,
         block_latency += mix.perIteration * isa::defaultLatency(mix.op);
     }
     if (block_slots > 0) {
-        schedule.push_back(
-            {SchedOp::Kind::ComputeBlock, isa::Opcode::MOV32, 0});
+        push_op(SchedKind::ComputeBlock, isa::Opcode::MOV32, 0);
         blockOp = isa::TraceOp::computeBlock(block_slots, block_latency);
     }
 
     for (unsigned i = 0; i < prof.stores.size(); ++i)
         for (unsigned n = 0; n < prof.stores[i].perIteration; ++n)
-            schedule.push_back(
-                {SchedOp::Kind::GlobalStore, isa::Opcode::ST_GLOBAL, i});
+            push_op(SchedKind::GlobalStore, isa::Opcode::ST_GLOBAL, i);
 
-    mmgpu_assert(!schedule.empty(),
+    mmgpu_assert(!schedKinds.empty(),
                  "profile '", prof.name, "' generates empty warps");
     (void)launch;
 }
 
+namespace
+{
+
+/**
+ * (pos + step) % limit for the streaming walks, where pos < limit
+ * and step <= limit always hold — so the modulo is a single
+ * compare-and-subtract instead of a hardware 64-bit division.
+ */
+inline std::uint64_t
+wrapAdvance(std::uint64_t pos, std::uint64_t step, std::uint64_t limit)
+{
+    pos += step;
+    return pos >= limit ? pos - limit : pos;
+}
+
+} // namespace
+
 isa::TraceOp
-WarpTrace::makeAccess(const SegmentAccess &access, AccessState &state,
-                      bool is_store)
+WarpTrace::makeAccess(const SegmentAccess &access, AccessLanes &lanes,
+                      unsigned index, bool is_store)
 {
     std::uint64_t addr = 0;
     std::uint8_t sectors = 4; // fully coalesced 128 B line
 
     const Bytes line = isa::cacheLineBytes;
+    std::uint64_t seg_base = lanes.segBase[index];
+    Bytes seg_size = lanes.segSize[index];
     AccessPattern pattern = access.pattern;
     if (access.irregular > 0.0 && rng.chance(access.irregular))
         pattern = AccessPattern::Random;
     switch (pattern) {
       case AccessPattern::BlockStream:
-        addr = state.ctaBase + state.position;
-        state.position = (state.position + line) % state.span;
+        addr = lanes.ctaBase[index] + lanes.position[index];
+        lanes.position[index] = wrapAdvance(lanes.position[index],
+                                            line, lanes.span[index]);
         break;
       case AccessPattern::Stencil:
         if (rng.chance(access.haloFraction)) {
-            std::uint64_t base = rng.chance(0.5) ? state.haloUpBase
-                                                 : state.haloDownBase;
-            addr = base + rng.below(state.span / line) * line;
+            std::uint64_t base = rng.chance(0.5)
+                                     ? lanes.haloUpBase[index]
+                                     : lanes.haloDownBase[index];
+            addr = base + rng.below(lanes.span[index] / line) * line;
         } else {
-            addr = state.ctaBase + state.position;
-            state.position = (state.position + line) % state.span;
+            addr = lanes.ctaBase[index] + lanes.position[index];
+            lanes.position[index] = wrapAdvance(
+                lanes.position[index], line, lanes.span[index]);
         }
         break;
       case AccessPattern::Random:
       case AccessPattern::Chase:
-        addr = state.segBase + rng.below(state.segSize / line) * line;
+        addr = seg_base + rng.below(seg_size / line) * line;
         break;
       case AccessPattern::Broadcast:
-        addr = state.segBase + state.position;
-        state.position = (state.position + line) % state.segSize;
+        addr = seg_base + lanes.position[index];
+        lanes.position[index] =
+            wrapAdvance(lanes.position[index], line, seg_size);
         break;
       default:
         mmgpu_panic("bad access pattern");
@@ -218,7 +247,7 @@ WarpTrace::makeAccess(const SegmentAccess &access, AccessState &state,
         sectors = 8;
 
     // Keep divergent footprints inside the segment.
-    std::uint64_t span_end = state.segBase + state.segSize;
+    std::uint64_t span_end = seg_base + seg_size;
     if (addr + sectors * isa::sectorBytes > span_end)
         addr = span_end - sectors * isa::sectorBytes;
 
@@ -228,48 +257,27 @@ WarpTrace::makeAccess(const SegmentAccess &access, AccessState &state,
 }
 
 isa::TraceOp
-WarpTrace::materialize(const SchedOp &slot)
+WarpTrace::materialize(std::size_t slot)
 {
-    switch (slot.kind) {
-      case SchedOp::Kind::Compute:
-        return isa::TraceOp::compute(slot.op);
-      case SchedOp::Kind::ComputeBlock:
+    std::uint32_t access = schedAccess[slot];
+    switch (schedKinds[slot]) {
+      case SchedKind::Compute:
+        return isa::TraceOp::compute(schedOps[slot]);
+      case SchedKind::ComputeBlock:
         return blockOp;
-      case SchedOp::Kind::SharedLoad:
+      case SchedKind::SharedLoad:
         return isa::TraceOp::loadShared();
-      case SchedOp::Kind::GlobalLoad:
-        return makeAccess(profile->loads[slot.accessIndex],
-                          loadState[slot.accessIndex], false);
-      case SchedOp::Kind::GlobalStore:
-        return makeAccess(profile->stores[slot.accessIndex],
-                          storeState[slot.accessIndex], true);
-      case SchedOp::Kind::Sync:
+      case SchedKind::GlobalLoad:
+        return makeAccess(profile->loads[access], loadLanes, access,
+                          false);
+      case SchedKind::GlobalStore:
+        return makeAccess(profile->stores[access], storeLanes, access,
+                          true);
+      case SchedKind::Sync:
         return isa::TraceOp::sync();
       default:
         mmgpu_panic("bad schedule op");
     }
-}
-
-isa::TraceOp
-WarpTrace::next()
-{
-    if (finished_)
-        return isa::TraceOp::exit();
-    if (iteration >= profile->iterations) {
-        if (!drained_) {
-            // Wait for all in-flight loads before retiring.
-            drained_ = true;
-            return isa::TraceOp::sync();
-        }
-        finished_ = true;
-        return isa::TraceOp::exit();
-    }
-    isa::TraceOp op = materialize(schedule[cursor]);
-    if (++cursor >= schedule.size()) {
-        cursor = 0;
-        ++iteration;
-    }
-    return op;
 }
 
 } // namespace mmgpu::trace

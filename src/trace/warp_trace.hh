@@ -93,51 +93,95 @@ class WarpTrace
      * Produce the next trace operation.
      * @return the op; TraceOpKind::Exit once the warp is finished
      *         (and forever after).
+     *
+     * Inline: the bookkeeping half (finish/drain checks, cursor
+     * walk) folds into the warp engine's step loop; only the
+     * per-kind materialization stays out of line.
      */
-    isa::TraceOp next();
+    isa::TraceOp
+    next()
+    {
+        if (finished_)
+            return isa::TraceOp::exit();
+        if (iteration >= profile->iterations) {
+            if (!drained_) {
+                // Wait for all in-flight loads before retiring.
+                drained_ = true;
+                return isa::TraceOp::sync();
+            }
+            finished_ = true;
+            return isa::TraceOp::exit();
+        }
+        isa::TraceOp op = materialize(cursor);
+        if (++cursor >= schedKinds.size()) {
+            cursor = 0;
+            ++iteration;
+        }
+        return op;
+    }
 
     /** @return true once Exit has been produced. */
     bool finished() const { return finished_; }
 
   private:
-    /** One slot of the per-iteration schedule built at construction. */
-    struct SchedOp
+    /** Kind of one slot of the per-iteration schedule. */
+    enum class SchedKind : std::uint8_t
     {
-        enum class Kind : std::uint8_t
+        Compute,
+        ComputeBlock,
+        SharedLoad,
+        GlobalLoad,
+        GlobalStore,
+        Sync,
+    };
+
+    /**
+     * Streaming state against the SegmentAccesses of one direction
+     * (loads or stores), laid out struct-of-arrays: the schedule
+     * walk is a sequential scan over the one-byte kind lane, and an
+     * access touches its per-field lanes — the frequently-written
+     * stream position lives apart from the read-only geometry.
+     */
+    struct AccessLanes
+    {
+        std::vector<std::uint64_t> ctaBase;  //!< warp's chunk base
+        std::vector<Bytes> span;        //!< bytes streamed over
+        std::vector<std::uint64_t> position; //!< current offset
+        std::vector<std::uint64_t> segBase;  //!< whole-segment base
+        std::vector<Bytes> segSize;     //!< whole-segment size
+        std::vector<std::uint64_t> haloUpBase;   //!< +stride chunk
+        std::vector<std::uint64_t> haloDownBase; //!< -stride chunk
+
+        void
+        clear()
         {
-            Compute,
-            ComputeBlock,
-            SharedLoad,
-            GlobalLoad,
-            GlobalStore,
-            Sync,
-        } kind;
-        isa::Opcode op;        //!< for Compute
-        unsigned accessIndex;  //!< for GlobalLoad/GlobalStore
+            ctaBase.clear();
+            span.clear();
+            position.clear();
+            segBase.clear();
+            segSize.clear();
+            haloUpBase.clear();
+            haloDownBase.clear();
+        }
     };
 
-    /** Streaming state against one SegmentAccess. */
-    struct AccessState
-    {
-        std::uint64_t ctaBase = 0;   //!< this warp's chunk base
-        Bytes span = 0;              //!< bytes this warp streams over
-        std::uint64_t position = 0;  //!< current stream offset
-        std::uint64_t segBase = 0;   //!< whole-segment base
-        Bytes segSize = 0;           //!< whole-segment size
-        std::uint64_t haloUpBase = 0;   //!< +stride neighbour chunk
-        std::uint64_t haloDownBase = 0; //!< -stride neighbour chunk
-    };
-
-    isa::TraceOp materialize(const SchedOp &slot);
+    isa::TraceOp materialize(std::size_t slot);
     isa::TraceOp makeAccess(const SegmentAccess &access,
-                            AccessState &state, bool is_store);
+                            AccessLanes &lanes, unsigned index,
+                            bool is_store);
 
     // Pointer rather than a reference so reset() can re-bind the
     // object (and so WarpTrace stays assignable for pooling).
     const KernelProfile *profile;
-    std::vector<SchedOp> schedule;
-    std::vector<AccessState> loadState;
-    std::vector<AccessState> storeState;
+
+    // The per-iteration schedule, struct-of-arrays (parallel lanes
+    // indexed by the cursor).
+    std::vector<SchedKind> schedKinds;
+    std::vector<isa::Opcode> schedOps;       //!< for Compute
+    std::vector<std::uint32_t> schedAccess;  //!< load/store index
+
+    AccessLanes loadLanes;
+    AccessLanes storeLanes;
     isa::TraceOp blockOp; //!< the shared per-iteration compute block
     Rng rng;
     unsigned iteration = 0;

@@ -1,0 +1,28 @@
+// lint-path: src/engine/fixture_prof_clock.cc
+// Golden violation fixture: hand-rolled nanosecond timing in engine
+// code. Every construct below must trip determinism-clock — the
+// profiler's monotonic-ns reads belong behind wallclock::nowNs()
+// (common/prof.hh goes through the shim for exactly this reason).
+
+#include <chrono>
+#include <ctime>
+
+namespace mmgpu::fixture
+{
+
+long
+profileHotLoopByHand()
+{
+    auto t0 = std::chrono::steady_clock::now();          // banned type
+    auto t1 = std::chrono::high_resolution_clock::now(); // banned type
+    long ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts); // banned call
+    ns += ts.tv_nsec;
+    ns += static_cast<long>(clock());    // banned call
+    return ns;
+}
+
+} // namespace mmgpu::fixture

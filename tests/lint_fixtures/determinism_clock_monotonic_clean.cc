@@ -1,0 +1,28 @@
+// lint-path: src/engine/fixture_prof_clock_clean.cc
+// Clean twin of determinism_clock_monotonic_bad.cc: the same
+// nanosecond-granularity interval timing, but through the wallclock
+// shim's monotonic-ns primitive (the profiler's clock), plus a
+// look-alike member name that must NOT trip the rule.
+
+#include <cstdint>
+
+#include "common/wallclock.hh"
+
+namespace mmgpu::fixture
+{
+
+struct Sample
+{
+    std::int64_t clock = 0; //!< member named like the libc function
+};
+
+std::int64_t
+profileHotLoop(Sample &sample)
+{
+    const std::int64_t t0 = wallclock::nowNs(); // sanctioned shim
+    sample.clock += 1; // member access, not a call
+    const std::int64_t t1 = wallclock::nowNs();
+    return t1 - t0;
+}
+
+} // namespace mmgpu::fixture

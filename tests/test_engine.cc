@@ -22,6 +22,7 @@
 #include "engine/calendar.hh"
 #include "engine/component.hh"
 #include "engine/cta_policy.hh"
+#include "engine/pool.hh"
 #include "sm/cta_scheduler.hh"
 
 namespace
@@ -196,6 +197,198 @@ TEST(Calendar, ResetRestoresFreshlyConstructedBehaviour)
         EXPECT_EQ(a[i].isMem, b[i].isMem);
     }
 }
+
+TEST(Calendar, ScheduleBatchMatchesSequentialScheduleExactly)
+{
+    // The determinism contract scheduleBatch() must honor: the final
+    // heap layout — and therefore every subsequent pop, including
+    // same-tick tie order — is identical to element-wise schedule()
+    // calls in the same order. Drive both calendars through a long
+    // interleave of bursts and pops with heavy timestamp ties.
+    Calendar batched;
+    Calendar sequential;
+    std::uint64_t lcg = 98765;
+    auto next = [&lcg]() {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<std::uint32_t>(lcg >> 33);
+    };
+    std::uint32_t serial = 0;
+    for (int round = 0; round < 500; ++round) {
+        const std::uint32_t roll = next();
+        if (roll % 3 != 0 || batched.empty()) {
+            // Bursts of 1..8 events; coarse times force ties both
+            // inside a burst and across bursts.
+            const std::size_t burst = 1 + next() % 8;
+            std::vector<Event> events;
+            for (std::size_t k = 0; k < burst; ++k) {
+                const double when = static_cast<double>(next() % 4);
+                const bool is_mem = (next() & 1) != 0;
+                events.push_back({when, serial, is_mem});
+                ++serial;
+            }
+            batched.scheduleBatch(events.data(), events.size());
+            for (const Event &e : events)
+                sequential.schedule(e.when, e.index, e.isMem);
+        } else {
+            const Event ours = batched.pop();
+            const Event theirs = sequential.pop();
+            EXPECT_DOUBLE_EQ(ours.when, theirs.when);
+            ASSERT_EQ(ours.index, theirs.index)
+                << "batch vs sequential diverged at round " << round;
+            EXPECT_EQ(ours.isMem, theirs.isMem);
+        }
+    }
+    ASSERT_EQ(batched.pending(), sequential.pending());
+    while (!batched.empty())
+        ASSERT_EQ(batched.pop().index, sequential.pop().index);
+}
+
+TEST(Calendar, ScheduleBatchSameTickTiesMatchSequential)
+{
+    // The CTA-dispatch shape: every event of the burst lands at the
+    // same tick (warps of one CTA all start at t), on top of a heap
+    // already holding earlier and later events. Tie pop order must
+    // match element-wise schedule() exactly.
+    Calendar batched;
+    Calendar sequential;
+    const double preload[] = {5.0, 2.0, 2.0, 9.0, 2.0};
+    std::uint32_t serial = 0;
+    for (double t : preload) {
+        batched.schedule(t, serial, false);
+        sequential.schedule(t, serial, false);
+        ++serial;
+    }
+    std::vector<Event> burst;
+    for (unsigned w = 0; w < 16; ++w) {
+        burst.push_back({2.0, serial, false});
+        ++serial;
+    }
+    batched.scheduleBatch(burst.data(), burst.size());
+    for (const Event &e : burst)
+        sequential.schedule(e.when, e.index, e.isMem);
+    ASSERT_EQ(batched.pending(), sequential.pending());
+    while (!batched.empty()) {
+        const Event ours = batched.pop();
+        const Event theirs = sequential.pop();
+        EXPECT_DOUBLE_EQ(ours.when, theirs.when);
+        ASSERT_EQ(ours.index, theirs.index);
+    }
+}
+
+TEST(Calendar, ScheduleBatchOfZeroEventsIsANoOp)
+{
+    Calendar calendar;
+    calendar.schedule(1.0, 0, false);
+    calendar.scheduleBatch(nullptr, 0);
+    EXPECT_EQ(calendar.pending(), 1u);
+    EXPECT_EQ(calendar.pop().index, 0u);
+}
+
+// ------------------------------------------------------------- //
+// GenPool: generation-checked bump allocation.
+
+TEST(GenPool, HandlesRoundTripAndStorePayloads)
+{
+    engine::GenPool<int> pool;
+    const std::uint32_t a = pool.alloc();
+    const std::uint32_t b = pool.alloc();
+    ASSERT_NE(a, b);
+    pool.at(a) = 41;
+    pool.at(b) = 42;
+    EXPECT_EQ(pool.at(a), 41);
+    EXPECT_EQ(pool.at(b), 42);
+    EXPECT_EQ(pool.inFlight(), 2u);
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.inFlight(), 0u);
+}
+
+TEST(GenPool, ReleasedSlotIsReusedWithANewGeneration)
+{
+    engine::GenPool<int> pool;
+    const std::uint32_t first = pool.alloc();
+    pool.release(first);
+    const std::uint32_t second = pool.alloc();
+    // Free-list-first allocation: same slot index, bumped generation
+    // — the stale handle and the live one must differ.
+    EXPECT_EQ(first & engine::GenPool<int>::indexMask,
+              second & engine::GenPool<int>::indexMask);
+    EXPECT_NE(first, second);
+    pool.at(second) = 7;
+    EXPECT_EQ(pool.at(second), 7);
+}
+
+TEST(GenPool, HandleSequenceIsAPureFunctionOfTheCallSequence)
+{
+    // Two pools driven through the same alloc/release script hand
+    // out identical handles — the property that keeps pool-indexed
+    // calendar events bit-identical across fresh and reused machines.
+    auto drive = [](engine::GenPool<int> &pool) {
+        std::vector<std::uint32_t> handles;
+        std::vector<std::uint32_t> live;
+        std::uint64_t lcg = 777;
+        for (int round = 0; round < 300; ++round) {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            const std::uint32_t roll =
+                static_cast<std::uint32_t>(lcg >> 33);
+            if (roll % 3 != 0 || live.empty()) {
+                const std::uint32_t h = pool.alloc();
+                handles.push_back(h);
+                live.push_back(h);
+            } else {
+                const std::size_t pick = roll % live.size();
+                pool.release(live[pick]);
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(pick));
+            }
+        }
+        return handles;
+    };
+    engine::GenPool<int> a;
+    engine::GenPool<int> b;
+    EXPECT_EQ(drive(a), drive(b));
+}
+
+TEST(GenPool, ResetRunRewindsButInvalidatesOldHandles)
+{
+    engine::GenPool<int> pool;
+    const std::uint32_t before = pool.alloc();
+    pool.at(before) = 1;
+    pool.resetRun();
+    EXPECT_EQ(pool.inFlight(), 0u);
+    const std::uint32_t after = pool.alloc();
+    // Bump allocation restarts at slot 0, but the generation moved:
+    // a handle from the previous run can never alias the new one.
+    EXPECT_EQ(after & engine::GenPool<int>::indexMask,
+              before & engine::GenPool<int>::indexMask);
+    EXPECT_NE(after, before);
+    pool.release(after);
+}
+
+#if MMGPU_CONTRACT_LEVEL >= 2
+TEST(GenPoolDeathTest, StaleHandleDereferenceDiesUnderAudits)
+{
+    // The index-pool version of use-after-free: an event carrying a
+    // handle whose slot was recycled. With audits armed the
+    // generation check must kill the process, not hand back an
+    // unrelated task's storage.
+    engine::GenPool<int> pool;
+    const std::uint32_t stale = pool.alloc();
+    pool.release(stale);
+    const std::uint32_t fresh = pool.alloc(); // recycles the slot
+    (void)fresh;
+    EXPECT_DEATH(pool.at(stale), "stale pool handle");
+}
+
+TEST(GenPoolDeathTest, StaleHandleReleaseDiesUnderAudits)
+{
+    engine::GenPool<int> pool;
+    const std::uint32_t handle = pool.alloc();
+    pool.release(handle);
+    EXPECT_DEATH(pool.release(handle), "stale pool handle");
+}
+#endif
 
 // ------------------------------------------------------------- //
 // Component protocol.

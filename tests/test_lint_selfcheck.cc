@@ -93,6 +93,8 @@ struct RulePair
 const RulePair rulePairs[] = {
     {"determinism-clock", "determinism_clock_bad.cc",
      "determinism_clock_clean.cc", 5},
+    {"determinism-clock", "determinism_clock_monotonic_bad.cc",
+     "determinism_clock_monotonic_clean.cc", 4},
     {"determinism-ptr-key", "determinism_ptr_key_bad.cc",
      "determinism_ptr_key_clean.cc", 3},
     {"determinism-float-accum", "determinism_float_accum_bad.cc",

@@ -145,6 +145,49 @@ TEST(ParallelRunner, BitIdenticalAcrossWorkerCounts)
     }
 }
 
+TEST(ParallelRunner, FigureSweepBitIdenticalAcrossWorkersAndReuse)
+{
+    // The figure sweeps (fig2/fig6) run real catalog workloads over
+    // the module-count axis through pooled, reused machines and a
+    // worker fleet. Pin the hot-path optimizations down against both
+    // hazards at once: a sweep executed with 1, 2, and 8 workers
+    // must be bit-identical, and every point must equal the same
+    // point computed on a fresh single-purpose runner (fresh
+    // machine, no reuse). One light catalog workload keeps this
+    // affordable in tier1/tier2; the full sweeps are compared
+    // hexfloat-exactly by the bench gate (scripts/ci.sh).
+    auto workload = trace::findWorkload("Stream");
+    ASSERT_TRUE(workload.has_value());
+    const std::vector<sim::GpuConfig> configs = {
+        sim::multiGpmConfig(2, sim::BwSetting::Bw2x),
+        sim::multiGpmConfig(8, sim::BwSetting::Bw2x),
+    };
+
+    auto sweep = [&](unsigned workers) {
+        ScalingRunner runner(context());
+        ParallelRunner pool(runner, workers);
+        pool.enqueueStudy(configs[0], {*workload});
+        pool.enqueueStudy(configs[1], {*workload});
+        pool.drain();
+        std::vector<RunOutcome> outcomes;
+        for (const auto &config : configs)
+            outcomes.push_back(runner.run(config, *workload));
+        return outcomes;
+    };
+
+    const auto serial = sweep(1);
+    const auto two = sweep(2);
+    const auto eight = sweep(8);
+    ASSERT_EQ(serial.size(), configs.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        expectIdentical(serial[i], two[i]);
+        expectIdentical(serial[i], eight[i]);
+        // Fresh runner, fresh machine: no pool, no reuse.
+        ScalingRunner fresh(context());
+        expectIdentical(serial[i], fresh.run(configs[i], *workload));
+    }
+}
+
 TEST(ParallelRunner, ReferencesStayValidUnderInsertion)
 {
     // The memo cache hands out references into its map; inserting
