@@ -26,9 +26,20 @@
  * --link-energy-scale, --priority. --gpms-list (verify/soak) limits
  * the sweep's module counts, e.g. --gpms-list 4,32.
  *
+ * Resilience flags: --retries N (attempts per request, default 4),
+ * --hedge-after-ms MS (hedged second connection for study requests),
+ * --retry-seed N (deterministic backoff jitter), --client NAME
+ * (quota identity; defaults to the connection). --soak and
+ * --verify-fig6 survive injected connection resets, shard crashes,
+ * and load shedding by retrying per this policy, exit nonzero on any
+ * mismatch/timeout/terminal failure, and end with a summary table
+ * (requests, retries, reconnects, hedges, rejects by reason,
+ * latency p50/p95).
+ *
  * Flags accept both "--flag value" and "--flag=value".
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/wallclock.hh"
 #include "harness/study.hh"
 #include "serve/client.hh"
 #include "serve/request.hh"
@@ -62,9 +74,55 @@ usage(const char *argv0)
         "          [--placement first-touch|striped]\n"
         "          [--cta-sched distributed|round-robin]\n"
         "          [--link-energy-scale F] [--priority 0|1|2]\n"
-        "          [--gpms-list N,N,...] [--timeout-ms MS]\n",
+        "          [--gpms-list N,N,...] [--timeout-ms MS]\n"
+        "          [--retries N] [--hedge-after-ms MS]\n"
+        "          [--retry-seed N] [--client NAME]\n",
         argv0);
     std::exit(2);
+}
+
+/** q-th percentile (q in [0,1]) of @p samples; 0 when empty. */
+double
+percentileMs(std::vector<double> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    std::size_t index = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1) + 0.5);
+    return samples[std::min(index, samples.size() - 1)];
+}
+
+/** The end-of-run summary the soak/verify verbs always print. */
+void
+printSummary(const serve::ClientCounters &counters,
+             const std::vector<double> &latencies)
+{
+    std::printf("---- mmgpu_client summary ----\n");
+    std::printf("  requests          %10llu\n",
+                static_cast<unsigned long long>(counters.requests));
+    std::printf("  retries           %10llu\n",
+                static_cast<unsigned long long>(counters.retries));
+    std::printf("  reconnects        %10llu\n",
+                static_cast<unsigned long long>(counters.reconnects));
+    std::printf("  hedges launched   %10llu\n",
+                static_cast<unsigned long long>(
+                    counters.hedgesLaunched));
+    std::printf("  hedges won        %10llu\n",
+                static_cast<unsigned long long>(counters.hedgesWon));
+    std::printf("  rejected: quota   %10llu\n",
+                static_cast<unsigned long long>(
+                    counters.rejectedQuota));
+    std::printf("  rejected: shed    %10llu\n",
+                static_cast<unsigned long long>(
+                    counters.rejectedShed));
+    std::printf("  rejected: other   %10llu\n",
+                static_cast<unsigned long long>(
+                    counters.rejectedOther));
+    std::printf("  latency p50       %10.1f ms\n",
+                percentileMs(latencies, 0.50));
+    std::printf("  latency p95       %10.1f ms\n",
+                percentileMs(latencies, 0.95));
 }
 
 std::vector<unsigned>
@@ -131,8 +189,9 @@ checkField(const std::string &workload, const char *field,
 int
 verifyFig6(serve::ServeClient &client,
            const std::vector<unsigned> &gpm_counts,
-           std::int64_t timeout_ms)
+           const serve::RetryPolicy &policy)
 {
+    std::vector<double> latencies;
     // The reference: a fresh in-process computation with the
     // persistent cache detached, so nothing the daemon wrote can
     // leak into the numbers being checked against it.
@@ -150,16 +209,19 @@ verifyFig6(serve::ServeClient &client,
         request.spec.gpms = gpms;
         request.spec.bw = sim::BwSetting::Bw2x;
 
-        Result<serve::Response> reply =
-            client.roundTrip(request, timeout_ms);
+        std::int64_t asked_ms = wallclock::nowMs();
+        Result<serve::Response> reply = client.call(request, policy);
         if (!reply.ok() ||
             reply.value().status != serve::ResponseStatus::Ok) {
             std::fprintf(stderr, "verify-fig6: %u GPMs: %s\n", gpms,
                          reply.ok()
                              ? reply.value().message.c_str()
                              : reply.error().describe().c_str());
+            printSummary(client.counters(), latencies);
             return 1;
         }
+        latencies.push_back(
+            static_cast<double>(wallclock::nowMs() - asked_ms));
 
         sim::GpuConfig config = request.spec.config();
         std::vector<harness::ScalingPoint> local =
@@ -190,66 +252,213 @@ verifyFig6(serve::ServeClient &client,
                      all_ok ? "bit-identical" : "MISMATCHED");
     }
     std::printf("verify-fig6: %s\n", all_ok ? "PASS" : "FAIL");
+    printSummary(client.counters(), latencies);
     return all_ok ? 0 : 1;
 }
 
 int
-soak(serve::ServeClient &client, unsigned rounds,
-     const std::vector<unsigned> &gpm_counts,
-     std::int64_t timeout_ms)
+soak(serve::ServeClient &client, const std::string &socket_path,
+     unsigned rounds, const std::vector<unsigned> &gpm_counts,
+     std::int64_t timeout_ms, const serve::RetryPolicy &policy,
+     const std::string &client_name)
 {
     // Pipeline the whole duplicate-heavy load before reading a
     // single response: the daemon's admission queue, dedup table,
     // and per-connection write path all get exercised at depth.
-    std::vector<std::string> ids;
+    // Resilience is handled here rather than via call() so the
+    // pipelined shape survives chaos: a broken connection re-sends
+    // every unanswered request (the daemon memoizes, so re-asks are
+    // cheap), rejects retry after the daemon's hint, and only
+    // terminal verdicts (poisoned, config) or a response timeout
+    // fail the soak.
+    struct Pending
+    {
+        serve::Request request;
+        std::int64_t sentMs = 0;
+        std::int64_t dueMs = 0; //!< earliest re-send (retry-after)
+        int attempts = 0;
+    };
+    std::map<std::string, Pending> outstanding;
+    std::vector<std::string> to_send;
     for (unsigned round = 0; round < rounds; ++round) {
         for (unsigned gpms : gpm_counts) {
             for (const trace::KernelProfile &profile :
                  trace::scalingWorkloads()) {
-                serve::Request request;
-                request.type = serve::RequestType::Run;
-                request.id = "soak-" + std::to_string(round) + "-" +
-                             std::to_string(gpms) + "-" +
-                             profile.name;
-                request.spec.workload = profile.name;
-                request.spec.gpms = gpms;
-                request.spec.bw = sim::BwSetting::Bw2x;
-                request.priority = static_cast<int>(round % 3);
-                if (Result<void> sent =
-                        client.sendLine(request.encode());
-                    !sent.ok()) {
-                    std::fprintf(stderr, "soak: %s\n",
-                                 sent.error().describe().c_str());
-                    return 1;
-                }
-                ids.push_back(request.id);
+                Pending pending;
+                pending.request.type = serve::RequestType::Run;
+                pending.request.id =
+                    "soak-" + std::to_string(round) + "-" +
+                    std::to_string(gpms) + "-" + profile.name;
+                pending.request.client = client_name;
+                pending.request.spec.workload = profile.name;
+                pending.request.spec.gpms = gpms;
+                pending.request.spec.bw = sim::BwSetting::Bw2x;
+                pending.request.priority =
+                    static_cast<int>(round % 3);
+                to_send.push_back(pending.request.id);
+                outstanding.emplace(pending.request.id,
+                                    std::move(pending));
             }
         }
     }
 
+    serve::ClientCounters counters;
+    counters.requests = outstanding.size();
+    std::vector<double> latencies;
     std::size_t ok = 0;
     std::size_t failed = 0;
-    for (std::size_t i = 0; i < ids.size(); ++i) {
-        Result<std::string> line = client.recvLine(timeout_ms);
-        if (!line.ok()) {
-            std::fprintf(stderr, "soak: %s\n",
-                         line.error().describe().c_str());
-            return 1;
+    const int max_attempts = std::max(policy.maxAttempts, 1);
+    std::size_t inflight = 0; //!< sent, answer not yet seen
+
+    while (!outstanding.empty()) {
+        if (!client.connected()) {
+            if (Result<void> re = client.connect(socket_path, 5000);
+                !re.ok()) {
+                std::fprintf(stderr, "soak: reconnect: %s\n",
+                             re.error().describe().c_str());
+                printSummary(counters, latencies);
+                return 1;
+            }
+            counters.reconnects += 1;
+            // Responses in flight died with the old connection:
+            // re-ask for everything unanswered, immediately.
+            inflight = 0;
+            to_send.clear();
+            for (auto &[id, pending] : outstanding) {
+                pending.dueMs = 0;
+                to_send.push_back(id);
+            }
         }
-        Result<serve::Response> response =
-            serve::parseResponse(line.value());
-        if (!response.ok()) {
-            std::fprintf(stderr, "soak: bad response: %s\n",
-                         line.value().c_str());
-            return 1;
+
+        // Send what is due; keep deferred retries for their slot.
+        std::vector<std::string> later;
+        std::int64_t now = wallclock::nowMs();
+        bool transport_ok = true;
+        for (const std::string &id : to_send) {
+            auto it = outstanding.find(id);
+            if (it == outstanding.end())
+                continue; // answered by a stale duplicate already
+            if (!transport_ok || it->second.dueMs > now) {
+                later.push_back(id);
+                continue;
+            }
+            it->second.attempts += 1;
+            it->second.sentMs = now;
+            if (Result<void> sent =
+                    client.sendLine(it->second.request.encode());
+                !sent.ok()) {
+                transport_ok = false;
+                later.push_back(id);
+                continue;
+            }
+            ++inflight;
         }
-        if (response.value().status == serve::ResponseStatus::Ok)
-            ++ok;
-        else
+        to_send.swap(later);
+        if (!client.connected())
+            continue;
+
+        if (inflight == 0) {
+            // Everything unanswered is deferred; sleep to the
+            // earliest retry slot.
+            std::int64_t earliest = 0;
+            for (const std::string &id : to_send) {
+                auto it = outstanding.find(id);
+                if (it == outstanding.end())
+                    continue;
+                if (earliest == 0 || it->second.dueMs < earliest)
+                    earliest = it->second.dueMs;
+            }
+            std::int64_t wait = earliest - wallclock::nowMs();
+            if (wait > 0)
+                wallclock::sleepMs(std::min<std::int64_t>(wait, 2000));
+            continue;
+        }
+
+        while (inflight > 0) {
+            Result<std::string> line = client.recvLine(timeout_ms);
+            if (!line.ok()) {
+                if (line.error().code == ErrCode::Io)
+                    break; // reconnect at loop top
+                std::fprintf(stderr, "soak: %s\n",
+                             line.error().describe().c_str());
+                printSummary(counters, latencies);
+                return 1; // response timeout fails the soak
+            }
+            Result<serve::Response> parsed =
+                serve::parseResponse(line.value());
+            if (!parsed.ok()) {
+                std::fprintf(stderr, "soak: bad response: %s\n",
+                             line.value().c_str());
+                printSummary(counters, latencies);
+                return 1;
+            }
+            const serve::Response &response = parsed.value();
+            auto it = outstanding.find(response.id);
+            if (it == outstanding.end())
+                continue; // duplicate answer from a re-sent request
+            --inflight;
+            Pending &pending = it->second;
+
+            if (response.status == serve::ResponseStatus::Ok) {
+                ++ok;
+                latencies.push_back(static_cast<double>(
+                    wallclock::nowMs() - pending.sentMs));
+                outstanding.erase(it);
+                continue;
+            }
+            if (response.status == serve::ResponseStatus::Rejected) {
+                if (response.message.find("quota") !=
+                    std::string::npos)
+                    counters.rejectedQuota += 1;
+                else if (response.message.find("shed") !=
+                             std::string::npos ||
+                         response.message.find("overload") !=
+                             std::string::npos)
+                    counters.rejectedShed += 1;
+                else
+                    counters.rejectedOther += 1;
+                if (pending.attempts >= max_attempts) {
+                    std::fprintf(stderr,
+                                 "soak: %s: gave up rejected: %s\n",
+                                 response.id.c_str(),
+                                 response.message.c_str());
+                    ++failed;
+                    outstanding.erase(it);
+                    continue;
+                }
+                // Honor the daemon's slot; pad with a linear
+                // backoff when it gave none.
+                std::uint64_t hint = std::max<std::uint64_t>(
+                    response.retryAfterMs,
+                    100 * static_cast<std::uint64_t>(
+                              pending.attempts));
+                pending.dueMs =
+                    wallclock::nowMs() +
+                    static_cast<std::int64_t>(hint);
+                counters.retries += 1;
+                to_send.push_back(response.id);
+                continue;
+            }
+            // status == Error
+            if (response.code == ErrCode::Unavailable &&
+                pending.attempts < max_attempts) {
+                counters.retries += 1;
+                to_send.push_back(response.id);
+                continue;
+            }
+            std::fprintf(stderr, "soak: %s: %s: %s\n",
+                         response.id.c_str(),
+                         errCodeName(response.code),
+                         response.message.c_str());
             ++failed;
+            outstanding.erase(it);
+        }
     }
-    std::printf("soak: %zu responses, %zu ok, %zu failed\n",
-                ids.size(), ok, failed);
+
+    std::printf("soak: %zu requests, %zu ok, %zu failed\n",
+                static_cast<std::size_t>(counters.requests), ok,
+                failed);
+    printSummary(counters, latencies);
     return failed == 0 ? 0 : 1;
 }
 
@@ -261,8 +470,12 @@ main(int argc, char **argv)
     std::string socket_path;
     std::string verb;
     std::string send_path;
+    std::string client_name;
     unsigned soak_rounds = 0;
     std::int64_t timeout_ms = 600000;
+    int retries = 4;
+    std::int64_t hedge_after_ms = 0;
+    std::uint64_t retry_seed = 0;
     std::vector<unsigned> gpm_list;
     serve::Request request;
 
@@ -362,6 +575,16 @@ main(int argc, char **argv)
         } else if (args[i] == "--timeout-ms") {
             timeout_ms =
                 std::strtol(need("--timeout-ms"), nullptr, 0);
+        } else if (args[i] == "--retries") {
+            retries = std::atoi(need("--retries"));
+        } else if (args[i] == "--hedge-after-ms") {
+            hedge_after_ms =
+                std::strtol(need("--hedge-after-ms"), nullptr, 0);
+        } else if (args[i] == "--retry-seed") {
+            retry_seed =
+                std::strtoull(need("--retry-seed"), nullptr, 0);
+        } else if (args[i] == "--client") {
+            client_name = need("--client");
         } else {
             usage(argv[0]);
         }
@@ -379,10 +602,19 @@ main(int argc, char **argv)
         return 1;
     }
 
+    serve::RetryPolicy policy;
+    policy.maxAttempts = retries;
+    policy.perTryTimeoutMs = timeout_ms;
+    policy.deadlineMs =
+        timeout_ms * std::max(retries, 1) + 10000;
+    policy.seed = retry_seed;
+    policy.hedgeAfterMs = hedge_after_ms;
+
     if (verb == "verify-fig6")
-        return verifyFig6(client, gpm_list, timeout_ms);
+        return verifyFig6(client, gpm_list, policy);
     if (verb == "soak")
-        return soak(client, soak_rounds, gpm_list, timeout_ms);
+        return soak(client, socket_path, soak_rounds, gpm_list,
+                    timeout_ms, policy, client_name);
 
     if (verb == "send") {
         std::ifstream file;
@@ -445,9 +677,16 @@ main(int argc, char **argv)
         request.spec.workload = "all";
     if (request.id.empty())
         request.id = verb;
+    request.client = client_name;
 
+    // run/study retry per the policy (hedging included for study);
+    // control verbs stay single-shot — retrying a shutdown against
+    // a daemon that is already draining would just spin on
+    // reconnects until the deadline.
     Result<serve::Response> reply =
-        client.roundTrip(request, timeout_ms);
+        (verb == "run" || verb == "study")
+            ? client.call(request, policy)
+            : client.roundTrip(request, timeout_ms);
     if (!reply.ok()) {
         std::fprintf(stderr, "mmgpu_client: %s\n",
                      reply.error().describe().c_str());

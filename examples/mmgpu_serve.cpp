@@ -26,6 +26,17 @@
  *   --prof-out <file>     write profiler aggregates as JSON on exit
  *                         (per-shard job timers always; engine
  *                         timing sites when MMGPU_PROFILE=1)
+ *   --quota-rate <r>      per-client admission tokens per second
+ *                         (0 = quotas off, the default)
+ *   --quota-burst <n>     per-client token-bucket burst (default 16)
+ *   --shed-watermark <f>  queue fill fraction past which batch work
+ *                         is shed (default 0.85)
+ *
+ * Environment: the serve chaos knobs (MMGPU_FAULT_SERVE_*, see
+ * src/fault/fault_plan.hh) and the front-end caps
+ * (MMGPU_SERVE_LINE_CAP, MMGPU_SERVE_WRITE_BUDGET_SEC) are read at
+ * startup and wired through; a daemon running a chaos campaign is
+ * the same binary as a production one.
  *
  * Flags accept both "--flag value" and "--flag=value".
  */
@@ -39,6 +50,8 @@
 #include <vector>
 
 #include "common/prof.hh"
+#include "fault/fault_plan.hh"
+#include "harness/run_cache.hh"
 #include "serve/batch.hh"
 #include "serve/service.hh"
 #include "serve/socket_server.hh"
@@ -57,7 +70,9 @@ usage(const char *argv0)
                  "[--watchdog SEC]\n"
                  "          [--flush-sec SEC] [--sample-ms MS] "
                  "[--stats-csv FILE]\n"
-                 "          [--prof-out FILE]\n",
+                 "          [--prof-out FILE] [--quota-rate R] "
+                 "[--quota-burst N]\n"
+                 "          [--shed-watermark F]\n",
                  argv0);
     std::exit(2);
 }
@@ -130,6 +145,14 @@ main(int argc, char **argv)
             stats_csv = need("--stats-csv");
         } else if (args[i] == "--prof-out") {
             prof_out = need("--prof-out");
+        } else if (args[i] == "--quota-rate") {
+            options.quotaRatePerSec =
+                std::atof(need("--quota-rate"));
+        } else if (args[i] == "--quota-burst") {
+            options.quotaBurst = std::atof(need("--quota-burst"));
+        } else if (args[i] == "--shed-watermark") {
+            options.shedWatermark =
+                std::atof(need("--shed-watermark"));
         } else {
             usage(argv[0]);
         }
@@ -142,9 +165,27 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // The chaos campaign, if any, comes from the environment so the
+    // production binary and the chaos-test binary are identical.
+    // The plan outlives the service (held by reference).
+    static const fault::FaultPlan fault_plan = fault::FaultPlan::fromEnv();
+    if (fault_plan.serve.enabled()) {
+        std::fprintf(stderr,
+                     "mmgpu_serve: serve chaos plan active "
+                     "(fingerprint %016llx)\n",
+                     static_cast<unsigned long long>(
+                         fault_plan.fingerprint()));
+        options.faultPlan = &fault_plan;
+    }
+
     std::fprintf(stderr, "mmgpu_serve: calibrating...\n");
     harness::StudyContext context;
     serve::SimService service(options, context);
+    if (fault_plan.serve.walTearAtAppend != 0) {
+        if (harness::RunCache *cache =
+                service.runner().persistentCache())
+            cache->armWalTear(fault_plan.serve.walTearAtAppend);
+    }
     service.start();
 
     int exit_code = 0;
@@ -171,7 +212,12 @@ main(int argc, char **argv)
             exit_code = 1;
         service.beginShutdown();
     } else {
-        serve::SocketServer server(service, socket_path);
+        serve::SocketServerOptions server_options =
+            serve::SocketServerOptions::fromEnv();
+        if (fault_plan.serve.enabled())
+            server_options.faultPlan = &fault_plan;
+        serve::SocketServer server(service, socket_path,
+                                   server_options);
         if (Result<void> started = server.start(); !started.ok()) {
             std::fprintf(stderr, "mmgpu_serve: %s\n",
                          started.error().describe().c_str());

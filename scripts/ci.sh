@@ -165,6 +165,28 @@ build-asan/examples/mmgpu_client --connect "${serve_dir}/serve.sock" \
     --shutdown > /dev/null
 wait "${serve_pid}"
 
+echo "== Serve chaos smoke (ASan daemon under injected faults) =="
+# The same daemon with the serve chaos knobs armed: every 5th job
+# crashes its shard (supervised recovery must requeue invisibly) and
+# every 7th response write hard-closes the connection (the client
+# must reconnect and re-ask). The soak exits nonzero on any
+# client-visible error, and the verify pass must still be
+# bit-identical to in-process recomputation — self-healing may never
+# change answers. detect_leaks=0: the crash path longjmps out of the
+# interrupted frames, deliberately abandoning their allocations.
+ASAN_OPTIONS=detect_leaks=0 \
+MMGPU_FAULT_SERVE_CRASH_EVERY=5 \
+MMGPU_FAULT_SERVE_CONN_RESET_EVERY=7 \
+build-asan/examples/mmgpu_serve --socket "${serve_dir}/chaos.sock" &
+chaos_pid=$!
+build-asan/examples/mmgpu_client --connect "${serve_dir}/chaos.sock" \
+    --soak 2 --gpms-list 2,4 --retries 6 --client ci-chaos
+build-asan/examples/mmgpu_client --connect "${serve_dir}/chaos.sock" \
+    --verify-fig6 --gpms-list 2 --retries 6
+build-asan/examples/mmgpu_client --connect "${serve_dir}/chaos.sock" \
+    --shutdown > /dev/null
+wait "${chaos_pid}"
+
 echo "== TSan tree =="
 configure_and_build build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \

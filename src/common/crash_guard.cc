@@ -1,0 +1,46 @@
+#include "common/crash_guard.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu
+{
+
+namespace
+{
+
+// The panic trap carries no context argument, so the active trap of
+// each thread is found through this thread-local.
+thread_local CrashTrap *activeTrap = nullptr;
+
+} // namespace
+
+CrashTrap::CrashTrap()
+{
+    previous_ = activeTrap;
+    activeTrap = this;
+    setThreadPanicTrap(&CrashTrap::onPanic);
+}
+
+CrashTrap::~CrashTrap()
+{
+    activeTrap = previous_;
+    setThreadPanicTrap(previous_ != nullptr ? &CrashTrap::onPanic
+                                            : nullptr);
+}
+
+void
+CrashTrap::onPanic(const std::string &msg)
+{
+    // panicImpl cleared the thread trap before calling us; reinstall
+    // for the outer scope the jump lands in (its own panics should
+    // reach *its* trap), not for the code between here and there.
+    CrashTrap *trap = activeTrap;
+    activeTrap = trap->previous_;
+    setThreadPanicTrap(activeTrap != nullptr ? &CrashTrap::onPanic
+                                             : nullptr);
+    trap->message_ = msg;
+    trap->tripped_ = true;
+    siglongjmp(trap->jump_, 1);
+}
+
+} // namespace mmgpu

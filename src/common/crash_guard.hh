@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RAII supervised scope around code that may panic.
+ *
+ * Installs the thread panic trap (logging.hh) so a panic on the
+ * calling thread — contract audit, mmgpu_assert, injected chaos
+ * crash — siglongjmps back to the sigsetjmp anchor instead of
+ * aborting the process. Usage:
+ *
+ *     CrashTrap trap;
+ *     if (sigsetjmp(trap.jumpBuffer(), 0) == 0) {
+ *         ... run the risky work ...
+ *     } else {
+ *         // panicked; trap.message() holds the panic text
+ *     }
+ *
+ * Two rules keep this sound:
+ *
+ *  - The *interrupted* frames are abandoned, destructors unrun, so
+ *    the risky work must live in its own function call below the
+ *    sigsetjmp: nothing constructed between the sigsetjmp and the
+ *    panic may be touched afterwards. Resources that must survive a
+ *    crash have to be pool-owned (the harness machine pool is; a
+ *    crashed run's machine is simply never released, and the
+ *    supervisor retires its siblings).
+ *  - Never longjmp across a std::call_once — that is undefined and
+ *    deadlocks waiters. A trap *inside* the once-callee (the
+ *    harness run path installs one) converts the panic to an error
+ *    return instead, so it never unwinds past the once_flag.
+ *
+ * The destructor restores the previous trap, so scopes nest; only
+ * the installing thread can trip its trap, and untrapped threads
+ * keep the abort-with-core contract.
+ */
+
+#ifndef MMGPU_COMMON_CRASH_GUARD_HH
+#define MMGPU_COMMON_CRASH_GUARD_HH
+
+#include <setjmp.h> // sigsetjmp/siglongjmp are POSIX, not <csetjmp>
+
+#include <string>
+
+namespace mmgpu
+{
+
+/** Supervised scope; see the file comment for the usage contract. */
+class CrashTrap
+{
+  public:
+    CrashTrap();
+    ~CrashTrap();
+
+    CrashTrap(const CrashTrap &) = delete;
+    CrashTrap &operator=(const CrashTrap &) = delete;
+
+    /** Anchor for sigsetjmp; valid for this trap's lifetime. */
+    sigjmp_buf &jumpBuffer() { return jump_; }
+
+    /** True once a panic unwound to this trap. */
+    bool tripped() const { return tripped_; }
+
+    /** Panic text of the crash (empty until tripped). */
+    const std::string &message() const { return message_; }
+
+  private:
+    static void onPanic(const std::string &msg);
+
+    sigjmp_buf jump_;
+    std::string message_;
+    CrashTrap *previous_ = nullptr;
+    bool tripped_ = false;
+};
+
+} // namespace mmgpu
+
+#endif // MMGPU_COMMON_CRASH_GUARD_HH

@@ -21,12 +21,23 @@ logMutex()
     return mutex;
 }
 
+// Per-thread supervision hook; see setThreadPanicTrap() in the
+// header. A plain function pointer (not std::function) so installing
+// and clearing it is trivially async-signal-tolerant.
+thread_local void (*panicTrap)(const std::string &) = nullptr;
+
 } // namespace
 
 void
 setInformEnabled(bool enabled)
 {
     informEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setThreadPanicTrap(void (*trap)(const std::string &msg))
+{
+    panicTrap = trap;
 }
 
 namespace detail
@@ -39,6 +50,13 @@ panicImpl(const char *file, int line, const std::string &msg)
         std::lock_guard<std::mutex> lock(logMutex());
         std::cerr << "panic: " << msg << "\n  @ " << file << ":"
                   << line << std::endl;
+    }
+    if (panicTrap != nullptr) {
+        // The trap unwinds (siglongjmp) to a supervised scope; clear
+        // it first so a panic raised *inside* the trap still aborts.
+        auto *trap = panicTrap;
+        panicTrap = nullptr;
+        trap(msg);
     }
     std::abort();
 }

@@ -88,6 +88,18 @@ inform(Args &&...args)
 /** Toggle inform() output (benches silence it for clean tables). */
 void setInformEnabled(bool enabled);
 
+/**
+ * Install a thread-local trap consulted by panic() *before* it
+ * aborts. When set, panicImpl logs the message and calls the trap
+ * instead of std::abort(); the trap must not return — it unwinds to
+ * a supervised scope (the serve tier's shard supervisor does this
+ * via siglongjmp, downgrading a contract-audit death to a
+ * recoverable shard crash). Pass nullptr to restore abort semantics.
+ * Affects only the calling thread; panics on untrapped threads still
+ * abort, so the debugger/core-dump contract holds everywhere else.
+ */
+void setThreadPanicTrap(void (*trap)(const std::string &msg));
+
 } // namespace mmgpu
 
 #define mmgpu_panic(...) ::mmgpu::panicAt(__FILE__, __LINE__, __VA_ARGS__)

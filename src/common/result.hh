@@ -32,6 +32,10 @@ enum class ErrCode : std::uint8_t
     Timeout,       //!< watchdog cancelled the operation
     InjectedFault, //!< a FaultPlan deliberately failed the point
     Internal,      //!< invariant violation reported instead of abort
+    Unavailable,   //!< transient capacity loss (shard crash mid-job,
+                   //!< restart in progress); safe to retry
+    Poisoned,      //!< work quarantined after repeatedly killing its
+                   //!< shard; do NOT retry — the input is at fault
 };
 
 /** @return stable lower-case name ("config", "timeout", ...). */
@@ -51,6 +55,10 @@ errCodeName(ErrCode code)
         return "injected-fault";
       case ErrCode::Internal:
         return "internal";
+      case ErrCode::Unavailable:
+        return "unavailable";
+      case ErrCode::Poisoned:
+        return "poisoned";
       default:
         return "unknown";
     }
@@ -96,6 +104,18 @@ struct SimError
     internal(std::string message)
     {
         return {ErrCode::Internal, std::move(message)};
+    }
+
+    static SimError
+    unavailable(std::string message)
+    {
+        return {ErrCode::Unavailable, std::move(message)};
+    }
+
+    static SimError
+    poisoned(std::string message)
+    {
+        return {ErrCode::Poisoned, std::move(message)};
     }
 
     /** "timeout: watchdog fired after 2s" style rendering. */

@@ -67,6 +67,14 @@ FaultPlan::fingerprint() const
     for (const std::string &point : harness.hangPoints)
         hash.add(point);
     hash.add(harness.hangSeconds);
+    hash.add(serve.shardCrashEveryJobs);
+    hash.add(serve.dispatcherStallAtJob);
+    hash.add(serve.dispatcherStallMs);
+    hash.add(serve.walTearAtAppend);
+    hash.add(serve.connResetEveryWrites);
+    hash.add(static_cast<std::uint64_t>(serve.crashPoints.size()));
+    for (const std::string &point : serve.crashPoints)
+        hash.add(point);
     return hash.digest();
 }
 
@@ -97,15 +105,70 @@ envRate(const char *name, double fallback)
     return parsed;
 }
 
+std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        warn("ignoring malformed ", name, "='", text,
+             "' (want a non-negative integer)");
+        return fallback;
+    }
+    return parsed;
+}
+
+std::vector<std::string>
+envPoints(const char *name)
+{
+    std::vector<std::string> points;
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return points;
+    std::string rest(text);
+    while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        std::string point = rest.substr(0, comma);
+        if (!point.empty())
+            points.push_back(point);
+        if (comma == std::string::npos)
+            break;
+        rest.erase(0, comma + 1);
+    }
+    return points;
+}
+
 } // namespace
 
 FaultPlan
 FaultPlan::fromEnv()
 {
     FaultPlan plan;
+
+    // Serve-layer chaos is counter-driven, not stochastic, so it
+    // does not require (or touch) the master seed.
+    plan.serve.shardCrashEveryJobs = envCount(
+        "MMGPU_FAULT_SERVE_CRASH_EVERY",
+        plan.serve.shardCrashEveryJobs);
+    plan.serve.dispatcherStallAtJob = envCount(
+        "MMGPU_FAULT_SERVE_STALL_AT_JOB",
+        plan.serve.dispatcherStallAtJob);
+    plan.serve.dispatcherStallMs = envCount(
+        "MMGPU_FAULT_SERVE_STALL_MS", plan.serve.dispatcherStallMs);
+    plan.serve.walTearAtAppend = envCount(
+        "MMGPU_FAULT_SERVE_WAL_TEAR_AT", plan.serve.walTearAtAppend);
+    plan.serve.connResetEveryWrites = envCount(
+        "MMGPU_FAULT_SERVE_CONN_RESET_EVERY",
+        plan.serve.connResetEveryWrites);
+    plan.serve.crashPoints =
+        envPoints("MMGPU_FAULT_SERVE_CRASH_POINT");
+
     const char *seed_text = std::getenv("MMGPU_FAULT_SEED");
     if (seed_text == nullptr || *seed_text == '\0')
-        return plan; // disabled: all rates default to zero
+        return plan; // sensor campaign disabled
 
     char *end = nullptr;
     unsigned long long parsed = std::strtoull(seed_text, &end, 0);

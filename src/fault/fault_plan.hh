@@ -129,6 +129,55 @@ struct HarnessFaultSpec
                         const std::string &workload);
 };
 
+/**
+ * Serve-layer sabotage: deterministic chaos for the mmgpu_serve
+ * daemon so every self-healing mechanism (shard supervision, client
+ * retry, WAL replay, reconnect) is exercised by tests, not by hand.
+ * Counters are global per process (job N means the Nth job executed
+ * by any shard), so a campaign replays identically at any shard
+ * count under a serial load and deterministically under the same
+ * interleaving otherwise.
+ */
+struct ServeFaultSpec
+{
+    /** Crash the executing shard on every Nth job (0 disables). The
+     *  supervisor must retire the machine, restart the shard, and
+     *  re-queue or poison the work. */
+    std::uint64_t shardCrashEveryJobs = 0;
+
+    /** Stall the service dispatcher once, before delivering job N
+     *  (0 disables), for dispatcherStallMs. */
+    std::uint64_t dispatcherStallAtJob = 0;
+
+    /** How long the injected dispatcher stall lasts. */
+    std::uint64_t dispatcherStallMs = 500;
+
+    /** Tear the Nth run-cache WAL append (0 disables): the record is
+     *  written truncated mid-payload, as a crash between write() and
+     *  fsync would leave it. Replay must drop exactly that record. */
+    std::uint64_t walTearAtAppend = 0;
+
+    /** Reset (hard-close) a serve connection after every Nth
+     *  response line written (0 disables); exercises client
+     *  reconnect-on-broken-socket. */
+    std::uint64_t connResetEveryWrites = 0;
+
+    /** Crash the shard executing any job whose work matches one of
+     *  these points ("workload" or "config|workload", same matcher
+     *  as HarnessFaultSpec). Unlike shardCrashEveryJobs this targets
+     *  specific work, so quarantine-after-K-strikes is testable
+     *  deterministically regardless of interleaving. */
+    std::vector<std::string> crashPoints;
+
+    bool
+    enabled() const
+    {
+        return shardCrashEveryJobs != 0 ||
+               dispatcherStallAtJob != 0 || walTearAtAppend != 0 ||
+               connResetEveryWrites != 0 || !crashPoints.empty();
+    }
+};
+
 /** A complete, reproducible fault campaign. */
 struct FaultPlan
 {
@@ -137,12 +186,14 @@ struct FaultPlan
 
     SensorFaultSpec sensor;
     HarnessFaultSpec harness;
+    ServeFaultSpec serve;
 
     /** True when any category injects anything. */
     bool
     enabled() const
     {
-        return sensor.enabled() || harness.enabled();
+        return sensor.enabled() || harness.enabled() ||
+               serve.enabled();
     }
 
     /**
@@ -160,7 +211,15 @@ struct FaultPlan
      * enables the default sensor campaign under seed n;
      * `MMGPU_FAULT_DROPOUT` / `MMGPU_FAULT_SPIKE` /
      * `MMGPU_FAULT_GLITCH` / `MMGPU_FAULT_JITTER` override the
-     * individual rates. Returns a disabled plan when unset.
+     * individual rates. The serve-layer chaos knobs
+     * `MMGPU_FAULT_SERVE_CRASH_EVERY`,
+     * `MMGPU_FAULT_SERVE_STALL_AT_JOB`,
+     * `MMGPU_FAULT_SERVE_STALL_MS`, `MMGPU_FAULT_SERVE_WAL_TEAR_AT`,
+     * `MMGPU_FAULT_SERVE_CONN_RESET_EVERY`, and
+     * `MMGPU_FAULT_SERVE_CRASH_POINT` (comma-separated point list)
+     * are independent of the seed (they are counter- or
+     * point-driven, not stochastic). Returns a disabled plan when
+     * nothing is set.
      */
     static FaultPlan fromEnv();
 };

@@ -1,5 +1,8 @@
 #include "harness/run_cache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -217,6 +220,21 @@ parseKeyName(const std::string &name, std::uint64_t &key)
     return end == name.c_str() + name.size();
 }
 
+/** fsync the journal every this many appends; in between, write()
+ *  into the page cache is enough to survive process death. */
+constexpr std::uint64_t walSyncBatch = 32;
+
+/** runs.json -> runs.wal (or append .wal to unconventional paths). */
+std::string
+walPathFor(const std::string &path)
+{
+    const std::string ext = ".json";
+    if (path.size() > ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0)
+        return path.substr(0, path.size() - ext.size()) + ".wal";
+    return path + ".wal";
+}
+
 } // namespace
 
 std::uint64_t
@@ -321,15 +339,21 @@ runFingerprint(const sim::GpuConfig &config,
     return hash.digest();
 }
 
-RunCache::RunCache(std::string path) : path_(std::move(path))
+RunCache::RunCache(std::string path)
+    : path_(std::move(path)), walPath_(walPathFor(path_))
 {
+    const char *wal = std::getenv("MMGPU_CACHE_WAL");
+    walEnabled_ = !(wal != nullptr && std::string(wal) == "0");
     std::lock_guard<std::mutex> lock(mutex_);
     loadLocked();
+    replayWalLocked();
 }
 
 RunCache::~RunCache()
 {
     stopAutoFlush();
+    if (walFd_ >= 0)
+        ::close(walFd_);
 }
 
 void
@@ -367,6 +391,9 @@ RunCache::stopAutoFlush()
         return;
     flusherStop_.store(true, std::memory_order_release);
     flusher_.join();
+    // One final pass so an orderly shutdown never leans on journal
+    // replay: the snapshot lands atomically and the WAL truncates.
+    flush();
 }
 
 double
@@ -451,8 +478,146 @@ RunCache::insert(std::uint64_t key, const sim::PerfResult &perf,
                  const joule::EnergyBreakdown &energy)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_[key] = Entry{perf, energy};
+    Entry &slot = entries_[key];
+    slot = Entry{perf, energy};
     dirty_ = true;
+    appendWalLocked(key, slot);
+}
+
+void
+RunCache::armWalTear(std::uint64_t nth)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    walTearAt_ = nth == 0 ? 0 : walAppends_ + nth;
+}
+
+void
+RunCache::appendWalLocked(std::uint64_t key, const Entry &entry)
+{
+    if (!walEnabled_)
+        return;
+    if (walFd_ < 0 && !walOpenFailed_) {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::path target(walPath_);
+        if (target.has_parent_path())
+            fs::create_directories(target.parent_path(), ec);
+        walFd_ = ::open(walPath_.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+        if (walFd_ < 0) {
+            walOpenFailed_ = true;
+            warn("run cache: cannot open journal ", walPath_,
+                 "; inserts are only as durable as the next flush");
+        }
+    }
+    if (walFd_ < 0)
+        return;
+
+    JsonValue record = JsonValue::object();
+    record.set("key", keyName(key));
+    record.set("perf", encodePerf(entry.perf));
+    record.set("energy", encodeEnergy(entry.energy));
+    std::string payload = record.dumpCompact();
+    Fnv1a sum;
+    sum.add(payload);
+
+    // Leading-newline framing: this append terminates any torn tail
+    // a previous crash (or injected tear) left behind, confining the
+    // damage to that one record.
+    std::string line = "\nR " + keyName(sum.digest()) + " " + payload;
+    ++walAppends_;
+    if (walTearAt_ != 0 && walAppends_ == walTearAt_) {
+        line.resize(line.size() / 2); // injected torn write
+        walTearAt_ = 0;
+    }
+    std::size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n =
+            ::write(walFd_, line.data() + off, line.size() - off);
+        if (n <= 0) {
+            warn("run cache: journal append to ", walPath_,
+                 " failed");
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (++walUnsynced_ >= walSyncBatch) {
+        ::fsync(walFd_);
+        walUnsynced_ = 0;
+    }
+}
+
+void
+RunCache::replayWalLocked()
+{
+    if (!walEnabled_)
+        return;
+    std::ifstream in(walPath_, std::ios::binary);
+    if (!in.is_open())
+        return; // no journal: clean shutdown or cold cache
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+
+    std::size_t dropped = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string record = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (record.empty())
+            continue;
+
+        // "R <16-hex FNV-1a of payload> <compact JSON payload>"
+        bool ok = false;
+        std::uint64_t sum = 0;
+        if (record.size() > 20 && record[0] == 'R' &&
+            record[1] == ' ' && record[18] == ' ' &&
+            parseKeyName(record.substr(2, 16), sum)) {
+            std::string payload = record.substr(19);
+            Fnv1a check;
+            check.add(payload);
+            if (check.digest() == sum) {
+                std::optional<JsonValue> doc = parseJson(payload);
+                const JsonValue *name =
+                    doc && doc->isObject() ? doc->find("key")
+                                           : nullptr;
+                std::uint64_t key = 0;
+                Entry decoded;
+                if (name != nullptr && name->isString() &&
+                    parseKeyName(name->asString(), key) &&
+                    decodePerf(doc->find("perf"), decoded.perf) &&
+                    decodeEnergy(doc->find("energy"),
+                                 decoded.energy)) {
+                    entries_[key] = std::move(decoded); // WAL wins
+                    ++walReplayed_;
+                    ok = true;
+                }
+            }
+        }
+        if (!ok)
+            ++dropped;
+    }
+    if (dropped > 0)
+        warn("run cache journal ", walPath_, ": dropped ", dropped,
+             " torn or corrupt record(s)");
+    if (walReplayed_ > 0)
+        dirty_ = true; // fold replayed work into the next snapshot
+}
+
+void
+RunCache::truncateWalLocked()
+{
+    if (!walEnabled_)
+        return;
+    walUnsynced_ = 0;
+    if (walFd_ >= 0 && ::ftruncate(walFd_, 0) == 0)
+        return;
+    std::error_code ec;
+    std::filesystem::resize_file(walPath_, 0, ec);
 }
 
 std::size_t
@@ -470,7 +635,9 @@ RunCache::flush()
         return true;
 
     // Merge entries a sibling process may have written since load:
-    // ours win on key collision (they are newer).
+    // ours win on key collision (they are newer). The fresh load
+    // replays the shared journal too, so truncating it below cannot
+    // drop a sibling's not-yet-flushed records.
     {
         RunCache fresh(path_);
         for (auto &[key, entry] : fresh.entries_)
@@ -521,6 +688,7 @@ RunCache::flush()
         fs::rename(tmp, target, ec);
         if (!ec) {
             dirty_ = false;
+            truncateWalLocked(); // snapshot now covers the journal
             return true;
         }
     }

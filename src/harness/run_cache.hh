@@ -30,8 +30,21 @@
  * background flush so a long-lived process (the mmgpu_serve daemon)
  * persists warm entries without waiting for shutdown. Flushes are
  * atomic (tmp + rename), so a crash between flushes leaves the last
- * flushed file intact — everything inserted since is recomputed, and
- * sibling processes merge into it as usual.
+ * flushed file intact.
+ *
+ * Durability between flushes comes from a write-ahead journal: every
+ * insert appends one checksummed, hexfloat-exact record to
+ * `runs.wal` next to the cache file before it becomes visible to
+ * lookups of a restarted process. The journal is replayed on open
+ * (newest record wins over the snapshot) and truncated after a
+ * successful atomic flush, so a `kill -9` at any point loses zero
+ * completed simulations — at worst a torn final record, which the
+ * per-record FNV-1a checksum rejects on replay. Records are framed
+ * by a *leading* newline, so a torn tail is terminated (and
+ * invalidated) by the next append instead of corrupting it. fsync is
+ * batched (process death alone never loses page-cache writes; only
+ * power loss needs sync). `MMGPU_CACHE_WAL=0` disables the journal,
+ * restoring the flush-only durability story.
  */
 
 #ifndef MMGPU_HARNESS_RUN_CACHE_HH
@@ -79,15 +92,15 @@ class RunCache
 {
   public:
     /**
-     * Bind to @p path and load whatever valid entries it holds.
+     * Bind to @p path, load whatever valid entries it holds, and
+     * replay the write-ahead journal on top (journal records win).
      * Missing, corrupt, or version-mismatched files yield an empty
      * cache (a warning is emitted for corrupt ones).
      */
     explicit RunCache(std::string path);
 
-    /** Stops the auto-flush thread; does NOT flush (callers that
-     *  want a final flush call it explicitly, as processCache's
-     *  atexit hook does). */
+    /** Stops the auto-flush thread (final flush included if it was
+     *  running, see stopAutoFlush()) and closes the journal. */
     ~RunCache();
 
     RunCache(const RunCache &) = delete;
@@ -114,6 +127,24 @@ class RunCache
     /** The bound file path. */
     const std::string &path() const { return path_; }
 
+    /** The write-ahead journal path (`runs.wal` beside `path()`). */
+    const std::string &walPath() const { return walPath_; }
+
+    /** True unless `MMGPU_CACHE_WAL=0` disabled the journal. */
+    bool walEnabled() const { return walEnabled_; }
+
+    /** Journal records replayed by the constructor (torn or corrupt
+     *  records are excluded — they are dropped with a warning). */
+    std::size_t walReplayed() const { return walReplayed_; }
+
+    /**
+     * Chaos hook: tear the @p nth journal append from now (1-based);
+     * the record is written truncated mid-payload, exactly as a
+     * crash between write() and completion would leave it. 0 disarms.
+     * Wired to `MMGPU_FAULT_SERVE_WAL_TEAR_AT` by the serve daemon.
+     */
+    void armWalTear(std::uint64_t nth);
+
     /** Entries currently held (loaded + inserted). */
     std::size_t size() const;
 
@@ -132,7 +163,13 @@ class RunCache
      */
     void startAutoFlush(double seconds);
 
-    /** Stop the background flush thread (joins it; no final flush). */
+    /**
+     * Stop the background flush thread: joins it, then performs one
+     * final flush (which also truncates the journal) so a daemon's
+     * orderly shutdown leaves a clean snapshot and an empty WAL.
+     * No-op — and no flush — when the flusher was never started, so
+     * scratch caches still discard unflushed inserts on destruction.
+     */
     void stopAutoFlush();
 
     /** Background flushes performed since construction. */
@@ -161,11 +198,22 @@ class RunCache
     };
 
     void loadLocked();
+    void replayWalLocked();
+    void appendWalLocked(std::uint64_t key, const Entry &entry);
+    void truncateWalLocked();
 
     std::string path_;
+    std::string walPath_;
     mutable std::mutex mutex_;
     std::map<std::uint64_t, Entry> entries_;
     bool dirty_ = false;
+    bool walEnabled_ = true;
+    int walFd_ = -1;
+    bool walOpenFailed_ = false;
+    std::size_t walReplayed_ = 0;
+    std::uint64_t walAppends_ = 0;
+    std::uint64_t walUnsynced_ = 0;
+    std::uint64_t walTearAt_ = 0;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
 

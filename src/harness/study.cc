@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/contract.hh"
+#include "common/crash_guard.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/wallclock.hh"
@@ -176,6 +177,31 @@ struct ScalingRunner::MachinePool
         idle[keyOf(machine->config())].push_back(std::move(machine));
     }
 
+    /** Destroy every idle machine under @p key. @return count. */
+    std::size_t
+    retire(const MachineKey &key)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = idle.find(key);
+        if (it == idle.end())
+            return 0;
+        std::size_t count = it->second.size();
+        idle.erase(it);
+        return count;
+    }
+
+    /** Destroy every idle machine in the pool. @return count. */
+    std::size_t
+    retireAll()
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        std::size_t count = 0;
+        for (auto &[key, machines] : idle)
+            count += machines.size();
+        idle.clear();
+        return count;
+    }
+
     std::mutex mutex;
     std::map<MachineKey, std::vector<std::unique_ptr<sim::GpuSim>>>
         idle;
@@ -271,6 +297,18 @@ ScalingRunner::ScalingRunner(ScalingRunner &&) noexcept = default;
 ScalingRunner &
 ScalingRunner::operator=(ScalingRunner &&) noexcept = default;
 ScalingRunner::~ScalingRunner() = default;
+
+std::size_t
+ScalingRunner::invalidateMachines(const sim::GpuConfig &config)
+{
+    return machines_->retire(MachinePool::keyOf(config));
+}
+
+std::size_t
+ScalingRunner::invalidateAllMachines()
+{
+    return machines_->retireAll();
+}
 
 ScalingRunner::Entry &
 ScalingRunner::ensure(const sim::GpuConfig &config,
@@ -390,21 +428,46 @@ ScalingRunner::compute(const sim::GpuConfig &config,
         }
     }
 
-    RunOutcome outcome;
-    std::uint64_t fingerprint = 0;
-    if (persistent_ != nullptr) {
-        fingerprint = runFingerprint(config, profile,
-                                     link_energy_scale,
-                                     const_growth_override,
-                                     context_->calibrationFingerprint());
-        // A disk hit cannot reconstruct telemetry timelines, so
-        // telemetry-enabled runs always simulate.
-        if (persistentReads_ && !telemetryEnabled_ &&
-            persistent_->lookup(fingerprint, outcome.perf,
-                                outcome.energy))
-            return outcome;
-    }
+    {
+        RunOutcome outcome;
+        std::uint64_t fingerprint = 0;
+        if (persistent_ != nullptr) {
+            fingerprint = runFingerprint(
+                config, profile, link_energy_scale,
+                const_growth_override,
+                context_->calibrationFingerprint());
+            // A disk hit cannot reconstruct telemetry timelines, so
+            // telemetry-enabled runs always simulate.
+            if (persistentReads_ && !telemetryEnabled_ &&
+                persistent_->lookup(fingerprint, outcome.perf,
+                                    outcome.energy))
+                return outcome;
+        }
 
+        // A panic inside the simulator (contract audit, engine
+        // assert) must become an error *here*: ensure() runs us
+        // under a per-entry std::call_once, and a longjmp across a
+        // once_flag is undefined (and deadlocks every waiter). The
+        // guarded work lives in simulate()'s own frame, which the
+        // jump abandons wholesale.
+        CrashTrap trap;
+        if (sigsetjmp(trap.jumpBuffer(), 0) == 0) {
+            return simulate(config, profile, link_energy_scale,
+                            const_growth_override, fingerprint);
+        }
+        return SimError::unavailable("simulation panicked: " +
+                                     trap.message());
+    }
+}
+
+Result<RunOutcome>
+ScalingRunner::simulate(const sim::GpuConfig &config,
+                        const trace::KernelProfile &profile,
+                        double link_energy_scale,
+                        double const_growth_override,
+                        std::uint64_t fingerprint) const
+{
+    RunOutcome outcome;
     std::unique_ptr<sim::GpuSim> machine =
         machines_->acquire(config);
     if (telemetryEnabled_) {

@@ -150,6 +150,8 @@ Request::encode() const
     doc.set("type", requestTypeName(type));
     if (!id.empty())
         doc.set("id", id);
+    if (!client.empty())
+        doc.set("client", client);
     if (type == RequestType::Run || type == RequestType::Study) {
         doc.set("workload", spec.workload);
         doc.set("gpms", spec.gpms);
@@ -198,6 +200,10 @@ parseRequest(const std::string &line)
     request.type = type.value();
 
     if (Result<void> r = readString(*doc, "id", request.id); !r.ok())
+        return r.error();
+
+    if (Result<void> r = readString(*doc, "client", request.client);
+        !r.ok())
         return r.error();
 
     double priority = 1.0;
@@ -341,12 +347,14 @@ Response::error(std::string id, const SimError &error)
 }
 
 Response
-Response::rejected(std::string id, std::string reason)
+Response::rejected(std::string id, std::string reason,
+                   std::uint64_t retry_after_ms)
 {
     Response response;
     response.id = std::move(id);
     response.status = ResponseStatus::Rejected;
     response.message = std::move(reason);
+    response.retryAfterMs = retry_after_ms;
     return response;
 }
 
@@ -368,6 +376,9 @@ Response::encode() const
       case ResponseStatus::Rejected:
         doc.set("status", "rejected");
         doc.set("message", message);
+        if (retryAfterMs != 0)
+            doc.set("retry-after-ms",
+                    static_cast<double>(retryAfterMs));
         break;
     }
     return doc.dumpCompact();
@@ -402,12 +413,19 @@ parseResponse(const std::string &line)
             for (ErrCode candidate :
                  {ErrCode::Config, ErrCode::Io, ErrCode::Parse,
                   ErrCode::Timeout, ErrCode::InjectedFault,
+                  ErrCode::Unavailable, ErrCode::Poisoned,
                   ErrCode::Internal}) {
                 if (code->asString() == errCodeName(candidate)) {
                     response.code = candidate;
                     break;
                 }
             }
+        }
+        const JsonValue *retry = doc->find("retry-after-ms");
+        if (retry != nullptr && retry->isNumber() &&
+            retry->asNumber() >= 0.0) {
+            response.retryAfterMs =
+                static_cast<std::uint64_t>(retry->asNumber());
         }
     } else {
         return SimError::parse("unknown response status '" + name +

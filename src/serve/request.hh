@@ -15,6 +15,7 @@
  *   {"type": "run" | "study" | "stats" | "prof" | "ping" |
  *            "shutdown",
  *    "id": "client tag echoed in the response" [""],
+ *    "client": "quota identity for admission" [the connection],
  *    "workload": "<Table II name>" | "all" (study only) ["Stream"],
  *    "gpms": 1|2|4|8|16|32 [4],
  *    "bw": "1x"|"2x"|"4x" ["2x"],
@@ -30,7 +31,8 @@
  *
  *   {"id": ..., "status": "ok", "result": {...}}
  *   {"id": ..., "status": "error", "code": "...", "message": "..."}
- *   {"id": ..., "status": "rejected", "message": "..."}
+ *   {"id": ..., "status": "rejected", "message": "...",
+ *    "retry-after-ms": <n, optional backoff hint>}
  *
  * Numeric results that feed bit-identity checks (exec seconds,
  * energy terms, scaling metrics) are carried as C99 hexfloat strings
@@ -110,6 +112,16 @@ struct Request
     int priority = 1; //!< 0 = high, 1 = normal, 2 = batch
 
     /**
+     * Quota identity for per-client admission accounting. The socket
+     * front end fills in a per-connection default when the request
+     * does not name one, so quotas work without client cooperation
+     * but cooperating clients can pool connections under one bucket.
+     * Never part of workIdentity(): two clients asking for the same
+     * design point still share one simulation.
+     */
+    std::string client;
+
+    /**
      * Dedup identity of the *work* the request names: type, spec,
      * energy knobs — everything that changes the answer, nothing
      * that doesn't (id, priority). Two requests with equal identity
@@ -152,9 +164,14 @@ struct Response
     std::string message;              //!< error/reject detail
     JsonValue result;                 //!< when status == Ok
 
+    /** Backoff hint for rejected requests; 0 means "none given".
+     *  Clients honoring it retry no sooner than this. */
+    std::uint64_t retryAfterMs = 0;
+
     static Response ok(std::string id, JsonValue result);
     static Response error(std::string id, const SimError &error);
-    static Response rejected(std::string id, std::string reason);
+    static Response rejected(std::string id, std::string reason,
+                             std::uint64_t retry_after_ms = 0);
 
     /** Encode as one newline-free JSON line. */
     std::string encode() const;

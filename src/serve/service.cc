@@ -1,7 +1,10 @@
 #include "serve/service.hh"
 
+#include <setjmp.h>
+
 #include <algorithm>
 
+#include "common/crash_guard.hh"
 #include "common/logging.hh"
 #include "common/wallclock.hh"
 #include "trace/workloads.hh"
@@ -11,6 +14,37 @@ namespace mmgpu::serve
 
 namespace
 {
+
+/** Circuit-breaker request classes: run-shaped vs. study-shaped. */
+constexpr std::size_t breakerClasses = 2;
+
+std::size_t
+breakerClassOf(RequestType type)
+{
+    return type == RequestType::Study ? 1 : 0;
+}
+
+/**
+ * Server-side failure classification: errors the *service* owns
+ * (timeouts, crashes, injected faults, internal bugs) feed the
+ * circuit breaker and retire pooled machines; client mistakes (bad
+ * config, parse errors) do neither.
+ */
+bool
+serverSideFailure(const Response &response)
+{
+    if (response.status != ResponseStatus::Error)
+        return false;
+    switch (response.code) {
+      case ErrCode::Timeout:
+      case ErrCode::InjectedFault:
+      case ErrCode::Internal:
+      case ErrCode::Unavailable:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Latency observations retained for the percentile estimates. */
 constexpr std::size_t latencyRingCap = 1024;
@@ -42,11 +76,29 @@ percentile(std::vector<double> values, double q)
 
 } // namespace
 
+namespace
+{
+
+AdmissionOptions
+admissionOptionsFor(const ServeOptions &options)
+{
+    AdmissionOptions admission;
+    admission.maxDepth = options.queueDepth;
+    admission.quotaRatePerSec = options.quotaRatePerSec;
+    admission.quotaBurst = options.quotaBurst;
+    admission.shedWatermark = options.shedWatermark;
+    return admission;
+}
+
+} // namespace
+
 SimService::SimService(const ServeOptions &options,
                        const harness::StudyContext &context)
     : options_(options), context_(context), runner_(context),
-      queue_(options.queueDepth),
+      queue_(admissionOptionsFor(options)),
       router_(options.shards, options.routerSlack),
+      supervisor_(options.supervisor),
+      breaker_(breakerClasses, options.breaker),
       tel_(telemetry::TelemetryConfig{})
 {
     mmgpu_assert(options.shards > 0, "service needs >= 1 shard");
@@ -69,6 +121,8 @@ SimService::SimService(const ServeOptions &options,
     cFailed_ = &reg.counter("serve/failed");
     cDedup_ = &reg.counter("serve/dedup_attached");
     cSims_ = &reg.counter("serve/sims_started");
+    cCrashes_ = &reg.counter("serve/shard_crashes");
+    cPoisonedAnswers_ = &reg.counter("serve/poisoned_answers");
     gQueueDepth_ = &reg.gauge("serve/queue_depth");
     gInflight_ = &reg.gauge("serve/inflight");
     gBusyShards_ = &reg.gauge("serve/busy_shards");
@@ -137,7 +191,42 @@ SimService::submit(Request request, ResponseCallback done)
 
     const std::uint64_t identity = request.workIdentity();
     const std::string id = request.id;
+
+    // Quarantined work killed a shard maxStrikes times already; a
+    // fourth simulation attempt is how outages start. Answer with
+    // the dedicated Poisoned code so clients know not to retry.
+    if (supervisor_.quarantined(identity)) {
+        {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cPoisonedAnswers_->add();
+        }
+        done(Response::error(
+            id, SimError::poisoned(
+                    "work quarantined after repeated shard "
+                    "crashes")));
+        return;
+    }
+
+    // An open circuit means this request class is currently failing
+    // server-side; shed instead of feeding the failure.
+    std::size_t cls = breakerClassOf(request.type);
+    std::int64_t breaker_now = wallclock::nowMs();
+    if (breaker_.open(cls, static_cast<std::uint64_t>(breaker_now))) {
+        {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cRejected_->add();
+        }
+        done(Response::rejected(
+            id,
+            std::string("circuit open for ") +
+                requestTypeName(request.type) + " requests",
+            breaker_.retryAfterMs(
+                cls, static_cast<std::uint64_t>(breaker_now))));
+        return;
+    }
+
     Admit admit = Admit::Accepted;
+    std::uint64_t retry_after_ms = 0;
     {
         // One lock spans the attach-or-admit decision so a duplicate
         // arriving between "no entry" and "queued" cannot slip
@@ -150,8 +239,8 @@ SimService::submit(Request request, ResponseCallback done)
             cDedup_->add();
             return;
         }
-        admit = queue_.tryPush(std::move(request),
-                               wallclock::nowMs());
+        admit = queue_.tryPush(std::move(request), wallclock::nowMs(),
+                               &retry_after_ms);
         if (admit == Admit::Accepted)
             inflight_[identity].sinks.emplace_back(id,
                                                    std::move(done));
@@ -165,19 +254,34 @@ SimService::submit(Request request, ResponseCallback done)
         std::lock_guard<std::mutex> tlock(telMutex_);
         cRejected_->add();
     }
-    done(Response::rejected(id, admit == Admit::Stopped
-                                    ? "service is shutting down"
-                                    : "admission queue is full"));
+    const char *reason = "admission queue is full";
+    switch (admit) {
+      case Admit::Stopped:
+        reason = "service is shutting down";
+        break;
+      case Admit::QuotaExceeded:
+        reason = "client quota exceeded";
+        break;
+      case Admit::Shedding:
+        reason = "service overloaded; low-priority work shed";
+        break;
+      default:
+        break;
+    }
+    done(Response::rejected(id, reason, retry_after_ms));
 }
 
 void
-SimService::submitLine(const std::string &line, ResponseCallback done)
+SimService::submitLine(const std::string &line, ResponseCallback done,
+                       const std::string &default_client)
 {
     Result<Request> parsed = parseRequest(line);
     if (!parsed.ok()) {
         done(Response::error(parseRequestId(line), parsed.error()));
         return;
     }
+    if (parsed.value().client.empty())
+        parsed.value().client = default_client;
     submit(std::move(parsed.value()), std::move(done));
 }
 
@@ -235,12 +339,56 @@ SimService::join()
     stopHousekeeper_.store(true);
     if (housekeeper_.joinable())
         housekeeper_.join();
+
+    // Every queued job has now drained. Defensive sweep: any sink
+    // still attached (a crash re-queue that raced shutdown) gets an
+    // Unavailable answer — a submitted request is answered exactly
+    // once, even across a dying service.
+    std::vector<std::uint64_t> leftover;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        for (const auto &[identity, entry] : inflight_)
+            leftover.push_back(identity);
+    }
+    for (std::uint64_t identity : leftover) {
+        answerSinks(identity,
+                    Response::error(
+                        std::string(),
+                        SimError::unavailable(
+                            "service shut down before the work "
+                            "could run")));
+    }
+
+    // Stop ordering (shards drained above, socket closed by the
+    // owner after we return): final cache flush *before* the daemon
+    // exits, so the snapshot is complete and the WAL truncates to
+    // empty — a restart replays nothing and loses nothing.
+    if (harness::RunCache *cache = runner_.persistentCache()) {
+        cache->stopAutoFlush();
+        cache->flush();
+    }
 }
 
 void
 SimService::dispatchLoop()
 {
     while (std::optional<Job> job = queue_.pop()) {
+        // Injected chaos: stall the dispatcher once, right before
+        // delivering job N. Clients see latency, never errors — the
+        // admission queue absorbs the backlog.
+        std::uint64_t dispatched = jobsDispatched_.fetch_add(1) + 1;
+        if (options_.faultPlan != nullptr) {
+            const fault::ServeFaultSpec &serve =
+                options_.faultPlan->serve;
+            if (serve.dispatcherStallAtJob != 0 &&
+                dispatched == serve.dispatcherStallAtJob &&
+                !dispatcherStalled_.exchange(true)) {
+                warn("serve: injected dispatcher stall (",
+                     serve.dispatcherStallMs, " ms)");
+                wallclock::sleepMs(static_cast<std::int64_t>(
+                    serve.dispatcherStallMs));
+            }
+        }
         // Route only over shards with a free prefetch slot, so one
         // full shard never head-of-line-blocks delivery to idle
         // ones (affinity then degrades to balance, which is the
@@ -324,17 +472,37 @@ SimService::execute(std::size_t shard, const Job &job)
     busySinceMs_[shard]->store(wallclock::nowMs());
 
     std::int64_t job_start_ns = wallclock::nowNs();
-    Response response =
-        job.request.type == RequestType::Run
-            ? executeRun(job.request, cancel_[shard].get())
-            : executeStudy(job.request, cancel_[shard].get());
+    Response response;
+    std::string crash_msg;
+    bool crashed = runGuarded(shard, job, response, crash_msg);
     auto job_ns = static_cast<std::uint64_t>(wallclock::nowNs() -
                                              job_start_ns);
     shardSites_[shard]->addSample(job_ns, job_ns);
 
+    if (crashed) {
+        crashRecover(shard, job, crash_msg);
+        return;
+    }
+
     busySinceMs_[shard]->store(0);
     generation_[shard]->fetch_add(1); // idle epoch
     router_.release(shard);
+
+    // A server-side failure (timeout, injected fault, internal
+    // error) may have left the job's pooled machines mid-simulation;
+    // retire them so the next hit rebuilds clean state. The breaker
+    // also learns about it, while client mistakes count as success.
+    bool failure = serverSideFailure(response);
+    if (failure)
+        runner_.invalidateMachines(job.request.spec.config());
+    else
+        supervisor_.onHealthy(static_cast<unsigned>(shard));
+    breaker_.record(
+        breakerClassOf(job.request.type), !failure,
+        static_cast<std::uint64_t>(wallclock::nowMs()));
+
+    std::int64_t served_ms = wallclock::nowMs() - job.admittedMs;
+    queue_.noteServiced(served_ms);
 
     std::vector<std::pair<std::string, ResponseCallback>> sinks;
     {
@@ -354,8 +522,143 @@ SimService::execute(std::size_t shard, const Job &job)
         else
             cFailed_->add(static_cast<double>(sinks.size()));
     }
-    recordLatency(static_cast<double>(wallclock::nowMs() -
-                                      job.admittedMs));
+    recordLatency(static_cast<double>(served_ms));
+    for (auto &[sink_id, sink] : sinks) {
+        Response copy = response;
+        copy.id = sink_id;
+        sink(copy);
+    }
+}
+
+bool
+SimService::runGuarded(std::size_t shard, const Job &job,
+                       Response &response, std::string &crash_msg)
+{
+    // The trap's fields are written through the thread-local active
+    // pointer (they escape), so reading them after the siglongjmp is
+    // well-defined in practice; locals of the *interrupted* frames
+    // (executeRun and below) are abandoned — pooled machines, the
+    // one resource that matters, are retired by crashRecover().
+    CrashTrap trap;
+    if (sigsetjmp(trap.jumpBuffer(), 0) == 0) {
+        std::uint64_t job_index = jobsExecuted_.fetch_add(1) + 1;
+        maybeInjectCrash(job_index, job.request);
+        response = job.request.type == RequestType::Run
+                       ? executeRun(job.request, cancel_[shard].get())
+                       : executeStudy(job.request,
+                                      cancel_[shard].get());
+        return false;
+    }
+    crash_msg = trap.message();
+    return true;
+}
+
+void
+SimService::maybeInjectCrash(std::uint64_t job_index,
+                             const Request &request)
+{
+    if (options_.faultPlan == nullptr)
+        return;
+    const fault::ServeFaultSpec &serve = options_.faultPlan->serve;
+    if (serve.shardCrashEveryJobs != 0 &&
+        job_index % serve.shardCrashEveryJobs == 0) {
+        mmgpu_panic("injected serve chaos: shard crash at job ",
+                    job_index);
+    }
+    if (!serve.crashPoints.empty() &&
+        fault::HarnessFaultSpec::matches(serve.crashPoints,
+                                         request.spec.config().name,
+                                         request.spec.workload)) {
+        mmgpu_panic("injected serve chaos: crash point '",
+                    request.spec.workload, "'");
+    }
+}
+
+void
+SimService::crashRecover(std::size_t shard, const Job &job,
+                         const std::string &crash_msg)
+{
+    busySinceMs_[shard]->store(0);
+    generation_[shard]->fetch_add(1); // idle epoch
+    router_.release(shard);
+
+    // Crash isolation: whatever machine the job was driving is in an
+    // unknown state. Retire every pooled machine of its config so no
+    // later run inherits the wreckage (the checked-out one was
+    // abandoned by the longjmp and never returns to the pool).
+    runner_.invalidateMachines(job.request.spec.config());
+
+    const std::uint64_t identity = job.request.workIdentity();
+    ShardSupervisor::Outcome outcome = supervisor_.onCrash(
+        static_cast<unsigned>(shard), identity, crash_msg,
+        static_cast<std::uint64_t>(wallclock::nowMs()));
+    {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        cCrashes_->add();
+    }
+    breaker_.record(breakerClassOf(job.request.type), false,
+                    static_cast<std::uint64_t>(wallclock::nowMs()));
+    warn("serve: shard ", shard, " crashed (strike ", outcome.strike,
+         "): ", crash_msg);
+
+    bool answered = false;
+    if (outcome.verdict == CrashVerdict::Requeue) {
+        // Transparent retry: the sinks stay attached under the work
+        // identity, so when the re-queued job completes on a healthy
+        // shard the clients get their answers as if nothing died.
+        Job retry = job;
+        if (!queue_.requeue(std::move(retry))) {
+            // Shutting down: nothing will run it; answer now.
+            answerSinks(identity,
+                        Response::error(
+                            job.request.id,
+                            SimError::unavailable(
+                                "shard crashed during shutdown: " +
+                                crash_msg)));
+            answered = true;
+        }
+    } else {
+        {
+            std::lock_guard<std::mutex> tlock(telMutex_);
+            cPoisonedAnswers_->add();
+        }
+        answerSinks(identity,
+                    Response::error(
+                        job.request.id,
+                        SimError::poisoned(
+                            "work quarantined after " +
+                            std::to_string(outcome.strike) +
+                            " shard crashes: " + crash_msg)));
+        answered = true;
+    }
+    if (answered) {
+        recordLatency(static_cast<double>(wallclock::nowMs() -
+                                          job.admittedMs));
+    }
+
+    // The logical shard restart: sleep the supervisor-assigned
+    // backoff before taking more work, so a crash-looping shard
+    // cannot burn the machine pool at full speed.
+    wallclock::sleepMs(static_cast<std::int64_t>(outcome.backoffMs));
+}
+
+void
+SimService::answerSinks(std::uint64_t identity,
+                        const Response &response)
+{
+    std::vector<std::pair<std::string, ResponseCallback>> sinks;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        auto it = inflight_.find(identity);
+        if (it != inflight_.end()) {
+            sinks = std::move(it->second.sinks);
+            inflight_.erase(it);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> tlock(telMutex_);
+        cFailed_->add(static_cast<double>(sinks.size()));
+    }
     for (auto &[sink_id, sink] : sinks) {
         Response copy = response;
         copy.id = sink_id;
@@ -466,6 +769,13 @@ SimService::statsResponse(const std::string &id)
     doc.set("cache-hit-rate", s.cacheHitRate);
     doc.set("latency-p50-ms", s.latencyP50Ms);
     doc.set("latency-p95-ms", s.latencyP95Ms);
+    doc.set("quota-rejected", s.quotaRejected);
+    doc.set("shed", s.shed);
+    doc.set("crashes", s.crashes);
+    doc.set("requeues", s.requeues);
+    doc.set("poisonings", s.poisonings);
+    doc.set("quarantined", s.quarantined);
+    doc.set("breaker-trips", s.breakerTrips);
     JsonValue series = JsonValue::array();
     for (const StatsSample &sample : timeseries()) {
         JsonValue p = JsonValue::object();
@@ -474,9 +784,30 @@ SimService::statsResponse(const std::string &id)
         p.set("busy-shards", sample.busyShards);
         p.set("inflight", sample.inflight);
         p.set("cache-hit-rate", sample.cacheHitRate);
+        p.set("crashes", sample.crashes);
         series.push(std::move(p));
     }
     doc.set("timeseries", std::move(series));
+    // Last few supervision events, so an operator can see *what*
+    // crashed and what the supervisor did about it.
+    JsonValue events = JsonValue::array();
+    for (const SupervisorEvent &event : supervisor_.events()) {
+        JsonValue e = JsonValue::object();
+        e.set("t-ms", static_cast<double>(event.wallMs));
+        e.set("shard", event.shard);
+        e.set("strike", event.strike);
+        e.set("verdict", event.verdict == CrashVerdict::Poison
+                             ? "poison"
+                             : "requeue");
+        e.set("message", event.message);
+        events.push(std::move(e));
+    }
+    doc.set("supervisor-events", std::move(events));
+    {
+        std::lock_guard<std::mutex> lock(frontendMutex_);
+        if (frontendInfo_.isObject())
+            doc.set("frontend", frontendInfo_);
+    }
     // Per-shard job-time aggregates from the profiler's
     // "serve/shard<N>" sites (sampled unconditionally in execute()).
     JsonValue shards = JsonValue::object();
@@ -575,7 +906,22 @@ SimService::stats() const
         s.latencyP50Ms = percentile(latencyRing_, 0.50);
         s.latencyP95Ms = percentile(latencyRing_, 0.95);
     }
+    s.quotaRejected = queue_.quotaRejected();
+    s.shed = queue_.shedRejected();
+    SupervisorStats sup = supervisor_.stats();
+    s.crashes = sup.crashes;
+    s.requeues = sup.requeues;
+    s.poisonings = sup.poisonings;
+    s.quarantined = sup.quarantined;
+    s.breakerTrips = breaker_.trips();
     return s;
+}
+
+void
+SimService::setFrontendInfo(JsonValue info)
+{
+    std::lock_guard<std::mutex> lock(frontendMutex_);
+    frontendInfo_ = std::move(info);
 }
 
 std::vector<StatsSample>
@@ -631,6 +977,7 @@ SimService::housekeepLoop()
             sample.inflight = inflight_.size();
         }
         sample.cacheHitRate = cacheHitRate();
+        sample.crashes = supervisor_.stats().crashes;
         {
             std::lock_guard<std::mutex> lock(statsMutex_);
             samples_.push_back(sample);

@@ -42,10 +42,12 @@
 #include <vector>
 
 #include "common/prof.hh"
+#include "fault/fault_plan.hh"
 #include "harness/study.hh"
 #include "serve/admission.hh"
 #include "serve/request.hh"
 #include "serve/router.hh"
+#include "serve/supervisor.hh"
 #include "telemetry/telemetry.hh"
 
 namespace mmgpu::serve
@@ -62,6 +64,19 @@ struct ServeOptions
     std::int64_t sampleMs = 200;   //!< health-sample period
     std::size_t timeseriesCap = 512; //!< health samples retained
     std::size_t routerSlack = 2;   //!< affinity load headroom (jobs)
+
+    // Self-healing knobs (DESIGN.md "Failure model & self-healing").
+    SupervisorOptions supervisor; //!< strikes / quarantine / backoff
+    BreakerOptions breaker;       //!< per-class circuit breaking
+    double quotaRatePerSec = 0.0; //!< per-client admission quota;
+                                  //!< 0 disables quotas
+    double quotaBurst = 16.0;     //!< per-client burst allowance
+    double shedWatermark = 0.85;  //!< overload shed point (fraction
+                                  //!< of queueDepth)
+
+    /** Chaos plan for the serve-layer fault knobs (not owned; may be
+     *  null, and a disabled plan injects nothing). */
+    const fault::FaultPlan *faultPlan = nullptr;
 };
 
 /** One health sample of the running service. */
@@ -72,6 +87,7 @@ struct StatsSample
     std::size_t busyShards = 0;  //!< shards mid-simulation
     std::size_t inflight = 0;    //!< distinct in-flight identities
     double cacheHitRate = 0.0;   //!< persistent-cache hit fraction
+    std::uint64_t crashes = 0;   //!< supervised shard crashes so far
 };
 
 /** Aggregate service statistics (the "stats" request payload). */
@@ -91,6 +107,15 @@ struct ServiceStats
     double cacheHitRate = 0.0;
     double latencyP50Ms = 0.0; //!< admission -> response, recent
     double latencyP95Ms = 0.0;
+
+    // Self-healing counters.
+    std::uint64_t quotaRejected = 0; //!< per-client quota rejects
+    std::uint64_t shed = 0;          //!< overload sheds
+    std::uint64_t crashes = 0;       //!< supervised shard crashes
+    std::uint64_t requeues = 0;      //!< crashes retried invisibly
+    std::uint64_t poisonings = 0;    //!< fingerprints quarantined
+    std::size_t quarantined = 0;     //!< quarantine set size
+    std::uint64_t breakerTrips = 0;  //!< circuit-breaker opens
 };
 
 /** Response sink; invoked exactly once per submitted request. */
@@ -126,9 +151,13 @@ class SimService
 
     /**
      * Submit a raw protocol line: parse errors become error
-     * responses addressed to whatever id could be salvaged.
+     * responses addressed to whatever id could be salvaged. A
+     * request that names no "client" is accounted against
+     * @p default_client (the socket front end passes its
+     * per-connection identity).
      */
-    void submitLine(const std::string &line, ResponseCallback done);
+    void submitLine(const std::string &line, ResponseCallback done,
+                    const std::string &default_client = {});
 
     /** Synchronous submit() — blocks until the response lands. */
     Response call(Request request);
@@ -153,6 +182,16 @@ class SimService
 
     /** The bounded health timeseries (oldest first). */
     std::vector<StatsSample> timeseries() const;
+
+    /** The shard supervisor (tests inspect quarantine/strikes). */
+    const ShardSupervisor &supervisor() const { return supervisor_; }
+
+    /**
+     * Attach a front-end description (socket path, line cap, write
+     * budget) echoed verbatim under "frontend" in stats responses,
+     * so `--stats` shows the knobs the daemon actually runs with.
+     */
+    void setFrontendInfo(JsonValue info);
 
     /** Service telemetry (serve/... counters and gauges). */
     const telemetry::Telemetry &serviceTelemetry() const
@@ -184,6 +223,32 @@ class SimService
     /** Execute one admitted job and fan its response out. */
     void execute(std::size_t shard, const Job &job);
 
+    /**
+     * Run the job body inside a CrashTrap (panic -> siglongjmp back
+     * here instead of aborting the daemon). @return true when the
+     * job crashed; @p crash_msg then holds the panic text, otherwise
+     * @p response holds the answer.
+     */
+    bool runGuarded(std::size_t shard, const Job &job,
+                    Response &response, std::string &crash_msg);
+
+    /** Injected chaos: panic when the fault plan targets this job. */
+    void maybeInjectCrash(std::uint64_t job_index,
+                          const Request &request);
+
+    /**
+     * Supervised crash recovery: retire the job's machines, consult
+     * the supervisor, re-queue or poison, and sleep the shard's
+     * restart backoff. The job's sinks stay attached on re-queue —
+     * server-side recovery is invisible to clients.
+     */
+    void crashRecover(std::size_t shard, const Job &job,
+                      const std::string &crash_msg);
+
+    /** Detach and answer every sink of @p identity with @p response
+     *  (each sink sees its own request id). */
+    void answerSinks(std::uint64_t identity, const Response &response);
+
     /** Run/Study bodies; @p cancel is the shard watchdog flag. */
     Response executeRun(const Request &request,
                         const std::atomic<bool> *cancel);
@@ -203,7 +268,15 @@ class SimService
     harness::ScalingRunner runner_;
     AdmissionQueue queue_;
     Router router_;
+    ShardSupervisor supervisor_;
+    CircuitBreaker breaker_;
     telemetry::Telemetry tel_;
+
+    // Chaos accounting: global job/dispatch indices for the
+    // counter-driven serve fault knobs (1-based; see ServeFaultSpec).
+    std::atomic<std::uint64_t> jobsExecuted_{0};
+    std::atomic<std::uint64_t> jobsDispatched_{0};
+    std::atomic<bool> dispatcherStalled_{false};
 
     // In-flight dedup table, keyed on Request::workIdentity().
     mutable std::mutex inflightMutex_;
@@ -255,11 +328,18 @@ class SimService
     telemetry::Counter *cFailed_ = nullptr;
     telemetry::Counter *cDedup_ = nullptr;
     telemetry::Counter *cSims_ = nullptr;
+    telemetry::Counter *cCrashes_ = nullptr;
+    telemetry::Counter *cPoisonedAnswers_ = nullptr;
     telemetry::Gauge *gQueueDepth_ = nullptr;
     telemetry::Gauge *gInflight_ = nullptr;
     telemetry::Gauge *gBusyShards_ = nullptr;
     telemetry::Gauge *gHitRate_ = nullptr;
     mutable std::mutex telMutex_; //!< guards all counter/gauge updates
+
+    // Front-end self-description (frontendMutex_); see
+    // setFrontendInfo().
+    mutable std::mutex frontendMutex_;
+    JsonValue frontendInfo_;
 
     std::thread dispatcher_;
     std::vector<std::thread> workers_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <poll.h>
@@ -17,15 +18,48 @@ namespace mmgpu::serve
 namespace
 {
 
-/** Longest a response write may stall on a full socket buffer (a
- *  client that pipelines but never reads) before the connection is
- *  dropped instead of blocking a worker thread. */
-constexpr int writeStallMs = 10000;
-
 /** poll() slice while stalled, so a shutdown fd is noticed fast. */
 constexpr int writePollMs = 100;
 
+/** Smallest line cap an operator may configure; below this even a
+ *  bare ping request would not fit. */
+constexpr std::size_t minLineCap = 512;
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback, std::uint64_t lo,
+        std::uint64_t hi)
+{
+    const char *text = std::getenv(name);
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0' || parsed < lo || parsed > hi) {
+        warn("ignoring ", name, "='", text, "' (want an integer in [",
+             lo, ", ", hi, "])");
+        return fallback;
+    }
+    return parsed;
+}
+
 } // namespace
+
+SocketServerOptions
+SocketServerOptions::fromEnv()
+{
+    SocketServerOptions options;
+    options.lineCap =
+        static_cast<std::size_t>(envUint("MMGPU_SERVE_LINE_CAP",
+                                         options.lineCap, minLineCap,
+                                         maxRequestBytes));
+    options.writeBudgetMs = static_cast<int>(
+        envUint("MMGPU_SERVE_WRITE_BUDGET_SEC",
+                static_cast<std::uint64_t>(options.writeBudgetMs) /
+                    1000,
+                1, 3600) *
+        1000);
+    return options;
+}
 
 SocketServer::ConnState::~ConnState()
 {
@@ -59,7 +93,7 @@ SocketServer::ConnState::writeLine(const std::string &line)
         if (n < 0 && errno == EINTR)
             continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            if (stalled_ms >= writeStallMs) {
+            if (stalled_ms >= writeBudgetMs) {
                 // Client stopped reading: drop it. shutdown() also
                 // wakes this connection's reader out of recv().
                 alive.store(false);
@@ -81,9 +115,28 @@ SocketServer::ConnState::writeLine(const std::string &line)
     return true;
 }
 
-SocketServer::SocketServer(SimService &service, std::string path)
-    : service_(service), path_(std::move(path))
+SocketServer::SocketServer(SimService &service, std::string path,
+                           SocketServerOptions options)
+    : service_(service), path_(std::move(path)), options_(options)
 {
+    // Validate even programmatic options: a zero/oversized cap is a
+    // config bug, not something to crash or silently obey.
+    if (options_.lineCap < minLineCap ||
+        options_.lineCap > maxRequestBytes) {
+        warn("serve: line cap ", options_.lineCap,
+             " out of range; clamping");
+        options_.lineCap =
+            std::clamp(options_.lineCap, minLineCap, maxRequestBytes);
+    }
+    if (options_.writeBudgetMs <= 0) {
+        warn("serve: non-positive write budget; using 10000 ms");
+        options_.writeBudgetMs = 10000;
+    }
+    chaos_ = std::make_shared<ChaosState>();
+    if (options_.faultPlan != nullptr) {
+        chaos_->resetEveryWrites =
+            options_.faultPlan->serve.connResetEveryWrites;
+    }
 }
 
 SocketServer::~SocketServer()
@@ -127,6 +180,15 @@ SocketServer::start()
     }
     running_ = true;
     stop_.store(false);
+
+    // Tell the service what front end it is running behind, so
+    // `--stats` echoes the enforced caps.
+    JsonValue info = JsonValue::object();
+    info.set("socket", path_);
+    info.set("line-cap", options_.lineCap);
+    info.set("write-budget-ms", options_.writeBudgetMs);
+    service_.setFrontendInfo(std::move(info));
+
     acceptor_ = std::thread([this] { acceptLoop(); });
     return Result<void>::success();
 }
@@ -187,7 +249,8 @@ SocketServer::acceptLoop()
         if (fd < 0)
             continue;
         accepted_.fetch_add(1);
-        auto conn = std::make_shared<ConnState>(fd);
+        auto conn = std::make_shared<ConnState>(
+            fd, options_.writeBudgetMs);
         std::lock_guard<std::mutex> lock(connMutex_);
         std::uint64_t id = nextConnId_++;
         conns_.push_back(conn);
@@ -232,9 +295,30 @@ SocketServer::trackedConnectionThreads() const
 }
 
 void
+SocketServer::maybeInjectReset(ChaosState &chaos,
+                               const std::shared_ptr<ConnState> &conn)
+{
+    if (chaos.resetEveryWrites == 0)
+        return;
+    std::uint64_t writes = chaos.writes.fetch_add(1) + 1;
+    if (writes % chaos.resetEveryWrites != 0)
+        return;
+    // Hard-close *after* the response went out: the client can still
+    // read what is buffered, then hits EOF/EPIPE and must reconnect —
+    // exactly the failure a dying NAT or restarted proxy produces.
+    chaos.resets.fetch_add(1);
+    conn->alive.store(false);
+    ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void
 SocketServer::connectionLoop(std::uint64_t id,
                              std::shared_ptr<ConnState> conn)
 {
+    // Per-connection quota identity: requests that do not name a
+    // "client" are accounted against their connection.
+    const std::string default_client =
+        "conn-" + std::to_string(id);
     std::string pending;
     char buffer[4096];
     while (true) {
@@ -249,12 +333,12 @@ SocketServer::connectionLoop(std::uint64_t id,
         // A client streaming garbage without a newline must not
         // balloon daemon memory: cap the partial line too.
         if (pending.find('\n') == std::string::npos &&
-            pending.size() > maxRequestBytes) {
+            pending.size() > options_.lineCap) {
             conn->writeLine(
                 Response::error(
                     "", SimError::parse(
                             "request line exceeds " +
-                            std::to_string(maxRequestBytes) +
+                            std::to_string(options_.lineCap) +
                             " bytes"))
                     .encode());
             break;
@@ -271,10 +355,24 @@ SocketServer::connectionLoop(std::uint64_t id,
                 line.pop_back();
             if (line.empty())
                 continue;
+            if (line.size() > options_.lineCap) {
+                conn->writeLine(
+                    Response::error(
+                        parseRequestId(line),
+                        SimError::parse(
+                            "request line exceeds " +
+                            std::to_string(options_.lineCap) +
+                            " bytes"))
+                        .encode());
+                continue;
+            }
             service_.submitLine(
-                line, [conn](const Response &response) {
-                    conn->writeLine(response.encode());
-                });
+                line,
+                [conn, chaos = chaos_](const Response &response) {
+                    if (conn->writeLine(response.encode()))
+                        maybeInjectReset(*chaos, conn);
+                },
+                default_client);
         }
         pending.erase(0, start);
     }

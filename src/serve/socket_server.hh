@@ -36,10 +36,46 @@
 #include <vector>
 
 #include "common/result.hh"
+#include "fault/fault_plan.hh"
 #include "serve/service.hh"
 
 namespace mmgpu::serve
 {
+
+/**
+ * Front-end tuning knobs, overridable from the environment so an
+ * operator can tighten containment without a rebuild. Both knobs are
+ * validated (malformed/out-of-range values warn and keep defaults)
+ * and echoed under "frontend" in `--stats`, so the running daemon
+ * always reports the caps it actually enforces.
+ */
+struct SocketServerOptions
+{
+    /**
+     * Per-request line cap enforced by the framing loop, including
+     * mid-line (a client streaming garbage without a newline is cut
+     * off at this size). Clamped to [512, maxRequestBytes] — the
+     * protocol parser enforces maxRequestBytes regardless, so only
+     * tightening is meaningful.
+     */
+    std::size_t lineCap = maxRequestBytes;
+
+    /** Longest a response write may stall on a full socket buffer (a
+     *  client that pipelines but never reads) before the connection
+     *  is dropped instead of blocking a worker thread. */
+    int writeBudgetMs = 10000;
+
+    /** Chaos plan for connection-reset injection (not owned; may be
+     *  null). */
+    const fault::FaultPlan *faultPlan = nullptr;
+
+    /**
+     * Defaults overridden by `MMGPU_SERVE_LINE_CAP` (bytes) and
+     * `MMGPU_SERVE_WRITE_BUDGET_SEC` (seconds, converted to ms).
+     * Invalid values warn and keep the default.
+     */
+    static SocketServerOptions fromEnv();
+};
 
 /** Accept loop + per-connection line framing over AF_UNIX. */
 class SocketServer
@@ -49,8 +85,10 @@ class SocketServer
      * @param service Request engine (not owned; outlives the server).
      * @param path Socket filesystem path (< ~100 chars; a stale file
      *        at the path is unlinked on start()).
+     * @param options Front-end knobs (validated in the constructor).
      */
-    SocketServer(SimService &service, std::string path);
+    SocketServer(SimService &service, std::string path,
+                 SocketServerOptions options = {});
 
     /** Stops and joins if still running. */
     ~SocketServer();
@@ -80,12 +118,24 @@ class SocketServer
      *  lazily by the accept loop; tests poll this). */
     std::size_t trackedConnectionThreads() const;
 
+    /** The validated knobs this server runs with. */
+    const SocketServerOptions &options() const { return options_; }
+
+    /** Injected connection resets performed so far (chaos). */
+    std::uint64_t injectedResets() const
+    {
+        return chaos_->resets.load();
+    }
+
   private:
     /** Per-connection shared state; the fd closes when the last
      *  holder (reader thread or pending response) lets go. */
     struct ConnState
     {
-        explicit ConnState(int fd) : fd(fd) {}
+        ConnState(int fd, int write_budget_ms)
+            : fd(fd), writeBudgetMs(write_budget_ms)
+        {
+        }
         ~ConnState();
 
         /**
@@ -98,6 +148,7 @@ class SocketServer
         bool writeLine(const std::string &line);
 
         const int fd;
+        const int writeBudgetMs;       //!< stall budget (options)
         std::mutex writeMutex;         //!< serializes writers only
         std::atomic<bool> alive{true}; //!< cleared outside the mutex
     };
@@ -109,8 +160,27 @@ class SocketServer
     /** Join reader threads that announced exit; prune dead conns. */
     void reapFinished();
 
+    /**
+     * Connection-reset chaos state, shared (by shared_ptr) with
+     * every response callback: callbacks may outlive the server (a
+     * worker can deliver after stop()), so they must never touch
+     * `this` — only `conn` and this little block.
+     */
+    struct ChaosState
+    {
+        std::uint64_t resetEveryWrites = 0; //!< 0 = disabled
+        std::atomic<std::uint64_t> writes{0};
+        std::atomic<std::uint64_t> resets{0};
+    };
+
+    /** Chaos: hard-close @p conn when the plan says so. */
+    static void maybeInjectReset(ChaosState &chaos,
+                                 const std::shared_ptr<ConnState> &conn);
+
     SimService &service_;
     const std::string path_;
+    SocketServerOptions options_;
+    std::shared_ptr<ChaosState> chaos_;
     int listenFd_ = -1;
     std::thread acceptor_;
     std::atomic<bool> stop_{false};

@@ -1,0 +1,13 @@
+// lint-path: src/common/fixture_layering_supervisor.cc
+// Golden violation fixture for the self-healing serve headers: the
+// supervisor/client live at the TOP of the DAG, so a leaf (common)
+// pulling them in is a back edge. Three violations: common -> serve
+// twice, plus common -> harness.
+
+#include "serve/supervisor.hh" // back edge: common -> serve
+#include "serve/client.hh"     // back edge: common -> serve
+#include "harness/study.hh"    // back edge: common -> harness
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -1,0 +1,15 @@
+// lint-path: src/serve/fixture_layering_supervisor_clean.cc
+// Clean twin: inside src/serve the self-healing headers compose
+// freely with each other and with everything below them.
+
+#include "serve/supervisor.hh"
+#include "serve/client.hh"
+#include "serve/admission.hh"
+#include "fault/fault_plan.hh"
+#include "common/rng.hh"
+
+#include <string>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -176,4 +176,86 @@ TEST(FaultPlan, FromEnvMalformedSeedStaysDisabled)
     ::unsetenv("MMGPU_FAULT_SEED");
 }
 
+TEST(ServeFaultSpec, EnabledWhenAnyKnobIsSet)
+{
+    ServeFaultSpec spec;
+    EXPECT_FALSE(spec.enabled());
+    spec.shardCrashEveryJobs = 5;
+    EXPECT_TRUE(spec.enabled());
+
+    spec = {};
+    spec.walTearAtAppend = 3;
+    EXPECT_TRUE(spec.enabled());
+
+    spec = {};
+    spec.connResetEveryWrites = 7;
+    EXPECT_TRUE(spec.enabled());
+
+    spec = {};
+    spec.crashPoints.push_back("Stream");
+    EXPECT_TRUE(spec.enabled());
+}
+
+TEST(ServeFaultSpec, FingerprintCoversServeKnobs)
+{
+    FaultPlan base;
+    std::uint64_t fp = base.fingerprint();
+
+    FaultPlan crashy;
+    crashy.serve.shardCrashEveryJobs = 5;
+    EXPECT_NE(crashy.fingerprint(), fp);
+
+    FaultPlan torn;
+    torn.serve.walTearAtAppend = 2;
+    EXPECT_NE(torn.fingerprint(), fp);
+    EXPECT_NE(torn.fingerprint(), crashy.fingerprint());
+
+    FaultPlan pointed;
+    pointed.serve.crashPoints.push_back("Stream");
+    EXPECT_NE(pointed.fingerprint(), fp);
+
+    FaultPlan pointed_twice = pointed;
+    pointed_twice.serve.crashPoints.push_back("BFS");
+    EXPECT_NE(pointed_twice.fingerprint(), pointed.fingerprint());
+}
+
+TEST(ServeFaultSpec, FromEnvReadsServeKnobs)
+{
+    ::unsetenv("MMGPU_FAULT_SEED");
+    ::setenv("MMGPU_FAULT_SERVE_CRASH_EVERY", "5", 1);
+    ::setenv("MMGPU_FAULT_SERVE_STALL_AT_JOB", "3", 1);
+    ::setenv("MMGPU_FAULT_SERVE_STALL_MS", "250", 1);
+    ::setenv("MMGPU_FAULT_SERVE_WAL_TEAR_AT", "2", 1);
+    ::setenv("MMGPU_FAULT_SERVE_CONN_RESET_EVERY", "7", 1);
+    ::setenv("MMGPU_FAULT_SERVE_CRASH_POINT", "Stream,8-GPM|BFS", 1);
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_EQ(plan.serve.shardCrashEveryJobs, 5u);
+    EXPECT_EQ(plan.serve.dispatcherStallAtJob, 3u);
+    EXPECT_EQ(plan.serve.dispatcherStallMs, 250u);
+    EXPECT_EQ(plan.serve.walTearAtAppend, 2u);
+    EXPECT_EQ(plan.serve.connResetEveryWrites, 7u);
+    ASSERT_EQ(plan.serve.crashPoints.size(), 2u);
+    EXPECT_EQ(plan.serve.crashPoints[0], "Stream");
+    EXPECT_EQ(plan.serve.crashPoints[1], "8-GPM|BFS");
+    EXPECT_TRUE(plan.serve.enabled());
+    // Serve chaos is counter-driven; no seed means no sensor faults.
+    EXPECT_FALSE(plan.sensor.enabled());
+
+    ::unsetenv("MMGPU_FAULT_SERVE_CRASH_EVERY");
+    ::unsetenv("MMGPU_FAULT_SERVE_STALL_AT_JOB");
+    ::unsetenv("MMGPU_FAULT_SERVE_STALL_MS");
+    ::unsetenv("MMGPU_FAULT_SERVE_WAL_TEAR_AT");
+    ::unsetenv("MMGPU_FAULT_SERVE_CONN_RESET_EVERY");
+    ::unsetenv("MMGPU_FAULT_SERVE_CRASH_POINT");
+}
+
+TEST(ServeFaultSpec, FromEnvMalformedCountKeepsDefault)
+{
+    ::setenv("MMGPU_FAULT_SERVE_CRASH_EVERY", "sometimes", 1);
+    FaultPlan plan = FaultPlan::fromEnv();
+    EXPECT_EQ(plan.serve.shardCrashEveryJobs, 0u);
+    EXPECT_FALSE(plan.serve.enabled());
+    ::unsetenv("MMGPU_FAULT_SERVE_CRASH_EVERY");
+}
+
 } // namespace

@@ -104,6 +104,8 @@ const RulePair rulePairs[] = {
      "layering_engine_clean.cc", 3},
     {"layering", "layering_serve_bad.cc",
      "layering_serve_clean.cc", 3},
+    {"layering", "layering_supervisor_bad.cc",
+     "layering_supervisor_clean.cc", 3},
     {"include-path", "include_path_bad.cc",
      "include_path_clean.cc", 3},
     {"error-path", "error_path_bad.cc", "error_path_clean.cc", 3},

@@ -248,13 +248,14 @@ TEST(RunCache, FingerprintCoversEveryInput)
     EXPECT_NE(runFingerprint(config, stretched, 1.0, -1.0, 7), base);
 }
 
-TEST(RunCache, CrashLosesOnlyUnflushedInserts)
+TEST(RunCache, CrashLosesNothingThanksToJournal)
 {
     std::string path = scratchPath("crash");
 
-    // The "crashing" process: entry 1 reaches disk via an explicit
-    // flush, entry 2 lives only in memory when the process dies
-    // without running destructors or the atexit flush.
+    // The "crashing" process: entry 1 reaches the snapshot via an
+    // explicit flush (which truncates the journal), entry 2 lives
+    // only in memory + journal when the process dies without running
+    // destructors or the atexit flush — the kill -9 model.
     pid_t pid = fork();
     ASSERT_NE(pid, -1);
     if (pid == 0) {
@@ -269,23 +270,114 @@ TEST(RunCache, CrashLosesOnlyUnflushedInserts)
     ASSERT_TRUE(WIFEXITED(status));
     ASSERT_EQ(WEXITSTATUS(status), 0);
 
-    // The survivor sees exactly the flushed state — never a torn
-    // file (flush is write-tmp + rename), never the lost insert.
+    // The survivor replays the journal: BOTH entries come back
+    // bit-exactly — a crash loses zero completed simulations.
     RunCache survivor(path);
-    EXPECT_EQ(survivor.size(), 1u);
+    EXPECT_EQ(survivor.size(), 2u);
+    EXPECT_EQ(survivor.walReplayed(), 1u); // only the unflushed one
     sim::PerfResult perf;
     joule::EnergyBreakdown energy;
     EXPECT_TRUE(survivor.lookup(1, perf, energy));
     expectExact(fussyPerf(), perf);
-    EXPECT_FALSE(survivor.lookup(2, perf, energy));
+    EXPECT_TRUE(survivor.lookup(2, perf, energy));
+    expectExact(fussyPerf(), perf);
 
-    // And stays writable: post-crash work merges on top.
+    // And stays writable: post-crash work merges on top, and the
+    // flush folds the replayed record into the snapshot and empties
+    // the journal.
     survivor.insert(3, fussyPerf(), fussyEnergy());
     EXPECT_TRUE(survivor.flush());
+    std::error_code ec;
+    EXPECT_EQ(fs::file_size(survivor.walPath(), ec), 0u);
     RunCache merged(path);
-    EXPECT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged.size(), 3u);
+    EXPECT_EQ(merged.walReplayed(), 0u);
 
     fs::remove_all("run_cache_scratch/crash");
+}
+
+TEST(RunCache, CrashLosesUnflushedInsertsWithJournalDisabled)
+{
+    std::string path = scratchPath("crash_nowal");
+    setenv("MMGPU_CACHE_WAL", "0", 1);
+
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        RunCache doomed(path);
+        doomed.insert(1, fussyPerf(), fussyEnergy());
+        bool flushed = doomed.flush();
+        doomed.insert(2, fussyPerf(), fussyEnergy());
+        _exit(flushed ? 0 : 1);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    // Flush-only durability: the survivor sees exactly the flushed
+    // state — never a torn file (flush is write-tmp + rename), and
+    // the lost insert is simply recomputed.
+    RunCache survivor(path);
+    EXPECT_FALSE(survivor.walEnabled());
+    EXPECT_EQ(survivor.size(), 1u);
+    sim::PerfResult perf;
+    joule::EnergyBreakdown energy;
+    EXPECT_TRUE(survivor.lookup(1, perf, energy));
+    EXPECT_FALSE(survivor.lookup(2, perf, energy));
+
+    unsetenv("MMGPU_CACHE_WAL");
+    fs::remove_all("run_cache_scratch/crash_nowal");
+}
+
+TEST(RunCache, TornJournalRecordIsDroppedNotContagious)
+{
+    std::string path = scratchPath("torn");
+    {
+        RunCache cache(path);
+        cache.armWalTear(2); // the second append dies mid-payload
+        cache.insert(1, fussyPerf(), fussyEnergy());
+        cache.insert(2, fussyPerf(), fussyEnergy()); // torn
+        cache.insert(3, fussyPerf(), fussyEnergy());
+        // No flush: everything must come back from the journal.
+    }
+
+    // Replay drops exactly the torn record — its neighbours survive
+    // because each append leads with the newline that terminates a
+    // torn predecessor.
+    RunCache reloaded(path);
+    EXPECT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.walReplayed(), 2u);
+    sim::PerfResult perf;
+    joule::EnergyBreakdown energy;
+    EXPECT_TRUE(reloaded.lookup(1, perf, energy));
+    expectExact(fussyPerf(), perf);
+    EXPECT_FALSE(reloaded.lookup(2, perf, energy));
+    EXPECT_TRUE(reloaded.lookup(3, perf, energy));
+
+    fs::remove_all("run_cache_scratch/torn");
+}
+
+TEST(RunCache, StopAutoFlushPerformsFinalFlushAndTruncatesJournal)
+{
+    std::string path = scratchPath("finalflush");
+    {
+        RunCache cache(path);
+        cache.startAutoFlush(3600.0); // never fires on its own
+        cache.insert(7, fussyPerf(), fussyEnergy());
+        cache.stopAutoFlush(); // must flush + truncate, not just join
+
+        std::error_code ec;
+        EXPECT_EQ(fs::file_size(cache.walPath(), ec), 0u);
+    }
+
+    // The snapshot alone (journal disabled) holds the entry.
+    setenv("MMGPU_CACHE_WAL", "0", 1);
+    RunCache probe(path);
+    unsetenv("MMGPU_CACHE_WAL");
+    EXPECT_EQ(probe.size(), 1u);
+
+    fs::remove_all("run_cache_scratch/finalflush");
 }
 
 TEST(RunCache, AutoFlushPersistsEntriesInTheBackground)
@@ -295,11 +387,15 @@ TEST(RunCache, AutoFlushPersistsEntriesInTheBackground)
     cache.startAutoFlush(0.05);
     cache.insert(42, fussyPerf(), fussyEnergy());
 
-    // No explicit flush(): the background thread must land it.
+    // No explicit flush(): the background thread must land it in the
+    // snapshot (probes read with the journal disabled, so a WAL
+    // append alone cannot satisfy them).
     std::int64_t deadline = wallclock::nowMs() + 10000;
     bool persisted = false;
     while (!persisted && wallclock::nowMs() < deadline) {
+        setenv("MMGPU_CACHE_WAL", "0", 1);
         RunCache probe(path);
+        unsetenv("MMGPU_CACHE_WAL");
         persisted = probe.size() == 1;
         if (!persisted)
             wallclock::sleepMs(20);

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/wallclock.hh"
+#include "fault/fault_plan.hh"
 #include "serve/client.hh"
 #include "serve/service.hh"
 #include "serve/socket_server.hh"
@@ -169,6 +170,75 @@ TEST(ServeConcurrent, PipelinedSocketClientsEachGetTheirAnswers)
     EXPECT_EQ(service.stats().simulationsStarted, points().size());
 
     server.stop();
+    service.beginShutdown();
+    service.join();
+}
+
+TEST(ServeConcurrent, ShardCrashesUnderConcurrentLoadStayInvisible)
+{
+    // Counter-driven shard crashes while 8 client threads hammer the
+    // service: every crash must be supervised (machine retired, shard
+    // restarted after backoff, job requeued with sinks attached) and
+    // no client may ever observe one. This is the tier-2 shape of
+    // ServeSelfHealing.CounterCrashesAreRequeuedInvisibly — the
+    // interesting part under TSan is the crash-recovery path racing
+    // dispatch, dedup attach, and answer fan-out.
+    fault::FaultPlan plan;
+    plan.serve.shardCrashEveryJobs = 3;
+
+    ServeOptions options;
+    options.shards = 4;
+    options.queueDepth = 256;
+    options.supervisor.backoffBaseMs = 1; // restart fast under test
+    options.supervisor.backoffCapMs = 8;
+    // The crash counter is global, so a hot fingerprint re-asked by
+    // many threads can land on several crash indices; strikes are
+    // effectively unbounded here so nothing gets quarantined — this
+    // test is about recovery races, not the quarantine policy.
+    options.supervisor.maxStrikes = 1000000;
+    options.faultPlan = &plan;
+    SimService service(options, context());
+    service.runner().attachPersistentCache(nullptr);
+    service.start();
+
+    const int threads = 8;
+    const int rounds = 2;
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int r = 0; r < rounds; ++r) {
+                for (std::size_t i = 0; i < points().size(); ++i) {
+                    const auto &point =
+                        points()[(i + static_cast<std::size_t>(t)) %
+                                 points().size()];
+                    Response response = service.call(runRequest(
+                        point.first, point.second,
+                        "x" + std::to_string(t) + "-r" +
+                            std::to_string(r) + "-" + point.first));
+                    if (response.status != ResponseStatus::Ok)
+                        failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_GE(stats.crashes, 1u);
+    EXPECT_EQ(stats.requeues, stats.crashes); // all recovered
+    EXPECT_EQ(stats.poisonings, 0u);
+    // Crash-requeue re-executes work, so simulationsStarted may
+    // exceed the fingerprint count — but completion accounting must
+    // still be exact.
+    EXPECT_EQ(stats.completed,
+              static_cast<std::uint64_t>(threads) * rounds *
+                  points().size());
+
     service.beginShutdown();
     service.join();
 }

@@ -267,6 +267,63 @@ TEST(ServeProtocol, ResponseRoundTrips)
     EXPECT_FALSE(parseResponse("not json").ok());
 }
 
+TEST(ServeProtocol, ClientFieldRoundTripsButIsNotWorkIdentity)
+{
+    Request request = fancyRequest();
+    request.client = "tenant-a";
+    Result<Request> parsed = parseRequest(request.encode());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().describe();
+    EXPECT_EQ(parsed.value().client, "tenant-a");
+
+    // Two clients asking for the same design point must share one
+    // simulation: quota identity is not dedup identity.
+    Request other = fancyRequest();
+    other.client = "tenant-b";
+    EXPECT_EQ(request.workIdentity(), other.workIdentity());
+
+    // Absent field parses as empty (the socket layer fills in the
+    // per-connection default).
+    Result<Request> bare = parseRequest("{\"type\":\"run\"}");
+    ASSERT_TRUE(bare.ok());
+    EXPECT_EQ(bare.value().client, "");
+}
+
+TEST(ServeProtocol, RetryAfterHintRoundTrips)
+{
+    Response rejected =
+        Response::rejected("id-r", "client quota exceeded", 1500);
+    EXPECT_NE(rejected.encode().find("retry-after-ms"),
+              std::string::npos);
+    Result<Response> back = parseResponse(rejected.encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().status, ResponseStatus::Rejected);
+    EXPECT_EQ(back.value().retryAfterMs, 1500u);
+
+    // No hint: the field is omitted and parses back as 0.
+    Response unhinted = Response::rejected("id-u", "queue full");
+    EXPECT_EQ(unhinted.encode().find("retry-after-ms"),
+              std::string::npos);
+    back = parseResponse(unhinted.encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().retryAfterMs, 0u);
+}
+
+TEST(ServeProtocol, SelfHealingErrorCodesRoundTrip)
+{
+    Response unavailable = Response::error(
+        "id-u", SimError::unavailable("shard crashed mid-job"));
+    Result<Response> back = parseResponse(unavailable.encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().code, ErrCode::Unavailable);
+
+    Response poisoned = Response::error(
+        "id-p", SimError::poisoned("quarantined after 3 crashes"));
+    back = parseResponse(poisoned.encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value().code, ErrCode::Poisoned);
+    EXPECT_EQ(back.value().message, "quarantined after 3 crashes");
+}
+
 TEST(ServeProtocol, HexDoubleCodecIsExact)
 {
     const double awkward[] = {
