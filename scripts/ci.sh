@@ -9,6 +9,10 @@
 #   header_selfcheck  every src/ header compiles standalone
 #   clang-tidy        src/common + src/harness, only when the tool is
 #                     on PATH (the baseline container ships only GCC)
+#   thread-safety     a -DMMGPU_THREAD_SAFETY=ON clang tree: compile-
+#                     only, -Werror on clang's -Wthread-safety
+#                     analysis of the MMGPU_* annotations; skipped
+#                     when clang++ is not on PATH
 #   perf-smoke        component microbenches once + a profiler JSON
 #                     artifact; ratio sanity-checks only, no absolute
 #                     wall-clock thresholds (CI hosts drift)
@@ -129,6 +133,22 @@ else
     echo "== clang-tidy not on PATH; skipping (config: .clang-tidy) =="
 fi
 
+if command -v clang++ >/dev/null 2>&1; then
+    echo "== clang -Wthread-safety tree (annotations as errors) =="
+    # Compile-only gate: clang's thread-safety analysis checks the
+    # MMGPU_GUARDED_BY / MMGPU_REQUIRES annotations the in-tree lint
+    # reads as tokens. -Werror=thread-safety-analysis is set by the
+    # MMGPU_THREAD_SAFETY option itself.
+    configure_and_build build-tsa \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_COMPILER=clang++ \
+        -DMMGPU_THREAD_SAFETY=ON
+else
+    echo "== clang++ not on PATH; skipping -Wthread-safety tree" \
+         "(the baseline container ships only GCC; mmgpu-lint's" \
+         "guarded-field/lock-order rules cover the annotations) =="
+fi
+
 echo "== Contracts tree (MMGPU_CONTRACTS=2: audits armed) =="
 configure_and_build build-contracts \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -187,7 +207,11 @@ build-asan/examples/mmgpu_client --connect "${serve_dir}/chaos.sock" \
     --shutdown > /dev/null
 wait "${chaos_pid}"
 
-echo "== TSan tree =="
+echo "== TSan tree (lockdep-instrumented serve mutexes) =="
+# The default contract level (1) keeps sync::Mutex on the lockdep
+# runtime, so tier2's serve/chaos suites run BOTH validators at once:
+# TSan sees the schedules that happen, lockdep proves the orderings
+# that could invert even when this run's schedule stayed lucky.
 configure_and_build build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DMMGPU_SANITIZE=thread

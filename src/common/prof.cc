@@ -7,6 +7,8 @@
 #include <map>
 #include <mutex>
 
+#include "common/thread_safety.hh"
+
 namespace mmgpu::prof
 {
 
@@ -27,10 +29,10 @@ struct Registry
     // concurrent dynamicSite() calls cannot race a half-registered
     // entry.
     std::recursive_mutex mutex;
-    std::vector<Site *> sites;
+    std::vector<Site *> sites MMGPU_GUARDED_BY(mutex);
     // Dynamic-label sites own their label storage here (Site keeps a
     // const char* into the map's stable keys).
-    std::map<std::string, Site *> dynamic;
+    std::map<std::string, Site *> dynamic MMGPU_GUARDED_BY(mutex);
 };
 
 Registry &

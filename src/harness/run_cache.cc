@@ -543,7 +543,11 @@ RunCache::appendWalLocked(std::uint64_t key, const Entry &entry)
         off += static_cast<std::size_t>(n);
     }
     if (++walUnsynced_ >= walSyncBatch) {
-        ::fsync(walFd_);
+        // Deliberate: the journal IS the durability story — syncing
+        // outside mutex_ would let an insert report success before
+        // its record is on disk. Batched (1 fsync per walSyncBatch
+        // appends) to bound the stall.
+        ::fsync(walFd_); // mmgpu-lint: allow(no-blocking-under-lock)
         walUnsynced_ = 0;
     }
 }
@@ -670,7 +674,10 @@ RunCache::flush()
     constexpr unsigned attempts = 3;
     for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
         if (attempt > 1) {
-            wallclock::sleepMs(attempt == 2 ? 1 : 8);
+            // Deliberate: flush() owns mutex_ for its whole critical
+            // section and the backoff is bounded (<= 9 ms total);
+            // writers block briefly rather than observe a torn file.
+            wallclock::sleepMs(attempt == 2 ? 1 : 8); // mmgpu-lint: allow(no-blocking-under-lock)
         }
         bool wrote = false;
         {

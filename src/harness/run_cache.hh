@@ -57,6 +57,7 @@
 #include <string>
 #include <thread>
 
+#include "common/thread_safety.hh"
 #include "gpujoule/calibration.hh"
 #include "gpujoule/energy_model.hh"
 #include "sim/gpu_config.hh"
@@ -197,23 +198,24 @@ class RunCache
         joule::EnergyBreakdown energy;
     };
 
-    void loadLocked();
-    void replayWalLocked();
-    void appendWalLocked(std::uint64_t key, const Entry &entry);
-    void truncateWalLocked();
+    void loadLocked() MMGPU_REQUIRES(mutex_);
+    void replayWalLocked() MMGPU_REQUIRES(mutex_);
+    void appendWalLocked(std::uint64_t key, const Entry &entry)
+        MMGPU_REQUIRES(mutex_);
+    void truncateWalLocked() MMGPU_REQUIRES(mutex_);
 
     std::string path_;
     std::string walPath_;
     mutable std::mutex mutex_;
-    std::map<std::uint64_t, Entry> entries_;
-    bool dirty_ = false;
-    bool walEnabled_ = true;
-    int walFd_ = -1;
-    bool walOpenFailed_ = false;
-    std::size_t walReplayed_ = 0;
-    std::uint64_t walAppends_ = 0;
-    std::uint64_t walUnsynced_ = 0;
-    std::uint64_t walTearAt_ = 0;
+    std::map<std::uint64_t, Entry> entries_ MMGPU_GUARDED_BY(mutex_);
+    bool dirty_ MMGPU_GUARDED_BY(mutex_) = false;
+    bool walEnabled_ = true; //!< set once in the ctor, then read-only
+    int walFd_ MMGPU_GUARDED_BY(mutex_) = -1;
+    bool walOpenFailed_ MMGPU_GUARDED_BY(mutex_) = false;
+    std::size_t walReplayed_ = 0; //!< ctor-only writes
+    std::uint64_t walAppends_ MMGPU_GUARDED_BY(mutex_) = 0;
+    std::uint64_t walUnsynced_ MMGPU_GUARDED_BY(mutex_) = 0;
+    std::uint64_t walTearAt_ MMGPU_GUARDED_BY(mutex_) = 0;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
 

@@ -13,6 +13,7 @@
 #include "common/crash_guard.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
+#include "common/thread_safety.hh"
 #include "common/wallclock.hh"
 #include "gpujoule/reference_device.hh"
 #include "harness/parallel_runner.hh"
@@ -82,7 +83,7 @@ struct ScalingRunner::Cache
     struct Shard
     {
         std::mutex mutex;
-        ShardMap entries;
+        ShardMap entries MMGPU_GUARDED_BY(mutex);
     };
 
     static constexpr std::size_t shardCount = 8;
@@ -204,7 +205,7 @@ struct ScalingRunner::MachinePool
 
     std::mutex mutex;
     std::map<MachineKey, std::vector<std::unique_ptr<sim::GpuSim>>>
-        idle;
+        idle MMGPU_GUARDED_BY(mutex);
 };
 
 namespace

@@ -46,7 +46,7 @@ AdmissionQueue::tryPush(Request request, std::int64_t now_ms,
     if (retry_after_ms != nullptr)
         *retry_after_ms = 0;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<sync::Mutex> lock(mutex_);
         if (stopped_.load())
             return Admit::Stopped;
 
@@ -130,8 +130,8 @@ AdmissionQueue::tryPush(Request request, std::int64_t now_ms,
         queue_.emplace(std::make_pair(priority, job.ticket),
                        std::move(job));
         accepted_.fetch_add(1);
+        cv_.notify_one();
     }
-    cv_.notify_one();
     return Admit::Accepted;
 }
 
@@ -139,7 +139,7 @@ bool
 AdmissionQueue::requeue(Job job)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<sync::Mutex> lock(mutex_);
         if (stopped_.load())
             return false;
         int priority = job.request.priority;
@@ -147,15 +147,15 @@ AdmissionQueue::requeue(Job job)
         queue_.emplace(std::make_pair(priority, ticket),
                        std::move(job));
         requeued_.fetch_add(1);
+        cv_.notify_one();
     }
-    cv_.notify_one();
     return true;
 }
 
 std::optional<Job>
 AdmissionQueue::pop()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<sync::Mutex> lock(mutex_);
     cv_.wait(lock,
              [this] { return stopped_.load() || !queue_.empty(); });
     if (queue_.empty())
@@ -171,7 +171,7 @@ AdmissionQueue::noteServiced(std::int64_t service_ms)
 {
     if (service_ms < 0)
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     double sample = static_cast<double>(service_ms);
     serviceEwmaMs_ = serviceEwmaMs_ == 0.0
                          ? sample
@@ -182,16 +182,16 @@ void
 AdmissionQueue::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        std::lock_guard<sync::Mutex> lock(mutex_);
         stopped_.store(true);
+        cv_.notify_all();
     }
-    cv_.notify_all();
 }
 
 std::size_t
 AdmissionQueue::depth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     return queue_.size();
 }
 

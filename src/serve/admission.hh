@@ -36,15 +36,15 @@
 #define MMGPU_SERVE_ADMISSION_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
+#include "common/lockdep.hh"
+#include "common/thread_safety.hh"
 #include "serve/request.hh"
 
 namespace mmgpu::serve
@@ -173,13 +173,16 @@ class AdmissionQueue
     };
 
     AdmissionOptions options_;
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
+    mutable sync::Mutex mutex_;
+    sync::ConditionVariable cv_ MMGPU_GUARDED_BY(mutex_);
     /** (priority, ticket) -> job; map order is the service order. */
-    std::map<std::pair<int, std::uint64_t>, Job> queue_;
-    std::unordered_map<std::string, Bucket> buckets_;
-    std::uint64_t nextTicket_ = 0;
-    double serviceEwmaMs_ = 0.0; //!< 0 until the first sample
+    std::map<std::pair<int, std::uint64_t>, Job> queue_
+        MMGPU_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, Bucket> buckets_
+        MMGPU_GUARDED_BY(mutex_);
+    std::uint64_t nextTicket_ MMGPU_GUARDED_BY(mutex_) = 0;
+    /** 0 until the first sample. */
+    double serviceEwmaMs_ MMGPU_GUARDED_BY(mutex_) = 0.0;
     std::atomic<bool> stopped_{false};
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> rejected_{0};

@@ -1,8 +1,9 @@
 #include "serve/batch.hh"
 
-#include <condition_variable>
 #include <mutex>
 #include <string>
+
+#include "common/lockdep.hh"
 
 namespace mmgpu::serve
 {
@@ -19,18 +20,18 @@ runBatch(SimService &service, std::istream &in, std::ostream &out)
         if (first == std::string::npos || line[first] == '#')
             continue;
 
-        std::mutex mutex;
-        std::condition_variable cv;
+        sync::Mutex mutex;
+        sync::ConditionVariable cv;
         bool ready = false;
         Response response;
         service.submitLine(line, [&](const Response &r) {
-            std::lock_guard<std::mutex> lock(mutex);
+            std::lock_guard<sync::Mutex> lock(mutex);
             response = r;
             ready = true;
             cv.notify_one();
         });
         {
-            std::unique_lock<std::mutex> lock(mutex);
+            std::unique_lock<sync::Mutex> lock(mutex);
             cv.wait(lock, [&] { return ready; });
         }
 

@@ -10,7 +10,8 @@ namespace mmgpu::serve
 
 Router::Router(std::size_t shards, std::size_t slack,
                std::uint64_t seed)
-    : load_(shards, 0), rng_(seed), slack_(slack)
+    : load_(shards, 0), rng_(seed), shardCount_(shards),
+      slack_(slack)
 {
     mmgpu_assert(shards > 0, "router needs at least one shard");
 }
@@ -19,7 +20,7 @@ std::size_t
 Router::route(std::uint64_t machine_identity,
               const std::vector<std::uint8_t> *deliverable)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     mmgpu_assert(deliverable == nullptr ||
                      deliverable->size() == load_.size(),
                  "deliverable mask size != shard count");
@@ -60,7 +61,7 @@ Router::route(std::uint64_t machine_identity,
 void
 Router::release(std::size_t shard)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     mmgpu_assert(shard < load_.size() && load_[shard] > 0,
                  "release() without a matching route()");
     --load_[shard];
@@ -69,14 +70,14 @@ Router::release(std::size_t shard)
 std::vector<std::size_t>
 Router::loads() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     return load_;
 }
 
 std::uint64_t
 Router::affinityHits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<sync::Mutex> lock(mutex_);
     return affinityHits_;
 }
 

@@ -36,10 +36,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/lockdep.hh"
 #include "common/rng.hh"
+#include "common/thread_safety.hh"
 
 namespace mmgpu::serve
 {
@@ -76,18 +77,20 @@ class Router
     std::vector<std::size_t> loads() const;
 
     /** Shard count. */
-    std::size_t shards() const { return load_.size(); }
+    std::size_t shards() const { return shardCount_; }
 
     /** Requests routed by the affinity rule since construction. */
     std::uint64_t affinityHits() const;
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<std::size_t> load_;
-    std::map<std::uint64_t, std::size_t> affinity_;
-    Rng rng_;
+    mutable sync::Mutex mutex_;
+    std::vector<std::size_t> load_ MMGPU_GUARDED_BY(mutex_);
+    std::map<std::uint64_t, std::size_t> affinity_
+        MMGPU_GUARDED_BY(mutex_);
+    Rng rng_ MMGPU_GUARDED_BY(mutex_);
+    const std::size_t shardCount_; //!< immutable; lock-free reads
     const std::size_t slack_;
-    std::uint64_t affinityHits_ = 0;
+    std::uint64_t affinityHits_ MMGPU_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace mmgpu::serve

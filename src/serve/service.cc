@@ -197,7 +197,7 @@ SimService::submit(Request request, ResponseCallback done)
     // the dedicated Poisoned code so clients know not to retry.
     if (supervisor_.quarantined(identity)) {
         {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cPoisonedAnswers_->add();
         }
         done(Response::error(
@@ -213,7 +213,7 @@ SimService::submit(Request request, ResponseCallback done)
     std::int64_t breaker_now = wallclock::nowMs();
     if (breaker_.open(cls, static_cast<std::uint64_t>(breaker_now))) {
         {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cRejected_->add();
         }
         done(Response::rejected(
@@ -231,11 +231,11 @@ SimService::submit(Request request, ResponseCallback done)
         // One lock spans the attach-or-admit decision so a duplicate
         // arriving between "no entry" and "queued" cannot slip
         // through and simulate twice.
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        std::lock_guard<sync::Mutex> lock(inflightMutex_);
         auto it = inflight_.find(identity);
         if (it != inflight_.end()) {
             it->second.sinks.emplace_back(id, std::move(done));
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cDedup_->add();
             return;
         }
@@ -246,12 +246,12 @@ SimService::submit(Request request, ResponseCallback done)
                                                    std::move(done));
     }
     if (admit == Admit::Accepted) {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         cAccepted_->add();
         return;
     }
     {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         cRejected_->add();
     }
     const char *reason = "admission queue is full";
@@ -288,17 +288,17 @@ SimService::submitLine(const std::string &line, ResponseCallback done,
 Response
 SimService::call(Request request)
 {
-    std::mutex mutex;
-    std::condition_variable cv;
+    sync::Mutex mutex;
+    sync::ConditionVariable cv;
     bool ready = false;
     Response out;
     submit(std::move(request), [&](const Response &response) {
-        std::lock_guard<std::mutex> lock(mutex);
+        std::lock_guard<sync::Mutex> lock(mutex);
         out = response;
         ready = true;
         cv.notify_one();
     });
-    std::unique_lock<std::mutex> lock(mutex);
+    std::unique_lock<sync::Mutex> lock(mutex);
     cv.wait(lock, [&] { return ready; });
     return out;
 }
@@ -313,15 +313,15 @@ SimService::beginShutdown()
     // with: a bare notify can land between that check and the block
     // and be lost, hanging the daemon's run loop forever.
     {
-        std::lock_guard<std::mutex> lock(shutdownMutex_);
+        std::lock_guard<sync::Mutex> lock(shutdownMutex_);
+        shutdownCv_.notify_all();
     }
-    shutdownCv_.notify_all();
 }
 
 void
 SimService::waitShutdown()
 {
-    std::unique_lock<std::mutex> lock(shutdownMutex_);
+    std::unique_lock<sync::Mutex> lock(shutdownMutex_);
     shutdownCv_.wait(lock, [this] { return shutdown_.load(); });
 }
 
@@ -346,7 +346,7 @@ SimService::join()
     // once, even across a dying service.
     std::vector<std::uint64_t> leftover;
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        std::lock_guard<sync::Mutex> lock(inflightMutex_);
         for (const auto &[identity, entry] : inflight_)
             leftover.push_back(identity);
     }
@@ -398,19 +398,17 @@ SimService::dispatchLoop()
         // place work waits.
         std::size_t shard = 0;
         {
-            std::unique_lock<std::mutex> lock(slotMutex_);
+            std::unique_lock<sync::Mutex> lock(slotMutex_);
             std::vector<std::uint8_t> open(options_.shards, 0);
-            for (;;) {
+            slotCv_.wait(lock, [&] {
                 bool any = false;
                 for (std::size_t i = 0; i < options_.shards; ++i) {
                     open[i] =
                         shardPending_[i] < shardPendingCap ? 1 : 0;
                     any = any || open[i] != 0;
                 }
-                if (any)
-                    break;
-                slotCv_.wait(lock);
-            }
+                return any;
+            });
             shard = router_.route(
                 job->request.spec.machineIdentity(), &open);
             ++shardPending_[shard];
@@ -420,18 +418,18 @@ SimService::dispatchLoop()
         routed.shard = shard;
         ShardQueue &sq = *shardQueues_[shard];
         {
-            std::lock_guard<std::mutex> lock(sq.mutex);
+            std::lock_guard<sync::Mutex> lock(sq.mutex);
             sq.jobs.push_back(std::move(routed));
+            sq.cv.notify_all();
         }
-        sq.cv.notify_all();
     }
     // Admission stopped and drained: close every shard feed.
     for (auto &sq : shardQueues_) {
         {
-            std::lock_guard<std::mutex> lock(sq->mutex);
+            std::lock_guard<sync::Mutex> lock(sq->mutex);
             sq->closed = true;
+            sq->cv.notify_all();
         }
-        sq->cv.notify_all();
     }
 }
 
@@ -442,7 +440,7 @@ SimService::workerLoop(std::size_t shard)
     while (true) {
         RoutedJob routed;
         {
-            std::unique_lock<std::mutex> lock(sq.mutex);
+            std::unique_lock<sync::Mutex> lock(sq.mutex);
             sq.cv.wait(lock, [&sq] {
                 return !sq.jobs.empty() || sq.closed;
             });
@@ -453,10 +451,10 @@ SimService::workerLoop(std::size_t shard)
         }
         {
             // A prefetch slot freed: tell the dispatcher.
-            std::lock_guard<std::mutex> lock(slotMutex_);
+            std::lock_guard<sync::Mutex> lock(slotMutex_);
             --shardPending_[shard];
+            slotCv_.notify_all();
         }
-        slotCv_.notify_all();
         execute(shard, routed.job);
     }
 }
@@ -506,7 +504,7 @@ SimService::execute(std::size_t shard, const Job &job)
 
     std::vector<std::pair<std::string, ResponseCallback>> sinks;
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        std::lock_guard<sync::Mutex> lock(inflightMutex_);
         auto it = inflight_.find(job.request.workIdentity());
         if (it != inflight_.end()) {
             sinks = std::move(it->second.sinks);
@@ -516,7 +514,7 @@ SimService::execute(std::size_t shard, const Job &job)
     {
         // Count *requests answered*, not jobs executed: every
         // dedup-attached subscriber of this job gets a response.
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         if (response.status == ResponseStatus::Ok)
             cCompleted_->add(static_cast<double>(sinks.size()));
         else
@@ -593,7 +591,7 @@ SimService::crashRecover(std::size_t shard, const Job &job,
         static_cast<unsigned>(shard), identity, crash_msg,
         static_cast<std::uint64_t>(wallclock::nowMs()));
     {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         cCrashes_->add();
     }
     breaker_.record(breakerClassOf(job.request.type), false,
@@ -619,7 +617,7 @@ SimService::crashRecover(std::size_t shard, const Job &job,
         }
     } else {
         {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cPoisonedAnswers_->add();
         }
         answerSinks(identity,
@@ -648,7 +646,7 @@ SimService::answerSinks(std::uint64_t identity,
 {
     std::vector<std::pair<std::string, ResponseCallback>> sinks;
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        std::lock_guard<sync::Mutex> lock(inflightMutex_);
         auto it = inflight_.find(identity);
         if (it != inflight_.end()) {
             sinks = std::move(it->second.sinks);
@@ -656,7 +654,7 @@ SimService::answerSinks(std::uint64_t identity,
         }
     }
     {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         cFailed_->add(static_cast<double>(sinks.size()));
     }
     for (auto &[sink_id, sink] : sinks) {
@@ -683,7 +681,7 @@ SimService::executeRun(const Request &request,
     }
     if (!runner_.cached(config, *profile, spec.linkEnergyScale,
                         spec.constGrowthOverride)) {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         cSims_->add();
     }
     Result<const harness::RunOutcome *> outcome = runner_.tryRun(
@@ -725,7 +723,7 @@ SimService::executeStudy(const Request &request,
     const sim::GpuConfig baseline = sim::baselineConfig();
     for (const trace::KernelProfile &profile : workloads) {
         if (!runner_.cached(baseline, profile)) {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cSims_->add();
         }
         Result<const harness::RunOutcome *> one =
@@ -734,7 +732,7 @@ SimService::executeStudy(const Request &request,
             return Response::error(request.id, one.error());
         if (!runner_.cached(config, profile, spec.linkEnergyScale,
                             spec.constGrowthOverride)) {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             cSims_->add();
         }
         Result<const harness::RunOutcome *> scaled = runner_.tryRun(
@@ -804,7 +802,7 @@ SimService::statsResponse(const std::string &id)
     }
     doc.set("supervisor-events", std::move(events));
     {
-        std::lock_guard<std::mutex> lock(frontendMutex_);
+        std::lock_guard<sync::Mutex> lock(frontendMutex_);
         if (frontendInfo_.isObject())
             doc.set("frontend", frontendInfo_);
     }
@@ -847,7 +845,7 @@ SimService::profResponse(const std::string &id)
 void
 SimService::recordLatency(double ms)
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
+    std::lock_guard<sync::Mutex> lock(statsMutex_);
     if (latencyRing_.size() < latencyRingCap)
         latencyRing_.push_back(ms);
     else
@@ -883,7 +881,7 @@ SimService::stats() const
 {
     ServiceStats s;
     {
-        std::lock_guard<std::mutex> tlock(telMutex_);
+        std::lock_guard<sync::Mutex> tlock(telMutex_);
         s.accepted = static_cast<std::uint64_t>(cAccepted_->value);
         s.rejected = static_cast<std::uint64_t>(cRejected_->value);
         s.completed = static_cast<std::uint64_t>(cCompleted_->value);
@@ -895,14 +893,14 @@ SimService::stats() const
     s.affinityHits = router_.affinityHits();
     s.queueDepth = queue_.depth();
     {
-        std::lock_guard<std::mutex> lock(inflightMutex_);
+        std::lock_guard<sync::Mutex> lock(inflightMutex_);
         s.inflight = inflight_.size();
     }
     s.busyShards = busyShardCount();
     s.shards = options_.shards;
     s.cacheHitRate = cacheHitRate();
     {
-        std::lock_guard<std::mutex> lock(statsMutex_);
+        std::lock_guard<sync::Mutex> lock(statsMutex_);
         s.latencyP50Ms = percentile(latencyRing_, 0.50);
         s.latencyP95Ms = percentile(latencyRing_, 0.95);
     }
@@ -920,14 +918,14 @@ SimService::stats() const
 void
 SimService::setFrontendInfo(JsonValue info)
 {
-    std::lock_guard<std::mutex> lock(frontendMutex_);
+    std::lock_guard<sync::Mutex> lock(frontendMutex_);
     frontendInfo_ = std::move(info);
 }
 
 std::vector<StatsSample>
 SimService::timeseries() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
+    std::lock_guard<sync::Mutex> lock(statsMutex_);
     return {samples_.begin(), samples_.end()};
 }
 
@@ -973,19 +971,19 @@ SimService::housekeepLoop()
         sample.queueDepth = queue_.depth();
         sample.busyShards = busyShardCount();
         {
-            std::lock_guard<std::mutex> lock(inflightMutex_);
+            std::lock_guard<sync::Mutex> lock(inflightMutex_);
             sample.inflight = inflight_.size();
         }
         sample.cacheHitRate = cacheHitRate();
         sample.crashes = supervisor_.stats().crashes;
         {
-            std::lock_guard<std::mutex> lock(statsMutex_);
+            std::lock_guard<sync::Mutex> lock(statsMutex_);
             samples_.push_back(sample);
             while (samples_.size() > options_.timeseriesCap)
                 samples_.pop_front();
         }
         {
-            std::lock_guard<std::mutex> tlock(telMutex_);
+            std::lock_guard<sync::Mutex> tlock(telMutex_);
             gQueueDepth_->set(
                 static_cast<double>(sample.queueDepth));
             gInflight_->set(static_cast<double>(sample.inflight));

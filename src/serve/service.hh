@@ -31,7 +31,6 @@
 #define MMGPU_SERVE_SERVICE_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -41,7 +40,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hh"
 #include "common/prof.hh"
+#include "common/thread_safety.hh"
 #include "fault/fault_plan.hh"
 #include "harness/study.hh"
 #include "serve/admission.hh"
@@ -147,7 +148,8 @@ class SimService
      * worker thread (run/study) or inline (ping/stats/shutdown and
      * every reject path).
      */
-    void submit(Request request, ResponseCallback done);
+    void submit(Request request, ResponseCallback done)
+        MMGPU_EXCLUDES(inflightMutex_);
 
     /**
      * Submit a raw protocol line: parse errors become error
@@ -178,10 +180,11 @@ class SimService
     void join();
 
     /** Aggregate statistics snapshot. */
-    ServiceStats stats() const;
+    ServiceStats stats() const MMGPU_EXCLUDES(statsMutex_);
 
     /** The bounded health timeseries (oldest first). */
-    std::vector<StatsSample> timeseries() const;
+    std::vector<StatsSample> timeseries() const
+        MMGPU_EXCLUDES(statsMutex_);
 
     /** The shard supervisor (tests inspect quarantine/strikes). */
     const ShardSupervisor &supervisor() const { return supervisor_; }
@@ -191,7 +194,8 @@ class SimService
      * budget) echoed verbatim under "frontend" in stats responses,
      * so `--stats` shows the knobs the daemon actually runs with.
      */
-    void setFrontendInfo(JsonValue info);
+    void setFrontendInfo(JsonValue info)
+        MMGPU_EXCLUDES(frontendMutex_);
 
     /** Service telemetry (serve/... counters and gauges). */
     const telemetry::Telemetry &serviceTelemetry() const
@@ -247,7 +251,8 @@ class SimService
 
     /** Detach and answer every sink of @p identity with @p response
      *  (each sink sees its own request id). */
-    void answerSinks(std::uint64_t identity, const Response &response);
+    void answerSinks(std::uint64_t identity, const Response &response)
+        MMGPU_EXCLUDES(inflightMutex_);
 
     /** Run/Study bodies; @p cancel is the shard watchdog flag. */
     Response executeRun(const Request &request,
@@ -258,7 +263,7 @@ class SimService
     Response profResponse(const std::string &id);
 
     /** Record an admission->response latency observation. */
-    void recordLatency(double ms);
+    void recordLatency(double ms) MMGPU_EXCLUDES(statsMutex_);
 
     double cacheHitRate() const;
     std::size_t busyShardCount() const;
@@ -279,16 +284,20 @@ class SimService
     std::atomic<bool> dispatcherStalled_{false};
 
     // In-flight dedup table, keyed on Request::workIdentity().
-    mutable std::mutex inflightMutex_;
-    std::map<std::uint64_t, InFlight> inflight_;
+    // Lock order: the dedup lock is outermost — telemetry updates
+    // nest inside it on the attach-or-admit path.
+    mutable sync::Mutex inflightMutex_
+        MMGPU_ACQUIRED_BEFORE(telMutex_);
+    std::map<std::uint64_t, InFlight> inflight_
+        MMGPU_GUARDED_BY(inflightMutex_);
 
     // Per-shard feed queues (dispatcher -> worker).
     struct ShardQueue
     {
-        std::mutex mutex;
-        std::condition_variable cv;
-        std::deque<RoutedJob> jobs;
-        bool closed = false;
+        sync::Mutex mutex;
+        sync::ConditionVariable cv MMGPU_GUARDED_BY(mutex);
+        std::deque<RoutedJob> jobs MMGPU_GUARDED_BY(mutex);
+        bool closed MMGPU_GUARDED_BY(mutex) = false;
     };
     std::vector<std::unique_ptr<ShardQueue>> shardQueues_;
 
@@ -296,9 +305,10 @@ class SimService
     // delivers only to shards with a free slot — one full shard must
     // not block delivery to idle ones — and waits on slotCv_ only
     // when every slot is taken; workers signal as they drain.
-    std::mutex slotMutex_;
-    std::condition_variable slotCv_;
-    std::vector<std::size_t> shardPending_;
+    sync::Mutex slotMutex_;
+    sync::ConditionVariable slotCv_ MMGPU_GUARDED_BY(slotMutex_);
+    std::vector<std::size_t> shardPending_
+        MMGPU_GUARDED_BY(slotMutex_);
 
     // Per-shard job timers ("serve/shard<N>" profiler sites).
     // Sampled unconditionally — shard job-time aggregates are cheap
@@ -315,11 +325,11 @@ class SimService
     std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> generation_;
 
     // Health timeseries + latency ring (statsMutex_).
-    mutable std::mutex statsMutex_;
-    std::deque<StatsSample> samples_;
-    std::vector<double> latencyRing_;
-    std::size_t latencyNext_ = 0;
-    std::uint64_t latencyCount_ = 0;
+    mutable sync::Mutex statsMutex_;
+    std::deque<StatsSample> samples_ MMGPU_GUARDED_BY(statsMutex_);
+    std::vector<double> latencyRing_ MMGPU_GUARDED_BY(statsMutex_);
+    std::size_t latencyNext_ MMGPU_GUARDED_BY(statsMutex_) = 0;
+    std::uint64_t latencyCount_ MMGPU_GUARDED_BY(statsMutex_) = 0;
 
     // Cached telemetry handles (registered in the constructor).
     telemetry::Counter *cAccepted_ = nullptr;
@@ -334,20 +344,24 @@ class SimService
     telemetry::Gauge *gInflight_ = nullptr;
     telemetry::Gauge *gBusyShards_ = nullptr;
     telemetry::Gauge *gHitRate_ = nullptr;
-    mutable std::mutex telMutex_; //!< guards all counter/gauge updates
+    mutable sync::Mutex telMutex_; //!< guards all counter/gauge
+                                   //!< updates (through the cached
+                                   //!< pointers above, so the fields
+                                   //!< themselves stay const-ish)
 
     // Front-end self-description (frontendMutex_); see
     // setFrontendInfo().
-    mutable std::mutex frontendMutex_;
-    JsonValue frontendInfo_;
+    mutable sync::Mutex frontendMutex_;
+    JsonValue frontendInfo_ MMGPU_GUARDED_BY(frontendMutex_);
 
     std::thread dispatcher_;
     std::vector<std::thread> workers_;
     std::thread housekeeper_;
     std::atomic<bool> shutdown_{false};
     std::atomic<bool> stopHousekeeper_{false};
-    std::mutex shutdownMutex_;
-    std::condition_variable shutdownCv_;
+    sync::Mutex shutdownMutex_;
+    sync::ConditionVariable shutdownCv_
+        MMGPU_GUARDED_BY(shutdownMutex_);
     bool started_ = false;
     bool joined_ = false;
 };

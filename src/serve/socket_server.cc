@@ -69,7 +69,7 @@ SocketServer::ConnState::~ConnState()
 bool
 SocketServer::ConnState::writeLine(const std::string &line)
 {
-    std::lock_guard<std::mutex> lock(writeMutex);
+    std::lock_guard<sync::Mutex> lock(writeMutex);
     if (!alive.load())
         return false;
     std::string framed = line;
@@ -82,7 +82,12 @@ SocketServer::ConnState::writeLine(const std::string &line)
         // stop() must always be able to wake us via shutdown().
         // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not
         // a process-killing SIGPIPE.
-        ssize_t n = ::send(fd, framed.data() + written,
+        // writeMutex is held by design: it only serializes writers
+        // on ONE connection, the send is non-blocking, and the stall
+        // budget below bounds the hold time. No other lock nests
+        // with it. (This is the audited survivor of the historical
+        // stop-vs-stalled-writer deadlock.)
+        ssize_t n = ::send(fd, framed.data() + written, // mmgpu-lint: allow(no-blocking-under-lock)
                            framed.size() - written,
                            MSG_NOSIGNAL | MSG_DONTWAIT);
         if (n > 0) {
@@ -103,7 +108,9 @@ SocketServer::ConnState::writeLine(const std::string &line)
             pollfd pfd{};
             pfd.fd = fd;
             pfd.events = POLLOUT;
-            ::poll(&pfd, 1, writePollMs);
+            // Bounded by writePollMs and only under this
+            // connection's writeMutex — see the send() note above.
+            ::poll(&pfd, 1, writePollMs); // mmgpu-lint: allow(no-blocking-under-lock)
             stalled_ms += writePollMs;
             if (!alive.load())
                 return false;
@@ -213,7 +220,7 @@ SocketServer::stop()
     // writer it is trying to unblock.
     std::map<std::uint64_t, std::thread> threads;
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        std::lock_guard<sync::Mutex> lock(connMutex_);
         for (const auto &weak : conns_) {
             if (std::shared_ptr<ConnState> conn = weak.lock()) {
                 conn->alive.store(false);
@@ -251,7 +258,7 @@ SocketServer::acceptLoop()
         accepted_.fetch_add(1);
         auto conn = std::make_shared<ConnState>(
             fd, options_.writeBudgetMs);
-        std::lock_guard<std::mutex> lock(connMutex_);
+        std::lock_guard<sync::Mutex> lock(connMutex_);
         std::uint64_t id = nextConnId_++;
         conns_.push_back(conn);
         connThreads_.emplace(id, std::thread([this, id, conn] {
@@ -265,7 +272,7 @@ SocketServer::reapFinished()
 {
     std::vector<std::thread> finished;
     {
-        std::lock_guard<std::mutex> lock(connMutex_);
+        std::lock_guard<sync::Mutex> lock(connMutex_);
         for (std::uint64_t id : finishedConns_) {
             auto it = connThreads_.find(id);
             if (it == connThreads_.end())
@@ -290,7 +297,7 @@ SocketServer::reapFinished()
 std::size_t
 SocketServer::trackedConnectionThreads() const
 {
-    std::lock_guard<std::mutex> lock(connMutex_);
+    std::lock_guard<sync::Mutex> lock(connMutex_);
     return connThreads_.size();
 }
 
@@ -377,7 +384,7 @@ SocketServer::connectionLoop(std::uint64_t id,
         pending.erase(0, start);
     }
     conn->alive.store(false);
-    std::lock_guard<std::mutex> lock(connMutex_);
+    std::lock_guard<sync::Mutex> lock(connMutex_);
     finishedConns_.push_back(id);
 }
 

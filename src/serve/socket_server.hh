@@ -30,12 +30,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/lockdep.hh"
 #include "common/result.hh"
+#include "common/thread_safety.hh"
 #include "fault/fault_plan.hh"
 #include "serve/service.hh"
 
@@ -149,7 +150,7 @@ class SocketServer
 
         const int fd;
         const int writeBudgetMs;       //!< stall budget (options)
-        std::mutex writeMutex;         //!< serializes writers only
+        sync::Mutex writeMutex;        //!< serializes writers only
         std::atomic<bool> alive{true}; //!< cleared outside the mutex
     };
 
@@ -187,11 +188,15 @@ class SocketServer
     std::atomic<std::uint64_t> accepted_{0};
     bool running_ = false;
 
-    mutable std::mutex connMutex_;
-    std::uint64_t nextConnId_ = 0;
-    std::map<std::uint64_t, std::thread> connThreads_;
-    std::vector<std::uint64_t> finishedConns_; //!< ids awaiting join
-    std::vector<std::weak_ptr<ConnState>> conns_;
+    mutable sync::Mutex connMutex_;
+    std::uint64_t nextConnId_ MMGPU_GUARDED_BY(connMutex_) = 0;
+    std::map<std::uint64_t, std::thread> connThreads_
+        MMGPU_GUARDED_BY(connMutex_);
+    /** Connection ids awaiting join. */
+    std::vector<std::uint64_t> finishedConns_
+        MMGPU_GUARDED_BY(connMutex_);
+    std::vector<std::weak_ptr<ConnState>> conns_
+        MMGPU_GUARDED_BY(connMutex_);
 };
 
 } // namespace mmgpu::serve

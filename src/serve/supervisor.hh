@@ -24,11 +24,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "common/lockdep.hh"
+#include "common/thread_safety.hh"
 
 namespace mmgpu::serve
 {
@@ -115,16 +117,19 @@ class ShardSupervisor
     std::vector<SupervisorEvent> events() const;
 
   private:
-    mutable std::mutex mutex_;
+    mutable sync::Mutex mutex_;
     SupervisorOptions options_;
-    std::unordered_map<std::uint64_t, unsigned> strikes_;
-    std::unordered_set<std::uint64_t> quarantine_;
-    std::unordered_map<unsigned, std::uint64_t> shardBackoffMs_;
-    std::deque<SupervisorEvent> events_;
-    std::uint64_t crashes_ = 0;
-    std::uint64_t requeues_ = 0;
-    std::uint64_t poisonings_ = 0;
-    std::uint64_t backoffMsTotal_ = 0;
+    std::unordered_map<std::uint64_t, unsigned> strikes_
+        MMGPU_GUARDED_BY(mutex_);
+    std::unordered_set<std::uint64_t> quarantine_
+        MMGPU_GUARDED_BY(mutex_);
+    std::unordered_map<unsigned, std::uint64_t> shardBackoffMs_
+        MMGPU_GUARDED_BY(mutex_);
+    std::deque<SupervisorEvent> events_ MMGPU_GUARDED_BY(mutex_);
+    std::uint64_t crashes_ MMGPU_GUARDED_BY(mutex_) = 0;
+    std::uint64_t requeues_ MMGPU_GUARDED_BY(mutex_) = 0;
+    std::uint64_t poisonings_ MMGPU_GUARDED_BY(mutex_) = 0;
+    std::uint64_t backoffMsTotal_ MMGPU_GUARDED_BY(mutex_) = 0;
 };
 
 /** Tunables for CircuitBreaker. */
@@ -182,12 +187,13 @@ class CircuitBreaker
         std::uint64_t openUntilMs = 0;
     };
 
-    void resetLocked(ClassState &state) const;
+    void resetLocked(ClassState &state) const
+        MMGPU_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
+    mutable sync::Mutex mutex_;
     BreakerOptions options_;
-    std::vector<ClassState> classes_;
-    std::uint64_t trips_ = 0;
+    std::vector<ClassState> classes_ MMGPU_GUARDED_BY(mutex_);
+    std::uint64_t trips_ MMGPU_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace mmgpu::serve

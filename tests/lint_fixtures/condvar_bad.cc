@@ -1,0 +1,52 @@
+// lint-path: src/serve/fixture_condvar.cc
+// Golden violation fixture for condvar-discipline: a re-broken model
+// of the waitShutdown lost wakeup — a bare wait() a spurious wakeup
+// sails through, and notifies issued outside the paired mutex that
+// can land between a waiter's predicate check and its block.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Shutdown
+{
+public:
+    void waitDone()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock); // banned: no predicate, wakeup can be lost
+    }
+
+    void signalDone()
+    {
+        done_ = true; // mmgpu-lint: allow(guarded-field)
+        cv_.notify_all(); // banned: outside the paired mutex_
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_ MMGPU_GUARDED_BY(mutex_);
+    bool done_ MMGPU_GUARDED_BY(mutex_) = false;
+};
+
+/** An unannotated cv still has to notify under SOME lock. */
+class Bell
+{
+public:
+    void ring()
+    {
+        rung_ = true;
+        cv_.notify_one(); // banned: no lock held at all
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool rung_ = false;
+};
+
+} // namespace mmgpu::fixture

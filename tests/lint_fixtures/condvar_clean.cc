@@ -1,0 +1,36 @@
+// lint-path: src/serve/fixture_condvar_clean.cc
+// Clean twin: waits take a predicate, notifies run under the paired
+// mutex — the notify cannot slip between a waiter's predicate check
+// and its block, so no wakeup is ever lost.
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Shutdown
+{
+public:
+    void waitDone()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return done_; });
+    }
+
+    void signalDone()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_ = true;
+        cv_.notify_all();
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_ MMGPU_GUARDED_BY(mutex_);
+    bool done_ MMGPU_GUARDED_BY(mutex_) = false;
+};
+
+} // namespace mmgpu::fixture

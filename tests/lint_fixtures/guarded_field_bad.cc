@@ -1,0 +1,42 @@
+// lint-path: src/serve/fixture_guarded_field.cc
+// Golden violation fixture for guarded-field: a re-broken model of
+// the watchdog-cancel generation race — cancel() and expired() touch
+// MMGPU_GUARDED_BY state with no lock, so a cancel can interleave
+// with the watchdog rearming and cancel the wrong generation.
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Watchdog
+{
+public:
+    void arm()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+        armed_ = true;
+    }
+
+    void cancel()
+    {
+        armed_ = false;  // banned: no lock, races arm()
+        ++generation_;   // banned: the generation check is the point
+    }
+
+    bool expired() const
+    {
+        return !armed_;  // banned: unsynchronized read
+    }
+
+private:
+    mutable std::mutex mutex_;
+    bool armed_ MMGPU_GUARDED_BY(mutex_) = false;
+    std::uint64_t generation_ MMGPU_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,48 @@
+// lint-path: src/serve/fixture_guarded_field_clean.cc
+// Clean twin: every access to the guarded state happens under
+// mutex_ — either through a lock scope or inside a helper that
+// declares the requirement with MMGPU_REQUIRES.
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Watchdog
+{
+public:
+    void arm()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+        armed_ = true;
+    }
+
+    void cancel(std::uint64_t expect)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (generation_ == expect)
+            cancelLocked();
+    }
+
+    bool expired() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return !armed_;
+    }
+
+private:
+    void cancelLocked() MMGPU_REQUIRES(mutex_)
+    {
+        armed_ = false;
+    }
+
+    mutable std::mutex mutex_;
+    bool armed_ MMGPU_GUARDED_BY(mutex_) = false;
+    std::uint64_t generation_ MMGPU_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,60 @@
+// lint-path: src/serve/fixture_lock_order.cc
+// Golden violation fixture for lock-order: two code paths disagree
+// about acquisition order (ABBA), and one path contradicts a
+// declared MMGPU_ACQUIRED_BEFORE edge. Either way the deadlock only
+// needs two threads and the right schedule.
+
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Pool
+{
+public:
+    void transfer()
+    {
+        std::lock_guard<std::mutex> a(alloc_);
+        std::lock_guard<std::mutex> f(free_);  // alloc_ -> free_
+        ++moves_;
+    }
+
+    void reclaim()
+    {
+        std::lock_guard<std::mutex> f(free_);
+        std::lock_guard<std::mutex> a(alloc_); // banned: free_ -> alloc_
+        ++moves_;
+    }
+
+private:
+    std::mutex alloc_ MMGPU_ACQUIRED_BEFORE(free_);
+    std::mutex free_;
+    int moves_ = 0;
+};
+
+class Ledger
+{
+public:
+    void credit()
+    {
+        std::lock_guard<std::mutex> a(accounts_);
+        std::lock_guard<std::mutex> j(journal_); // accounts_ -> journal_
+        ++entries_;
+    }
+
+    void replay()
+    {
+        std::lock_guard<std::mutex> j(journal_);
+        std::lock_guard<std::mutex> a(accounts_); // banned: reversed
+        ++entries_;
+    }
+
+private:
+    std::mutex accounts_;
+    std::mutex journal_;
+    int entries_ = 0;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,42 @@
+// lint-path: src/serve/fixture_lock_order_clean.cc
+// Clean twin: every path acquires in the same order, matching the
+// declared MMGPU_ACQUIRED_BEFORE edge; scoped_lock acquires both
+// atomically where both are needed.
+
+#include <mutex>
+
+#include "common/thread_safety.hh"
+
+namespace mmgpu::fixture
+{
+
+class Pool
+{
+public:
+    void transfer()
+    {
+        std::lock_guard<std::mutex> a(alloc_);
+        std::lock_guard<std::mutex> f(free_);
+        ++moves_;
+    }
+
+    void reclaim()
+    {
+        std::lock_guard<std::mutex> a(alloc_);
+        std::lock_guard<std::mutex> f(free_);
+        --moves_;
+    }
+
+    void audit()
+    {
+        std::scoped_lock lock(alloc_, free_);
+        ++moves_;
+    }
+
+private:
+    std::mutex alloc_ MMGPU_ACQUIRED_BEFORE(free_);
+    std::mutex free_;
+    int moves_ = 0;
+};
+
+} // namespace mmgpu::fixture

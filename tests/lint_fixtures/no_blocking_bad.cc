@@ -1,0 +1,42 @@
+// lint-path: src/serve/fixture_no_blocking.cc
+// Golden violation fixture for no-blocking-under-lock: a re-broken
+// model of the stop-vs-stalled-writer deadlock — stop() joins a
+// worker while holding the state lock the worker needs to finish its
+// last write, plus the classic sleep and socket write under a lock.
+
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/thread_safety.hh"
+#include "common/wallclock.hh"
+
+namespace mmgpu::fixture
+{
+
+bool writeLine(int fd, const std::string &line);
+
+class Writer
+{
+public:
+    void stop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        worker_.join(); // banned: worker needs mutex_ to finish
+    }
+
+    void publish(int fd, const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        writeLine(fd, line); // banned: a stalled peer stalls everyone
+        wallclock::sleepMs(5); // banned: parks every other caller
+    }
+
+private:
+    std::mutex mutex_;
+    std::thread worker_;
+    bool stopping_ = false;
+};
+
+} // namespace mmgpu::fixture

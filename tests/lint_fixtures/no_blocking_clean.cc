@@ -1,0 +1,47 @@
+// lint-path: src/serve/fixture_no_blocking_clean.cc
+// Clean twin: snapshot state under the lock, then block with the
+// lock released — the worker can always make progress and a stalled
+// peer costs only its own caller.
+
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/thread_safety.hh"
+#include "common/wallclock.hh"
+
+namespace mmgpu::fixture
+{
+
+bool writeLine(int fd, const std::string &line);
+
+class Writer
+{
+public:
+    void stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        worker_.join();
+    }
+
+    void publish(int fd, const std::string &line)
+    {
+        std::string framed;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            framed = line;
+        }
+        writeLine(fd, framed);
+        wallclock::sleepMs(5);
+    }
+
+private:
+    std::mutex mutex_;
+    std::thread worker_;
+    bool stopping_ = false;
+};
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,17 @@
+// lint-path: src/serve/fixture_unknown_suppression.cc
+// Golden violation fixture for unknown-suppression: a typoed or
+// stale rule id in an allow() directive silences nothing — it must
+// be an error, not a no-op.
+
+namespace mmgpu::fixture
+{
+
+// mmgpu-lint: allow-file(determinism-clocks)
+
+int
+answer()
+{
+    return 42; // mmgpu-lint: allow(error-paths)
+}
+
+} // namespace mmgpu::fixture

@@ -1,0 +1,16 @@
+// lint-path: src/serve/fixture_unknown_suppression_clean.cc
+// Clean twin: the same shape of suppressions, each naming a real
+// rule from the catalog.
+
+namespace mmgpu::fixture
+{
+
+// mmgpu-lint: allow-file(determinism-clock)
+
+int
+answer()
+{
+    return 42; // mmgpu-lint: allow(error-path)
+}
+
+} // namespace mmgpu::fixture

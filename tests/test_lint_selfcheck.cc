@@ -111,6 +111,14 @@ const RulePair rulePairs[] = {
     {"error-path", "error_path_bad.cc", "error_path_clean.cc", 3},
     {"header-guard", "header_guard_bad.hh",
      "header_guard_clean.hh", 1},
+    {"guarded-field", "guarded_field_bad.cc",
+     "guarded_field_clean.cc", 3},
+    {"lock-order", "lock_order_bad.cc", "lock_order_clean.cc", 3},
+    {"condvar-discipline", "condvar_bad.cc", "condvar_clean.cc", 3},
+    {"no-blocking-under-lock", "no_blocking_bad.cc",
+     "no_blocking_clean.cc", 3},
+    {"unknown-suppression", "unknown_suppression_bad.cc",
+     "unknown_suppression_clean.cc", 2},
 };
 
 TEST(LintSelfcheck, EveryRuleFiresOnItsViolationFixture)
@@ -248,16 +256,71 @@ TEST(LintRules, ShimFilesAreExemptFromDeterminism)
     EXPECT_TRUE(diags.empty()) << describe(diags);
 }
 
-TEST(LintRules, CatalogListsSevenUniqueRules)
+TEST(LintRules, CatalogListsTwelveUniqueRules)
 {
     const auto &catalog = ruleCatalog();
-    EXPECT_EQ(catalog.size(), 7u);
+    EXPECT_EQ(catalog.size(), 12u);
     std::set<std::string> ids;
     for (const auto &[id, desc] : catalog) {
         ids.insert(id);
         EXPECT_FALSE(desc.empty());
     }
     EXPECT_EQ(ids.size(), catalog.size());
+}
+
+// ------------------------------------------------------------- //
+// Cross-file concurrency analysis: annotations in a header bind the
+// .cc that implements it, and lock-order cycles are global.
+
+TEST(LintConcurrency, RequiresInHeaderBindsTheImplementation)
+{
+    const FileModel header = parseSource(
+        "src/serve/q.hh",
+        "#ifndef Q_HH\n#define Q_HH\n"
+        "#include <mutex>\n"
+        "class Queue {\n"
+        "    void drainLocked() MMGPU_REQUIRES(mutex_);\n"
+        "    void drainUnlocked();\n"
+        "    std::mutex mutex_;\n"
+        "    int depth_ MMGPU_GUARDED_BY(mutex_) = 0;\n"
+        "};\n#endif\n");
+    const FileModel impl = parseSource(
+        "src/serve/q.cc",
+        "#include \"serve/q.hh\"\n"
+        "void Queue::drainLocked() { depth_ = 0; }\n"
+        "void Queue::drainUnlocked() { depth_ = 0; }\n");
+    const auto diags =
+        lintFiles({header, impl}, Config::repoDefault());
+    ASSERT_EQ(diags.size(), 1u) << describe(diags);
+    EXPECT_EQ(diags[0].rule, "guarded-field");
+    EXPECT_EQ(diags[0].file, "src/serve/q.cc");
+    EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintConcurrency, LockOrderCyclesSpanFiles)
+{
+    // File A nests a -> b, file B nests b -> a: neither file alone
+    // is wrong, the program is.
+    const FileModel a = parseSource(
+        "src/serve/a.cc",
+        "#include <mutex>\n"
+        "void fwd(std::mutex &a, std::mutex &b) {\n"
+        "    std::lock_guard<std::mutex> la(a);\n"
+        "    std::lock_guard<std::mutex> lb(b);\n"
+        "}\n");
+    const FileModel b = parseSource(
+        "src/serve/b.cc",
+        "#include <mutex>\n"
+        "void rev(std::mutex &a, std::mutex &b) {\n"
+        "    std::lock_guard<std::mutex> lb(b);\n"
+        "    std::lock_guard<std::mutex> la(a);\n"
+        "}\n");
+    const auto diags = lintFiles({a, b}, Config::repoDefault());
+    ASSERT_FALSE(diags.empty()) << describe(diags);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.rule, "lock-order") << describe(diags);
+    const auto aloneA = lintFiles({a}, Config::repoDefault());
+    EXPECT_TRUE(aloneA.empty()) << describe(aloneA);
 }
 
 // ------------------------------------------------------------- //

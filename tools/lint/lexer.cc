@@ -147,6 +147,7 @@ private:
                         rule.push_back(c);
                 }
                 if (!rule.empty()) {
+                    model_.allowMentions.emplace_back(bodyLine, rule);
                     if (fileWide)
                         model_.fileAllows.insert(rule);
                     else

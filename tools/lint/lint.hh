@@ -25,6 +25,20 @@
  *                            shims are the sanctioned exception)
  *   header-guard             every header carries an include guard
  *                            or #pragma once
+ *   guarded-field            a field annotated MMGPU_GUARDED_BY(m)
+ *                            is only touched in a scope that locks m
+ *   lock-order               the global mutex acquisition graph
+ *                            (declared MMGPU_ACQUIRED_BEFORE edges +
+ *                            observed lexical nesting) is acyclic
+ *   condvar-discipline       condition variables wait with a
+ *                            predicate and notify under their paired
+ *                            annotated mutex
+ *   no-blocking-under-lock   no call into the configured blocking
+ *                            set (I/O, sleeps, joins) while a lock
+ *                            scope is open
+ *   unknown-suppression      allow()/allow-file() directives name
+ *                            real rules — a typo must not silently
+ *                            disable nothing
  *
  * The engine is a library (linked by test_lint_selfcheck and by the
  * mmgpu-lint CLI) and deliberately depends on nothing but the
@@ -95,6 +109,11 @@ struct FileModel
 
     /** Rule ids suppressed for the whole file. */
     std::set<std::string> fileAllows;
+
+    /** Every (line, rule id) named by any allow()/allow-file()
+     *  directive, in source order — unknown-suppression checks these
+     *  against the catalog. */
+    std::vector<std::pair<int, std::string>> allowMentions;
 };
 
 /**
@@ -132,6 +151,13 @@ struct Config
      *  implement panic/fatal. */
     std::set<std::string> errorPathExempt;
 
+    /**
+     * Callee names that may block (socket I/O, sleeps, thread joins,
+     * cache flushes). Calling one while a lock scope is open trips
+     * no-blocking-under-lock.
+     */
+    std::set<std::string> blockingCalls;
+
     /** The checked-in repo policy. */
     static Config repoDefault();
 };
@@ -139,6 +165,24 @@ struct Config
 /** Run every rule on one parsed file. */
 std::vector<Diagnostic> lintFile(const FileModel &file,
                                  const Config &config);
+
+/**
+ * Run every rule across @p files as one program: single-file rules
+ * per file, plus the concurrency rules whose annotation table (field
+ * guards, declared lock order, REQUIRES contracts) spans headers and
+ * the .cc files that implement them.
+ */
+std::vector<Diagnostic> lintFiles(const std::vector<FileModel> &files,
+                                  const Config &config);
+
+namespace detail
+{
+/** The cross-file concurrency pass behind lintFiles(); appends raw
+ *  (unsuppressed, unsorted) diagnostics. */
+void lintConcurrency(const std::vector<FileModel> &files,
+                     const Config &config,
+                     std::vector<Diagnostic> &out);
+} // namespace detail
 
 /**
  * Repo-relative paths of every lintable file under @p root:

@@ -494,27 +494,53 @@ Config::repoDefault()
         "src/common/logging.hh",
         "src/common/logging.cc",
     };
+    // Calls that can block indefinitely (or for a scheduling
+    // quantum): forbidden while a lock scope is open. writeLine /
+    // tryRun / runGuarded are the repo's own slow-path entry points;
+    // the rest are libc / std names.
+    config.blockingCalls = {
+        "writeLine", "sleepMs", "join",    "fsync",
+        "fdatasync", "poll",    "send",    "recv",
+        "accept",    "connect", "flush",   "tryRun",
+        "runGuarded",
+    };
     return config;
 }
 
 std::vector<Diagnostic>
 lintFile(const FileModel &file, const Config &config)
 {
-    std::vector<Diagnostic> out;
-    ruleDeterminismClock(file, config, out);
-    ruleDeterminismPtrKey(file, config, out);
-    ruleDeterminismFloatAccum(file, config, out);
-    ruleIncludes(file, config, out);
-    ruleErrorPath(file, config, out);
-    ruleHeaderGuard(file, out);
+    return lintFiles({file}, config);
+}
 
+std::vector<Diagnostic>
+lintFiles(const std::vector<FileModel> &files, const Config &config)
+{
+    std::vector<Diagnostic> out;
+    for (const FileModel &file : files) {
+        ruleDeterminismClock(file, config, out);
+        ruleDeterminismPtrKey(file, config, out);
+        ruleDeterminismFloatAccum(file, config, out);
+        ruleIncludes(file, config, out);
+        ruleErrorPath(file, config, out);
+        ruleHeaderGuard(file, out);
+    }
+    detail::lintConcurrency(files, config, out);
+
+    std::map<std::string, const FileModel *> byPath;
+    for (const FileModel &file : files)
+        byPath.emplace(file.path, &file);
     out.erase(std::remove_if(out.begin(), out.end(),
                              [&](const Diagnostic &diag) {
-                                 return suppressed(file, diag);
+                                 auto it = byPath.find(diag.file);
+                                 return it != byPath.end() &&
+                                        suppressed(*it->second, diag);
                              }),
               out.end());
     std::sort(out.begin(), out.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
                   return a.rule < b.rule;
@@ -538,6 +564,17 @@ ruleCatalog()
         {"error-path",
          "no exit/abort/terminate/throw in library code"},
         {"header-guard", "every header carries an include guard"},
+        {"guarded-field",
+         "MMGPU_GUARDED_BY fields are only touched with the lock held"},
+        {"lock-order",
+         "the global mutex acquisition graph (declared + observed) "
+         "is acyclic"},
+        {"condvar-discipline",
+         "waits take a predicate; notifies run under the paired mutex"},
+        {"no-blocking-under-lock",
+         "no blocking call (I/O, sleep, join) inside a lock scope"},
+        {"unknown-suppression",
+         "allow()/allow-file() directives must name real rules"},
     };
     return rules;
 }

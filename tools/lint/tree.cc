@@ -74,17 +74,16 @@ collectFiles(const std::string &root)
 std::vector<Diagnostic>
 lintTree(const std::string &root, const Config &config)
 {
-    std::vector<Diagnostic> all;
+    // Parse everything first: the concurrency rules need the whole
+    // tree's annotations (guards declared in headers, accesses in
+    // the .cc files that implement them) in one table.
+    std::vector<FileModel> models;
     for (const std::string &rel : collectFiles(root)) {
         const std::string content =
             readFile(fs::path(root) / fs::path(rel));
-        const FileModel model = parseSource(rel, content);
-        std::vector<Diagnostic> diags = lintFile(model, config);
-        all.insert(all.end(),
-                   std::make_move_iterator(diags.begin()),
-                   std::make_move_iterator(diags.end()));
+        models.push_back(parseSource(rel, content));
     }
-    return all;
+    return lintFiles(models, config);
 }
 
 } // namespace mmgpu::lint
