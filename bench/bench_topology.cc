@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Topology/placement cross sweep: EDPSE for every registered
+ * inter-GPM fabric under both the paper's baseline placement and the
+ * locality-aware strategy, on a 16-GPM 2x-BW on-package design.
+ *
+ * The paper evaluates ring (§IV) and switch (§V-C) fabrics; the
+ * topology registry adds a fullmesh and an optically
+ * circuit-scheduled (OCS) fabric behind the same interface. This
+ * bench is the apples-to-apples comparison the registry exists for:
+ * one sweep, every fabric x placement combination, recorded to
+ * BENCH_topology.json so regressions in any fabric's energy or
+ * traffic books show up as a diff.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/json.hh"
+#include "noc/topology_registry.hh"
+#include "trace/workloads.hh"
+
+using namespace mmgpu;
+
+int
+main()
+{
+    setInformEnabled(false);
+    bench::banner("Topology x placement EDPSE, 16-GPM 2x-BW",
+                  "Registry sweep: ring / switch / fullmesh / ocs "
+                  "under first-touch and locality placement");
+
+    harness::ScalingRunner runner = bench::makeRunner();
+    const auto &workloads = trace::scalingWorkloads();
+
+    // Registry-driven: a newly registered fabric joins the sweep
+    // without touching this bench.
+    std::vector<noc::Topology> fabrics;
+    for (const noc::TopologyDesc *desc : noc::allTopologies()) {
+        if (desc->id != noc::Topology::None)
+            fabrics.push_back(desc->id);
+    }
+    // Striped rides along as the locality-oblivious control: it must
+    // lose to both NUMA-aware strategies on every fabric, proving the
+    // placement axis reaches the machine.
+    const sim::PlacementPolicy placements[] = {
+        sim::PlacementPolicy::FirstTouchOwner,
+        sim::PlacementPolicy::Locality,
+        sim::PlacementPolicy::Striped,
+    };
+
+    TextTable table("EDPSE by fabric and placement");
+    table.header({"fabric", "placement", "EDPSE", "speedup",
+                  "energy", "link energy", "reconfigs"});
+    CsvWriter csv({"fabric", "placement", "edpse", "speedup",
+                   "energy", "link_fraction", "reconfigs"});
+    JsonValue series = JsonValue::array();
+
+    bool shape_ok = true;
+    double ring_ft_edpse = 0.0;
+    for (noc::Topology topo : fabrics) {
+        const noc::TopologyDesc &desc = noc::topologyDesc(topo);
+        double ft_edpse = 0.0;
+        for (sim::PlacementPolicy placement : placements) {
+            auto config =
+                sim::multiGpmConfig(16, sim::BwSetting::Bw2x, topo);
+            config.placement = placement;
+            const char *placement_name =
+                sim::placementPolicyName(placement);
+
+            auto points =
+                harness::scalingStudy(runner, config, workloads);
+            double edpse = harness::meanOf(
+                points, &harness::ScalingPoint::edpse);
+            double speed = harness::meanOf(
+                points, &harness::ScalingPoint::speedup);
+            double energy = harness::meanOf(
+                points, &harness::ScalingPoint::energyRatio);
+
+            // Aggregate link-energy share and OCS reconfigurations
+            // across the suite from the memoized outcomes.
+            double link_joules = 0.0, total_joules = 0.0;
+            unsigned long long reconfigs = 0;
+            for (const auto &workload : workloads) {
+                const auto &run = runner.run(config, workload);
+                link_joules += run.energy.interModule;
+                total_joules += run.energy.total();
+                reconfigs += run.perf.link.reconfigs;
+            }
+            double link_fraction = link_joules / total_joules;
+
+            if (placement == sim::PlacementPolicy::FirstTouchOwner) {
+                ft_edpse = edpse;
+                if (topo == noc::Topology::Ring)
+                    ring_ft_edpse = edpse;
+            }
+
+            // Shape: every cell simulates to a sane efficiency, only
+            // the OCS ever reconfigures, and the locality-oblivious
+            // control loses to the NUMA-aware strategies.
+            shape_ok &= edpse > 0.0 && edpse < 200.0;
+            shape_ok &= speed > 1.0;
+            shape_ok &= link_fraction > 0.0 && link_fraction < 0.5;
+            shape_ok &= (reconfigs > 0) == desc.usesCircuitReconfig;
+            if (placement == sim::PlacementPolicy::Striped)
+                shape_ok &= edpse < ft_edpse;
+
+            table.addRow({desc.name, placement_name,
+                          TextTable::pct(edpse),
+                          TextTable::num(speed, 2),
+                          TextTable::num(energy, 2),
+                          TextTable::pct(link_fraction * 100.0),
+                          std::to_string(reconfigs)});
+            csv.addRow({desc.name, placement_name,
+                        TextTable::num(edpse, 1),
+                        TextTable::num(speed, 2),
+                        TextTable::num(energy, 3),
+                        TextTable::num(link_fraction, 4),
+                        std::to_string(reconfigs)});
+
+            JsonValue row = JsonValue::object();
+            row.set("fabric", desc.name);
+            row.set("placement", placement_name);
+            row.set("edpse_pct", edpse);
+            row.set("speedup", speed);
+            row.set("energy_ratio", energy);
+            row.set("link_energy_fraction", link_fraction);
+            row.set("reconfigs", reconfigs);
+            series.push(row);
+        }
+    }
+    table.print(std::cout);
+
+    JsonValue report = JsonValue::object();
+    report.set("bench", "topology");
+    report.set("design_point", "16-GPM/2x-BW/on-package");
+    report.set("workloads",
+               static_cast<unsigned long long>(workloads.size()));
+    report.set("ring_first_touch_edpse_pct", ring_ft_edpse);
+    report.set("cells", series);
+    {
+        std::ofstream os("BENCH_topology.json");
+        report.write(os);
+        os << '\n';
+        if (os)
+            std::printf("[json] BENCH_topology.json\n");
+    }
+
+    bench::writeCsv("topology", csv);
+    std::printf("\nshape %s\n", shape_ok ? "ok" : "FAILED");
+    return shape_ok ? 0 : 1;
+}

@@ -15,9 +15,9 @@
  *   --workload <name|all>   Table II abbreviation (default Stream)
  *   --gpms <1|2|4|8|16|32>  module count (default 4)
  *   --bw <1x|2x|4x>         Table IV bandwidth setting (default 2x)
- *   --topology <ring|switch>
+ *   --topology <ring|switch|fullmesh|ocs>
  *   --domain <package|board>  (default follows the bandwidth setting)
- *   --placement <first-touch|striped>
+ *   --placement <first-touch|striped|locality>
  *   --cta-sched <distributed|round-robin>
  *   --link-energy-scale <f> multiplier on link pJ/bit
  *   --trace-out <file>      write a chrome://tracing JSON of the run
@@ -50,6 +50,7 @@
 
 #include "common/prof.hh"
 #include "harness/study.hh"
+#include "noc/topology_registry.hh"
 #include "telemetry/chrome_trace.hh"
 #include "telemetry/csv_export.hh"
 
@@ -64,9 +65,10 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--workload <name|all>] [--gpms N] "
                  "[--bw 1x|2x|4x]\n"
-                 "          [--topology ring|switch] "
+                 "          [--topology ring|switch|fullmesh|ocs] "
                  "[--domain package|board]\n"
-                 "          [--placement first-touch|striped]\n"
+                 "          [--placement "
+                 "first-touch|striped|locality]\n"
                  "          [--cta-sched distributed|round-robin]\n"
                  "          [--link-energy-scale F] [--list]\n"
                  "          [--trace-out FILE] [--timeline-csv FILE] "
@@ -183,12 +185,10 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (!std::strcmp(args[i].c_str(), "--topology")) {
             std::string v = need("--topology");
-            if (v == "ring")
-                topology = noc::Topology::Ring;
-            else if (v == "switch")
-                topology = noc::Topology::Switch;
-            else
+            const noc::TopologyDesc *topo = noc::topologyFromName(v);
+            if (topo == nullptr || topo->id == noc::Topology::None)
                 usage(argv[0]);
+            topology = topo->id;
         } else if (!std::strcmp(args[i].c_str(), "--domain")) {
             std::string v = need("--domain");
             if (v == "package")
@@ -203,6 +203,8 @@ main(int argc, char **argv)
                 placement = sim::PlacementPolicy::FirstTouchOwner;
             else if (v == "striped")
                 placement = sim::PlacementPolicy::Striped;
+            else if (v == "locality")
+                placement = sim::PlacementPolicy::Locality;
             else
                 usage(argv[0]);
         } else if (!std::strcmp(args[i].c_str(), "--cta-sched")) {

@@ -51,6 +51,7 @@
 
 #include "common/wallclock.hh"
 #include "harness/study.hh"
+#include "noc/topology_registry.hh"
 #include "serve/client.hh"
 #include "serve/request.hh"
 
@@ -69,9 +70,9 @@ usage(const char *argv0)
         "          --prof | --shutdown | --send FILE | "
         "--verify-fig6 | --soak N)\n"
         "          [--workload W] [--gpms N] [--bw 1x|2x|4x]\n"
-        "          [--topology ring|switch] "
+        "          [--topology ring|switch|fullmesh|ocs] "
         "[--domain package|board]\n"
-        "          [--placement first-touch|striped]\n"
+        "          [--placement first-touch|striped|locality]\n"
         "          [--cta-sched distributed|round-robin]\n"
         "          [--link-energy-scale F] [--priority 0|1|2]\n"
         "          [--gpms-list N,N,...] [--timeout-ms MS]\n"
@@ -530,12 +531,10 @@ main(int argc, char **argv)
                 usage(argv[0]);
         } else if (args[i] == "--topology") {
             std::string v = need("--topology");
-            if (v == "ring")
-                request.spec.topology = noc::Topology::Ring;
-            else if (v == "switch")
-                request.spec.topology = noc::Topology::Switch;
-            else
+            const noc::TopologyDesc *topo = noc::topologyFromName(v);
+            if (topo == nullptr || topo->id == noc::Topology::None)
                 usage(argv[0]);
+            request.spec.topology = topo->id;
         } else if (args[i] == "--domain") {
             std::string v = need("--domain");
             if (v == "package")
@@ -552,6 +551,9 @@ main(int argc, char **argv)
             else if (v == "striped")
                 request.spec.placement =
                     sim::PlacementPolicy::Striped;
+            else if (v == "locality")
+                request.spec.placement =
+                    sim::PlacementPolicy::Locality;
             else
                 usage(argv[0]);
         } else if (args[i] == "--cta-sched") {

@@ -25,7 +25,9 @@
 #                                      armed (energy accounting, NoC
 #                                      flit conservation, pool bounds,
 #                                      drain audits on machine reuse)
-#   build-asan      ASan + UBSan       tier1
+#   build-asan      ASan + UBSan +     tier1 + a per-topology CLI
+#                   MMGPU_CONTRACTS=2  smoke (every fabric x placement
+#                                      with conservation audits armed)
 #   build-tsan      TSan               tier1 + tier2 (the concurrency
 #                                      tests, race-instrumented)
 #
@@ -155,11 +157,30 @@ configure_and_build build-contracts \
     -DMMGPU_CONTRACTS=2
 run_tier build-contracts tier1
 
-echo "== ASan/UBSan tree =="
+echo "== ASan/UBSan tree (contracts=2: audits armed under ASan) =="
 configure_and_build build-asan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DMMGPU_SANITIZE=address,undefined
+    -DMMGPU_SANITIZE=address,undefined \
+    -DMMGPU_CONTRACTS=2
 run_tier build-asan tier1
+
+echo "== Per-topology smoke (ASan, contracts=2) =="
+# Every registered fabric end-to-end through the CLI with the flit
+# conservation and drain audits armed under ASan: construction,
+# routing, books, energy, and teardown for each topology x the
+# placement strategies it steers. Cheap points (2 workloads, 4 GPMs)
+# — the goal is memory/audit coverage per fabric, not statistics.
+for topology in ring switch fullmesh ocs; do
+    for placement in first-touch locality; do
+        for workload in Stream Hotspot; do
+            echo "-- ${topology} / ${placement} / ${workload}"
+            MMGPU_NO_CACHE=1 build-asan/examples/mmgpu_cli \
+                --workload "${workload}" --gpms 4 --bw 2x \
+                --topology "${topology}" \
+                --placement "${placement}" > /dev/null
+        done
+    done
+done
 
 echo "== Serve smoke (ASan tree: batch + socket bit-identity) =="
 serve_dir="$(mktemp -d)"

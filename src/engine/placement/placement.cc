@@ -1,0 +1,207 @@
+#include "engine/placement/placement.hh"
+
+#include "common/logging.hh"
+
+namespace mmgpu::engine
+{
+
+namespace
+{
+
+/**
+ * Baseline: idealized first touch. Pages home on the GPM of the CTA
+ * owning their byte range — that CTA is the page's first toucher
+ * under distributed CTA scheduling, and doing it up front avoids
+ * simulation-order races with halo accesses.
+ */
+class FirstTouchStrategy : public PlacementStrategy
+{
+  public:
+    explicit FirstTouchStrategy(sm::CtaSchedPolicy scheduling)
+        : scheduling_(scheduling)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "first-touch";
+    }
+
+    std::vector<std::vector<unsigned>>
+    assign(unsigned cta_count, unsigned gpm_count) const override
+    {
+        return sm::assignCtas(cta_count, gpm_count, scheduling_);
+    }
+
+    unsigned
+    homePage(const PageContext &ctx, unsigned segment,
+             std::uint64_t page_addr, std::uint64_t) const override
+    {
+        unsigned cta = trace::chunkOwnerCta(*ctx.profile, *ctx.layout,
+                                            segment, page_addr);
+        return (*ctx.ctaToGpm)[cta];
+    }
+
+  private:
+    sm::CtaSchedPolicy scheduling_;
+};
+
+/** Round-robin pages across GPMs regardless of use. */
+class StripedStrategy : public PlacementStrategy
+{
+  public:
+    explicit StripedStrategy(sm::CtaSchedPolicy scheduling)
+        : scheduling_(scheduling)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "striped";
+    }
+
+    std::vector<std::vector<unsigned>>
+    assign(unsigned cta_count, unsigned gpm_count) const override
+    {
+        return sm::assignCtas(cta_count, gpm_count, scheduling_);
+    }
+
+    unsigned
+    homePage(const PageContext &ctx, unsigned,
+             std::uint64_t, std::uint64_t page_index) const override
+    {
+        return static_cast<unsigned>(page_index % ctx.gpmCount);
+    }
+
+  private:
+    sm::CtaSchedPolicy scheduling_;
+};
+
+/**
+ * Traffic-matrix-driven homing. The strategy mines the profile's
+ * access entries for the estimated per-GPM access weight of each
+ * page and homes the page on the argmax:
+ *  - BlockStream credits the owner CTA's GPM with the non-irregular
+ *    fraction of the entry's accesses;
+ *  - Stencil splits its halo fraction between the two neighbour
+ *    CTAs at +-haloStride, so boundary pages whose halo partner sits
+ *    on another GPM can migrate toward the heavier side;
+ *  - Random/Chase/Broadcast accesses carry no per-GPM affinity and
+ *    contribute nothing.
+ * CTA assignment is always contiguous (sm::CtaSchedPolicy is
+ * ignored): the homing model assumes neighbouring CTAs are
+ * co-located, and contiguous chunks are what makes that true.
+ */
+class LocalityStrategy : public PlacementStrategy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "locality";
+    }
+
+    std::vector<std::vector<unsigned>>
+    assign(unsigned cta_count, unsigned gpm_count) const override
+    {
+        return sm::assignCtas(cta_count, gpm_count,
+                              sm::CtaSchedPolicy::Distributed);
+    }
+
+    unsigned
+    homePage(const PageContext &ctx, unsigned segment,
+             std::uint64_t page_addr, std::uint64_t) const override
+    {
+        const trace::KernelProfile &profile = *ctx.profile;
+        const std::vector<unsigned> &cta_to_gpm = *ctx.ctaToGpm;
+        unsigned owner = trace::chunkOwnerCta(profile, *ctx.layout,
+                                              segment, page_addr);
+        unsigned owner_gpm = cta_to_gpm[owner];
+
+        weights_.assign(ctx.gpmCount, 0.0);
+        auto credit = [&](unsigned cta, double w) {
+            weights_[cta_to_gpm[cta]] += w;
+        };
+        auto scan = [&](const std::vector<trace::SegmentAccess>
+                            &accesses) {
+            for (const trace::SegmentAccess &a : accesses) {
+                if (a.segment != segment)
+                    continue;
+                double per = static_cast<double>(a.perIteration);
+                switch (a.pattern) {
+                case trace::AccessPattern::BlockStream:
+                    credit(owner, (1.0 - a.irregular) * per);
+                    break;
+                case trace::AccessPattern::Stencil: {
+                    credit(owner,
+                           (1.0 - a.haloFraction - a.irregular) * per);
+                    double halo = 0.5 * a.haloFraction * per;
+                    if (owner >= a.haloStride)
+                        credit(owner - a.haloStride, halo);
+                    if (owner + a.haloStride < profile.ctaCount)
+                        credit(owner + a.haloStride, halo);
+                    break;
+                }
+                case trace::AccessPattern::Random:
+                case trace::AccessPattern::Chase:
+                case trace::AccessPattern::Broadcast:
+                    break;
+                }
+            }
+        };
+        scan(profile.loads);
+        scan(profile.stores);
+
+        // Strictly-greater comparison in ascending GPM order: ties
+        // resolve to the lowest GPM, and an all-zero matrix (page
+        // only touched by affinity-free patterns) falls back to the
+        // owner's GPM — never worse than first touch.
+        unsigned best = owner_gpm;
+        double best_weight = 0.0;
+        for (unsigned g = 0; g < ctx.gpmCount; ++g) {
+            if (weights_[g] > best_weight) {
+                best = g;
+                best_weight = weights_[g];
+            }
+        }
+        return best;
+    }
+
+  private:
+    /** Scratch reused across the per-page calls of one launch. */
+    mutable std::vector<double> weights_;
+};
+
+} // namespace
+
+const char *
+placementKindName(PlacementKind kind)
+{
+    switch (kind) {
+    case PlacementKind::FirstTouch:
+        return "first-touch";
+    case PlacementKind::Striped:
+        return "striped";
+    case PlacementKind::Locality:
+        return "locality";
+    }
+    mmgpu_panic("bad placement kind");
+}
+
+std::unique_ptr<PlacementStrategy>
+makePlacementStrategy(PlacementKind kind, sm::CtaSchedPolicy scheduling)
+{
+    switch (kind) {
+    case PlacementKind::FirstTouch:
+        return std::make_unique<FirstTouchStrategy>(scheduling);
+    case PlacementKind::Striped:
+        return std::make_unique<StripedStrategy>(scheduling);
+    case PlacementKind::Locality:
+        return std::make_unique<LocalityStrategy>();
+    }
+    mmgpu_panic("bad placement kind");
+}
+
+} // namespace mmgpu::engine

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Page-placement strategy layer.
+ *
+ * A PlacementStrategy bundles the two launch-time decisions that
+ * jointly determine NUMA locality on a multi-module GPU:
+ *  - CTA-to-GPM assignment (inherited from CtaPolicy), and
+ *  - the home GPM of every page the kernel touches.
+ *
+ * The machine consults homePage() once per page before a launch (the
+ * simulator's idealized first-touch pre-placement); the warp engine
+ * consults assign() to build dispatch queues. Strategies plug in
+ * behind this interface without touching the warp engine or the
+ * memory pipeline, exactly like interconnect topologies plug in
+ * behind noc::TopologyDesc.
+ *
+ * Built-in strategies:
+ *  - FirstTouch: the baseline — pages home on the GPM of the CTA
+ *    owning their byte range, CTA assignment follows the configured
+ *    sm::CtaSchedPolicy. Bit-identical to the historical inline
+ *    logic.
+ *  - Striped: pages round-robin across GPMs regardless of use (the
+ *    locality-oblivious strawman).
+ *  - Locality: traffic-matrix-driven — CTAs are always assigned in
+ *    contiguous chunks (co-locating communicating neighbours), and
+ *    each page homes on the GPM with the largest estimated access
+ *    weight mined from the profile's access patterns (stencil halos
+ *    pull boundary pages toward the neighbour that shares them).
+ */
+
+#ifndef MMGPU_ENGINE_PLACEMENT_PLACEMENT_HH
+#define MMGPU_ENGINE_PLACEMENT_PLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/cta_policy.hh"
+#include "trace/warp_trace.hh"
+
+namespace mmgpu::engine
+{
+
+/** Which built-in placement strategy to construct. */
+enum class PlacementKind : std::uint8_t
+{
+    FirstTouch, //!< owner-CTA homing (idealized first touch)
+    Striped,    //!< page i -> GPM i mod N
+    Locality,   //!< profile-mined traffic-matrix argmax homing
+};
+
+/** @return human-readable strategy name. */
+const char *placementKindName(PlacementKind kind);
+
+/** Launch-wide context handed to homePage() for every page. */
+struct PageContext
+{
+    /** Kernel being launched. */
+    const trace::KernelProfile *profile = nullptr;
+
+    /** Its segment layout in the global address space. */
+    const trace::SegmentLayout *layout = nullptr;
+
+    /** CTA id -> GPM id, flattened from this strategy's assign(). */
+    const std::vector<unsigned> *ctaToGpm = nullptr;
+
+    /** GPM count of the machine. */
+    unsigned gpmCount = 1;
+};
+
+/** CTA assignment plus page homing behind one interface. */
+class PlacementStrategy : public CtaPolicy
+{
+  public:
+    /**
+     * Home GPM for one page.
+     *
+     * @param ctx Launch context (profile, layout, CTA map).
+     * @param segment Segment the page belongs to.
+     * @param page_addr Page base byte address (within the segment).
+     * @param page_index Global page ordinal across all segments.
+     * @return GPM id in [0, ctx.gpmCount). Must be deterministic in
+     *         its arguments — page homing happens before simulation
+     *         and must not depend on event interleaving.
+     */
+    virtual unsigned homePage(const PageContext &ctx, unsigned segment,
+                              std::uint64_t page_addr,
+                              std::uint64_t page_index) const = 0;
+};
+
+/**
+ * Build a built-in strategy.
+ *
+ * @param kind Strategy selector.
+ * @param scheduling CTA scheduling policy honoured by FirstTouch and
+ *        Striped; Locality always assigns contiguous chunks (its
+ *        homing model assumes neighbouring CTAs are co-located).
+ */
+std::unique_ptr<PlacementStrategy>
+makePlacementStrategy(PlacementKind kind,
+                      sm::CtaSchedPolicy scheduling);
+
+} // namespace mmgpu::engine
+
+#endif // MMGPU_ENGINE_PLACEMENT_PLACEMENT_HH

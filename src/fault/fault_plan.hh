@@ -75,8 +75,12 @@ struct LinkFault
     /** GPM whose outgoing link is affected. */
     unsigned gpm = 0;
 
-    /** Direction/port: ring 0 = clockwise, 1 = counter-clockwise;
-     *  switch 0 = uplink, 1 = downlink. */
+    /** Direction/port, interpreted per topology: ring 0 =
+     *  clockwise, 1 = counter-clockwise; switch 0 = uplink, 1 =
+     *  downlink; fullmesh = peer GPM id of the pairwise link (a
+     *  failed pair reroutes via a 2-hop relay); ocs 0 = circuit
+     *  plane (a failed circuit drops the GPM from the matching),
+     *  1 = electrical fallback port (must keep some width). */
     unsigned channel = 0;
 
     /** Remaining capacity fraction in (0, 1]; exactly 0 marks the

@@ -51,7 +51,9 @@ estimate(const EnergyInputs &inputs, const EnergyParams &params)
         units::energyPerTransfer(params.linkPjPerBit,
                                  inputs.linkBytes) +
         units::energyPerTransfer(params.switchPjPerBit,
-                                 inputs.switchBytes);
+                                 inputs.switchBytes) +
+        params.reconfigJoules *
+            static_cast<double>(inputs.reconfigs);
 
     if constexpr (contract::auditsEnabled) {
         std::string verdict = auditEstimate(inputs, params, breakdown);
@@ -179,7 +181,9 @@ auditEstimate(const EnergyInputs &inputs, const EnergyParams &params,
                                      inputs.linkBytes)) +
         static_cast<long double>(
             units::energyPerTransfer(params.switchPjPerBit,
-                                     inputs.switchBytes));
+                                     inputs.switchBytes)) +
+        static_cast<long double>(params.reconfigJoules) *
+            static_cast<double>(inputs.reconfigs);
     if (!closeEnough(inter_module, breakdown.interModule))
         return mismatch("interModule", inter_module,
                         breakdown.interModule);

@@ -57,6 +57,10 @@ struct EnergyInputs
     /** Bytes through the switch fabric. */
     Count switchBytes = 0;
 
+    /** Circuit reconfigurations of a circuit-scheduled fabric (0 on
+     *  every other topology). */
+    Count reconfigs = 0;
+
     /** SM-cycles inside active windows, summed over SMs (used only
      *  by the gating extension; 0 when untracked). */
     double smOccupiedCycles = 0.0;
@@ -93,6 +97,10 @@ struct EnergyParams
 
     /** Additional energy per bit through a switch crossing. */
     double switchPjPerBit = 0.0;
+
+    /** Energy per circuit reconfiguration of a circuit-scheduled
+     *  fabric (0 everywhere else). */
+    Joules reconfigJoules = 0.0;
 
     /** Effective GPM-count multiplier on constant power. */
     double

@@ -31,6 +31,8 @@ multiModuleParams(const EnergyTable &table, Joules stall_energy,
                           options.linkEnergyScale;
     params.switchPjPerBit =
         options.switched ? constants::switchPjPerBit : 0.0;
+    params.reconfigJoules =
+        options.circuitReconfig ? constants::ocsReconfigJoules : 0.0;
 
     if (options.constGrowthOverride >= 0.0) {
         if (options.constGrowthOverride > 1.0)

@@ -37,6 +37,11 @@ inline constexpr double switchPjPerBit = 10.0;
 /** HBM DRAM interface energy [39]. */
 inline constexpr double hbmPjPerBit = 21.1;
 
+/** Energy of one circuit reconfiguration of an optical
+ *  circuit-scheduled fabric (MEMS mirror retargeting plus control
+ *  plane; order-of-magnitude figure for a package-scale OCS). */
+inline constexpr Joules ocsReconfigJoules = 50e-6;
+
 /** Fraction of per-GPM constant power that replicates on-package
  *  (50% amortization baseline, §V-A2). */
 inline constexpr double onPackageConstGrowth = 0.5;
@@ -49,9 +54,14 @@ struct MultiModuleOptions
      *  false for on-board (10 pJ/bit, no amortization). */
     bool onPackage = true;
 
-    /** True when the inter-GPM network is a switch (adds the switch
-     *  crossing energy). */
+    /** True when the inter-GPM network crosses a switch fabric —
+     *  a packet switch, or a circuit-scheduled fabric's electrical
+     *  fallback plane (adds the switch crossing energy). */
     bool switched = false;
+
+    /** True when the fabric is circuit-scheduled: charges
+     *  constants::ocsReconfigJoules per circuit reconfiguration. */
+    bool circuitReconfig = false;
 
     /** Multiplier on the link pJ/bit (the §V-C interconnect-energy
      *  point study uses 2x and 4x). */

@@ -108,6 +108,7 @@ encodePerf(const sim::PerfResult &perf)
     v.set("linkSwitchBytes", encodeCount(perf.link.switchBytes));
     v.set("linkTransfers", encodeCount(perf.link.transfers));
     v.set("linkRerouted", encodeCount(perf.link.rerouted));
+    v.set("linkReconfigs", encodeCount(perf.link.reconfigs));
     v.set("smBusyCycles", encodeDouble(perf.smBusyCycles));
     v.set("smStallCycles", encodeDouble(perf.smStallCycles));
     v.set("smOccupiedCycles", encodeDouble(perf.smOccupiedCycles));
@@ -157,6 +158,8 @@ decodePerf(const JsonValue *v, sim::PerfResult &perf)
                        perf.link.transfers) &&
            decodeCount(v->find("linkRerouted"),
                        perf.link.rerouted) &&
+           decodeCount(v->find("linkReconfigs"),
+                       perf.link.reconfigs) &&
            decodeDouble(v->find("smBusyCycles"), perf.smBusyCycles) &&
            decodeDouble(v->find("smStallCycles"),
                         perf.smStallCycles) &&

@@ -72,7 +72,7 @@ namespace mmgpu::harness
  * header. Bump when the simulator, the energy model, or the
  * serialized layout changes meaning.
  */
-constexpr std::uint64_t runCacheSchemaVersion = 2;
+constexpr std::uint64_t runCacheSchemaVersion = 3;
 
 /** Fingerprint of a calibration outcome (energy-param inputs). */
 std::uint64_t

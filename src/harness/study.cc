@@ -17,6 +17,7 @@
 #include "common/wallclock.hh"
 #include "gpujoule/reference_device.hh"
 #include "harness/parallel_runner.hh"
+#include "noc/topology_registry.hh"
 #include "power/sensor.hh"
 
 namespace mmgpu::harness
@@ -95,6 +96,7 @@ struct ScalingRunner::Cache
         Fnv1a hash;
         hash.add(key.config);
         hash.add(key.workload);
+        hash.add(key.topology);
         hash.add(key.placement);
         hash.add(key.ctaScheduling);
         hash.add(key.linkEnergyScale);
@@ -125,6 +127,7 @@ struct ScalingRunner::MachinePool
     struct MachineKey
     {
         std::string config;
+        std::uint8_t topology = 0;
         std::uint8_t placement = 0;
         std::uint8_t ctaScheduling = 0;
         std::uint64_t linkFaultDigest = 0;
@@ -134,6 +137,8 @@ struct ScalingRunner::MachinePool
         {
             if (int c = a.config.compare(b.config))
                 return c < 0;
+            if (a.topology != b.topology)
+                return a.topology < b.topology;
             if (a.placement != b.placement)
                 return a.placement < b.placement;
             if (a.ctaScheduling != b.ctaScheduling)
@@ -146,6 +151,7 @@ struct ScalingRunner::MachinePool
     keyOf(const sim::GpuConfig &config)
     {
         return {config.name,
+                static_cast<std::uint8_t>(config.topology),
                 static_cast<std::uint8_t>(config.placement),
                 static_cast<std::uint8_t>(config.ctaScheduling),
                 config.linkFaults.digest()};
@@ -217,6 +223,7 @@ makeKey(const sim::GpuConfig &config,
         double const_growth_override)
 {
     return RunKey{config.name, profile.name,
+                  static_cast<std::uint8_t>(config.topology),
                   static_cast<std::uint8_t>(config.placement),
                   static_cast<std::uint8_t>(config.ctaScheduling),
                   link_energy_scale, const_growth_override,
@@ -243,6 +250,7 @@ inputsFrom(const sim::PerfResult &perf, unsigned gpm_count,
     inputs.gpmCount = gpm_count;
     inputs.linkBytes = perf.link.messageBytes;
     inputs.switchBytes = perf.link.switchBytes;
+    inputs.reconfigs = perf.link.reconfigs;
     inputs.smOccupiedCycles = perf.smOccupiedCycles;
     inputs.smCycleCapacity =
         static_cast<double>(total_sms) * perf.execCycles;
@@ -279,7 +287,9 @@ StudyContext::paramsFor(const sim::GpuConfig &config,
     joule::MultiModuleOptions options;
     options.onPackage =
         config.domain == sim::IntegrationDomain::OnPackage;
-    options.switched = config.topology == noc::Topology::Switch;
+    const noc::TopologyDesc &topo = noc::topologyDesc(config.topology);
+    options.switched = topo.usesSwitchFabric;
+    options.circuitReconfig = topo.usesCircuitReconfig;
     options.linkEnergyScale = link_energy_scale;
     options.constGrowthOverride = const_growth_override;
     return joule::multiModuleParams(calib.table, calib.stallEnergy,

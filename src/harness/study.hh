@@ -144,6 +144,7 @@ struct RunKey
 {
     std::string config;
     std::string workload;
+    std::uint8_t topology = 0;
     std::uint8_t placement = 0;
     std::uint8_t ctaScheduling = 0;
     double linkEnergyScale = 1.0;
@@ -160,6 +161,8 @@ struct RunKey
             return c < 0;
         if (int c = a.workload.compare(b.workload))
             return c < 0;
+        if (a.topology != b.topology)
+            return a.topology < b.topology;
         if (a.placement != b.placement)
             return a.placement < b.placement;
         if (a.ctaScheduling != b.ctaScheduling)

@@ -1,10 +1,9 @@
 #include "noc/interconnect.hh"
 
-#include <algorithm>
-#include <array>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "noc/topology_registry.hh"
 
 namespace mmgpu::noc
 {
@@ -12,416 +11,28 @@ namespace mmgpu::noc
 const char *
 topologyName(Topology topology)
 {
-    switch (topology) {
-      case Topology::None:
-        return "monolithic";
-      case Topology::Ring:
-        return "ring";
-      case Topology::Switch:
-        return "switch";
-      default:
-        mmgpu_panic("bad topology");
-    }
+    return topologyDesc(topology).name;
 }
-
-namespace
-{
 
 std::string
-linkName(const char *kind, unsigned gpm, const char *suffix)
-{
-    std::ostringstream os;
-    os << kind << gpm << suffix;
-    return os.str();
-}
-
-/**
- * Per-link capacity scales from a fault spec: 1.0 healthy, (0, 1)
- * derated, 0 failed. Multiple faults on one link compose by taking
- * the most severe. Fatal on malformed entries — configuration
- * validation reports these with context first; this is the backstop
- * for directly constructed networks.
- */
-std::vector<std::array<double, 2>>
-linkScales(const char *kind, unsigned gpm_count,
-           const fault::LinkFaultSpec &faults)
-{
-    std::vector<std::array<double, 2>> scales(
-        gpm_count, std::array<double, 2>{1.0, 1.0});
-    for (const auto &f : faults.faults) {
-        if (f.gpm >= gpm_count)
-            mmgpu_fatal(kind, " link fault names GPM ", f.gpm,
-                        " but the network has ", gpm_count);
-        if (f.channel > 1)
-            mmgpu_fatal(kind, " link fault channel ", f.channel,
-                        " (links have channels 0 and 1)");
-        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
-            mmgpu_fatal(kind, " link fault capacity scale ",
-                        f.capacityScale, " outside [0, 1]");
-        double &slot = scales[f.gpm][f.channel];
-        slot = std::min(slot, f.capacityScale);
-    }
-    return scales;
-}
-
-/**
- * Format one violated conservation identity: "<what>: <lhs> != <rhs>".
- */
-std::string
-imbalance(const char *what, Count lhs, Count rhs)
+trafficImbalance(const char *what, Count lhs, Count rhs)
 {
     std::ostringstream os;
     os << what << ": " << lhs << " != " << rhs;
     return os.str();
 }
 
-} // namespace
-
 std::string
 InterGpmNetwork::auditConservation() const
 {
     if (traffic_.arrivals != traffic_.transfers)
-        return imbalance("messages injected vs delivered",
-                         traffic_.transfers, traffic_.arrivals);
+        return trafficImbalance("messages injected vs delivered",
+                                traffic_.transfers, traffic_.arrivals);
     if (traffic_.deliveredBytes != traffic_.messageBytes)
-        return imbalance("bytes injected vs delivered",
-                         traffic_.messageBytes,
-                         traffic_.deliveredBytes);
+        return trafficImbalance("bytes injected vs delivered",
+                                traffic_.messageBytes,
+                                traffic_.deliveredBytes);
     return {};
-}
-
-RingNetwork::RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                         Cycles hop_latency,
-                         const fault::LinkFaultSpec &faults)
-    : gpmCount(gpm_count), hopLatency(hop_latency)
-{
-    if (gpm_count < 2)
-        mmgpu_fatal("ring requires >= 2 GPMs, got ", gpm_count);
-    auto scales = linkScales("ring", gpm_count, faults);
-    links.reserve(gpm_count);
-    failed.assign(gpm_count, std::array<bool, 2>{false, false});
-    for (unsigned g = 0; g < gpm_count; ++g) {
-        // Failed links keep their nominal capacity but are excluded
-        // from routing; derated links run at reduced width.
-        std::array<double, 2> rate;
-        for (unsigned c = 0; c < 2; ++c) {
-            failed[g][c] = scales[g][c] == 0.0;
-            anyFailed = anyFailed || failed[g][c];
-            rate[c] = failed[g][c]
-                          ? link_bytes_per_cycle
-                          : link_bytes_per_cycle * scales[g][c];
-        }
-        links.push_back(std::array<BandwidthServer, 2>{
-            BandwidthServer(linkName("ring", g, ".cw"), rate[0]),
-            BandwidthServer(linkName("ring", g, ".ccw"), rate[1])});
-    }
-    if (anyFailed) {
-        viaCw.assign(std::size_t{gpmCount} * gpmCount, false);
-        viaCcw.assign(std::size_t{gpmCount} * gpmCount, false);
-        for (unsigned s = 0; s < gpmCount; ++s) {
-            for (unsigned d = 0; d < gpmCount; ++d) {
-                if (s == d)
-                    continue;
-                std::size_t at = std::size_t{s} * gpmCount + d;
-                viaCw[at] = cwViable(s, d);
-                viaCcw[at] = ccwViable(s, d);
-                if (!viaCw[at] && !viaCcw[at])
-                    mmgpu_fatal("link faults partition the ring: GPM ",
-                                s, " cannot reach GPM ", d,
-                                " in either direction");
-            }
-        }
-    }
-}
-
-bool
-RingNetwork::cwViable(unsigned src, unsigned dst) const
-{
-    for (unsigned u = src; u != dst; u = (u + 1) % gpmCount) {
-        if (failed[u][0])
-            return false;
-    }
-    return true;
-}
-
-bool
-RingNetwork::ccwViable(unsigned src, unsigned dst) const
-{
-    for (unsigned u = src; u != dst; u = (u + gpmCount - 1) % gpmCount) {
-        if (failed[u][1])
-            return false;
-    }
-    return true;
-}
-
-unsigned
-RingNetwork::hopCount(unsigned src, unsigned dst) const
-{
-    mmgpu_assert(src < gpmCount && dst < gpmCount, "bad GPM id");
-    unsigned forward = (dst + gpmCount - src) % gpmCount;
-    unsigned backward = gpmCount - forward;
-    return forward <= backward ? forward : backward;
-}
-
-HopOutcome
-RingNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
-{
-    mmgpu_assert(current < gpmCount && dst < gpmCount, "bad GPM id");
-    mmgpu_assert(current != dst, "ring step at destination");
-
-    unsigned forward = (dst + gpmCount - current) % gpmCount;
-    unsigned backward = gpmCount - forward;
-    bool clockwise = forward <= backward;
-    if (anyFailed) {
-        // Graceful reroute: when the preferred (shortest) direction
-        // crosses a failed link, go the long way around. Progress in
-        // the chosen direction only shrinks its remaining arc, so a
-        // message never oscillates between directions; the
-        // constructor guaranteed one direction is always viable.
-        bool preferred_ok =
-            clockwise ? viaCw[std::size_t{current} * gpmCount + dst]
-                      : viaCcw[std::size_t{current} * gpmCount + dst];
-        if (!preferred_ok) {
-            clockwise = !clockwise;
-            ++traffic_.rerouted;
-        }
-    }
-
-    BandwidthServer &link =
-        clockwise ? links[current][0] : links[current][1];
-    HopOutcome hop;
-    hop.ready = link.acquire(t, bytes) + static_cast<double>(hopLatency);
-    hop.next = clockwise ? (current + 1) % gpmCount
-                         : (current + gpmCount - 1) % gpmCount;
-    hop.arrived = hop.next == dst;
-    traffic_.byteHops += static_cast<Count>(bytes);
-    if (hop.arrived) {
-        ++traffic_.arrivals;
-        traffic_.deliveredBytes += static_cast<Count>(bytes);
-    }
-    return hop;
-}
-
-std::string
-RingNetwork::auditConservation() const
-{
-    std::string base = InterGpmNetwork::auditConservation();
-    if (!base.empty())
-        return base;
-    // A healthy ring routes every message the shortest way; reroutes
-    // can only come from the degraded path.
-    if (!anyFailed && traffic_.rerouted != 0)
-        return imbalance("reroutes on a healthy ring",
-                         traffic_.rerouted, 0);
-    // Ring messages never cross a switch fabric.
-    if (traffic_.switchBytes != 0)
-        return imbalance("switch bytes on a ring", traffic_.switchBytes,
-                         0);
-    return {};
-}
-
-double
-RingNetwork::totalQueueing() const
-{
-    double total = 0.0;
-    for (const auto &pair : links)
-        total += pair[0].queueingCycles() + pair[1].queueingCycles();
-    return total;
-}
-
-double
-RingNetwork::totalBusy() const
-{
-    double total = 0.0;
-    for (const auto &pair : links)
-        total += pair[0].busyCycles() + pair[1].busyCycles();
-    return total;
-}
-
-void
-RingNetwork::attachTelemetry(telemetry::Timeline &timeline)
-{
-    using Kind = telemetry::TimelineTrack::Kind;
-    for (unsigned g = 0; g < gpmCount; ++g) {
-        links[g][0].setTelemetrySink(&timeline.track(
-            linkName("link/gpm", g, ".cw"), Kind::Busy));
-        links[g][1].setTelemetrySink(&timeline.track(
-            linkName("link/gpm", g, ".ccw"), Kind::Busy));
-    }
-}
-
-void
-RingNetwork::detachTelemetry()
-{
-    for (auto &pair : links) {
-        pair[0].setTelemetrySink(nullptr);
-        pair[1].setTelemetrySink(nullptr);
-    }
-}
-
-void
-RingNetwork::reset()
-{
-    for (auto &pair : links) {
-        pair[0].reset();
-        pair[1].reset();
-    }
-    traffic_.reset();
-}
-
-SwitchNetwork::SwitchNetwork(unsigned gpm_count,
-                             double link_bytes_per_cycle,
-                             Cycles port_latency, Cycles fabric_latency,
-                             const fault::LinkFaultSpec &faults)
-    : gpmCount(gpm_count), portLatency(port_latency),
-      fabricLatency(fabric_latency)
-{
-    if (gpm_count < 2)
-        mmgpu_fatal("switch requires >= 2 GPMs, got ", gpm_count);
-    auto scales = linkScales("switch", gpm_count, faults);
-    for (unsigned g = 0; g < gpm_count; ++g) {
-        for (unsigned c = 0; c < 2; ++c) {
-            if (scales[g][c] == 0.0)
-                mmgpu_fatal("switch port failure on GPM ", g,
-                            " strands it: the switch has no alternate"
-                            " path; use a capacity scale > 0");
-        }
-        uplinks.emplace_back(linkName("sw", g, ".up"),
-                             link_bytes_per_cycle * scales[g][0]);
-        downlinks.emplace_back(linkName("sw", g, ".down"),
-                               link_bytes_per_cycle * scales[g][1]);
-    }
-}
-
-HopOutcome
-SwitchNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
-{
-    mmgpu_assert(dst < downlinks.size(), "bad GPM id");
-    HopOutcome hop;
-    if (current != fabricNode()) {
-        // GPM -> switch: uplink traversal + fabric crossing.
-        mmgpu_assert(current < uplinks.size(), "bad GPM id");
-        mmgpu_assert(current != dst, "switch step at destination");
-        hop.ready = uplinks[current].acquire(t, bytes)
-                    + static_cast<double>(portLatency)
-                    + static_cast<double>(fabricLatency);
-        hop.next = fabricNode();
-        hop.arrived = false;
-        traffic_.byteHops += static_cast<Count>(bytes);
-        traffic_.switchBytes += static_cast<Count>(bytes);
-    } else {
-        // Switch -> GPM: downlink traversal.
-        hop.ready = downlinks[dst].acquire(t, bytes)
-                    + static_cast<double>(portLatency);
-        hop.next = dst;
-        hop.arrived = true;
-        traffic_.byteHops += static_cast<Count>(bytes);
-        ++traffic_.arrivals;
-        traffic_.deliveredBytes += static_cast<Count>(bytes);
-    }
-    return hop;
-}
-
-std::string
-SwitchNetwork::auditConservation() const
-{
-    std::string base = InterGpmNetwork::auditConservation();
-    if (!base.empty())
-        return base;
-    // Every switch message crosses exactly one uplink and one
-    // downlink, and its full payload transits the fabric once.
-    if (traffic_.byteHops != 2 * traffic_.messageBytes)
-        return imbalance("switch byte-hops vs 2x message bytes",
-                         traffic_.byteHops,
-                         2 * traffic_.messageBytes);
-    if (traffic_.switchBytes != traffic_.messageBytes)
-        return imbalance("fabric bytes vs message bytes",
-                         traffic_.switchBytes, traffic_.messageBytes);
-    if (traffic_.rerouted != 0)
-        return imbalance("reroutes on a switch", traffic_.rerouted, 0);
-    return {};
-}
-
-double
-SwitchNetwork::totalQueueing() const
-{
-    double total = 0.0;
-    for (const auto &link : uplinks)
-        total += link.queueingCycles();
-    for (const auto &link : downlinks)
-        total += link.queueingCycles();
-    return total;
-}
-
-double
-SwitchNetwork::totalBusy() const
-{
-    double total = 0.0;
-    for (const auto &link : uplinks)
-        total += link.busyCycles();
-    for (const auto &link : downlinks)
-        total += link.busyCycles();
-    return total;
-}
-
-void
-SwitchNetwork::attachTelemetry(telemetry::Timeline &timeline)
-{
-    using Kind = telemetry::TimelineTrack::Kind;
-    for (unsigned g = 0; g < gpmCount; ++g) {
-        uplinks[g].setTelemetrySink(&timeline.track(
-            linkName("link/gpm", g, ".up"), Kind::Busy));
-        downlinks[g].setTelemetrySink(&timeline.track(
-            linkName("link/gpm", g, ".down"), Kind::Busy));
-    }
-}
-
-void
-SwitchNetwork::detachTelemetry()
-{
-    for (auto &link : uplinks)
-        link.setTelemetrySink(nullptr);
-    for (auto &link : downlinks)
-        link.setTelemetrySink(nullptr);
-}
-
-void
-SwitchNetwork::reset()
-{
-    for (auto &link : uplinks)
-        link.reset();
-    for (auto &link : downlinks)
-        link.reset();
-    traffic_.reset();
-}
-
-bool
-ringPartitioned(unsigned gpm_count, const fault::LinkFaultSpec &faults)
-{
-    std::vector<std::array<bool, 2>> down(
-        gpm_count, std::array<bool, 2>{false, false});
-    for (const auto &f : faults.faults) {
-        if (f.gpm >= gpm_count || f.channel > 1)
-            continue; // malformed entries are rejected elsewhere
-        if (f.capacityScale == 0.0)
-            down[f.gpm][f.channel] = true;
-    }
-    for (unsigned s = 0; s < gpm_count; ++s) {
-        for (unsigned d = 0; d < gpm_count; ++d) {
-            if (s == d)
-                continue;
-            bool cw_ok = true;
-            for (unsigned u = s; u != d; u = (u + 1) % gpm_count)
-                cw_ok = cw_ok && !down[u][0];
-            bool ccw_ok = true;
-            for (unsigned u = s; u != d;
-                 u = (u + gpm_count - 1) % gpm_count)
-                ccw_ok = ccw_ok && !down[u][1];
-            if (!cw_ok && !ccw_ok)
-                return true;
-        }
-    }
-    return false;
 }
 
 std::unique_ptr<InterGpmNetwork>
@@ -429,22 +40,13 @@ makeNetwork(Topology topology, unsigned gpm_count,
             double per_gpm_io_bytes_per_cycle, Cycles hop_latency,
             Cycles switch_latency, const fault::LinkFaultSpec &faults)
 {
-    switch (topology) {
-      case Topology::None:
-        return nullptr;
-      case Topology::Ring:
-        // A GPM's I/O bandwidth is split across its two ring
-        // directions.
-        return std::make_unique<RingNetwork>(
-            gpm_count, per_gpm_io_bytes_per_cycle / 2.0, hop_latency,
-            faults);
-      case Topology::Switch:
-        return std::make_unique<SwitchNetwork>(
-            gpm_count, per_gpm_io_bytes_per_cycle, hop_latency,
-            switch_latency, faults);
-      default:
-        mmgpu_panic("bad topology");
-    }
+    TopologyParams params;
+    params.gpmCount = gpm_count;
+    params.perGpmIoBytesPerCycle = per_gpm_io_bytes_per_cycle;
+    params.hopLatency = hop_latency;
+    params.switchLatency = switch_latency;
+    params.faults = faults;
+    return topologyDesc(topology).make(params);
 }
 
 } // namespace mmgpu::noc

@@ -1,26 +1,28 @@
 /**
  * @file
- * Inter-GPM interconnection networks: ring and high-radix switch.
+ * Inter-GPM interconnection networks: the abstract network, its
+ * traffic books, and the registry-driven factory.
  *
- * The paper evaluates two topologies (§V-A1, §V-C):
- *  - a ring, the default for on-package integration, where a transfer
- *    traverses every link between source and destination (shortest
- *    direction) and therefore consumes bandwidth on each hop; and
- *  - a high-radix switch (NVSwitch-style) for on-board systems, where
- *    a transfer crosses exactly one uplink and one downlink plus a
- *    non-blocking fabric, at the cost of an extra 10 pJ/bit.
+ * The paper evaluates two topologies (§V-A1, §V-C) — a ring and a
+ * high-radix switch. This layer generalizes them into a pluggable
+ * family: each fabric lives in src/noc/topologies/ behind the
+ * InterGpmNetwork interface and registers a TopologyDesc (name,
+ * geometry, energy-attribution hooks, fault validation) in the
+ * registry (noc/topology_registry.hh). Machine assembly, energy
+ * attribution, configuration validation, and CLI/wire parsing all
+ * consult the descriptor instead of branching on the enum, so adding
+ * a fabric is: write the plugin, add one registry row.
  *
- * Both report the traffic quantities GPUJoule charges energy for:
- * byte-hops over GPM endpoint links and bytes through the switch.
+ * All fabrics report the traffic quantities GPUJoule charges energy
+ * for: byte-hops over GPM endpoint links, bytes through electrical
+ * fabrics, and circuit reconfigurations.
  */
 
 #ifndef MMGPU_NOC_INTERCONNECT_HH
 #define MMGPU_NOC_INTERCONNECT_HH
 
-#include <array>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/units.hh"
 #include "fault/fault_plan.hh"
@@ -32,9 +34,11 @@ namespace mmgpu::noc
 /** Inter-GPM topology selector. */
 enum class Topology : std::uint8_t
 {
-    None,    //!< monolithic GPU, no inter-GPM network
-    Ring,    //!< bidirectional ring, shortest-direction routing
-    Switch,  //!< single-hop high-radix switch
+    None,     //!< monolithic GPU, no inter-GPM network
+    Ring,     //!< bidirectional ring, shortest-direction routing
+    Switch,   //!< single-hop high-radix switch
+    Fullmesh, //!< dedicated pairwise links, one hop
+    Circuit,  //!< circuit-scheduled (OCS-style) reconfigurable fabric
 };
 
 /** @return human-readable topology name. */
@@ -58,15 +62,16 @@ struct LinkTraffic
      */
     Count messageBytes = 0;
 
-    /** Bytes passing through the switch fabric; multiplied by the
-     *  additional per-switch pJ/bit energy. */
+    /** Bytes passing through an electrical fabric (switch crossing,
+     *  or the circuit-scheduled fabric's thin electrical fallback);
+     *  multiplied by the additional per-switch pJ/bit energy. */
     Count switchBytes = 0;
 
     /** Messages that crossed the network. */
     Count transfers = 0;
 
-    /** Ring hops forced away from the shortest direction by a
-     *  failed link (degraded-mode diagnostic; 0 when healthy). */
+    /** Hops forced away from the preferred route by a failed link
+     *  (degraded-mode diagnostic; 0 when healthy). */
     Count rerouted = 0;
 
     /** Messages whose final hop arrived at the destination GPM.
@@ -78,6 +83,10 @@ struct LinkTraffic
      *  messageBytes; equal at quiescent points). */
     Count deliveredBytes = 0;
 
+    /** Circuit reconfigurations performed (circuit-scheduled fabric
+     *  only; each one is charged a fixed energy penalty). */
+    Count reconfigs = 0;
+
     void
     reset()
     {
@@ -88,6 +97,7 @@ struct LinkTraffic
         rerouted = 0;
         arrivals = 0;
         deliveredBytes = 0;
+        reconfigs = 0;
     }
 };
 
@@ -97,8 +107,8 @@ struct HopOutcome
     /** Time the message is available at the next node. */
     Tick ready = 0.0;
 
-    /** Node the message is now at (may be the switch fabric's
-     *  sentinel id == gpmCount). */
+    /** Node the message is now at (may be a fabric sentinel id ==
+     *  gpmCount for switch-like topologies). */
     unsigned next = 0;
 
     /** True once the message has reached its destination GPM. */
@@ -164,9 +174,11 @@ class InterGpmNetwork
      * (no message mid-journey): every message and byte injected into
      * the network must have arrived at a destination exactly once —
      * including traffic rerouted the long way around a degraded
-     * ring. Topology subclasses add their own identities (a switch
-     * message crosses exactly two endpoint links; a healthy ring
-     * never reroutes).
+     * ring or relayed around a failed mesh link. Topology plugins
+     * add their own identities (a switch message crosses exactly
+     * two endpoint links; a healthy ring never reroutes; a mesh
+     * keeps per-pair books; circuit traffic splits exactly between
+     * circuits and the electrical fallback).
      *
      * @return empty string when the books balance, else a diagnostic.
      *         Plain-function form (rather than asserting internally)
@@ -203,116 +215,31 @@ class InterGpmNetwork
     LinkTraffic traffic_;
 };
 
-/**
- * Bidirectional ring. Each GPM owns one link per direction; a
- * transfer acquires every link along the shorter path in sequence
- * (store-and-forward), so intermediate GPMs' links are consumed by
- * through-traffic — the bandwidth amplification that makes rings
- * collapse at high GPM counts (paper §V-B).
- */
-class RingNetwork : public InterGpmNetwork
+/** Format one violated conservation identity for audit diagnostics:
+ *  "<what>: <lhs> != <rhs>". Shared by the topology plugins. */
+std::string trafficImbalance(const char *what, Count lhs, Count rhs);
+
+/** Everything a topology factory needs to build its network. */
+struct TopologyParams
 {
-  public:
-    /**
-     * @param gpm_count Number of GPMs on the ring (>= 2).
-     * @param link_bytes_per_cycle Per-link, per-direction capacity.
-     *        The paper's per-GPM I/O bandwidth setting is split
-     *        across the two directions a GPM can send into.
-     * @param hop_latency Per-hop pipeline latency in cycles.
-     * @param faults Degraded/failed links (channel 0 = clockwise,
-     *        1 = counter-clockwise). A failed link forces traffic
-     *        the long way around the ring (graceful reroute); the
-     *        constructor is fatal when the failures leave some pair
-     *        of GPMs unreachable in both directions.
-     */
-    RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                Cycles hop_latency,
-                const fault::LinkFaultSpec &faults = {});
+    /** Number of GPMs attached (>= 2 for every real fabric). */
+    unsigned gpmCount = 0;
 
-    HopOutcome step(unsigned current, unsigned dst, Tick t,
-                    double bytes) override;
+    /** Per-GPM inter-GPM I/O bandwidth, bytes/cycle per direction.
+     *  Each plugin splits this across its own link geometry (the
+     *  ring halves it per direction; the fullmesh divides it across
+     *  N-1 pairwise links). */
+    double perGpmIoBytesPerCycle = 0.0;
 
-    std::string auditConservation() const override;
+    /** Per-hop pipeline latency in cycles. */
+    Cycles hopLatency = 0;
 
-    double totalQueueing() const override;
-    double totalBusy() const override;
+    /** Fabric-crossing latency in cycles (switch-like fabrics). */
+    Cycles switchLatency = 0;
 
-    void attachTelemetry(telemetry::Timeline &timeline) override;
-
-    void detachTelemetry() override;
-
-    void reset() override;
-
-    /** Hop count of the shorter direction from @p src to @p dst
-     *  (ignores faults: the healthy-topology distance). */
-    unsigned hopCount(unsigned src, unsigned dst) const;
-
-  private:
-    /** All clockwise links from @p src to @p dst are up. */
-    bool cwViable(unsigned src, unsigned dst) const;
-
-    /** All counter-clockwise links from @p src to @p dst are up. */
-    bool ccwViable(unsigned src, unsigned dst) const;
-
-    unsigned gpmCount;
-    Cycles hopLatency;
-    /** links[g][0] = clockwise link out of GPM g, [1] = ccw. */
-    std::vector<std::array<BandwidthServer, 2>> links;
-    /** failed[g][c]: link exists but routes no traffic. */
-    std::vector<std::array<bool, 2>> failed;
-    /** Any failed link present (degraded routing engaged). */
-    bool anyFailed = false;
-    /** Precomputed viability, indexed [src * gpmCount + dst]. */
-    std::vector<bool> viaCw;
-    std::vector<bool> viaCcw;
-};
-
-/**
- * High-radix switch: every GPM has one uplink and one downlink to a
- * non-blocking fabric, so a transfer always costs exactly two
- * endpoint link traversals regardless of GPM count.
- */
-class SwitchNetwork : public InterGpmNetwork
-{
-  public:
-    /**
-     * @param gpm_count Number of GPMs attached (>= 2).
-     * @param link_bytes_per_cycle Per-port, per-direction capacity
-     *        (the full per-GPM I/O bandwidth setting).
-     * @param port_latency One-way port latency in cycles.
-     * @param fabric_latency Fabric crossing latency in cycles.
-     * @param faults Degraded ports (channel 0 = uplink, 1 =
-     *        downlink). Ports run at reduced width (capacityScale);
-     *        a fully failed port (scale 0) strands its GPM — the
-     *        switch has no alternate path — and is fatal here.
-     */
-    SwitchNetwork(unsigned gpm_count, double link_bytes_per_cycle,
-                  Cycles port_latency, Cycles fabric_latency,
-                  const fault::LinkFaultSpec &faults = {});
-
-    HopOutcome step(unsigned current, unsigned dst, Tick t,
-                    double bytes) override;
-
-    std::string auditConservation() const override;
-
-    double totalQueueing() const override;
-    double totalBusy() const override;
-
-    void attachTelemetry(telemetry::Timeline &timeline) override;
-
-    void detachTelemetry() override;
-
-    void reset() override;
-
-    /** Sentinel node id representing "inside the switch fabric". */
-    unsigned fabricNode() const { return gpmCount; }
-
-  private:
-    unsigned gpmCount;
-    Cycles portLatency;
-    Cycles fabricLatency;
-    std::vector<BandwidthServer> uplinks;
-    std::vector<BandwidthServer> downlinks;
+    /** Degraded/failed links; meaning of LinkFault::channel is
+     *  per-topology (see TopologyDesc::checkFaults). */
+    fault::LinkFaultSpec faults;
 };
 
 /**
@@ -325,7 +252,8 @@ bool ringPartitioned(unsigned gpm_count,
                      const fault::LinkFaultSpec &faults);
 
 /**
- * Build the network for @p topology, wiring in any link faults.
+ * Build the network for @p topology via the registry, wiring in any
+ * link faults.
  * @return nullptr for Topology::None.
  */
 std::unique_ptr<InterGpmNetwork>

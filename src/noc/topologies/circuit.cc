@@ -1,0 +1,255 @@
+#include "noc/topologies/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "noc/topologies/detail.hh"
+
+namespace mmgpu::noc
+{
+
+using detail::linkName;
+using detail::linkScales;
+
+CircuitSwitchedNetwork::CircuitSwitchedNetwork(
+    unsigned gpm_count, double per_gpm_io_bytes_per_cycle,
+    Cycles hop_latency, Cycles fabric_latency,
+    const fault::LinkFaultSpec &faults)
+    : gpmCount(gpm_count), hopLatency(hop_latency),
+      fabricLatency(fabric_latency)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("circuit fabric requires >= 2 GPMs, got ",
+                    gpm_count);
+    auto scales = linkScales("ocs", gpm_count, faults);
+    const double fallback_rate =
+        per_gpm_io_bytes_per_cycle * ocs::fallbackFraction;
+    circuitPlaneUp_.assign(gpm_count, true);
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        // A failed circuit plane (scale 0) drops the GPM from the
+        // matching — degraded reconfiguration — rather than failing
+        // the machine; its traffic rides the fallback.
+        circuitPlaneUp_[g] = scales[g][0] > 0.0;
+        double tx_scale = circuitPlaneUp_[g] ? scales[g][0] : 1.0;
+        circuitTx_.emplace_back(
+            linkName("ocs", g, ".tx"),
+            per_gpm_io_bytes_per_cycle * tx_scale);
+        if (scales[g][1] == 0.0)
+            mmgpu_fatal("ocs fallback port failure on GPM ", g,
+                        " strands its unmatched traffic; use a"
+                        " capacity scale > 0");
+        fallbackUp_.emplace_back(linkName("ocs", g, ".fb.up"),
+                                 fallback_rate * scales[g][1]);
+        fallbackDown_.emplace_back(linkName("ocs", g, ".fb.down"),
+                                   fallback_rate * scales[g][1]);
+    }
+    circuits_.assign(gpm_count, gpm_count);
+    demand_.assign(std::size_t{gpm_count} * gpm_count, 0.0);
+}
+
+std::vector<unsigned>
+CircuitSwitchedNetwork::matchCircuits(
+    const std::vector<double> &demand) const
+{
+    // Greedy maximum-weight matching: sort all demanded pairs by
+    // weight (heaviest first; ties in (src, dst) order so the result
+    // is deterministic), then claim transmit and receive ports
+    // first-come. Both endpoints need a healthy circuit plane.
+    struct Pair
+    {
+        double weight;
+        unsigned src;
+        unsigned dst;
+    };
+    std::vector<Pair> pairs;
+    for (unsigned s = 0; s < gpmCount; ++s) {
+        for (unsigned d = 0; d < gpmCount; ++d) {
+            double w = demand[std::size_t{s} * gpmCount + d];
+            if (s != d && w > 0.0 && circuitPlaneUp_[s] &&
+                circuitPlaneUp_[d])
+                pairs.push_back({w, s, d});
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair &a, const Pair &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  if (a.src != b.src)
+                      return a.src < b.src;
+                  return a.dst < b.dst;
+              });
+    std::vector<unsigned> matching(gpmCount, gpmCount);
+    std::vector<bool> rxTaken(gpmCount, false);
+    for (const Pair &p : pairs) {
+        if (matching[p.src] == gpmCount && !rxTaken[p.dst]) {
+            matching[p.src] = p.dst;
+            rxTaken[p.dst] = true;
+        }
+    }
+    return matching;
+}
+
+void
+CircuitSwitchedNetwork::advanceEpochs(Tick t)
+{
+    while (t >= epochStart_ + ocs::epochCycles) {
+        Tick boundary = epochStart_ + ocs::epochCycles;
+        std::vector<unsigned> next = matchCircuits(demand_);
+        if (next != circuits_) {
+            circuits_ = std::move(next);
+            ++traffic_.reconfigs;
+            // The reconfiguration window starts at the boundary the
+            // demand was evaluated at, not at the (possibly much
+            // later) message that triggered the evaluation.
+            circuitsReadyAt_ =
+                std::max(circuitsReadyAt_,
+                         boundary + ocs::reconfigLatencyCycles);
+        }
+        std::fill(demand_.begin(), demand_.end(), 0.0);
+        epochStart_ = boundary;
+    }
+}
+
+HopOutcome
+CircuitSwitchedNetwork::step(unsigned current, unsigned dst, Tick t,
+                             double bytes)
+{
+    mmgpu_assert(dst < gpmCount, "bad GPM id");
+    advanceEpochs(t);
+
+    HopOutcome hop;
+    if (current != fabricNode()) {
+        mmgpu_assert(current < gpmCount, "bad GPM id");
+        mmgpu_assert(current != dst, "circuit step at destination");
+        // Demand is observed at injection, whatever path serves it.
+        demand_[std::size_t{current} * gpmCount + dst] += bytes;
+        if (circuits_[current] == dst && t >= circuitsReadyAt_) {
+            // Established circuit: one full-bandwidth hop.
+            hop.ready = circuitTx_[current].acquire(t, bytes)
+                        + static_cast<double>(hopLatency);
+            hop.next = dst;
+            hop.arrived = true;
+            traffic_.byteHops += static_cast<Count>(bytes);
+            ++traffic_.arrivals;
+            traffic_.deliveredBytes += static_cast<Count>(bytes);
+            return hop;
+        }
+        // Unmatched pair (or dark circuits mid-reconfiguration):
+        // thin electrical fallback, phase one.
+        hop.ready = fallbackUp_[current].acquire(t, bytes)
+                    + static_cast<double>(hopLatency)
+                    + static_cast<double>(fabricLatency);
+        hop.next = fabricNode();
+        hop.arrived = false;
+        traffic_.byteHops += static_cast<Count>(bytes);
+        traffic_.switchBytes += static_cast<Count>(bytes);
+        return hop;
+    }
+    // Fallback phase two: fabric -> destination GPM. Completes even
+    // across a reconfiguration boundary — circuits and fallback are
+    // independent planes, so in-flight fallback traffic drains.
+    hop.ready = fallbackDown_[dst].acquire(t, bytes)
+                + static_cast<double>(hopLatency);
+    hop.next = dst;
+    hop.arrived = true;
+    traffic_.byteHops += static_cast<Count>(bytes);
+    ++traffic_.arrivals;
+    traffic_.deliveredBytes += static_cast<Count>(bytes);
+    return hop;
+}
+
+std::string
+CircuitSwitchedNetwork::auditConservation() const
+{
+    std::string base = InterGpmNetwork::auditConservation();
+    if (!base.empty())
+        return base;
+    // Every byte travels either one circuit hop or two fallback
+    // hops, and exactly the fallback bytes transit the electrical
+    // fabric: byteHops == circuitBytes + 2 * fallbackBytes
+    //                  == messageBytes + switchBytes.
+    if (traffic_.byteHops !=
+        traffic_.messageBytes + traffic_.switchBytes)
+        return trafficImbalance(
+            "ocs byte-hops vs message + fallback bytes",
+            traffic_.byteHops,
+            traffic_.messageBytes + traffic_.switchBytes);
+    if (traffic_.switchBytes > traffic_.messageBytes)
+        return trafficImbalance("ocs fallback bytes vs message bytes",
+                                traffic_.switchBytes,
+                                traffic_.messageBytes);
+    // The circuit fabric never relays through intermediate GPMs.
+    if (traffic_.rerouted != 0)
+        return trafficImbalance("reroutes on a circuit fabric",
+                                traffic_.rerouted, 0);
+    return {};
+}
+
+double
+CircuitSwitchedNetwork::totalQueueing() const
+{
+    double total = 0.0;
+    for (const auto &link : circuitTx_)
+        total += link.queueingCycles();
+    for (const auto &link : fallbackUp_)
+        total += link.queueingCycles();
+    for (const auto &link : fallbackDown_)
+        total += link.queueingCycles();
+    return total;
+}
+
+double
+CircuitSwitchedNetwork::totalBusy() const
+{
+    double total = 0.0;
+    for (const auto &link : circuitTx_)
+        total += link.busyCycles();
+    for (const auto &link : fallbackUp_)
+        total += link.busyCycles();
+    for (const auto &link : fallbackDown_)
+        total += link.busyCycles();
+    return total;
+}
+
+void
+CircuitSwitchedNetwork::attachTelemetry(telemetry::Timeline &timeline)
+{
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned g = 0; g < gpmCount; ++g) {
+        circuitTx_[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".tx"), Kind::Busy));
+        fallbackUp_[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".fb.up"), Kind::Busy));
+        fallbackDown_[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".fb.down"), Kind::Busy));
+    }
+}
+
+void
+CircuitSwitchedNetwork::detachTelemetry()
+{
+    for (auto &link : circuitTx_)
+        link.setTelemetrySink(nullptr);
+    for (auto &link : fallbackUp_)
+        link.setTelemetrySink(nullptr);
+    for (auto &link : fallbackDown_)
+        link.setTelemetrySink(nullptr);
+}
+
+void
+CircuitSwitchedNetwork::reset()
+{
+    for (auto &link : circuitTx_)
+        link.reset();
+    for (auto &link : fallbackUp_)
+        link.reset();
+    for (auto &link : fallbackDown_)
+        link.reset();
+    circuits_.assign(gpmCount, gpmCount);
+    std::fill(demand_.begin(), demand_.end(), 0.0);
+    epochStart_ = 0.0;
+    circuitsReadyAt_ = 0.0;
+    traffic_.reset();
+}
+
+} // namespace mmgpu::noc

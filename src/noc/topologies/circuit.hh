@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Circuit-scheduled (OCS-style) reconfigurable fabric.
+ *
+ * An optical circuit switch gives each GPM one full-bandwidth
+ * transmit circuit, but a circuit connects exactly one (src, dst)
+ * pair at a time. A traffic-matrix estimator accumulates demand per
+ * epoch; at each epoch boundary the fabric recomputes a maximum-
+ * weight matching over the previous epoch's demand and, when the
+ * matching changes, performs a reconfiguration — paying a latency
+ * window during which circuits are unavailable plus a fixed energy
+ * penalty (LinkTraffic::reconfigs, charged by GPUJoule). Pairs the
+ * matching leaves unmatched fall back to a thin electrical path
+ * whose bytes are charged the switch-crossing energy.
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGIES_CIRCUIT_HH
+#define MMGPU_NOC_TOPOLOGIES_CIRCUIT_HH
+
+#include <vector>
+
+#include "noc/interconnect.hh"
+
+namespace mmgpu::noc
+{
+
+/** Modeling knobs of the circuit-scheduled fabric. Fixed (not
+ *  per-config) so every OCS machine reconfigures on the same
+ *  deterministic schedule; a fast MEMS-class switch is assumed. */
+namespace ocs
+{
+/** Traffic-matrix accumulation window (cycles at 1 GHz). */
+inline constexpr double epochCycles = 8192.0;
+
+/** Circuits are dark for this long after a reconfiguration. */
+inline constexpr double reconfigLatencyCycles = 1024.0;
+
+/** Electrical fallback width as a fraction of the per-GPM I/O
+ *  bandwidth (a thin management-class path). */
+inline constexpr double fallbackFraction = 0.25;
+} // namespace ocs
+
+/**
+ * Circuit-scheduled fabric. step() is single-hop over an
+ * established circuit, or two-phase (uplink -> fallback fabric ->
+ * downlink) over the electrical fallback for unmatched pairs and
+ * during reconfiguration windows.
+ *
+ * Fault model: LinkFault::channel 0 derates a GPM's circuit plane
+ * (its transmit circuit runs at reduced width; a failed plane,
+ * scale 0, removes the GPM from matching entirely — degraded
+ * reconfiguration — and all its traffic takes the fallback).
+ * Channel 1 derates the GPM's electrical fallback port; a fully
+ * failed fallback port strands unmatched traffic and is fatal.
+ */
+class CircuitSwitchedNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count GPMs attached (>= 2).
+     * @param per_gpm_io_bytes_per_cycle Circuit bandwidth per GPM
+     *        (a circuit grants the whole optical port); the
+     *        electrical fallback gets ocs::fallbackFraction of it.
+     * @param hop_latency Per-hop pipeline latency in cycles.
+     * @param fabric_latency Fallback fabric crossing latency.
+     * @param faults Degraded planes/ports (see class comment).
+     */
+    CircuitSwitchedNetwork(unsigned gpm_count,
+                           double per_gpm_io_bytes_per_cycle,
+                           Cycles hop_latency, Cycles fabric_latency,
+                           const fault::LinkFaultSpec &faults = {});
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    std::string auditConservation() const override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
+
+    void reset() override;
+
+    /** Sentinel node id for "inside the fallback fabric". */
+    unsigned fabricNode() const { return gpmCount; }
+
+    /** Established circuit destination of @p src, or gpmCount when
+     *  the GPM holds no circuit (tests/diagnostics). */
+    unsigned circuitOf(unsigned src) const { return circuits_[src]; }
+
+    /** Reconfigurations performed since the last reset. */
+    Count reconfigCount() const { return traffic_.reconfigs; }
+
+  private:
+    /** Advance the epoch state machine up to time @p t: at each
+     *  crossed boundary, rematch circuits against the finished
+     *  epoch's demand matrix and count a reconfiguration when the
+     *  matching changes. */
+    void advanceEpochs(Tick t);
+
+    /** Greedy deterministic maximum-weight matching over @p demand:
+     *  heaviest pairs first, ties broken by (src, dst) order. */
+    std::vector<unsigned>
+    matchCircuits(const std::vector<double> &demand) const;
+
+    unsigned gpmCount;
+    Cycles hopLatency;
+    Cycles fabricLatency;
+
+    /** Per-GPM transmit circuit ports (full optical bandwidth,
+     *  derated by a channel-0 fault). */
+    std::vector<BandwidthServer> circuitTx_;
+    /** Per-GPM electrical fallback ports. */
+    std::vector<BandwidthServer> fallbackUp_;
+    std::vector<BandwidthServer> fallbackDown_;
+
+    /** circuitPlaneUp_[g]: GPM g participates in matching. */
+    std::vector<bool> circuitPlaneUp_;
+
+    /** circuits_[src] = dst of the established circuit, or gpmCount
+     *  when src holds none. */
+    std::vector<unsigned> circuits_;
+
+    /** Demand matrix of the current epoch, [src * N + dst] bytes. */
+    std::vector<double> demand_;
+
+    /** Start of the epoch currently accumulating demand. */
+    Tick epochStart_ = 0.0;
+
+    /** Circuits are unusable before this time (reconfiguring). */
+    Tick circuitsReadyAt_ = 0.0;
+};
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_TOPOLOGIES_CIRCUIT_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the topology plugins: link naming and fault
+ * spec expansion. Internal to src/noc/topologies — nothing outside
+ * the plugins should need these.
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGIES_DETAIL_HH
+#define MMGPU_NOC_TOPOLOGIES_DETAIL_HH
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fault/fault_plan.hh"
+
+namespace mmgpu::noc::detail
+{
+
+inline std::string
+linkName(const char *kind, unsigned gpm, const char *suffix)
+{
+    std::ostringstream os;
+    os << kind << gpm << suffix;
+    return os.str();
+}
+
+/**
+ * Per-link capacity scales from a fault spec: 1.0 healthy, (0, 1)
+ * derated, 0 failed. Multiple faults on one link compose by taking
+ * the most severe. Fatal on malformed entries — configuration
+ * validation reports these with context first; this is the backstop
+ * for directly constructed networks.
+ *
+ * @param channels Channels per GPM the topology exposes (2 for the
+ *        two-channel fabrics; gpm_count for the fullmesh, where the
+ *        channel names the peer).
+ */
+inline std::vector<std::vector<double>>
+channelScales(const char *kind, unsigned gpm_count, unsigned channels,
+              const fault::LinkFaultSpec &faults)
+{
+    std::vector<std::vector<double>> scales(
+        gpm_count, std::vector<double>(channels, 1.0));
+    for (const auto &f : faults.faults) {
+        if (f.gpm >= gpm_count)
+            mmgpu_fatal(kind, " link fault names GPM ", f.gpm,
+                        " but the network has ", gpm_count);
+        if (f.channel >= channels)
+            mmgpu_fatal(kind, " link fault channel ", f.channel,
+                        " (links have channels 0..", channels - 1,
+                        ")");
+        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
+            mmgpu_fatal(kind, " link fault capacity scale ",
+                        f.capacityScale, " outside [0, 1]");
+        double &slot = scales[f.gpm][f.channel];
+        slot = std::min(slot, f.capacityScale);
+    }
+    return scales;
+}
+
+/** channelScales for the fixed two-channel fabrics, in the array
+ *  shape the ring/switch constructors were written against. */
+inline std::vector<std::array<double, 2>>
+linkScales(const char *kind, unsigned gpm_count,
+           const fault::LinkFaultSpec &faults)
+{
+    auto wide = channelScales(kind, gpm_count, 2, faults);
+    std::vector<std::array<double, 2>> scales(gpm_count);
+    for (unsigned g = 0; g < gpm_count; ++g)
+        scales[g] = {wide[g][0], wide[g][1]};
+    return scales;
+}
+
+} // namespace mmgpu::noc::detail
+
+#endif // MMGPU_NOC_TOPOLOGIES_DETAIL_HH

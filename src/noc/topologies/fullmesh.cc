@@ -1,0 +1,228 @@
+#include "noc/topologies/fullmesh.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "noc/topologies/detail.hh"
+
+namespace mmgpu::noc
+{
+
+namespace
+{
+
+std::string
+pairName(unsigned src, unsigned dst)
+{
+    std::ostringstream os;
+    os << "mesh" << src << ".to" << dst;
+    return os.str();
+}
+
+} // namespace
+
+FullmeshNetwork::FullmeshNetwork(unsigned gpm_count,
+                                 double per_gpm_io_bytes_per_cycle,
+                                 Cycles hop_latency,
+                                 const fault::LinkFaultSpec &faults)
+    : gpmCount(gpm_count), hopLatency(hop_latency)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("fullmesh requires >= 2 GPMs, got ", gpm_count);
+    // Channel c of GPM g names the (g -> c) pairwise link.
+    auto scales = detail::channelScales("fullmesh", gpm_count,
+                                        gpm_count, faults);
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        if (scales[g][g] < 1.0)
+            mmgpu_fatal("fullmesh link fault names GPM ", g,
+                        " as its own peer");
+    }
+
+    const double per_link =
+        per_gpm_io_bytes_per_cycle / static_cast<double>(gpm_count - 1);
+    links_.reserve(std::size_t{gpm_count} * gpm_count);
+    failed_.assign(std::size_t{gpm_count} * gpm_count, false);
+    for (unsigned s = 0; s < gpm_count; ++s) {
+        for (unsigned d = 0; d < gpm_count; ++d) {
+            std::size_t at = std::size_t{s} * gpmCount + d;
+            // The diagonal is a never-acquired placeholder keeping
+            // the [src * N + dst] indexing direct; failed links keep
+            // nominal capacity but are excluded from routing.
+            double scale = s == d ? 1.0 : scales[s][d];
+            failed_[at] = s != d && scale == 0.0;
+            anyFailed = anyFailed || failed_[at];
+            double rate =
+                failed_[at] ? per_link : per_link * scale;
+            links_.emplace_back(pairName(s, d), rate);
+        }
+    }
+
+    relay_.assign(std::size_t{gpm_count} * gpm_count, 0);
+    for (unsigned s = 0; s < gpm_count; ++s) {
+        for (unsigned d = 0; d < gpm_count; ++d) {
+            std::size_t at = std::size_t{s} * gpmCount + d;
+            relay_[at] = s;
+            if (s == d || !failed_[at])
+                continue;
+            // Deterministic detour: the lowest-indexed GPM with
+            // healthy links from the source and to the destination.
+            unsigned relay = gpm_count;
+            for (unsigned r = 0; r < gpm_count; ++r) {
+                if (r == s || r == d)
+                    continue;
+                if (!failed_[std::size_t{s} * gpmCount + r] &&
+                    !failed_[std::size_t{r} * gpmCount + d]) {
+                    relay = r;
+                    break;
+                }
+            }
+            if (relay == gpm_count)
+                mmgpu_fatal("fullmesh link faults leave GPM ", s,
+                            " unable to reach GPM ", d,
+                            " even via a 2-hop relay");
+            relay_[at] = relay;
+        }
+    }
+    pairBytes_.assign(std::size_t{gpm_count} * gpm_count, 0);
+}
+
+BandwidthServer &
+FullmeshNetwork::link(unsigned src, unsigned dst)
+{
+    return links_[std::size_t{src} * gpmCount + dst];
+}
+
+const BandwidthServer &
+FullmeshNetwork::link(unsigned src, unsigned dst) const
+{
+    return links_[std::size_t{src} * gpmCount + dst];
+}
+
+unsigned
+FullmeshNetwork::relayFor(unsigned src, unsigned dst) const
+{
+    mmgpu_assert(src < gpmCount && dst < gpmCount, "bad GPM id");
+    return relay_[std::size_t{src} * gpmCount + dst];
+}
+
+HopOutcome
+FullmeshNetwork::step(unsigned current, unsigned dst, Tick t,
+                      double bytes)
+{
+    mmgpu_assert(current < gpmCount && dst < gpmCount, "bad GPM id");
+    mmgpu_assert(current != dst, "fullmesh step at destination");
+
+    unsigned next = dst;
+    std::size_t at = std::size_t{current} * gpmCount + dst;
+    if (anyFailed && failed_[at]) {
+        // Detour leg one: hop to the precomputed relay; the relay's
+        // link to the destination is healthy by construction, so the
+        // second step() call arrives directly.
+        next = relay_[at];
+        ++traffic_.rerouted;
+    }
+
+    HopOutcome hop;
+    hop.ready = link(current, next).acquire(t, bytes)
+                + static_cast<double>(hopLatency);
+    hop.next = next;
+    hop.arrived = next == dst;
+    traffic_.byteHops += static_cast<Count>(bytes);
+    pairBytes_[std::size_t{current} * gpmCount + next] +=
+        static_cast<Count>(bytes);
+    if (hop.arrived) {
+        ++traffic_.arrivals;
+        traffic_.deliveredBytes += static_cast<Count>(bytes);
+    }
+    return hop;
+}
+
+std::string
+FullmeshNetwork::auditConservation() const
+{
+    std::string base = InterGpmNetwork::auditConservation();
+    if (!base.empty())
+        return base;
+    // Per-pair books: every byte-hop was recorded against exactly
+    // one pairwise link.
+    Count pair_total = 0;
+    for (Count c : pairBytes_)
+        pair_total += c;
+    if (pair_total != traffic_.byteHops)
+        return trafficImbalance("per-pair bytes vs byte-hops",
+                                pair_total, traffic_.byteHops);
+    // The diagonal must never carry traffic.
+    for (unsigned g = 0; g < gpmCount; ++g) {
+        if (pairBytes_[std::size_t{g} * gpmCount + g] != 0)
+            return trafficImbalance(
+                "self-link bytes on a fullmesh",
+                pairBytes_[std::size_t{g} * gpmCount + g], 0);
+    }
+    // A healthy mesh is single-hop: byte-hops equal injected bytes
+    // and nothing reroutes. Degraded meshes relay (two hops), so
+    // every rerouted message adds one extra hop.
+    if (!anyFailed) {
+        if (traffic_.rerouted != 0)
+            return trafficImbalance("reroutes on a healthy fullmesh",
+                                    traffic_.rerouted, 0);
+        if (traffic_.byteHops != traffic_.messageBytes)
+            return trafficImbalance(
+                "fullmesh byte-hops vs message bytes",
+                traffic_.byteHops, traffic_.messageBytes);
+    }
+    // Mesh messages never cross a switch fabric.
+    if (traffic_.switchBytes != 0)
+        return trafficImbalance("switch bytes on a fullmesh",
+                                traffic_.switchBytes, 0);
+    return {};
+}
+
+double
+FullmeshNetwork::totalQueueing() const
+{
+    double total = 0.0;
+    for (const auto &link : links_)
+        total += link.queueingCycles();
+    return total;
+}
+
+double
+FullmeshNetwork::totalBusy() const
+{
+    double total = 0.0;
+    for (const auto &link : links_)
+        total += link.busyCycles();
+    return total;
+}
+
+void
+FullmeshNetwork::attachTelemetry(telemetry::Timeline &timeline)
+{
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned s = 0; s < gpmCount; ++s) {
+        for (unsigned d = 0; d < gpmCount; ++d) {
+            if (s == d)
+                continue;
+            link(s, d).setTelemetrySink(&timeline.track(
+                "link/" + pairName(s, d), Kind::Busy));
+        }
+    }
+}
+
+void
+FullmeshNetwork::detachTelemetry()
+{
+    for (auto &link : links_)
+        link.setTelemetrySink(nullptr);
+}
+
+void
+FullmeshNetwork::reset()
+{
+    for (auto &link : links_)
+        link.reset();
+    pairBytes_.assign(pairBytes_.size(), 0);
+    traffic_.reset();
+}
+
+} // namespace mmgpu::noc

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fullmesh fabric: a dedicated point-to-point link per ordered GPM
+ * pair, one hop per message.
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGIES_FULLMESH_HH
+#define MMGPU_NOC_TOPOLOGIES_FULLMESH_HH
+
+#include <vector>
+
+#include "noc/interconnect.hh"
+
+namespace mmgpu::noc
+{
+
+/**
+ * Fully connected mesh. Every ordered GPM pair (s, d) owns a
+ * dedicated unidirectional link, so a healthy transfer is a single
+ * hop with no through-traffic — the opposite extreme from the ring's
+ * bandwidth amplification. The price is link width: a GPM's I/O
+ * bandwidth is divided across its N-1 outgoing links, so pairwise
+ * bandwidth shrinks as the mesh grows (which is why real MCM designs
+ * stop at small GPM counts or move to a switch).
+ *
+ * Fault model: LinkFault::channel names the *peer GPM* of the
+ * (gpm -> channel) link. A failed pairwise link reroutes its traffic
+ * through a deterministic 2-hop relay — the lowest-indexed GPM whose
+ * links from source and to destination are both healthy — counted in
+ * LinkTraffic::rerouted. Construction is fatal when no relay exists.
+ */
+class FullmeshNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count GPMs in the mesh (>= 2).
+     * @param per_gpm_io_bytes_per_cycle Per-GPM I/O bandwidth; each
+     *        of the N-1 outgoing links gets an equal share.
+     * @param hop_latency Per-hop pipeline latency in cycles.
+     * @param faults Failed/derated pairwise links (channel = peer).
+     */
+    FullmeshNetwork(unsigned gpm_count,
+                    double per_gpm_io_bytes_per_cycle,
+                    Cycles hop_latency,
+                    const fault::LinkFaultSpec &faults = {});
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    std::string auditConservation() const override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
+
+    void reset() override;
+
+    /** The relay GPM a failed (src, dst) link detours through, or
+     *  src itself when the direct link is healthy (tests). */
+    unsigned relayFor(unsigned src, unsigned dst) const;
+
+    /** Bytes carried per directed pair since the last reset
+     *  (per-pair conservation books; indexed [src * N + dst]). */
+    const std::vector<Count> &pairBytes() const { return pairBytes_; }
+
+  private:
+    BandwidthServer &link(unsigned src, unsigned dst);
+    const BandwidthServer &link(unsigned src, unsigned dst) const;
+
+    unsigned gpmCount;
+    Cycles hopLatency;
+    /** links_[src * gpmCount + dst]; the diagonal is a never-
+     *  acquired placeholder so indexing stays direct. */
+    std::vector<BandwidthServer> links_;
+    /** failed_[src * gpmCount + dst]. */
+    std::vector<bool> failed_;
+    bool anyFailed = false;
+    /** relay_[src * gpmCount + dst]: precomputed detour GPM for
+     *  failed links; == src for healthy pairs. */
+    std::vector<unsigned> relay_;
+    /** Per-pair byte books (the fullmesh drain audit cross-checks
+     *  their sum against the aggregate byteHops). */
+    std::vector<Count> pairBytes_;
+};
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_TOPOLOGIES_FULLMESH_HH

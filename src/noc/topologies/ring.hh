@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bidirectional ring fabric (paper §V-A1, the on-package default).
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGIES_RING_HH
+#define MMGPU_NOC_TOPOLOGIES_RING_HH
+
+#include <array>
+#include <vector>
+
+#include "noc/interconnect.hh"
+
+namespace mmgpu::noc
+{
+
+/**
+ * Bidirectional ring. Each GPM owns one link per direction; a
+ * transfer acquires every link along the shorter path in sequence
+ * (store-and-forward), so intermediate GPMs' links are consumed by
+ * through-traffic — the bandwidth amplification that makes rings
+ * collapse at high GPM counts (paper §V-B).
+ */
+class RingNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count Number of GPMs on the ring (>= 2).
+     * @param link_bytes_per_cycle Per-link, per-direction capacity.
+     *        The paper's per-GPM I/O bandwidth setting is split
+     *        across the two directions a GPM can send into.
+     * @param hop_latency Per-hop pipeline latency in cycles.
+     * @param faults Degraded/failed links (channel 0 = clockwise,
+     *        1 = counter-clockwise). A failed link forces traffic
+     *        the long way around the ring (graceful reroute); the
+     *        constructor is fatal when the failures leave some pair
+     *        of GPMs unreachable in both directions.
+     */
+    RingNetwork(unsigned gpm_count, double link_bytes_per_cycle,
+                Cycles hop_latency,
+                const fault::LinkFaultSpec &faults = {});
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    std::string auditConservation() const override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
+
+    void reset() override;
+
+    /** Hop count of the shorter direction from @p src to @p dst
+     *  (ignores faults: the healthy-topology distance). */
+    unsigned hopCount(unsigned src, unsigned dst) const;
+
+  private:
+    /** All clockwise links from @p src to @p dst are up. */
+    bool cwViable(unsigned src, unsigned dst) const;
+
+    /** All counter-clockwise links from @p src to @p dst are up. */
+    bool ccwViable(unsigned src, unsigned dst) const;
+
+    unsigned gpmCount;
+    Cycles hopLatency;
+    /** links[g][0] = clockwise link out of GPM g, [1] = ccw. */
+    std::vector<std::array<BandwidthServer, 2>> links;
+    /** failed[g][c]: link exists but routes no traffic. */
+    std::vector<std::array<bool, 2>> failed;
+    /** Any failed link present (degraded routing engaged). */
+    bool anyFailed = false;
+    /** Precomputed viability, indexed [src * gpmCount + dst]. */
+    std::vector<bool> viaCw;
+    std::vector<bool> viaCcw;
+};
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_TOPOLOGIES_RING_HH

@@ -1,0 +1,140 @@
+#include "noc/topologies/switch.hh"
+
+#include "common/logging.hh"
+#include "noc/topologies/detail.hh"
+
+namespace mmgpu::noc
+{
+
+using detail::linkName;
+using detail::linkScales;
+
+SwitchNetwork::SwitchNetwork(unsigned gpm_count,
+                             double link_bytes_per_cycle,
+                             Cycles port_latency, Cycles fabric_latency,
+                             const fault::LinkFaultSpec &faults)
+    : gpmCount(gpm_count), portLatency(port_latency),
+      fabricLatency(fabric_latency)
+{
+    if (gpm_count < 2)
+        mmgpu_fatal("switch requires >= 2 GPMs, got ", gpm_count);
+    auto scales = linkScales("switch", gpm_count, faults);
+    for (unsigned g = 0; g < gpm_count; ++g) {
+        for (unsigned c = 0; c < 2; ++c) {
+            if (scales[g][c] == 0.0)
+                mmgpu_fatal("switch port failure on GPM ", g,
+                            " strands it: the switch has no alternate"
+                            " path; use a capacity scale > 0");
+        }
+        uplinks.emplace_back(linkName("sw", g, ".up"),
+                             link_bytes_per_cycle * scales[g][0]);
+        downlinks.emplace_back(linkName("sw", g, ".down"),
+                               link_bytes_per_cycle * scales[g][1]);
+    }
+}
+
+HopOutcome
+SwitchNetwork::step(unsigned current, unsigned dst, Tick t, double bytes)
+{
+    mmgpu_assert(dst < downlinks.size(), "bad GPM id");
+    HopOutcome hop;
+    if (current != fabricNode()) {
+        // GPM -> switch: uplink traversal + fabric crossing.
+        mmgpu_assert(current < uplinks.size(), "bad GPM id");
+        mmgpu_assert(current != dst, "switch step at destination");
+        hop.ready = uplinks[current].acquire(t, bytes)
+                    + static_cast<double>(portLatency)
+                    + static_cast<double>(fabricLatency);
+        hop.next = fabricNode();
+        hop.arrived = false;
+        traffic_.byteHops += static_cast<Count>(bytes);
+        traffic_.switchBytes += static_cast<Count>(bytes);
+    } else {
+        // Switch -> GPM: downlink traversal.
+        hop.ready = downlinks[dst].acquire(t, bytes)
+                    + static_cast<double>(portLatency);
+        hop.next = dst;
+        hop.arrived = true;
+        traffic_.byteHops += static_cast<Count>(bytes);
+        ++traffic_.arrivals;
+        traffic_.deliveredBytes += static_cast<Count>(bytes);
+    }
+    return hop;
+}
+
+std::string
+SwitchNetwork::auditConservation() const
+{
+    std::string base = InterGpmNetwork::auditConservation();
+    if (!base.empty())
+        return base;
+    // Every switch message crosses exactly one uplink and one
+    // downlink, and its full payload transits the fabric once.
+    if (traffic_.byteHops != 2 * traffic_.messageBytes)
+        return trafficImbalance("switch byte-hops vs 2x message bytes",
+                                traffic_.byteHops,
+                                2 * traffic_.messageBytes);
+    if (traffic_.switchBytes != traffic_.messageBytes)
+        return trafficImbalance("fabric bytes vs message bytes",
+                                traffic_.switchBytes,
+                                traffic_.messageBytes);
+    if (traffic_.rerouted != 0)
+        return trafficImbalance("reroutes on a switch",
+                                traffic_.rerouted, 0);
+    return {};
+}
+
+double
+SwitchNetwork::totalQueueing() const
+{
+    double total = 0.0;
+    for (const auto &link : uplinks)
+        total += link.queueingCycles();
+    for (const auto &link : downlinks)
+        total += link.queueingCycles();
+    return total;
+}
+
+double
+SwitchNetwork::totalBusy() const
+{
+    double total = 0.0;
+    for (const auto &link : uplinks)
+        total += link.busyCycles();
+    for (const auto &link : downlinks)
+        total += link.busyCycles();
+    return total;
+}
+
+void
+SwitchNetwork::attachTelemetry(telemetry::Timeline &timeline)
+{
+    using Kind = telemetry::TimelineTrack::Kind;
+    for (unsigned g = 0; g < gpmCount; ++g) {
+        uplinks[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".up"), Kind::Busy));
+        downlinks[g].setTelemetrySink(&timeline.track(
+            linkName("link/gpm", g, ".down"), Kind::Busy));
+    }
+}
+
+void
+SwitchNetwork::detachTelemetry()
+{
+    for (auto &link : uplinks)
+        link.setTelemetrySink(nullptr);
+    for (auto &link : downlinks)
+        link.setTelemetrySink(nullptr);
+}
+
+void
+SwitchNetwork::reset()
+{
+    for (auto &link : uplinks)
+        link.reset();
+    for (auto &link : downlinks)
+        link.reset();
+    traffic_.reset();
+}
+
+} // namespace mmgpu::noc

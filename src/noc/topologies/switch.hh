@@ -1,0 +1,66 @@
+/**
+ * @file
+ * High-radix switch fabric (paper §V-C, NVSwitch-style).
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGIES_SWITCH_HH
+#define MMGPU_NOC_TOPOLOGIES_SWITCH_HH
+
+#include <vector>
+
+#include "noc/interconnect.hh"
+
+namespace mmgpu::noc
+{
+
+/**
+ * High-radix switch: every GPM has one uplink and one downlink to a
+ * non-blocking fabric, so a transfer always costs exactly two
+ * endpoint link traversals regardless of GPM count.
+ */
+class SwitchNetwork : public InterGpmNetwork
+{
+  public:
+    /**
+     * @param gpm_count Number of GPMs attached (>= 2).
+     * @param link_bytes_per_cycle Per-port, per-direction capacity
+     *        (the full per-GPM I/O bandwidth setting).
+     * @param port_latency One-way port latency in cycles.
+     * @param fabric_latency Fabric crossing latency in cycles.
+     * @param faults Degraded ports (channel 0 = uplink, 1 =
+     *        downlink). Ports run at reduced width (capacityScale);
+     *        a fully failed port (scale 0) strands its GPM — the
+     *        switch has no alternate path — and is fatal here.
+     */
+    SwitchNetwork(unsigned gpm_count, double link_bytes_per_cycle,
+                  Cycles port_latency, Cycles fabric_latency,
+                  const fault::LinkFaultSpec &faults = {});
+
+    HopOutcome step(unsigned current, unsigned dst, Tick t,
+                    double bytes) override;
+
+    std::string auditConservation() const override;
+
+    double totalQueueing() const override;
+    double totalBusy() const override;
+
+    void attachTelemetry(telemetry::Timeline &timeline) override;
+
+    void detachTelemetry() override;
+
+    void reset() override;
+
+    /** Sentinel node id representing "inside the switch fabric". */
+    unsigned fabricNode() const { return gpmCount; }
+
+  private:
+    unsigned gpmCount;
+    Cycles portLatency;
+    Cycles fabricLatency;
+    std::vector<BandwidthServer> uplinks;
+    std::vector<BandwidthServer> downlinks;
+};
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_TOPOLOGIES_SWITCH_HH

@@ -1,0 +1,299 @@
+#include "noc/topology_registry.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+#include "noc/topologies/circuit.hh"
+#include "noc/topologies/fullmesh.hh"
+#include "noc/topologies/ring.hh"
+#include "noc/topologies/switch.hh"
+
+namespace mmgpu::noc
+{
+
+namespace
+{
+
+Result<void>
+faultError(const std::string &what)
+{
+    return SimError::config(what);
+}
+
+/** Shared bounds checks: GPM id, channel range, capacity range. */
+Result<void>
+checkFaultBounds(const char *kind, unsigned gpm_count,
+                 unsigned channels, const fault::LinkFaultSpec &faults)
+{
+    for (const auto &f : faults.faults) {
+        if (f.gpm >= gpm_count)
+            return faultError(std::string(kind) +
+                              " link fault names GPM " +
+                              std::to_string(f.gpm) +
+                              " but the machine has " +
+                              std::to_string(gpm_count));
+        if (f.channel >= channels)
+            return faultError(std::string(kind) +
+                              " link fault channel " +
+                              std::to_string(f.channel) +
+                              " (channels are 0.." +
+                              std::to_string(channels - 1) + ")");
+        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
+            return faultError(std::string(kind) +
+                              " link fault capacity scale outside"
+                              " [0, 1]");
+    }
+    return Result<void>::success();
+}
+
+// ---- Topology::None ---------------------------------------------- //
+
+Result<void>
+checkNoneFaults(unsigned, const fault::LinkFaultSpec &faults)
+{
+    if (!faults.empty())
+        return faultError("link faults on a machine without an"
+                          " interconnect");
+    return Result<void>::success();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeNone(const TopologyParams &)
+{
+    return nullptr;
+}
+
+// ---- ring -------------------------------------------------------- //
+
+Result<void>
+checkRingFaults(unsigned gpm_count, const fault::LinkFaultSpec &faults)
+{
+    if (Result<void> r = checkFaultBounds("ring", gpm_count, 2, faults);
+        !r.ok())
+        return r;
+    if (ringPartitioned(gpm_count, faults))
+        return faultError("link faults partition the ring: some GPM"
+                          " pair is unreachable in both directions");
+    return Result<void>::success();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeRing(const TopologyParams &params)
+{
+    // A GPM's I/O bandwidth is split across its two ring directions.
+    return std::make_unique<RingNetwork>(
+        params.gpmCount, params.perGpmIoBytesPerCycle / 2.0,
+        params.hopLatency, params.faults);
+}
+
+// ---- switch ------------------------------------------------------ //
+
+Result<void>
+checkSwitchFaults(unsigned gpm_count,
+                  const fault::LinkFaultSpec &faults)
+{
+    if (Result<void> r =
+            checkFaultBounds("switch", gpm_count, 2, faults);
+        !r.ok())
+        return r;
+    for (const auto &f : faults.faults) {
+        if (f.failed())
+            return faultError(
+                "switch port failure strands GPM " +
+                std::to_string(f.gpm) +
+                ": the switch has no alternate path; use a capacity"
+                " scale > 0");
+    }
+    return Result<void>::success();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeSwitch(const TopologyParams &params)
+{
+    return std::make_unique<SwitchNetwork>(
+        params.gpmCount, params.perGpmIoBytesPerCycle,
+        params.hopLatency, params.switchLatency, params.faults);
+}
+
+// ---- fullmesh ---------------------------------------------------- //
+
+Result<void>
+checkFullmeshFaults(unsigned gpm_count,
+                    const fault::LinkFaultSpec &faults)
+{
+    // Channel names the peer GPM of the pairwise link.
+    if (Result<void> r = checkFaultBounds("fullmesh", gpm_count,
+                                          gpm_count, faults);
+        !r.ok())
+        return r;
+    for (const auto &f : faults.faults) {
+        if (f.channel == f.gpm)
+            return faultError("fullmesh link fault names GPM " +
+                              std::to_string(f.gpm) +
+                              " as its own peer");
+    }
+    // Every failed pair needs a 2-hop relay: some GPM with healthy
+    // links from the source and to the destination.
+    std::vector<bool> down(std::size_t{gpm_count} * gpm_count, false);
+    for (const auto &f : faults.faults) {
+        if (f.failed())
+            down[std::size_t{f.gpm} * gpm_count + f.channel] = true;
+    }
+    for (unsigned s = 0; s < gpm_count; ++s) {
+        for (unsigned d = 0; d < gpm_count; ++d) {
+            if (s == d || !down[std::size_t{s} * gpm_count + d])
+                continue;
+            bool reachable = false;
+            for (unsigned r = 0; r < gpm_count && !reachable; ++r) {
+                reachable = r != s && r != d &&
+                            !down[std::size_t{s} * gpm_count + r] &&
+                            !down[std::size_t{r} * gpm_count + d];
+            }
+            if (!reachable)
+                return faultError(
+                    "fullmesh link faults leave GPM " +
+                    std::to_string(s) + " unable to reach GPM " +
+                    std::to_string(d) + " even via a 2-hop relay");
+        }
+    }
+    return Result<void>::success();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeFullmesh(const TopologyParams &params)
+{
+    return std::make_unique<FullmeshNetwork>(
+        params.gpmCount, params.perGpmIoBytesPerCycle,
+        params.hopLatency, params.faults);
+}
+
+// ---- circuit-scheduled (ocs) ------------------------------------- //
+
+Result<void>
+checkCircuitFaults(unsigned gpm_count,
+                   const fault::LinkFaultSpec &faults)
+{
+    if (Result<void> r = checkFaultBounds("ocs", gpm_count, 2, faults);
+        !r.ok())
+        return r;
+    for (const auto &f : faults.faults) {
+        // Channel 0 (circuit plane) may fail outright: the GPM drops
+        // out of the matching and rides the fallback. Channel 1 (the
+        // fallback port) must keep some width or unmatched traffic
+        // strands.
+        if (f.channel == 1 && f.failed())
+            return faultError(
+                "ocs fallback port failure strands GPM " +
+                std::to_string(f.gpm) +
+                "'s unmatched traffic; use a capacity scale > 0");
+    }
+    return Result<void>::success();
+}
+
+std::unique_ptr<InterGpmNetwork>
+makeCircuit(const TopologyParams &params)
+{
+    return std::make_unique<CircuitSwitchedNetwork>(
+        params.gpmCount, params.perGpmIoBytesPerCycle,
+        params.hopLatency, params.switchLatency, params.faults);
+}
+
+// ---- geometry ---------------------------------------------------- //
+
+unsigned
+linkCountNone(unsigned)
+{
+    return 0;
+}
+
+unsigned
+linkCountTwoPerGpm(unsigned gpm_count)
+{
+    return 2 * gpm_count;
+}
+
+unsigned
+linkCountFullmesh(unsigned gpm_count)
+{
+    return gpm_count * (gpm_count - 1);
+}
+
+unsigned
+linkCountCircuit(unsigned gpm_count)
+{
+    // One transmit circuit plus the two fallback ports per GPM.
+    return 3 * gpm_count;
+}
+
+const TopologyDesc descs[] = {
+    {Topology::None, "monolithic",
+     "single die, no inter-GPM network", 0,
+     /*usesSwitchFabric=*/false, /*usesCircuitReconfig=*/false,
+     linkCountNone, checkNoneFaults, makeNone},
+    {Topology::Ring, "ring",
+     "bidirectional ring, shortest-direction routing", 2,
+     /*usesSwitchFabric=*/false, /*usesCircuitReconfig=*/false,
+     linkCountTwoPerGpm, checkRingFaults, makeRing},
+    {Topology::Switch, "switch",
+     "single-hop high-radix switch (+10 pJ/bit crossing)", 2,
+     /*usesSwitchFabric=*/true, /*usesCircuitReconfig=*/false,
+     linkCountTwoPerGpm, checkSwitchFaults, makeSwitch},
+    {Topology::Fullmesh, "fullmesh",
+     "dedicated pairwise links, one hop, 1/(N-1) link width", 2,
+     /*usesSwitchFabric=*/false, /*usesCircuitReconfig=*/false,
+     linkCountFullmesh, checkFullmeshFaults, makeFullmesh},
+    {Topology::Circuit, "ocs",
+     "circuit-scheduled optical fabric with electrical fallback", 2,
+     /*usesSwitchFabric=*/true, /*usesCircuitReconfig=*/true,
+     linkCountCircuit, checkCircuitFaults, makeCircuit},
+};
+
+} // namespace
+
+const TopologyDesc &
+topologyDesc(Topology topology)
+{
+    for (const TopologyDesc &desc : descs) {
+        if (desc.id == topology)
+            return desc;
+    }
+    mmgpu_panic("bad topology");
+}
+
+const std::vector<const TopologyDesc *> &
+allTopologies()
+{
+    static const std::vector<const TopologyDesc *> all = [] {
+        std::vector<const TopologyDesc *> v;
+        for (const TopologyDesc &desc : descs)
+            v.push_back(&desc);
+        return v;
+    }();
+    return all;
+}
+
+const TopologyDesc *
+topologyFromName(std::string_view name)
+{
+    for (const TopologyDesc &desc : descs) {
+        if (name == desc.name)
+            return &desc;
+    }
+    return nullptr;
+}
+
+std::string
+topologyNameList()
+{
+    std::string list;
+    for (const TopologyDesc &desc : descs) {
+        if (desc.id == Topology::None)
+            continue;
+        if (!list.empty())
+            list += ", ";
+        list += desc.name;
+    }
+    return list;
+}
+
+} // namespace mmgpu::noc

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Topology descriptor registry.
+ *
+ * One TopologyDesc per fabric: the canonical name, geometry sizing,
+ * the hooks energy attribution and configuration validation consult,
+ * and the factory that builds the network. Everything outside
+ * src/noc that used to branch on the Topology enum (machine
+ * assembly, Eq. 4 parameter selection, link-fault validation, CLI
+ * and wire-protocol parsing) goes through these descriptors, so a
+ * new fabric is one plugin plus one row in the table in
+ * topology_registry.cc.
+ */
+
+#ifndef MMGPU_NOC_TOPOLOGY_REGISTRY_HH
+#define MMGPU_NOC_TOPOLOGY_REGISTRY_HH
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hh"
+#include "noc/interconnect.hh"
+
+namespace mmgpu::noc
+{
+
+/** Static description of one inter-GPM fabric. */
+struct TopologyDesc
+{
+    Topology id = Topology::None;
+
+    /** Canonical name used by the CLI, the wire protocol, and
+     *  configuration names ("ring", "switch", "fullmesh", "ocs"). */
+    const char *name = "";
+
+    /** One-line description for --help output and docs. */
+    const char *summary = "";
+
+    /** Smallest GPM count the fabric supports (0 = no network). */
+    unsigned minGpms = 0;
+
+    /**
+     * Energy attribution: true when LinkTraffic::switchBytes flows
+     * through an electrical fabric charged the extra switch pJ/bit
+     * (the high-radix switch; the circuit fabric's electrical
+     * fallback). StudyContext::paramsFor reads this instead of
+     * comparing enum values.
+     */
+    bool usesSwitchFabric = false;
+
+    /** Energy attribution: true when LinkTraffic::reconfigs carries
+     *  circuit reconfigurations charged a per-event energy. */
+    bool usesCircuitReconfig = false;
+
+    /** Directed physical links the fabric builds for @p gpm_count
+     *  GPMs (telemetry sizing, docs). */
+    unsigned (*linkCount)(unsigned gpm_count) = nullptr;
+
+    /**
+     * Validate @p faults against this fabric's link geometry and
+     * degraded-routing abilities (the meaning of LinkFault::channel
+     * is per-topology: ring cw/ccw, switch up/down, fullmesh peer
+     * GPM id, circuit port plane). Used by GpuConfig::check() so
+     * user errors surface with context before construction fatals.
+     */
+    Result<void> (*checkFaults)(unsigned gpm_count,
+                                const fault::LinkFaultSpec &faults) =
+        nullptr;
+
+    /** Build the network. Returns nullptr for Topology::None. */
+    std::unique_ptr<InterGpmNetwork> (*make)(
+        const TopologyParams &params) = nullptr;
+};
+
+/** The descriptor for @p topology; fatal on an unknown value. */
+const TopologyDesc &topologyDesc(Topology topology);
+
+/** Every registered descriptor, Topology::None included, in enum
+ *  order (CLI help, bench sweeps, docs). */
+const std::vector<const TopologyDesc *> &allTopologies();
+
+/** Look a descriptor up by its canonical name.
+ *  @return nullptr when @p name matches no fabric. */
+const TopologyDesc *topologyFromName(std::string_view name);
+
+/** Comma-separated canonical names of all real fabrics (error
+ *  messages of CLI/wire parsers). */
+std::string topologyNameList();
+
+} // namespace mmgpu::noc
+
+#endif // MMGPU_NOC_TOPOLOGY_REGISTRY_HH

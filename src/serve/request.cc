@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/hash.hh"
+#include "noc/topology_registry.hh"
 
 namespace mmgpu::serve
 {
@@ -120,6 +121,7 @@ RunSpec::machineIdentity() const
     sim::GpuConfig built = config();
     Fnv1a hash(identitySalt);
     hash.add(built.name);
+    hash.add(built.topology);
     hash.add(built.placement);
     hash.add(built.ctaScheduling);
     hash.add(built.linkFaults.digest());
@@ -250,12 +252,11 @@ parseRequest(const std::string &line)
     if (Result<void> r = readString(*doc, "topology", text); !r.ok())
         return r.error();
     if (!text.empty()) {
-        if (text == "ring")
-            spec.topology = noc::Topology::Ring;
-        else if (text == "switch")
-            spec.topology = noc::Topology::Switch;
-        else
-            return SimError::parse("topology must be ring or switch");
+        const noc::TopologyDesc *topo = noc::topologyFromName(text);
+        if (topo == nullptr || topo->id == noc::Topology::None)
+            return SimError::parse("topology must be one of: " +
+                                   noc::topologyNameList());
+        spec.topology = topo->id;
     }
 
     text.clear();
@@ -279,9 +280,12 @@ parseRequest(const std::string &line)
             spec.placement = sim::PlacementPolicy::FirstTouchOwner;
         else if (text == "striped")
             spec.placement = sim::PlacementPolicy::Striped;
+        else if (text == "locality")
+            spec.placement = sim::PlacementPolicy::Locality;
         else
             return SimError::parse(
-                "placement must be first-touch or striped");
+                "placement must be first-touch, striped, or"
+                " locality");
     }
 
     text.clear();

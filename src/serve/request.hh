@@ -19,9 +19,10 @@
  *    "workload": "<Table II name>" | "all" (study only) ["Stream"],
  *    "gpms": 1|2|4|8|16|32 [4],
  *    "bw": "1x"|"2x"|"4x" ["2x"],
- *    "topology": "ring"|"switch" ["ring"],
+ *    "topology": "ring"|"switch"|"fullmesh"|"ocs" ["ring"],
  *    "domain": "package"|"board" [follows bw],
- *    "placement": "first-touch"|"striped" ["first-touch"],
+ *    "placement": "first-touch"|"striped"|"locality"
+ *                 ["first-touch"],
  *    "cta-sched": "distributed"|"round-robin" ["distributed"],
  *    "link-energy-scale": <f> [1.0],
  *    "const-growth-override": <f> [-1.0],

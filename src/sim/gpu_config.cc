@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "isa/instruction.hh"
+#include "noc/topology_registry.hh"
 
 namespace mmgpu::sim
 {
@@ -50,9 +51,16 @@ domainName(IntegrationDomain domain)
 const char *
 placementPolicyName(PlacementPolicy policy)
 {
-    return policy == PlacementPolicy::FirstTouchOwner
-               ? "first-touch"
-               : "striped";
+    switch (policy) {
+      case PlacementPolicy::FirstTouchOwner:
+        return "first-touch";
+      case PlacementPolicy::Striped:
+        return "striped";
+      case PlacementPolicy::Locality:
+        return "locality";
+      default:
+        mmgpu_panic("bad PlacementPolicy");
+    }
 }
 
 IntegrationDomain
@@ -79,12 +87,17 @@ GpuConfig::check() const
     if (memory.gpmCount != gpmCount || memory.smsPerGpm != smsPerGpm)
         return bad("memory config disagrees with machine shape (set"
                    " memory.gpmCount/memory.smsPerGpm to match)");
+    const noc::TopologyDesc &topo = noc::topologyDesc(topology);
     if (gpmCount > 1 && topology == noc::Topology::None)
-        return bad("multi-GPM machine without interconnect (choose a"
-                   " ring or switch topology)");
+        return bad("multi-GPM machine without interconnect (choose"
+                   " one of: " +
+                   noc::topologyNameList() + ")");
     if (gpmCount == 1 && topology != noc::Topology::None)
         return bad("single-GPM machine with an interconnect (drop the"
                    " topology or add GPMs)");
+    if (topology != noc::Topology::None && gpmCount < topo.minGpms)
+        return bad(std::string(topo.name) + " topology needs >= " +
+                   std::to_string(topo.minGpms) + " GPMs");
     if (gpmCount > 1 && interGpmBytesPerCycle <= 0.0)
         return bad("zero inter-GPM link bandwidth: a multi-GPM"
                    " machine needs interGpmBytesPerCycle > 0");
@@ -100,30 +113,10 @@ GpuConfig::check() const
                    std::to_string(isa::cacheLineBytes) +
                    "-byte lines");
 
-    for (const auto &f : linkFaults.faults) {
-        if (topology == noc::Topology::None)
-            return bad("link faults on a machine without an"
-                       " interconnect");
-        if (f.gpm >= gpmCount)
-            return bad("link fault names GPM " +
-                       std::to_string(f.gpm) + " but the machine has " +
-                       std::to_string(gpmCount));
-        if (f.channel > 1)
-            return bad("link fault channel " +
-                       std::to_string(f.channel) +
-                       " (links have channels 0 and 1)");
-        if (f.capacityScale < 0.0 || f.capacityScale > 1.0)
-            return bad("link fault capacity scale outside [0, 1]");
-        if (topology == noc::Topology::Switch && f.failed())
-            return bad("switch port failure strands GPM " +
-                       std::to_string(f.gpm) +
-                       ": the switch has no alternate path; use a"
-                       " capacity scale > 0");
-    }
-    if (topology == noc::Topology::Ring &&
-        noc::ringPartitioned(gpmCount, linkFaults))
-        return bad("link faults partition the ring: some GPM pair is"
-                   " unreachable in both directions");
+    // Fault legality is topology geometry — the registry owns it.
+    if (Result<void> r = topo.checkFaults(gpmCount, linkFaults);
+        !r.ok())
+        return bad(r.error().message);
 
     return Result<void>::success();
 }

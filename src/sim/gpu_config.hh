@@ -56,12 +56,16 @@ const char *domainName(IntegrationDomain domain);
  * (first touch under distributed CTA scheduling, which homes each
  * page on the GPM owning its byte range); Striped round-robins pages
  * across GPMs — locality-oblivious, used by the ablation study of
- * the paper's §V-E locality discussion.
+ * the paper's §V-E locality discussion. Locality mines the kernel
+ * profile's access patterns for a per-page traffic matrix and homes
+ * each page on the GPM with the largest estimated weight (see
+ * engine::PlacementStrategy).
  */
 enum class PlacementPolicy : std::uint8_t
 {
     FirstTouchOwner,
     Striped,
+    Locality,
 };
 
 /** @return human-readable placement-policy name. */

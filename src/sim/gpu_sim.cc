@@ -9,6 +9,25 @@
 namespace mmgpu::sim
 {
 
+namespace
+{
+
+engine::PlacementKind
+placementKindFor(PlacementPolicy policy)
+{
+    switch (policy) {
+    case PlacementPolicy::FirstTouchOwner:
+        return engine::PlacementKind::FirstTouch;
+    case PlacementPolicy::Striped:
+        return engine::PlacementKind::Striped;
+    case PlacementPolicy::Locality:
+        return engine::PlacementKind::Locality;
+    }
+    mmgpu_panic("bad placement policy");
+}
+
+} // namespace
+
 GpuSim::GpuSim(const GpuConfig &config) : config_(config)
 {
     config_.validate();
@@ -24,12 +43,13 @@ GpuSim::GpuSim(const GpuConfig &config) : config_(config)
         sms_.emplace_back(s, s / config_.smsPerGpm,
                           config_.warpSlotsPerSm,
                           config_.issueSlotsPerCycle);
-    ctaPolicy_ = engine::makeCtaPolicy(config_.ctaScheduling);
+    placement_ = engine::makePlacementStrategy(
+        placementKindFor(config_.placement), config_.ctaScheduling);
     memPipeline_ = std::make_unique<engine::MemPipeline>(
         config_.memory, *memory_, network_.get(), calendar_);
     warpEngine_ = std::make_unique<engine::WarpEngine>(
         config_.memory, config_.warpSlotsPerSm, sms_, calendar_,
-        *memPipeline_, *ctaPolicy_, config_.gpmCount);
+        *memPipeline_, *placement_, config_.gpmCount);
     memPipeline_->bindWaker(*warpEngine_);
 
     // Reset order is registration order; the drain audits fire for
@@ -128,31 +148,32 @@ void
 GpuSim::prePlacePages(const trace::KernelProfile &profile,
                       const trace::SegmentLayout &layout)
 {
-    // FirstTouchOwner is idealized first touch: every page is homed
-    // on the GPM of the CTA owning its byte range (that CTA is the
-    // page's first toucher under distributed CTA scheduling; doing
-    // it up front avoids simulation-order races with halo accesses).
-    // Striped round-robins pages across GPMs regardless of use.
-    auto lists = ctaPolicy_->assign(profile.ctaCount, config_.gpmCount);
+    // Homing every page up front (rather than on simulated first
+    // touch) avoids simulation-order races with halo accesses; the
+    // strategy decides where each page lands.
+    auto lists = placement_->assign(profile.ctaCount, config_.gpmCount);
     std::vector<unsigned> cta_to_gpm(profile.ctaCount);
     for (unsigned g = 0; g < lists.size(); ++g)
         for (unsigned c : lists[g])
             cta_to_gpm[c] = g;
+
+    engine::PageContext ctx;
+    ctx.profile = &profile;
+    ctx.layout = &layout;
+    ctx.ctaToGpm = &cta_to_gpm;
+    ctx.gpmCount = config_.gpmCount;
+
     std::uint64_t page_index = 0;
     for (unsigned s = 0; s < profile.segments.size(); ++s) {
         std::uint64_t base = layout.base(s);
         Bytes size = layout.size(s);
         for (std::uint64_t page = base; page < base + size;
              page += mem::PageTable::pageBytes, ++page_index) {
-            unsigned home;
-            if (config_.placement == PlacementPolicy::FirstTouchOwner) {
-                unsigned cta =
-                    trace::chunkOwnerCta(profile, layout, s, page);
-                home = cta_to_gpm[cta];
-            } else {
-                home = static_cast<unsigned>(page_index %
-                                             config_.gpmCount);
-            }
+            unsigned home =
+                placement_->homePage(ctx, s, page, page_index);
+            MMGPU_EXPECT(home < config_.gpmCount,
+                         "placement strategy homed a page on a"
+                         " GPM the machine does not have");
             memory_->prePlace(page, home);
         }
     }

@@ -29,8 +29,8 @@
 
 #include "engine/calendar.hh"
 #include "engine/component.hh"
-#include "engine/cta_policy.hh"
 #include "engine/mem_pipeline.hh"
+#include "engine/placement/placement.hh"
 #include "engine/warp_engine.hh"
 #include "sim/gpu_config.hh"
 #include "sim/perf_result.hh"
@@ -111,7 +111,7 @@ class GpuSim
     std::unique_ptr<noc::InterGpmNetwork> network_;
     std::unique_ptr<mem::MemSystem> memory_;
     std::vector<sm::SmCore> sms_;
-    std::unique_ptr<engine::CtaPolicy> ctaPolicy_;
+    std::unique_ptr<engine::PlacementStrategy> placement_;
     std::unique_ptr<engine::MemPipeline> memPipeline_;
     std::unique_ptr<engine::WarpEngine> warpEngine_;
     engine::ComponentRegistry registry_;

@@ -1,0 +1,12 @@
+// lint-path: src/noc/topologies/fixture_plugin.cc
+// Golden violation fixture for the noc-plugin layering row: a fabric
+// plugin reaching UP the stack into sim/ and engine/ — back edges in
+// the module DAG — plus an include of a module nobody registered.
+
+#include "sim/gpu_sim.hh"       // back edge: noc/topologies -> sim
+#include "engine/warp_engine.hh" // back edge: noc/topologies -> engine
+#include "ghost/phantom.hh"     // unknown module
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -1,0 +1,16 @@
+// lint-path: src/noc/topologies/fixture_plugin_clean.cc
+// Clean twin: a fabric plugin pulling in exactly its declared
+// dependencies — the noc base interface, sibling plugin helpers, the
+// cross-cutting leaves, and common.
+
+#include "noc/interconnect.hh"
+#include "noc/topologies/detail.hh"
+#include "fault/fault_plan.hh"
+#include "telemetry/counters.hh"
+#include "common/logging.hh"
+
+#include <vector>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

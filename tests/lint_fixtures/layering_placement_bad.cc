@@ -1,0 +1,13 @@
+// lint-path: src/engine/placement/fixture_placement.cc
+// Golden violation fixture for the placement layering row: a
+// placement strategy reaching into the memory system and the fabric
+// plugins it is supposed to steer only indirectly, plus a back edge
+// into the harness above it.
+
+#include "mem/cache.hh"             // not a placement dependency
+#include "noc/topologies/ring.hh"   // plugins are noc-internal
+#include "harness/study.hh"         // back edge: placement -> harness
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -1,0 +1,16 @@
+// lint-path: src/engine/placement/fixture_placement_clean.cc
+// Clean twin: a placement strategy pulling in exactly its declared
+// dependencies — the CTA-policy interface, the scheduler, kernel
+// profiles, and the cross-cutting leaves.
+
+#include "engine/cta_policy.hh"
+#include "engine/placement/placement.hh"
+#include "sm/cta_scheduler.hh"
+#include "trace/warp_trace.hh"
+#include "common/logging.hh"
+
+#include <vector>
+
+namespace mmgpu::fixture
+{
+} // namespace mmgpu::fixture

@@ -17,6 +17,10 @@
 #include "engine/component.hh"
 #include "gpujoule/energy_model.hh"
 #include "noc/interconnect.hh"
+#include "noc/topologies/circuit.hh"
+#include "noc/topologies/fullmesh.hh"
+#include "noc/topologies/ring.hh"
+#include "noc/topologies/switch.hh"
 
 namespace
 {
@@ -176,6 +180,126 @@ TEST(FlitConservation, ResetClearsArrivalBooks)
     EXPECT_EQ(ring.traffic().arrivals, 0u);
     EXPECT_EQ(ring.traffic().deliveredBytes, 0u);
     EXPECT_EQ(ring.auditConservation(), "");
+}
+
+TEST(FlitConservation, HealthyFullmeshBalancesSingleHop)
+{
+    Tampered<noc::FullmeshNetwork> mesh(4, 96.0, 5);
+    noc::Tick t = 0;
+    for (unsigned src = 0; src < 4; ++src) {
+        for (unsigned dst = 0; dst < 4; ++dst) {
+            if (src != dst)
+                t = mesh.transfer(t, src, dst, 1024.0);
+        }
+    }
+    EXPECT_EQ(mesh.auditConservation(), "");
+    // Dedicated pairwise links: exactly one hop per byte.
+    EXPECT_EQ(mesh.traffic().byteHops, mesh.traffic().messageBytes);
+}
+
+TEST(FlitConservation, FullmeshAuditRejectsPairBookSkew)
+{
+    Tampered<noc::FullmeshNetwork> mesh(4, 96.0, 5);
+    mesh.transfer(0, 0, 2, 1024.0);
+    // An extra hop the per-pair books never saw.
+    mesh.books().byteHops += 1024;
+    const std::string verdict = mesh.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("per-pair bytes vs byte-hops"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, FullmeshAuditRejectsPhantomReroute)
+{
+    Tampered<noc::FullmeshNetwork> mesh(4, 96.0, 5);
+    mesh.transfer(0, 1, 3, 512.0);
+    mesh.books().rerouted += 1; // no faults configured: impossible
+    const std::string verdict = mesh.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("reroutes on a healthy fullmesh"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, FullmeshAuditRejectsFabricBytes)
+{
+    Tampered<noc::FullmeshNetwork> mesh(4, 96.0, 5);
+    mesh.transfer(0, 2, 0, 256.0);
+    mesh.books().switchBytes += 256; // there is no fabric to cross
+    const std::string verdict = mesh.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("switch bytes on a fullmesh"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, DegradedFullmeshBalancesWithRelays)
+{
+    fault::LinkFaultSpec faults;
+    faults.faults.push_back({0, 2, 0.0});
+    Tampered<noc::FullmeshNetwork> mesh(4, 96.0, 5, faults);
+    mesh.transfer(0, 0, 2, 1024.0); // detours through the relay
+    mesh.transfer(0, 2, 0, 1024.0); // reverse link is healthy
+    EXPECT_EQ(mesh.auditConservation(), "");
+    EXPECT_EQ(mesh.traffic().rerouted, 1u);
+    EXPECT_EQ(mesh.traffic().byteHops, 3 * 1024u);
+}
+
+TEST(FlitConservation, CircuitBalancesAcrossFallbackAndCircuits)
+{
+    Tampered<noc::CircuitSwitchedNetwork> net(4, 128.0, 3, 7);
+    noc::Tick t = 0;
+    // Epoch 0 rides the fallback; after the boundary + dark window
+    // the heavy pairs ride circuits. Both phases must balance.
+    for (unsigned src = 0; src < 4; ++src)
+        t = net.transfer(t, src, (src + 1) % 4, 4096.0);
+    t = noc::ocs::epochCycles + noc::ocs::reconfigLatencyCycles + 1;
+    for (unsigned src = 0; src < 4; ++src)
+        t = net.transfer(t, src, (src + 1) % 4, 4096.0);
+    EXPECT_EQ(net.auditConservation(), "");
+    EXPECT_EQ(net.traffic().byteHops,
+              net.traffic().messageBytes + net.traffic().switchBytes);
+    EXPECT_GT(net.reconfigCount(), 0u);
+}
+
+TEST(FlitConservation, CircuitAuditRejectsUnbilledFallback)
+{
+    Tampered<noc::CircuitSwitchedNetwork> net(4, 128.0, 3, 7);
+    net.transfer(0, 0, 2, 2048.0); // cold start: fallback, 2 hops
+    net.books().switchBytes -= 2048; // fabric crossing went unbilled
+    const std::string verdict = net.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("ocs byte-hops vs message + fallback"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, CircuitAuditRejectsExcessFallbackBytes)
+{
+    Tampered<noc::CircuitSwitchedNetwork> net(4, 128.0, 3, 7);
+    net.transfer(0, 1, 3, 2048.0);
+    // More fallback bytes than were ever injected — keep the hop
+    // identity intact so only the bound check can catch it.
+    net.books().switchBytes += 2048;
+    net.books().byteHops += 2048;
+    const std::string verdict = net.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("ocs fallback bytes vs message bytes"),
+              std::string::npos)
+        << verdict;
+}
+
+TEST(FlitConservation, CircuitAuditRejectsLostMessage)
+{
+    Tampered<noc::CircuitSwitchedNetwork> net(4, 128.0, 3, 7);
+    net.transfer(0, 3, 1, 512.0);
+    net.books().transfers += 1; // a message entered, never arrived
+    const std::string verdict = net.auditConservation();
+    EXPECT_NE(verdict, "");
+    EXPECT_NE(verdict.find("injected vs delivered"),
+              std::string::npos)
+        << verdict;
 }
 
 // ------------------------------------------------------------- //

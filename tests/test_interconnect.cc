@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include "noc/interconnect.hh"
+#include "noc/topologies/ring.hh"
+#include "noc/topologies/switch.hh"
 
 namespace
 {

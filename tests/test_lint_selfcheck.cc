@@ -106,6 +106,10 @@ const RulePair rulePairs[] = {
      "layering_serve_clean.cc", 3},
     {"layering", "layering_supervisor_bad.cc",
      "layering_supervisor_clean.cc", 3},
+    {"layering", "layering_noc_plugin_bad.cc",
+     "layering_noc_plugin_clean.cc", 3},
+    {"layering", "layering_placement_bad.cc",
+     "layering_placement_clean.cc", 3},
     {"include-path", "include_path_bad.cc",
      "include_path_clean.cc", 3},
     {"error-path", "error_path_bad.cc", "error_path_clean.cc", 3},

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/mem_system.hh"
+#include "noc/topologies/ring.hh"
 
 namespace
 {

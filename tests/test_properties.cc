@@ -11,6 +11,8 @@
 #include "metrics/edpse.hh"
 #include "noc/bandwidth_server.hh"
 #include "noc/interconnect.hh"
+#include "noc/topologies/ring.hh"
+#include "noc/topologies/switch.hh"
 #include "sim/gpu_sim.hh"
 #include "trace/warp_trace.hh"
 

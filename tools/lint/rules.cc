@@ -26,17 +26,36 @@ namespace mmgpu::lint
 namespace
 {
 
-/** "src/noc/interconnect.cc" -> "noc"; "" when not under src/. */
+/**
+ * Module key of a module-relative path ("noc/topologies/ring.hh").
+ * Normally the first component, but when the layering table has a
+ * two-level row ("noc/topologies", "engine/placement") the finer key
+ * wins, so sub-layers get their own DAG position instead of hiding
+ * inside the parent module's permissions.
+ */
 std::string
-moduleOf(const std::string &path)
+moduleKeyOf(const std::string &rel, const Config &config)
+{
+    const std::size_t slash = rel.find('/');
+    if (slash == std::string::npos)
+        return {};
+    const std::size_t slash2 = rel.find('/', slash + 1);
+    if (slash2 != std::string::npos) {
+        std::string two = rel.substr(0, slash2);
+        if (config.layering.count(two))
+            return two;
+    }
+    return rel.substr(0, slash);
+}
+
+/** "src/noc/topologies/ring.cc" -> "noc/topologies" (registered) or
+ *  "noc"; "" when not under src/. */
+std::string
+moduleOf(const std::string &path, const Config &config)
 {
     if (path.rfind("src/", 0) != 0)
         return {};
-    const std::size_t start = 4;
-    const std::size_t slash = path.find('/', start);
-    if (slash == std::string::npos)
-        return {};
-    return path.substr(start, slash - start);
+    return moduleKeyOf(path.substr(4), config);
 }
 
 bool
@@ -286,7 +305,7 @@ void
 ruleIncludes(const FileModel &file, const Config &config,
              std::vector<Diagnostic> &out)
 {
-    const std::string mod = moduleOf(file.path);
+    const std::string mod = moduleOf(file.path, config);
     for (const Include &inc : file.includes) {
         if (inc.angled) {
             // Repo headers must not sneak in through the system
@@ -326,7 +345,7 @@ ruleIncludes(const FileModel &file, const Config &config,
                        "\"module/header.hh\"");
             continue;
         }
-        const std::string incMod = inc.path.substr(0, slash);
+        const std::string incMod = moduleKeyOf(inc.path, config);
 
         auto allowed = config.layering.find(mod);
         if (allowed == config.layering.end()) {
@@ -462,25 +481,39 @@ Config::repoDefault()
     config.layering["fault"] = {"fault", "common"};
     config.layering["isa"] = with({}, "isa");
     config.layering["trace"] = with({"isa"}, "trace");
-    config.layering["noc"] = with({}, "noc");
+    // noc and its fabric plugins are mutual: plugins derive from the
+    // base interface, and the registry (the composition point) is
+    // the one place allowed to name every concrete fabric. Nothing
+    // else may include a plugin header — consumers go through
+    // makeNetwork()/TopologyDesc.
+    config.layering["noc"] = with({"noc/topologies"}, "noc");
+    config.layering["noc/topologies"] =
+        with({"noc"}, "noc/topologies");
     config.layering["sm"] = with({"noc"}, "sm");
     config.layering["mem"] = with({"noc", "isa"}, "mem");
     config.layering["engine"] =
         with({"sm", "mem", "noc", "isa", "trace"}, "engine");
-    config.layering["sim"] =
-        with({"engine", "sm", "mem", "noc", "isa", "trace"}, "sim");
+    // Placement strategies sit beside the engine: they see the CTA
+    // policy interface, the scheduler, and kernel profiles, but not
+    // the memory system or the fabrics they steer traffic onto.
+    config.layering["engine/placement"] =
+        with({"sm", "trace", "isa", "engine"}, "engine/placement");
+    config.layering["sim"] = with({"engine", "engine/placement",
+                                   "sm", "mem", "noc", "isa", "trace"},
+                                  "sim");
     config.layering["power"] = with({"isa"}, "power");
     config.layering["gpujoule"] = with({"power", "isa"}, "gpujoule");
     config.layering["metrics"] = with({}, "metrics");
     config.layering["harness"] =
-        with({"sim", "engine", "sm", "mem", "noc", "isa", "trace",
-              "power", "gpujoule", "metrics"},
+        with({"sim", "engine", "engine/placement", "sm", "mem",
+              "noc", "isa", "trace", "power", "gpujoule", "metrics"},
              "harness");
     // The service layer sits on top of everything: it serves what
     // the harness computes and must never be included from below.
     config.layering["serve"] =
-        with({"harness", "sim", "engine", "sm", "mem", "noc", "isa",
-              "trace", "power", "gpujoule", "metrics"},
+        with({"harness", "sim", "engine", "engine/placement", "sm",
+              "mem", "noc", "isa", "trace", "power", "gpujoule",
+              "metrics"},
              "serve");
 
     // The shims are where host time/randomness is allowed to live.
